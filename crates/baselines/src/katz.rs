@@ -1,0 +1,152 @@
+//! Truncated Katz index (Katz 1953; Table I): `Σ_{l≥1} β^l (A^l)_{xy}`.
+//!
+//! Computed by repeated sparse matrix–vector products from each queried
+//! source node, truncated at `max_len` (the series converges geometrically
+//! for `β < 1/λ_max`, and paths beyond a few hops contribute negligibly at
+//! the paper's `β = 0.001`). Per-source score vectors are cached so that
+//! evaluating many pairs sharing a source costs one propagation.
+
+use std::collections::HashMap;
+
+use dyngraph::{NodeId, StaticGraph};
+
+/// Katz similarity index over a static graph.
+#[derive(Debug, Clone)]
+pub struct KatzIndex<'g> {
+    g: &'g StaticGraph,
+    beta: f64,
+    max_len: u32,
+    cache: HashMap<NodeId, Vec<f64>>,
+}
+
+impl<'g> KatzIndex<'g> {
+    /// Creates the index with damping `beta` and path-length cutoff
+    /// `max_len` (the paper's experiments use `β = 0.001`; 5 hops is ample
+    /// at that damping).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < beta < 1` and `max_len >= 1`.
+    pub fn new(g: &'g StaticGraph, beta: f64, max_len: u32) -> Self {
+        assert!(beta > 0.0 && beta < 1.0, "beta must be in (0, 1)");
+        assert!(max_len >= 1, "max_len must be at least 1");
+        KatzIndex {
+            g,
+            beta,
+            max_len,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Katz score of the pair `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn score(&mut self, x: NodeId, y: NodeId) -> f64 {
+        // Propagate from the lower-degree endpoint: same result by symmetry.
+        let (src, dst) = if self.g.degree(x) <= self.g.degree(y) {
+            (x, y)
+        } else {
+            (y, x)
+        };
+        if !self.cache.contains_key(&src) {
+            let scores = self.propagate(src);
+            self.cache.insert(src, scores);
+        }
+        self.cache[&src][dst as usize]
+    }
+
+    /// Full score vector `Σ_l β^l A^l e_src`.
+    fn propagate(&self, src: NodeId) -> Vec<f64> {
+        let n = self.g.node_count();
+        let mut p = vec![0.0; n];
+        p[src as usize] = 1.0;
+        let mut acc = vec![0.0; n];
+        let mut beta_l = 1.0;
+        for _ in 0..self.max_len {
+            let mut next = vec![0.0; n];
+            for (u, pu) in p.iter().enumerate() {
+                if *pu == 0.0 {
+                    continue;
+                }
+                for &v in self.g.neighbors(u as NodeId) {
+                    next[v as usize] += pu;
+                }
+            }
+            beta_l *= self.beta;
+            for (a, x) in acc.iter_mut().zip(&next) {
+                *a += beta_l * x;
+            }
+            p = next;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> StaticGraph {
+        StaticGraph::from_edges([(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn single_path_contributions() {
+        let g = path4();
+        let mut katz = KatzIndex::new(&g, 0.5, 4);
+        // Walks 0→3: exactly one of length 3 (plus longer ones within 4:
+        // none of length 4 exist 0→3 on a path? 0-1-2-1-2-3 no, length 4
+        // walk 0→3: 0-1-0-1-2-3 is length 5. So only β³.
+        assert!((katz.score(0, 3) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacent_nodes_score_highest() {
+        let g = path4();
+        let mut katz = KatzIndex::new(&g, 0.1, 5);
+        assert!(katz.score(0, 1) > katz.score(0, 2));
+        assert!(katz.score(0, 2) > katz.score(0, 3));
+    }
+
+    #[test]
+    fn symmetric() {
+        let g = StaticGraph::from_edges([(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let mut katz = KatzIndex::new(&g, 0.2, 6);
+        let a = katz.score(0, 3);
+        let b = katz.score(3, 0);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_counts_multiple_walks() {
+        let g = StaticGraph::from_edges([(0, 1), (1, 2), (2, 0)]);
+        let mut katz = KatzIndex::new(&g, 0.5, 2);
+        // 0→1: direct (β) + via 2 (β²) = 0.5 + 0.25.
+        assert!((katz.score(0, 1) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disconnected_pair_scores_zero() {
+        let g = StaticGraph::from_edges([(0, 1), (2, 3)]);
+        let mut katz = KatzIndex::new(&g, 0.5, 8);
+        assert_eq!(katz.score(0, 3), 0.0);
+    }
+
+    #[test]
+    fn cache_reuse_consistent() {
+        let g = path4();
+        let mut katz = KatzIndex::new(&g, 0.3, 5);
+        let first = katz.score(1, 3);
+        let second = katz.score(1, 3);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn beta_validated() {
+        let g = path4();
+        let _ = KatzIndex::new(&g, 1.5, 3);
+    }
+}

@@ -1,0 +1,217 @@
+//! Local similarity indices (Table I of the paper).
+//!
+//! Each function scores the closeness of a node pair from the surrounding
+//! static topology; an unsupervised ranking model classifies the pairs with
+//! the highest scores as future links.
+
+use dyngraph::{NodeId, StaticGraph};
+
+/// Common Neighbors (Liben-Nowell & Kleinberg): `|Γ_x ∩ Γ_y|`.
+pub fn common_neighbors(g: &StaticGraph, x: NodeId, y: NodeId) -> f64 {
+    g.common_neighbors(x, y).len() as f64
+}
+
+/// Jaccard index: `|Γ_x ∩ Γ_y| / |Γ_x ∪ Γ_y|` (0 when both are isolated).
+pub fn jaccard(g: &StaticGraph, x: NodeId, y: NodeId) -> f64 {
+    let inter = g.common_neighbors(x, y).len();
+    let union = g.degree(x) + g.degree(y) - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Preferential Attachment (Barabási & Albert): `|Γ_x| · |Γ_y|`.
+pub fn preferential_attachment(g: &StaticGraph, x: NodeId, y: NodeId) -> f64 {
+    (g.degree(x) * g.degree(y)) as f64
+}
+
+/// Adamic–Adar: `Σ_{z ∈ Γ_x ∩ Γ_y} 1/log|Γ_z|`.
+///
+/// Degree-1 common neighbors (where `log` would be 0) are skipped, the
+/// conventional guard.
+pub fn adamic_adar(g: &StaticGraph, x: NodeId, y: NodeId) -> f64 {
+    g.common_neighbors(x, y)
+        .into_iter()
+        .filter(|&z| g.degree(z) > 1)
+        .map(|z| 1.0 / (g.degree(z) as f64).ln())
+        .sum()
+}
+
+/// Resource Allocation (Zhou, Lü & Zhang): `Σ_{z ∈ Γ_x ∩ Γ_y} 1/|Γ_z|`.
+pub fn resource_allocation(g: &StaticGraph, x: NodeId, y: NodeId) -> f64 {
+    g.common_neighbors(x, y)
+        .into_iter()
+        .map(|z| 1.0 / g.degree(z) as f64)
+        .sum()
+}
+
+/// Reliable-route Weighted Resource Allocation (Zhao et al.):
+/// `Σ_{z ∈ Γ_x ∩ Γ_y} (W_xz · W_yz) / S_z`, with multi-link counts as
+/// weights and `S_z` the strength of `z` (§VI-C2 sets "the weights of links
+/// for rWRA … as the number of history links between two nodes").
+pub fn rwra(g: &StaticGraph, x: NodeId, y: NodeId) -> f64 {
+    g.common_neighbors(x, y)
+        .into_iter()
+        .map(|z| {
+            let s = g.strength(z);
+            if s == 0 {
+                0.0
+            } else {
+                (g.weight(x, z) as f64 * g.weight(y, z) as f64) / s as f64
+            }
+        })
+        .sum()
+}
+
+/// A named local-similarity scoring function.
+pub type NamedIndex = (&'static str, fn(&StaticGraph, NodeId, NodeId) -> f64);
+
+/// The six local indices as named function pointers, for harnesses that
+/// iterate over all of them (Table III rows CN … rWRA).
+pub const ALL: [NamedIndex; 6] = [
+    ("CN", common_neighbors),
+    ("Jac.", jaccard),
+    ("PA", preferential_attachment),
+    ("AA", adamic_adar),
+    ("RA", resource_allocation),
+    ("rWRA", rwra),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyngraph::DynamicNetwork;
+
+    /// 0 and 1 share neighbors {2, 3}; 2 also touches 4; the 0-2 edge is
+    /// doubled (weight 2).
+    fn sample() -> StaticGraph {
+        let g: DynamicNetwork = [
+            (0, 2, 1),
+            (0, 2, 2),
+            (1, 2, 3),
+            (0, 3, 4),
+            (1, 3, 5),
+            (2, 4, 6),
+        ]
+        .into_iter()
+        .collect();
+        g.to_static()
+    }
+
+    #[test]
+    fn cn_counts_shared() {
+        let g = sample();
+        assert_eq!(common_neighbors(&g, 0, 1), 2.0);
+        assert_eq!(common_neighbors(&g, 0, 4), 1.0);
+        assert_eq!(common_neighbors(&g, 3, 4), 0.0);
+    }
+
+    #[test]
+    fn jaccard_normalizes() {
+        let g = sample();
+        // Γ0 = {2,3}, Γ1 = {2,3} → 2/2.
+        assert_eq!(jaccard(&g, 0, 1), 1.0);
+        // Γ0 = {2,3}, Γ4 = {2} → 1/2.
+        assert_eq!(jaccard(&g, 0, 4), 0.5);
+    }
+
+    #[test]
+    fn jaccard_isolated_is_zero() {
+        let mut d: DynamicNetwork = [(0, 1, 1)].into_iter().collect();
+        d.ensure_node(3);
+        let g = d.to_static();
+        assert_eq!(jaccard(&g, 2, 3), 0.0);
+    }
+
+    #[test]
+    fn pa_multiplies_degrees() {
+        let g = sample();
+        assert_eq!(preferential_attachment(&g, 0, 1), 4.0);
+        assert_eq!(preferential_attachment(&g, 2, 3), 6.0);
+    }
+
+    #[test]
+    fn aa_weights_rare_neighbors_higher() {
+        let g = sample();
+        // common {2,3}: deg(2)=3, deg(3)=2.
+        let expect = 1.0 / 3.0f64.ln() + 1.0 / 2.0f64.ln();
+        assert!((adamic_adar(&g, 0, 1) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aa_skips_degree_one_neighbors() {
+        let g = StaticGraph::from_edges([(0, 2), (1, 2)]);
+        // z = 2 has degree 2 → fine; pendant case:
+        let g2 = StaticGraph::from_edges([(0, 2), (1, 2), (0, 3), (1, 3)]);
+        assert!(adamic_adar(&g2, 0, 1).is_finite());
+        assert!(adamic_adar(&g, 0, 1).is_finite());
+    }
+
+    #[test]
+    fn ra_inverse_degree() {
+        let g = sample();
+        let expect = 1.0 / 3.0 + 1.0 / 2.0;
+        assert!((resource_allocation(&g, 0, 1) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rwra_uses_multi_link_weights() {
+        let g = sample();
+        // z=2: W02=2, W12=1, S2 = 2+1+1 = 4 → 2/4.
+        // z=3: W03=1, W13=1, S3 = 2 → 1/2.
+        let expect = 0.5 + 0.5;
+        assert!((rwra(&g, 0, 1) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rwra_reduces_to_ra_on_unit_weights() {
+        let g = StaticGraph::from_edges([(0, 2), (1, 2), (2, 3)]);
+        assert!((rwra(&g, 0, 1) - resource_allocation(&g, 0, 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_table_has_six_entries() {
+        let g = sample();
+        for (name, f) in ALL {
+            let s = f(&g, 0, 1);
+            assert!(s.is_finite(), "{name} produced a non-finite score");
+        }
+    }
+
+    /// The paper's Figure 1 argument: CN/AA/RA/rWRA cannot separate the
+    /// celebrity pair A-B from the fan pair X-Y, while PA and Jaccard can.
+    #[test]
+    fn figure1_celebrity_indistinguishability() {
+        // Celebrities A=0, B=1, C=2 all high degree; A,B interact with C.
+        // Fans X=3, Y=4 are both fans of C only.
+        let mut edges = vec![(0, 2), (1, 2), (3, 2), (4, 2)];
+        // fans of A and B to make them high-degree:
+        for f in 5..10 {
+            edges.push((0, f));
+        }
+        for f in 10..15 {
+            edges.push((1, f));
+        }
+        // more fans of C:
+        for f in 15..20 {
+            edges.push((2, f));
+        }
+        let g = StaticGraph::from_edges(edges);
+        // Indistinguishable: one common neighbor (C) each, same degree of C.
+        assert_eq!(common_neighbors(&g, 0, 1), common_neighbors(&g, 3, 4));
+        assert_eq!(adamic_adar(&g, 0, 1), adamic_adar(&g, 3, 4));
+        assert_eq!(
+            resource_allocation(&g, 0, 1),
+            resource_allocation(&g, 3, 4)
+        );
+        assert_eq!(rwra(&g, 0, 1), rwra(&g, 3, 4));
+        // Distinguishable by degree-aware features:
+        assert!(
+            preferential_attachment(&g, 0, 1)
+                > preferential_attachment(&g, 3, 4)
+        );
+        assert!(jaccard(&g, 0, 1) != jaccard(&g, 3, 4));
+    }
+}

@@ -1,0 +1,237 @@
+//! Non-negative matrix factorization link prediction (Lin 2007; "NMF" in
+//! §VI-C1).
+//!
+//! The static adjacency matrix `V` (n×n, multi-link counts as weights) is
+//! factorized as `V ≈ W H` with `W ≥ 0` (n×r) and `H ≥ 0` (r×n) using Lee &
+//! Seung multiplicative updates. The predicted adjacency is `Ŵ = W H`; the
+//! score of a candidate pair is the reconstructed entry `Ŵ_xy`. All products
+//! against `V` exploit its sparsity, so an update round costs
+//! `O(nnz·r + n·r²)`.
+
+use dyngraph::{NodeId, StaticGraph};
+use linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// NMF hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NmfConfig {
+    /// Latent rank `r`.
+    pub rank: usize,
+    /// Multiplicative-update rounds.
+    pub iterations: u32,
+    /// RNG seed for the initial factors (NMF is non-convex; the seed makes
+    /// runs reproducible).
+    pub seed: u64,
+}
+
+impl Default for NmfConfig {
+    fn default() -> Self {
+        NmfConfig {
+            rank: 16,
+            iterations: 100,
+            seed: 7,
+        }
+    }
+}
+
+/// A fitted factorization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Nmf {
+    w: Matrix, // n × r
+    h: Matrix, // r × n
+}
+
+impl Nmf {
+    /// Factorizes the static adjacency of `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.rank == 0` or `g` has no nodes.
+    pub fn factorize(g: &StaticGraph, config: NmfConfig) -> Self {
+        let n = g.node_count();
+        assert!(config.rank > 0, "rank must be positive");
+        assert!(n > 0, "graph must have nodes");
+        let r = config.rank;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut w =
+            Matrix::from_fn(n, r, |_, _| rng.gen_range(0.01..1.0));
+        let mut h =
+            Matrix::from_fn(r, n, |_, _| rng.gen_range(0.01..1.0));
+        const EPS: f64 = 1e-12;
+
+        for _ in 0..config.iterations {
+            // H ← H ∘ (Wᵀ V) ⊘ (Wᵀ W H)
+            let wtv = sparse_left_product(&w, g); // r × n
+            let wtw = w.t_matmul(&w); // r × r
+            let wtwh = wtw.matmul(&h); // r × n
+            for i in 0..r {
+                for j in 0..n {
+                    let v = h[(i, j)] * wtv[(i, j)] / (wtwh[(i, j)] + EPS);
+                    h[(i, j)] = v.max(0.0);
+                }
+            }
+            // W ← W ∘ (V Hᵀ) ⊘ (W H Hᵀ)
+            let vht = sparse_right_product(g, &h); // n × r
+            let hht = h.matmul_t(&h); // r × r
+            let whht = w.matmul(&hht); // n × r
+            for i in 0..n {
+                for j in 0..r {
+                    let v = w[(i, j)] * vht[(i, j)] / (whht[(i, j)] + EPS);
+                    w[(i, j)] = v.max(0.0);
+                }
+            }
+        }
+        Nmf { w, h }
+    }
+
+    /// Reconstructed adjacency entry `(W H)_{xy}` — the link score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn score(&self, x: NodeId, y: NodeId) -> f64 {
+        let (x, y) = (x as usize, y as usize);
+        (0..self.h.rows())
+            .map(|k| self.w[(x, k)] * self.h[(k, y)])
+            .sum()
+    }
+
+    /// Squared Frobenius reconstruction error `‖V − W H‖²` against the
+    /// graph's adjacency (diagnostic; `O(n²r)`, use on small graphs).
+    pub fn reconstruction_error(&self, g: &StaticGraph) -> f64 {
+        let n = g.node_count();
+        let mut err = 0.0;
+        for u in 0..n as NodeId {
+            for v in 0..n as NodeId {
+                let target = g.weight(u, v) as f64;
+                let d = target - self.score(u, v);
+                err += d * d;
+            }
+        }
+        err
+    }
+}
+
+/// `Wᵀ V` with sparse symmetric `V` from the graph: result is `r × n`.
+fn sparse_left_product(w: &Matrix, g: &StaticGraph) -> Matrix {
+    let (n, r) = (w.rows(), w.cols());
+    let mut out = Matrix::zeros(r, n);
+    for u in 0..n {
+        for &v in g.neighbors(u as NodeId) {
+            let weight = g.weight(u as NodeId, v) as f64;
+            // out[:, v] += weight * w[u, :]
+            for k in 0..r {
+                out[(k, v as usize)] += weight * w[(u, k)];
+            }
+        }
+    }
+    out
+}
+
+/// `V Hᵀ` with sparse symmetric `V`: result is `n × r`.
+fn sparse_right_product(g: &StaticGraph, h: &Matrix) -> Matrix {
+    let (r, n) = (h.rows(), h.cols());
+    let mut out = Matrix::zeros(n, r);
+    for u in 0..n {
+        for &v in g.neighbors(u as NodeId) {
+            let weight = g.weight(u as NodeId, v) as f64;
+            for k in 0..r {
+                out[(u, k)] += weight * h[(k, v as usize)];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cliques() -> StaticGraph {
+        // Clique {0,1,2} and clique {3,4,5}, joined weakly by 2-3.
+        StaticGraph::from_edges([
+            (0, 1),
+            (1, 2),
+            (0, 2),
+            (3, 4),
+            (4, 5),
+            (3, 5),
+            (2, 3),
+        ])
+    }
+
+    fn fit(g: &StaticGraph) -> Nmf {
+        Nmf::factorize(
+            g,
+            NmfConfig {
+                rank: 4,
+                iterations: 300,
+                seed: 42,
+            },
+        )
+    }
+
+    #[test]
+    fn factors_stay_nonnegative() {
+        let g = two_cliques();
+        let m = fit(&g);
+        assert!(m.w.as_slice().iter().all(|&x| x >= 0.0));
+        assert!(m.h.as_slice().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn updates_reduce_reconstruction_error() {
+        let g = two_cliques();
+        let early = Nmf::factorize(
+            &g,
+            NmfConfig {
+                rank: 4,
+                iterations: 2,
+                seed: 42,
+            },
+        );
+        let late = fit(&g);
+        assert!(
+            late.reconstruction_error(&g) < early.reconstruction_error(&g)
+        );
+    }
+
+    #[test]
+    fn within_clique_pairs_score_above_cross_clique() {
+        let g = two_cliques();
+        let m = fit(&g);
+        // 0-1 is a real edge, 0-5 crosses the cliques.
+        assert!(m.score(0, 1) > m.score(0, 5));
+        // missing within-clique-ish pair 1-... all within-pairs exist;
+        // compare reconstructed intensity instead:
+        assert!(m.score(3, 4) > m.score(1, 4));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = two_cliques();
+        assert_eq!(fit(&g), fit(&g));
+    }
+
+    #[test]
+    fn sparse_products_match_dense() {
+        let g = two_cliques();
+        let n = g.node_count();
+        let dense_v = Matrix::from_fn(n, n, |i, j| {
+            g.weight(i as NodeId, j as NodeId) as f64
+        });
+        let w = Matrix::from_fn(n, 3, |i, j| ((i + 2 * j) % 5) as f64 * 0.3);
+        let h = Matrix::from_fn(3, n, |i, j| ((2 * i + j) % 4) as f64 * 0.7);
+        let lhs = sparse_left_product(&w, &g);
+        let rhs = w.t_matmul(&dense_v);
+        for (a, b) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        let lhs2 = sparse_right_product(&g, &h);
+        let rhs2 = dense_v.matmul(&h.transpose());
+        for (a, b) in lhs2.as_slice().iter().zip(rhs2.as_slice()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Local Random Walk similarity (Liu & Lü, EPL 2010; "RW" in Table I).
+//!
+//! A walker starts at `x` and moves by the row-normalized transition matrix
+//! `M` (`p_x^t = Mᵀ p_x^{t−1}`). After `t` steps the similarity is
+//!
+//! ```text
+//! s_xy = q_x · π_xy(t) + q_y · π_yx(t),   q_x = k_x / 2|E|
+//! ```
+//!
+//! where `π_xy(t)` is the probability the walker from `x` sits on `y` at
+//! step `t`. The exact-`t` variant suffers a parity artifact on (locally)
+//! bipartite structure — nodes an even distance apart score 0 for odd `t` —
+//! so Liu & Lü also define the *superposed* random walk, which replaces
+//! `π(t)` with `Σ_{τ=1..t} π(τ)`. [`LocalRandomWalk::score`] uses the
+//! superposed form (the experiments' default); the exact form is available
+//! as [`LocalRandomWalk::score_at_exact_step`].
+
+use std::collections::HashMap;
+
+use dyngraph::{NodeId, StaticGraph};
+
+/// Per-source walk distributions: probability at exactly step `t` and
+/// summed over steps `1..=t`.
+#[derive(Debug, Clone)]
+struct WalkDist {
+    exact: Vec<f64>,
+    superposed: Vec<f64>,
+}
+
+/// Local random walk scorer with per-source probability caching.
+#[derive(Debug, Clone)]
+pub struct LocalRandomWalk<'g> {
+    g: &'g StaticGraph,
+    steps: u32,
+    cache: HashMap<NodeId, WalkDist>,
+}
+
+impl<'g> LocalRandomWalk<'g> {
+    /// Creates the scorer with a walk length of `steps` (3 is the customary
+    /// local-walk horizon).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0`.
+    pub fn new(g: &'g StaticGraph, steps: u32) -> Self {
+        assert!(steps >= 1, "walk must take at least one step");
+        LocalRandomWalk {
+            g,
+            steps,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Superposed random walk similarity of the pair `(x, y)` — the robust
+    /// default.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn score(&mut self, x: NodeId, y: NodeId) -> f64 {
+        self.score_with(x, y, |d| &d.superposed)
+    }
+
+    /// Exact-step LRW similarity (walker position at exactly step `t`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn score_at_exact_step(&mut self, x: NodeId, y: NodeId) -> f64 {
+        self.score_with(x, y, |d| &d.exact)
+    }
+
+    fn score_with(
+        &mut self,
+        x: NodeId,
+        y: NodeId,
+        pick: impl Fn(&WalkDist) -> &Vec<f64>,
+    ) -> f64 {
+        let two_e = (2 * self.g.edge_count()) as f64;
+        if two_e == 0.0 {
+            return 0.0;
+        }
+        let qx = self.g.degree(x) as f64 / two_e;
+        let qy = self.g.degree(y) as f64 / two_e;
+        self.ensure(x);
+        self.ensure(y);
+        let pxy = pick(&self.cache[&x])[y as usize];
+        let pyx = pick(&self.cache[&y])[x as usize];
+        qx * pxy + qy * pyx
+    }
+
+    fn ensure(&mut self, src: NodeId) {
+        if !self.cache.contains_key(&src) {
+            let dist = self.propagate(src);
+            self.cache.insert(src, dist);
+        }
+    }
+
+    fn propagate(&self, src: NodeId) -> WalkDist {
+        let n = self.g.node_count();
+        let mut p = vec![0.0; n];
+        p[src as usize] = 1.0;
+        let mut superposed = vec![0.0; n];
+        for _ in 0..self.steps {
+            let mut next = vec![0.0; n];
+            for (u, pu) in p.iter().enumerate() {
+                if *pu == 0.0 {
+                    continue;
+                }
+                let nbrs = self.g.neighbors(u as NodeId);
+                if nbrs.is_empty() {
+                    next[u] += pu; // dangling node keeps its mass
+                    continue;
+                }
+                let share = pu / nbrs.len() as f64;
+                for &v in nbrs {
+                    next[v as usize] += share;
+                }
+            }
+            for (s, x) in superposed.iter_mut().zip(&next) {
+                *s += x;
+            }
+            p = next;
+        }
+        WalkDist {
+            exact: p,
+            superposed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probability_mass_conserved() {
+        let g = StaticGraph::from_edges([(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let rw = LocalRandomWalk::new(&g, 3);
+        let d = rw.propagate(0);
+        assert!((d.exact.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((d.superposed.iter().sum::<f64>() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_step_is_uniform_over_neighbors() {
+        let g = StaticGraph::from_edges([(0, 1), (0, 2), (0, 3)]);
+        let rw = LocalRandomWalk::new(&g, 1);
+        let d = rw.propagate(0);
+        assert!((d.exact[1] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((d.exact[2] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d.exact[0], 0.0);
+    }
+
+    #[test]
+    fn symmetric_score() {
+        let g = StaticGraph::from_edges([(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut rw = LocalRandomWalk::new(&g, 3);
+        assert!((rw.score(0, 2) - rw.score(2, 0)).abs() < 1e-12);
+        assert!(
+            (rw.score_at_exact_step(0, 2) - rw.score_at_exact_step(2, 0)).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn close_pairs_beat_far_pairs() {
+        let g = StaticGraph::from_edges([
+            (0, 2),
+            (1, 2),
+            (0, 3),
+            (1, 3),
+            (4, 5),
+            (5, 6),
+            (0, 4),
+        ]);
+        let mut rw = LocalRandomWalk::new(&g, 3);
+        // 0 and 1 share two common neighbors; 0 and 6 are three hops away.
+        assert!(rw.score(0, 1) > rw.score(0, 6));
+    }
+
+    #[test]
+    fn superposed_fixes_parity_blindness() {
+        // 0 and 1 are both adjacent to {2, 3} only: even distance, so odd-t
+        // exact walks assign them probability 0.
+        let g = StaticGraph::from_edges([(0, 2), (1, 2), (0, 3), (1, 3)]);
+        let mut rw = LocalRandomWalk::new(&g, 3);
+        assert_eq!(rw.score_at_exact_step(0, 1), 0.0);
+        assert!(rw.score(0, 1) > 0.0);
+    }
+
+    #[test]
+    fn dangling_nodes_hold_mass() {
+        let mut d: dyngraph::DynamicNetwork = [(0, 1, 1)].into_iter().collect();
+        d.ensure_node(2); // isolated
+        let g = d.to_static();
+        let dist = LocalRandomWalk::new(&g, 2).propagate(2);
+        assert_eq!(dist.exact[2], 1.0);
+    }
+
+    #[test]
+    fn empty_graph_scores_zero() {
+        let mut d = dyngraph::DynamicNetwork::new();
+        d.ensure_node(1);
+        let g = d.to_static();
+        let mut rw = LocalRandomWalk::new(&g, 3);
+        assert_eq!(rw.score(0, 1), 0.0);
+    }
+}

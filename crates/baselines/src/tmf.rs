@@ -1,0 +1,203 @@
+//! Temporal matrix factorization baseline (after Yu et al., IJCAI'17 —
+//! the paper's reference [28] and the source of its influence-decay
+//! function, Eq. 2).
+//!
+//! The dynamic network is collapsed into a *decay-weighted* adjacency
+//! `Â_xy = Σ_{links (x,y,l)} exp(−θ·(l_t − l))` — recent interactions
+//! weigh more — which is then factorized with the same multiplicative
+//! updates as the static [`crate::nmf`] baseline. Scores are reconstructed
+//! entries. This gives the matrix-factorization family a temporal member
+//! to compare against SSF's temporal feature.
+
+use dyngraph::{DynamicNetwork, NodeId, Timestamp};
+use linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::nmf::NmfConfig;
+
+/// A fitted temporal factorization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemporalNmf {
+    w: Matrix, // n × r
+    h: Matrix, // r × n
+}
+
+impl TemporalNmf {
+    /// Factorizes the decay-weighted adjacency of `g` as seen from time
+    /// `l_t` with damping `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.rank == 0`, `g` has no nodes, or `theta <= 0`.
+    pub fn factorize(
+        g: &DynamicNetwork,
+        l_t: Timestamp,
+        theta: f64,
+        config: NmfConfig,
+    ) -> Self {
+        assert!(config.rank > 0, "rank must be positive");
+        assert!(g.node_count() > 0, "graph must have nodes");
+        assert!(theta > 0.0, "theta must be positive");
+        let n = g.node_count();
+        // Decay-weighted adjacency, symmetric, as sparse lists.
+        let mut adj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for link in g.links() {
+            let age = l_t.saturating_sub(link.t) as f64;
+            let w = (-theta * age).exp();
+            if w > 0.0 {
+                merge_weight(&mut adj[link.u as usize], link.v as usize, w);
+                merge_weight(&mut adj[link.v as usize], link.u as usize, w);
+            }
+        }
+
+        let r = config.rank;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut w = Matrix::from_fn(n, r, |_, _| rng.gen_range(0.01..1.0));
+        let mut h = Matrix::from_fn(r, n, |_, _| rng.gen_range(0.01..1.0));
+        const EPS: f64 = 1e-12;
+        for _ in 0..config.iterations {
+            // H ← H ∘ (Wᵀ V) ⊘ (Wᵀ W H)
+            let wtv = left_product(&w, &adj);
+            let wtw = w.t_matmul(&w);
+            let wtwh = wtw.matmul(&h);
+            for i in 0..r {
+                for j in 0..n {
+                    h[(i, j)] =
+                        (h[(i, j)] * wtv[(i, j)] / (wtwh[(i, j)] + EPS)).max(0.0);
+                }
+            }
+            // W ← W ∘ (V Hᵀ) ⊘ (W H Hᵀ)
+            let vht = right_product(&adj, &h);
+            let hht = h.matmul_t(&h);
+            let whht = w.matmul(&hht);
+            for i in 0..n {
+                for j in 0..r {
+                    w[(i, j)] =
+                        (w[(i, j)] * vht[(i, j)] / (whht[(i, j)] + EPS)).max(0.0);
+                }
+            }
+        }
+        TemporalNmf { w, h }
+    }
+
+    /// Reconstructed decay-weighted adjacency entry — the link score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    pub fn score(&self, x: NodeId, y: NodeId) -> f64 {
+        let (x, y) = (x as usize, y as usize);
+        (0..self.h.rows())
+            .map(|k| self.w[(x, k)] * self.h[(k, y)])
+            .sum()
+    }
+}
+
+fn merge_weight(row: &mut Vec<(usize, f64)>, v: usize, w: f64) {
+    match row.iter_mut().find(|(u, _)| *u == v) {
+        Some((_, acc)) => *acc += w,
+        None => row.push((v, w)),
+    }
+}
+
+/// `Wᵀ V` for sparse symmetric weighted `V`: result `r × n`.
+fn left_product(w: &Matrix, adj: &[Vec<(usize, f64)>]) -> Matrix {
+    let (n, r) = (w.rows(), w.cols());
+    let mut out = Matrix::zeros(r, n);
+    for (u, row) in adj.iter().enumerate() {
+        for &(v, weight) in row {
+            for k in 0..r {
+                out[(k, v)] += weight * w[(u, k)];
+            }
+        }
+    }
+    out
+}
+
+/// `V Hᵀ` for sparse symmetric weighted `V`: result `n × r`.
+fn right_product(adj: &[Vec<(usize, f64)>], h: &Matrix) -> Matrix {
+    let (r, n) = (h.rows(), h.cols());
+    let mut out = Matrix::zeros(n, r);
+    for (u, row) in adj.iter().enumerate() {
+        for &(v, weight) in row {
+            for k in 0..r {
+                out[(u, k)] += weight * h[(k, v)];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_eras() -> DynamicNetwork {
+        // Era 1 (old): clique {0,1,2}. Era 2 (recent): clique {3,4,5}.
+        // Bridge 2-3 in the middle.
+        [
+            (0, 1, 1),
+            (1, 2, 1),
+            (0, 2, 1),
+            (2, 3, 5),
+            (3, 4, 10),
+            (4, 5, 10),
+            (3, 5, 10),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    fn fit(g: &DynamicNetwork) -> TemporalNmf {
+        TemporalNmf::factorize(
+            g,
+            11,
+            0.3,
+            NmfConfig {
+                rank: 4,
+                iterations: 250,
+                seed: 3,
+            },
+        )
+    }
+
+    #[test]
+    fn recent_structure_scores_higher_than_stale() {
+        let g = two_eras();
+        let m = fit(&g);
+        // Both are real edges, but 3-4 is recent while 0-1 is ancient.
+        assert!(m.score(3, 4) > m.score(0, 1));
+    }
+
+    #[test]
+    fn within_recent_clique_beats_cross_era() {
+        let g = two_eras();
+        let m = fit(&g);
+        assert!(m.score(4, 5) > m.score(0, 5));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = two_eras();
+        assert_eq!(fit(&g), fit(&g));
+    }
+
+    #[test]
+    fn scores_nonnegative() {
+        let g = two_eras();
+        let m = fit(&g);
+        for u in 0..6 {
+            for v in 0..6 {
+                assert!(m.score(u, v) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn theta_validated() {
+        let g = two_eras();
+        let _ = TemporalNmf::factorize(&g, 11, 0.0, NmfConfig::default());
+    }
+}

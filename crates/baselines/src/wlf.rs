@@ -1,0 +1,209 @@
+//! The Weisfeiler–Lehman link feature (Zhang & Chen, KDD'17; "WLF" in the
+//! paper's Table I).
+//!
+//! WLF is the feature behind the WLLR and WLNM baselines: the enclosing
+//! subgraph of the `K` nodes nearest the target link — *plain* nodes, no
+//! structure-node merging — ordered by Palette-WL and unfolded as the 0/1
+//! upper triangle of its adjacency matrix (minus the target entry). The
+//! difference to SSF is exactly the paper's central claim: without merging
+//! identical-neighborhood nodes, a `K`-node window captures far less of the
+//! surrounding topology.
+
+use std::collections::HashMap;
+
+use dyngraph::{traversal, NodeId, StaticGraph};
+use ssf_core::palette::palette_wl;
+
+/// Configuration of the WLF extractor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WlfConfig {
+    /// Number of enclosing-subgraph nodes `K` (the paper uses 10).
+    pub k: usize,
+    /// Cap on the hop radius growth.
+    pub max_h: u32,
+}
+
+impl WlfConfig {
+    /// Configuration with `K = k` and the default radius cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 3`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 3, "k must be at least 3 for a non-empty feature");
+        WlfConfig { k, max_h: 10 }
+    }
+
+    /// Feature dimension `K(K−1)/2 − 1`, identical to SSF's.
+    pub fn feature_dim(&self) -> usize {
+        self.k * (self.k - 1) / 2 - 1
+    }
+}
+
+/// Extracts WLF vectors from a static graph.
+///
+/// # Example
+///
+/// ```rust
+/// use baselines::{WlfConfig, WlfExtractor};
+/// use dyngraph::StaticGraph;
+///
+/// let g = StaticGraph::from_edges([(0, 2), (1, 2), (2, 3)]);
+/// let ex = WlfExtractor::new(WlfConfig::new(4));
+/// let f = ex.extract(&g, 0, 1);
+/// assert_eq!(f.len(), WlfConfig::new(4).feature_dim());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WlfExtractor {
+    config: WlfConfig,
+}
+
+impl WlfExtractor {
+    /// Creates an extractor.
+    pub fn new(config: WlfConfig) -> Self {
+        WlfExtractor { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &WlfConfig {
+        &self.config
+    }
+
+    /// Extracts the WLF vector of target link `(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either endpoint is outside `g`.
+    pub fn extract(&self, g: &StaticGraph, a: NodeId, b: NodeId) -> Vec<f64> {
+        assert_ne!(a, b, "target link endpoints must differ");
+        let k = self.config.k;
+
+        // Grow the radius until at least K nodes are enclosed.
+        let mut h = 1;
+        let mut reached = traversal::bfs_bounded(g, &[a, b], h);
+        while reached.len() < k && h < self.config.max_h {
+            h += 1;
+            let grown = traversal::bfs_bounded(g, &[a, b], h);
+            if grown.len() == reached.len() {
+                break;
+            }
+            reached = grown;
+        }
+
+        // Induced adjacency over local ids, target edge excluded.
+        let mut local_of: HashMap<NodeId, usize> = HashMap::new();
+        for (i, &(node, _)) in reached.iter().enumerate() {
+            local_of.insert(node, i);
+        }
+        let n = reached.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, &(node, _)) in reached.iter().enumerate() {
+            for &v in g.neighbors(node) {
+                if (node == a && v == b) || (node == b && v == a) {
+                    continue;
+                }
+                if let Some(&j) = local_of.get(&v) {
+                    adj[i].push(j);
+                }
+            }
+        }
+        // Distance init refined as in `ssf_core`: common neighbors of the
+        // endpoints precede the rest of their distance class, so they stay
+        // inside the K-window on dense graphs.
+        let dist: Vec<u32> = reached
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, d))| {
+                let both = adj[i].contains(&0) && adj[i].contains(&1);
+                2 * d + u32::from(d >= 1 && !both)
+            })
+            .collect();
+        let tiebreak: Vec<u64> =
+            reached.iter().map(|&(node, _)| node as u64).collect();
+        let order = palette_wl(&adj, &dist, (0, 1), &tiebreak);
+
+        // slot[m] = local node with order m+1 (None → zero padding).
+        let mut slot: Vec<Option<usize>> = vec![None; k];
+        for (i, &ord) in order.iter().enumerate() {
+            if ord <= k {
+                slot[ord - 1] = Some(i);
+            }
+        }
+        let connected = |m: usize, n2: usize| -> bool {
+            match (slot[m], slot[n2]) {
+                (Some(i), Some(j)) => adj[i].contains(&j),
+                _ => false,
+            }
+        };
+        let mut values = Vec::with_capacity(self.config.feature_dim());
+        for n2 in 2..k {
+            for m in 0..n2 {
+                values.push(if connected(m, n2) { 1.0 } else { 0.0 });
+            }
+        }
+        values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fan_graph() -> StaticGraph {
+        // target (0,1); 2 common neighbor; pendants 3,4,5 on 0.
+        StaticGraph::from_edges([(0, 2), (1, 2), (0, 3), (0, 4), (0, 5)])
+    }
+
+    #[test]
+    fn dimension_matches_config() {
+        for k in [3, 5, 10] {
+            let cfg = WlfConfig::new(k);
+            let f = WlfExtractor::new(cfg).extract(&fan_graph(), 0, 1);
+            assert_eq!(f.len(), cfg.feature_dim());
+        }
+    }
+
+    #[test]
+    fn entries_are_binary() {
+        let f = WlfExtractor::new(WlfConfig::new(6)).extract(&fan_graph(), 0, 1);
+        assert!(f.iter().all(|&v| v == 0.0 || v == 1.0));
+        assert!(f.contains(&1.0));
+    }
+
+    #[test]
+    fn target_edge_excluded() {
+        let with_edge =
+            StaticGraph::from_edges([(0, 1), (0, 2), (1, 2), (2, 3)]);
+        let without =
+            StaticGraph::from_edges([(0, 2), (1, 2), (2, 3)]);
+        let ex = WlfExtractor::new(WlfConfig::new(4));
+        assert_eq!(ex.extract(&with_edge, 0, 1), ex.extract(&without, 0, 1));
+    }
+
+    #[test]
+    fn small_component_zero_padded() {
+        let g = StaticGraph::from_edges([(0, 1), (0, 2)]);
+        let f = WlfExtractor::new(WlfConfig::new(8)).extract(&g, 0, 1);
+        assert_eq!(f.len(), WlfConfig::new(8).feature_dim());
+        // Far slots are padding → zero columns at the tail.
+        assert_eq!(f[f.len() - 1], 0.0);
+    }
+
+    #[test]
+    fn wlf_cannot_see_beyond_k_nodes() {
+        // SSF's motivating example: with K = 3 the fan pendants fall outside
+        // the window, so graphs differing only in pendant count look alike.
+        let few = StaticGraph::from_edges([(0, 2), (1, 2), (0, 3)]);
+        let many =
+            StaticGraph::from_edges([(0, 2), (1, 2), (0, 3), (0, 4), (0, 5)]);
+        let ex = WlfExtractor::new(WlfConfig::new(3));
+        assert_eq!(ex.extract(&few, 0, 1), ex.extract(&many, 0, 1));
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = fan_graph();
+        let ex = WlfExtractor::new(WlfConfig::new(6));
+        assert_eq!(ex.extract(&g, 0, 1), ex.extract(&g, 0, 1));
+    }
+}

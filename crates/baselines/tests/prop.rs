@@ -1,0 +1,140 @@
+//! Property-based tests for the baseline scorers.
+
+use proptest::prelude::*;
+
+use baselines::{
+    local, KatzIndex, LocalPathIndex, LocalRandomWalk, WlfConfig, WlfExtractor,
+};
+use dyngraph::{DynamicNetwork, NodeId, StaticGraph};
+
+fn graph() -> impl Strategy<Value = StaticGraph> {
+    prop::collection::vec(
+        (0..15u32, 0..15u32).prop_filter("no loops", |(u, v)| u != v),
+        3..60,
+    )
+    .prop_map(|edges| {
+        let mut g = DynamicNetwork::new();
+        for i in 0..14u32 {
+            g.add_link(i, i + 1, 1); // connected spine
+        }
+        for (u, v) in edges {
+            g.add_link(u, v, 1);
+        }
+        g.to_static()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every local index is symmetric and non-negative.
+    #[test]
+    fn local_indices_symmetric_nonnegative(
+        g in graph(),
+        u in 0..15u32,
+        v in 0..15u32,
+    ) {
+        prop_assume!(u != v);
+        for (name, f) in local::ALL {
+            let a = f(&g, u, v);
+            let b = f(&g, v, u);
+            prop_assert!(a >= 0.0, "{name} negative");
+            prop_assert!((a - b).abs() < 1e-12, "{name} asymmetric");
+        }
+    }
+
+    /// Jaccard is bounded by 1; CN bounds RA·min-degree relations hold.
+    #[test]
+    fn index_bounds(g in graph(), u in 0..15u32, v in 0..15u32) {
+        prop_assume!(u != v);
+        prop_assert!(local::jaccard(&g, u, v) <= 1.0 + 1e-12);
+        let cn = local::common_neighbors(&g, u, v);
+        prop_assert!(local::resource_allocation(&g, u, v) <= cn + 1e-12);
+        prop_assert!(
+            cn <= (g.degree(u).min(g.degree(v))) as f64 + 1e-12
+        );
+    }
+
+    /// Katz grows with β (more weight on every path).
+    #[test]
+    fn katz_monotone_in_beta(g in graph(), u in 0..15u32, v in 0..15u32) {
+        prop_assume!(u != v);
+        let mut lo = KatzIndex::new(&g, 0.05, 4);
+        let mut hi = KatzIndex::new(&g, 0.2, 4);
+        prop_assert!(hi.score(u, v) >= lo.score(u, v) - 1e-12);
+    }
+
+    /// LP is symmetric and at least CN (it adds ε·A³ ≥ 0).
+    #[test]
+    fn lp_dominates_cn(g in graph(), u in 0..15u32, v in 0..15u32) {
+        prop_assume!(u != v);
+        let mut lp = LocalPathIndex::new(&g, 0.05);
+        let s = lp.score(u, v);
+        prop_assert!(s >= local::common_neighbors(&g, u, v) - 1e-12);
+        prop_assert!((s - lp.score(v, u)).abs() < 1e-9);
+    }
+
+    /// The superposed random walk score is finite, non-negative and
+    /// symmetric.
+    #[test]
+    fn rw_sane(g in graph(), u in 0..15u32, v in 0..15u32) {
+        prop_assume!(u != v);
+        let mut rw = LocalRandomWalk::new(&g, 3);
+        let s = rw.score(u, v);
+        prop_assert!(s.is_finite() && s >= 0.0);
+        prop_assert!((s - rw.score(v, u)).abs() < 1e-12);
+    }
+
+    /// WLF vectors always have the configured dimension and binary entries.
+    #[test]
+    fn wlf_well_formed(g in graph(), k in 3..9usize) {
+        let ex = WlfExtractor::new(WlfConfig::new(k));
+        let f = ex.extract(&g, 0, 5);
+        prop_assert_eq!(f.len(), k * (k - 1) / 2 - 1);
+        prop_assert!(f.iter().all(|&x| x == 0.0 || x == 1.0));
+    }
+}
+
+/// Katz over the whole graph agrees with a brute-force dense power series
+/// on a fixed small graph (non-proptest exactness check).
+#[test]
+fn katz_matches_dense_power_series() {
+    let g = StaticGraph::from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+    let n = g.node_count();
+    let beta = 0.1;
+    let adj = |i: usize, j: usize| -> f64 {
+        f64::from(g.has_edge(i as NodeId, j as NodeId))
+    };
+    // Dense A^l entries by naive multiplication.
+    let mut power: Vec<Vec<f64>> =
+        (0..n).map(|i| (0..n).map(|j| adj(i, j)).collect()).collect();
+    let mut expect = vec![vec![0.0; n]; n];
+    let mut beta_l = beta;
+    for _ in 0..4 {
+        for i in 0..n {
+            for j in 0..n {
+                expect[i][j] += beta_l * power[i][j];
+            }
+        }
+        // power ← power · A
+        let mut next = vec![vec![0.0; n]; n];
+        for (i, prow) in power.iter().enumerate() {
+            for (k, &pik) in prow.iter().enumerate() {
+                for (j, cell) in next[i].iter_mut().enumerate() {
+                    *cell += pik * adj(k, j);
+                }
+            }
+        }
+        power = next;
+        beta_l *= beta;
+    }
+    let mut katz = KatzIndex::new(&g, beta, 4);
+    for i in 0..n as NodeId {
+        for j in 0..n as NodeId {
+            assert!(
+                (katz.score(i, j) - expect[i as usize][j as usize]).abs() < 1e-9,
+                "({i},{j})"
+            );
+        }
+    }
+}

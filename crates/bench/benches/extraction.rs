@@ -1,0 +1,52 @@
+//! Criterion micro-benchmarks of the SSF extraction pipeline stages
+//! (h-hop subgraph, structure combination, Palette-WL, full SSF) against
+//! the WLF baseline pipeline on a realistic hub-dominated network.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use baselines::{WlfConfig, WlfExtractor};
+use datasets::{generate, DatasetSpec};
+use ssf_core::{
+    palette::palette_wl, HopSubgraph, SsfConfig, SsfExtractor,
+    StructureSubgraph,
+};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let spec = DatasetSpec::facebook().scaled(0.25);
+    let g = generate(&spec, 3);
+    let stat = g.to_static();
+    // A mid-degree target pair.
+    let (a, b) = (10u32, 200u32);
+    let l_t = g.max_timestamp().unwrap() + 1;
+
+    c.bench_function("hop_subgraph_h1", |bench| {
+        bench.iter(|| HopSubgraph::extract(black_box(&g), a, b, 1))
+    });
+
+    let hop = HopSubgraph::extract(&g, a, b, 1);
+    c.bench_function("structure_combination", |bench| {
+        bench.iter(|| StructureSubgraph::combine(black_box(&hop)))
+    });
+
+    let s = StructureSubgraph::combine(&hop);
+    let adj: Vec<Vec<usize>> =
+        (0..s.node_count()).map(|x| s.neighbors(x).to_vec()).collect();
+    let dist: Vec<u32> = (0..s.node_count()).map(|x| s.distance(x)).collect();
+    let tiebreak: Vec<u64> =
+        (0..s.node_count()).map(|x| s.members(x)[0] as u64).collect();
+    c.bench_function("palette_wl", |bench| {
+        bench.iter(|| palette_wl(black_box(&adj), &dist, (0, 1), &tiebreak))
+    });
+
+    let ssf = SsfExtractor::new(SsfConfig::new(10));
+    c.bench_function("ssf_extract_full", |bench| {
+        bench.iter(|| ssf.extract(black_box(&g), a, b, l_t))
+    });
+
+    let wlf = WlfExtractor::new(WlfConfig::new(10));
+    c.bench_function("wlf_extract_full", |bench| {
+        bench.iter(|| wlf.extract(black_box(&stat), a, b))
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion micro-benchmarks of the models: ridge solve, one neural
+//! machine training epoch, NMF update rounds.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use baselines::{Nmf, NmfConfig};
+use datasets::{generate, DatasetSpec};
+use linalg::Matrix;
+use ssf_ml::{LinearRegression, MlpConfig, NeuralMachine};
+
+fn synthetic_features(n: usize, d: usize) -> (Matrix, Vec<f64>, Vec<usize>) {
+    let x = Matrix::from_fn(n, d, |i, j| {
+        (((i * 37 + j * 11) % 17) as f64 - 8.0) / 8.0
+    });
+    let y_f: Vec<f64> = (0..n).map(|i| f64::from(x[(i, 0)] > 0.0)).collect();
+    let y_c: Vec<usize> = y_f.iter().map(|&v| v as usize).collect();
+    (x, y_f, y_c)
+}
+
+fn bench_models(c: &mut Criterion) {
+    let (x, y_f, y_c) = synthetic_features(400, 44); // K=10 feature dim
+
+    c.bench_function("ridge_fit_400x44", |bench| {
+        bench.iter(|| LinearRegression::fit(black_box(&x), &y_f, 1e-3).unwrap())
+    });
+
+    c.bench_function("neural_machine_10_epochs", |bench| {
+        bench.iter(|| {
+            NeuralMachine::train(
+                black_box(&x),
+                &y_c,
+                MlpConfig {
+                    epochs: 10,
+                    ..MlpConfig::default()
+                },
+            )
+        })
+    });
+
+    let g = generate(&DatasetSpec::coauthor().scaled(0.5), 5).to_static();
+    c.bench_function("nmf_20_rounds", |bench| {
+        bench.iter(|| {
+            Nmf::factorize(
+                black_box(&g),
+                NmfConfig {
+                    rank: 16,
+                    iterations: 20,
+                    seed: 7,
+                },
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmark of the paper's complexity claim: SSF extraction is
+//! `O(K³ + K·|V_h|²)` (Algorithm 3 analysis) — cost should grow with K and
+//! with the surrounding subgraph size, not with the whole network.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::{generate, DatasetSpec, Topology};
+use ssf_core::{SsfConfig, SsfExtractor};
+
+fn bench_scaling(c: &mut Criterion) {
+    // Sweep K on a fixed network.
+    let g = generate(&DatasetSpec::coauthor(), 3);
+    let l_t = g.max_timestamp().unwrap() + 1;
+    let mut group = c.benchmark_group("ssf_vs_k");
+    for k in [5usize, 10, 15, 20] {
+        let ex = SsfExtractor::new(SsfConfig::new(k));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| ex.extract(black_box(&g), 5, 100, l_t))
+        });
+    }
+    group.finish();
+
+    // Sweep network size at fixed K: per-link cost should stay bounded by
+    // the local neighborhood, not the global size.
+    let mut group = c.benchmark_group("ssf_vs_network_size");
+    for nodes in [200usize, 400, 800, 1600] {
+        let spec = DatasetSpec {
+            name: "scaling",
+            nodes,
+            target_links: nodes * 6,
+            time_span: 100,
+            topology: Topology::HubDominated {
+                repeat: 0.2,
+                hub_bias: 1.1,
+                local: 0.5,
+            },
+        };
+        let g = generate(&spec, 4);
+        let l_t = g.max_timestamp().unwrap() + 1;
+        let ex = SsfExtractor::new(SsfConfig::new(10));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(nodes),
+            &nodes,
+            |bench, _| bench.iter(|| ex.extract(black_box(&g), 7, 90, l_t)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Ablation benches for the design choices called out in DESIGN.md §5:
+//!
+//! 1. entry encoding (normalized influence vs reciprocal distance vs link
+//!    count vs binary) for SSFNM;
+//! 2. decay factor θ sweep (default encoding);
+//! 3. structure-node merging on/off (SSFNM-W vs WLNM shares everything but
+//!    the merging — reported side by side).
+//!
+//! Run: `cargo run -p ssf-bench --release --bin ablation [--fast]
+//!       [--datasets coauthor,digg]`
+
+use ssf_bench::{prepare, HarnessOptions};
+use ssf_core::EntryEncoding;
+use ssf_repro::methods::{Method, MethodOptions};
+
+fn main() {
+    let mut opts = HarnessOptions::parse(std::env::args().skip(1));
+    if opts.datasets.is_empty() {
+        // Two contrasting topologies by default.
+        opts.datasets = vec!["coauthor".to_string(), "digg".to_string()];
+    }
+    let mut method_opts = MethodOptions {
+        seed: opts.seed,
+        ..MethodOptions::default()
+    };
+    if opts.fast {
+        method_opts.nm_epochs = 60;
+    }
+
+    for spec in opts.selected_specs() {
+        let prep = match prepare(&spec, &opts) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{}: skipped ({e})", spec.name);
+                continue;
+            }
+        };
+        println!("=== {} (window {} ticks)", spec.name, prep.window);
+
+        println!("-- entry encoding (SSFNM):");
+        for (label, enc) in [
+            ("influence", EntryEncoding::NormalizedInfluence),
+            ("recip-dist", EntryEncoding::ReciprocalDistance),
+            ("link-count", EntryEncoding::LinkCount),
+            ("binary", EntryEncoding::Binary),
+        ] {
+            let r = Method::Ssfnm.evaluate_augmented(
+                &prep.split,
+                &prep.extra_train,
+                &MethodOptions {
+                    ssf_encoding: enc,
+                    ..method_opts
+                },
+            );
+            println!("   {label:<10} auc={:.3} f1={:.3}", r.auc, r.f1);
+        }
+
+        println!("-- decay factor θ (SSFNM, default encoding):");
+        for theta in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let r = Method::Ssfnm.evaluate_augmented(
+                &prep.split,
+                &prep.extra_train,
+                &MethodOptions {
+                    theta,
+                    ..method_opts
+                },
+            );
+            println!("   θ={theta:<4} auc={:.3} f1={:.3}", r.auc, r.f1);
+        }
+
+        println!("-- structure-node merging (same K, same model):");
+        for m in [Method::Wlnm, Method::SsfnmW] {
+            let r = m.evaluate_augmented(&prep.split, &prep.extra_train, &method_opts);
+            println!(
+                "   {:<8} auc={:.3} f1={:.3}   ({})",
+                r.name,
+                r.auc,
+                r.f1,
+                if m == Method::Wlnm {
+                    "plain nodes"
+                } else {
+                    "structure nodes"
+                }
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 6 reproduction: the most frequent K-structure-subgraph pattern
+//! in hub-dominated (Facebook-like) vs community (Co-author-like)
+//! networks.
+//!
+//! The paper samples 2,000 links per dataset at K = 10 and visualizes the
+//! top pattern: Facebook's is star-like (links form around high-degree
+//! celebrities), Co-author's is dense (links form inside research groups).
+//!
+//! Run: `cargo run -p ssf-bench --release --bin fig6 [--fast] [--samples N]`
+
+use datasets::io::load_or_generate;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use ssf_bench::HarnessOptions;
+use ssf_core::{PatternMiner, SsfConfig, SsfExtractor};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = HarnessOptions::parse(args.clone());
+    let mut samples = if opts.fast { 200 } else { 2000 };
+    let mut k = 10usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--samples" => {
+                samples = it
+                    .next()
+                    .expect("--samples requires a value")
+                    .parse()
+                    .expect("--samples must be an integer");
+            }
+            "--k" => {
+                k = it
+                    .next()
+                    .expect("--k requires a value")
+                    .parse()
+                    .expect("--k must be an integer");
+            }
+            _ => {}
+        }
+    }
+
+    println!("Figure 6 reproduction — most frequent K-structure patterns (K={k}, {samples} sampled links)");
+    let specs = [
+        datasets::DatasetSpec::facebook(),
+        datasets::DatasetSpec::coauthor(),
+    ];
+    for spec in specs {
+        let spec = if opts.fast { spec.scaled(0.15) } else { spec };
+        let (g, _) = load_or_generate(&spec, &opts.data_dir, opts.seed)
+            .expect("dataset file exists but is malformed");
+        let links: Vec<(u32, u32)> = {
+            let mut pairs: Vec<(u32, u32)> =
+                g.to_static().edges().map(|(u, v, _)| (u, v)).collect();
+            let mut rng = StdRng::seed_from_u64(opts.seed);
+            pairs.shuffle(&mut rng);
+            pairs.truncate(samples);
+            pairs
+        };
+        let ex = SsfExtractor::new(SsfConfig::new(k));
+        let mut miner = PatternMiner::new();
+        for &(u, v) in &links {
+            let (ks, _, _) = ex.k_structure(&g, u, v);
+            miner.observe(&ks);
+        }
+        println!();
+        println!(
+            "=== {} — {} observations, {} distinct patterns",
+            spec.name,
+            miner.observations(),
+            miner.distinct_patterns()
+        );
+        for (rank, (sig, count)) in miner.ranked().into_iter().take(3).enumerate() {
+            println!(
+                "#{} pattern ({} occurrences, {} structure links):",
+                rank + 1,
+                count,
+                sig.link_count()
+            );
+            println!("{sig}");
+        }
+    }
+    println!(
+        "Expected shape (paper): the hub network's top pattern is sparse and \
+         endpoint-centered; the co-author network's is denser with more \
+         inter-structure-node links."
+    );
+}

@@ -1,0 +1,57 @@
+//! Figure 7 reproduction: SSFNM's AUC and F1 across K ∈ {5, 10, 15, 20}.
+//!
+//! The paper's finding: peaks mostly fall at K ≤ 15 — larger windows add
+//! noise rather than signal.
+//!
+//! Run: `cargo run -p ssf-bench --release --bin fig7 [--fast] [--datasets …]`
+
+use ssf_bench::{prepare, HarnessOptions};
+use ssf_repro::methods::{Method, MethodOptions};
+
+fn main() {
+    let opts = HarnessOptions::parse(std::env::args().skip(1));
+    let ks = [5usize, 10, 15, 20];
+    let mut method_opts = MethodOptions {
+        seed: opts.seed,
+        ..MethodOptions::default()
+    };
+    if opts.fast {
+        method_opts.nm_epochs = 60;
+    }
+
+    println!("Figure 7 reproduction — SSFNM across K = {ks:?}");
+    println!();
+    println!(
+        "{:<10} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6}",
+        "Dataset", "AUC@5", "F1@5", "AUC@10", "F1@10", "AUC@15", "F1@15", "AUC@20", "F1@20"
+    );
+    println!("{}", "-".repeat(10 + 4 * 17));
+    for spec in opts.selected_specs() {
+        let prep = match prepare(&spec, &opts) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{}: skipped ({e})", spec.name);
+                continue;
+            }
+        };
+        print!("{:<10}", spec.name);
+        let mut peak = (0usize, f64::NEG_INFINITY);
+        for &k in &ks {
+            let r = Method::Ssfnm.evaluate_augmented(
+                &prep.split,
+                &prep.extra_train,
+                &MethodOptions {
+                    k,
+                    ..method_opts
+                },
+            );
+            if r.auc > peak.1 {
+                peak = (k, r.auc);
+            }
+            print!(" | {:>6.3} {:>6.3}", r.auc, r.f1);
+        }
+        println!("   (peak AUC at K={})", peak.0);
+    }
+    println!();
+    println!("Expected shape (paper): most peaks at K ≤ 15.");
+}

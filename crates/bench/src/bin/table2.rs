@@ -1,0 +1,55 @@
+//! Table II reproduction: statistics of the seven datasets.
+//!
+//! Prints the generated (or loaded) networks' statistics next to the
+//! paper's published numbers.
+//!
+//! Run: `cargo run -p ssf-bench --release --bin table2 [--fast] [--data-dir data]`
+
+use datasets::io::{load_or_generate, Provenance};
+use dyngraph::{metrics, stats::NetworkStats};
+use ssf_bench::HarnessOptions;
+
+fn main() {
+    let opts = HarnessOptions::parse(std::env::args().skip(1));
+    println!("Table II reproduction — dataset statistics (ours vs paper)");
+    println!();
+    println!(
+        "{:<10} {:>7} {:>7} | {:>8} {:>8} | {:>10} {:>10} | {:>6} {:>6} | {:>6} {:>5}  source",
+        "Dataset", "|V|", "paper", "|E|", "paper", "avg.deg", "paper", "span", "paper", "clust", "gini"
+    );
+    println!("{}", "-".repeat(114));
+    for spec in opts.selected_specs() {
+        let (g, prov) = load_or_generate(&spec, &opts.data_dir, opts.seed)
+            .expect("dataset file exists but is malformed");
+        let s = NetworkStats::of(&g);
+        let source = match prov {
+            Provenance::File(p) => format!("file {}", p.display()),
+            Provenance::Generated { seed } => format!("generated (seed {seed})"),
+        };
+        // Paper numbers come from the unscaled spec.
+        let paper = datasets::DatasetSpec::paper_datasets()
+            .into_iter()
+            .find(|p| p.name == spec.name)
+            .expect("spec names match");
+        let stat = g.to_static();
+        println!(
+            "{:<10} {:>7} {:>7} | {:>8} {:>8} | {:>10.2} {:>10.2} | {:>6} {:>6} | {:>6.3} {:>5.2}  {}",
+            spec.name,
+            s.nodes,
+            paper.nodes,
+            s.links,
+            paper.target_links,
+            s.avg_degree,
+            paper.expected_avg_degree(),
+            s.time_span,
+            paper.time_span,
+            metrics::global_clustering(&stat),
+            metrics::degree_gini(&stat),
+            source,
+        );
+    }
+    if opts.fast {
+        println!();
+        println!("(--fast: node/link targets scaled to 15%; span preserved)");
+    }
+}

@@ -1,0 +1,492 @@
+//! Synthetic temporal-network generators.
+//!
+//! Every generator emits exactly `spec.target_links` timestamped events
+//! whose timestamps sweep `[1, spec.time_span]` in order — the same
+//! "links emerge as a stream" model the paper formalizes in §III. A growth
+//! phase first attaches every node to the evolving network (so `|V|` is hit
+//! exactly and the graph is connected), then an activity phase draws the
+//! remaining events from the topology class:
+//!
+//! * repetition — with probability `repeat` an event re-draws a random
+//!   *past event's* pair, i.e. a Pólya urn over pairs: pairs with many
+//!   links attract more (the multi-link reinforcement that rWRA and the
+//!   normalized influence are designed to exploit);
+//! * otherwise a fresh interaction is drawn per topology (preferential
+//!   attachment for hub networks, intra-community pairs for co-authorship,
+//!   uniform mixing for contact traces).
+//!
+//! Both the urn and the preferential-attachment bag are *recency-drifted*
+//! ([`RECENCY_BIAS`]): half the draws come from the most recent slice of
+//! events. Real reply/contact traces have exactly this temporal locality —
+//! threads die, celebrities rise and fall — and it is the property that
+//! makes time-aware features (the paper's premise) informative: without
+//! drift, all-time link counts would dominate any recency weighting.
+
+use dyngraph::{DynamicNetwork, NodeId, Timestamp};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::spec::{DatasetSpec, Topology};
+
+/// Probability that an urn/bag draw is restricted to the most recent
+/// [`RECENT_SLICE`] fraction of events (temporal drift).
+pub const RECENCY_BIAS: f64 = 0.5;
+
+/// The fraction of most recent events that recency-biased draws use.
+pub const RECENT_SLICE: f64 = 0.1;
+
+/// Generates a dynamic network for `spec`, deterministically from `seed`.
+///
+/// # Panics
+///
+/// Panics if the spec has fewer than 2 nodes or fewer links than nodes − 1
+/// (the growth phase needs one event per new node).
+pub fn generate(spec: &DatasetSpec, seed: u64) -> DynamicNetwork {
+    assert!(spec.nodes >= 2, "need at least two nodes");
+    assert!(
+        spec.target_links >= spec.nodes - 1,
+        "need at least |V|-1 links to cover every node"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut state = GenState::new(spec, &mut rng);
+
+    let m = spec.target_links;
+    let mut g = DynamicNetwork::with_node_capacity(spec.nodes);
+    for event in 0..m {
+        let t = timestamp_of(event, m, spec.time_span);
+        let (u, v) = if event == 0 {
+            (0, 1)
+        } else if event < spec.nodes - 1 {
+            state.growth_pair(event as NodeId + 1, &mut rng)
+        } else {
+            state.activity_pair(&mut rng)
+        };
+        state.record(u, v);
+        g.add_link(u, v, t);
+    }
+    g
+}
+
+/// Timestamp of the `event`-th of `m` events over `[1, span]`: ticks are
+/// filled evenly in event order, the last event always lands on `span`.
+fn timestamp_of(event: usize, m: usize, span: u32) -> Timestamp {
+    ((((event as u64) + 1) * span as u64) / m as u64).max(1) as Timestamp
+}
+
+/// Mutable generator state: the endpoint bag (degree-proportional
+/// sampling), the event-pair log (Pólya repetition) and community labels.
+struct GenState {
+    topology: Topology,
+    nodes: usize,
+    /// Every event appends both endpoints: sampling uniformly from the bag
+    /// is sampling nodes proportionally to multigraph degree.
+    endpoint_bag: Vec<NodeId>,
+    /// Every event's pair: uniform sampling = multiplicity-proportional
+    /// pair repetition.
+    pair_log: Vec<(NodeId, NodeId)>,
+    /// Community id per node (Community topology only).
+    community_of: Vec<usize>,
+    /// Members per community.
+    members: Vec<Vec<NodeId>>,
+    /// Multigraph degree per node (tournament tiebreak for `hub_bias > 1`).
+    degree: Vec<u32>,
+    /// Per-node incident-neighbor log (duplicates kept, so a uniform draw
+    /// is a degree-weighted neighbor sample) — drives triadic closure.
+    nbrs: Vec<Vec<NodeId>>,
+}
+
+impl GenState {
+    fn new(spec: &DatasetSpec, rng: &mut StdRng) -> Self {
+        let group_count = match spec.topology {
+            Topology::Community { communities, .. } => Some(communities),
+            Topology::RepeatedContact { groups, .. } => Some(groups),
+            Topology::HubDominated { .. } => None,
+        };
+        let (community_of, members) = match group_count {
+            Some(communities) => {
+                let mut of = Vec::with_capacity(spec.nodes);
+                let mut members = vec![Vec::new(); communities];
+                for node in 0..spec.nodes {
+                    let c = rng.gen_range(0..communities);
+                    of.push(c);
+                    members[c].push(node as NodeId);
+                }
+                // No community may be empty (re-home from the largest).
+                for c in 0..communities {
+                    if members[c].is_empty() {
+                        let donor = (0..communities)
+                            .max_by_key(|&d| members[d].len())
+                            .expect("communities exist");
+                        let node = members[donor].pop().expect("non-empty donor");
+                        of[node as usize] = c;
+                        members[c].push(node);
+                    }
+                }
+                (of, members)
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+        GenState {
+            topology: spec.topology,
+            nodes: spec.nodes,
+            endpoint_bag: Vec::with_capacity(spec.target_links * 2),
+            pair_log: Vec::with_capacity(spec.target_links),
+            community_of,
+            members,
+            degree: vec![0; spec.nodes],
+            nbrs: vec![Vec::new(); spec.nodes],
+        }
+    }
+
+    fn record(&mut self, u: NodeId, v: NodeId) {
+        self.endpoint_bag.push(u);
+        self.endpoint_bag.push(v);
+        self.pair_log.push((u, v));
+        self.degree[u as usize] += 1;
+        self.degree[v as usize] += 1;
+        self.nbrs[u as usize].push(v);
+        self.nbrs[v as usize].push(u);
+    }
+
+    /// Growth phase: attach `newcomer` to the existing network.
+    fn growth_pair(&mut self, newcomer: NodeId, rng: &mut StdRng) -> (NodeId, NodeId) {
+        let anchor = match self.topology {
+            Topology::HubDominated { hub_bias, .. } => {
+                self.degree_biased_below(newcomer, hub_bias, rng)
+            }
+            Topology::Community { .. } | Topology::RepeatedContact { .. } => {
+                // Prefer an already-attached member of the same group.
+                let c = self.community_of[newcomer as usize];
+                let candidates: Vec<NodeId> = self.members[c]
+                    .iter()
+                    .copied()
+                    .filter(|&n| n < newcomer)
+                    .collect();
+                if candidates.is_empty() {
+                    rng.gen_range(0..newcomer)
+                } else {
+                    candidates[rng.gen_range(0..candidates.len())]
+                }
+            }
+        };
+        (anchor, newcomer)
+    }
+
+    /// Activity phase: repetition or a fresh topology-specific pair.
+    fn activity_pair(&mut self, rng: &mut StdRng) -> (NodeId, NodeId) {
+        let drift = match self.topology {
+            Topology::Community { drift, .. } => drift,
+            Topology::RepeatedContact { drift, .. } => drift,
+            Topology::HubDominated { .. } => 0.0,
+        };
+        if drift > 0.0 && rng.gen_bool(drift) {
+            self.migrate_random_node(rng);
+        }
+        let repeat = match self.topology {
+            Topology::RepeatedContact { repeat, .. } => repeat,
+            Topology::HubDominated { repeat, .. } => repeat,
+            Topology::Community { repeat, .. } => repeat,
+        };
+        if rng.gen_bool(repeat) {
+            // Recency-drifted Pólya urn over past events.
+            return self.pair_log[self.drifted_index(self.pair_log.len(), rng)];
+        }
+        match self.topology {
+            Topology::RepeatedContact { intra, .. } => {
+                if rng.gen_bool(intra) {
+                    self.intra_group_pair(rng)
+                } else {
+                    self.uniform_pair(rng)
+                }
+            }
+            Topology::HubDominated { hub_bias, local, .. } => {
+                let hub = self.degree_biased(hub_bias, rng);
+                if rng.gen_bool(local) {
+                    if let Some(v) = self.two_hop_neighbor(hub, rng) {
+                        return (hub, v);
+                    }
+                }
+                let mut other = rng.gen_range(0..self.nodes as NodeId);
+                while other == hub {
+                    other = rng.gen_range(0..self.nodes as NodeId);
+                }
+                (hub, other)
+            }
+            Topology::Community { intra, .. } => {
+                if rng.gen_bool(intra) {
+                    self.intra_group_pair(rng)
+                } else {
+                    self.uniform_pair(rng)
+                }
+            }
+        }
+    }
+
+    /// A uniform pair inside one (size-weighted) group; falls back to a
+    /// uniform global pair for degenerate groups.
+    fn intra_group_pair(&self, rng: &mut StdRng) -> (NodeId, NodeId) {
+        for _ in 0..16 {
+            let c = self.community_of[rng.gen_range(0..self.nodes)];
+            let members = &self.members[c];
+            if members.len() >= 2 {
+                let a = members[rng.gen_range(0..members.len())];
+                let b = members[rng.gen_range(0..members.len())];
+                if a != b {
+                    return (a, b);
+                }
+            } else {
+                break;
+            }
+        }
+        self.uniform_pair(rng)
+    }
+
+    /// Triadic closure: a random neighbor-of-neighbor of `hub` that is not
+    /// `hub` itself. `None` when the local neighborhood is too thin.
+    fn two_hop_neighbor(&self, hub: NodeId, rng: &mut StdRng) -> Option<NodeId> {
+        let n1 = &self.nbrs[hub as usize];
+        if n1.is_empty() {
+            return None;
+        }
+        for _ in 0..8 {
+            let w = n1[rng.gen_range(0..n1.len())];
+            let n2 = &self.nbrs[w as usize];
+            if n2.is_empty() {
+                continue;
+            }
+            let v = n2[rng.gen_range(0..n2.len())];
+            if v != hub {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Community drift: move one random node into a different community.
+    fn migrate_random_node(&mut self, rng: &mut StdRng) {
+        let n_comms = self.members.len();
+        if n_comms < 2 {
+            return;
+        }
+        let node = rng.gen_range(0..self.nodes) as NodeId;
+        let old = self.community_of[node as usize];
+        // Never empty a community.
+        if self.members[old].len() <= 1 {
+            return;
+        }
+        let mut new = rng.gen_range(0..n_comms);
+        while new == old {
+            new = rng.gen_range(0..n_comms);
+        }
+        self.members[old].retain(|&m| m != node);
+        self.members[new].push(node);
+        self.community_of[node as usize] = new;
+    }
+
+    fn uniform_pair(&self, rng: &mut StdRng) -> (NodeId, NodeId) {
+        let a = rng.gen_range(0..self.nodes as NodeId);
+        let mut b = rng.gen_range(0..self.nodes as NodeId);
+        while b == a {
+            b = rng.gen_range(0..self.nodes as NodeId);
+        }
+        (a, b)
+    }
+
+    /// Degree-proportional node pick, sharpened by `bias`: a tournament of
+    /// degree-proportional bag draws keeping the highest-degree candidate.
+    /// One draw (`bias = 1`) is classic preferential attachment; the
+    /// fractional part of `bias` adds an extra draw with that probability,
+    /// interpolating the sharpening smoothly.
+    fn degree_biased(&self, bias: f64, rng: &mut StdRng) -> NodeId {
+        let draws = bias.floor().max(1.0) as usize
+            + usize::from(
+                bias.fract() > 0.0 && rng.gen_bool(bias.fract().min(1.0)),
+            );
+        (0..draws)
+            .map(|_| {
+                self.endpoint_bag[self.drifted_index(self.endpoint_bag.len(), rng)]
+            })
+            .max_by_key(|&n| self.degree[n as usize])
+            .expect("at least one draw")
+    }
+
+    /// Index into a chronologically ordered log: with [`RECENCY_BIAS`]
+    /// probability restricted to the last [`RECENT_SLICE`] of entries.
+    fn drifted_index(&self, len: usize, rng: &mut StdRng) -> usize {
+        debug_assert!(len > 0);
+        if rng.gen_bool(RECENCY_BIAS) {
+            let slice = ((len as f64 * RECENT_SLICE) as usize).max(1);
+            len - 1 - rng.gen_range(0..slice)
+        } else {
+            rng.gen_range(0..len)
+        }
+    }
+
+    /// Same, restricted to nodes `< limit` (growth phase).
+    fn degree_biased_below(
+        &self,
+        limit: NodeId,
+        bias: f64,
+        rng: &mut StdRng,
+    ) -> NodeId {
+        for _ in 0..64 {
+            let n = self.degree_biased(bias, rng);
+            if n < limit {
+                return n;
+            }
+        }
+        rng.gen_range(0..limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyngraph::stats::NetworkStats;
+
+    fn small_hub() -> DatasetSpec {
+        DatasetSpec::facebook().scaled(0.05)
+    }
+
+    #[test]
+    fn hits_exact_link_count_and_span() {
+        let spec = small_hub();
+        let g = generate(&spec, 1);
+        assert_eq!(g.link_count(), spec.target_links);
+        assert_eq!(g.min_timestamp(), Some(1));
+        assert_eq!(g.max_timestamp(), Some(spec.time_span));
+    }
+
+    #[test]
+    fn covers_every_node() {
+        let spec = small_hub();
+        let g = generate(&spec, 2);
+        let stats = NetworkStats::of(&g);
+        assert_eq!(stats.nodes, spec.nodes);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = DatasetSpec::coauthor().scaled(0.1);
+        assert_eq!(generate(&spec, 7), generate(&spec, 7));
+        assert_ne!(generate(&spec, 7), generate(&spec, 8));
+    }
+
+    #[test]
+    fn timestamps_nondecreasing_in_event_order() {
+        let m = 100;
+        let mut last = 0;
+        for e in 0..m {
+            let t = timestamp_of(e, m, 20);
+            assert!(t >= last);
+            assert!((1..=20).contains(&t));
+            last = t;
+        }
+        assert_eq!(timestamp_of(m - 1, m, 20), 20);
+    }
+
+    #[test]
+    fn hub_networks_have_skewed_degrees() {
+        let spec = DatasetSpec {
+            name: "hub-test",
+            nodes: 150,
+            target_links: 1500,
+            time_span: 50,
+            topology: Topology::HubDominated {
+                repeat: 0.2,
+                hub_bias: 1.2,
+                local: 0.5,
+            },
+        };
+        let g = generate(&spec, 3);
+        let degrees: Vec<usize> =
+            (0..g.node_count()).map(|u| g.multi_degree(u as NodeId)).collect();
+        let max = *degrees.iter().max().unwrap() as f64;
+        let avg = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
+        assert!(
+            max > 3.0 * avg,
+            "expected hub skew, max {max} vs avg {avg}"
+        );
+    }
+
+    #[test]
+    fn repeated_contact_has_heavy_multilinks() {
+        let spec = DatasetSpec {
+            name: "contact-test",
+            nodes: 50,
+            target_links: 3000,
+            time_span: 48,
+            topology: Topology::RepeatedContact {
+                repeat: 0.8,
+                groups: 5,
+                intra: 0.8,
+                drift: 0.0,
+            },
+        };
+        let g = generate(&spec, 4);
+        let distinct = g.to_static().edge_count();
+        let ratio = g.link_count() as f64 / distinct as f64;
+        assert!(ratio > 2.0, "expected multi-link reinforcement, ratio {ratio}");
+    }
+
+    #[test]
+    fn community_links_mostly_intra() {
+        let spec = DatasetSpec {
+            name: "community-test",
+            nodes: 120,
+            target_links: 1200,
+            time_span: 20,
+            topology: Topology::Community {
+                communities: 10,
+                intra: 0.9,
+                repeat: 0.2,
+                drift: 0.0,
+            },
+        };
+        // Regenerate the community labels the generator used (same seed,
+        // same draw order).
+        let mut rng = StdRng::seed_from_u64(5);
+        let state = GenState::new(&spec, &mut rng);
+        let labels = state.community_of.clone();
+        let g = generate(&spec, 5);
+        let (mut intra, mut total) = (0usize, 0usize);
+        for link in g.links() {
+            total += 1;
+            if labels[link.u as usize] == labels[link.v as usize] {
+                intra += 1;
+            }
+        }
+        assert!(
+            intra as f64 / total as f64 > 0.6,
+            "expected intra-community dominance: {intra}/{total}"
+        );
+    }
+
+    #[test]
+    fn paper_scale_generation_is_fast_enough() {
+        // Generate the largest dataset at full scale to guard complexity.
+        let g = generate(&DatasetSpec::eu_email(), 11);
+        assert_eq!(g.link_count(), 61_046);
+        let stats = NetworkStats::of(&g);
+        assert_eq!(stats.nodes, 309);
+        assert!((stats.avg_degree - 395.12).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn too_few_links_rejected() {
+        let spec = DatasetSpec {
+            name: "bad",
+            nodes: 100,
+            target_links: 10,
+            time_span: 5,
+            topology: Topology::RepeatedContact {
+                repeat: 0.5,
+                groups: 3,
+                intra: 0.8,
+                drift: 0.0,
+            },
+        };
+        let _ = generate(&spec, 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Loading real traces when available, generating otherwise.
+//!
+//! The paper's seven datasets are public KONECT downloads. Drop their edge
+//! lists into a data directory as `<name>.txt` (lowercased spec name,
+//! whitespace `u v t` lines) and the harness will evaluate on the real
+//! traces; otherwise it falls back to the matched synthetic generator.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+
+use dyngraph::{io::read_edge_list, DynamicNetwork, GraphError};
+
+use crate::generators::generate;
+use crate::spec::DatasetSpec;
+
+/// Where a loaded network came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Provenance {
+    /// Parsed from this real edge-list file.
+    File(PathBuf),
+    /// Generated synthetically with this seed.
+    Generated {
+        /// The generator seed used.
+        seed: u64,
+    },
+}
+
+/// The expected on-disk file name for a spec: lowercased name + `.txt`
+/// (e.g. `eu-email.txt`).
+pub fn file_name(spec: &DatasetSpec) -> String {
+    format!("{}.txt", spec.name.to_lowercase())
+}
+
+/// Loads `<data_dir>/<name>.txt` if present, else generates synthetically.
+///
+/// # Errors
+///
+/// Returns [`GraphError`] only when a file exists but cannot be parsed
+/// (a malformed real dataset should not silently degrade to synthetic).
+pub fn load_or_generate(
+    spec: &DatasetSpec,
+    data_dir: &Path,
+    seed: u64,
+) -> Result<(DynamicNetwork, Provenance), GraphError> {
+    let path = data_dir.join(file_name(spec));
+    if path.is_file() {
+        let file = File::open(&path).map_err(|e| GraphError::Parse {
+            line: 0,
+            reason: format!("cannot open {}: {e}", path.display()),
+        })?;
+        let g = read_edge_list(BufReader::new(file))?;
+        Ok((g, Provenance::File(path)))
+    } else {
+        Ok((generate(spec, seed), Provenance::Generated { seed }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn file_names_lowercased() {
+        assert_eq!(file_name(&DatasetSpec::eu_email()), "eu-email.txt");
+        assert_eq!(file_name(&DatasetSpec::digg()), "digg.txt");
+    }
+
+    #[test]
+    fn falls_back_to_generation() {
+        let spec = DatasetSpec::coauthor().scaled(0.05);
+        let dir = std::env::temp_dir().join("ssf-no-such-dir");
+        let (g, prov) = load_or_generate(&spec, &dir, 9).unwrap();
+        assert_eq!(prov, Provenance::Generated { seed: 9 });
+        assert_eq!(g.link_count(), spec.target_links);
+    }
+
+    #[test]
+    fn prefers_real_file() {
+        let dir = std::env::temp_dir().join("ssf-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = DatasetSpec::digg().scaled(0.05);
+        let path = dir.join(file_name(&spec));
+        let mut f = File::create(&path).unwrap();
+        writeln!(f, "0 1 1\n1 2 2").unwrap();
+        drop(f);
+        let (g, prov) = load_or_generate(&spec, &dir, 1).unwrap();
+        assert_eq!(prov, Provenance::File(path.clone()));
+        assert_eq!(g.link_count(), 2);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn malformed_file_errors_instead_of_degrading() {
+        let dir = std::env::temp_dir().join("ssf-io-test-bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = DatasetSpec::contact().scaled(0.05);
+        let path = dir.join(file_name(&spec));
+        std::fs::write(&path, "not an edge list\n").unwrap();
+        let err = load_or_generate(&spec, &dir, 1).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { .. }));
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the synthetic dataset generators.
+
+use proptest::prelude::*;
+
+use datasets::{generate, DatasetSpec, Topology};
+use dyngraph::stats::NetworkStats;
+
+fn arbitrary_spec() -> impl Strategy<Value = DatasetSpec> {
+    let topology = prop_oneof![
+        (0.3..0.9f64, 2..8usize, 0.5..0.95f64).prop_map(
+            |(repeat, groups, intra)| Topology::RepeatedContact {
+                repeat,
+                groups,
+                intra,
+                drift: 0.005,
+            }
+        ),
+        (0.05..0.5f64, 1.0..1.5f64, 0.2..0.8f64).prop_map(
+            |(repeat, hub_bias, local)| Topology::HubDominated {
+                repeat,
+                hub_bias,
+                local,
+            }
+        ),
+        (3..10usize, 0.6..0.95f64, 0.1..0.5f64).prop_map(
+            |(communities, intra, repeat)| Topology::Community {
+                communities,
+                intra,
+                repeat,
+                drift: 0.02,
+            }
+        ),
+    ];
+    (30..120usize, 2..8usize, 5..60u32, topology).prop_map(
+        |(nodes, density, span, topology)| DatasetSpec {
+            name: "prop",
+            nodes,
+            target_links: nodes * density,
+            time_span: span,
+            topology,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The generator hits |V|, |E| and the time span exactly, for every
+    /// topology class and any sane parameters.
+    #[test]
+    fn generator_meets_spec(spec in arbitrary_spec(), seed in 0..1000u64) {
+        let g = generate(&spec, seed);
+        let s = NetworkStats::of(&g);
+        prop_assert_eq!(s.nodes, spec.nodes, "all nodes active");
+        prop_assert_eq!(s.links, spec.target_links);
+        prop_assert_eq!(g.min_timestamp(), Some(1));
+        prop_assert_eq!(g.max_timestamp(), Some(spec.time_span));
+    }
+
+    /// No self-loops ever; timestamps are non-decreasing when links are
+    /// replayed in generation order cannot be observed from the graph, but
+    /// per-tick counts are balanced within a factor.
+    #[test]
+    fn generator_structural_sanity(spec in arbitrary_spec(), seed in 0..1000u64) {
+        let g = generate(&spec, seed);
+        for link in g.links() {
+            prop_assert_ne!(link.u, link.v);
+            prop_assert!((1..=spec.time_span).contains(&link.t));
+        }
+        // The event stream fills ticks evenly: no tick holds more than a
+        // generous multiple of the average.
+        let mut per_tick = vec![0usize; spec.time_span as usize + 1];
+        for link in g.links() {
+            per_tick[link.t as usize] += 1;
+        }
+        let avg = spec.target_links as f64 / spec.time_span as f64;
+        for &count in per_tick.iter().skip(1) {
+            prop_assert!((count as f64) <= (avg + 1.0) * 3.0 + 2.0);
+        }
+    }
+
+    /// Determinism: same spec and seed → identical network.
+    #[test]
+    fn generator_deterministic(spec in arbitrary_spec(), seed in 0..100u64) {
+        prop_assert_eq!(generate(&spec, seed), generate(&spec, seed));
+    }
+
+    /// The generated graph is connected (the growth phase attaches every
+    /// node to the evolving component).
+    #[test]
+    fn generator_connected(spec in arbitrary_spec(), seed in 0..100u64) {
+        let g = generate(&spec, seed);
+        let comps =
+            dyngraph::metrics::connected_components(&g.to_static());
+        prop_assert_eq!(comps.len(), 1, "growth phase keeps one component");
+    }
+}

@@ -1,0 +1,71 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction and parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A link's two endpoints are the same node; the paper's networks carry
+    /// no self-loops and several algorithms (structure combination,
+    /// Palette-WL) assume their absence.
+    SelfLoop {
+        /// The offending node.
+        node: u32,
+    },
+    /// An edge-list line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A period slice was requested with `t_p >= t_q`.
+    EmptyPeriod {
+        /// Inclusive start of the requested period.
+        start: u32,
+        /// Exclusive end of the requested period.
+        end: u32,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} is not allowed")
+            }
+            GraphError::Parse { line, reason } => {
+                write!(f, "parse error on line {line}: {reason}")
+            }
+            GraphError::EmptyPeriod { start, end } => {
+                write!(f, "empty period [{start}, {end})")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = GraphError::SelfLoop { node: 3 };
+        assert_eq!(e.to_string(), "self-loop on node 3 is not allowed");
+        let e = GraphError::Parse {
+            line: 7,
+            reason: "expected 3 fields".to_string(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        let e = GraphError::EmptyPeriod { start: 5, end: 5 };
+        assert!(e.to_string().contains("[5, 5)"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

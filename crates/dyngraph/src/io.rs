@@ -1,0 +1,134 @@
+//! Edge-list text I/O.
+//!
+//! The format is the KONECT-style whitespace-separated `u v t` triple per
+//! line (`%`- or `#`-prefixed comment lines are skipped), which is how the
+//! paper's seven public datasets are distributed. A missing third column is
+//! treated as timestamp 0 (a static network).
+
+use std::io::{BufRead, Write};
+
+use crate::{DynamicNetwork, GraphError, NodeId, Timestamp};
+
+/// Parses an edge list from a reader.
+///
+/// Each non-comment line is `u v [t]`; node ids and timestamps must fit in
+/// `u32`. Pass `&mut reader` if the reader is needed afterwards.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed lines or I/O failure, and
+/// [`GraphError::SelfLoop`] if a line has `u == v`.
+///
+/// # Example
+///
+/// ```rust
+/// # fn main() -> Result<(), dyngraph::GraphError> {
+/// let text = "% comment\n0 1 3\n1 2 4\n";
+/// let g = dyngraph::io::read_edge_list(text.as_bytes())?;
+/// assert_eq!(g.link_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<DynamicNetwork, GraphError> {
+    let mut g = DynamicNetwork::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| GraphError::Parse {
+            line: lineno,
+            reason: format!("i/o error: {e}"),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let u = parse_field(fields.next(), lineno, "source node")?;
+        let v = parse_field(fields.next(), lineno, "target node")?;
+        let t: Timestamp = match fields.next() {
+            Some(s) => s.parse().map_err(|_| GraphError::Parse {
+                line: lineno,
+                reason: format!("invalid timestamp {s:?}"),
+            })?,
+            None => 0,
+        };
+        g.try_add_link(u, v, t)?;
+    }
+    Ok(g)
+}
+
+fn parse_field(
+    field: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<NodeId, GraphError> {
+    let s = field.ok_or_else(|| GraphError::Parse {
+        line,
+        reason: format!("missing {what}"),
+    })?;
+    s.parse().map_err(|_| GraphError::Parse {
+        line,
+        reason: format!("invalid {what} {s:?}"),
+    })
+}
+
+/// Writes a network as `u v t` lines (one per timestamped link, `u <= v`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_edge_list<W: Write>(
+    g: &DynamicNetwork,
+    mut writer: W,
+) -> std::io::Result<()> {
+    for link in g.links() {
+        writeln!(writer, "{} {} {}", link.u, link.v, link.t)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_and_defaults() {
+        let text = "# header\n% konect\n\n0 1\n2 3 9\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.link_count(), 2);
+        assert_eq!(g.timestamps_between(0, 1), vec![0]);
+        assert_eq!(g.timestamps_between(2, 3), vec![9]);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let text = "0 1 1\nnot a line\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            GraphError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_missing_target() {
+        let err = read_edge_list("5\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("target node"));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let err = read_edge_list("4 4 1\n".as_bytes()).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: 4 });
+    }
+
+    #[test]
+    fn round_trip() {
+        let g: DynamicNetwork =
+            [(0, 1, 1), (1, 2, 2), (0, 1, 5)].into_iter().collect();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g2.link_count(), g.link_count());
+        assert_eq!(g2.timestamps_between(0, 1), vec![1, 5]);
+    }
+}

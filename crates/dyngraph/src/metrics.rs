@@ -1,0 +1,178 @@
+//! Structural graph metrics beyond Table II: clustering, components,
+//! degree distribution. Used to validate that the synthetic dataset
+//! substitutes carry the topology class they claim (hub skew, community
+//! clustering) and generally useful for network analysis.
+
+use crate::{traversal, NodeId, StaticGraph};
+
+/// Global clustering coefficient (transitivity):
+/// `3 × triangles / connected triples`.
+///
+/// Returns 0.0 for graphs without any connected triple.
+pub fn global_clustering(g: &StaticGraph) -> f64 {
+    let mut triangles = 0u64;
+    let mut triples = 0u64;
+    for u in 0..g.node_count() as NodeId {
+        let d = g.degree(u) as u64;
+        triples += d.saturating_sub(1) * d / 2;
+        let nbrs = g.neighbors(u);
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                if g.has_edge(a, b) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if triples == 0 {
+        0.0
+    } else {
+        // Each triangle is counted once per corner = 3 times.
+        triangles as f64 / triples as f64
+    }
+}
+
+/// Local clustering coefficient of one node: fraction of neighbor pairs
+/// that are themselves connected. 0.0 for degree < 2.
+pub fn local_clustering(g: &StaticGraph, u: NodeId) -> f64 {
+    let nbrs = g.neighbors(u);
+    let d = nbrs.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if g.has_edge(a, b) {
+                closed += 1;
+            }
+        }
+    }
+    closed as f64 / (d * (d - 1) / 2) as f64
+}
+
+/// Connected components as sorted node lists, largest first.
+pub fn connected_components(g: &StaticGraph) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut components = Vec::new();
+    for start in 0..n as NodeId {
+        if seen[start as usize] {
+            continue;
+        }
+        let comp = traversal::component(g, start);
+        for &v in &comp {
+            seen[v as usize] = true;
+        }
+        components.push(comp);
+    }
+    components.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    components
+}
+
+/// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &StaticGraph) -> Vec<usize> {
+    let max_d = (0..g.node_count() as NodeId)
+        .map(|u| g.degree(u))
+        .max()
+        .unwrap_or(0);
+    let mut hist = vec![0usize; max_d + 1];
+    for u in 0..g.node_count() as NodeId {
+        hist[g.degree(u)] += 1;
+    }
+    hist
+}
+
+/// Gini coefficient of the degree distribution — a scalar measure of hub
+/// skew (0 = perfectly even, → 1 = a few hubs hold everything).
+pub fn degree_gini(g: &StaticGraph) -> f64 {
+    let mut degrees: Vec<f64> =
+        (0..g.node_count() as NodeId).map(|u| g.degree(u) as f64).collect();
+    if degrees.is_empty() {
+        return 0.0;
+    }
+    degrees.sort_by(|a, b| a.partial_cmp(b).expect("finite degrees"));
+    let n = degrees.len() as f64;
+    let total: f64 = degrees.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let weighted: f64 = degrees
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| (i as f64 + 1.0) * d)
+        .sum();
+    (2.0 * weighted) / (n * total) - (n + 1.0) / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> StaticGraph {
+        StaticGraph::from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+    }
+
+    #[test]
+    fn clustering_of_triangle_is_one() {
+        let g = StaticGraph::from_edges([(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(global_clustering(&g), 1.0);
+        assert_eq!(local_clustering(&g, 0), 1.0);
+    }
+
+    #[test]
+    fn clustering_of_star_is_zero() {
+        let g = StaticGraph::from_edges([(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(global_clustering(&g), 0.0);
+        assert_eq!(local_clustering(&g, 0), 0.0);
+        assert_eq!(local_clustering(&g, 1), 0.0); // degree 1
+    }
+
+    #[test]
+    fn clustering_mixed() {
+        let g = triangle_plus_pendant();
+        // triples: deg(0)=2→1, deg(1)=2→1, deg(2)=3→3, deg(3)=1→0 ⇒ 5
+        // triangles counted per corner: 3
+        assert!((global_clustering(&g) - 3.0 / 5.0).abs() < 1e-12);
+        assert!((local_clustering(&g, 2) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn components_found_and_sorted() {
+        let g = StaticGraph::from_edges([(0, 1), (1, 2), (4, 5)]);
+        let comps = connected_components(&g);
+        // node 3 is an isolated id (created by edge (4,5) growing the set).
+        assert_eq!(comps[0], vec![0, 1, 2]);
+        assert_eq!(comps[1], vec![4, 5]);
+        assert_eq!(comps[2], vec![3]);
+    }
+
+    #[test]
+    fn histogram_counts_degrees() {
+        let g = triangle_plus_pendant();
+        let h = degree_histogram(&g);
+        assert_eq!(h, vec![0, 1, 2, 1]); // one deg-1, two deg-2, one deg-3
+    }
+
+    #[test]
+    fn gini_zero_for_regular_graph() {
+        let g = StaticGraph::from_edges([(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(degree_gini(&g).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_positive_for_star() {
+        let edges: Vec<(u32, u32)> = (1..20).map(|i| (0, i)).collect();
+        let star = StaticGraph::from_edges(edges);
+        assert!(degree_gini(&star) > 0.4);
+    }
+
+    #[test]
+    fn empty_graph_metrics() {
+        let g = StaticGraph::from_edges(std::iter::empty());
+        assert_eq!(global_clustering(&g), 0.0);
+        assert_eq!(degree_gini(&g), 0.0);
+        assert!(connected_components(&g).is_empty());
+        assert_eq!(degree_histogram(&g), vec![0usize; 1]);
+    }
+}

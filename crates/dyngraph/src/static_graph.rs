@@ -1,0 +1,226 @@
+use crate::{DynamicNetwork, NodeId};
+
+/// A simple undirected graph derived from a [`DynamicNetwork`] by collapsing
+/// multi-links, with the multi-link count of every edge kept as an integer
+/// weight.
+///
+/// This is the view the paper's *static* baselines (CN, Jaccard, PA, AA, RA,
+/// Katz, RW, NMF, WLF) operate on: "we ignore all the timestamps and multiple
+/// history links between nodes to construct the static version" (§VI-C2).
+/// rWRA additionally uses the multi-link counts as link weights.
+///
+/// # Example
+///
+/// ```rust
+/// use dyngraph::DynamicNetwork;
+///
+/// let g: DynamicNetwork =
+///     [(0, 1, 1), (0, 1, 4), (1, 2, 2)].into_iter().collect();
+/// let s = g.to_static();
+/// assert_eq!(s.edge_count(), 2);
+/// assert_eq!(s.weight(0, 1), 2); // two multi-links collapsed
+/// assert_eq!(s.neighbors(1), &[0, 2]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StaticGraph {
+    /// Sorted distinct neighbors per node.
+    adj: Vec<Vec<NodeId>>,
+    /// `weights[u][i]` = multi-link count towards `adj[u][i]`.
+    weights: Vec<Vec<u32>>,
+    edge_count: usize,
+}
+
+impl StaticGraph {
+    /// Builds the collapsed view of a dynamic network.
+    pub fn from_dynamic(g: &DynamicNetwork) -> Self {
+        let n = g.node_count();
+        let mut adj = vec![Vec::new(); n];
+        let mut weights = vec![Vec::new(); n];
+        let mut edge_count = 0;
+        for u in 0..n {
+            let mut incident: Vec<NodeId> = g
+                .incident_links(u as NodeId)
+                .iter()
+                .map(|&(v, _)| v)
+                .collect();
+            incident.sort_unstable();
+            let mut i = 0;
+            while i < incident.len() {
+                let v = incident[i];
+                let mut count = 0u32;
+                while i < incident.len() && incident[i] == v {
+                    count += 1;
+                    i += 1;
+                }
+                adj[u].push(v);
+                weights[u].push(count);
+                if (u as NodeId) < v {
+                    edge_count += 1;
+                }
+            }
+        }
+        StaticGraph {
+            adj,
+            weights,
+            edge_count,
+        }
+    }
+
+    /// Builds a simple graph directly from `(u, v)` pairs with unit weights.
+    ///
+    /// Duplicate pairs accumulate weight. Self-loops are skipped.
+    pub fn from_edges<I: IntoIterator<Item = (NodeId, NodeId)>>(
+        edges: I,
+    ) -> Self {
+        let mut g = DynamicNetwork::new();
+        for (u, v) in edges {
+            if u != v {
+                g.add_link(u, v, 0);
+            }
+        }
+        Self::from_dynamic(&g)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of distinct undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Sorted distinct neighbors of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.adj[u as usize]
+    }
+
+    /// Degree of `u` (distinct neighbors).
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u as usize].len()
+    }
+
+    /// `true` if the simple graph has edge `{u, v}`.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if (u as usize) >= self.adj.len() {
+            return false;
+        }
+        self.adj[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Multi-link count of edge `{u, v}`; 0 if the edge is absent.
+    pub fn weight(&self, u: NodeId, v: NodeId) -> u32 {
+        if (u as usize) >= self.adj.len() {
+            return 0;
+        }
+        match self.adj[u as usize].binary_search(&v) {
+            Ok(i) => self.weights[u as usize][i],
+            Err(_) => 0,
+        }
+    }
+
+    /// Sum of edge weights incident to `u` (the strength `S_u` of rWRA).
+    pub fn strength(&self, u: NodeId) -> u64 {
+        self.weights[u as usize].iter().map(|&w| w as u64).sum()
+    }
+
+    /// Sorted common neighbors of `u` and `v`.
+    pub fn common_neighbors(&self, u: NodeId, v: NodeId) -> Vec<NodeId> {
+        let (a, b) = (self.neighbors(u), self.neighbors(v));
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates distinct edges once as `(u, v, weight)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId, u32)> + '_ {
+        self.adj.iter().enumerate().flat_map(move |(u, nbrs)| {
+            nbrs.iter().enumerate().filter_map(move |(i, &v)| {
+                let u = u as NodeId;
+                (u < v).then(|| (u, v, self.weights[u as usize][i]))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StaticGraph {
+        // 0-1 (x2), 1-2, 2-3, 1-3
+        let g: DynamicNetwork =
+            [(0, 1, 1), (0, 1, 2), (1, 2, 3), (2, 3, 4), (1, 3, 5)]
+                .into_iter()
+                .collect();
+        g.to_static()
+    }
+
+    #[test]
+    fn collapse_counts_edges_once() {
+        let s = sample();
+        assert_eq!(s.node_count(), 4);
+        assert_eq!(s.edge_count(), 4);
+        assert_eq!(s.weight(0, 1), 2);
+        assert_eq!(s.weight(1, 0), 2);
+        assert_eq!(s.weight(1, 2), 1);
+        assert_eq!(s.weight(0, 3), 0);
+    }
+
+    #[test]
+    fn degrees_and_strengths() {
+        let s = sample();
+        assert_eq!(s.degree(1), 3);
+        assert_eq!(s.strength(1), 4); // 2 + 1 + 1
+        assert_eq!(s.strength(0), 2);
+    }
+
+    #[test]
+    fn common_neighbors_merge() {
+        let s = sample();
+        assert_eq!(s.common_neighbors(0, 2), vec![1]);
+        assert_eq!(s.common_neighbors(0, 3), vec![1]);
+        assert_eq!(s.common_neighbors(0, 1), Vec::<NodeId>::new());
+        assert_eq!(s.common_neighbors(2, 1), vec![3]);
+    }
+
+    #[test]
+    fn edges_iterated_once() {
+        let s = sample();
+        let e: Vec<_> = s.edges().collect();
+        assert_eq!(e.len(), 4);
+        assert!(e.contains(&(0, 1, 2)));
+        assert!(e.contains(&(1, 3, 1)));
+    }
+
+    #[test]
+    fn from_edges_accumulates() {
+        let s = StaticGraph::from_edges([(0, 1), (1, 0), (1, 2), (2, 2)]);
+        assert_eq!(s.edge_count(), 2);
+        assert_eq!(s.weight(0, 1), 2);
+        assert_eq!(s.weight(1, 2), 1);
+    }
+
+    #[test]
+    fn out_of_range_queries_are_false() {
+        let s = sample();
+        assert!(!s.has_edge(99, 0));
+        assert_eq!(s.weight(99, 0), 0);
+    }
+}

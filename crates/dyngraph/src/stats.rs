@@ -1,0 +1,108 @@
+//! Network statistics in the shape of the paper's Table II.
+
+use std::fmt;
+
+use crate::DynamicNetwork;
+
+/// Summary statistics of a dynamic network (Table II columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkStats {
+    /// Number of nodes that have at least one incident link.
+    pub nodes: usize,
+    /// Total number of timestamped links (multi-links counted).
+    pub links: usize,
+    /// Average multigraph degree `2|E| / |V|` over active nodes.
+    pub avg_degree: f64,
+    /// `max_timestamp - min_timestamp + 1`, i.e. the number of timestamp
+    /// ticks spanned ("Time Span" in Table II, in dataset-specific units).
+    pub time_span: u32,
+}
+
+impl NetworkStats {
+    /// Computes statistics for a network.
+    ///
+    /// Isolated node ids (created by `ensure_node` or period slicing) are
+    /// excluded from the node count, matching how dataset statistics are
+    /// conventionally reported.
+    ///
+    /// # Example
+    ///
+    /// ```rust
+    /// use dyngraph::{stats::NetworkStats, DynamicNetwork};
+    ///
+    /// let g: DynamicNetwork = [(0, 1, 1), (1, 2, 5)].into_iter().collect();
+    /// let s = NetworkStats::of(&g);
+    /// assert_eq!((s.nodes, s.links, s.time_span), (3, 2, 5));
+    /// ```
+    pub fn of(g: &DynamicNetwork) -> Self {
+        let active = (0..g.node_count())
+            .filter(|&u| g.multi_degree(u as u32) > 0)
+            .count();
+        let links = g.link_count();
+        let avg_degree = if active == 0 {
+            0.0
+        } else {
+            2.0 * links as f64 / active as f64
+        };
+        let time_span = match (g.min_timestamp(), g.max_timestamp()) {
+            (Some(lo), Some(hi)) => hi - lo + 1,
+            _ => 0,
+        };
+        NetworkStats {
+            nodes: active,
+            links,
+            avg_degree,
+            time_span,
+        }
+    }
+}
+
+impl fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} avg_deg={:.2} span={}",
+            self.nodes, self.links, self.avg_degree, self.time_span
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats() {
+        let s = NetworkStats::of(&DynamicNetwork::new());
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.links, 0);
+        assert_eq!(s.avg_degree, 0.0);
+        assert_eq!(s.time_span, 0);
+    }
+
+    #[test]
+    fn multigraph_degree_counted() {
+        let g: DynamicNetwork =
+            [(0, 1, 1), (0, 1, 2), (0, 1, 3)].into_iter().collect();
+        let s = NetworkStats::of(&g);
+        assert_eq!(s.nodes, 2);
+        assert_eq!(s.links, 3);
+        assert!((s.avg_degree - 3.0).abs() < 1e-12);
+        assert_eq!(s.time_span, 3);
+    }
+
+    #[test]
+    fn isolated_ids_excluded() {
+        let mut g: DynamicNetwork = [(0, 1, 1)].into_iter().collect();
+        g.ensure_node(10);
+        let s = NetworkStats::of(&g);
+        assert_eq!(s.nodes, 2);
+    }
+
+    #[test]
+    fn display_mentions_all_fields() {
+        let g: DynamicNetwork = [(0, 1, 2)].into_iter().collect();
+        let text = NetworkStats::of(&g).to_string();
+        assert!(text.contains("|V|=2") && text.contains("span=1"));
+    }
+}

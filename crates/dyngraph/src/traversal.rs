@@ -1,0 +1,214 @@
+//! Graph traversal: bounded BFS distance maps (used for h-hop subgraph
+//! extraction, Eq. (1) of the paper) and Dijkstra shortest paths (used for
+//! the reciprocal-distance entry encoding of §V-B).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{DynamicNetwork, NodeId, StaticGraph};
+
+/// Anything that can enumerate distinct neighbors of a node.
+///
+/// Implemented by both [`DynamicNetwork`] and [`StaticGraph`] so the BFS
+/// routines work on either representation without conversion.
+pub trait Adjacency {
+    /// Number of nodes (ids are dense `0..node_count()`).
+    fn node_count(&self) -> usize;
+
+    /// Calls `f` once per distinct neighbor of `u`.
+    fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId));
+}
+
+impl Adjacency for DynamicNetwork {
+    fn node_count(&self) -> usize {
+        DynamicNetwork::node_count(self)
+    }
+
+    fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
+        for &v in self.neighbors(u) {
+            f(v);
+        }
+    }
+}
+
+impl Adjacency for StaticGraph {
+    fn node_count(&self) -> usize {
+        StaticGraph::node_count(self)
+    }
+
+    fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
+        for &v in self.neighbors(u) {
+            f(v);
+        }
+    }
+}
+
+/// Multi-source BFS bounded at `max_depth`.
+///
+/// Returns every reachable `(node, distance)` with `distance <= max_depth`,
+/// where the distance is the minimum hop count to any source — exactly
+/// `d(n_i, e_t) = min(|P(n_i, n_a)|, |P(n_i, n_b)|)` (Eq. (1)) when the
+/// sources are the two endpoints of the target link. Sources themselves are
+/// reported with distance 0. The result is ordered by discovery (breadth
+/// first, sources first).
+///
+/// # Panics
+///
+/// Panics if any source id is out of range.
+pub fn bfs_bounded(
+    graph: &dyn Adjacency,
+    sources: &[NodeId],
+    max_depth: u32,
+) -> Vec<(NodeId, u32)> {
+    let n = graph.node_count();
+    let mut dist: Vec<u32> = vec![u32::MAX; n];
+    let mut order: Vec<(NodeId, u32)> = Vec::new();
+    let mut frontier: Vec<NodeId> = Vec::new();
+    for &s in sources {
+        assert!((s as usize) < n, "bfs source {s} out of range");
+        if dist[s as usize] == u32::MAX {
+            dist[s as usize] = 0;
+            order.push((s, 0));
+            frontier.push(s);
+        }
+    }
+    let mut depth = 0;
+    while !frontier.is_empty() && depth < max_depth {
+        depth += 1;
+        let mut next = Vec::new();
+        for &u in &frontier {
+            graph.for_each_neighbor(u, &mut |v| {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = depth;
+                    order.push((v, depth));
+                    next.push(v);
+                }
+            });
+        }
+        frontier = next;
+    }
+    order
+}
+
+/// Single-source Dijkstra over an explicit weighted adjacency list.
+///
+/// `adj[u]` lists `(v, w)` with `w >= 0`. Returns `dist[u]` for every node,
+/// `f64::INFINITY` where unreachable. Used on the tiny normalized K-structure
+/// subgraphs, where edge lengths are the reciprocal `1/l̃` of the normalized
+/// influence (footnote of §V-B).
+///
+/// # Panics
+///
+/// Panics if `source` is out of range or any weight is negative or NaN.
+pub fn dijkstra(adj: &[Vec<(usize, f64)>], source: usize) -> Vec<f64> {
+    assert!(source < adj.len(), "dijkstra source out of range");
+    let mut dist = vec![f64::INFINITY; adj.len()];
+    dist[source] = 0.0;
+    // BinaryHeap over ordered bit patterns of non-negative f64 keys.
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((dbits, u))) = heap.pop() {
+        let d = f64::from_bits(dbits);
+        if d > dist[u] {
+            continue;
+        }
+        for &(v, w) in &adj[u] {
+            assert!(
+                w >= 0.0 && !w.is_nan(),
+                "dijkstra requires non-negative finite weights"
+            );
+            let nd = d + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                heap.push(Reverse((nd.to_bits(), v)));
+            }
+        }
+    }
+    dist
+}
+
+/// Connected component of `start` (over distinct-neighbor adjacency),
+/// returned as a sorted node list.
+pub fn component(graph: &dyn Adjacency, start: NodeId) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> =
+        bfs_bounded(graph, &[start], u32::MAX).into_iter().map(|(v, _)| v).collect();
+    nodes.sort_unstable();
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: u32) -> DynamicNetwork {
+        (0..n - 1).map(|i| (i, i + 1, 1)).collect()
+    }
+
+    #[test]
+    fn bfs_single_source_distances() {
+        let g = path_graph(6);
+        let d = bfs_bounded(&g, &[0], 3);
+        assert_eq!(d, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn bfs_multi_source_midpoint() {
+        let g = path_graph(7);
+        let d = bfs_bounded(&g, &[0, 6], 3);
+        let map: std::collections::HashMap<_, _> = d.into_iter().collect();
+        assert_eq!(map[&3], 3);
+        assert_eq!(map[&1], 1);
+        assert_eq!(map[&5], 1);
+        assert_eq!(map[&0], 0);
+        assert_eq!(map[&6], 0);
+    }
+
+    #[test]
+    fn bfs_respects_bound() {
+        let g = path_graph(10);
+        let d = bfs_bounded(&g, &[0], 2);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn bfs_duplicate_sources_collapse() {
+        let g = path_graph(3);
+        let d = bfs_bounded(&g, &[1, 1], 1);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn bfs_works_on_static_graph() {
+        let g = path_graph(4).to_static();
+        let d = bfs_bounded(&g, &[0], 10);
+        assert_eq!(d.len(), 4);
+    }
+
+    #[test]
+    fn dijkstra_weighted_path() {
+        // 0 -1.0- 1 -0.5- 2,  0 -2.0- 2
+        let adj = vec![
+            vec![(1, 1.0), (2, 2.0)],
+            vec![(0, 1.0), (2, 0.5)],
+            vec![(0, 2.0), (1, 0.5)],
+        ];
+        let d = dijkstra(&adj, 0);
+        assert_eq!(d, vec![0.0, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn dijkstra_unreachable_is_infinite() {
+        let adj = vec![vec![], vec![]];
+        let d = dijkstra(&adj, 0);
+        assert_eq!(d[0], 0.0);
+        assert!(d[1].is_infinite());
+    }
+
+    #[test]
+    fn component_collects_reachable() {
+        let mut g = path_graph(4);
+        g.extend([(10, 11, 1)]);
+        assert_eq!(component(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(component(&g, 10), vec![10, 11]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the dynamic-network substrate.
+
+use proptest::prelude::*;
+
+use dyngraph::{io, stats::NetworkStats, traversal, DynamicNetwork, NodeId};
+
+fn links() -> impl Strategy<Value = Vec<(NodeId, NodeId, u32)>> {
+    prop::collection::vec(
+        (0..20u32, 0..20u32, 0..50u32)
+            .prop_filter("no self-loops", |(u, v, _)| u != v),
+        1..80,
+    )
+}
+
+proptest! {
+    /// Adjacency symmetry: every stored link is visible from both sides.
+    #[test]
+    fn adjacency_is_symmetric(ls in links()) {
+        let g: DynamicNetwork = ls.into_iter().collect();
+        for u in 0..g.node_count() as NodeId {
+            for &v in g.neighbors(u) {
+                prop_assert!(g.neighbors(v).contains(&u));
+                prop_assert_eq!(
+                    g.link_count_between(u, v),
+                    g.link_count_between(v, u)
+                );
+            }
+        }
+    }
+
+    /// Link count equals the sum of multi-degrees / 2 and the number of
+    /// iterated links.
+    #[test]
+    fn degree_sum_is_twice_links(ls in links()) {
+        let g: DynamicNetwork = ls.into_iter().collect();
+        let degree_sum: usize =
+            (0..g.node_count()).map(|u| g.multi_degree(u as NodeId)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.link_count());
+        prop_assert_eq!(g.links().count(), g.link_count());
+    }
+
+    /// Period slicing partitions the links: [lo, mid) ∪ [mid, hi] = all.
+    #[test]
+    fn period_partitions_links(ls in links(), mid in 1..49u32) {
+        let g: DynamicNetwork = ls.into_iter().collect();
+        let early = g.period(0, mid).expect("valid period");
+        let late = g.period(mid, 51).expect("valid period");
+        prop_assert_eq!(early.link_count() + late.link_count(), g.link_count());
+    }
+
+    /// Static collapse conserves total multiplicity.
+    #[test]
+    fn static_weights_conserve_multiplicity(ls in links()) {
+        let g: DynamicNetwork = ls.into_iter().collect();
+        let s = g.to_static();
+        let weight_sum: u64 =
+            s.edges().map(|(_, _, w)| w as u64).sum();
+        prop_assert_eq!(weight_sum, g.link_count() as u64);
+        for (u, v, w) in s.edges() {
+            prop_assert_eq!(w as usize, g.link_count_between(u, v));
+        }
+    }
+
+    /// Edge-list round trip is lossless up to link multiset equality.
+    #[test]
+    fn edge_list_round_trip(ls in links()) {
+        let g: DynamicNetwork = ls.into_iter().collect();
+        let mut buf = Vec::new();
+        io::write_edge_list(&g, &mut buf).expect("write to memory");
+        let g2 = io::read_edge_list(buf.as_slice()).expect("parse back");
+        let mut a: Vec<_> = g.links().collect();
+        let mut b: Vec<_> = g2.links().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b);
+    }
+
+    /// BFS distances satisfy the triangle property along edges: neighbors
+    /// differ by at most 1.
+    #[test]
+    fn bfs_distances_are_lipschitz(ls in links()) {
+        let g: DynamicNetwork = ls.into_iter().collect();
+        let d = traversal::bfs_bounded(&g, &[0], u32::MAX);
+        let map: std::collections::HashMap<_, _> = d.into_iter().collect();
+        for u in 0..g.node_count() as NodeId {
+            if let Some(&du) = map.get(&u) {
+                for &v in g.neighbors(u) {
+                    let dv = map.get(&v).copied().expect("neighbor reachable");
+                    prop_assert!(du.abs_diff(dv) <= 1);
+                }
+            }
+        }
+    }
+
+    /// Stats: time span covers all link timestamps; avg degree matches.
+    #[test]
+    fn stats_consistent(ls in links()) {
+        let g: DynamicNetwork = ls.into_iter().collect();
+        let s = NetworkStats::of(&g);
+        prop_assert_eq!(s.links, g.link_count());
+        let span = g.max_timestamp().unwrap() - g.min_timestamp().unwrap() + 1;
+        prop_assert_eq!(s.time_span, span);
+        prop_assert!((s.avg_degree * s.nodes as f64 - 2.0 * s.links as f64).abs() < 1e-9);
+    }
+}

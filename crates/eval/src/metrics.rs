@@ -1,0 +1,273 @@
+//! Classification metrics: AUC and F1 (§VI-C2 uses both).
+
+/// Area under the ROC curve, computed as the normalized Mann–Whitney rank
+/// statistic with the standard tie correction (ties contribute ½).
+///
+/// `scored` holds `(score, is_positive)` pairs. Returns 0.5 when either
+/// class is empty (no ranking information).
+pub fn auc(scored: &[(f64, bool)]) -> f64 {
+    let pos = scored.iter().filter(|&&(_, y)| y).count();
+    let neg = scored.len() - pos;
+    if pos == 0 || neg == 0 {
+        return 0.5;
+    }
+    // Sort by score; assign average ranks to ties; AUC = (R⁺ − P(P+1)/2)/(PN).
+    let mut idx: Vec<usize> = (0..scored.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scored[a]
+            .0
+            .partial_cmp(&scored[b].0)
+            .expect("scores must not be NaN")
+    });
+    let mut rank_sum_pos = 0.0;
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scored[idx[j + 1]].0 == scored[idx[i]].0 {
+            j += 1;
+        }
+        // Items i..=j share average rank (1-based).
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            if scored[k].1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let p = pos as f64;
+    let n = neg as f64;
+    (rank_sum_pos - p * (p + 1.0) / 2.0) / (p * n)
+}
+
+/// F1 score of the decision `score >= threshold`.
+///
+/// Returns 0.0 when precision + recall is 0.
+pub fn f1_at(scored: &[(f64, bool)], threshold: f64) -> f64 {
+    let (mut tp, mut fp, mut fneg) = (0usize, 0usize, 0usize);
+    for &(s, y) in scored {
+        match (s >= threshold, y) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fneg += 1,
+            (false, false) => {}
+        }
+    }
+    if tp == 0 {
+        return 0.0;
+    }
+    let precision = tp as f64 / (tp + fp) as f64;
+    let recall = tp as f64 / (tp + fneg) as f64;
+    2.0 * precision * recall / (precision + recall)
+}
+
+/// Accuracy of the decision `score >= threshold`.
+pub fn accuracy_at(scored: &[(f64, bool)], threshold: f64) -> f64 {
+    if scored.is_empty() {
+        return 0.0;
+    }
+    let correct = scored
+        .iter()
+        .filter(|&&(s, y)| (s >= threshold) == y)
+        .count();
+    correct as f64 / scored.len() as f64
+}
+
+/// The threshold maximizing F1 on `scored` — how the paper turns the
+/// unsupervised ranking features into classifiers ("we treat the training
+/// set as prior knowledge to decide the threshold", §VI-C2).
+///
+/// Candidate thresholds are the observed scores (decision boundaries only
+/// change there). Returns 0.5 for empty input.
+pub fn best_f1_threshold(scored: &[(f64, bool)]) -> f64 {
+    if scored.is_empty() {
+        return 0.5;
+    }
+    let mut candidates: Vec<f64> = scored.iter().map(|&(s, _)| s).collect();
+    candidates.sort_by(|a, b| a.partial_cmp(b).expect("scores must not be NaN"));
+    candidates.dedup();
+    let mut best = (f64::NEG_INFINITY, candidates[0]);
+    for &t in &candidates {
+        let f = f1_at(scored, t);
+        if f > best.0 {
+            best = (f, t);
+        }
+    }
+    best.1
+}
+
+/// Precision@k: fraction of positives among the `k` highest-scored
+/// samples — the metric of the top-N recommendation framing the paper's
+/// introduction motivates.
+///
+/// Ties at the cutoff are broken deterministically by input order.
+/// Returns 0.0 for empty input or `k == 0`.
+pub fn precision_at_k(scored: &[(f64, bool)], k: usize) -> f64 {
+    if scored.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let mut idx: Vec<usize> = (0..scored.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scored[b]
+            .0
+            .partial_cmp(&scored[a].0)
+            .expect("scores must not be NaN")
+            .then(a.cmp(&b))
+    });
+    let k = k.min(idx.len());
+    let hits = idx[..k].iter().filter(|&&i| scored[i].1).count();
+    hits as f64 / k as f64
+}
+
+/// Average precision: mean of precision@rank over the ranks of the
+/// positive samples (the area under the precision–recall curve under the
+/// standard interpolation). Returns 0.0 when there are no positives.
+pub fn average_precision(scored: &[(f64, bool)]) -> f64 {
+    let mut idx: Vec<usize> = (0..scored.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scored[b]
+            .0
+            .partial_cmp(&scored[a].0)
+            .expect("scores must not be NaN")
+            .then(a.cmp(&b))
+    });
+    let mut hits = 0usize;
+    let mut sum = 0.0;
+    for (rank, &i) in idx.iter().enumerate() {
+        if scored[i].1 {
+            hits += 1;
+            sum += hits as f64 / (rank + 1) as f64;
+        }
+    }
+    if hits == 0 {
+        0.0
+    } else {
+        sum / hits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_is_one() {
+        let s = [(0.9, true), (0.8, true), (0.2, false), (0.1, false)];
+        assert_eq!(auc(&s), 1.0);
+    }
+
+    #[test]
+    fn inverted_ranking_is_zero() {
+        let s = [(0.1, true), (0.9, false)];
+        assert_eq!(auc(&s), 0.0);
+    }
+
+    #[test]
+    fn random_ties_are_half() {
+        let s = [(0.5, true), (0.5, false), (0.5, true), (0.5, false)];
+        assert_eq!(auc(&s), 0.5);
+    }
+
+    #[test]
+    fn single_class_defaults_to_half() {
+        assert_eq!(auc(&[(0.3, true)]), 0.5);
+        assert_eq!(auc(&[]), 0.5);
+    }
+
+    #[test]
+    fn auc_matches_pairwise_count() {
+        let s = [
+            (0.9, true),
+            (0.7, false),
+            (0.6, true),
+            (0.5, true),
+            (0.3, false),
+        ];
+        // Pairwise: positives {0.9, 0.6, 0.5}, negatives {0.7, 0.3}.
+        // Wins: 0.9>0.7, 0.9>0.3, 0.6>0.3, 0.5>0.3 → 4 of 6.
+        assert!((auc(&s) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_perfect_and_zero() {
+        let s = [(0.9, true), (0.1, false)];
+        assert_eq!(f1_at(&s, 0.5), 1.0);
+        assert_eq!(f1_at(&s, 2.0), 0.0);
+    }
+
+    #[test]
+    fn f1_mixed() {
+        let s = [(0.9, true), (0.8, false), (0.1, true)];
+        // threshold 0.5: tp=1, fp=1, fn=1 → precision 0.5, recall 0.5 → 0.5.
+        assert!((f1_at(&s, 0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_counts_both_classes() {
+        let s = [(0.9, true), (0.8, false), (0.1, false)];
+        assert!((accuracy_at(&s, 0.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(accuracy_at(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn best_threshold_separates_cleanly() {
+        let s = [
+            (5.0, true),
+            (4.0, true),
+            (1.0, false),
+            (0.5, false),
+        ];
+        let t = best_f1_threshold(&s);
+        assert_eq!(f1_at(&s, t), 1.0);
+        assert!(t > 1.0 && t <= 4.0);
+    }
+
+    #[test]
+    fn precision_at_k_counts_top_hits() {
+        let s = [
+            (0.9, true),
+            (0.8, false),
+            (0.7, true),
+            (0.1, false),
+        ];
+        assert_eq!(precision_at_k(&s, 1), 1.0);
+        assert_eq!(precision_at_k(&s, 2), 0.5);
+        assert!((precision_at_k(&s, 3) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(precision_at_k(&s, 10), 0.5); // clamped to len
+        assert_eq!(precision_at_k(&s, 0), 0.0);
+        assert_eq!(precision_at_k(&[], 3), 0.0);
+    }
+
+    #[test]
+    fn average_precision_perfect_and_worst() {
+        let perfect = [(0.9, true), (0.8, true), (0.1, false)];
+        assert!((average_precision(&perfect) - 1.0).abs() < 1e-12);
+        let worst = [(0.9, false), (0.8, false), (0.1, true)];
+        assert!((average_precision(&worst) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(average_precision(&[(0.5, false)]), 0.0);
+    }
+
+    #[test]
+    fn average_precision_interleaved() {
+        // ranks of positives: 1 and 3 → (1/1 + 2/3)/2.
+        let s = [(0.9, true), (0.8, false), (0.7, true), (0.1, false)];
+        assert!((average_precision(&s) - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_threshold_on_overlapping_scores() {
+        let s = [
+            (0.9, true),
+            (0.7, true),
+            (0.7, false),
+            (0.2, false),
+            (0.1, true),
+        ];
+        let t = best_f1_threshold(&s);
+        let best = f1_at(&s, t);
+        // No candidate can beat it.
+        for cand in [0.1, 0.2, 0.7, 0.9] {
+            assert!(f1_at(&s, cand) <= best + 1e-12);
+        }
+    }
+}

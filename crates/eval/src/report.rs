@@ -1,0 +1,173 @@
+//! Table III-style reporting: a method × dataset grid of AUC/F1 pairs,
+//! rendered as an aligned text table or CSV.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::runner::MethodResult;
+
+/// A method × dataset results grid.
+///
+/// Rows appear in insertion order of the method, columns in insertion
+/// order of the dataset — matching how the harness sweeps Table III.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResultsTable {
+    methods: Vec<String>,
+    datasets: Vec<String>,
+    cells: BTreeMap<(String, String), (f64, f64)>,
+}
+
+impl ResultsTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one result cell.
+    pub fn record(&mut self, dataset: &str, result: &MethodResult) {
+        if !self.methods.iter().any(|m| m == &result.name) {
+            self.methods.push(result.name.clone());
+        }
+        if !self.datasets.iter().any(|d| d == dataset) {
+            self.datasets.push(dataset.to_string());
+        }
+        self.cells.insert(
+            (result.name.clone(), dataset.to_string()),
+            (result.auc, result.f1),
+        );
+    }
+
+    /// The recorded `(auc, f1)` for a method/dataset pair.
+    pub fn get(&self, method: &str, dataset: &str) -> Option<(f64, f64)> {
+        self.cells
+            .get(&(method.to_string(), dataset.to_string()))
+            .copied()
+    }
+
+    /// Method names in insertion order.
+    pub fn methods(&self) -> &[String] {
+        &self.methods
+    }
+
+    /// Dataset names in insertion order.
+    pub fn datasets(&self) -> &[String] {
+        &self.datasets
+    }
+
+    /// The best method per dataset by AUC.
+    pub fn best_by_auc(&self, dataset: &str) -> Option<(&str, f64)> {
+        self.methods
+            .iter()
+            .filter_map(|m| {
+                self.get(m, dataset).map(|(auc, _)| (m.as_str(), auc))
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite AUC"))
+    }
+
+    /// CSV rendering: `method,dataset,auc,f1` rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("method,dataset,auc,f1\n");
+        for m in &self.methods {
+            for d in &self.datasets {
+                if let Some((auc, f1)) = self.get(m, d) {
+                    out.push_str(&format!("{m},{d},{auc:.4},{f1:.4}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for ResultsTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const METHOD_W: usize = 10;
+        write!(f, "{:<METHOD_W$}", "Method")?;
+        for d in &self.datasets {
+            write!(f, " | {:^13}", truncate(d, 13))?;
+        }
+        writeln!(f)?;
+        write!(f, "{:<METHOD_W$}", "")?;
+        for _ in &self.datasets {
+            write!(f, " | {:>6} {:>6}", "AUC", "F1")?;
+        }
+        writeln!(f)?;
+        let width = METHOD_W + self.datasets.len() * 16;
+        writeln!(f, "{}", "-".repeat(width))?;
+        for m in &self.methods {
+            write!(f, "{:<METHOD_W$}", truncate(m, METHOD_W))?;
+            for d in &self.datasets {
+                match self.get(m, d) {
+                    Some((auc, f1)) => {
+                        write!(f, " | {auc:>6.3} {f1:>6.3}")?
+                    }
+                    None => write!(f, " | {:>6} {:>6}", "-", "-")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+fn truncate(s: &str, w: usize) -> &str {
+    if s.len() <= w {
+        s
+    } else {
+        &s[..w]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &str, auc: f64, f1: f64) -> MethodResult {
+        MethodResult {
+            name: name.to_string(),
+            auc,
+            f1,
+            threshold: 0.5,
+            test_scores: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn records_and_reads_back() {
+        let mut t = ResultsTable::new();
+        t.record("Digg", &result("CN", 0.56, 0.23));
+        t.record("Digg", &result("SSFNM", 0.89, 0.89));
+        assert_eq!(t.get("CN", "Digg"), Some((0.56, 0.23)));
+        assert_eq!(t.get("CN", "Eu-email"), None);
+        assert_eq!(t.methods(), &["CN", "SSFNM"]);
+        assert_eq!(t.datasets(), &["Digg"]);
+    }
+
+    #[test]
+    fn best_by_auc_picks_max() {
+        let mut t = ResultsTable::new();
+        t.record("Digg", &result("CN", 0.56, 0.23));
+        t.record("Digg", &result("SSFNM", 0.89, 0.89));
+        assert_eq!(t.best_by_auc("Digg"), Some(("SSFNM", 0.89)));
+        assert_eq!(t.best_by_auc("nope"), None);
+    }
+
+    #[test]
+    fn display_aligns_and_marks_missing() {
+        let mut t = ResultsTable::new();
+        t.record("Digg", &result("CN", 0.5615, 0.2299));
+        t.record("Contact", &result("SSFNM", 0.97, 0.97));
+        let text = t.to_string();
+        assert!(text.contains("0.56"));
+        assert!(text.contains('-'), "missing cells rendered as dashes");
+        assert!(text.contains("Contact"));
+    }
+
+    #[test]
+    fn csv_roundtrips_values() {
+        let mut t = ResultsTable::new();
+        t.record("Digg", &result("CN", 0.5, 0.25));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("method,dataset,auc,f1"));
+        assert!(csv.contains("CN,Digg,0.5000,0.2500"));
+    }
+}

@@ -1,0 +1,69 @@
+//! Property-based tests for the evaluation metrics.
+
+use proptest::prelude::*;
+
+use ssf_eval::metrics::{accuracy_at, auc, best_f1_threshold, f1_at};
+
+fn scored() -> impl Strategy<Value = Vec<(f64, bool)>> {
+    prop::collection::vec((-10.0..10.0f64, any::<bool>()), 2..60)
+}
+
+proptest! {
+    /// AUC is bounded and complementation-symmetric: negating scores and
+    /// labels flips it around 0.5.
+    #[test]
+    fn auc_bounded_and_symmetric(s in scored()) {
+        let a = auc(&s);
+        prop_assert!((0.0..=1.0).contains(&a));
+        let flipped: Vec<(f64, bool)> =
+            s.iter().map(|&(v, y)| (-v, y)).collect();
+        let b = auc(&flipped);
+        let pos = s.iter().filter(|&&(_, y)| y).count();
+        if pos > 0 && pos < s.len() {
+            prop_assert!((a + b - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// AUC is invariant under strictly monotone score transforms.
+    #[test]
+    fn auc_invariant_to_monotone_transform(s in scored()) {
+        let transformed: Vec<(f64, bool)> =
+            s.iter().map(|&(v, y)| (v.exp(), y)).collect();
+        prop_assert!((auc(&s) - auc(&transformed)).abs() < 1e-12);
+    }
+
+    /// F1 and accuracy are bounded in [0, 1] at any threshold.
+    #[test]
+    fn f1_and_accuracy_bounded(s in scored(), t in -12.0..12.0f64) {
+        let f = f1_at(&s, t);
+        prop_assert!((0.0..=1.0).contains(&f));
+        let acc = accuracy_at(&s, t);
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+
+    /// The chosen threshold really maximizes F1 over all candidates.
+    #[test]
+    fn best_threshold_is_optimal(s in scored()) {
+        let t = best_f1_threshold(&s);
+        let best = f1_at(&s, t);
+        for &(cand, _) in &s {
+            prop_assert!(f1_at(&s, cand) <= best + 1e-12);
+        }
+    }
+
+    /// A perfectly separated sample has AUC 1 and a perfect threshold.
+    #[test]
+    fn perfect_separation_detected(
+        pos in prop::collection::vec(5.0..10.0f64, 1..20),
+        neg in prop::collection::vec(-10.0..4.9f64, 1..20),
+    ) {
+        let s: Vec<(f64, bool)> = pos
+            .iter()
+            .map(|&v| (v, true))
+            .chain(neg.iter().map(|&v| (v, false)))
+            .collect();
+        prop_assert_eq!(auc(&s), 1.0);
+        let t = best_f1_threshold(&s);
+        prop_assert_eq!(f1_at(&s, t), 1.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Symmetric positive-definite linear solves via Cholesky factorization.
+//!
+//! Used for the closed-form ridge-regression fit of the paper's linear
+//! models (WLLR / SSFLR): `w = (XᵀX + λI)⁻¹ Xᵀ y`, where `XᵀX + λI` is SPD
+//! for any `λ > 0`.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Matrix;
+
+/// Error returned when a matrix is not (numerically) positive definite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// The pivot index where factorization broke down.
+    pub pivot: usize,
+}
+
+impl fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "matrix is not positive definite (pivot {})", self.pivot)
+    }
+}
+
+impl Error for NotPositiveDefinite {}
+
+/// Lower-triangular Cholesky factor `L` with `L Lᵀ = A`.
+///
+/// # Errors
+///
+/// Returns [`NotPositiveDefinite`] if a pivot is non-positive.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn cholesky(a: &Matrix) -> Result<Matrix, NotPositiveDefinite> {
+    assert_eq!(a.rows(), a.cols(), "cholesky requires a square matrix");
+    let n = a.rows();
+    let mut l = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return Err(NotPositiveDefinite { pivot: i });
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `A x = b` for SPD `A` via Cholesky.
+///
+/// # Errors
+///
+/// Returns [`NotPositiveDefinite`] if `A` is not positive definite.
+///
+/// # Panics
+///
+/// Panics if `a` is not square or `b.len() != a.rows()`.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NotPositiveDefinite> {
+    assert_eq!(b.len(), a.rows(), "rhs length must match matrix size");
+    let l = cholesky(a)?;
+    let n = b.len();
+    // Forward substitution: L y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[(i, k)] * y[k];
+        }
+        y[i] = sum / l[(i, i)];
+    }
+    // Back substitution: Lᵀ x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[(k, i)] * x[k];
+        }
+        x[i] = sum / l[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Closed-form ridge regression: returns `w` minimizing
+/// `‖X w − y‖² + λ‖w‖²`, i.e. `w = (XᵀX + λI)⁻¹ Xᵀ y`.
+///
+/// # Errors
+///
+/// Returns [`NotPositiveDefinite`] only if `λ <= 0` makes the normal matrix
+/// singular; any `λ > 0` guarantees success.
+///
+/// # Panics
+///
+/// Panics if `y.len() != x.rows()`.
+pub fn ridge(x: &Matrix, y: &[f64], lambda: f64) -> Result<Vec<f64>, NotPositiveDefinite> {
+    assert_eq!(y.len(), x.rows(), "target length must match sample count");
+    let mut gram = x.t_matmul(x);
+    for i in 0..gram.rows() {
+        gram[(i, i)] += lambda;
+    }
+    let yv = Matrix::from_vec(y.len(), 1, y.to_vec());
+    let xty = x.t_matmul(&yv);
+    solve_spd(&gram, xty.as_slice())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} != {b:?}");
+        }
+    }
+
+    #[test]
+    fn cholesky_of_known_matrix() {
+        // A = [[4, 2], [2, 3]] => L = [[2, 0], [1, sqrt(2)]]
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let l = cholesky(&a).unwrap();
+        assert!((l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((l[(1, 0)] - 1.0).abs() < 1e-12);
+        assert!((l[(1, 1)] - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(l[(0, 1)], 0.0);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert_eq!(cholesky(&a), Err(NotPositiveDefinite { pivot: 1 }));
+    }
+
+    #[test]
+    fn solve_recovers_solution() {
+        let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let x_true = [1.0, -2.0];
+        let b = a.matvec(&x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        assert_close(&x, &x_true, 1e-12);
+    }
+
+    #[test]
+    fn ridge_recovers_exact_linear_relation() {
+        // y = 2*x0 - x1, plenty of samples, tiny lambda.
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 1.0],
+            &[2.0, 1.0],
+            &[1.0, 3.0],
+        ]);
+        let y: Vec<f64> =
+            (0..5).map(|i| 2.0 * x[(i, 0)] - x[(i, 1)]).collect();
+        let w = ridge(&x, &y, 1e-9).unwrap();
+        assert_close(&w, &[2.0, -1.0], 1e-6);
+    }
+
+    #[test]
+    fn ridge_shrinks_towards_zero() {
+        let x = Matrix::from_rows(&[&[1.0], &[1.0]]);
+        let y = [1.0, 1.0];
+        let w_small = ridge(&x, &y, 1e-9).unwrap()[0];
+        let w_big = ridge(&x, &y, 100.0).unwrap()[0];
+        assert!(w_big.abs() < w_small.abs());
+    }
+
+    #[test]
+    fn solve_larger_random_spd() {
+        // Build SPD as MᵀM + I with deterministic pseudo-random M.
+        let n = 12;
+        let m = Matrix::from_fn(n, n, |i, j| {
+            (((i * 31 + j * 17 + 7) % 13) as f64 - 6.0) / 6.0
+        });
+        let mut a = m.t_matmul(&m);
+        for i in 0..n {
+            a[(i, i)] += 1.0;
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 5.0).collect();
+        let b = a.matvec(&x_true);
+        let x = solve_spd(&a, &b).unwrap();
+        assert_close(&x, &x_true, 1e-9);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for the dense linear-algebra kernels.
+
+use proptest::prelude::*;
+
+use linalg::{solve, vector, Matrix};
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-5.0..5.0f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+fn close(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| (x - y).abs() < tol)
+}
+
+proptest! {
+    /// (AB)C = A(BC) within numerical tolerance.
+    #[test]
+    fn matmul_is_associative(
+        a in matrix(4, 3),
+        b in matrix(3, 5),
+        c in matrix(5, 2),
+    ) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(close(&left, &right, 1e-9));
+    }
+
+    /// (AB)ᵀ = Bᵀ Aᵀ.
+    #[test]
+    fn transpose_reverses_products(a in matrix(4, 3), b in matrix(3, 5)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(close(&left, &right, 1e-9));
+    }
+
+    /// The fused transposed products agree with the naive ones.
+    #[test]
+    fn fused_products_agree(
+        a in matrix(5, 3),
+        b in matrix(5, 4),
+        c in matrix(6, 3),
+    ) {
+        prop_assert!(close(&a.t_matmul(&b), &a.transpose().matmul(&b), 1e-9));
+        prop_assert!(close(&a.matmul_t(&c), &a.matmul(&c.transpose()), 1e-9));
+    }
+
+    /// Cholesky solve inverts SPD systems built as MᵀM + I.
+    #[test]
+    fn spd_solve_round_trips(m in matrix(6, 6), x in prop::collection::vec(-3.0..3.0f64, 6)) {
+        let mut a = m.t_matmul(&m);
+        for i in 0..6 {
+            a[(i, i)] += 1.0;
+        }
+        let b = a.matvec(&x);
+        let solved = solve::solve_spd(&a, &b).expect("SPD by construction");
+        for (s, t) in solved.iter().zip(&x) {
+            prop_assert!((s - t).abs() < 1e-6, "{solved:?} vs {x:?}");
+        }
+    }
+
+    /// Ridge solution minimizes the regularized objective: perturbing the
+    /// weights never decreases the loss.
+    #[test]
+    fn ridge_is_a_minimum(
+        x in matrix(8, 3),
+        y in prop::collection::vec(-2.0..2.0f64, 8),
+        delta in prop::collection::vec(-0.1..0.1f64, 3),
+    ) {
+        let lambda = 0.5;
+        let w = solve::ridge(&x, &y, lambda).expect("ridge succeeds");
+        let loss = |w: &[f64]| -> f64 {
+            let mut l = 0.0;
+            for (i, target) in y.iter().enumerate() {
+                let pred = vector::dot(x.row(i), w);
+                l += (pred - target).powi(2);
+            }
+            l + lambda * vector::dot(w, w)
+        };
+        let mut w2 = w.clone();
+        for (wi, d) in w2.iter_mut().zip(&delta) {
+            *wi += d;
+        }
+        prop_assert!(loss(&w) <= loss(&w2) + 1e-9);
+    }
+
+    /// Softmax output is a probability distribution, invariant to shifts.
+    #[test]
+    fn softmax_properties(z in prop::collection::vec(-30.0..30.0f64, 1..8), shift in -10.0..10.0f64) {
+        let p = vector::softmax(&z);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let shifted: Vec<f64> = z.iter().map(|v| v + shift).collect();
+        let p2 = vector::softmax(&shifted);
+        for (a, b) in p.iter().zip(&p2) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Ridge linear regression (the "LR" half of WLLR / SSFLR).
+//!
+//! The paper treats link prediction as binary classification and feeds the
+//! feature vector to a linear regression model; the fitted score is
+//! thresholded for F1 and ranked for AUC. We fit the ridge-regularized
+//! least-squares problem in closed form via the normal equations (a bias
+//! term is always included and never regularized-away — it enters as an
+//! extra all-ones column with the same `λ`, which is standard and
+//! inconsequential at the small `λ` used).
+
+use linalg::solve::{ridge, NotPositiveDefinite};
+use linalg::Matrix;
+
+/// A fitted linear regression `score(x) = w·x + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearRegression {
+    /// Fits on feature rows `x` and targets `y` (0.0 / 1.0 for
+    /// classification) with ridge strength `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NotPositiveDefinite`] only for `lambda <= 0` with a
+    /// rank-deficient design; any `lambda > 0` succeeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len() != x.rows()` or `x` has no rows or columns.
+    pub fn fit(
+        x: &Matrix,
+        y: &[f64],
+        lambda: f64,
+    ) -> Result<Self, NotPositiveDefinite> {
+        assert!(x.rows() > 0 && x.cols() > 0, "design matrix must be non-empty");
+        assert_eq!(y.len(), x.rows(), "target length must match sample count");
+        // Augment with a bias column of ones.
+        let (n, d) = (x.rows(), x.cols());
+        let aug = Matrix::from_fn(n, d + 1, |i, j| {
+            if j < d {
+                x[(i, j)]
+            } else {
+                1.0
+            }
+        });
+        let mut w = ridge(&aug, y, lambda)?;
+        let bias = w.pop().expect("augmented fit has at least the bias");
+        Ok(LinearRegression { weights: w, bias })
+    }
+
+    /// The fitted weight vector (without the bias).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The fitted bias.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Regression score of one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimension.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        linalg::vector::dot(&self.weights, x) + self.bias
+    }
+
+    /// Binary decision at the conventional 0.5 threshold.
+    pub fn classify(&self, x: &[f64]) -> bool {
+        self.predict(x) >= 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_linear_relation_with_bias() {
+        // y = 3 x0 - 2 x1 + 0.5
+        let x = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 1.0],
+            &[2.0, -1.0],
+        ]);
+        let y: Vec<f64> = (0..x.rows())
+            .map(|i| 3.0 * x[(i, 0)] - 2.0 * x[(i, 1)] + 0.5)
+            .collect();
+        let m = LinearRegression::fit(&x, &y, 1e-9).unwrap();
+        assert!((m.weights()[0] - 3.0).abs() < 1e-5);
+        assert!((m.weights()[1] + 2.0).abs() < 1e-5);
+        assert!((m.bias() - 0.5).abs() < 1e-5);
+        assert!((m.predict(&[2.0, 2.0]) - 2.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn separates_labeled_classes() {
+        // Class 1 has large first feature.
+        let x = Matrix::from_rows(&[
+            &[5.0, 1.0],
+            &[6.0, 0.5],
+            &[5.5, 0.0],
+            &[0.1, 1.0],
+            &[0.3, 0.2],
+            &[0.0, 0.8],
+        ]);
+        let y = [1.0, 1.0, 1.0, 0.0, 0.0, 0.0];
+        let m = LinearRegression::fit(&x, &y, 1e-6).unwrap();
+        assert!(m.classify(&[5.8, 0.4]));
+        assert!(!m.classify(&[0.2, 0.6]));
+    }
+
+    #[test]
+    fn ridge_handles_collinear_features() {
+        // Second column duplicates the first: singular without ridge.
+        let x = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let y = [1.0, 2.0, 3.0];
+        let m = LinearRegression::fit(&x, &y, 1e-3).unwrap();
+        assert!((m.predict(&[2.0, 2.0]) - 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn constant_features_fall_back_to_bias() {
+        let x = Matrix::from_rows(&[&[1.0], &[1.0], &[1.0], &[1.0]]);
+        let y = [0.0, 1.0, 0.0, 1.0];
+        let m = LinearRegression::fit(&x, &y, 1e-3).unwrap();
+        // Prediction collapses to the (ridge-shrunk) mean.
+        assert!((m.predict(&[1.0]) - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "target length")]
+    fn mismatched_lengths_panic() {
+        let x = Matrix::from_rows(&[&[1.0]]);
+        let _ = LinearRegression::fit(&x, &[1.0, 2.0], 0.1);
+    }
+}

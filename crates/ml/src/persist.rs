@@ -1,0 +1,157 @@
+//! Plain-text persistence for trained models.
+//!
+//! A small, versioned, dependency-free line format ("`ssf-ml v1`") that
+//! round-trips every `f64` exactly by writing the IEEE-754 bit pattern in
+//! hex. Optimizer moment buffers are not persisted — a loaded model is for
+//! inference (and deterministic re-training restarts from scratch anyway).
+
+use std::io::{self, BufRead, Write};
+
+/// Writes a named vector of floats as one line: `name hex hex hex …`.
+pub fn write_floats<W: Write>(
+    mut w: W,
+    name: &str,
+    values: impl IntoIterator<Item = f64>,
+) -> io::Result<()> {
+    write!(w, "{name}")?;
+    for v in values {
+        write!(w, " {:016x}", v.to_bits())?;
+    }
+    writeln!(w)
+}
+
+/// Reads a line written by [`write_floats`], checking the leading name.
+///
+/// # Errors
+///
+/// `InvalidData` on EOF, name mismatch, or malformed hex.
+pub fn read_floats<R: BufRead>(r: &mut R, name: &str) -> io::Result<Vec<f64>> {
+    let line = read_line(r)?;
+    let mut fields = line.split_whitespace();
+    let got = fields.next().unwrap_or("");
+    if got != name {
+        return Err(invalid(format!("expected {name:?}, found {got:?}")));
+    }
+    fields
+        .map(|hex| {
+            u64::from_str_radix(hex, 16)
+                .map(f64::from_bits)
+                .map_err(|_| invalid(format!("bad float field {hex:?}")))
+        })
+        .collect()
+}
+
+/// Writes a named list of integers: `name a b c …`.
+pub fn write_usizes<W: Write>(
+    mut w: W,
+    name: &str,
+    values: impl IntoIterator<Item = usize>,
+) -> io::Result<()> {
+    write!(w, "{name}")?;
+    for v in values {
+        write!(w, " {v}")?;
+    }
+    writeln!(w)
+}
+
+/// Reads a line written by [`write_usizes`].
+///
+/// # Errors
+///
+/// `InvalidData` on EOF, name mismatch, or malformed integers.
+pub fn read_usizes<R: BufRead>(r: &mut R, name: &str) -> io::Result<Vec<usize>> {
+    let line = read_line(r)?;
+    let mut fields = line.split_whitespace();
+    let got = fields.next().unwrap_or("");
+    if got != name {
+        return Err(invalid(format!("expected {name:?}, found {got:?}")));
+    }
+    fields
+        .map(|s| s.parse().map_err(|_| invalid(format!("bad integer {s:?}"))))
+        .collect()
+}
+
+/// Reads one non-empty line.
+///
+/// # Errors
+///
+/// `InvalidData` at EOF.
+pub fn read_line<R: BufRead>(r: &mut R) -> io::Result<String> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Err(invalid("unexpected end of model file".to_string()));
+        }
+        let trimmed = line.trim();
+        if !trimmed.is_empty() {
+            return Ok(trimmed.to_string());
+        }
+    }
+}
+
+/// Checks a literal header/marker line.
+///
+/// # Errors
+///
+/// `InvalidData` when the line differs.
+pub fn expect_line<R: BufRead>(r: &mut R, expected: &str) -> io::Result<()> {
+    let line = read_line(r)?;
+    if line == expected {
+        Ok(())
+    } else {
+        Err(invalid(format!("expected {expected:?}, found {line:?}")))
+    }
+}
+
+fn invalid(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        let values = [0.0, -0.0, 1.5, f64::MIN_POSITIVE, 1e300, -3.25e-17];
+        let mut buf = Vec::new();
+        write_floats(&mut buf, "w", values).unwrap();
+        let mut r = buf.as_slice();
+        let back = read_floats(&mut r, "w").unwrap();
+        assert_eq!(back.len(), values.len());
+        for (a, b) in back.iter().zip(&values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn usizes_round_trip() {
+        let mut buf = Vec::new();
+        write_usizes(&mut buf, "dims", [44usize, 32, 16, 2]).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_usizes(&mut r, "dims").unwrap(), vec![44, 32, 16, 2]);
+    }
+
+    #[test]
+    fn name_mismatch_rejected() {
+        let mut buf = Vec::new();
+        write_floats(&mut buf, "w", [1.0]).unwrap();
+        let mut r = buf.as_slice();
+        assert!(read_floats(&mut r, "b").is_err());
+    }
+
+    #[test]
+    fn eof_rejected() {
+        let mut r: &[u8] = b"";
+        assert!(read_line(&mut r).is_err());
+    }
+
+    #[test]
+    fn expect_line_checks_literal() {
+        let mut r: &[u8] = b"header v1\n";
+        assert!(expect_line(&mut r, "header v1").is_ok());
+        let mut r: &[u8] = b"other\n";
+        assert!(expect_line(&mut r, "header v1").is_err());
+    }
+}

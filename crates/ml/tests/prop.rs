@@ -1,0 +1,95 @@
+//! Property-based tests for the learning machinery.
+
+use proptest::prelude::*;
+
+use linalg::Matrix;
+use ssf_ml::{LinearRegression, MlpConfig, NeuralMachine, StandardScaler};
+
+fn design(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-3.0..3.0f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Ridge residuals are orthogonal to the (augmented) design within the
+    /// regularization pull: `Xᵀ(y − Xw − b) = λw` exactly at the optimum.
+    #[test]
+    fn ridge_normal_equations_hold(
+        x in design(10, 3),
+        y in prop::collection::vec(-2.0..2.0f64, 10),
+    ) {
+        let lambda = 0.7;
+        let m = LinearRegression::fit(&x, &y, lambda).expect("ridge fits");
+        let residual: Vec<f64> = (0..x.rows())
+            .map(|i| y[i] - m.predict(x.row(i)))
+            .collect();
+        for j in 0..x.cols() {
+            let grad: f64 = (0..x.rows())
+                .map(|i| x[(i, j)] * residual[i])
+                .sum();
+            prop_assert!(
+                (grad - lambda * m.weights()[j]).abs() < 1e-6,
+                "column {j}: grad {grad} vs λw {}",
+                lambda * m.weights()[j]
+            );
+        }
+    }
+
+    /// Predictions are affine: predict(αx) interpolates linearly.
+    #[test]
+    fn linreg_is_affine(
+        x in design(8, 2),
+        y in prop::collection::vec(-2.0..2.0f64, 8),
+        p in prop::collection::vec(-1.0..1.0f64, 2),
+        q in prop::collection::vec(-1.0..1.0f64, 2),
+        alpha in 0.0..1.0f64,
+    ) {
+        let m = LinearRegression::fit(&x, &y, 0.1).expect("ridge fits");
+        let mix: Vec<f64> = p
+            .iter()
+            .zip(&q)
+            .map(|(&a, &b)| alpha * a + (1.0 - alpha) * b)
+            .collect();
+        let expected = alpha * m.predict(&p) + (1.0 - alpha) * m.predict(&q);
+        prop_assert!((m.predict(&mix) - expected).abs() < 1e-9);
+    }
+
+    /// The neural machine always outputs a valid probability distribution,
+    /// whatever the weights have learned.
+    #[test]
+    fn nn_outputs_probabilities(
+        x in design(12, 4),
+        labels in prop::collection::vec(0..2usize, 12),
+        probe in prop::collection::vec(-5.0..5.0f64, 4),
+    ) {
+        let nm = NeuralMachine::train(
+            &x,
+            &labels,
+            MlpConfig {
+                hidden: vec![6],
+                epochs: 3,
+                ..MlpConfig::default()
+            },
+        );
+        let p = nm.predict_proba(&probe);
+        prop_assert_eq!(p.len(), 2);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|v| v.is_finite() && (0.0..=1.0).contains(v)));
+        prop_assert!((nm.score(&probe) - p[1]).abs() < 1e-15);
+    }
+
+    /// Scaling then unscaling through the stored statistics round-trips.
+    #[test]
+    fn scaler_is_invertible_on_varying_columns(x in design(9, 3)) {
+        let scaler = StandardScaler::fit(&x);
+        let t = scaler.transform(&x);
+        // Re-fit on the transformed data: mean 0, std 1 (or constant).
+        let rescaler = StandardScaler::fit(&t);
+        let t2 = rescaler.transform(&t);
+        for (a, b) in t.as_slice().iter().zip(t2.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,535 @@
+//! SSF extraction (Algorithm 3, Definitions 9–10, Eq. 4–5 of the paper).
+
+use dyngraph::{traversal, DynamicNetwork, NodeId, Timestamp};
+
+use crate::hop::HopSubgraph;
+use crate::influence::{normalized_influence, ExponentialDecay};
+use crate::kstructure::KStructureSubgraph;
+use crate::palette::palette_wl;
+use crate::structure::StructureSubgraph;
+
+/// How an entry `A(m, n)` of the normalized K-structure-subgraph adjacency
+/// matrix is encoded when a structure link exists between slots `m` and `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum EntryEncoding {
+    /// The normalized influence `l̃ = Σ exp(−θ·(l_t − l_k))` itself
+    /// (Definition 8 / Eq. 4).
+    NormalizedInfluence,
+    /// Log-scaled normalized influence `max(0, 1 + ln(l̃)/Λ)` with `Λ = 30`:
+    /// a monotone reparameterization of Definition 8 that is *linear in
+    /// link age* (a single link of age `Δ` maps to `1 − θΔ/Λ`). The raw
+    /// exponential spans hundreds of orders of magnitude, which no
+    /// standardization can recondition for a learner; the log form keeps
+    /// the same per-entry ranking while staying numerically informative.
+    LogInfluence,
+    /// The paper's experimental variant (§V-B): `1/(1 + min(d(N_x), d(N_y)))`
+    /// where `d` is the shortest-path distance to the target link in the
+    /// normalized subgraph with edge lengths `1/l̃`. The paper writes `1/min`
+    /// without the `+1`; the endpoints sit at distance 0, so the raw formula
+    /// divides by zero on every link incident to them — we add 1 to keep the
+    /// encoding total while preserving its monotonicity (see DESIGN.md).
+    ReciprocalDistance,
+    /// The normalized-influence unfolding concatenated with the plain 0/1
+    /// connectivity unfolding (feature dimension doubles). §V-B invites
+    /// relaxing the entries "to further increase the flexibility of SSF";
+    /// the influence half carries recency and multiplicity magnitude while
+    /// the binary half keeps links visible after their influence has
+    /// decayed to ~0, so the combination is the most *universal* choice
+    /// and our default (ablation: `cargo run -p ssf-bench --bin ablation`).
+    #[default]
+    InfluenceAndStructure,
+    /// SSF-W (§VI-C1): the raw multi-link count `k`, timestamps ignored.
+    LinkCount,
+    /// Plain 0/1 connectivity.
+    Binary,
+}
+
+impl EntryEncoding {
+    /// Stable identifier used in persisted models and CLI flags.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EntryEncoding::NormalizedInfluence => "influence",
+            EntryEncoding::LogInfluence => "log-influence",
+            EntryEncoding::ReciprocalDistance => "recip-distance",
+            EntryEncoding::InfluenceAndStructure => "influence+structure",
+            EntryEncoding::LinkCount => "link-count",
+            EntryEncoding::Binary => "binary",
+        }
+    }
+
+    /// Parses [`EntryEncoding::as_str`] output (case-insensitive).
+    pub fn parse(name: &str) -> Option<EntryEncoding> {
+        [
+            EntryEncoding::NormalizedInfluence,
+            EntryEncoding::LogInfluence,
+            EntryEncoding::ReciprocalDistance,
+            EntryEncoding::InfluenceAndStructure,
+            EntryEncoding::LinkCount,
+            EntryEncoding::Binary,
+        ]
+        .into_iter()
+        .find(|e| e.as_str().eq_ignore_ascii_case(name))
+    }
+}
+
+/// Configuration of the SSF extractor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SsfConfig {
+    /// Number of structure nodes `K` to keep (the paper uses `K = 10`).
+    pub k: usize,
+    /// Influence decay.
+    pub decay: ExponentialDecay,
+    /// Adjacency-entry encoding.
+    pub encoding: EntryEncoding,
+    /// Safety cap on the hop radius growth (Algorithm 3 line 2 grows `h`
+    /// until `|V_S| ≥ K`; the cap bounds pathological components).
+    pub max_h: u32,
+}
+
+impl SsfConfig {
+    /// Configuration with `K = k` and the paper's defaults
+    /// (`θ = 0.5`, reciprocal-distance entries, `h ≤ 10`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 3` — smaller `K` yields an empty feature vector.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 3, "k must be at least 3 for a non-empty feature");
+        SsfConfig {
+            k,
+            decay: ExponentialDecay::default(),
+            encoding: EntryEncoding::default(),
+            max_h: 10,
+        }
+    }
+
+    /// Sets the decay damping factor θ.
+    #[must_use]
+    pub fn with_theta(mut self, theta: f64) -> Self {
+        self.decay = ExponentialDecay::new(theta);
+        self
+    }
+
+    /// Sets the entry encoding.
+    #[must_use]
+    pub fn with_encoding(mut self, encoding: EntryEncoding) -> Self {
+        self.encoding = encoding;
+        self
+    }
+
+    /// Sets the hop-radius cap.
+    #[must_use]
+    pub fn with_max_h(mut self, max_h: u32) -> Self {
+        assert!(max_h >= 1, "max_h must be at least 1");
+        self.max_h = max_h;
+        self
+    }
+
+    /// Dimension of the feature vector: `K(K−1)/2 − 1` (Eq. 5, every upper
+    /// triangle entry except the target `A(1,2)`), doubled for the
+    /// concatenated [`EntryEncoding::InfluenceAndStructure`].
+    pub fn feature_dim(&self) -> usize {
+        let base = self.k * (self.k - 1) / 2 - 1;
+        if self.encoding == EntryEncoding::InfluenceAndStructure {
+            2 * base
+        } else {
+            base
+        }
+    }
+}
+
+/// The Structure Subgraph Feature of one target link (Definition 10).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsfFeature {
+    values: Vec<f64>,
+    k: usize,
+    h_used: u32,
+    structure_nodes: usize,
+}
+
+impl SsfFeature {
+    /// The unfolded feature vector, length `K(K−1)/2 − 1`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consumes the feature, returning the raw vector.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// The `K` this feature was extracted with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The hop radius the extraction stopped at.
+    pub fn radius(&self) -> u32 {
+        self.h_used
+    }
+
+    /// `|V_S|` of the final h-hop structure subgraph.
+    pub fn structure_node_count(&self) -> usize {
+        self.structure_nodes
+    }
+}
+
+/// Extracts Structure Subgraph Features from a dynamic network
+/// (Algorithm 3).
+///
+/// # Example
+///
+/// ```rust
+/// use dyngraph::DynamicNetwork;
+/// use ssf_core::{SsfConfig, SsfExtractor};
+///
+/// let g: DynamicNetwork =
+///     [(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4)].into_iter().collect();
+/// let ex = SsfExtractor::new(SsfConfig::new(4));
+/// let f = ex.extract(&g, 0, 2, 5);
+/// assert_eq!(f.values().len(), SsfConfig::new(4).feature_dim());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsfExtractor {
+    config: SsfConfig,
+}
+
+impl SsfExtractor {
+    /// Creates an extractor with the given configuration.
+    pub fn new(config: SsfConfig) -> Self {
+        SsfExtractor { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SsfConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline for target link `(a, b)` predicted at time
+    /// `l_t` and returns the feature vector.
+    ///
+    /// `g` must be the *history* network (all links strictly before `l_t`);
+    /// the extractor does not filter by timestamp itself so that callers can
+    /// reuse one period slice for many target links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either endpoint is outside `g`.
+    pub fn extract(
+        &self,
+        g: &DynamicNetwork,
+        a: NodeId,
+        b: NodeId,
+        l_t: Timestamp,
+    ) -> SsfFeature {
+        let (ks, h_used, structure_nodes) = self.k_structure(g, a, b);
+        let k = self.config.k;
+        let mut values = Vec::with_capacity(self.config.feature_dim());
+        match self.config.encoding {
+            EntryEncoding::InfluenceAndStructure => {
+                let infl =
+                    self.adjacency_matrix(&ks, l_t, EntryEncoding::LogInfluence);
+                unfold_upper_triangle(&infl, k, &mut values);
+                let bin =
+                    self.adjacency_matrix(&ks, l_t, EntryEncoding::Binary);
+                unfold_upper_triangle(&bin, k, &mut values);
+            }
+            enc => {
+                let matrix = self.adjacency_matrix(&ks, l_t, enc);
+                unfold_upper_triangle(&matrix, k, &mut values);
+            }
+        }
+        SsfFeature {
+            values,
+            k,
+            h_used,
+            structure_nodes,
+        }
+    }
+
+    /// Runs the pipeline up to K-structure-subgraph selection (Algorithm 3
+    /// lines 1–8), returning `(subgraph, h_used, |V_S|)`.
+    ///
+    /// Exposed separately so pattern mining (Figure 6) can reuse it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either endpoint is outside `g`.
+    pub fn k_structure(
+        &self,
+        g: &DynamicNetwork,
+        a: NodeId,
+        b: NodeId,
+    ) -> (KStructureSubgraph, u32, usize) {
+        let k = self.config.k;
+        let mut h = 1;
+        let mut hop = HopSubgraph::extract(g, a, b, h);
+        let mut s = StructureSubgraph::combine(&hop);
+        while s.node_count() < k && h < self.config.max_h {
+            h += 1;
+            let grown = HopSubgraph::extract(g, a, b, h);
+            if grown.node_count() == hop.node_count() {
+                break; // component exhausted
+            }
+            hop = grown;
+            s = StructureSubgraph::combine(&hop);
+        }
+        let adj: Vec<Vec<usize>> =
+            (0..s.node_count()).map(|x| s.neighbors(x).to_vec()).collect();
+        // Initial colors: distance to the target link, with structure nodes
+        // adjacent to BOTH endpoints preceding the rest of their distance
+        // class. The prime-log hash ranks well-connected nodes late within
+        // a class, which would push high-degree common neighbors — the very
+        // nodes the paper's Figure 1 argument relies on — out of the top-K
+        // window on dense graphs; the refined init keeps them selectable
+        // (it is also the order the paper's own Figure 4 example shows).
+        let dist: Vec<u32> = (0..s.node_count())
+            .map(|x| {
+                let d = s.distance(x);
+                let both = adj[x].contains(&0) && adj[x].contains(&1);
+                2 * d + u32::from(d >= 1 && !both)
+            })
+            .collect();
+        // Tiebreak for automorphic structure nodes: earliest BFS-discovered
+        // member first — the same discovery-order semantics WLF uses, which
+        // keeps a slot's meaning stable across target links.
+        let tiebreak: Vec<u64> =
+            (0..s.node_count()).map(|x| s.members(x)[0] as u64).collect();
+        let order = palette_wl(&adj, &dist, (0, 1), &tiebreak);
+        let node_count = s.node_count();
+        (KStructureSubgraph::select(&s, &order, k), h, node_count)
+    }
+
+    /// Builds the dense `K×K` adjacency matrix `A` (Eq. 4) in row-major
+    /// order for one (non-concatenated) [`EntryEncoding`].
+    fn adjacency_matrix(
+        &self,
+        ks: &KStructureSubgraph,
+        l_t: Timestamp,
+        encoding: EntryEncoding,
+    ) -> Vec<f64> {
+        let k = self.config.k;
+        let mut a = vec![0.0; k * k];
+        let entry = |m: usize, n: usize| -> f64 {
+            let ts = ks.timestamps_between(m, n);
+            if ts.is_empty() {
+                return 0.0;
+            }
+            match encoding {
+                EntryEncoding::NormalizedInfluence => {
+                    normalized_influence(ts, l_t, self.config.decay)
+                }
+                EntryEncoding::LogInfluence => {
+                    const LAMBDA: f64 = 30.0;
+                    let raw = normalized_influence(ts, l_t, self.config.decay);
+                    if raw > 0.0 {
+                        (1.0 + raw.ln() / LAMBDA).max(0.0)
+                    } else {
+                        0.0
+                    }
+                }
+                EntryEncoding::LinkCount => ts.len() as f64,
+                EntryEncoding::Binary => 1.0,
+                EntryEncoding::ReciprocalDistance => 0.0, // filled below
+                EntryEncoding::InfluenceAndStructure => {
+                    unreachable!("concatenated encoding split by caller")
+                }
+            }
+        };
+        for (m, n) in ks.links() {
+            let v = entry(m, n);
+            a[m * k + n] = v;
+            a[n * k + m] = v;
+        }
+        if encoding == EntryEncoding::ReciprocalDistance {
+            self.fill_reciprocal_distance(ks, l_t, &mut a);
+        }
+        // The target entry is always unknown (Eq. 4 note).
+        a[1] = 0.0;
+        a[k] = 0.0;
+        a
+    }
+
+    /// §V-B variant: entries are `1/(1 + min(d(N_x), d(N_y)))` with `d` the
+    /// Dijkstra distance to either endpoint over edge lengths `1/l̃`.
+    fn fill_reciprocal_distance(
+        &self,
+        ks: &KStructureSubgraph,
+        l_t: Timestamp,
+        a: &mut [f64],
+    ) {
+        let k = self.config.k;
+        let mut wadj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); k];
+        for (m, n) in ks.links() {
+            let lt = normalized_influence(
+                ks.timestamps_between(m, n),
+                l_t,
+                self.config.decay,
+            );
+            if lt > 0.0 {
+                let len = 1.0 / lt;
+                wadj[m].push((n, len));
+                wadj[n].push((m, len));
+            }
+        }
+        let da = traversal::dijkstra(&wadj, 0);
+        let db = traversal::dijkstra(&wadj, 1);
+        let d = |m: usize| da[m].min(db[m]);
+        for (m, n) in ks.links() {
+            let v = 1.0 / (1.0 + d(m).min(d(n)));
+            a[m * k + n] = v;
+            a[n * k + m] = v;
+        }
+    }
+}
+
+/// Eq. 5: appends the upper triangle of the row-major `K×K` matrix by
+/// column, skipping the target entry A(1,2) (0-based (0,1)).
+fn unfold_upper_triangle(matrix: &[f64], k: usize, out: &mut Vec<f64>) {
+    for n in 2..k {
+        for m in 0..n {
+            out.push(matrix[m * k + n]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_with_fan() -> DynamicNetwork {
+        // target (0,1); triangle 0-2-1; chain 1-3-4; pendants 5,6 on 0.
+        [
+            (0, 2, 8),
+            (1, 2, 9),
+            (1, 3, 5),
+            (3, 4, 6),
+            (0, 5, 7),
+            (0, 6, 7),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn feature_has_configured_dimension() {
+        for k in [3, 5, 10] {
+            let cfg = SsfConfig::new(k);
+            let f = SsfExtractor::new(cfg).extract(&chain_with_fan(), 0, 1, 10);
+            assert_eq!(f.values().len(), cfg.feature_dim());
+            // Default (concatenated) encoding doubles the Eq. 5 dimension.
+            assert_eq!(f.values().len(), 2 * (k * (k - 1) / 2 - 1));
+            let single = cfg.with_encoding(EntryEncoding::Binary);
+            let f = SsfExtractor::new(single).extract(&chain_with_fan(), 0, 1, 10);
+            assert_eq!(f.values().len(), k * (k - 1) / 2 - 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn config_rejects_tiny_k() {
+        let _ = SsfConfig::new(2);
+    }
+
+    #[test]
+    fn radius_grows_until_k_reached() {
+        // A long path needs h > 1 to collect enough structure nodes.
+        let g: DynamicNetwork = (0..8u32).map(|i| (i, i + 1, 1)).collect();
+        let cfg = SsfConfig::new(6);
+        let f = SsfExtractor::new(cfg).extract(&g, 3, 4, 2);
+        assert!(f.radius() > 1);
+        assert!(f.structure_node_count() >= 6);
+    }
+
+    #[test]
+    fn radius_stops_when_component_exhausted() {
+        let g: DynamicNetwork = [(0, 1, 1), (0, 2, 1)].into_iter().collect();
+        let cfg = SsfConfig::new(10);
+        let f = SsfExtractor::new(cfg).extract(&g, 0, 1, 2);
+        assert!(f.structure_node_count() < 10);
+        assert_eq!(f.values().len(), cfg.feature_dim());
+    }
+
+    #[test]
+    fn normalized_influence_encoding_reflects_recency() {
+        let recent: DynamicNetwork =
+            [(0, 2, 9), (1, 2, 9)].into_iter().collect();
+        let old: DynamicNetwork = [(0, 2, 1), (1, 2, 1)].into_iter().collect();
+        let cfg = SsfConfig::new(3)
+            .with_encoding(EntryEncoding::NormalizedInfluence);
+        let ex = SsfExtractor::new(cfg);
+        let fr = ex.extract(&recent, 0, 1, 10);
+        let fo = ex.extract(&old, 0, 1, 10);
+        let sum = |f: &SsfFeature| f.values().iter().sum::<f64>();
+        assert!(sum(&fr) > sum(&fo));
+    }
+
+    #[test]
+    fn link_count_encoding_ignores_time() {
+        let g: DynamicNetwork =
+            [(0, 2, 1), (0, 2, 9), (1, 2, 5)].into_iter().collect();
+        let cfg = SsfConfig::new(3).with_encoding(EntryEncoding::LinkCount);
+        let f = SsfExtractor::new(cfg).extract(&g, 0, 1, 10);
+        // slots: 0={0},1={1},2={2}; unfold = [A(0,2), A(1,2)].
+        assert_eq!(f.values(), &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn binary_encoding_is_zero_one() {
+        let g = chain_with_fan();
+        let cfg = SsfConfig::new(6).with_encoding(EntryEncoding::Binary);
+        let f = SsfExtractor::new(cfg).extract(&g, 0, 1, 10);
+        assert!(f.values().iter().all(|&v| v == 0.0 || v == 1.0));
+        assert!(f.values().contains(&1.0));
+    }
+
+    #[test]
+    fn reciprocal_distance_bounded_by_one() {
+        let g = chain_with_fan();
+        let cfg = SsfConfig::new(6)
+            .with_encoding(EntryEncoding::ReciprocalDistance);
+        let f = SsfExtractor::new(cfg).extract(&g, 0, 1, 10);
+        assert!(f.values().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(f.values().iter().any(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn deterministic_extraction() {
+        let g = chain_with_fan();
+        let ex = SsfExtractor::new(SsfConfig::new(8));
+        assert_eq!(ex.extract(&g, 0, 1, 10), ex.extract(&g, 0, 1, 10));
+    }
+
+    #[test]
+    fn target_history_does_not_leak() {
+        // Identical neighborhoods; one network also has direct 0-1 history.
+        let base: DynamicNetwork =
+            [(0, 2, 5), (1, 2, 6)].into_iter().collect();
+        let leaky: DynamicNetwork =
+            [(0, 2, 5), (1, 2, 6), (0, 1, 7), (0, 1, 8)].into_iter().collect();
+        let ex = SsfExtractor::new(SsfConfig::new(3));
+        assert_eq!(
+            ex.extract(&base, 0, 1, 10).values(),
+            ex.extract(&leaky, 0, 1, 10).values()
+        );
+    }
+
+    #[test]
+    fn endpoint_symmetry() {
+        // Extracting (a, b) and (b, a) gives the same vector when the two
+        // sides are mirror images.
+        let g: DynamicNetwork = [
+            (0, 2, 1),
+            (1, 3, 1),
+            (2, 4, 2),
+            (3, 4, 2),
+        ]
+        .into_iter()
+        .collect();
+        let ex = SsfExtractor::new(SsfConfig::new(5));
+        let ab = ex.extract(&g, 0, 1, 3);
+        let ba = ex.extract(&g, 1, 0, 3);
+        assert_eq!(ab.values(), ba.values());
+    }
+}

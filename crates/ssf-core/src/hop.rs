@@ -1,0 +1,244 @@
+//! h-hop subgraph extraction (Definition 3 of the paper).
+//!
+//! The *h-hop subgraph* `G_{h→e_t}` of a target link `e_t = (a, b)` contains
+//! every node within hop distance `h` of either endpoint (Eq. 1:
+//! `d(n_i, e_t) = min(|P(n_i, n_a)|, |P(n_i, n_b)|)`) together with all
+//! timestamped links induced among those nodes.
+
+use std::collections::HashMap;
+
+use dyngraph::{traversal, DynamicNetwork, NodeId, Timestamp};
+
+/// The h-hop subgraph of a target link, re-indexed to dense local ids.
+///
+/// Local id 0 is always endpoint `a`, local id 1 endpoint `b`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HopSubgraph {
+    /// Global node id of each local node; `global[0] = a`, `global[1] = b`.
+    global: Vec<NodeId>,
+    /// `dist[i]` = hop distance of local node `i` to the target link (Eq. 1).
+    dist: Vec<u32>,
+    /// Local adjacency: one `(neighbor, timestamp)` entry per induced link,
+    /// mirrored in both endpoint lists.
+    adj: Vec<Vec<(usize, Timestamp)>>,
+    /// The hop radius this subgraph was extracted with.
+    h: u32,
+    /// Total induced links (each counted once).
+    links: usize,
+}
+
+impl HopSubgraph {
+    /// Extracts the h-hop subgraph of target link `(a, b)` from `g`.
+    ///
+    /// Any existing history links between `a` and `b` themselves are
+    /// *excluded* from the induced link set: the adjacency entry `A(1,2)` of
+    /// the eventual feature matrix is defined to be 0 because the target
+    /// link is the unknown being predicted (§V-B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b` or either endpoint is outside `g`.
+    pub fn extract(g: &DynamicNetwork, a: NodeId, b: NodeId, h: u32) -> Self {
+        assert_ne!(a, b, "target link endpoints must differ");
+        assert!(
+            (a as usize) < g.node_count() && (b as usize) < g.node_count(),
+            "target link endpoints must exist in the network"
+        );
+        // `bfs_bounded` reports sources first, so locals 0/1 are a/b. With
+        // duplicate-free sources the order is [a, b, ...frontier...].
+        let reached = traversal::bfs_bounded(g, &[a, b], h);
+        let mut global = Vec::with_capacity(reached.len());
+        let mut dist = Vec::with_capacity(reached.len());
+        let mut local_of: HashMap<NodeId, usize> =
+            HashMap::with_capacity(reached.len());
+        for &(node, d) in &reached {
+            local_of.insert(node, global.len());
+            global.push(node);
+            dist.push(d);
+        }
+        let mut adj = vec![Vec::new(); global.len()];
+        let mut links = 0;
+        for (i, &u) in global.iter().enumerate() {
+            for &(v, t) in g.incident_links(u) {
+                // Count each induced link once by requiring u < v globally.
+                if u < v {
+                    if let Some(&j) = local_of.get(&v) {
+                        if (u == a && v == b) || (u == b && v == a) {
+                            continue; // target pair history excluded
+                        }
+                        adj[i].push((j, t));
+                        adj[j].push((i, t));
+                        links += 1;
+                    }
+                }
+            }
+        }
+        HopSubgraph {
+            global,
+            dist,
+            adj,
+            h,
+            links,
+        }
+    }
+
+    /// Number of nodes in the subgraph.
+    pub fn node_count(&self) -> usize {
+        self.global.len()
+    }
+
+    /// Number of induced timestamped links (multi-links counted, the target
+    /// pair's history excluded).
+    pub fn link_count(&self) -> usize {
+        self.links
+    }
+
+    /// The hop radius used for extraction.
+    pub fn radius(&self) -> u32 {
+        self.h
+    }
+
+    /// Global node id of local node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn global_id(&self, i: usize) -> NodeId {
+        self.global[i]
+    }
+
+    /// Hop distance of local node `i` to the target link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn distance(&self, i: usize) -> u32 {
+        self.dist[i]
+    }
+
+    /// All `(local neighbor, timestamp)` incidences of local node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn incident_links(&self, i: usize) -> &[(usize, Timestamp)] {
+        &self.adj[i]
+    }
+
+    /// Sorted distinct local neighbors of local node `i`.
+    pub fn neighbors(&self, i: usize) -> Vec<usize> {
+        let mut n: Vec<usize> = self.adj[i].iter().map(|&(j, _)| j).collect();
+        n.sort_unstable();
+        n.dedup();
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-triangle "bowtie" with a pendant chain:
+    /// 0-1-2-0 (triangle), 2-3, 3-4, plus multi-link 0-1.
+    fn sample() -> DynamicNetwork {
+        [
+            (0, 1, 1),
+            (0, 1, 2),
+            (1, 2, 3),
+            (2, 0, 4),
+            (2, 3, 5),
+            (3, 4, 6),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn endpoints_are_locals_zero_and_one() {
+        let g = sample();
+        let s = HopSubgraph::extract(&g, 2, 4, 1);
+        assert_eq!(s.global_id(0), 2);
+        assert_eq!(s.global_id(1), 4);
+        assert_eq!(s.distance(0), 0);
+        assert_eq!(s.distance(1), 0);
+    }
+
+    #[test]
+    fn one_hop_includes_union_of_neighborhoods() {
+        let g = sample();
+        let s = HopSubgraph::extract(&g, 2, 4, 1);
+        // N(2) = {0,1,3}, N(4) = {3} → nodes {2,4,0,1,3}.
+        assert_eq!(s.node_count(), 5);
+    }
+
+    #[test]
+    fn target_history_links_excluded() {
+        let g = sample();
+        // 0-1 has two history links; extracting for target (0,1) must skip
+        // them but keep everything else.
+        let s = HopSubgraph::extract(&g, 0, 1, 2);
+        for &(j, _) in s.incident_links(0) {
+            assert_ne!(s.global_id(j), 1);
+        }
+        // other links of the triangle remain
+        assert!(s.link_count() >= 2);
+    }
+
+    #[test]
+    fn multi_links_preserved() {
+        let g = sample();
+        let s = HopSubgraph::extract(&g, 2, 3, 1);
+        // locals: 0->2, 1->3, then 0,1,4.
+        let zero = (0..s.node_count())
+            .find(|&i| s.global_id(i) == 0)
+            .unwrap();
+        let one = (0..s.node_count())
+            .find(|&i| s.global_id(i) == 1)
+            .unwrap();
+        let links_01 = s
+            .incident_links(zero)
+            .iter()
+            .filter(|&&(j, _)| j == one)
+            .count();
+        assert_eq!(links_01, 2);
+    }
+
+    #[test]
+    fn radius_bounds_distance() {
+        let g = sample();
+        let s = HopSubgraph::extract(&g, 0, 1, 1);
+        for i in 0..s.node_count() {
+            assert!(s.distance(i) <= 1);
+        }
+        // node 4 is at distance 2 from {0,1}: excluded.
+        assert!((0..s.node_count()).all(|i| s.global_id(i) != 4));
+    }
+
+    #[test]
+    fn neighbors_dedup_multi_links() {
+        let g = sample();
+        let s = HopSubgraph::extract(&g, 0, 1, 1);
+        // local 0 = global 0: neighbors are {2} only (1 excluded as target).
+        let n = s.neighbors(0);
+        assert_eq!(n.len(), 1);
+        assert_eq!(s.global_id(n[0]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn same_endpoints_panic() {
+        let g = sample();
+        let _ = HopSubgraph::extract(&g, 1, 1, 1);
+    }
+
+    #[test]
+    fn disconnected_endpoint_pair_still_works() {
+        let mut g = sample();
+        g.extend([(7, 8, 1)]);
+        let s = HopSubgraph::extract(&g, 0, 8, 1);
+        assert_eq!(s.global_id(0), 0);
+        assert_eq!(s.global_id(1), 8);
+        // Components of both endpoints explored.
+        assert!(s.node_count() >= 4);
+    }
+}

@@ -1,0 +1,141 @@
+//! Temporal influence decay and normalization (Definition 8 of the paper).
+//!
+//! A history link emerged at `l_s` retains influence
+//! `f(l_t, l_s) = exp(−θ·(l_t − l_s))` at prediction time `l_t` (Eq. 2,
+//! after Yu et al., IJCAI'17). All links between two structure nodes are
+//! collapsed into one *normalized influence* — the sum of their individual
+//! remaining influences (Eq. 3).
+
+use dyngraph::Timestamp;
+
+/// Exponential influence decay `f(l_t, l_s) = exp(−θ·(l_t − l_s))`.
+///
+/// The paper fixes `θ = 0.5` "to obtain an average performance"; the
+/// ablation bench sweeps it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialDecay {
+    theta: f64,
+}
+
+impl Default for ExponentialDecay {
+    fn default() -> Self {
+        ExponentialDecay { theta: 0.5 }
+    }
+}
+
+impl ExponentialDecay {
+    /// Creates a decay with damping factor `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < theta` and `theta` is finite (the paper restricts
+    /// `θ ∈ (0, 1)`; values ≥ 1 are accepted for ablation sweeps).
+    pub fn new(theta: f64) -> Self {
+        assert!(
+            theta > 0.0 && theta.is_finite(),
+            "theta must be positive and finite, got {theta}"
+        );
+        ExponentialDecay { theta }
+    }
+
+    /// The damping factor θ.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Remaining influence of a link from time `l_s` at time `l_t` (Eq. 2).
+    ///
+    /// Links "from the future" (`l_s > l_t`) are clamped to influence 1.0;
+    /// the extraction pipeline never passes them, but clamping keeps the
+    /// function total.
+    pub fn influence(&self, l_t: Timestamp, l_s: Timestamp) -> f64 {
+        if l_s >= l_t {
+            return 1.0;
+        }
+        (-self.theta * (l_t - l_s) as f64).exp()
+    }
+}
+
+/// Normalized influence `l̃ = Σ_k exp(−θ·(l_t − l_k))` of a multiset of link
+/// timestamps (Eq. 3).
+///
+/// Returns 0.0 for an empty slice (no structure link).
+///
+/// # Example
+///
+/// ```rust
+/// use ssf_core::normalized_influence;
+///
+/// let decay = ssf_core::ExponentialDecay::new(0.5);
+/// let l = normalized_influence(&[9, 10], 10, decay);
+/// assert!((l - (1.0 + (-0.5f64).exp())).abs() < 1e-12);
+/// ```
+pub fn normalized_influence(
+    timestamps: &[Timestamp],
+    l_t: Timestamp,
+    decay: ExponentialDecay,
+) -> f64 {
+    timestamps.iter().map(|&l| decay.influence(l_t, l)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn influence_at_present_is_one() {
+        let d = ExponentialDecay::default();
+        assert_eq!(d.influence(10, 10), 1.0);
+    }
+
+    #[test]
+    fn influence_decays_monotonically() {
+        let d = ExponentialDecay::new(0.5);
+        let vals: Vec<f64> = (0..5).map(|age| d.influence(10, 10 - age)).collect();
+        for w in vals.windows(2) {
+            assert!(w[0] > w[1]);
+        }
+        assert!((d.influence(10, 8) - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_theta_decays_faster() {
+        let slow = ExponentialDecay::new(0.1);
+        let fast = ExponentialDecay::new(0.9);
+        assert!(fast.influence(10, 5) < slow.influence(10, 5));
+    }
+
+    #[test]
+    fn future_links_clamped() {
+        let d = ExponentialDecay::default();
+        assert_eq!(d.influence(5, 9), 1.0);
+    }
+
+    #[test]
+    fn normalized_influence_sums() {
+        let d = ExponentialDecay::new(0.5);
+        let single = normalized_influence(&[10], 10, d);
+        assert_eq!(single, 1.0);
+        let many = normalized_influence(&[10, 10, 10], 10, d);
+        assert_eq!(many, 3.0);
+        assert_eq!(normalized_influence(&[], 10, d), 0.0);
+    }
+
+    #[test]
+    fn more_links_more_influence() {
+        let d = ExponentialDecay::new(0.5);
+        let one_recent = normalized_influence(&[10], 10, d);
+        let two_old = normalized_influence(&[1, 1], 10, d);
+        // Very old pairs can still lose to one fresh link — the decay
+        // dominates multiplicity at large age.
+        assert!(two_old < one_recent);
+        let two_recent = normalized_influence(&[9, 10], 10, d);
+        assert!(two_recent > one_recent);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_theta_rejected() {
+        let _ = ExponentialDecay::new(0.0);
+    }
+}

@@ -1,0 +1,232 @@
+//! K-structure subgraph selection (Definition 7 of the paper).
+//!
+//! Once the h-hop structure subgraph has at least `K` structure nodes and a
+//! Palette-WL order, the `K` lowest-order structure nodes (the endpoints are
+//! always orders 1 and 2) and the structure links among them form the
+//! *K-structure subgraph*, whose `K×K` adjacency matrix is uniform across
+//! target links. If the whole component holds fewer than `K` structure
+//! nodes, the remaining slots stay unoccupied and the matrix is zero-padded
+//! (the paper leaves this case unspecified; zero-padding matches WLNM).
+
+use std::collections::HashMap;
+
+use dyngraph::Timestamp;
+
+use crate::structure::StructureSubgraph;
+
+/// The selected top-`K` structure nodes of a target link, indexed by
+/// *slot* = Palette-WL order − 1 (slot 0 = endpoint `a`, slot 1 = `b`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KStructureSubgraph {
+    k: usize,
+    /// `selected[slot]` = structure-subgraph node id, `None` when padded.
+    selected: Vec<Option<usize>>,
+    /// Timestamps per slot pair `(m, n)`, `m < n`.
+    timestamps: HashMap<(usize, usize), Vec<Timestamp>>,
+    /// Hop distance to the target link per slot (`u32::MAX` when padded).
+    dist: Vec<u32>,
+}
+
+impl KStructureSubgraph {
+    /// Selects the `K` structure nodes with Palette-WL order ≤ `K`.
+    ///
+    /// `order[x]` is the 1-based order of structure node `x`, as produced by
+    /// [`crate::palette::palette_wl`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`, if `order.len() != s.node_count()`, or if the
+    /// endpoints (structure nodes 0 and 1) do not hold orders 1 and 2.
+    pub fn select(s: &StructureSubgraph, order: &[usize], k: usize) -> Self {
+        assert!(k >= 2, "k must be at least 2 (the two endpoints)");
+        assert_eq!(order.len(), s.node_count(), "order length mismatch");
+        assert_eq!(order.first(), Some(&1), "endpoint a must have order 1");
+        assert_eq!(order.get(1), Some(&2), "endpoint b must have order 2");
+
+        let mut selected = vec![None; k];
+        let mut dist = vec![u32::MAX; k];
+        for (x, &ord) in order.iter().enumerate() {
+            if ord <= k {
+                selected[ord - 1] = Some(x);
+                dist[ord - 1] = s.distance(x);
+            }
+        }
+        let mut timestamps = HashMap::new();
+        // slot_of[x] for selected nodes only.
+        let mut slot_of: HashMap<usize, usize> = HashMap::new();
+        for (slot, sel) in selected.iter().enumerate() {
+            if let Some(x) = sel {
+                slot_of.insert(*x, slot);
+            }
+        }
+        for (x, y) in s.links() {
+            if let (Some(&m), Some(&n)) = (slot_of.get(&x), slot_of.get(&y)) {
+                let key = (m.min(n), m.max(n));
+                timestamps
+                    .insert(key, s.timestamps_between(x, y).to_vec());
+            }
+        }
+        KStructureSubgraph {
+            k,
+            selected,
+            timestamps,
+            dist,
+        }
+    }
+
+    /// The configured `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of occupied slots (`min(K, |V_S|)`).
+    pub fn occupied_count(&self) -> usize {
+        self.selected.iter().flatten().count()
+    }
+
+    /// `true` if slot `m` holds a structure node (not padding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= k`.
+    pub fn is_occupied(&self, m: usize) -> bool {
+        self.selected[m].is_some()
+    }
+
+    /// The structure-subgraph node id in slot `m`, if occupied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= k`.
+    pub fn structure_node(&self, m: usize) -> Option<usize> {
+        self.selected[m]
+    }
+
+    /// Hop distance of slot `m` to the target link (`u32::MAX` if padded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= k`.
+    pub fn slot_distance(&self, m: usize) -> u32 {
+        self.dist[m]
+    }
+
+    /// `true` if a structure link connects slots `m` and `n`.
+    pub fn has_link(&self, m: usize, n: usize) -> bool {
+        self.timestamps.contains_key(&(m.min(n), m.max(n)))
+    }
+
+    /// Timestamps of the structure link between slots `m` and `n`
+    /// (empty if absent).
+    pub fn timestamps_between(&self, m: usize, n: usize) -> &[Timestamp] {
+        self.timestamps
+            .get(&(m.min(n), m.max(n)))
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Iterates existing structure links once as slot pairs `(m, n)`, `m < n`.
+    pub fn links(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.timestamps.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hop::HopSubgraph;
+    use crate::palette::palette_wl;
+    use dyngraph::DynamicNetwork;
+
+    fn pipeline(
+        g: &DynamicNetwork,
+        a: u32,
+        b: u32,
+        h: u32,
+        k: usize,
+    ) -> (StructureSubgraph, KStructureSubgraph) {
+        let hop = HopSubgraph::extract(g, a, b, h);
+        let s = StructureSubgraph::combine(&hop);
+        let adj: Vec<Vec<usize>> =
+            (0..s.node_count()).map(|x| s.neighbors(x).to_vec()).collect();
+        let dist: Vec<u32> =
+            (0..s.node_count()).map(|x| s.distance(x)).collect();
+        let tiebreak: Vec<u64> = (0..s.node_count())
+            .map(|x| s.members(x)[0] as u64)
+            .collect();
+        let order = palette_wl(&adj, &dist, (0, 1), &tiebreak);
+        let ks = KStructureSubgraph::select(&s, &order, k);
+        (s, ks)
+    }
+
+    fn bowtie() -> DynamicNetwork {
+        // target (0,1); 0-2, 1-2, 0-3, 3-4, pendants 5,6 on 0.
+        [
+            (0, 2, 1),
+            (1, 2, 2),
+            (0, 3, 3),
+            (3, 4, 4),
+            (0, 5, 5),
+            (0, 6, 5),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn endpoints_occupy_first_slots() {
+        let g = bowtie();
+        let (s, ks) = pipeline(&g, 0, 1, 2, 4);
+        assert_eq!(ks.structure_node(0), Some(0));
+        assert_eq!(ks.structure_node(1), Some(1));
+        assert_eq!(s.members(0), &[0]);
+        assert_eq!(ks.slot_distance(0), 0);
+    }
+
+    #[test]
+    fn selection_truncates_to_k() {
+        let g = bowtie();
+        let (s, ks) = pipeline(&g, 0, 1, 2, 3);
+        assert!(s.node_count() > 3);
+        assert_eq!(ks.k(), 3);
+        assert_eq!(ks.occupied_count(), 3);
+    }
+
+    #[test]
+    fn padding_when_component_small() {
+        let g: DynamicNetwork = [(0, 1, 1), (0, 2, 1)].into_iter().collect();
+        let (_, ks) = pipeline(&g, 0, 1, 3, 6);
+        assert_eq!(ks.occupied_count(), 3);
+        assert!(!ks.is_occupied(5));
+        assert_eq!(ks.slot_distance(5), u32::MAX);
+        assert!(!ks.has_link(4, 5));
+    }
+
+    #[test]
+    fn links_restricted_to_selected() {
+        let g = bowtie();
+        // k=3 keeps slots for {0},{1} and one distance-1 structure node; the
+        // far node 4 and its link 3-4 must not appear.
+        let (_, ks) = pipeline(&g, 0, 1, 2, 3);
+        for (m, n) in ks.links() {
+            assert!(m < 3 && n < 3);
+        }
+    }
+
+    #[test]
+    fn timestamps_carried_over() {
+        let g: DynamicNetwork =
+            [(0, 2, 3), (0, 2, 7), (1, 2, 5)].into_iter().collect();
+        let (_, ks) = pipeline(&g, 0, 1, 1, 3);
+        assert_eq!(ks.timestamps_between(0, 2), &[3, 7]);
+        assert_eq!(ks.timestamps_between(2, 0), &[3, 7]);
+        assert_eq!(ks.timestamps_between(1, 2), &[5]);
+        assert!(!ks.has_link(0, 1)); // target slot pair has no history here
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn k_less_than_two_rejected() {
+        let g = bowtie();
+        let _ = pipeline(&g, 0, 1, 1, 1);
+    }
+}

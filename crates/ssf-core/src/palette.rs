@@ -1,0 +1,238 @@
+//! The Palette-WL ordering (Algorithm 2 of the paper, after Zhang & Chen,
+//! KDD'17).
+//!
+//! A Weisfeiler–Lehman color refinement that assigns every structure node a
+//! unique order: colors start from the distance to the target link, then are
+//! iteratively refined by hashing each node's color together with its
+//! neighbors' colors through prime logarithms:
+//!
+//! ```text
+//! h(N_x) = C(N_x) + Σ_{N_p ∈ Γ(N_x)} ln P(C(N_p)) / |Σ_{N_q} ln P(C(N_q))|
+//! ```
+//!
+//! where `P(n)` is the n-th prime. The fractional hash term is strictly less
+//! than 1, so refinement only ever splits color classes ("palette"
+//! property), and the two endpoints of the target link keep orders 1 and 2.
+
+/// Returns the first `n` primes (`P(1) = 2`).
+///
+/// Trial division; intended for the small `n` (≤ a few thousand) that
+/// structure subgraphs produce.
+pub fn first_primes(n: usize) -> Vec<u64> {
+    let mut primes: Vec<u64> = Vec::with_capacity(n);
+    let mut cand = 2u64;
+    while primes.len() < n {
+        if primes
+            .iter()
+            .take_while(|&&p| p * p <= cand)
+            .all(|&p| !cand.is_multiple_of(p))
+        {
+            primes.push(cand);
+        }
+        cand += 1;
+    }
+    primes
+}
+
+/// Runs Palette-WL color refinement and returns a unique 1-based order per
+/// node.
+///
+/// * `adj` — distinct-neighbor adjacency lists.
+/// * `init_key` — initial color key per node (the paper uses the distance to
+///   the target link); smaller keys rank earlier.
+/// * `pinned` — the `(a, b)` node indices forced to orders 1 and 2.
+/// * `tiebreak` — deterministic secondary key used to break the remaining
+///   ties (automorphic nodes) after refinement converges.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with `adj.len()` or a pinned index
+/// is out of range.
+pub fn palette_wl(
+    adj: &[Vec<usize>],
+    init_key: &[u32],
+    pinned: (usize, usize),
+    tiebreak: &[u64],
+) -> Vec<usize> {
+    let n = adj.len();
+    assert_eq!(init_key.len(), n, "init_key length mismatch");
+    assert_eq!(tiebreak.len(), n, "tiebreak length mismatch");
+    assert!(pinned.0 < n && pinned.1 < n, "pinned index out of range");
+    assert_ne!(pinned.0, pinned.1, "pinned indices must differ");
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Initial colors: dense rank of the init key, endpoints forced lowest.
+    let sort_key = |i: usize| -> (u8, u32) {
+        if i == pinned.0 {
+            (0, 0)
+        } else if i == pinned.1 {
+            (1, 0)
+        } else {
+            (2, init_key[i])
+        }
+    };
+    let mut colors = dense_rank_by(n, |i, j| sort_key(i).cmp(&sort_key(j)));
+
+    let primes = first_primes(n);
+    let ln_p = |c: usize| -> f64 { (primes[c - 1] as f64).ln() };
+
+    // Refine until stable. Each non-trivial round strictly splits at least
+    // one color class, so n rounds suffice; the cap guards regressions.
+    for _ in 0..n + 2 {
+        let total: f64 = (1..=n).map(|i| ln_p(colors[i - 1])).sum::<f64>().abs();
+        let hash = |i: usize| -> f64 {
+            // Sort neighbor colors so identical multisets sum in identical
+            // order — float-exact equality then preserves true ties.
+            let mut cs: Vec<usize> = adj[i].iter().map(|&j| colors[j]).collect();
+            cs.sort_unstable();
+            let frac: f64 = cs.into_iter().map(ln_p).sum::<f64>() / total;
+            colors[i] as f64 + frac
+        };
+        let h: Vec<f64> = (0..n).map(hash).collect();
+        let hkey = |i: usize| -> (u8, f64) {
+            if i == pinned.0 {
+                (0, 0.0)
+            } else if i == pinned.1 {
+                (1, 0.0)
+            } else {
+                (2, h[i])
+            }
+        };
+        let new_colors = dense_rank_by(n, |i, j| {
+            hkey(i)
+                .partial_cmp(&hkey(j))
+                .expect("palette hash values are finite")
+        });
+        if new_colors == colors {
+            break;
+        }
+        colors = new_colors;
+    }
+
+    // Unique total order: converged color, then caller tiebreak, then index.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by_key(|&i| (colors[i], tiebreak[i], i));
+    let mut order = vec![0usize; n];
+    for (rank, &i) in idx.iter().enumerate() {
+        order[i] = rank + 1;
+    }
+    order
+}
+
+/// Dense ranking (1-based): equal elements share a rank, the next distinct
+/// element gets the previous rank + 1.
+fn dense_rank_by(
+    n: usize,
+    mut cmp: impl FnMut(usize, usize) -> std::cmp::Ordering,
+) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| cmp(a, b));
+    let mut ranks = vec![0usize; n];
+    let mut rank = 0;
+    for (pos, &i) in idx.iter().enumerate() {
+        if pos == 0 || cmp(idx[pos - 1], i) == std::cmp::Ordering::Less {
+            rank += 1;
+        }
+        ranks[i] = rank;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primes_start_correctly() {
+        assert_eq!(first_primes(8), vec![2, 3, 5, 7, 11, 13, 17, 19]);
+        assert!(first_primes(0).is_empty());
+    }
+
+    #[test]
+    fn endpoints_get_orders_one_and_two() {
+        // path: 2 - 0 - 1 - 3, target (0, 1)
+        let adj = vec![vec![1, 2], vec![0, 3], vec![0], vec![1]];
+        let order = palette_wl(&adj, &[0, 0, 1, 1], (0, 1), &[0, 1, 2, 3]);
+        assert_eq!(order[0], 1);
+        assert_eq!(order[1], 2);
+    }
+
+    #[test]
+    fn orders_are_a_permutation() {
+        let adj = vec![
+            vec![1, 2, 3],
+            vec![0, 2],
+            vec![0, 1, 4],
+            vec![0],
+            vec![2],
+        ];
+        let order = palette_wl(&adj, &[0, 0, 1, 1, 2], (0, 1), &[0; 5]);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn closer_nodes_rank_earlier() {
+        // star around 0 with one far node: 0-1 target, 0-2, 2-3
+        let adj = vec![vec![1, 2], vec![0], vec![0, 3], vec![2]];
+        let order = palette_wl(&adj, &[0, 0, 1, 2], (0, 1), &[0; 4]);
+        assert!(order[2] < order[3], "distance-1 node before distance-2");
+    }
+
+    #[test]
+    fn refinement_splits_same_distance_nodes_by_connectivity() {
+        // target (0,1); nodes 2 and 3 both at distance 1, but 2 is adjacent
+        // to both endpoints while 3 touches only endpoint 0.
+        let adj = vec![
+            vec![1, 2, 3], // 0: endpoint a
+            vec![0, 2],    // 1: endpoint b
+            vec![0, 1],    // 2: adjacent to both
+            vec![0],       // 3: adjacent to a only
+        ];
+        let order = palette_wl(&adj, &[0, 0, 1, 1], (0, 1), &[0; 4]);
+        assert_ne!(order[2], order[3]);
+        // Same tiebreak, so the split must come from refinement itself:
+        // re-running with swapped tiebreaks must not change the order.
+        let order2 = palette_wl(&adj, &[0, 0, 1, 1], (0, 1), &[9, 9, 9, 9]);
+        assert_eq!(order, order2);
+    }
+
+    #[test]
+    fn automorphic_nodes_broken_by_tiebreak() {
+        // 2 and 3 are perfectly symmetric pendants of endpoint 0.
+        let adj = vec![vec![1, 2, 3], vec![0], vec![0], vec![0]];
+        let order = palette_wl(&adj, &[0, 0, 1, 1], (0, 1), &[0, 0, 5, 1]);
+        assert!(order[3] < order[2], "smaller tiebreak ranks earlier");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let adj = vec![
+            vec![1, 2, 3, 4],
+            vec![0, 2],
+            vec![0, 1, 3],
+            vec![0, 2, 4],
+            vec![0, 3],
+        ];
+        let a = palette_wl(&adj, &[0, 0, 1, 1, 1], (0, 1), &[0, 1, 2, 3, 4]);
+        let b = palette_wl(&adj, &[0, 0, 1, 1, 1], (0, 1), &[0, 1, 2, 3, 4]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn two_node_graph() {
+        let adj = vec![vec![], vec![]];
+        let order = palette_wl(&adj, &[0, 0], (0, 1), &[0, 0]);
+        assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned indices must differ")]
+    fn pinned_must_differ() {
+        let adj = vec![vec![], vec![]];
+        let _ = palette_wl(&adj, &[0, 0], (0, 0), &[0, 0]);
+    }
+}

@@ -1,0 +1,252 @@
+//! K-structure-subgraph pattern mining (Figure 6 of the paper).
+//!
+//! Two K-structure subgraphs follow the same *pattern* when they have the
+//! same connection relations among their ordered structure nodes
+//! (multi-links ignored). The paper samples 2,000 links per dataset,
+//! extracts their K-structure subgraphs, and visualizes the most frequent
+//! pattern; [`PatternMiner`] reproduces the counting and renders patterns
+//! as ASCII adjacency matrices.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::kstructure::KStructureSubgraph;
+
+/// Canonical connectivity signature of a K-structure subgraph: the binary
+/// upper triangle of its ordered slot adjacency, packed into bits.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PatternSignature {
+    k: usize,
+    bits: Vec<u64>,
+}
+
+impl PatternSignature {
+    /// Builds the signature of a K-structure subgraph.
+    pub fn of(ks: &KStructureSubgraph) -> Self {
+        let k = ks.k();
+        let nbits = k * (k - 1) / 2;
+        let mut bits = vec![0u64; nbits.div_ceil(64)];
+        for (m, n) in ks.links() {
+            let idx = Self::bit_index(k, m, n);
+            bits[idx / 64] |= 1 << (idx % 64);
+        }
+        PatternSignature { k, bits }
+    }
+
+    /// The pattern's `K`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// `true` if the pattern has a structure link between slots `m` and `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == n` or either slot is `>= k`.
+    pub fn has_link(&self, m: usize, n: usize) -> bool {
+        assert!(m != n && m < self.k && n < self.k, "invalid slot pair");
+        let idx = Self::bit_index(self.k, m.min(n), m.max(n));
+        self.bits[idx / 64] & (1 << (idx % 64)) != 0
+    }
+
+    /// Number of structure links in the pattern.
+    pub fn link_count(&self) -> usize {
+        self.bits.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Upper-triangle bit position of pair `(m, n)` with `m < n`.
+    fn bit_index(k: usize, m: usize, n: usize) -> usize {
+        debug_assert!(m < n && n < k);
+        // pairs (0,1), (0,2), (1,2), (0,3), ... column-major like Eq. 5.
+        n * (n - 1) / 2 + m
+    }
+}
+
+impl fmt::Display for PatternSignature {
+    /// ASCII adjacency matrix; `a`/`b` mark the endpoint slots, `#` a link.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "    ")?;
+        for n in 0..self.k {
+            write!(f, "{:>2}", slot_label(n))?;
+        }
+        writeln!(f)?;
+        for m in 0..self.k {
+            write!(f, "  {:>2}", slot_label(m))?;
+            for n in 0..self.k {
+                let c = if m == n {
+                    '.'
+                } else if self.has_link(m, n) {
+                    '#'
+                } else {
+                    ' '
+                };
+                write!(f, " {c}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+fn slot_label(slot: usize) -> String {
+    match slot {
+        0 => "a".to_string(),
+        1 => "b".to_string(),
+        n => (n + 1).to_string(),
+    }
+}
+
+/// Frequency counter over observed pattern signatures.
+///
+/// # Example
+///
+/// ```rust
+/// use dyngraph::DynamicNetwork;
+/// use ssf_core::{PatternMiner, SsfConfig, SsfExtractor};
+///
+/// let g: DynamicNetwork =
+///     [(0, 2, 1), (1, 2, 2), (2, 3, 3)].into_iter().collect();
+/// let ex = SsfExtractor::new(SsfConfig::new(4));
+/// let mut miner = PatternMiner::new();
+/// let (ks, _, _) = ex.k_structure(&g, 0, 1);
+/// miner.observe(&ks);
+/// assert_eq!(miner.observations(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PatternMiner {
+    counts: HashMap<PatternSignature, usize>,
+    total: usize,
+}
+
+impl PatternMiner {
+    /// Creates an empty miner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one K-structure subgraph.
+    pub fn observe(&mut self, ks: &KStructureSubgraph) {
+        *self.counts.entry(PatternSignature::of(ks)).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Total subgraphs observed.
+    pub fn observations(&self) -> usize {
+        self.total
+    }
+
+    /// Number of distinct patterns seen.
+    pub fn distinct_patterns(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The most frequent pattern and its count (ties broken towards the
+    /// denser pattern, then deterministically).
+    pub fn most_frequent(&self) -> Option<(&PatternSignature, usize)> {
+        self.counts
+            .iter()
+            .max_by_key(|(sig, &c)| (c, sig.link_count(), sig.bits.clone()))
+            .map(|(sig, &c)| (sig, c))
+    }
+
+    /// All patterns sorted by descending frequency.
+    pub fn ranked(&self) -> Vec<(&PatternSignature, usize)> {
+        let mut v: Vec<(&PatternSignature, usize)> =
+            self.counts.iter().map(|(s, &c)| (s, c)).collect();
+        v.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| b.0.link_count().cmp(&a.0.link_count()))
+                .then_with(|| a.0.bits.cmp(&b.0.bits))
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{SsfConfig, SsfExtractor};
+    use dyngraph::DynamicNetwork;
+
+    fn ks_of(g: &DynamicNetwork, a: u32, b: u32, k: usize) -> KStructureSubgraph {
+        SsfExtractor::new(SsfConfig::new(k)).k_structure(g, a, b).0
+    }
+
+    #[test]
+    fn identical_topology_same_signature() {
+        let g1: DynamicNetwork =
+            [(0, 2, 1), (1, 2, 9)].into_iter().collect();
+        let g2: DynamicNetwork =
+            [(0, 2, 4), (1, 2, 4), (0, 2, 5)].into_iter().collect();
+        // Same shape (common neighbor), different timestamps/multiplicity.
+        let s1 = PatternSignature::of(&ks_of(&g1, 0, 1, 3));
+        let s2 = PatternSignature::of(&ks_of(&g2, 0, 1, 3));
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn different_topology_different_signature() {
+        let common: DynamicNetwork =
+            [(0, 2, 1), (1, 2, 1)].into_iter().collect();
+        let pendant: DynamicNetwork =
+            [(0, 2, 1), (2, 3, 1), (1, 3, 1)].into_iter().collect();
+        let s1 = PatternSignature::of(&ks_of(&common, 0, 1, 3));
+        let s2 = PatternSignature::of(&ks_of(&pendant, 0, 1, 3));
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn has_link_matches_subgraph() {
+        let g: DynamicNetwork = [(0, 2, 1), (1, 2, 1)].into_iter().collect();
+        let ks = ks_of(&g, 0, 1, 3);
+        let sig = PatternSignature::of(&ks);
+        for m in 0..3 {
+            for n in 0..3 {
+                if m != n {
+                    assert_eq!(sig.has_link(m, n), ks.has_link(m, n));
+                }
+            }
+        }
+        assert_eq!(sig.link_count(), 2);
+    }
+
+    #[test]
+    fn miner_counts_and_ranks() {
+        let common: DynamicNetwork =
+            [(0, 2, 1), (1, 2, 1)].into_iter().collect();
+        let pendant: DynamicNetwork =
+            [(0, 2, 1), (2, 3, 1), (1, 3, 1)].into_iter().collect();
+        let mut miner = PatternMiner::new();
+        miner.observe(&ks_of(&common, 0, 1, 4));
+        miner.observe(&ks_of(&common, 0, 1, 4));
+        miner.observe(&ks_of(&pendant, 0, 1, 4));
+        assert_eq!(miner.observations(), 3);
+        assert_eq!(miner.distinct_patterns(), 2);
+        let (top, count) = miner.most_frequent().unwrap();
+        assert_eq!(count, 2);
+        assert_eq!(top, &PatternSignature::of(&ks_of(&common, 0, 1, 4)));
+        let ranked = miner.ranked();
+        assert_eq!(ranked[0].1, 2);
+        assert_eq!(ranked[1].1, 1);
+    }
+
+    #[test]
+    fn display_renders_matrix() {
+        let g: DynamicNetwork = [(0, 2, 1), (1, 2, 1)].into_iter().collect();
+        let sig = PatternSignature::of(&ks_of(&g, 0, 1, 3));
+        let text = sig.to_string();
+        assert!(text.contains('a'));
+        assert!(text.contains('b'));
+        assert!(text.contains('#'));
+    }
+
+    #[test]
+    fn large_k_uses_multiple_words() {
+        // k = 20 → 190 bits → 3 u64 words.
+        let g: DynamicNetwork = (0..30u32).map(|i| (i, i + 1, 1)).collect();
+        let ks = ks_of(&g, 10, 11, 20);
+        let sig = PatternSignature::of(&ks);
+        assert!(sig.link_count() > 0);
+        assert!(sig.k() == 20);
+    }
+}

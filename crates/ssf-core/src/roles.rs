@@ -1,0 +1,215 @@
+//! Node-role analysis from structure subgraphs.
+//!
+//! §IV-A of the paper: "From structure subgraphs, we can easily observe
+//! what kinds of roles the nodes play around the target link, which is not
+//! only useful in link prediction, but also meaningful in other areas like
+//! social analysis and entity resolution." This module makes that
+//! observation executable: every structure node is classified by how it
+//! relates to the target endpoints, and the analysis reports how strongly
+//! the neighborhood aggregates.
+
+use std::fmt;
+
+use crate::hop::HopSubgraph;
+use crate::structure::StructureSubgraph;
+
+/// The role a structure node plays relative to the target link `(a, b)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeRole {
+    /// One of the two target endpoints themselves.
+    Endpoint,
+    /// Adjacent to *both* endpoints — the common-neighbor block that
+    /// drives CN/AA/RA and the paper's Figure 1 argument.
+    CommonNeighbor,
+    /// Adjacent to endpoint `a` only (e.g. `a`'s fan crowd).
+    SatelliteA,
+    /// Adjacent to endpoint `b` only.
+    SatelliteB,
+    /// Not adjacent to either endpoint: farther context.
+    Periphery,
+}
+
+impl fmt::Display for NodeRole {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeRole::Endpoint => "endpoint",
+            NodeRole::CommonNeighbor => "common neighbor",
+            NodeRole::SatelliteA => "satellite of a",
+            NodeRole::SatelliteB => "satellite of b",
+            NodeRole::Periphery => "periphery",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Role classification of one target link's structure subgraph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoleAnalysis {
+    /// Role per structure node (index-aligned with the structure
+    /// subgraph).
+    roles: Vec<NodeRole>,
+    /// Underlying (hop-subgraph) node count per structure node.
+    member_counts: Vec<usize>,
+    hop_nodes: usize,
+}
+
+impl RoleAnalysis {
+    /// Classifies every structure node of `s` (extracted from `hop`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` was not produced from `hop` (member indices out of
+    /// range).
+    pub fn analyze(hop: &HopSubgraph, s: &StructureSubgraph) -> Self {
+        let roles = (0..s.node_count())
+            .map(|x| {
+                if x <= 1 {
+                    return NodeRole::Endpoint;
+                }
+                let nbrs = s.neighbors(x);
+                let to_a = nbrs.contains(&0);
+                let to_b = nbrs.contains(&1);
+                match (to_a, to_b) {
+                    (true, true) => NodeRole::CommonNeighbor,
+                    (true, false) => NodeRole::SatelliteA,
+                    (false, true) => NodeRole::SatelliteB,
+                    (false, false) => NodeRole::Periphery,
+                }
+            })
+            .collect();
+        let member_counts =
+            (0..s.node_count()).map(|x| s.members(x).len()).collect();
+        RoleAnalysis {
+            roles,
+            member_counts,
+            hop_nodes: hop.node_count(),
+        }
+    }
+
+    /// Role of structure node `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is out of range.
+    pub fn role(&self, x: usize) -> NodeRole {
+        self.roles[x]
+    }
+
+    /// Number of structure nodes with the given role.
+    pub fn structure_nodes_with(&self, role: NodeRole) -> usize {
+        self.roles.iter().filter(|&&r| r == role).count()
+    }
+
+    /// Number of *underlying* nodes playing the given role (structure
+    /// nodes weighted by member count).
+    pub fn nodes_with(&self, role: NodeRole) -> usize {
+        self.roles
+            .iter()
+            .zip(&self.member_counts)
+            .filter(|(&r, _)| r == role)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Compression achieved by structure combination:
+    /// `hop nodes / structure nodes` (≥ 1.0; higher = more aggregation).
+    pub fn aggregation_ratio(&self) -> f64 {
+        self.hop_nodes as f64 / self.roles.len() as f64
+    }
+}
+
+impl fmt::Display for RoleAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} nodes in {} structure nodes (aggregation ×{:.2})",
+            self.hop_nodes,
+            self.roles.len(),
+            self.aggregation_ratio()
+        )?;
+        for role in [
+            NodeRole::CommonNeighbor,
+            NodeRole::SatelliteA,
+            NodeRole::SatelliteB,
+            NodeRole::Periphery,
+        ] {
+            writeln!(
+                f,
+                "  {role}: {} structure nodes ({} nodes)",
+                self.structure_nodes_with(role),
+                self.nodes_with(role)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyngraph::DynamicNetwork;
+
+    fn analyze(g: &DynamicNetwork, a: u32, b: u32, h: u32) -> RoleAnalysis {
+        let hop = HopSubgraph::extract(g, a, b, h);
+        let s = StructureSubgraph::combine(&hop);
+        RoleAnalysis::analyze(&hop, &s)
+    }
+
+    /// a(0) and b(1) share neighbor 2; fans 3,4 on a; fan 5 on b;
+    /// periphery 6 behind 2.
+    fn sample() -> DynamicNetwork {
+        [
+            (0, 2, 1),
+            (1, 2, 1),
+            (0, 3, 1),
+            (0, 4, 1),
+            (1, 5, 1),
+            (2, 6, 1),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn roles_classified() {
+        let g = sample();
+        let ra = analyze(&g, 0, 1, 2);
+        assert_eq!(ra.role(0), NodeRole::Endpoint);
+        assert_eq!(ra.role(1), NodeRole::Endpoint);
+        assert_eq!(ra.structure_nodes_with(NodeRole::CommonNeighbor), 1);
+        // fans 3,4 merge into one SatelliteA structure node of 2 members.
+        assert_eq!(ra.structure_nodes_with(NodeRole::SatelliteA), 1);
+        assert_eq!(ra.nodes_with(NodeRole::SatelliteA), 2);
+        assert_eq!(ra.structure_nodes_with(NodeRole::SatelliteB), 1);
+        assert_eq!(ra.structure_nodes_with(NodeRole::Periphery), 1);
+    }
+
+    #[test]
+    fn aggregation_ratio_reflects_merging() {
+        let g = sample();
+        let ra = analyze(&g, 0, 1, 2);
+        // 7 hop nodes in 6 structure nodes.
+        assert!((ra.aggregation_ratio() - 7.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn celebrity_fans_aggregate_strongly() {
+        let mut g: DynamicNetwork = [(0, 2, 1), (1, 2, 1)].into_iter().collect();
+        for fan in 3..23 {
+            g.add_link(0, fan, 1);
+        }
+        let ra = analyze(&g, 0, 1, 1);
+        assert_eq!(ra.structure_nodes_with(NodeRole::SatelliteA), 1);
+        assert_eq!(ra.nodes_with(NodeRole::SatelliteA), 20);
+        assert!(ra.aggregation_ratio() > 4.0);
+    }
+
+    #[test]
+    fn display_mentions_every_role() {
+        let g = sample();
+        let text = analyze(&g, 0, 1, 2).to_string();
+        for needle in ["common neighbor", "satellite of a", "periphery", "aggregation"] {
+            assert!(text.contains(needle), "missing {needle:?} in {text}");
+        }
+    }
+}

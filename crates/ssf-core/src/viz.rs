@@ -1,0 +1,112 @@
+//! GraphViz DOT export of K-structure subgraphs — the visual form of the
+//! paper's Figure 6: blue structure nodes sized by the number of merged
+//! underlying nodes, the target link dashed red, structure links weighted
+//! by multiplicity.
+
+use std::fmt::Write as _;
+
+use crate::kstructure::KStructureSubgraph;
+
+/// Renders a K-structure subgraph as a GraphViz `graph` document.
+///
+/// `member_counts[slot]` (optional) sizes each node by how many underlying
+/// nodes its structure node merged; pass `None` for uniform sizes.
+/// Slot 0/1 are labeled `a`/`b` and connected by the dashed red target
+/// link. Pipe the output through `dot -Tsvg` to render.
+///
+/// # Panics
+///
+/// Panics if `member_counts` is provided with a length different from `k`.
+pub fn to_dot(ks: &KStructureSubgraph, member_counts: Option<&[usize]>) -> String {
+    if let Some(counts) = member_counts {
+        assert_eq!(counts.len(), ks.k(), "one member count per slot required");
+    }
+    let mut out = String::from("graph k_structure {\n");
+    out.push_str("  layout=neato;\n  node [style=filled, fillcolor=\"#4a7fb5\", fontcolor=white];\n");
+    for slot in 0..ks.k() {
+        if !ks.is_occupied(slot) {
+            continue;
+        }
+        let label = match slot {
+            0 => "a".to_string(),
+            1 => "b".to_string(),
+            n => format!("N{}", n + 1),
+        };
+        let size = member_counts
+            .map(|c| 0.3 + (c[slot] as f64).sqrt() * 0.2)
+            .unwrap_or(0.5);
+        let _ = writeln!(
+            out,
+            "  s{slot} [label=\"{label}\", width={size:.2}, height={size:.2}, fixedsize=true];"
+        );
+    }
+    // Target link: dashed red between the endpoints.
+    out.push_str("  s0 -- s1 [style=dashed, color=red, penwidth=2];\n");
+    for (m, n) in ks.links() {
+        let width = 1.0 + (ks.timestamps_between(m, n).len() as f64).ln();
+        let _ = writeln!(
+            out,
+            "  s{m} -- s{n} [color=\"#3aa05a\", penwidth={width:.2}];"
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::feature::{SsfConfig, SsfExtractor};
+    use dyngraph::DynamicNetwork;
+
+    fn sample_ks() -> KStructureSubgraph {
+        let g: DynamicNetwork = [
+            (0, 2, 1),
+            (1, 2, 2),
+            (0, 3, 3),
+            (0, 4, 3),
+            (2, 5, 4),
+        ]
+        .into_iter()
+        .collect();
+        SsfExtractor::new(SsfConfig::new(5)).k_structure(&g, 0, 1).0
+    }
+
+    #[test]
+    fn dot_contains_nodes_links_and_target() {
+        let ks = sample_ks();
+        let dot = to_dot(&ks, None);
+        assert!(dot.starts_with("graph k_structure {"));
+        assert!(dot.contains("s0 [label=\"a\""));
+        assert!(dot.contains("s1 [label=\"b\""));
+        assert!(dot.contains("style=dashed, color=red"));
+        assert!(dot.contains("--"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn member_counts_scale_node_sizes() {
+        let ks = sample_ks();
+        let counts = vec![1usize; ks.k()];
+        let uniform = to_dot(&ks, Some(&counts));
+        let mut bigger = counts.clone();
+        bigger[2] = 16;
+        let scaled = to_dot(&ks, Some(&bigger));
+        assert_ne!(uniform, scaled);
+    }
+
+    #[test]
+    fn padded_slots_omitted() {
+        let g: DynamicNetwork = [(0, 2, 1), (1, 2, 1)].into_iter().collect();
+        let ks = SsfExtractor::new(SsfConfig::new(8)).k_structure(&g, 0, 1).0;
+        let dot = to_dot(&ks, None);
+        assert!(!dot.contains("s7 ["), "padding slot must not be drawn");
+    }
+
+    #[test]
+    #[should_panic(expected = "one member count per slot")]
+    fn member_count_length_checked() {
+        let ks = sample_ks();
+        let _ = to_dot(&ks, Some(&[1, 2]));
+    }
+}

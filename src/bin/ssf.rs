@@ -1,0 +1,376 @@
+//! `ssf` — command-line interface to the reproduction.
+//!
+//! ```console
+//! $ ssf stats network.txt
+//! $ ssf generate coauthor --scale 0.3 --seed 7 --out net.txt
+//! $ ssf extract network.txt 12 57 --k 10
+//! $ ssf roles network.txt 12 57
+//! $ ssf patterns network.txt --samples 500 --k 10
+//! $ ssf evaluate network.txt --methods cn,katz,ssflr,ssfnm
+//! ```
+//!
+//! Edge lists are whitespace-separated `u v t` lines (KONECT style; see
+//! `dyngraph::io`).
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use ssf_repro::baselines;
+use ssf_repro::datasets::{generate, DatasetSpec};
+use ssf_repro::dyngraph::{io, metrics, stats::NetworkStats, DynamicNetwork};
+use ssf_repro::methods::{Method, MethodOptions};
+use ssf_repro::model::SsfnmModel;
+use ssf_repro::ssf_core::{
+    HopSubgraph, PatternMiner, RoleAnalysis, SsfConfig, SsfExtractor,
+    StructureSubgraph,
+};
+use ssf_repro::ssf_eval::{
+    backtest_splits, BacktestConfig, ResultsTable, Split, SplitConfig,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("extract") => cmd_extract(&args[1..]),
+        Some("roles") => cmd_roles(&args[1..]),
+        Some("patterns") => cmd_patterns(&args[1..]),
+        Some("evaluate") => cmd_evaluate(&args[1..]),
+        Some("train") => cmd_train(&args[1..]),
+        Some("predict") => cmd_predict(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}; try --help")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "ssf — Structure Subgraph Feature link prediction (ICDCS 2019 reproduction)
+
+USAGE:
+  ssf stats    <edge-list>                     network statistics
+  ssf generate <dataset> [--scale F] [--seed N] [--out FILE]
+                                               synthetic Table II dataset
+  ssf extract  <edge-list> <u> <v> [--k N] [--dot]
+                                               SSF vector (+GraphViz DOT) of a pair
+  ssf roles    <edge-list> <u> <v> [--h N]     structure-node role analysis
+  ssf patterns <edge-list> [--samples N] [--k N]
+                                               frequent K-structure patterns
+  ssf evaluate <edge-list> [--methods a,b] [--k N] [--seed N]
+                                               AUC/F1 of the Table III methods
+  ssf train    <edge-list> --out MODEL [--k N] [--epochs N]
+                                               fit SSFNM, persist the model
+  ssf predict  <edge-list> <model> <u> <v>     score a pair with a saved model
+
+Datasets: eu-email contact facebook coauthor prosper slashdot digg"
+    );
+}
+
+fn load(path: &str) -> Result<DynamicNetwork, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    io::read_edge_list(BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+/// Tiny flag parser: `--name value` pairs after the positional arguments.
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_flag<T: std::str::FromStr>(
+    args: &[String],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid value for {name}: {v:?}")),
+    }
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: ssf stats <edge-list>")?;
+    let g = load(path)?;
+    let s = NetworkStats::of(&g);
+    let stat = g.to_static();
+    println!("{s}");
+    println!("distinct edges:        {}", stat.edge_count());
+    println!(
+        "multi-link ratio:      {:.2}",
+        g.link_count() as f64 / stat.edge_count().max(1) as f64
+    );
+    println!(
+        "global clustering:     {:.4}",
+        metrics::global_clustering(&stat)
+    );
+    println!("degree gini (hubness): {:.4}", metrics::degree_gini(&stat));
+    let comps = metrics::connected_components(&stat);
+    println!(
+        "components:            {} (largest {})",
+        comps.len(),
+        comps.first().map_or(0, Vec::len)
+    );
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("usage: ssf generate <dataset>")?;
+    let spec = DatasetSpec::paper_datasets()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown dataset {name:?}"))?;
+    let scale: f64 = parse_flag(args, "--scale", 1.0)?;
+    let seed: u64 = parse_flag(args, "--seed", 7)?;
+    let spec = if scale < 1.0 { spec.scaled(scale) } else { spec };
+    let g = generate(&spec, seed);
+    match flag(args, "--out") {
+        Some(path) => {
+            let mut file = File::create(&path)
+                .map_err(|e| format!("cannot create {path}: {e}"))?;
+            io::write_edge_list(&g, &mut file).map_err(|e| e.to_string())?;
+            println!("wrote {} links to {path}", g.link_count());
+        }
+        None => {
+            io::write_edge_list(&g, std::io::stdout().lock())
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn parse_pair(args: &[String]) -> Result<(String, u32, u32), String> {
+    let path = args.first().ok_or("missing edge-list path")?.clone();
+    let u: u32 = args
+        .get(1)
+        .ok_or("missing node u")?
+        .parse()
+        .map_err(|_| "node u must be an integer")?;
+    let v: u32 = args
+        .get(2)
+        .ok_or("missing node v")?
+        .parse()
+        .map_err(|_| "node v must be an integer")?;
+    Ok((path, u, v))
+}
+
+fn cmd_extract(args: &[String]) -> Result<(), String> {
+    let (path, u, v) = parse_pair(args)?;
+    let k: usize = parse_flag(args, "--k", 10)?;
+    let g = load(&path)?;
+    let n = g.node_count() as u32;
+    if u >= n || v >= n || u == v {
+        return Err(format!("invalid target pair ({u}, {v}) for {n} nodes"));
+    }
+    let l_t = g.max_timestamp().ok_or("network has no links")? + 1;
+    let ex = SsfExtractor::new(SsfConfig::new(k));
+    let f = ex.extract(&g, u, v, l_t);
+    println!(
+        "SSF({u}-{v}) K={k} h={} |V_S|={} dim={}",
+        f.radius(),
+        f.structure_node_count(),
+        f.values().len()
+    );
+    let formatted: Vec<String> =
+        f.values().iter().map(|x| format!("{x:.4}")).collect();
+    println!("[{}]", formatted.join(", "));
+    if args.iter().any(|a| a == "--dot") {
+        let (ks, _, _) = ex.k_structure(&g, u, v);
+        println!();
+        print!("{}", ssf_repro::ssf_core::viz::to_dot(&ks, None));
+    }
+    Ok(())
+}
+
+fn cmd_roles(args: &[String]) -> Result<(), String> {
+    let (path, u, v) = parse_pair(args)?;
+    let h: u32 = parse_flag(args, "--h", 1)?;
+    let g = load(&path)?;
+    let n = g.node_count() as u32;
+    if u >= n || v >= n || u == v {
+        return Err(format!("invalid target pair ({u}, {v}) for {n} nodes"));
+    }
+    let hop = HopSubgraph::extract(&g, u, v, h);
+    let s = StructureSubgraph::combine(&hop);
+    print!("{}", RoleAnalysis::analyze(&hop, &s));
+    Ok(())
+}
+
+fn cmd_patterns(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: ssf patterns <edge-list>")?;
+    let samples: usize = parse_flag(args, "--samples", 500)?;
+    let k: usize = parse_flag(args, "--k", 10)?;
+    let g = load(path)?;
+    let pairs: Vec<(u32, u32)> = g
+        .to_static()
+        .edges()
+        .map(|(u, v, _)| (u, v))
+        .take(samples)
+        .collect();
+    let ex = SsfExtractor::new(SsfConfig::new(k));
+    let mut miner = PatternMiner::new();
+    for &(u, v) in &pairs {
+        let (ks, _, _) = ex.k_structure(&g, u, v);
+        miner.observe(&ks);
+    }
+    println!(
+        "{} observations, {} distinct patterns",
+        miner.observations(),
+        miner.distinct_patterns()
+    );
+    for (rank, (sig, count)) in miner.ranked().into_iter().take(3).enumerate() {
+        println!("#{} ({count} occurrences):", rank + 1);
+        println!("{sig}");
+    }
+    Ok(())
+}
+
+fn cmd_train(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: ssf train <edge-list> --out MODEL")?;
+    let out = flag(args, "--out").ok_or("--out MODEL required")?;
+    let g = load(path)?;
+    let seed: u64 = parse_flag(args, "--seed", 7)?;
+    let opts = MethodOptions {
+        k: parse_flag(args, "--k", 10)?,
+        nm_epochs: parse_flag(args, "--epochs", 200)?,
+        seed,
+        ..MethodOptions::default()
+    };
+    let split = Split::with_min_positives(
+        &g,
+        &SplitConfig {
+            seed,
+            max_positives: Some(400),
+            ..SplitConfig::default()
+        },
+        50,
+    )
+    .map_err(|e| e.to_string())?;
+    let extra = backtest_splits(
+        &split.history,
+        &BacktestConfig {
+            split: SplitConfig {
+                seed,
+                max_positives: Some(400),
+                ..SplitConfig::default()
+            },
+            folds: 3,
+            stride: 1,
+            min_positives: 25,
+        },
+    )
+    .unwrap_or_default();
+    let model = SsfnmModel::fit(&split, &extra, &opts);
+    let file =
+        File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    model
+        .save(std::io::BufWriter::new(file))
+        .map_err(|e| e.to_string())?;
+    let r = Method::Ssfnm.evaluate_augmented(&split, &extra, &opts);
+    println!(
+        "trained SSFNM on {} samples (held-out AUC {:.3}, F1 {:.3}); wrote {out}",
+        split.train.len(),
+        r.auc,
+        r.f1
+    );
+    Ok(())
+}
+
+fn cmd_predict(args: &[String]) -> Result<(), String> {
+    let net_path = args.first().ok_or("usage: ssf predict <edge-list> <model> <u> <v>")?;
+    let model_path = args.get(1).ok_or("missing model path")?;
+    let u: u32 = args
+        .get(2)
+        .ok_or("missing node u")?
+        .parse()
+        .map_err(|_| "node u must be an integer")?;
+    let v: u32 = args
+        .get(3)
+        .ok_or("missing node v")?
+        .parse()
+        .map_err(|_| "node v must be an integer")?;
+    let g = load(net_path)?;
+    let n = g.node_count() as u32;
+    if u >= n || v >= n || u == v {
+        return Err(format!("invalid target pair ({u}, {v}) for {n} nodes"));
+    }
+    let file = File::open(model_path)
+        .map_err(|e| format!("cannot open {model_path}: {e}"))?;
+    let model =
+        SsfnmModel::load(BufReader::new(file)).map_err(|e| e.to_string())?;
+    let present = g.max_timestamp().ok_or("network has no links")? + 1;
+    let p = model.score(&g, u, v, present);
+    println!("P(link {u}-{v} emerges at t={present}) = {p:.4}");
+    Ok(())
+}
+
+fn cmd_evaluate(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("usage: ssf evaluate <edge-list>")?;
+    let g = load(path)?;
+    let seed: u64 = parse_flag(args, "--seed", 7)?;
+    let k: usize = parse_flag(args, "--k", 10)?;
+    let methods: Vec<Method> = match flag(args, "--methods") {
+        None => Method::all().to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|name| {
+                Method::parse(name.trim())
+                    .ok_or_else(|| format!("unknown method {name:?}"))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let split = Split::with_min_positives(
+        &g,
+        &SplitConfig {
+            seed,
+            max_positives: Some(400),
+            ..SplitConfig::default()
+        },
+        50,
+    )
+    .map_err(|e| e.to_string())?;
+    let opts = MethodOptions {
+        k,
+        seed,
+        nmf: baselines::NmfConfig {
+            seed,
+            ..baselines::NmfConfig::default()
+        },
+        ..MethodOptions::default()
+    };
+    // Earlier-window folds augment the supervised training sets, exactly
+    // as in the Table III harness.
+    let extra = backtest_splits(
+        &split.history,
+        &BacktestConfig {
+            split: SplitConfig {
+                seed,
+                max_positives: Some(400),
+                ..SplitConfig::default()
+            },
+            folds: 3,
+            stride: 1,
+            min_positives: 25,
+        },
+    )
+    .unwrap_or_default();
+    let mut table = ResultsTable::new();
+    for m in methods {
+        table.record("input", &m.evaluate_augmented(&split, &extra, &opts));
+    }
+    print!("{table}");
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! # ssf-repro
+//!
+//! Reproduction of *"A Universal Method Based on Structure Subgraph Feature
+//! for Link Prediction over Dynamic Networks"* (Li, Liang, Zhang, Liu, Wu —
+//! ICDCS 2019).
+//!
+//! This facade crate re-exports the whole workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`dyngraph`] — timestamped undirected multigraph substrate.
+//! * [`linalg`] — dense matrix/vector kernels.
+//! * [`ssf_core`] — the paper's contribution: structure subgraphs and the
+//!   Structure Subgraph Feature (SSF).
+//! * [`baselines`] — the 11 comparison methods (CN … WLNM, NMF).
+//! * [`ssf_ml`] — linear regression and the "neural machine" MLP.
+//! * [`datasets`] — synthetic dynamic-network generators matched to the
+//!   paper's seven datasets.
+//! * [`ssf_eval`] — train/test splitting, AUC/F1, experiment runner.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use ssf_repro::dyngraph::DynamicNetwork;
+//! use ssf_repro::ssf_core::{SsfConfig, SsfExtractor};
+//!
+//! let mut g = DynamicNetwork::new();
+//! for (u, v, t) in [(0, 1, 1), (1, 2, 2), (2, 0, 3), (0, 3, 3), (3, 4, 4)] {
+//!     g.add_link(u, v, t);
+//! }
+//! let extractor = SsfExtractor::new(SsfConfig::new(5));
+//! let feature = extractor.extract(&g, 1, 4, 5);
+//! assert_eq!(feature.values().len(), SsfConfig::new(5).feature_dim());
+//! ```
+
+pub mod methods;
+pub mod model;
+pub mod stream;
+
+pub use baselines;
+pub use datasets;
+pub use dyngraph;
+pub use linalg;
+pub use ssf_core;
+pub use ssf_eval;
+pub use ssf_ml;

@@ -1,0 +1,542 @@
+//! The 15 link-prediction methods of the paper's Table III, behind one
+//! uniform interface.
+//!
+//! Unsupervised ranking baselines (CN … NMF) score pairs directly on the
+//! static view of the history network; supervised methods (WLLR, WLNM,
+//! SSFLR-W, SSFNM-W, SSFLR, SSFNM) extract a link feature per sample,
+//! standardize, train their model on the training samples and score the
+//! test samples. [`Method::evaluate`] runs any of them on a prepared
+//! [`Split`] and returns the Table III cell (AUC, F1).
+
+use baselines::{
+    local, KatzIndex, LocalPathIndex, LocalRandomWalk, Nmf, NmfConfig,
+    TemporalNmf, WlfConfig, WlfExtractor,
+};
+use dyngraph::StaticGraph;
+use linalg::Matrix;
+use ssf_core::{EntryEncoding, SsfConfig, SsfExtractor};
+use ssf_eval::{
+    evaluate_ranking, evaluate_supervised_scores, LinkSample, MethodResult,
+    Split,
+};
+use ssf_ml::{LinearRegression, MlpConfig, NeuralMachine, StandardScaler};
+
+/// One of the paper's Table III methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Method {
+    /// Common Neighbors (unsupervised).
+    Cn,
+    /// Jaccard index (unsupervised).
+    Jaccard,
+    /// Preferential Attachment (unsupervised).
+    Pa,
+    /// Adamic–Adar (unsupervised).
+    Aa,
+    /// Resource Allocation (unsupervised).
+    Ra,
+    /// Reliable weighted Resource Allocation (unsupervised, weighted).
+    Rwra,
+    /// Truncated Katz index (unsupervised).
+    Katz,
+    /// Superposed local random walk (unsupervised).
+    Rw,
+    /// Non-negative matrix factorization (unsupervised reconstruction).
+    Nmf,
+    /// WLF + linear regression (Zhang & Chen's feature).
+    Wllr,
+    /// WLF + neural machine.
+    Wlnm,
+    /// SSF-W (timestamp-blind SSF) + linear regression.
+    SsflrW,
+    /// SSF-W + neural machine.
+    SsfnmW,
+    /// SSF + linear regression — the paper's first proposed method.
+    Ssflr,
+    /// SSF + neural machine — the paper's second proposed method.
+    Ssfnm,
+    /// Local Path index `A² + εA³` (related-work extension, paper ref [8]).
+    Lp,
+    /// Temporal matrix factorization over the decay-weighted adjacency
+    /// (related-work extension, after paper ref [28]).
+    Tmf,
+}
+
+impl Method {
+    /// All 15 methods in Table III row order.
+    pub fn all() -> [Method; 15] {
+        use Method::*;
+        [
+            Cn, Jaccard, Pa, Aa, Ra, Rwra, Katz, Rw, Nmf, Wllr, SsflrW, Wlnm,
+            SsfnmW, Ssflr, Ssfnm,
+        ]
+    }
+
+    /// Table III's 15 methods plus the related-work extensions (LP, TMF).
+    pub fn extended() -> Vec<Method> {
+        let mut v = Self::all().to_vec();
+        v.push(Method::Lp);
+        v.push(Method::Tmf);
+        v
+    }
+
+    /// The method name as printed in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Cn => "CN",
+            Method::Jaccard => "Jac.",
+            Method::Pa => "PA",
+            Method::Aa => "AA",
+            Method::Ra => "RA",
+            Method::Rwra => "rWRA",
+            Method::Katz => "Katz",
+            Method::Rw => "RW",
+            Method::Nmf => "NMF",
+            Method::Wllr => "WLLR",
+            Method::Wlnm => "WLNM",
+            Method::SsflrW => "SSFLR-W",
+            Method::SsfnmW => "SSFNM-W",
+            Method::Ssflr => "SSFLR",
+            Method::Ssfnm => "SSFNM",
+            Method::Lp => "LP",
+            Method::Tmf => "TMF",
+        }
+    }
+
+    /// Parses a method name (case-insensitive), including the extensions.
+    pub fn parse(name: &str) -> Option<Method> {
+        Method::extended()
+            .into_iter()
+            .find(|m| m.name().eq_ignore_ascii_case(name))
+    }
+
+    /// `true` for the supervised, feature-based methods.
+    pub fn is_supervised(&self) -> bool {
+        matches!(
+            self,
+            Method::Wllr
+                | Method::Wlnm
+                | Method::SsflrW
+                | Method::SsfnmW
+                | Method::Ssflr
+                | Method::Ssfnm
+        )
+    }
+
+    /// Runs the method on a prepared split, augmenting the supervised
+    /// training set with labeled samples from earlier prediction windows
+    /// (`extra_train`, e.g. from [`ssf_eval::backtest_splits`]).
+    ///
+    /// Each extra fold's samples are featurized against *that fold's own
+    /// history*, so no future information reaches the model; the folds
+    /// predate the evaluation window by construction. Ranking methods have
+    /// nothing to train and ignore the extra folds.
+    pub fn evaluate_augmented(
+        &self,
+        split: &Split,
+        extra_train: &[Split],
+        opts: &MethodOptions,
+    ) -> MethodResult {
+        if !self.is_supervised() {
+            return self.evaluate(split, opts);
+        }
+        let stat = split.history.to_static();
+        self.supervised(split, extra_train, opts, &stat, self.model_kind())
+    }
+
+    /// Runs the method on a prepared split.
+    pub fn evaluate(&self, split: &Split, opts: &MethodOptions) -> MethodResult {
+        let stat = split.history.to_static();
+        match self {
+            Method::Cn => {
+                evaluate_ranking(self.name(), split, |u, v| {
+                    local::common_neighbors(&stat, u, v)
+                })
+            }
+            Method::Jaccard => evaluate_ranking(self.name(), split, |u, v| {
+                local::jaccard(&stat, u, v)
+            }),
+            Method::Pa => evaluate_ranking(self.name(), split, |u, v| {
+                local::preferential_attachment(&stat, u, v)
+            }),
+            Method::Aa => evaluate_ranking(self.name(), split, |u, v| {
+                local::adamic_adar(&stat, u, v)
+            }),
+            Method::Ra => evaluate_ranking(self.name(), split, |u, v| {
+                local::resource_allocation(&stat, u, v)
+            }),
+            Method::Rwra => evaluate_ranking(self.name(), split, |u, v| {
+                local::rwra(&stat, u, v)
+            }),
+            Method::Katz => {
+                let mut katz =
+                    KatzIndex::new(&stat, opts.katz_beta, opts.katz_max_len);
+                evaluate_ranking(self.name(), split, |u, v| katz.score(u, v))
+            }
+            Method::Rw => {
+                let mut rw = LocalRandomWalk::new(&stat, opts.rw_steps);
+                evaluate_ranking(self.name(), split, |u, v| rw.score(u, v))
+            }
+            Method::Nmf => {
+                let nmf = Nmf::factorize(&stat, opts.nmf);
+                evaluate_ranking(self.name(), split, |u, v| nmf.score(u, v))
+            }
+            Method::Lp => {
+                let mut lp = LocalPathIndex::new(&stat, opts.lp_epsilon);
+                evaluate_ranking(self.name(), split, |u, v| lp.score(u, v))
+            }
+            Method::Tmf => {
+                let present = split
+                    .history
+                    .max_timestamp()
+                    .map_or(split.l_t, |t| t + 1);
+                let tmf = TemporalNmf::factorize(
+                    &split.history,
+                    present,
+                    opts.theta,
+                    opts.nmf,
+                );
+                evaluate_ranking(self.name(), split, |u, v| tmf.score(u, v))
+            }
+            supervised => {
+                self.supervised(split, &[], opts, &stat, supervised.model_kind())
+            }
+        }
+    }
+
+    /// LR vs NM for the supervised methods.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unsupervised methods.
+    fn model_kind(&self) -> ModelKind {
+        match self {
+            Method::Wllr | Method::SsflrW | Method::Ssflr => ModelKind::Lr,
+            Method::Wlnm | Method::SsfnmW | Method::Ssfnm => ModelKind::Nm,
+            other => unreachable!("{other:?} has no trained model"),
+        }
+    }
+
+    /// Extracts this method's feature for one sample against one fold's
+    /// history.
+    ///
+    /// Temporal decay is measured from the first tick after the history
+    /// ends, not from the (possibly later) prediction time: when the
+    /// evaluation window spans several ticks, measuring from `l_t` would
+    /// insert a dead gap that exponentially suppresses *all* history.
+    fn feature(
+        &self,
+        fold: &Split,
+        opts: &MethodOptions,
+        stat: &StaticGraph,
+        sample: &LinkSample,
+    ) -> Vec<f64> {
+        let present = fold
+            .history
+            .max_timestamp()
+            .map_or(fold.l_t, |t| t + 1);
+        match self {
+            Method::Wllr | Method::Wlnm => {
+                WlfExtractor::new(WlfConfig::new(opts.k))
+                    .extract(stat, sample.u, sample.v)
+            }
+            Method::SsflrW | Method::SsfnmW => {
+                let cfg = SsfConfig::new(opts.k)
+                    .with_encoding(EntryEncoding::LinkCount);
+                SsfExtractor::new(cfg)
+                    .extract(&fold.history, sample.u, sample.v, present)
+                    .into_values()
+            }
+            Method::Ssflr | Method::Ssfnm => {
+                let cfg = SsfConfig::new(opts.k)
+                    .with_theta(opts.theta)
+                    .with_encoding(opts.ssf_encoding);
+                SsfExtractor::new(cfg)
+                    .extract(&fold.history, sample.u, sample.v, present)
+                    .into_values()
+            }
+            _ => unreachable!("feature() is only called for supervised methods"),
+        }
+    }
+
+    /// Extracts features for a batch of samples, fanning out across the
+    /// available cores with scoped threads (extraction is embarrassingly
+    /// parallel and dominates the supervised methods' wall-clock). Output
+    /// order matches the input order, so runs stay deterministic.
+    fn extract_parallel(
+        &self,
+        fold: &Split,
+        opts: &MethodOptions,
+        fold_stat: &StaticGraph,
+        samples: &[LinkSample],
+    ) -> Vec<Vec<f64>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if threads <= 1 || samples.len() < 64 {
+            return samples
+                .iter()
+                .map(|s| self.feature(fold, opts, fold_stat, s))
+                .collect();
+        }
+        let chunk = samples.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = samples
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.iter()
+                            .map(|s| self.feature(fold, opts, fold_stat, s))
+                            .collect::<Vec<Vec<f64>>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("extraction thread panicked"))
+                .collect()
+        })
+    }
+
+    fn supervised(
+        &self,
+        split: &Split,
+        extra_train: &[Split],
+        opts: &MethodOptions,
+        stat: &StaticGraph,
+        model: ModelKind,
+    ) -> MethodResult {
+        let extract_fold =
+            |fold: &Split, fold_stat: &StaticGraph, samples: &[LinkSample]| {
+                self.extract_parallel(fold, opts, fold_stat, samples)
+            };
+        let mut train_rows = extract_fold(split, stat, &split.train);
+        let mut train_labels: Vec<bool> =
+            split.train.iter().map(|s| s.label).collect();
+        for fold in extra_train {
+            let fold_stat = fold.history.to_static();
+            for samples in [&fold.train, &fold.test] {
+                train_rows.extend(extract_fold(fold, &fold_stat, samples));
+                train_labels.extend(samples.iter().map(|s| s.label));
+            }
+        }
+        let dim = train_rows.first().map_or(0, Vec::len);
+        // log1p compresses the heavy-tailed multi-link counts of SSF-W /
+        // normalized-influence entries before standardization; without it
+        // the count variance swamps the presence/absence signal. All
+        // entries are non-negative; bounded encodings pass monotonically.
+        let x_train_raw =
+            Matrix::from_fn(train_rows.len(), dim, |i, j| train_rows[i][j])
+                .map(f64::ln_1p);
+        let test_rows = extract_fold(split, stat, &split.test);
+        let x_test_raw =
+            Matrix::from_fn(test_rows.len(), dim, |i, j| test_rows[i][j])
+                .map(f64::ln_1p);
+        let scaler = StandardScaler::fit(&x_train_raw);
+        let x_train = scaler.transform(&x_train_raw);
+        let x_test = scaler.transform(&x_test_raw);
+
+        let scores: Vec<f64> = match model {
+            ModelKind::Lr => {
+                let y: Vec<f64> = train_labels
+                    .iter()
+                    .map(|&l| if l { 1.0 } else { 0.0 })
+                    .collect();
+                let lr = LinearRegression::fit(&x_train, &y, opts.ridge_lambda)
+                    .expect("positive ridge always succeeds");
+                (0..x_test.rows()).map(|i| lr.predict(x_test.row(i))).collect()
+            }
+            ModelKind::Nm => {
+                let y: Vec<usize> =
+                    train_labels.iter().map(|&l| usize::from(l)).collect();
+                let cfg = MlpConfig {
+                    epochs: opts.nm_epochs,
+                    seed: opts.seed,
+                    ..MlpConfig::default()
+                };
+                let nm = NeuralMachine::train(&x_train, &y, cfg);
+                (0..x_test.rows()).map(|i| nm.score(x_test.row(i))).collect()
+            }
+        };
+        evaluate_supervised_scores(self.name(), split, &scores)
+    }
+}
+
+/// LR vs NM model choice for the supervised methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModelKind {
+    Lr,
+    Nm,
+}
+
+/// Shared hyperparameters (paper defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MethodOptions {
+    /// `K` for WLF / SSF features (paper: 10).
+    pub k: usize,
+    /// Influence decay θ (paper: 0.5).
+    pub theta: f64,
+    /// Entry encoding for the full SSF methods. Default: the combined
+    /// log-influence + structure encoding (see
+    /// [`EntryEncoding::InfluenceAndStructure`]); Definition 8's raw
+    /// normalized influence and the §V-B reciprocal distance are available
+    /// for ablation.
+    pub ssf_encoding: EntryEncoding,
+    /// Neural machine epochs (paper: 2000 with plain SGD; our Adam default
+    /// saturates far earlier — see EXPERIMENTS.md).
+    pub nm_epochs: u32,
+    /// Ridge strength for the linear regressions.
+    pub ridge_lambda: f64,
+    /// Katz damping β (paper: 0.001).
+    pub katz_beta: f64,
+    /// Katz series cutoff.
+    pub katz_max_len: u32,
+    /// Random-walk steps.
+    pub rw_steps: u32,
+    /// NMF configuration (shared by NMF and TMF).
+    pub nmf: NmfConfig,
+    /// Local Path ε.
+    pub lp_epsilon: f64,
+    /// Seed for model training.
+    pub seed: u64,
+}
+
+impl Default for MethodOptions {
+    fn default() -> Self {
+        MethodOptions {
+            k: 10,
+            theta: 0.5,
+            ssf_encoding: EntryEncoding::InfluenceAndStructure,
+            nm_epochs: 200,
+            ridge_lambda: 1e-3,
+            katz_beta: 0.001,
+            katz_max_len: 5,
+            rw_steps: 3,
+            nmf: NmfConfig::default(),
+            lp_epsilon: 0.01,
+            seed: 13,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyngraph::DynamicNetwork;
+    use ssf_eval::SplitConfig;
+
+    /// A network where new links close triangles: common-neighbor signal.
+    fn triadic_network() -> DynamicNetwork {
+        let mut g = DynamicNetwork::new();
+        // Hubs 0..5 each with a fan; fans of the same hub link up late.
+        let mut next = 6u32;
+        let mut fans = Vec::new();
+        for hub in 0..6u32 {
+            for _ in 0..6 {
+                g.add_link(hub, next, 1 + (next % 7));
+                fans.push((hub, next));
+                next += 1;
+            }
+        }
+        // Late triangle closures between fans of the same hub.
+        let mut t = 8;
+        for w in fans.windows(2) {
+            if w[0].0 == w[1].0 && (w[0].1 + w[1].1) % 3 == 0 {
+                g.add_link(w[0].1, w[1].1, t.min(9));
+                t += 1;
+            }
+        }
+        // Fresh closures at the last tick.
+        for w in fans.chunks(6) {
+            g.add_link(w[0].1, w[2].1, 10);
+            g.add_link(w[1].1, w[3].1, 10);
+        }
+        g
+    }
+
+    fn split() -> Split {
+        Split::new(&triadic_network(), &SplitConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn all_methods_run_and_produce_finite_metrics() {
+        let split = split();
+        let opts = MethodOptions {
+            nm_epochs: 10,
+            nmf: NmfConfig {
+                iterations: 20,
+                ..NmfConfig::default()
+            },
+            ..MethodOptions::default()
+        };
+        for m in Method::all() {
+            let r = m.evaluate(&split, &opts);
+            assert!(r.auc.is_finite() && (0.0..=1.0).contains(&r.auc), "{m:?}");
+            assert!(r.f1.is_finite() && (0.0..=1.0).contains(&r.f1), "{m:?}");
+            assert_eq!(r.name, m.name());
+        }
+    }
+
+    #[test]
+    fn cn_beats_chance_on_triadic_closure() {
+        let r = Method::Cn.evaluate(&split(), &MethodOptions::default());
+        assert!(r.auc > 0.6, "CN should exploit common neighbors: {}", r.auc);
+    }
+
+    #[test]
+    fn ssfnm_beats_chance_on_triadic_closure() {
+        let opts = MethodOptions {
+            nm_epochs: 60,
+            ..MethodOptions::default()
+        };
+        let r = Method::Ssfnm.evaluate(&split(), &opts);
+        assert!(r.auc > 0.6, "SSFNM should learn the closure rule: {}", r.auc);
+    }
+
+    #[test]
+    fn augmentation_adds_training_data_without_changing_ranking_methods() {
+        let eval_split = split();
+        // A second, earlier fold carved out of the history.
+        let Ok(earlier) = Split::new(
+            &eval_split.history,
+            &SplitConfig {
+                window: 2,
+                ..SplitConfig::default()
+            },
+        ) else {
+            return; // toy history too thin — nothing to augment with
+        };
+        let opts = MethodOptions {
+            nm_epochs: 10,
+            ..MethodOptions::default()
+        };
+        // Ranking methods ignore the extra folds entirely.
+        let plain = Method::Cn.evaluate(&eval_split, &opts);
+        let aug = Method::Cn.evaluate_augmented(
+            &eval_split,
+            std::slice::from_ref(&earlier),
+            &opts,
+        );
+        assert_eq!(plain, aug);
+        // Supervised methods stay valid with more data.
+        let r = Method::Ssflr.evaluate_augmented(&eval_split, &[earlier], &opts);
+        assert!((0.0..=1.0).contains(&r.auc));
+    }
+
+    #[test]
+    fn names_parse_round_trip() {
+        for m in Method::all() {
+            assert_eq!(Method::parse(m.name()), Some(m));
+        }
+        assert_eq!(Method::parse("ssfnm"), Some(Method::Ssfnm));
+        assert_eq!(Method::parse("nope"), None);
+    }
+
+    #[test]
+    fn supervised_flag_matches_table() {
+        assert!(!Method::Cn.is_supervised());
+        assert!(!Method::Nmf.is_supervised());
+        assert!(Method::Wllr.is_supervised());
+        assert!(Method::Ssfnm.is_supervised());
+    }
+}

@@ -1,0 +1,258 @@
+//! A trained, reusable SSFNM model — the deployment-shaped API.
+//!
+//! [`crate::methods::Method::evaluate`] trains and throws the model away
+//! (all the paper's experiments need is the metrics). Applications want to
+//! keep the fitted model and score arbitrary candidate pairs later;
+//! [`SsfnmModel`] packages the extractor configuration, the fitted feature
+//! scaler and the neural machine together.
+
+use std::io::{self, BufRead, Write};
+
+use dyngraph::{DynamicNetwork, NodeId, Timestamp};
+use linalg::Matrix;
+use ssf_core::{EntryEncoding, SsfConfig, SsfExtractor};
+use ssf_eval::Split;
+use ssf_ml::{persist, MlpConfig, NeuralMachine, StandardScaler};
+
+use crate::methods::MethodOptions;
+
+/// A fitted SSF + neural-machine link predictor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SsfnmModel {
+    extractor: SsfExtractor,
+    scaler: StandardScaler,
+    model: NeuralMachine,
+}
+
+impl SsfnmModel {
+    /// Trains on a split (plus optional earlier-window folds, as in
+    /// [`crate::methods::Method::evaluate_augmented`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the split has no training samples.
+    pub fn fit(split: &Split, extra_train: &[Split], opts: &MethodOptions) -> Self {
+        let cfg = SsfConfig::new(opts.k)
+            .with_theta(opts.theta)
+            .with_encoding(opts.ssf_encoding);
+        let extractor = SsfExtractor::new(cfg);
+
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        let mut labels: Vec<usize> = Vec::new();
+        for fold in std::iter::once(split).chain(extra_train) {
+            let present =
+                fold.history.max_timestamp().map_or(fold.l_t, |t| t + 1);
+            let samples: Vec<_> = if std::ptr::eq(fold, split) {
+                fold.train.iter().collect()
+            } else {
+                fold.train.iter().chain(&fold.test).collect()
+            };
+            for s in samples {
+                rows.push(
+                    extractor
+                        .extract(&fold.history, s.u, s.v, present)
+                        .into_values(),
+                );
+                labels.push(usize::from(s.label));
+            }
+        }
+        assert!(!rows.is_empty(), "training split must have samples");
+        let dim = rows[0].len();
+        let x_raw = Matrix::from_fn(rows.len(), dim, |i, j| rows[i][j])
+            .map(f64::ln_1p);
+        let scaler = StandardScaler::fit(&x_raw);
+        let x = scaler.transform(&x_raw);
+        let model = NeuralMachine::train(
+            &x,
+            &labels,
+            MlpConfig {
+                epochs: opts.nm_epochs,
+                seed: opts.seed,
+                ..MlpConfig::default()
+            },
+        );
+        SsfnmModel {
+            extractor,
+            scaler,
+            model,
+        }
+    }
+
+    /// Scores a candidate pair against a history network, with `present`
+    /// the timestamp prediction is made at (usually `max_timestamp + 1`).
+    /// Returns the probability that the link emerges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v` or either endpoint is outside `g`.
+    pub fn score(
+        &self,
+        g: &DynamicNetwork,
+        u: NodeId,
+        v: NodeId,
+        present: Timestamp,
+    ) -> f64 {
+        let mut f = self.extractor.extract(g, u, v, present).into_values();
+        for x in &mut f {
+            *x = x.ln_1p();
+        }
+        self.scaler.transform_row(&mut f);
+        self.model.score(&f)
+    }
+
+    /// The extractor configuration the model was trained with.
+    pub fn config(&self) -> &SsfConfig {
+        self.extractor.config()
+    }
+
+    /// Persists the complete predictor — extractor configuration, feature
+    /// scaler and network — to one plain-text stream (see
+    /// [`ssf_ml::persist`] for the format guarantees).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn save<W: Write>(&self, mut w: W) -> io::Result<()> {
+        let cfg = self.extractor.config();
+        writeln!(w, "ssf-model v1")?;
+        writeln!(
+            w,
+            "ssf-config k={} encoding={} max_h={}",
+            cfg.k,
+            cfg.encoding.as_str(),
+            cfg.max_h
+        )?;
+        persist::write_floats(&mut w, "theta", [cfg.decay.theta()])?;
+        self.scaler.write_to(&mut w)?;
+        self.model.write_to(&mut w)
+    }
+
+    /// Loads a predictor written by [`SsfnmModel::save`].
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` on version/format mismatches, plus reader errors.
+    pub fn load<R: BufRead>(mut r: R) -> io::Result<Self> {
+        persist::expect_line(&mut r, "ssf-model v1")?;
+        let line = persist::read_line(&mut r)?;
+        let mut k = None;
+        let mut encoding = None;
+        let mut max_h = None;
+        for field in line.split_whitespace().skip(1) {
+            let (key, value) = field.split_once('=').ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "bad config field")
+            })?;
+            match key {
+                "k" => k = value.parse().ok(),
+                "encoding" => encoding = EntryEncoding::parse(value),
+                "max_h" => max_h = value.parse().ok(),
+                _ => {}
+            }
+        }
+        let (Some(k), Some(encoding), Some(max_h)) = (k, encoding, max_h) else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "incomplete ssf-config line",
+            ));
+        };
+        let theta = persist::read_floats(&mut r, "theta")?;
+        let theta = *theta.first().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "missing theta")
+        })?;
+        let scaler = StandardScaler::read_from(&mut r)?;
+        let model = NeuralMachine::read_from(&mut r)?;
+        let cfg = SsfConfig::new(k)
+            .with_theta(theta)
+            .with_encoding(encoding)
+            .with_max_h(max_h);
+        Ok(SsfnmModel {
+            extractor: SsfExtractor::new(cfg),
+            scaler,
+            model,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssf_eval::SplitConfig;
+
+    fn triadic_network() -> DynamicNetwork {
+        let mut g = DynamicNetwork::new();
+        let mut next = 6u32;
+        let mut fans = Vec::new();
+        for hub in 0..6u32 {
+            for _ in 0..6 {
+                g.add_link(hub, next, 1 + (next % 7));
+                fans.push((hub, next));
+                next += 1;
+            }
+        }
+        for w in fans.chunks(6) {
+            g.add_link(w[0].1, w[2].1, 10);
+            g.add_link(w[1].1, w[3].1, 10);
+        }
+        g
+    }
+
+    #[test]
+    fn fit_and_score_round_trip() {
+        let g = triadic_network();
+        let split = Split::new(&g, &SplitConfig::default()).unwrap();
+        let opts = MethodOptions {
+            nm_epochs: 40,
+            ..MethodOptions::default()
+        };
+        let model = SsfnmModel::fit(&split, &[], &opts);
+        let present = split.history.max_timestamp().unwrap() + 1;
+        // Scores are probabilities.
+        for s in &split.test {
+            let p = model.score(&split.history, s.u, s.v, present);
+            assert!((0.0..=1.0).contains(&p));
+        }
+        assert_eq!(model.config().k, opts.k);
+    }
+
+    #[test]
+    fn save_load_round_trips_scores() {
+        let g = triadic_network();
+        let split = Split::new(&g, &SplitConfig::default()).unwrap();
+        let opts = MethodOptions {
+            nm_epochs: 15,
+            ..MethodOptions::default()
+        };
+        let model = SsfnmModel::fit(&split, &[], &opts);
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let loaded = SsfnmModel::load(buf.as_slice()).unwrap();
+        let present = split.history.max_timestamp().unwrap() + 1;
+        for s in split.test.iter().take(5) {
+            assert_eq!(
+                model.score(&split.history, s.u, s.v, present),
+                loaded.score(&split.history, s.u, s.v, present),
+            );
+        }
+        assert_eq!(loaded.config().k, opts.k);
+        // Corruption is rejected, not mis-loaded.
+        assert!(SsfnmModel::load(&b"garbage\n"[..]).is_err());
+    }
+
+    #[test]
+    fn deterministic_fit() {
+        let g = triadic_network();
+        let split = Split::new(&g, &SplitConfig::default()).unwrap();
+        let opts = MethodOptions {
+            nm_epochs: 10,
+            ..MethodOptions::default()
+        };
+        let a = SsfnmModel::fit(&split, &[], &opts);
+        let b = SsfnmModel::fit(&split, &[], &opts);
+        let present = split.history.max_timestamp().unwrap() + 1;
+        let s = &split.test[0];
+        assert_eq!(
+            a.score(&split.history, s.u, s.v, present),
+            b.score(&split.history, s.u, s.v, present)
+        );
+    }
+}

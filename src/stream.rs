@@ -1,0 +1,214 @@
+//! Online link prediction over a live link stream.
+//!
+//! The paper models dynamic networks as a stream of timestamped links
+//! (§III): "the links with timestamps emerge as a stream. We create the
+//! dynamic network from a blank graph and keep adding links". This module
+//! provides the matching runtime: feed links as they arrive, and the
+//! predictor periodically refits an [`SsfnmModel`] on the accumulated
+//! history so candidate pairs can be scored at any moment.
+
+use dyngraph::{DynamicNetwork, NodeId, Timestamp};
+use ssf_eval::{backtest_splits, BacktestConfig, Split, SplitConfig, SplitError};
+
+use crate::methods::MethodOptions;
+use crate::model::SsfnmModel;
+
+/// Configuration of the online predictor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlinePredictorConfig {
+    /// Hyperparameters shared with the offline experiments.
+    pub method: MethodOptions,
+    /// Refit whenever the stream has advanced this many ticks since the
+    /// last (attempted) fit.
+    pub refit_every: u32,
+    /// Split settings used to carve training sets out of the history.
+    pub split: SplitConfig,
+    /// Minimum positives a training split must contain.
+    pub min_positives: usize,
+    /// Earlier-window folds used to augment training (0 = none).
+    pub history_folds: u32,
+}
+
+impl Default for OnlinePredictorConfig {
+    fn default() -> Self {
+        OnlinePredictorConfig {
+            method: MethodOptions::default(),
+            refit_every: 5,
+            split: SplitConfig::default(),
+            min_positives: 30,
+            history_folds: 2,
+        }
+    }
+}
+
+/// An online link predictor over a growing dynamic network.
+///
+/// # Example
+///
+/// ```rust
+/// use ssf_repro::stream::{OnlineLinkPredictor, OnlinePredictorConfig};
+///
+/// let mut p = OnlineLinkPredictor::new(OnlinePredictorConfig::default());
+/// p.observe(0, 1, 1);
+/// p.observe(1, 2, 2);
+/// assert!(p.score(0, 2).is_none()); // not enough history to fit yet
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnlineLinkPredictor {
+    config: OnlinePredictorConfig,
+    network: DynamicNetwork,
+    model: Option<SsfnmModel>,
+    last_fit_attempt: Option<Timestamp>,
+}
+
+impl OnlineLinkPredictor {
+    /// Creates an empty predictor.
+    pub fn new(config: OnlinePredictorConfig) -> Self {
+        OnlineLinkPredictor {
+            config,
+            network: DynamicNetwork::new(),
+            model: None,
+            last_fit_attempt: None,
+        }
+    }
+
+    /// Feeds one stream event. Timestamps should be non-decreasing (the
+    /// stream model); out-of-order links are accepted but only the maximum
+    /// timestamp drives refitting. Refits automatically every
+    /// `refit_every` ticks (silently skipping when the history cannot
+    /// produce a training split yet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v`.
+    pub fn observe(&mut self, u: NodeId, v: NodeId, t: Timestamp) {
+        self.network.add_link(u, v, t);
+        let now = self.network.max_timestamp().expect("just added a link");
+        let due = match self.last_fit_attempt {
+            None => true,
+            Some(last) => now.saturating_sub(last) >= self.config.refit_every,
+        };
+        if due {
+            self.last_fit_attempt = Some(now);
+            let _ = self.refit();
+        }
+    }
+
+    /// Forces a refit on the current history.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`SplitError`] when the accumulated stream
+    /// cannot produce a usable training split (too short, no fresh pairs);
+    /// the previous model, if any, stays active.
+    pub fn refit(&mut self) -> Result<(), SplitError> {
+        let split = Split::with_min_positives(
+            &self.network,
+            &self.config.split,
+            self.config.min_positives,
+        )?;
+        let extra = if self.config.history_folds > 0 {
+            backtest_splits(
+                &split.history,
+                &BacktestConfig {
+                    split: self.config.split,
+                    folds: self.config.history_folds,
+                    stride: 1,
+                    min_positives: self.config.min_positives / 2,
+                },
+            )
+            .unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        self.model = Some(SsfnmModel::fit(&split, &extra, &self.config.method));
+        Ok(())
+    }
+
+    /// Scores a candidate pair with the latest fitted model, or `None` if
+    /// no model could be fitted yet or an endpoint is unknown.
+    pub fn score(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let model = self.model.as_ref()?;
+        let n = self.network.node_count() as NodeId;
+        if u == v || u >= n || v >= n {
+            return None;
+        }
+        let present = self.network.max_timestamp()? + 1;
+        Some(model.score(&self.network, u, v, present))
+    }
+
+    /// `true` once a model has been fitted.
+    pub fn is_fitted(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// The accumulated network.
+    pub fn network(&self) -> &DynamicNetwork {
+        &self.network
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datasets::{generate, DatasetSpec};
+
+    fn quick_config() -> OnlinePredictorConfig {
+        OnlinePredictorConfig {
+            method: MethodOptions {
+                nm_epochs: 15,
+                ..MethodOptions::default()
+            },
+            refit_every: 5,
+            min_positives: 10,
+            history_folds: 1,
+            ..OnlinePredictorConfig::default()
+        }
+    }
+
+    #[test]
+    fn no_model_until_enough_history() {
+        let mut p = OnlineLinkPredictor::new(quick_config());
+        p.observe(0, 1, 1);
+        p.observe(1, 2, 1);
+        assert!(!p.is_fitted());
+        assert!(p.score(0, 2).is_none());
+    }
+
+    #[test]
+    fn fits_once_stream_is_rich_enough() {
+        let spec = DatasetSpec::coauthor().scaled(0.15);
+        let g = generate(&spec, 9);
+        let mut links: Vec<_> = g.links().collect();
+        links.sort_by_key(|l| l.t);
+        let mut p = OnlineLinkPredictor::new(quick_config());
+        for l in links {
+            p.observe(l.u, l.v, l.t);
+        }
+        assert!(p.is_fitted(), "stream should eventually support a fit");
+        let s = p.score(0, 1);
+        assert!(s.is_some());
+        assert!((0.0..=1.0).contains(&s.unwrap()));
+    }
+
+    #[test]
+    fn unknown_nodes_score_none() {
+        let spec = DatasetSpec::coauthor().scaled(0.15);
+        let g = generate(&spec, 9);
+        let mut p = OnlineLinkPredictor::new(quick_config());
+        for l in g.links() {
+            p.observe(l.u, l.v, l.t);
+        }
+        let n = p.network().node_count() as NodeId;
+        assert!(p.score(n + 5, 0).is_none());
+        assert!(p.score(2, 2).is_none());
+    }
+
+    #[test]
+    fn refit_error_keeps_previous_model() {
+        let mut p = OnlineLinkPredictor::new(quick_config());
+        p.observe(0, 1, 1);
+        assert!(p.refit().is_err());
+        assert!(!p.is_fitted());
+    }
+}

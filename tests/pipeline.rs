@@ -1,0 +1,122 @@
+//! End-to-end integration tests: dataset generation → splitting → every
+//! Table III method → metric sanity, plus determinism across the whole
+//! pipeline.
+
+use ssf_repro::datasets::{generate, DatasetSpec};
+use ssf_repro::methods::{Method, MethodOptions};
+use ssf_repro::ssf_eval::{ResultsTable, Split, SplitConfig};
+
+fn quick_opts() -> MethodOptions {
+    MethodOptions {
+        nm_epochs: 15,
+        ..MethodOptions::default()
+    }
+}
+
+fn small_split(spec: &DatasetSpec, seed: u64) -> Split {
+    let g = generate(spec, seed);
+    Split::with_min_positives(
+        &g,
+        &SplitConfig {
+            seed,
+            max_positives: Some(60),
+            ..SplitConfig::default()
+        },
+        30,
+    )
+    .expect("generated dataset must split")
+}
+
+#[test]
+fn every_method_runs_on_every_topology_class() {
+    let specs = [
+        DatasetSpec::contact().scaled(0.12),  // RepeatedContact
+        DatasetSpec::digg().scaled(0.08),     // HubDominated
+        DatasetSpec::coauthor().scaled(0.15), // Community
+    ];
+    let opts = quick_opts();
+    for (i, spec) in specs.iter().enumerate() {
+        let split = small_split(spec, 100 + i as u64);
+        for method in Method::all() {
+            let r = method.evaluate(&split, &opts);
+            assert!(
+                (0.0..=1.0).contains(&r.auc) && r.auc.is_finite(),
+                "{} AUC out of range on {}: {}",
+                r.name,
+                spec.name,
+                r.auc
+            );
+            assert!(
+                (0.0..=1.0).contains(&r.f1) && r.f1.is_finite(),
+                "{} F1 out of range on {}",
+                r.name,
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let spec = DatasetSpec::coauthor().scaled(0.12);
+    let opts = quick_opts();
+    let run = || {
+        let split = small_split(&spec, 7);
+        let r1 = Method::Ssfnm.evaluate(&split, &opts);
+        let r2 = Method::Cn.evaluate(&split, &opts);
+        (r1.auc, r1.f1, r2.auc, r2.f1)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn results_table_collects_full_grid() {
+    let spec = DatasetSpec::digg().scaled(0.08);
+    let split = small_split(&spec, 3);
+    let opts = quick_opts();
+    let mut table = ResultsTable::new();
+    for m in [Method::Cn, Method::Pa, Method::Ssflr] {
+        table.record(spec.name, &m.evaluate(&split, &opts));
+    }
+    assert_eq!(table.methods().len(), 3);
+    assert_eq!(table.datasets().len(), 1);
+    assert!(table.best_by_auc(spec.name).is_some());
+    let csv = table.to_csv();
+    assert_eq!(csv.lines().count(), 4); // header + 3 rows
+    assert!(table.to_string().contains("Digg"));
+}
+
+#[test]
+fn split_has_no_label_leakage_into_history() {
+    let spec = DatasetSpec::facebook().scaled(0.08);
+    let split = small_split(&spec, 5);
+    for s in split.train.iter().chain(&split.test) {
+        assert!(
+            !split.history.has_link(s.u, s.v),
+            "candidate pair ({}, {}) must be absent from history",
+            s.u,
+            s.v
+        );
+    }
+}
+
+#[test]
+fn supervised_and_ranking_agree_on_obvious_signal() {
+    // A network where positives always close triangles: every reasonable
+    // method must beat chance comfortably.
+    let spec = DatasetSpec::coauthor().scaled(0.2);
+    let split = small_split(&spec, 21);
+    let opts = MethodOptions {
+        nm_epochs: 80,
+        ..MethodOptions::default()
+    };
+    for m in [Method::Cn, Method::Ssflr, Method::Ssfnm] {
+        let r = m.evaluate(&split, &opts);
+        assert!(
+            r.auc > 0.55,
+            "{} should beat chance on community data: {}",
+            r.name,
+            r.auc
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based tests over randomly generated dynamic networks: the
+//! cross-crate invariants the whole reproduction rests on.
+
+use proptest::prelude::*;
+use ssf_repro::dyngraph::{DynamicNetwork, NodeId, Timestamp};
+use ssf_repro::ssf_core::{
+    palette::palette_wl, EntryEncoding, HopSubgraph, SsfConfig, SsfExtractor,
+    StructureSubgraph,
+};
+use ssf_repro::ssf_eval::{Split, SplitConfig};
+
+/// Strategy: a connected-ish random multigraph on up to `n` nodes.
+fn network(n: NodeId, max_links: usize) -> impl Strategy<Value = DynamicNetwork> {
+    prop::collection::vec(
+        (0..n, 0..n, 1..20u32).prop_filter("no self-loops", |(u, v, _)| u != v),
+        2..max_links,
+    )
+    .prop_map(move |links| {
+        let mut g = DynamicNetwork::new();
+        // A spanning chain guarantees the endpoints are in one component
+        // often enough to exercise the deep pipeline.
+        for i in 0..n - 1 {
+            g.add_link(i, i + 1, 1);
+        }
+        for (u, v, t) in links {
+            g.add_link(u, v, t);
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The structure combination is a partition: every hop node appears in
+    /// exactly one structure node, endpoints stay singleton.
+    #[test]
+    fn structure_combination_is_a_partition(
+        g in network(12, 40),
+        h in 1..3u32,
+    ) {
+        let hop = HopSubgraph::extract(&g, 0, 1, h);
+        let s = StructureSubgraph::combine(&hop);
+        let mut seen = vec![false; hop.node_count()];
+        for x in 0..s.node_count() {
+            for &i in s.members(x) {
+                prop_assert!(!seen[i], "node {i} in two structure nodes");
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+        prop_assert_eq!(s.members(0), &[0][..]);
+        prop_assert_eq!(s.members(1), &[1][..]);
+    }
+
+    /// Merged nodes really have identical neighbor sets in the hop
+    /// subgraph (Definition 4, checked against the final partition).
+    #[test]
+    fn merged_nodes_share_neighborhoods(
+        g in network(12, 40),
+    ) {
+        let hop = HopSubgraph::extract(&g, 0, 1, 2);
+        let s = StructureSubgraph::combine(&hop);
+        // group id per hop node
+        let mut group = vec![usize::MAX; hop.node_count()];
+        for x in 0..s.node_count() {
+            for &i in s.members(x) {
+                group[i] = x;
+            }
+        }
+        for x in 0..s.node_count() {
+            let members = s.members(x);
+            let sig = |i: usize| -> Vec<usize> {
+                let mut v: Vec<usize> =
+                    hop.neighbors(i).into_iter().map(|j| group[j]).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            };
+            let first = sig(members[0]);
+            for &i in members {
+                prop_assert_eq!(
+                    sig(i),
+                    first.clone(),
+                    "members of structure node {} disagree", x
+                );
+            }
+        }
+    }
+
+    /// Palette-WL returns a permutation of 1..=n with endpoints at 1, 2.
+    #[test]
+    fn palette_is_a_pinned_permutation(
+        g in network(14, 50),
+    ) {
+        let hop = HopSubgraph::extract(&g, 0, 1, 2);
+        let s = StructureSubgraph::combine(&hop);
+        let adj: Vec<Vec<usize>> =
+            (0..s.node_count()).map(|x| s.neighbors(x).to_vec()).collect();
+        let dist: Vec<u32> =
+            (0..s.node_count()).map(|x| s.distance(x)).collect();
+        let tiebreak: Vec<u64> =
+            (0..s.node_count()).map(|x| s.members(x)[0] as u64).collect();
+        let order = palette_wl(&adj, &dist, (0, 1), &tiebreak);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (1..=s.node_count()).collect::<Vec<_>>());
+        prop_assert_eq!(order[0], 1);
+        prop_assert_eq!(order[1], 2);
+    }
+
+    /// SSF extraction: fixed dimension, finite non-negative values,
+    /// deterministic.
+    #[test]
+    fn ssf_feature_well_formed(
+        g in network(14, 60),
+        k in 3..8usize,
+        l_t in 20..40u32,
+    ) {
+        for encoding in [
+            EntryEncoding::NormalizedInfluence,
+            EntryEncoding::LogInfluence,
+            EntryEncoding::ReciprocalDistance,
+            EntryEncoding::InfluenceAndStructure,
+            EntryEncoding::LinkCount,
+            EntryEncoding::Binary,
+        ] {
+            let cfg = SsfConfig::new(k).with_encoding(encoding);
+            let ex = SsfExtractor::new(cfg);
+            let f = ex.extract(&g, 0, 1, l_t);
+            prop_assert_eq!(f.values().len(), cfg.feature_dim());
+            prop_assert!(f.values().iter().all(|v| v.is_finite() && *v >= 0.0));
+            let f2 = ex.extract(&g, 0, 1, l_t);
+            prop_assert_eq!(f, f2);
+        }
+    }
+
+    /// The feature never peeks at target-pair history: adding direct (u,v)
+    /// links to the history changes nothing.
+    #[test]
+    fn target_history_never_leaks(
+        g in network(10, 30),
+        extra in prop::collection::vec(1..19u32, 1..4),
+    ) {
+        let ex = SsfExtractor::new(SsfConfig::new(5));
+        let clean = ex.extract(&g, 0, 1, 20);
+        let mut leaky = g.clone();
+        for t in extra {
+            leaky.add_link(0, 1, t);
+        }
+        let leaked = ex.extract(&leaky, 0, 1, 20);
+        prop_assert_eq!(clean.values(), leaked.values());
+    }
+
+    /// Splits are balanced, disjoint, and leak-free for any network that
+    /// splits at all.
+    #[test]
+    fn split_invariants(
+        g in network(20, 120),
+        seed in 0..50u64,
+    ) {
+        let Ok(split) = Split::new(&g, &SplitConfig { seed, ..SplitConfig::default() })
+        else {
+            return Ok(()); // tiny/degenerate networks may not split
+        };
+        let all: Vec<_> = split.train.iter().chain(&split.test).collect();
+        for s in &all {
+            prop_assert!(s.u < s.v);
+            if s.label {
+                prop_assert!(g.has_link(s.u, s.v));
+                prop_assert!(!split.history.has_link(s.u, s.v));
+            } else {
+                prop_assert!(!g.has_link(s.u, s.v));
+            }
+        }
+        // Balanced within each side.
+        let balance = |v: &[ssf_repro::ssf_eval::LinkSample]| {
+            let pos = v.iter().filter(|s| s.label).count();
+            (pos, v.len() - pos)
+        };
+        let (tp, tn) = balance(&split.train);
+        let (ep, en) = balance(&split.test);
+        prop_assert_eq!(tp, tn);
+        prop_assert_eq!(ep, en);
+        // No duplicate pairs across train+test with conflicting labels.
+        let mut seen = std::collections::HashMap::new();
+        for s in &all {
+            if let Some(prev) = seen.insert((s.u, s.v), s.label) {
+                prop_assert_eq!(prev, s.label);
+            }
+        }
+    }
+
+    /// Influence decay: normalized influence is monotone in every
+    /// timestamp (more recent → larger) and additive in multiplicity.
+    #[test]
+    fn influence_monotone_and_additive(
+        ts in prop::collection::vec(1..100u32, 1..10),
+        l_t in 100..120u32,
+    ) {
+        use ssf_repro::ssf_core::{normalized_influence, ExponentialDecay};
+        let d = ExponentialDecay::new(0.5);
+        let base = normalized_influence(&ts, l_t, d);
+        let newer: Vec<Timestamp> = ts.iter().map(|&t| t + 1).collect();
+        prop_assert!(normalized_influence(&newer, l_t, d) >= base);
+        let mut more = ts.clone();
+        more.push(50);
+        prop_assert!(normalized_influence(&more, l_t, d) > base);
+    }
+}
