@@ -71,7 +71,10 @@ impl<'g> LocalPathIndex<'g> {
         let a1 = matvec(&e);
         let a2 = matvec(&a1);
         let a3 = matvec(&a2);
-        a2.iter().zip(&a3).map(|(&p2, &p3)| p2 + self.epsilon * p3).collect()
+        a2.iter()
+            .zip(&a3)
+            .map(|(&p2, &p3)| p2 + self.epsilon * p3)
+            .collect()
     }
 }
 

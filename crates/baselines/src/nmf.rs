@@ -54,10 +54,8 @@ impl Nmf {
         assert!(n > 0, "graph must have nodes");
         let r = config.rank;
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let mut w =
-            Matrix::from_fn(n, r, |_, _| rng.gen_range(0.01..1.0));
-        let mut h =
-            Matrix::from_fn(r, n, |_, _| rng.gen_range(0.01..1.0));
+        let mut w = Matrix::from_fn(n, r, |_, _| rng.gen_range(0.01..1.0));
+        let mut h = Matrix::from_fn(r, n, |_, _| rng.gen_range(0.01..1.0));
         const EPS: f64 = 1e-12;
 
         for _ in 0..config.iterations {
@@ -192,9 +190,7 @@ mod tests {
             },
         );
         let late = fit(&g);
-        assert!(
-            late.reconstruction_error(&g) < early.reconstruction_error(&g)
-        );
+        assert!(late.reconstruction_error(&g) < early.reconstruction_error(&g));
     }
 
     #[test]

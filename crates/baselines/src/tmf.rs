@@ -63,8 +63,9 @@ impl TemporalNmf {
             let wtwh = wtw.matmul(&h);
             for i in 0..r {
                 for j in 0..n {
-                    h[(i, j)] =
-                        (h[(i, j)] * wtv[(i, j)] / (wtwh[(i, j)] + EPS)).max(0.0);
+                    h[(i, j)] = (h[(i, j)] * wtv[(i, j)]
+                        / (wtwh[(i, j)] + EPS))
+                        .max(0.0);
                 }
             }
             // W ← W ∘ (V Hᵀ) ⊘ (W H Hᵀ)
@@ -73,8 +74,9 @@ impl TemporalNmf {
             let whht = w.matmul(&hht);
             for i in 0..n {
                 for j in 0..r {
-                    w[(i, j)] =
-                        (w[(i, j)] * vht[(i, j)] / (whht[(i, j)] + EPS)).max(0.0);
+                    w[(i, j)] = (w[(i, j)] * vht[(i, j)]
+                        / (whht[(i, j)] + EPS))
+                        .max(0.0);
                 }
             }
         }

@@ -165,7 +165,8 @@ mod tests {
 
     #[test]
     fn entries_are_binary() {
-        let f = WlfExtractor::new(WlfConfig::new(6)).extract(&fan_graph(), 0, 1);
+        let f =
+            WlfExtractor::new(WlfConfig::new(6)).extract(&fan_graph(), 0, 1);
         assert!(f.iter().all(|&v| v == 0.0 || v == 1.0));
         assert!(f.contains(&1.0));
     }
@@ -174,8 +175,7 @@ mod tests {
     fn target_edge_excluded() {
         let with_edge =
             StaticGraph::from_edges([(0, 1), (0, 2), (1, 2), (2, 3)]);
-        let without =
-            StaticGraph::from_edges([(0, 2), (1, 2), (2, 3)]);
+        let without = StaticGraph::from_edges([(0, 2), (1, 2), (2, 3)]);
         let ex = WlfExtractor::new(WlfConfig::new(4));
         assert_eq!(ex.extract(&with_edge, 0, 1), ex.extract(&without, 0, 1));
     }

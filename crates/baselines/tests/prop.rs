@@ -106,8 +106,9 @@ fn katz_matches_dense_power_series() {
         f64::from(g.has_edge(i as NodeId, j as NodeId))
     };
     // Dense A^l entries by naive multiplication.
-    let mut power: Vec<Vec<f64>> =
-        (0..n).map(|i| (0..n).map(|j| adj(i, j)).collect()).collect();
+    let mut power: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..n).map(|j| adj(i, j)).collect())
+        .collect();
     let mut expect = vec![vec![0.0; n]; n];
     let mut beta_l = beta;
     for _ in 0..4 {
@@ -132,7 +133,8 @@ fn katz_matches_dense_power_series() {
     for i in 0..n as NodeId {
         for j in 0..n as NodeId {
             assert!(
-                (katz.score(i, j) - expect[i as usize][j as usize]).abs() < 1e-9,
+                (katz.score(i, j) - expect[i as usize][j as usize]).abs()
+                    < 1e-9,
                 "({i},{j})"
             );
         }

@@ -2,8 +2,8 @@
 //! (h-hop subgraph, structure combination, Palette-WL, full SSF) against
 //! the WLF baseline pipeline on a realistic hub-dominated network.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use baselines::{WlfConfig, WlfExtractor};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use datasets::{generate, DatasetSpec};
 use ssf_core::{
     palette::palette_wl, HopSubgraph, SsfConfig, SsfExtractor,
@@ -28,11 +28,13 @@ fn bench_pipeline(c: &mut Criterion) {
     });
 
     let s = StructureSubgraph::combine(&hop);
-    let adj: Vec<Vec<usize>> =
-        (0..s.node_count()).map(|x| s.neighbors(x).to_vec()).collect();
+    let adj: Vec<Vec<usize>> = (0..s.node_count())
+        .map(|x| s.neighbors(x).to_vec())
+        .collect();
     let dist: Vec<u32> = (0..s.node_count()).map(|x| s.distance(x)).collect();
-    let tiebreak: Vec<u64> =
-        (0..s.node_count()).map(|x| s.members(x)[0] as u64).collect();
+    let tiebreak: Vec<u64> = (0..s.node_count())
+        .map(|x| s.members(x)[0] as u64)
+        .collect();
     c.bench_function("palette_wl", |bench| {
         bench.iter(|| palette_wl(black_box(&adj), &dist, (0, 1), &tiebreak))
     });

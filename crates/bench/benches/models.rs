@@ -1,8 +1,8 @@
 //! Criterion micro-benchmarks of the models: ridge solve, one neural
 //! machine training epoch, NMF update rounds.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use baselines::{Nmf, NmfConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use datasets::{generate, DatasetSpec};
 use linalg::Matrix;
 use ssf_ml::{LinearRegression, MlpConfig, NeuralMachine};

@@ -2,7 +2,9 @@
 //! `O(K³ + K·|V_h|²)` (Algorithm 3 analysis) — cost should grow with K and
 //! with the surrounding subgraph size, not with the whole network.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{
+    black_box, criterion_group, criterion_main, BenchmarkId, Criterion,
+};
 use datasets::{generate, DatasetSpec, Topology};
 use ssf_core::{SsfConfig, SsfExtractor};
 
@@ -13,9 +15,11 @@ fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ssf_vs_k");
     for k in [5usize, 10, 15, 20] {
         let ex = SsfExtractor::new(SsfConfig::new(k));
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
-            bench.iter(|| ex.extract(black_box(&g), 5, 100, l_t))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(k),
+            &k,
+            |bench, _| bench.iter(|| ex.extract(black_box(&g), 5, 100, l_t)),
+        );
     }
     group.finish();
 

@@ -70,7 +70,11 @@ fn main() {
 
         println!("-- structure-node merging (same K, same model):");
         for m in [Method::Wlnm, Method::SsfnmW] {
-            let r = m.evaluate_augmented(&prep.split, &prep.extra_train, &method_opts);
+            let r = m.evaluate_augmented(
+                &prep.split,
+                &prep.extra_train,
+                &method_opts,
+            );
             println!(
                 "   {:<8} auc={:.3} f1={:.3}   ({})",
                 r.name,

@@ -71,7 +71,9 @@ fn main() {
             miner.observations(),
             miner.distinct_patterns()
         );
-        for (rank, (sig, count)) in miner.ranked().into_iter().take(3).enumerate() {
+        for (rank, (sig, count)) in
+            miner.ranked().into_iter().take(3).enumerate()
+        {
             println!(
                 "#{} pattern ({} occurrences, {} structure links):",
                 rank + 1,

@@ -23,7 +23,15 @@ fn main() {
     println!();
     println!(
         "{:<10} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6} | {:>6} {:>6}",
-        "Dataset", "AUC@5", "F1@5", "AUC@10", "F1@10", "AUC@15", "F1@15", "AUC@20", "F1@20"
+        "Dataset",
+        "AUC@5",
+        "F1@5",
+        "AUC@10",
+        "F1@10",
+        "AUC@15",
+        "F1@15",
+        "AUC@20",
+        "F1@20"
     );
     println!("{}", "-".repeat(10 + 4 * 17));
     for spec in opts.selected_specs() {
@@ -40,10 +48,7 @@ fn main() {
             let r = Method::Ssfnm.evaluate_augmented(
                 &prep.split,
                 &prep.extra_train,
-                &MethodOptions {
-                    k,
-                    ..method_opts
-                },
+                &MethodOptions { k, ..method_opts },
             );
             if r.auc > peak.1 {
                 peak = (k, r.auc);

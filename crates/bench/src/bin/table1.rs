@@ -26,7 +26,10 @@ fn main() {
         stat.degree(2)
     );
     println!();
-    println!("{:<8} {:>12} {:>12} {:>14}", "feature", "A-B", "X-Y", "separates?");
+    println!(
+        "{:<8} {:>12} {:>12} {:>14}",
+        "feature", "A-B", "X-Y", "separates?"
+    );
     println!("{}", "-".repeat(50));
     for (name, f) in local::ALL {
         let sab = f(&stat, a, b);
@@ -36,7 +39,11 @@ fn main() {
             name,
             sab,
             sxy,
-            if (sab - sxy).abs() > 1e-9 { "yes" } else { "NO" }
+            if (sab - sxy).abs() > 1e-9 {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
 

@@ -24,7 +24,9 @@ fn main() {
         let s = NetworkStats::of(&g);
         let source = match prov {
             Provenance::File(p) => format!("file {}", p.display()),
-            Provenance::Generated { seed } => format!("generated (seed {seed})"),
+            Provenance::Generated { seed } => {
+                format!("generated (seed {seed})")
+            }
         };
         // Paper numbers come from the unscaled spec.
         let paper = datasets::DatasetSpec::paper_datasets()

@@ -40,8 +40,9 @@ fn main() {
                 methods = v
                     .split(',')
                     .map(|name| {
-                        Method::parse(name.trim())
-                            .unwrap_or_else(|| panic!("unknown method {name:?}"))
+                        Method::parse(name.trim()).unwrap_or_else(|| {
+                            panic!("unknown method {name:?}")
+                        })
                     })
                     .collect();
             }
@@ -59,7 +60,10 @@ fn main() {
                     .parse()
                     .expect("--k must be an integer");
             }
-            "--out" => out_path = Some(it.next().expect("--out requires a value").clone()),
+            "--out" => {
+                out_path =
+                    Some(it.next().expect("--out requires a value").clone())
+            }
             _ => {}
         }
     }
@@ -85,7 +89,11 @@ fn main() {
         );
         for m in &methods {
             let start = std::time::Instant::now();
-            let r = m.evaluate_augmented(&prep.split, &prep.extra_train, &method_opts);
+            let r = m.evaluate_augmented(
+                &prep.split,
+                &prep.extra_train,
+                &method_opts,
+            );
             eprintln!(
                 "  {:<8} auc={:.3} f1={:.3}  ({:.1?})",
                 r.name,

@@ -64,7 +64,11 @@ fn main() {
             "method", "P@10", "P@50", "avg.prec"
         );
         for m in &methods {
-            let r = m.evaluate_augmented(&prep.split, &prep.extra_train, &method_opts);
+            let r = m.evaluate_augmented(
+                &prep.split,
+                &prep.extra_train,
+                &method_opts,
+            );
             let scored: Vec<(f64, bool)> = r
                 .test_scores
                 .iter()

@@ -88,7 +88,10 @@ impl HarnessOptions {
             .into_iter()
             .filter(|s| {
                 self.datasets.is_empty()
-                    || self.datasets.iter().any(|d| s.name.to_lowercase().contains(d))
+                    || self
+                        .datasets
+                        .iter()
+                        .any(|d| s.name.to_lowercase().contains(d))
             })
             .map(|s| if self.fast { s.scaled(0.15) } else { s })
             .collect()
@@ -148,7 +151,8 @@ pub fn prepare(
         max_positives: Some(opts.max_positives()),
         ..SplitConfig::default()
     };
-    let split = Split::with_min_positives(&network, &cfg, opts.min_positives())?;
+    let split =
+        Split::with_min_positives(&network, &cfg, opts.min_positives())?;
     let window = network.max_timestamp().expect("non-empty")
         - split.history.max_timestamp().expect("non-empty history");
     // Supervised training-set augmentation: three earlier prediction

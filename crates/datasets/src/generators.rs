@@ -114,10 +114,13 @@ impl GenState {
                 // No community may be empty (re-home from the largest).
                 for c in 0..communities {
                     if members[c].is_empty() {
+                        #[allow(clippy::expect_used)] // communities ≥ 1
                         let donor = (0..communities)
                             .max_by_key(|&d| members[d].len())
                             .expect("communities exist");
-                        let node = members[donor].pop().expect("non-empty donor");
+                        #[allow(clippy::expect_used)] // donor holds ≥ 1
+                        let node =
+                            members[donor].pop().expect("non-empty donor");
                         of[node as usize] = c;
                         members[c].push(node);
                     }
@@ -149,7 +152,11 @@ impl GenState {
     }
 
     /// Growth phase: attach `newcomer` to the existing network.
-    fn growth_pair(&mut self, newcomer: NodeId, rng: &mut StdRng) -> (NodeId, NodeId) {
+    fn growth_pair(
+        &mut self,
+        newcomer: NodeId,
+        rng: &mut StdRng,
+    ) -> (NodeId, NodeId) {
         let anchor = match self.topology {
             Topology::HubDominated { hub_bias, .. } => {
                 self.degree_biased_below(newcomer, hub_bias, rng)
@@ -199,7 +206,9 @@ impl GenState {
                     self.uniform_pair(rng)
                 }
             }
-            Topology::HubDominated { hub_bias, local, .. } => {
+            Topology::HubDominated {
+                hub_bias, local, ..
+            } => {
                 let hub = self.degree_biased(hub_bias, rng);
                 if rng.gen_bool(local) {
                     if let Some(v) = self.two_hop_neighbor(hub, rng) {
@@ -243,7 +252,11 @@ impl GenState {
 
     /// Triadic closure: a random neighbor-of-neighbor of `hub` that is not
     /// `hub` itself. `None` when the local neighborhood is too thin.
-    fn two_hop_neighbor(&self, hub: NodeId, rng: &mut StdRng) -> Option<NodeId> {
+    fn two_hop_neighbor(
+        &self,
+        hub: NodeId,
+        rng: &mut StdRng,
+    ) -> Option<NodeId> {
         let n1 = &self.nbrs[hub as usize];
         if n1.is_empty() {
             return None;
@@ -302,9 +315,11 @@ impl GenState {
             + usize::from(
                 bias.fract() > 0.0 && rng.gen_bool(bias.fract().min(1.0)),
             );
+        #[allow(clippy::expect_used)] // draws ≥ 1 by construction
         (0..draws)
             .map(|_| {
-                self.endpoint_bag[self.drifted_index(self.endpoint_bag.len(), rng)]
+                self.endpoint_bag
+                    [self.drifted_index(self.endpoint_bag.len(), rng)]
             })
             .max_by_key(|&n| self.degree[n as usize])
             .expect("at least one draw")
@@ -399,14 +414,12 @@ mod tests {
             },
         };
         let g = generate(&spec, 3);
-        let degrees: Vec<usize> =
-            (0..g.node_count()).map(|u| g.multi_degree(u as NodeId)).collect();
+        let degrees: Vec<usize> = (0..g.node_count())
+            .map(|u| g.multi_degree(u as NodeId))
+            .collect();
         let max = *degrees.iter().max().unwrap() as f64;
         let avg = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
-        assert!(
-            max > 3.0 * avg,
-            "expected hub skew, max {max} vs avg {avg}"
-        );
+        assert!(max > 3.0 * avg, "expected hub skew, max {max} vs avg {avg}");
     }
 
     #[test]
@@ -426,7 +439,10 @@ mod tests {
         let g = generate(&spec, 4);
         let distinct = g.to_static().edge_count();
         let ratio = g.link_count() as f64 / distinct as f64;
-        assert!(ratio > 2.0, "expected multi-link reinforcement, ratio {ratio}");
+        assert!(
+            ratio > 2.0,
+            "expected multi-link reinforcement, ratio {ratio}"
+        );
     }
 
     #[test]

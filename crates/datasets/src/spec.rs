@@ -234,7 +234,10 @@ mod tests {
         let all = DatasetSpec::paper_datasets();
         assert_eq!(all.len(), 7);
         let eu = &all[0];
-        assert_eq!((eu.nodes, eu.target_links, eu.time_span), (309, 61_046, 803));
+        assert_eq!(
+            (eu.nodes, eu.target_links, eu.time_span),
+            (309, 61_046, 803)
+        );
         assert!((eu.expected_avg_degree() - 395.12).abs() < 0.1);
         let digg = &all[6];
         assert!((digg.expected_avg_degree() - 5.98).abs() < 0.01);

@@ -5,9 +5,43 @@
 //! paper's seven public datasets are distributed. A missing third column is
 //! treated as timestamp 0 (a static network).
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, Read, Write};
 
 use crate::{DynamicNetwork, GraphError, NodeId, Timestamp};
+
+/// One line that [`read_edge_list_lossy`] could not turn into a link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RejectedLine {
+    /// 1-based line number in the input stream.
+    pub line: usize,
+    /// Why the line was rejected, in [`GraphError`] display wording.
+    pub reason: String,
+}
+
+/// Outcome of a lenient edge-list parse: every salvageable link plus an
+/// audit trail of what was dropped and why.
+#[derive(Debug, Default)]
+pub struct LossyReadReport {
+    /// The network built from all lines that parsed cleanly.
+    pub network: DynamicNetwork,
+    /// Lines that were dropped, in stream order.
+    pub rejected: Vec<RejectedLine>,
+    /// Number of links actually added to `network`.
+    pub accepted: usize,
+}
+
+impl LossyReadReport {
+    /// Fraction of data lines (accepted + rejected) that were dropped.
+    /// Zero when the stream had no data lines at all.
+    pub fn rejection_rate(&self) -> f64 {
+        let total = self.accepted + self.rejected.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.rejected.len() as f64 / total as f64
+        }
+    }
+}
 
 /// Parses an edge list from a reader.
 ///
@@ -29,7 +63,9 @@ use crate::{DynamicNetwork, GraphError, NodeId, Timestamp};
 /// # Ok(())
 /// # }
 /// ```
-pub fn read_edge_list<R: BufRead>(reader: R) -> Result<DynamicNetwork, GraphError> {
+pub fn read_edge_list<R: BufRead>(
+    reader: R,
+) -> Result<DynamicNetwork, GraphError> {
     let mut g = DynamicNetwork::new();
     for (idx, line) in reader.lines().enumerate() {
         let lineno = idx + 1;
@@ -38,19 +74,13 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<DynamicNetwork, GraphErro
             reason: format!("i/o error: {e}"),
         })?;
         let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('%') || trimmed.starts_with('#') {
+        if trimmed.is_empty()
+            || trimmed.starts_with('%')
+            || trimmed.starts_with('#')
+        {
             continue;
         }
-        let mut fields = trimmed.split_whitespace();
-        let u = parse_field(fields.next(), lineno, "source node")?;
-        let v = parse_field(fields.next(), lineno, "target node")?;
-        let t: Timestamp = match fields.next() {
-            Some(s) => s.parse().map_err(|_| GraphError::Parse {
-                line: lineno,
-                reason: format!("invalid timestamp {s:?}"),
-            })?,
-            None => 0,
-        };
+        let (u, v, t) = parse_data_line(trimmed, lineno)?;
         g.try_add_link(u, v, t)?;
     }
     Ok(g)
@@ -69,6 +99,279 @@ fn parse_field(
         line,
         reason: format!("invalid {what} {s:?}"),
     })
+}
+
+/// Parses an edge list leniently: bad lines are recorded, not fatal.
+///
+/// This is the ingestion path for hostile or degraded inputs. Lines that
+/// fail to parse (malformed fields, self-loops, invalid UTF-8) are dropped
+/// into [`LossyReadReport::rejected`] with the same reason wording the
+/// strict [`read_edge_list`] would have used, and parsing continues with
+/// the next line. Only a genuine I/O error from the underlying reader
+/// stops the scan early — and even that is recorded as a rejection rather
+/// than returned, so the caller always gets whatever was salvaged.
+///
+/// Unlike the strict reader this one does not require the stream to be
+/// valid UTF-8: each line is decoded lossily, so corrupted bytes degrade
+/// to a per-line parse rejection instead of aborting the whole file.
+pub fn read_edge_list_lossy<R: BufRead>(mut reader: R) -> LossyReadReport {
+    let mut report = LossyReadReport::default();
+    let mut raw = Vec::new();
+    let mut lineno = 0usize;
+    loop {
+        raw.clear();
+        lineno += 1;
+        match reader.read_until(b'\n', &mut raw) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                report.rejected.push(RejectedLine {
+                    line: lineno,
+                    reason: format!("i/o error: {e}"),
+                });
+                break;
+            }
+        }
+        let line = String::from_utf8_lossy(&raw);
+        let trimmed = line.trim();
+        if trimmed.is_empty()
+            || trimmed.starts_with('%')
+            || trimmed.starts_with('#')
+        {
+            continue;
+        }
+        match parse_data_line(trimmed, lineno) {
+            Ok((u, v, t)) => match report.network.try_add_link(u, v, t) {
+                Ok(()) => report.accepted += 1,
+                Err(e) => report.rejected.push(RejectedLine {
+                    line: lineno,
+                    reason: e.to_string(),
+                }),
+            },
+            Err(e) => report.rejected.push(RejectedLine {
+                line: lineno,
+                reason: match e {
+                    GraphError::Parse { reason, .. } => reason,
+                    other => other.to_string(),
+                },
+            }),
+        }
+    }
+    report
+}
+
+fn parse_data_line(
+    trimmed: &str,
+    lineno: usize,
+) -> Result<(NodeId, NodeId, Timestamp), GraphError> {
+    let mut fields = trimmed.split_whitespace();
+    let u = parse_field(fields.next(), lineno, "source node")?;
+    let v = parse_field(fields.next(), lineno, "target node")?;
+    let t: Timestamp = match fields.next() {
+        Some(s) => s.parse().map_err(|_| GraphError::Parse {
+            line: lineno,
+            reason: format!("invalid timestamp {s:?}"),
+        })?,
+        None => 0,
+    };
+    Ok((u, v, t))
+}
+
+/// Configuration for [`FaultyReader`]: per-line fault probabilities.
+///
+/// Rates are independent probabilities in `[0, 1]` evaluated per data
+/// line, driven by a deterministic generator seeded with `seed` — the same
+/// configuration over the same input always injects the same faults.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Probability of corrupting a line in place (mangling a field into
+    /// junk, a self-loop, or an unparsable timestamp).
+    pub corrupt_rate: f64,
+    /// Probability of truncating a line at a random byte offset.
+    pub truncate_rate: f64,
+    /// Probability of injecting a whole garbage line (possibly invalid
+    /// UTF-8) before the real one.
+    pub garbage_rate: f64,
+    /// Seed for the internal deterministic generator.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            corrupt_rate: 0.0,
+            truncate_rate: 0.0,
+            garbage_rate: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// A fault-injecting wrapper around any line-oriented reader.
+///
+/// Used by the chaos tests to turn a clean edge-list stream into a hostile
+/// one with a controlled, reproducible corruption profile. Comment and
+/// blank lines pass through untouched so the corruption budget lands on
+/// data lines. Implements [`BufRead`], so it can feed [`read_edge_list`]
+/// or [`read_edge_list_lossy`] directly.
+#[derive(Debug)]
+pub struct FaultyReader<R> {
+    inner: R,
+    cfg: FaultConfig,
+    state: u64,
+    buf: Vec<u8>,
+    pos: usize,
+    inner_done: bool,
+}
+
+impl<R: BufRead> FaultyReader<R> {
+    /// Wraps `inner` with the given fault profile.
+    pub fn new(inner: R, cfg: FaultConfig) -> Self {
+        FaultyReader {
+            inner,
+            // Mix the seed so that seed 0 still produces a live stream.
+            state: cfg.seed ^ 0x6A09_E667_F3BC_C908,
+            cfg,
+            buf: Vec::new(),
+            pos: 0,
+            inner_done: false,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // splitmix64: small, seedable, and dependency-free.
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    fn push_garbage_line(&mut self) {
+        let kind = self.below(3);
+        match kind {
+            // Unparsable text tokens.
+            0 => self.buf.extend_from_slice(b"@@ chaos #! ??\n"),
+            // Numeric-looking but overflowing u32.
+            1 => self.buf.extend_from_slice(b"99999999999 3 1\n"),
+            // Invalid UTF-8 bytes.
+            _ => {
+                self.buf.extend_from_slice(&[0xFF, 0xFE, b' ', 0xC3, 0x28]);
+                self.buf.push(b'\n');
+            }
+        }
+    }
+
+    fn corrupt_line(&mut self, line: &[u8]) -> Vec<u8> {
+        let text = String::from_utf8_lossy(line).into_owned();
+        let fields: Vec<&str> = text.split_whitespace().collect();
+        let kind = self.below(3);
+        let out = match (kind, fields.as_slice()) {
+            // Turn the link into a self-loop.
+            (0, [u, _v, rest @ ..]) => {
+                let mut s = format!("{u} {u}");
+                for r in rest {
+                    s.push(' ');
+                    s.push_str(r);
+                }
+                s
+            }
+            // Make the timestamp unparsable.
+            (1, [u, v, ..]) => format!("{u} {v} not-a-time"),
+            // Splice junk into the middle of the line.
+            _ => {
+                let cut = self.below(text.len().max(1));
+                format!(
+                    "{}<?>{}",
+                    &text[..cut.min(text.len())],
+                    &text[cut.min(text.len())..]
+                )
+            }
+        };
+        let mut bytes = out.into_bytes();
+        bytes.push(b'\n');
+        bytes
+    }
+
+    fn refill(&mut self) -> std::io::Result<()> {
+        self.buf.clear();
+        self.pos = 0;
+        let mut raw = Vec::new();
+        while self.buf.is_empty() && !self.inner_done {
+            raw.clear();
+            if self.inner.read_until(b'\n', &mut raw)? == 0 {
+                self.inner_done = true;
+                break;
+            }
+            let trimmed_len = raw
+                .iter()
+                .take_while(|b| **b != b'\n' && **b != b'\r')
+                .count();
+            let is_data = {
+                let t = raw[..trimmed_len]
+                    .iter()
+                    .position(|b| !b.is_ascii_whitespace());
+                match t {
+                    None => false,
+                    Some(i) => raw[i] != b'%' && raw[i] != b'#',
+                }
+            };
+            if !is_data {
+                self.buf.extend_from_slice(&raw);
+                continue;
+            }
+            if self.cfg.garbage_rate > 0.0 && self.chance(self.cfg.garbage_rate)
+            {
+                self.push_garbage_line();
+            }
+            if self.cfg.truncate_rate > 0.0
+                && self.chance(self.cfg.truncate_rate)
+            {
+                let cut = self.below(trimmed_len.max(1));
+                self.buf.extend_from_slice(&raw[..cut]);
+                self.buf.push(b'\n');
+            } else if self.cfg.corrupt_rate > 0.0
+                && self.chance(self.cfg.corrupt_rate)
+            {
+                let mangled = self.corrupt_line(&raw[..trimmed_len]);
+                self.buf.extend_from_slice(&mangled);
+            } else {
+                self.buf.extend_from_slice(&raw);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<R: BufRead> Read for FaultyReader<R> {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let available = self.fill_buf()?;
+        let n = available.len().min(out.len());
+        out[..n].copy_from_slice(&available[..n]);
+        self.consume(n);
+        Ok(n)
+    }
+}
+
+impl<R: BufRead> BufRead for FaultyReader<R> {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        if self.pos >= self.buf.len() {
+            self.refill()?;
+        }
+        Ok(&self.buf[self.pos..])
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos = (self.pos + amt).min(self.buf.len());
+    }
 }
 
 /// Writes a network as `u v t` lines (one per timestamped link, `u <= v`).
@@ -119,6 +422,119 @@ mod tests {
     fn rejects_self_loop() {
         let err = read_edge_list("4 4 1\n".as_bytes()).unwrap_err();
         assert_eq!(err, GraphError::SelfLoop { node: 4 });
+    }
+
+    #[test]
+    fn parse_reason_wording_is_stable() {
+        // Downstream tooling matches on these reason strings; pin each one.
+        let cases: &[(&str, &str)] = &[
+            ("\n5\n", "missing target node"),
+            ("abc 1 2\n", "invalid source node \"abc\""),
+            ("1 xyz 2\n", "invalid target node \"xyz\""),
+            ("1 2 later\n", "invalid timestamp \"later\""),
+            ("9 9 1\n", "self-loop on node 9 is not allowed"),
+        ];
+        for (input, want) in cases {
+            let err = read_edge_list(input.as_bytes()).unwrap_err();
+            assert!(
+                err.to_string().contains(want),
+                "{input:?}: expected {want:?} in {err}"
+            );
+            let report = read_edge_list_lossy(input.as_bytes());
+            assert_eq!(report.rejected.len(), 1, "{input:?}");
+            assert!(
+                report.rejected[0].reason.contains(want),
+                "{input:?}: expected {want:?} in {:?}",
+                report.rejected[0].reason
+            );
+        }
+    }
+
+    #[test]
+    fn lossy_salvages_good_lines_around_bad_ones() {
+        let text = "0 1 1\ngarbage here\n2 2 3\n3 4 5\n1 2\n";
+        let report = read_edge_list_lossy(text.as_bytes());
+        assert_eq!(report.accepted, 3);
+        assert_eq!(report.network.link_count(), 3);
+        assert_eq!(report.rejected.len(), 2);
+        assert_eq!(report.rejected[0].line, 2);
+        assert_eq!(report.rejected[1].line, 3);
+        assert!(report.rejected[1].reason.contains("self-loop"));
+        assert!((report.rejection_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lossy_survives_invalid_utf8() {
+        let mut bytes = b"0 1 1\n".to_vec();
+        bytes.extend_from_slice(&[0xFF, 0xFE, 0xFD, b'\n']);
+        bytes.extend_from_slice(b"1 2 2\n");
+        let report = read_edge_list_lossy(bytes.as_slice());
+        assert_eq!(report.accepted, 2);
+        assert_eq!(report.rejected.len(), 1);
+    }
+
+    #[test]
+    fn lossy_on_empty_input_is_empty() {
+        let report = read_edge_list_lossy(b"".as_slice());
+        assert_eq!(report.accepted, 0);
+        assert!(report.rejected.is_empty());
+        assert_eq!(report.rejection_rate(), 0.0);
+    }
+
+    #[test]
+    fn faulty_reader_with_zero_rates_is_transparent() {
+        let text = "% header\n0 1 1\n2 3 4\n\n# tail\n5 6 7\n";
+        let faulty = FaultyReader::new(text.as_bytes(), FaultConfig::default());
+        let g = read_edge_list(faulty).unwrap();
+        assert_eq!(g.link_count(), 3);
+    }
+
+    #[test]
+    fn faulty_reader_is_deterministic_per_seed() {
+        let text: String = (0..200)
+            .map(|i| format!("{} {} {}\n", i, i + 1, i))
+            .collect();
+        let run = |seed| {
+            let cfg = FaultConfig {
+                corrupt_rate: 0.2,
+                truncate_rate: 0.1,
+                garbage_rate: 0.1,
+                seed,
+            };
+            let mut out = Vec::new();
+            FaultyReader::new(text.as_bytes(), cfg)
+                .read_to_end(&mut out)
+                .expect("in-memory reads cannot fail");
+            out
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+        assert_ne!(
+            run(9),
+            text.as_bytes(),
+            "faults must actually change the stream"
+        );
+    }
+
+    #[test]
+    fn faulty_reader_feeds_lossy_parser_without_panicking() {
+        let text: String = (0..300)
+            .map(|i| format!("{} {} {}\n", i, i + 1, i))
+            .collect();
+        let cfg = FaultConfig {
+            corrupt_rate: 0.15,
+            truncate_rate: 0.1,
+            garbage_rate: 0.1,
+            seed: 42,
+        };
+        let report =
+            read_edge_list_lossy(FaultyReader::new(text.as_bytes(), cfg));
+        assert!(
+            report.accepted > 150,
+            "most lines survive: {}",
+            report.accepted
+        );
+        assert!(!report.rejected.is_empty(), "some lines must be rejected");
     }
 
     #[test]

@@ -37,8 +37,8 @@ mod error;
 pub mod io;
 pub mod metrics;
 mod network;
-pub mod stats;
 mod static_graph;
+pub mod stats;
 pub mod traversal;
 
 pub use error::GraphError;

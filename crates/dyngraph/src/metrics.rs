@@ -86,12 +86,13 @@ pub fn degree_histogram(g: &StaticGraph) -> Vec<usize> {
 /// Gini coefficient of the degree distribution — a scalar measure of hub
 /// skew (0 = perfectly even, → 1 = a few hubs hold everything).
 pub fn degree_gini(g: &StaticGraph) -> f64 {
-    let mut degrees: Vec<f64> =
-        (0..g.node_count() as NodeId).map(|u| g.degree(u) as f64).collect();
+    let mut degrees: Vec<f64> = (0..g.node_count() as NodeId)
+        .map(|u| g.degree(u) as f64)
+        .collect();
     if degrees.is_empty() {
         return 0.0;
     }
-    degrees.sort_by(|a, b| a.partial_cmp(b).expect("finite degrees"));
+    degrees.sort_by(f64::total_cmp);
     let n = degrees.len() as f64;
     let total: f64 = degrees.iter().sum();
     if total == 0.0 {

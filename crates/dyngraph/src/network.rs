@@ -119,6 +119,7 @@ impl DynamicNetwork {
     ///
     /// Panics if `u == v`; the paper's networks have no self-loops. Use
     /// [`DynamicNetwork::try_add_link`] for a fallible variant.
+    #[allow(clippy::expect_used)] // documented panicking wrapper
     pub fn add_link(&mut self, u: NodeId, v: NodeId, t: Timestamp) {
         self.try_add_link(u, v, t)
             .expect("self-loops are not allowed in a DynamicNetwork");
@@ -215,7 +216,10 @@ impl DynamicNetwork {
         } else {
             (v, u)
         };
-        self.adj[a as usize].iter().filter(|&&(w, _)| w == b).count()
+        self.adj[a as usize]
+            .iter()
+            .filter(|&&(w, _)| w == b)
+            .count()
     }
 
     /// Timestamps of every link between `u` and `v`, in insertion order.
@@ -254,7 +258,10 @@ impl DynamicNetwork {
         t_q: Timestamp,
     ) -> Result<DynamicNetwork, GraphError> {
         if t_p >= t_q {
-            return Err(GraphError::EmptyPeriod { start: t_p, end: t_q });
+            return Err(GraphError::EmptyPeriod {
+                start: t_p,
+                end: t_q,
+            });
         }
         let mut g = DynamicNetwork::with_node_capacity(self.node_count());
         if self.node_count() > 0 {

@@ -130,8 +130,10 @@ pub fn dijkstra(adj: &[Vec<(usize, f64)>], source: usize) -> Vec<f64> {
 /// Connected component of `start` (over distinct-neighbor adjacency),
 /// returned as a sorted node list.
 pub fn component(graph: &dyn Adjacency, start: NodeId) -> Vec<NodeId> {
-    let mut nodes: Vec<NodeId> =
-        bfs_bounded(graph, &[start], u32::MAX).into_iter().map(|(v, _)| v).collect();
+    let mut nodes: Vec<NodeId> = bfs_bounded(graph, &[start], u32::MAX)
+        .into_iter()
+        .map(|(v, _)| v)
+        .collect();
     nodes.sort_unstable();
     nodes
 }

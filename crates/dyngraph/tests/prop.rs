@@ -103,3 +103,60 @@ proptest! {
         prop_assert!((s.avg_degree * s.nodes as f64 - 2.0 * s.links as f64).abs() < 1e-9);
     }
 }
+
+// Parser robustness: feeding arbitrary bytes into either edge-list
+// reader must never panic — the strict reader may reject with a typed
+// error, the lossy reader must account for every data line it saw.
+proptest! {
+    #[test]
+    fn strict_parser_never_panics_on_byte_soup(
+        bytes in prop::collection::vec(any::<u8>(), 0..512)
+    ) {
+        // Ok or Err are both acceptable; reaching this line is the test.
+        let _ = io::read_edge_list(bytes.as_slice());
+    }
+
+    #[test]
+    fn lossy_parser_never_panics_on_byte_soup(
+        bytes in prop::collection::vec(any::<u8>(), 0..512)
+    ) {
+        let report = io::read_edge_list_lossy(bytes.as_slice());
+        // Every accepted line is a real link; the rate stays a ratio.
+        prop_assert_eq!(report.network.link_count(), report.accepted);
+        let rate = report.rejection_rate();
+        prop_assert!((0.0..=1.0).contains(&rate));
+        for r in &report.rejected {
+            prop_assert!(r.line >= 1);
+            prop_assert!(!r.reason.is_empty());
+        }
+    }
+
+    /// A fault-injected rendering of a valid network parses without
+    /// panicking, and injected faults can only lose links, not invent
+    /// ones beyond the clean stream.
+    #[test]
+    fn faulty_reader_never_panics_lossy_parser(
+        seed in any::<u64>(),
+        corrupt in 0..60u32,
+        garbage in 0..60u32,
+    ) {
+        let mut g = DynamicNetwork::new();
+        for i in 0..30u32 {
+            g.add_link(i, (i + 1) % 30, 1 + i % 5);
+        }
+        let mut clean = Vec::new();
+        io::write_edge_list(&g, &mut clean).expect("write to memory");
+        let faulty = io::FaultyReader::new(
+            clean.as_slice(),
+            io::FaultConfig {
+                corrupt_rate: corrupt as f64 / 100.0,
+                truncate_rate: 0.1,
+                garbage_rate: garbage as f64 / 100.0,
+                seed,
+            },
+        );
+        let report = io::read_edge_list_lossy(std::io::BufReader::new(faulty));
+        prop_assert!(report.accepted <= g.link_count());
+        prop_assert_eq!(report.network.link_count(), report.accepted);
+    }
+}

@@ -67,7 +67,7 @@ pub fn backtest_splits(
     config: &BacktestConfig,
 ) -> Result<Vec<Split>, SplitError> {
     let l_t = g.max_timestamp().ok_or(SplitError::EmptyNetwork)?;
-    let t_min = g.min_timestamp().expect("non-empty network");
+    let t_min = g.min_timestamp().ok_or(SplitError::EmptyNetwork)?;
     let mut splits = Vec::new();
     let mut last_err = SplitError::NoPositives;
     for fold in 0..config.folds {
@@ -114,8 +114,8 @@ pub fn aggregate(folds: Vec<MethodResult>) -> BacktestResult {
     let f1s: Vec<f64> = folds.iter().map(|f| f.f1).collect();
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let mean_auc = mean(&aucs);
-    let var =
-        aucs.iter().map(|a| (a - mean_auc).powi(2)).sum::<f64>() / aucs.len() as f64;
+    let var = aucs.iter().map(|a| (a - mean_auc).powi(2)).sum::<f64>()
+        / aucs.len() as f64;
     BacktestResult {
         name,
         mean_auc,
@@ -231,9 +231,7 @@ mod tests {
             .iter()
             .map(|split| {
                 let stat = split.history.to_static();
-                evaluate_ranking("CN", split, |u, v| {
-                    baseline_cn(&stat, u, v)
-                })
+                evaluate_ranking("CN", split, |u, v| baseline_cn(&stat, u, v))
             })
             .collect();
         let agg = aggregate(folds);

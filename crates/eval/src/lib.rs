@@ -21,7 +21,9 @@ pub mod report;
 pub mod runner;
 pub mod split;
 
-pub use backtest::{aggregate, backtest_splits, BacktestConfig, BacktestResult};
+pub use backtest::{
+    aggregate, backtest_splits, BacktestConfig, BacktestResult,
+};
 pub use metrics::{auc, best_f1_threshold, f1_at};
 pub use report::ResultsTable;
 pub use runner::{evaluate_ranking, evaluate_supervised_scores, MethodResult};

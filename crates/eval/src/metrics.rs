@@ -13,12 +13,9 @@ pub fn auc(scored: &[(f64, bool)]) -> f64 {
     }
     // Sort by score; assign average ranks to ties; AUC = (R⁺ − P(P+1)/2)/(PN).
     let mut idx: Vec<usize> = (0..scored.len()).collect();
-    idx.sort_by(|&a, &b| {
-        scored[a]
-            .0
-            .partial_cmp(&scored[b].0)
-            .expect("scores must not be NaN")
-    });
+    // total_cmp keeps the sort total even if a degraded scorer leaks a NaN
+    // (NaN ranks above every real score instead of panicking).
+    idx.sort_by(|&a, &b| scored[a].0.total_cmp(&scored[b].0));
     let mut rank_sum_pos = 0.0;
     let mut i = 0;
     while i < idx.len() {
@@ -84,7 +81,7 @@ pub fn best_f1_threshold(scored: &[(f64, bool)]) -> f64 {
         return 0.5;
     }
     let mut candidates: Vec<f64> = scored.iter().map(|&(s, _)| s).collect();
-    candidates.sort_by(|a, b| a.partial_cmp(b).expect("scores must not be NaN"));
+    candidates.sort_by(f64::total_cmp);
     candidates.dedup();
     let mut best = (f64::NEG_INFINITY, candidates[0]);
     for &t in &candidates {
@@ -107,13 +104,7 @@ pub fn precision_at_k(scored: &[(f64, bool)], k: usize) -> f64 {
         return 0.0;
     }
     let mut idx: Vec<usize> = (0..scored.len()).collect();
-    idx.sort_by(|&a, &b| {
-        scored[b]
-            .0
-            .partial_cmp(&scored[a].0)
-            .expect("scores must not be NaN")
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| scored[b].0.total_cmp(&scored[a].0).then(a.cmp(&b)));
     let k = k.min(idx.len());
     let hits = idx[..k].iter().filter(|&&i| scored[i].1).count();
     hits as f64 / k as f64
@@ -124,13 +115,7 @@ pub fn precision_at_k(scored: &[(f64, bool)], k: usize) -> f64 {
 /// standard interpolation). Returns 0.0 when there are no positives.
 pub fn average_precision(scored: &[(f64, bool)]) -> f64 {
     let mut idx: Vec<usize> = (0..scored.len()).collect();
-    idx.sort_by(|&a, &b| {
-        scored[b]
-            .0
-            .partial_cmp(&scored[a].0)
-            .expect("scores must not be NaN")
-            .then(a.cmp(&b))
-    });
+    idx.sort_by(|&a, &b| scored[b].0.total_cmp(&scored[a].0).then(a.cmp(&b)));
     let mut hits = 0usize;
     let mut sum = 0.0;
     for (rank, &i) in idx.iter().enumerate() {
@@ -211,12 +196,7 @@ mod tests {
 
     #[test]
     fn best_threshold_separates_cleanly() {
-        let s = [
-            (5.0, true),
-            (4.0, true),
-            (1.0, false),
-            (0.5, false),
-        ];
+        let s = [(5.0, true), (4.0, true), (1.0, false), (0.5, false)];
         let t = best_f1_threshold(&s);
         assert_eq!(f1_at(&s, t), 1.0);
         assert!(t > 1.0 && t <= 4.0);
@@ -224,12 +204,7 @@ mod tests {
 
     #[test]
     fn precision_at_k_counts_top_hits() {
-        let s = [
-            (0.9, true),
-            (0.8, false),
-            (0.7, true),
-            (0.1, false),
-        ];
+        let s = [(0.9, true), (0.8, false), (0.7, true), (0.1, false)];
         assert_eq!(precision_at_k(&s, 1), 1.0);
         assert_eq!(precision_at_k(&s, 2), 0.5);
         assert!((precision_at_k(&s, 3) - 2.0 / 3.0).abs() < 1e-12);
@@ -251,7 +226,9 @@ mod tests {
     fn average_precision_interleaved() {
         // ranks of positives: 1 and 3 → (1/1 + 2/3)/2.
         let s = [(0.9, true), (0.8, false), (0.7, true), (0.1, false)];
-        assert!((average_precision(&s) - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+        assert!(
+            (average_precision(&s) - (1.0 + 2.0 / 3.0) / 2.0).abs() < 1e-12
+        );
     }
 
     #[test]

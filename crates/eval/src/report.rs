@@ -61,7 +61,7 @@ impl ResultsTable {
             .filter_map(|m| {
                 self.get(m, dataset).map(|(auc, _)| (m.as_str(), auc))
             })
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite AUC"))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// CSV rendering: `method,dataset,auc,f1` rows.
@@ -97,9 +97,7 @@ impl fmt::Display for ResultsTable {
             write!(f, "{:<METHOD_W$}", truncate(m, METHOD_W))?;
             for d in &self.datasets {
                 match self.get(m, d) {
-                    Some((auc, f1)) => {
-                        write!(f, " | {auc:>6.3} {f1:>6.3}")?
-                    }
+                    Some((auc, f1)) => write!(f, " | {auc:>6.3} {f1:>6.3}")?,
                     None => write!(f, " | {:>6} {:>6}", "-", "-")?,
                 }
             }

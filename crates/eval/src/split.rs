@@ -114,18 +114,24 @@ impl Split {
     /// * [`SplitError::NoPositives`] — nothing to predict in the window.
     /// * [`SplitError::NotEnoughNegatives`] — pathological tiny/dense
     ///   graph.
-    pub fn new(g: &DynamicNetwork, config: &SplitConfig) -> Result<Self, SplitError> {
+    pub fn new(
+        g: &DynamicNetwork,
+        config: &SplitConfig,
+    ) -> Result<Self, SplitError> {
         let l_t = g.max_timestamp().ok_or(SplitError::EmptyNetwork)?;
-        let t_min = g.min_timestamp().expect("non-empty network");
+        let t_min = g.min_timestamp().ok_or(SplitError::EmptyNetwork)?;
         let window = config.window.max(1);
         let window_start = l_t.saturating_sub(window - 1).max(t_min);
         if window_start <= t_min {
             // The window must leave some history.
             return Err(SplitError::NoPositives);
         }
+        // `window_start > t_min` makes the period non-empty; a failure
+        // would be an internal invariant break, surfaced as NoPositives
+        // rather than a panic on the serving path.
         let history = g
             .period(t_min, window_start)
-            .expect("window_start > t_min implies a valid period");
+            .map_err(|_| SplitError::NoPositives)?;
 
         // Distinct new pairs in the window.
         let mut positives: Vec<(NodeId, NodeId)> = Vec::new();
@@ -174,8 +180,10 @@ impl Split {
         }
 
         // 70/30 split of each class, then interleave and shuffle.
-        let cut_pos = ((positives.len() as f64) * config.train_fraction).round() as usize;
-        let cut_pos = cut_pos.clamp(1, positives.len().saturating_sub(1).max(1));
+        let cut_pos =
+            ((positives.len() as f64) * config.train_fraction).round() as usize;
+        let cut_pos =
+            cut_pos.clamp(1, positives.len().saturating_sub(1).max(1));
         let cut_neg = cut_pos; // balanced classes
         let mut train: Vec<LinkSample> = Vec::new();
         let mut test: Vec<LinkSample> = Vec::new();
@@ -290,10 +298,7 @@ mod tests {
         };
         assert_eq!(count(&s.train, true), count(&s.train, false));
         assert_eq!(count(&s.test, true), count(&s.test, false));
-        assert_eq!(
-            count(&s.train, true) + count(&s.test, true),
-            10
-        );
+        assert_eq!(count(&s.train, true) + count(&s.test, true), 10);
     }
 
     #[test]
@@ -348,8 +353,9 @@ mod tests {
             },
         )
         .unwrap();
-        let positives =
-            |s: &Split| s.train.iter().chain(&s.test).filter(|x| x.label).count();
+        let positives = |s: &Split| {
+            s.train.iter().chain(&s.test).filter(|x| x.label).count()
+        };
         assert!(positives(&wide) > positives(&narrow));
         assert_eq!(wide.history.max_timestamp(), Some(8));
     }
@@ -413,8 +419,9 @@ mod tests {
     #[test]
     fn repeat_only_window_yields_no_positives() {
         // Window links all repeat history pairs.
-        let g: DynamicNetwork =
-            [(0, 1, 1), (1, 2, 2), (0, 1, 3), (1, 2, 3)].into_iter().collect();
+        let g: DynamicNetwork = [(0, 1, 1), (1, 2, 2), (0, 1, 3), (1, 2, 3)]
+            .into_iter()
+            .collect();
         assert_eq!(
             Split::new(&g, &SplitConfig::default()),
             Err(SplitError::NoPositives)

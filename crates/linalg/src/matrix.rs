@@ -64,7 +64,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "all rows must have equal length");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates a matrix by evaluating `f(i, j)` at every position.
@@ -217,7 +221,9 @@ impl Matrix {
 
     /// The transpose as a new matrix.
     pub fn transpose(&self) -> Matrix {
-        Matrix::from_fn(self.cols, self.rows, |i, j| self.data[j * self.cols + i])
+        Matrix::from_fn(self.cols, self.rows, |i, j| {
+            self.data[j * self.cols + i]
+        })
     }
 
     /// Elementwise sum `self + rhs`.
@@ -289,14 +295,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of range");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of range"
+        );
         &mut self.data[i * self.cols + j]
     }
 }

@@ -65,7 +65,10 @@ pub fn cholesky(a: &Matrix) -> Result<Matrix, NotPositiveDefinite> {
 /// # Panics
 ///
 /// Panics if `a` is not square or `b.len() != a.rows()`.
-pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NotPositiveDefinite> {
+pub fn solve_spd(
+    a: &Matrix,
+    b: &[f64],
+) -> Result<Vec<f64>, NotPositiveDefinite> {
     assert_eq!(b.len(), a.rows(), "rhs length must match matrix size");
     let l = cholesky(a)?;
     let n = b.len();
@@ -101,7 +104,11 @@ pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, NotPositiveDefinite>
 /// # Panics
 ///
 /// Panics if `y.len() != x.rows()`.
-pub fn ridge(x: &Matrix, y: &[f64], lambda: f64) -> Result<Vec<f64>, NotPositiveDefinite> {
+pub fn ridge(
+    x: &Matrix,
+    y: &[f64],
+    lambda: f64,
+) -> Result<Vec<f64>, NotPositiveDefinite> {
     assert_eq!(y.len(), x.rows(), "target length must match sample count");
     let mut gram = x.t_matmul(x);
     for i in 0..gram.rows() {
@@ -159,8 +166,7 @@ mod tests {
             &[2.0, 1.0],
             &[1.0, 3.0],
         ]);
-        let y: Vec<f64> =
-            (0..5).map(|i| 2.0 * x[(i, 0)] - x[(i, 1)]).collect();
+        let y: Vec<f64> = (0..5).map(|i| 2.0 * x[(i, 0)] - x[(i, 1)]).collect();
         let w = ridge(&x, &y, 1e-9).unwrap();
         assert_close(&w, &[2.0, -1.0], 1e-6);
     }

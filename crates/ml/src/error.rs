@@ -1,0 +1,79 @@
+//! Typed errors for model fitting.
+
+use std::error::Error;
+use std::fmt;
+
+use linalg::solve::NotPositiveDefinite;
+
+/// Why a model fit could not produce a usable model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FitError {
+    /// The design matrix has no rows or no columns — nothing to fit.
+    EmptyDesign,
+    /// The target vector length disagrees with the design's row count.
+    LengthMismatch {
+        /// Number of targets supplied.
+        targets: usize,
+        /// Number of design-matrix rows.
+        rows: usize,
+    },
+    /// The (ridge-augmented) normal matrix failed its Cholesky
+    /// factorization; only possible with `lambda <= 0` on a
+    /// rank-deficient design.
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::EmptyDesign => {
+                write!(f, "design matrix must be non-empty")
+            }
+            FitError::LengthMismatch { targets, rows } => write!(
+                f,
+                "target length must match sample count \
+                 ({targets} targets vs {rows} rows)"
+            ),
+            FitError::NotPositiveDefinite { pivot } => write!(
+                f,
+                "normal matrix is not positive definite (pivot {pivot}); \
+                 use a positive ridge lambda"
+            ),
+        }
+    }
+}
+
+impl Error for FitError {}
+
+impl From<NotPositiveDefinite> for FitError {
+    fn from(e: NotPositiveDefinite) -> Self {
+        FitError::NotPositiveDefinite { pivot: e.pivot }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_actionable() {
+        assert!(FitError::EmptyDesign.to_string().contains("non-empty"));
+        let e = FitError::LengthMismatch {
+            targets: 3,
+            rows: 5,
+        };
+        assert!(e.to_string().contains("3 targets vs 5 rows"));
+        let e = FitError::NotPositiveDefinite { pivot: 2 };
+        assert!(e.to_string().contains("pivot 2"));
+    }
+
+    #[test]
+    fn converts_from_linalg_error() {
+        let e: FitError = NotPositiveDefinite { pivot: 7 }.into();
+        assert_eq!(e, FitError::NotPositiveDefinite { pivot: 7 });
+    }
+}

@@ -13,11 +13,13 @@
 //!
 //! [`StandardScaler`] provides the usual feature standardization.
 
+pub mod error;
 pub mod linreg;
 pub mod nn;
 pub mod persist;
 pub mod scaler;
 
+pub use error::FitError;
 pub use linreg::LinearRegression;
 pub use nn::{MlpConfig, NeuralMachine, Optimizer};
 pub use scaler::StandardScaler;

@@ -8,8 +8,10 @@
 //! extra all-ones column with the same `λ`, which is standard and
 //! inconsequential at the small `λ` used).
 
-use linalg::solve::{ridge, NotPositiveDefinite};
+use linalg::solve::ridge;
 use linalg::Matrix;
+
+use crate::error::FitError;
 
 /// A fitted linear regression `score(x) = w·x + b`.
 #[derive(Debug, Clone, PartialEq)]
@@ -24,30 +26,41 @@ impl LinearRegression {
     ///
     /// # Errors
     ///
-    /// Returns [`NotPositiveDefinite`] only for `lambda <= 0` with a
-    /// rank-deficient design; any `lambda > 0` succeeds.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `y.len() != x.rows()` or `x` has no rows or columns.
-    pub fn fit(
-        x: &Matrix,
-        y: &[f64],
-        lambda: f64,
-    ) -> Result<Self, NotPositiveDefinite> {
-        assert!(x.rows() > 0 && x.cols() > 0, "design matrix must be non-empty");
-        assert_eq!(y.len(), x.rows(), "target length must match sample count");
+    /// [`FitError::EmptyDesign`] when `x` has no rows or columns,
+    /// [`FitError::LengthMismatch`] when `y.len() != x.rows()`, and
+    /// [`FitError::NotPositiveDefinite`] only for `lambda <= 0` with a
+    /// rank-deficient design; any `lambda > 0` with well-shaped inputs
+    /// succeeds.
+    pub fn fit(x: &Matrix, y: &[f64], lambda: f64) -> Result<Self, FitError> {
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(FitError::EmptyDesign);
+        }
+        if y.len() != x.rows() {
+            return Err(FitError::LengthMismatch {
+                targets: y.len(),
+                rows: x.rows(),
+            });
+        }
         // Augment with a bias column of ones.
         let (n, d) = (x.rows(), x.cols());
-        let aug = Matrix::from_fn(n, d + 1, |i, j| {
-            if j < d {
-                x[(i, j)]
-            } else {
-                1.0
-            }
-        });
+        let aug =
+            Matrix::from_fn(
+                n,
+                d + 1,
+                |i, j| {
+                    if j < d {
+                        x[(i, j)]
+                    } else {
+                        1.0
+                    }
+                },
+            );
         let mut w = ridge(&aug, y, lambda)?;
-        let bias = w.pop().expect("augmented fit has at least the bias");
+        let Some(bias) = w.pop() else {
+            // d + 1 >= 1 columns, so ridge always returns at least one
+            // coefficient; keep a typed escape hatch anyway.
+            return Err(FitError::EmptyDesign);
+        };
         Ok(LinearRegression { weights: w, bias })
     }
 
@@ -136,9 +149,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "target length")]
-    fn mismatched_lengths_panic() {
+    fn shape_violations_are_typed_errors() {
         let x = Matrix::from_rows(&[&[1.0]]);
-        let _ = LinearRegression::fit(&x, &[1.0, 2.0], 0.1);
+        assert_eq!(
+            LinearRegression::fit(&x, &[1.0, 2.0], 0.1),
+            Err(FitError::LengthMismatch {
+                targets: 2,
+                rows: 1
+            })
+        );
+        let empty = Matrix::from_fn(0, 0, |_, _| 0.0);
+        assert_eq!(
+            LinearRegression::fit(&empty, &[], 0.1),
+            Err(FitError::EmptyDesign)
+        );
     }
 }

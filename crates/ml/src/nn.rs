@@ -145,7 +145,10 @@ impl NeuralMachine {
     /// Panics if `x` is empty, lengths mismatch, a label is out of range,
     /// or `config` has a zero batch size / learning rate.
     pub fn train(x: &Matrix, y: &[usize], config: MlpConfig) -> Self {
-        assert!(x.rows() > 0 && x.cols() > 0, "training set must be non-empty");
+        assert!(
+            x.rows() > 0 && x.cols() > 0,
+            "training set must be non-empty"
+        );
         assert_eq!(y.len(), x.rows(), "label length must match sample count");
         assert!(config.batch_size > 0, "batch size must be positive");
         assert!(config.learning_rate > 0.0, "learning rate must be positive");
@@ -170,7 +173,10 @@ impl NeuralMachine {
         index.shuffle(&mut rng);
         // Optional validation holdout for early stopping.
         let vf = nm.config.validation_fraction;
-        assert!((0.0..0.9).contains(&vf), "validation_fraction must be in [0, 0.9)");
+        assert!(
+            (0.0..0.9).contains(&vf),
+            "validation_fraction must be in [0, 0.9)"
+        );
         let val_len = if vf > 0.0 {
             ((n as f64 * vf) as usize).clamp(1, n.saturating_sub(2))
         } else {
@@ -217,12 +223,24 @@ impl NeuralMachine {
     /// Propagates I/O errors from the writer.
     pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
         writeln!(w, "ssf-nm v1")?;
-        persist::write_usizes(&mut w, "hidden", self.config.hidden.iter().copied())?;
+        persist::write_usizes(
+            &mut w,
+            "hidden",
+            self.config.hidden.iter().copied(),
+        )?;
         persist::write_usizes(&mut w, "classes", [self.config.classes])?;
         persist::write_usizes(&mut w, "layers", [self.layers.len()])?;
         for layer in &self.layers {
-            persist::write_usizes(&mut w, "dims", [layer.w.rows(), layer.w.cols()])?;
-            persist::write_floats(&mut w, "w", layer.w.as_slice().iter().copied())?;
+            persist::write_usizes(
+                &mut w,
+                "dims",
+                [layer.w.rows(), layer.w.cols()],
+            )?;
+            persist::write_floats(
+                &mut w,
+                "w",
+                layer.w.as_slice().iter().copied(),
+            )?;
             persist::write_floats(&mut w, "b", layer.b.iter().copied())?;
         }
         Ok(())
@@ -238,7 +256,8 @@ impl NeuralMachine {
         let hidden = persist::read_usizes(&mut r, "hidden")?;
         let classes = persist::read_usizes(&mut r, "classes")?;
         let nlayers = persist::read_usizes(&mut r, "layers")?;
-        let (Some(&classes), Some(&nlayers)) = (classes.first(), nlayers.first())
+        let (Some(&classes), Some(&nlayers)) =
+            (classes.first(), nlayers.first())
         else {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -282,7 +301,12 @@ impl NeuralMachine {
     }
 
     /// Mean cross-entropy over an index subset (validation loss).
-    fn subset_cross_entropy(&self, x: &Matrix, y: &[usize], idx: &[usize]) -> f64 {
+    fn subset_cross_entropy(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        idx: &[usize],
+    ) -> f64 {
         let mut loss = 0.0;
         for &i in idx {
             let p = self.predict_proba(x.row(i));
@@ -299,6 +323,7 @@ impl NeuralMachine {
     pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
         let xm = Matrix::from_vec(1, x.len(), x.to_vec());
         let (activations, _) = self.forward(&xm);
+        #[allow(clippy::expect_used)] // structural invariant: ≥1 layer
         let logits = activations.last().expect("network has layers");
         vector::softmax(logits.row(0))
     }
@@ -314,6 +339,7 @@ impl NeuralMachine {
 
     /// Predicted class (argmax of the probabilities).
     pub fn classify(&self, x: &[f64]) -> usize {
+        #[allow(clippy::expect_used)] // classes ≥ 2, so never empty
         vector::argmax(&self.predict_proba(x)).expect("non-empty probabilities")
     }
 
@@ -353,12 +379,19 @@ impl NeuralMachine {
         (activations, zs)
     }
 
-    fn train_batch(&mut self, x: &Matrix, y: &[usize], batch: &[usize], step: u64) {
+    fn train_batch(
+        &mut self,
+        x: &Matrix,
+        y: &[usize],
+        batch: &[usize],
+        step: u64,
+    ) {
         let bsz = batch.len();
         let xb = Matrix::from_fn(bsz, x.cols(), |i, j| x[(batch[i], j)]);
         let (activations, zs) = self.forward(&xb);
 
         // Softmax + cross-entropy gradient at the logits: (P − Y)/B.
+        #[allow(clippy::expect_used)] // structural invariant: ≥1 layer
         let logits = activations.last().expect("network has layers");
         let mut delta = Matrix::zeros(bsz, self.config.classes);
         for i in 0..bsz {
@@ -395,7 +428,13 @@ impl NeuralMachine {
         }
     }
 
-    fn apply_update(&mut self, li: usize, grad_w: &Matrix, grad_b: &[f64], step: u64) {
+    fn apply_update(
+        &mut self,
+        li: usize,
+        grad_w: &Matrix,
+        grad_b: &[f64],
+        step: u64,
+    ) {
         let lr = self.config.learning_rate;
         let layer = &mut self.layers[li];
         // Decoupled weight decay on the weights (never the biases).
@@ -407,7 +446,9 @@ impl NeuralMachine {
         }
         match self.config.optimizer {
             Optimizer::Sgd => {
-                for (w, g) in layer.w.as_mut_slice().iter_mut().zip(grad_w.as_slice()) {
+                for (w, g) in
+                    layer.w.as_mut_slice().iter_mut().zip(grad_w.as_slice())
+                {
                     *w -= lr * g;
                 }
                 for (b, g) in layer.b.iter_mut().zip(grad_b) {
@@ -433,7 +474,13 @@ impl NeuralMachine {
                     .as_mut_slice()
                     .iter_mut()
                     .zip(layer.mw.as_mut_slice())
-                    .zip(layer.vw.as_mut_slice().iter_mut().zip(grad_w.as_slice()))
+                    .zip(
+                        layer
+                            .vw
+                            .as_mut_slice()
+                            .iter_mut()
+                            .zip(grad_w.as_slice()),
+                    )
                 {
                     adam(p, m, v, *g);
                 }

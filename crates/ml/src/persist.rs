@@ -59,7 +59,10 @@ pub fn write_usizes<W: Write>(
 /// # Errors
 ///
 /// `InvalidData` on EOF, name mismatch, or malformed integers.
-pub fn read_usizes<R: BufRead>(r: &mut R, name: &str) -> io::Result<Vec<usize>> {
+pub fn read_usizes<R: BufRead>(
+    r: &mut R,
+    name: &str,
+) -> io::Result<Vec<usize>> {
     let line = read_line(r)?;
     let mut fields = line.split_whitespace();
     let got = fields.next().unwrap_or("");

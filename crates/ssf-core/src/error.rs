@@ -1,0 +1,72 @@
+//! Typed errors for feature extraction on degenerate targets.
+
+use std::error::Error;
+use std::fmt;
+
+use dyngraph::NodeId;
+
+/// Why an SSF extraction could not run for a target link.
+///
+/// These are precondition violations on the *target pair*, not on the
+/// network: a well-formed history network never produces them for a
+/// well-formed candidate pair. Serving paths that ingest hostile streams
+/// use [`crate::SsfExtractor::try_extract`] to turn them into degraded
+/// scores instead of panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExtractError {
+    /// Both target endpoints are the same node — a self-loop has no
+    /// h-hop subgraph (Definition 3 requires two distinct endpoints).
+    DegenerateTarget {
+        /// The node appearing on both ends.
+        node: NodeId,
+    },
+    /// A target endpoint is outside the network's dense id space.
+    UnknownEndpoint {
+        /// The out-of-range endpoint.
+        node: NodeId,
+        /// The network's node count at extraction time.
+        node_count: usize,
+    },
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::DegenerateTarget { node } => write!(
+                f,
+                "target link endpoints must differ (both are node {node})"
+            ),
+            ExtractError::UnknownEndpoint { node, node_count } => write!(
+                f,
+                "target link endpoints must exist in the network \
+                 (node {node} outside 0..{node_count})"
+            ),
+        }
+    }
+}
+
+impl Error for ExtractError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offender() {
+        let e = ExtractError::DegenerateTarget { node: 4 };
+        assert!(e.to_string().contains("node 4"));
+        let e = ExtractError::UnknownEndpoint {
+            node: 9,
+            node_count: 5,
+        };
+        assert!(e.to_string().contains("node 9"));
+        assert!(e.to_string().contains("0..5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ExtractError>();
+    }
+}

@@ -2,6 +2,7 @@
 
 use dyngraph::{traversal, DynamicNetwork, NodeId, Timestamp};
 
+use crate::error::ExtractError;
 use crate::hop::HopSubgraph;
 use crate::influence::{normalized_influence, ExponentialDecay};
 use crate::kstructure::KStructureSubgraph;
@@ -215,7 +216,9 @@ impl SsfExtractor {
     ///
     /// # Panics
     ///
-    /// Panics if `a == b` or either endpoint is outside `g`.
+    /// Panics if `a == b` or either endpoint is outside `g`. Serving paths
+    /// that cannot rule those out should use
+    /// [`SsfExtractor::try_extract`].
     pub fn extract(
         &self,
         g: &DynamicNetwork,
@@ -223,13 +226,37 @@ impl SsfExtractor {
         b: NodeId,
         l_t: Timestamp,
     ) -> SsfFeature {
-        let (ks, h_used, structure_nodes) = self.k_structure(g, a, b);
+        match self.try_extract(g, a, b, l_t) {
+            Ok(f) => f,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`SsfExtractor::extract`]: degenerate targets come
+    /// back as [`ExtractError`] values instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtractError::DegenerateTarget`] when `a == b`, and
+    /// [`ExtractError::UnknownEndpoint`] when either endpoint is outside
+    /// `g`'s id space.
+    pub fn try_extract(
+        &self,
+        g: &DynamicNetwork,
+        a: NodeId,
+        b: NodeId,
+        l_t: Timestamp,
+    ) -> Result<SsfFeature, ExtractError> {
+        let (ks, h_used, structure_nodes) = self.try_k_structure(g, a, b)?;
         let k = self.config.k;
         let mut values = Vec::with_capacity(self.config.feature_dim());
         match self.config.encoding {
             EntryEncoding::InfluenceAndStructure => {
-                let infl =
-                    self.adjacency_matrix(&ks, l_t, EntryEncoding::LogInfluence);
+                let infl = self.adjacency_matrix(
+                    &ks,
+                    l_t,
+                    EntryEncoding::LogInfluence,
+                );
                 unfold_upper_triangle(&infl, k, &mut values);
                 let bin =
                     self.adjacency_matrix(&ks, l_t, EntryEncoding::Binary);
@@ -240,12 +267,12 @@ impl SsfExtractor {
                 unfold_upper_triangle(&matrix, k, &mut values);
             }
         }
-        SsfFeature {
+        Ok(SsfFeature {
             values,
             k,
             h_used,
             structure_nodes,
-        }
+        })
     }
 
     /// Runs the pipeline up to K-structure-subgraph selection (Algorithm 3
@@ -262,21 +289,39 @@ impl SsfExtractor {
         a: NodeId,
         b: NodeId,
     ) -> (KStructureSubgraph, u32, usize) {
+        match self.try_k_structure(g, a, b) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`SsfExtractor::k_structure`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SsfExtractor::try_extract`].
+    pub fn try_k_structure(
+        &self,
+        g: &DynamicNetwork,
+        a: NodeId,
+        b: NodeId,
+    ) -> Result<(KStructureSubgraph, u32, usize), ExtractError> {
         let k = self.config.k;
         let mut h = 1;
-        let mut hop = HopSubgraph::extract(g, a, b, h);
+        let mut hop = HopSubgraph::try_extract(g, a, b, h)?;
         let mut s = StructureSubgraph::combine(&hop);
         while s.node_count() < k && h < self.config.max_h {
             h += 1;
-            let grown = HopSubgraph::extract(g, a, b, h);
+            let grown = HopSubgraph::try_extract(g, a, b, h)?;
             if grown.node_count() == hop.node_count() {
                 break; // component exhausted
             }
             hop = grown;
             s = StructureSubgraph::combine(&hop);
         }
-        let adj: Vec<Vec<usize>> =
-            (0..s.node_count()).map(|x| s.neighbors(x).to_vec()).collect();
+        let adj: Vec<Vec<usize>> = (0..s.node_count())
+            .map(|x| s.neighbors(x).to_vec())
+            .collect();
         // Initial colors: distance to the target link, with structure nodes
         // adjacent to BOTH endpoints preceding the rest of their distance
         // class. The prime-log hash ranks well-connected nodes late within
@@ -294,11 +339,12 @@ impl SsfExtractor {
         // Tiebreak for automorphic structure nodes: earliest BFS-discovered
         // member first — the same discovery-order semantics WLF uses, which
         // keeps a slot's meaning stable across target links.
-        let tiebreak: Vec<u64> =
-            (0..s.node_count()).map(|x| s.members(x)[0] as u64).collect();
+        let tiebreak: Vec<u64> = (0..s.node_count())
+            .map(|x| s.members(x)[0] as u64)
+            .collect();
         let order = palette_wl(&adj, &dist, (0, 1), &tiebreak);
         let node_count = s.node_count();
-        (KStructureSubgraph::select(&s, &order, k), h, node_count)
+        Ok((KStructureSubgraph::select(&s, &order, k), h, node_count))
     }
 
     /// Builds the dense `K×K` adjacency matrix `A` (Eq. 4) in row-major
@@ -421,7 +467,8 @@ mod tests {
             // Default (concatenated) encoding doubles the Eq. 5 dimension.
             assert_eq!(f.values().len(), 2 * (k * (k - 1) / 2 - 1));
             let single = cfg.with_encoding(EntryEncoding::Binary);
-            let f = SsfExtractor::new(single).extract(&chain_with_fan(), 0, 1, 10);
+            let f =
+                SsfExtractor::new(single).extract(&chain_with_fan(), 0, 1, 10);
             assert_eq!(f.values().len(), k * (k - 1) / 2 - 1);
         }
     }
@@ -456,8 +503,8 @@ mod tests {
         let recent: DynamicNetwork =
             [(0, 2, 9), (1, 2, 9)].into_iter().collect();
         let old: DynamicNetwork = [(0, 2, 1), (1, 2, 1)].into_iter().collect();
-        let cfg = SsfConfig::new(3)
-            .with_encoding(EntryEncoding::NormalizedInfluence);
+        let cfg =
+            SsfConfig::new(3).with_encoding(EntryEncoding::NormalizedInfluence);
         let ex = SsfExtractor::new(cfg);
         let fr = ex.extract(&recent, 0, 1, 10);
         let fo = ex.extract(&old, 0, 1, 10);
@@ -487,11 +534,32 @@ mod tests {
     #[test]
     fn reciprocal_distance_bounded_by_one() {
         let g = chain_with_fan();
-        let cfg = SsfConfig::new(6)
-            .with_encoding(EntryEncoding::ReciprocalDistance);
+        let cfg =
+            SsfConfig::new(6).with_encoding(EntryEncoding::ReciprocalDistance);
         let f = SsfExtractor::new(cfg).extract(&g, 0, 1, 10);
         assert!(f.values().iter().all(|&v| (0.0..=1.0).contains(&v)));
         assert!(f.values().iter().any(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn try_extract_matches_extract_and_reports_errors() {
+        let g = chain_with_fan();
+        let ex = SsfExtractor::new(SsfConfig::new(5));
+        assert_eq!(
+            ex.try_extract(&g, 0, 1, 10).expect("valid target"),
+            ex.extract(&g, 0, 1, 10)
+        );
+        assert_eq!(
+            ex.try_extract(&g, 3, 3, 10),
+            Err(ExtractError::DegenerateTarget { node: 3 })
+        );
+        assert_eq!(
+            ex.try_extract(&g, 0, 42, 10),
+            Err(ExtractError::UnknownEndpoint {
+                node: 42,
+                node_count: g.node_count()
+            })
+        );
     }
 
     #[test]
@@ -504,10 +572,11 @@ mod tests {
     #[test]
     fn target_history_does_not_leak() {
         // Identical neighborhoods; one network also has direct 0-1 history.
-        let base: DynamicNetwork =
-            [(0, 2, 5), (1, 2, 6)].into_iter().collect();
+        let base: DynamicNetwork = [(0, 2, 5), (1, 2, 6)].into_iter().collect();
         let leaky: DynamicNetwork =
-            [(0, 2, 5), (1, 2, 6), (0, 1, 7), (0, 1, 8)].into_iter().collect();
+            [(0, 2, 5), (1, 2, 6), (0, 1, 7), (0, 1, 8)]
+                .into_iter()
+                .collect();
         let ex = SsfExtractor::new(SsfConfig::new(3));
         assert_eq!(
             ex.extract(&base, 0, 1, 10).values(),
@@ -519,14 +588,9 @@ mod tests {
     fn endpoint_symmetry() {
         // Extracting (a, b) and (b, a) gives the same vector when the two
         // sides are mirror images.
-        let g: DynamicNetwork = [
-            (0, 2, 1),
-            (1, 3, 1),
-            (2, 4, 2),
-            (3, 4, 2),
-        ]
-        .into_iter()
-        .collect();
+        let g: DynamicNetwork = [(0, 2, 1), (1, 3, 1), (2, 4, 2), (3, 4, 2)]
+            .into_iter()
+            .collect();
         let ex = SsfExtractor::new(SsfConfig::new(5));
         let ab = ex.extract(&g, 0, 1, 3);
         let ba = ex.extract(&g, 1, 0, 3);

@@ -9,6 +9,8 @@ use std::collections::HashMap;
 
 use dyngraph::{traversal, DynamicNetwork, NodeId, Timestamp};
 
+use crate::error::ExtractError;
+
 /// The h-hop subgraph of a target link, re-indexed to dense local ids.
 ///
 /// Local id 0 is always endpoint `a`, local id 1 endpoint `b`.
@@ -37,13 +39,40 @@ impl HopSubgraph {
     ///
     /// # Panics
     ///
-    /// Panics if `a == b` or either endpoint is outside `g`.
+    /// Panics if `a == b` or either endpoint is outside `g`. Serving paths
+    /// that cannot rule those out should use [`HopSubgraph::try_extract`].
     pub fn extract(g: &DynamicNetwork, a: NodeId, b: NodeId, h: u32) -> Self {
-        assert_ne!(a, b, "target link endpoints must differ");
-        assert!(
-            (a as usize) < g.node_count() && (b as usize) < g.node_count(),
-            "target link endpoints must exist in the network"
-        );
+        match Self::try_extract(g, a, b, h) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`HopSubgraph::extract`]: degenerate targets come
+    /// back as [`ExtractError`] values instead of panics.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtractError::DegenerateTarget`] when `a == b`, and
+    /// [`ExtractError::UnknownEndpoint`] when either endpoint is outside
+    /// `g`'s id space.
+    pub fn try_extract(
+        g: &DynamicNetwork,
+        a: NodeId,
+        b: NodeId,
+        h: u32,
+    ) -> Result<Self, ExtractError> {
+        if a == b {
+            return Err(ExtractError::DegenerateTarget { node: a });
+        }
+        for node in [a, b] {
+            if node as usize >= g.node_count() {
+                return Err(ExtractError::UnknownEndpoint {
+                    node,
+                    node_count: g.node_count(),
+                });
+            }
+        }
         // `bfs_bounded` reports sources first, so locals 0/1 are a/b. With
         // duplicate-free sources the order is [a, b, ...frontier...].
         let reached = traversal::bfs_bounded(g, &[a, b], h);
@@ -73,13 +102,13 @@ impl HopSubgraph {
                 }
             }
         }
-        HopSubgraph {
+        Ok(HopSubgraph {
             global,
             dist,
             adj,
             h,
             links,
-        }
+        })
     }
 
     /// Number of nodes in the subgraph.
@@ -189,12 +218,8 @@ mod tests {
         let g = sample();
         let s = HopSubgraph::extract(&g, 2, 3, 1);
         // locals: 0->2, 1->3, then 0,1,4.
-        let zero = (0..s.node_count())
-            .find(|&i| s.global_id(i) == 0)
-            .unwrap();
-        let one = (0..s.node_count())
-            .find(|&i| s.global_id(i) == 1)
-            .unwrap();
+        let zero = (0..s.node_count()).find(|&i| s.global_id(i) == 0).unwrap();
+        let one = (0..s.node_count()).find(|&i| s.global_id(i) == 1).unwrap();
         let links_01 = s
             .incident_links(zero)
             .iter()
@@ -229,6 +254,23 @@ mod tests {
     fn same_endpoints_panic() {
         let g = sample();
         let _ = HopSubgraph::extract(&g, 1, 1, 1);
+    }
+
+    #[test]
+    fn try_extract_reports_degenerate_targets() {
+        let g = sample();
+        assert_eq!(
+            HopSubgraph::try_extract(&g, 1, 1, 1),
+            Err(ExtractError::DegenerateTarget { node: 1 })
+        );
+        assert_eq!(
+            HopSubgraph::try_extract(&g, 0, 99, 1),
+            Err(ExtractError::UnknownEndpoint {
+                node: 99,
+                node_count: g.node_count()
+            })
+        );
+        assert!(HopSubgraph::try_extract(&g, 0, 1, 1).is_ok());
     }
 
     #[test]

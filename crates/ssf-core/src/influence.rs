@@ -91,7 +91,8 @@ mod tests {
     #[test]
     fn influence_decays_monotonically() {
         let d = ExponentialDecay::new(0.5);
-        let vals: Vec<f64> = (0..5).map(|age| d.influence(10, 10 - age)).collect();
+        let vals: Vec<f64> =
+            (0..5).map(|age| d.influence(10, 10 - age)).collect();
         for w in vals.windows(2) {
             assert!(w[0] > w[1]);
         }

@@ -62,8 +62,7 @@ impl KStructureSubgraph {
         for (x, y) in s.links() {
             if let (Some(&m), Some(&n)) = (slot_of.get(&x), slot_of.get(&y)) {
                 let key = (m.min(n), m.max(n));
-                timestamps
-                    .insert(key, s.timestamps_between(x, y).to_vec());
+                timestamps.insert(key, s.timestamps_between(x, y).to_vec());
             }
         }
         KStructureSubgraph {
@@ -146,8 +145,9 @@ mod tests {
     ) -> (StructureSubgraph, KStructureSubgraph) {
         let hop = HopSubgraph::extract(g, a, b, h);
         let s = StructureSubgraph::combine(&hop);
-        let adj: Vec<Vec<usize>> =
-            (0..s.node_count()).map(|x| s.neighbors(x).to_vec()).collect();
+        let adj: Vec<Vec<usize>> = (0..s.node_count())
+            .map(|x| s.neighbors(x).to_vec())
+            .collect();
         let dist: Vec<u32> =
             (0..s.node_count()).map(|x| s.distance(x)).collect();
         let tiebreak: Vec<u64> = (0..s.node_count())

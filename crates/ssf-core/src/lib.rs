@@ -42,6 +42,7 @@
 //! assert_eq!(feature.values().len(), SsfConfig::new(5).feature_dim());
 //! ```
 
+pub mod error;
 pub mod feature;
 pub mod hop;
 pub mod influence;
@@ -52,6 +53,7 @@ pub mod roles;
 pub mod structure;
 pub mod viz;
 
+pub use error::ExtractError;
 pub use feature::{EntryEncoding, SsfConfig, SsfExtractor, SsfFeature};
 pub use hop::HopSubgraph;
 pub use influence::{normalized_influence, ExponentialDecay};

@@ -81,11 +81,13 @@ pub fn palette_wl(
     // Refine until stable. Each non-trivial round strictly splits at least
     // one color class, so n rounds suffice; the cap guards regressions.
     for _ in 0..n + 2 {
-        let total: f64 = (1..=n).map(|i| ln_p(colors[i - 1])).sum::<f64>().abs();
+        let total: f64 =
+            (1..=n).map(|i| ln_p(colors[i - 1])).sum::<f64>().abs();
         let hash = |i: usize| -> f64 {
             // Sort neighbor colors so identical multisets sum in identical
             // order — float-exact equality then preserves true ties.
-            let mut cs: Vec<usize> = adj[i].iter().map(|&j| colors[j]).collect();
+            let mut cs: Vec<usize> =
+                adj[i].iter().map(|&j| colors[j]).collect();
             cs.sort_unstable();
             let frac: f64 = cs.into_iter().map(ln_p).sum::<f64>() / total;
             colors[i] as f64 + frac
@@ -101,9 +103,9 @@ pub fn palette_wl(
             }
         };
         let new_colors = dense_rank_by(n, |i, j| {
-            hkey(i)
-                .partial_cmp(&hkey(j))
-                .expect("palette hash values are finite")
+            let (ti, hi) = hkey(i);
+            let (tj, hj) = hkey(j);
+            ti.cmp(&tj).then(hi.total_cmp(&hj))
         });
         if new_colors == colors {
             break;
@@ -161,13 +163,8 @@ mod tests {
 
     #[test]
     fn orders_are_a_permutation() {
-        let adj = vec![
-            vec![1, 2, 3],
-            vec![0, 2],
-            vec![0, 1, 4],
-            vec![0],
-            vec![2],
-        ];
+        let adj =
+            vec![vec![1, 2, 3], vec![0, 2], vec![0, 1, 4], vec![0], vec![2]];
         let order = palette_wl(&adj, &[0, 0, 1, 1, 2], (0, 1), &[0; 5]);
         let mut sorted = order.clone();
         sorted.sort_unstable();

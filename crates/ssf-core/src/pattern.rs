@@ -168,14 +168,18 @@ mod tests {
     use crate::feature::{SsfConfig, SsfExtractor};
     use dyngraph::DynamicNetwork;
 
-    fn ks_of(g: &DynamicNetwork, a: u32, b: u32, k: usize) -> KStructureSubgraph {
+    fn ks_of(
+        g: &DynamicNetwork,
+        a: u32,
+        b: u32,
+        k: usize,
+    ) -> KStructureSubgraph {
         SsfExtractor::new(SsfConfig::new(k)).k_structure(g, a, b).0
     }
 
     #[test]
     fn identical_topology_same_signature() {
-        let g1: DynamicNetwork =
-            [(0, 2, 1), (1, 2, 9)].into_iter().collect();
+        let g1: DynamicNetwork = [(0, 2, 1), (1, 2, 9)].into_iter().collect();
         let g2: DynamicNetwork =
             [(0, 2, 4), (1, 2, 4), (0, 2, 5)].into_iter().collect();
         // Same shape (common neighbor), different timestamps/multiplicity.

@@ -194,7 +194,8 @@ mod tests {
 
     #[test]
     fn celebrity_fans_aggregate_strongly() {
-        let mut g: DynamicNetwork = [(0, 2, 1), (1, 2, 1)].into_iter().collect();
+        let mut g: DynamicNetwork =
+            [(0, 2, 1), (1, 2, 1)].into_iter().collect();
         for fan in 3..23 {
             g.add_link(0, fan, 1);
         }
@@ -208,7 +209,12 @@ mod tests {
     fn display_mentions_every_role() {
         let g = sample();
         let text = analyze(&g, 0, 1, 2).to_string();
-        for needle in ["common neighbor", "satellite of a", "periphery", "aggregation"] {
+        for needle in [
+            "common neighbor",
+            "satellite of a",
+            "periphery",
+            "aggregation",
+        ] {
             assert!(text.contains(needle), "missing {needle:?} in {text}");
         }
     }

@@ -116,7 +116,8 @@ impl StructureSubgraph {
         let mut order: Vec<usize> = (0..group_count).collect();
         let key = |g: usize| {
             let m = &members_raw[g];
-            let d = m.iter().map(|&i| hop.distance(i)).min().unwrap_or(u32::MAX);
+            let d =
+                m.iter().map(|&i| hop.distance(i)).min().unwrap_or(u32::MAX);
             let lo = m.first().copied().unwrap_or(usize::MAX);
             (d, lo)
         };
@@ -132,7 +133,8 @@ impl StructureSubgraph {
         let mut dist = vec![u32::MAX; group_count];
         for (g, m) in members_raw.into_iter().enumerate() {
             let x = new_id[g];
-            dist[x] = m.iter().map(|&i| hop.distance(i)).min().unwrap_or(u32::MAX);
+            dist[x] =
+                m.iter().map(|&i| hop.distance(i)).min().unwrap_or(u32::MAX);
             members[x] = m; // already ascending (filled in id order)
         }
 
@@ -249,8 +251,7 @@ mod tests {
         let s = structure_of(&g, 0, 1, 1);
         // Structure nodes: {A}, {B}, {2,3,4}, {5,6}, {7} = 5.
         assert_eq!(s.node_count(), 5);
-        let sizes: Vec<usize> =
-            (0..5).map(|x| s.members(x).len()).collect();
+        let sizes: Vec<usize> = (0..5).map(|x| s.members(x).len()).collect();
         assert_eq!(sizes.iter().sum::<usize>(), 8);
         assert!(sizes.contains(&3)); // {2,3,4}
         assert!(sizes.contains(&2)); // {5,6}
@@ -312,19 +313,15 @@ mod tests {
         // u1,u2 on x AND v1,v2 on y with Γx=Γy impossible while pendants
         // differ. Conclusion: with strict sets the combination converges in
         // one round; we assert the loop terminates and is stable.
-        let g: DynamicNetwork = [
-            (0, 1, 1),
-            (0, 2, 1),
-            (0, 3, 1),
-            (2, 4, 2),
-            (3, 5, 2),
-        ]
-        .into_iter()
-        .collect();
+        let g: DynamicNetwork =
+            [(0, 1, 1), (0, 2, 1), (0, 3, 1), (2, 4, 2), (3, 5, 2)]
+                .into_iter()
+                .collect();
         let s = structure_of(&g, 0, 1, 3);
         // Stability: re-running combination on the result's node count.
         assert!(s.node_count() <= 6);
-        let total: usize = (0..s.node_count()).map(|x| s.members(x).len()).sum();
+        let total: usize =
+            (0..s.node_count()).map(|x| s.members(x).len()).sum();
         assert_eq!(total, 6);
     }
 
@@ -345,8 +342,9 @@ mod tests {
 
     #[test]
     fn multi_links_all_collected() {
-        let g: DynamicNetwork =
-            [(0, 2, 1), (0, 2, 3), (0, 2, 3), (0, 1, 1)].into_iter().collect();
+        let g: DynamicNetwork = [(0, 2, 1), (0, 2, 3), (0, 2, 3), (0, 1, 1)]
+            .into_iter()
+            .collect();
         let s = structure_of(&g, 0, 1, 1);
         assert_eq!(s.timestamps_between(0, 2), &[1, 3, 3]);
     }
@@ -366,15 +364,10 @@ mod tests {
 
     #[test]
     fn neighbor_lists_are_sorted_and_symmetric() {
-        let g: DynamicNetwork = [
-            (0, 1, 1),
-            (0, 2, 1),
-            (1, 2, 2),
-            (2, 3, 3),
-            (2, 4, 3),
-        ]
-        .into_iter()
-        .collect();
+        let g: DynamicNetwork =
+            [(0, 1, 1), (0, 2, 1), (1, 2, 2), (2, 3, 3), (2, 4, 3)]
+                .into_iter()
+                .collect();
         let s = structure_of(&g, 0, 1, 2);
         for x in 0..s.node_count() {
             let nbrs = s.neighbors(x);

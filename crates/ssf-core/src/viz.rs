@@ -17,7 +17,10 @@ use crate::kstructure::KStructureSubgraph;
 /// # Panics
 ///
 /// Panics if `member_counts` is provided with a length different from `k`.
-pub fn to_dot(ks: &KStructureSubgraph, member_counts: Option<&[usize]>) -> String {
+pub fn to_dot(
+    ks: &KStructureSubgraph,
+    member_counts: Option<&[usize]>,
+) -> String {
     if let Some(counts) = member_counts {
         assert_eq!(counts.len(), ks.k(), "one member count per slot required");
     }
@@ -60,15 +63,10 @@ mod tests {
     use dyngraph::DynamicNetwork;
 
     fn sample_ks() -> KStructureSubgraph {
-        let g: DynamicNetwork = [
-            (0, 2, 1),
-            (1, 2, 2),
-            (0, 3, 3),
-            (0, 4, 3),
-            (2, 5, 4),
-        ]
-        .into_iter()
-        .collect();
+        let g: DynamicNetwork =
+            [(0, 2, 1), (1, 2, 2), (0, 3, 3), (0, 4, 3), (2, 5, 4)]
+                .into_iter()
+                .collect();
         SsfExtractor::new(SsfConfig::new(5)).k_structure(&g, 0, 1).0
     }
 

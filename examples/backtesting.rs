@@ -7,6 +7,9 @@
 //!
 //! Run: `cargo run --release --example backtesting`
 
+// Example code: aborting on error is the right UX for a demo binary.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ssf_repro::datasets::{generate, DatasetSpec};
 use ssf_repro::methods::{Method, MethodOptions};
 use ssf_repro::ssf_eval::{

@@ -7,6 +7,9 @@
 //!
 //! Run: `cargo run --release --example coauthor_prediction`
 
+// Example code: aborting on error is the right UX for a demo binary.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;

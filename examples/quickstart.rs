@@ -3,6 +3,9 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
+// Example code: aborting on error is the right UX for a demo binary.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ssf_repro::dyngraph::DynamicNetwork;
 use ssf_repro::methods::{Method, MethodOptions};
 use ssf_repro::ssf_core::{SsfConfig, SsfExtractor};
@@ -35,11 +38,20 @@ fn main() {
     // 1. Extract one SSF vector by hand.
     let extractor = SsfExtractor::new(SsfConfig::new(6));
     let feature = extractor.extract(&g, 0, 4, 10);
-    println!("SSF(0-4): K={} dims={}", feature.k(), feature.values().len());
-    println!("  radius h={} |V_S|={}", feature.radius(), feature.structure_node_count());
+    println!(
+        "SSF(0-4): K={} dims={}",
+        feature.k(),
+        feature.values().len()
+    );
+    println!(
+        "  radius h={} |V_S|={}",
+        feature.radius(),
+        feature.structure_node_count()
+    );
 
     // 2. Run the full evaluation protocol (70/30 split at the last tick).
-    let split = Split::new(&g, &SplitConfig::default()).expect("toy network splits");
+    let split =
+        Split::new(&g, &SplitConfig::default()).expect("toy network splits");
     println!(
         "split: {} train / {} test samples, predicting t={}",
         split.train.len(),

@@ -7,6 +7,9 @@
 //!
 //! Run: `cargo run --release --example reply_recommendation`
 
+// Example code: aborting on error is the right UX for a demo binary.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use ssf_repro::datasets::{generate, DatasetSpec};
 use ssf_repro::dyngraph::NodeId;
 use ssf_repro::linalg::Matrix;
@@ -90,6 +93,10 @@ fn main() {
             .take(5)
             .map(|(c, s)| format!("{c} ({s:.2})"))
             .collect();
-        println!("user {user:>4} (degree {:>3}) → {}", stat.degree(user), top.join(", "));
+        println!(
+            "user {user:>4} (degree {:>3}) → {}",
+            stat.degree(user),
+            top.join(", ")
+        );
     }
 }

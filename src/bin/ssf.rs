@@ -78,9 +78,36 @@ Datasets: eu-email contact facebook coauthor prosper slashdot digg"
     );
 }
 
-fn load(path: &str) -> Result<DynamicNetwork, String> {
-    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    io::read_edge_list(BufReader::new(file)).map_err(|e| e.to_string())
+/// Reads an edge list leniently by default: malformed lines are
+/// quarantined with a `warning:` summary on stderr and the healthy rest
+/// of the file is served. `--strict` restores fail-fast parsing (first
+/// bad line is a fatal `error:`).
+fn load(path: &str, args: &[String]) -> Result<DynamicNetwork, String> {
+    let file =
+        File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let reader = BufReader::new(file);
+    if args.iter().any(|a| a == "--strict") {
+        return io::read_edge_list(reader).map_err(|e| e.to_string());
+    }
+    let report = io::read_edge_list_lossy(reader);
+    if !report.rejected.is_empty() {
+        eprintln!(
+            "warning: {path}: quarantined {} of {} data lines",
+            report.rejected.len(),
+            report.accepted + report.rejected.len()
+        );
+        const SHOWN: usize = 5;
+        for r in report.rejected.iter().take(SHOWN) {
+            eprintln!("warning:   line {}: {}", r.line, r.reason);
+        }
+        if report.rejected.len() > SHOWN {
+            eprintln!(
+                "warning:   … and {} more",
+                report.rejected.len() - SHOWN
+            );
+        }
+    }
+    Ok(report.network)
 }
 
 /// Tiny flag parser: `--name value` pairs after the positional arguments.
@@ -98,13 +125,15 @@ fn parse_flag<T: std::str::FromStr>(
 ) -> Result<T, String> {
     match flag(args, name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("invalid value for {name}: {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid value for {name}: {v:?}")),
     }
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("usage: ssf stats <edge-list>")?;
-    let g = load(path)?;
+    let g = load(path, args)?;
     let s = NetworkStats::of(&g);
     let stat = g.to_static();
     println!("{s}");
@@ -135,7 +164,11 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         .ok_or_else(|| format!("unknown dataset {name:?}"))?;
     let scale: f64 = parse_flag(args, "--scale", 1.0)?;
     let seed: u64 = parse_flag(args, "--seed", 7)?;
-    let spec = if scale < 1.0 { spec.scaled(scale) } else { spec };
+    let spec = if scale < 1.0 {
+        spec.scaled(scale)
+    } else {
+        spec
+    };
     let g = generate(&spec, seed);
     match flag(args, "--out") {
         Some(path) => {
@@ -170,7 +203,7 @@ fn parse_pair(args: &[String]) -> Result<(String, u32, u32), String> {
 fn cmd_extract(args: &[String]) -> Result<(), String> {
     let (path, u, v) = parse_pair(args)?;
     let k: usize = parse_flag(args, "--k", 10)?;
-    let g = load(&path)?;
+    let g = load(&path, args)?;
     let n = g.node_count() as u32;
     if u >= n || v >= n || u == v {
         return Err(format!("invalid target pair ({u}, {v}) for {n} nodes"));
@@ -198,7 +231,7 @@ fn cmd_extract(args: &[String]) -> Result<(), String> {
 fn cmd_roles(args: &[String]) -> Result<(), String> {
     let (path, u, v) = parse_pair(args)?;
     let h: u32 = parse_flag(args, "--h", 1)?;
-    let g = load(&path)?;
+    let g = load(&path, args)?;
     let n = g.node_count() as u32;
     if u >= n || v >= n || u == v {
         return Err(format!("invalid target pair ({u}, {v}) for {n} nodes"));
@@ -213,7 +246,7 @@ fn cmd_patterns(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("usage: ssf patterns <edge-list>")?;
     let samples: usize = parse_flag(args, "--samples", 500)?;
     let k: usize = parse_flag(args, "--k", 10)?;
-    let g = load(path)?;
+    let g = load(path, args)?;
     let pairs: Vec<(u32, u32)> = g
         .to_static()
         .edges()
@@ -239,9 +272,11 @@ fn cmd_patterns(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_train(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or("usage: ssf train <edge-list> --out MODEL")?;
+    let path = args
+        .first()
+        .ok_or("usage: ssf train <edge-list> --out MODEL")?;
     let out = flag(args, "--out").ok_or("--out MODEL required")?;
-    let g = load(path)?;
+    let g = load(path, args)?;
     let seed: u64 = parse_flag(args, "--seed", 7)?;
     let opts = MethodOptions {
         k: parse_flag(args, "--k", 10)?,
@@ -290,7 +325,9 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_predict(args: &[String]) -> Result<(), String> {
-    let net_path = args.first().ok_or("usage: ssf predict <edge-list> <model> <u> <v>")?;
+    let net_path = args
+        .first()
+        .ok_or("usage: ssf predict <edge-list> <model> <u> <v>")?;
     let model_path = args.get(1).ok_or("missing model path")?;
     let u: u32 = args
         .get(2)
@@ -302,7 +339,7 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
         .ok_or("missing node v")?
         .parse()
         .map_err(|_| "node v must be an integer")?;
-    let g = load(net_path)?;
+    let g = load(net_path, args)?;
     let n = g.node_count() as u32;
     if u >= n || v >= n || u == v {
         return Err(format!("invalid target pair ({u}, {v}) for {n} nodes"));
@@ -319,7 +356,7 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
 
 fn cmd_evaluate(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("usage: ssf evaluate <edge-list>")?;
-    let g = load(path)?;
+    let g = load(path, args)?;
     let seed: u64 = parse_flag(args, "--seed", 7)?;
     let k: usize = parse_flag(args, "--k", 10)?;
     let methods: Vec<Method> = match flag(args, "--methods") {

@@ -1,0 +1,126 @@
+//! Unified error taxonomy for the serving path.
+//!
+//! Every fallible layer of the pipeline has its own typed error
+//! ([`GraphError`] for ingestion, [`SplitError`] for evaluation splits,
+//! [`ExtractError`] for SSF extraction on degenerate subgraphs,
+//! [`FitError`] for model fitting). [`SsfError`] wraps them all so that
+//! serving-path callers — the CLI, the online predictor, embedding
+//! applications — can propagate one error type with `?` instead of
+//! panicking or stringifying at every boundary.
+
+use std::fmt;
+
+use ssf_core::ExtractError;
+use ssf_eval::SplitError;
+use ssf_ml::FitError;
+
+pub use dyngraph::GraphError;
+
+/// Any error the SSF pipeline can produce, from ingestion to scoring.
+///
+/// Marked `#[non_exhaustive]`: future layers may add variants without a
+/// breaking change, so downstream matches need a catch-all arm.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SsfError {
+    /// Structural violation while building or slicing a network.
+    Graph(GraphError),
+    /// The evaluation split could not be constructed.
+    Split(SplitError),
+    /// SSF extraction failed on a degenerate target pair.
+    Extract(ExtractError),
+    /// Model fitting failed (shape violation or ill-conditioned system).
+    Fit(FitError),
+    /// Underlying I/O failure while reading or writing artifacts.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for SsfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsfError::Graph(e) => write!(f, "graph error: {e}"),
+            SsfError::Split(e) => write!(f, "split error: {e}"),
+            SsfError::Extract(e) => write!(f, "extraction error: {e}"),
+            SsfError::Fit(e) => write!(f, "fit error: {e}"),
+            SsfError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SsfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SsfError::Graph(e) => Some(e),
+            SsfError::Split(e) => Some(e),
+            SsfError::Extract(e) => Some(e),
+            SsfError::Fit(e) => Some(e),
+            SsfError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<GraphError> for SsfError {
+    fn from(e: GraphError) -> Self {
+        SsfError::Graph(e)
+    }
+}
+
+impl From<SplitError> for SsfError {
+    fn from(e: SplitError) -> Self {
+        SsfError::Split(e)
+    }
+}
+
+impl From<ExtractError> for SsfError {
+    fn from(e: ExtractError) -> Self {
+        SsfError::Extract(e)
+    }
+}
+
+impl From<FitError> for SsfError {
+    fn from(e: FitError) -> Self {
+        SsfError::Fit(e)
+    }
+}
+
+impl From<std::io::Error> for SsfError {
+    fn from(e: std::io::Error) -> Self {
+        SsfError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_prefixes_layer_and_keeps_detail() {
+        let e = SsfError::from(GraphError::SelfLoop { node: 3 });
+        let text = e.to_string();
+        assert!(text.starts_with("graph error:"), "got {text:?}");
+        assert!(text.contains('3'));
+
+        let e = SsfError::from(SplitError::EmptyNetwork);
+        assert!(e.to_string().starts_with("split error:"));
+
+        let e = SsfError::from(ExtractError::DegenerateTarget { node: 5 });
+        assert!(e.to_string().starts_with("extraction error:"));
+
+        let e = SsfError::from(FitError::EmptyDesign);
+        assert!(e.to_string().starts_with("fit error:"));
+
+        let e = SsfError::from(std::io::Error::new(
+            std::io::ErrorKind::NotFound,
+            "gone",
+        ));
+        assert!(e.to_string().starts_with("i/o error:"));
+    }
+
+    #[test]
+    fn source_chain_exposes_the_wrapped_error() {
+        use std::error::Error;
+        let e = SsfError::from(GraphError::SelfLoop { node: 1 });
+        let src = e.source().expect("wrapped error is the source");
+        assert!(src.to_string().contains("self-loop"));
+    }
+}

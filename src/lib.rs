@@ -32,9 +32,12 @@
 //! assert_eq!(feature.values().len(), SsfConfig::new(5).feature_dim());
 //! ```
 
+pub mod error;
 pub mod methods;
 pub mod model;
 pub mod stream;
+
+pub use error::SsfError;
 
 pub use baselines;
 pub use datasets;

@@ -8,6 +8,8 @@
 //! test samples. [`Method::evaluate`] runs any of them on a prepared
 //! [`Split`] and returns the Table III cell (AUC, F1).
 
+use std::panic::{self, AssertUnwindSafe};
+
 use baselines::{
     local, KatzIndex, LocalPathIndex, LocalRandomWalk, Nmf, NmfConfig,
     TemporalNmf, WlfConfig, WlfExtractor,
@@ -145,14 +147,16 @@ impl Method {
     }
 
     /// Runs the method on a prepared split.
-    pub fn evaluate(&self, split: &Split, opts: &MethodOptions) -> MethodResult {
+    pub fn evaluate(
+        &self,
+        split: &Split,
+        opts: &MethodOptions,
+    ) -> MethodResult {
         let stat = split.history.to_static();
         match self {
-            Method::Cn => {
-                evaluate_ranking(self.name(), split, |u, v| {
-                    local::common_neighbors(&stat, u, v)
-                })
-            }
+            Method::Cn => evaluate_ranking(self.name(), split, |u, v| {
+                local::common_neighbors(&stat, u, v)
+            }),
             Method::Jaccard => evaluate_ranking(self.name(), split, |u, v| {
                 local::jaccard(&stat, u, v)
             }),
@@ -186,10 +190,8 @@ impl Method {
                 evaluate_ranking(self.name(), split, |u, v| lp.score(u, v))
             }
             Method::Tmf => {
-                let present = split
-                    .history
-                    .max_timestamp()
-                    .map_or(split.l_t, |t| t + 1);
+                let present =
+                    split.history.max_timestamp().map_or(split.l_t, |t| t + 1);
                 let tmf = TemporalNmf::factorize(
                     &split.history,
                     present,
@@ -198,9 +200,13 @@ impl Method {
                 );
                 evaluate_ranking(self.name(), split, |u, v| tmf.score(u, v))
             }
-            supervised => {
-                self.supervised(split, &[], opts, &stat, supervised.model_kind())
-            }
+            supervised => self.supervised(
+                split,
+                &[],
+                opts,
+                &stat,
+                supervised.model_kind(),
+            ),
         }
     }
 
@@ -231,10 +237,7 @@ impl Method {
         stat: &StaticGraph,
         sample: &LinkSample,
     ) -> Vec<f64> {
-        let present = fold
-            .history
-            .max_timestamp()
-            .map_or(fold.l_t, |t| t + 1);
+        let present = fold.history.max_timestamp().map_or(fold.l_t, |t| t + 1);
         match self {
             Method::Wllr | Method::Wlnm => {
                 WlfExtractor::new(WlfConfig::new(opts.k))
@@ -255,14 +258,37 @@ impl Method {
                     .extract(&fold.history, sample.u, sample.v, present)
                     .into_values()
             }
-            _ => unreachable!("feature() is only called for supervised methods"),
+            _ => {
+                unreachable!("feature() is only called for supervised methods")
+            }
         }
+    }
+
+    /// [`Method::feature`] behind a panic guard: a sample whose extraction
+    /// panics (degenerate pair after lossy ingestion, pathological
+    /// subgraph) yields `None` instead of tearing the run down.
+    fn feature_caught(
+        &self,
+        fold: &Split,
+        opts: &MethodOptions,
+        fold_stat: &StaticGraph,
+        sample: &LinkSample,
+    ) -> Option<Vec<f64>> {
+        panic::catch_unwind(AssertUnwindSafe(|| {
+            self.feature(fold, opts, fold_stat, sample)
+        }))
+        .ok()
     }
 
     /// Extracts features for a batch of samples, fanning out across the
     /// available cores with scoped threads (extraction is embarrassingly
     /// parallel and dominates the supervised methods' wall-clock). Output
     /// order matches the input order, so runs stay deterministic.
+    ///
+    /// Robustness: each sample extracts behind [`Method::feature_caught`],
+    /// so one bad sample degrades to an all-zero feature row instead of
+    /// poisoning the batch; a worker thread that dies anyway has its chunk
+    /// recomputed sequentially.
     fn extract_parallel(
         &self,
         fold: &Split,
@@ -273,29 +299,52 @@ impl Method {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        if threads <= 1 || samples.len() < 64 {
-            return samples
+        let rows: Vec<Option<Vec<f64>>> = if threads <= 1 || samples.len() < 64
+        {
+            samples
                 .iter()
-                .map(|s| self.feature(fold, opts, fold_stat, s))
-                .collect();
-        }
-        let chunk = samples.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = samples
-                .chunks(chunk)
-                .map(|part| {
-                    scope.spawn(move || {
-                        part.iter()
-                            .map(|s| self.feature(fold, opts, fold_stat, s))
-                            .collect::<Vec<Vec<f64>>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("extraction thread panicked"))
+                .map(|s| self.feature_caught(fold, opts, fold_stat, s))
                 .collect()
-        })
+        } else {
+            let chunk = samples.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = samples
+                    .chunks(chunk)
+                    .map(|part| {
+                        (
+                            part,
+                            scope.spawn(move || {
+                                part.iter()
+                                    .map(|s| {
+                                        self.feature_caught(
+                                            fold, opts, fold_stat, s,
+                                        )
+                                    })
+                                    .collect::<Vec<Option<Vec<f64>>>>()
+                            }),
+                        )
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|(part, h)| {
+                        h.join().unwrap_or_else(|_| {
+                            part.iter()
+                                .map(|s| {
+                                    self.feature_caught(
+                                        fold, opts, fold_stat, s,
+                                    )
+                                })
+                                .collect()
+                        })
+                    })
+                    .collect()
+            })
+        };
+        let dim = rows.iter().find_map(|r| r.as_ref()).map_or(0, Vec::len);
+        rows.into_iter()
+            .map(|r| r.unwrap_or_else(|| vec![0.0; dim]))
+            .collect()
     }
 
     fn supervised(
@@ -321,6 +370,17 @@ impl Method {
             }
         }
         let dim = train_rows.first().map_or(0, Vec::len);
+        if dim == 0 {
+            // No usable training features survived extraction (empty train
+            // set or every sample degraded): fall back to ranking the test
+            // pairs by common neighbors rather than refusing to serve.
+            let scores: Vec<f64> = split
+                .test
+                .iter()
+                .map(|s| local::common_neighbors(stat, s.u, s.v))
+                .collect();
+            return evaluate_supervised_scores(self.name(), split, &scores);
+        }
         // log1p compresses the heavy-tailed multi-link counts of SSF-W /
         // normalized-influence entries before standardization; without it
         // the count variance swamps the presence/absence signal. All
@@ -342,9 +402,18 @@ impl Method {
                     .iter()
                     .map(|&l| if l { 1.0 } else { 0.0 })
                     .collect();
-                let lr = LinearRegression::fit(&x_train, &y, opts.ridge_lambda)
-                    .expect("positive ridge always succeeds");
-                (0..x_test.rows()).map(|i| lr.predict(x_test.row(i))).collect()
+                match LinearRegression::fit(&x_train, &y, opts.ridge_lambda) {
+                    Ok(lr) => (0..x_test.rows())
+                        .map(|i| lr.predict(x_test.row(i)))
+                        .collect(),
+                    // Degenerate design (e.g. λ = 0 on collinear features):
+                    // degrade to common-neighbor ranking instead of dying.
+                    Err(_) => split
+                        .test
+                        .iter()
+                        .map(|s| local::common_neighbors(stat, s.u, s.v))
+                        .collect(),
+                }
             }
             ModelKind::Nm => {
                 let y: Vec<usize> =
@@ -355,7 +424,9 @@ impl Method {
                     ..MlpConfig::default()
                 };
                 let nm = NeuralMachine::train(&x_train, &y, cfg);
-                (0..x_test.rows()).map(|i| nm.score(x_test.row(i))).collect()
+                (0..x_test.rows())
+                    .map(|i| nm.score(x_test.row(i)))
+                    .collect()
             }
         };
         evaluate_supervised_scores(self.name(), split, &scores)
@@ -490,7 +561,11 @@ mod tests {
             ..MethodOptions::default()
         };
         let r = Method::Ssfnm.evaluate(&split(), &opts);
-        assert!(r.auc > 0.6, "SSFNM should learn the closure rule: {}", r.auc);
+        assert!(
+            r.auc > 0.6,
+            "SSFNM should learn the closure rule: {}",
+            r.auc
+        );
     }
 
     #[test]
@@ -519,8 +594,33 @@ mod tests {
         );
         assert_eq!(plain, aug);
         // Supervised methods stay valid with more data.
-        let r = Method::Ssflr.evaluate_augmented(&eval_split, &[earlier], &opts);
+        let r =
+            Method::Ssflr.evaluate_augmented(&eval_split, &[earlier], &opts);
         assert!((0.0..=1.0).contains(&r.auc));
+    }
+
+    #[test]
+    fn degenerate_samples_degrade_to_zero_rows() {
+        let eval_split = split();
+        let stat = eval_split.history.to_static();
+        let good = eval_split.train[0];
+        let bad = LinkSample {
+            u: 3,
+            v: 3, // self-pair: extraction would panic
+            label: false,
+        };
+        let rows = Method::Ssflr.extract_parallel(
+            &eval_split,
+            &MethodOptions::default(),
+            &stat,
+            &[good, bad, good],
+        );
+        assert_eq!(rows.len(), 3);
+        let dim = rows[0].len();
+        assert!(dim > 0);
+        assert_eq!(rows[1].len(), dim, "degraded row keeps the batch shape");
+        assert!(rows[1].iter().all(|&x| x == 0.0));
+        assert_eq!(rows[0], rows[2]);
     }
 
     #[test]

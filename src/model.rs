@@ -10,10 +10,11 @@ use std::io::{self, BufRead, Write};
 
 use dyngraph::{DynamicNetwork, NodeId, Timestamp};
 use linalg::Matrix;
-use ssf_core::{EntryEncoding, SsfConfig, SsfExtractor};
+use ssf_core::{EntryEncoding, ExtractError, SsfConfig, SsfExtractor};
 use ssf_eval::Split;
-use ssf_ml::{persist, MlpConfig, NeuralMachine, StandardScaler};
+use ssf_ml::{persist, FitError, MlpConfig, NeuralMachine, StandardScaler};
 
+use crate::error::SsfError;
 use crate::methods::MethodOptions;
 
 /// A fitted SSF + neural-machine link predictor.
@@ -30,8 +31,31 @@ impl SsfnmModel {
     ///
     /// # Panics
     ///
-    /// Panics if the split has no training samples.
-    pub fn fit(split: &Split, extra_train: &[Split], opts: &MethodOptions) -> Self {
+    /// Panics if the split has no training samples or a sample pair is
+    /// degenerate; [`SsfnmModel::try_fit`] reports both as typed errors.
+    pub fn fit(
+        split: &Split,
+        extra_train: &[Split],
+        opts: &MethodOptions,
+    ) -> Self {
+        match Self::try_fit(split, extra_train, opts) {
+            Ok(model) => model,
+            Err(e) => panic!("{e} (training split must have samples)"),
+        }
+    }
+
+    /// Fallible variant of [`SsfnmModel::fit`] for the serving path.
+    ///
+    /// # Errors
+    ///
+    /// [`SsfError::Fit`] when the combined folds hold no training samples,
+    /// [`SsfError::Extract`] when a sample pair is degenerate (equal or
+    /// out-of-range endpoints — possible after lossy ingestion).
+    pub fn try_fit(
+        split: &Split,
+        extra_train: &[Split],
+        opts: &MethodOptions,
+    ) -> Result<Self, SsfError> {
         let cfg = SsfConfig::new(opts.k)
             .with_theta(opts.theta)
             .with_encoding(opts.ssf_encoding);
@@ -50,16 +74,18 @@ impl SsfnmModel {
             for s in samples {
                 rows.push(
                     extractor
-                        .extract(&fold.history, s.u, s.v, present)
+                        .try_extract(&fold.history, s.u, s.v, present)?
                         .into_values(),
                 );
                 labels.push(usize::from(s.label));
             }
         }
-        assert!(!rows.is_empty(), "training split must have samples");
+        if rows.is_empty() {
+            return Err(SsfError::Fit(FitError::EmptyDesign));
+        }
         let dim = rows[0].len();
-        let x_raw = Matrix::from_fn(rows.len(), dim, |i, j| rows[i][j])
-            .map(f64::ln_1p);
+        let x_raw =
+            Matrix::from_fn(rows.len(), dim, |i, j| rows[i][j]).map(f64::ln_1p);
         let scaler = StandardScaler::fit(&x_raw);
         let x = scaler.transform(&x_raw);
         let model = NeuralMachine::train(
@@ -71,11 +97,11 @@ impl SsfnmModel {
                 ..MlpConfig::default()
             },
         );
-        SsfnmModel {
+        Ok(SsfnmModel {
             extractor,
             scaler,
             model,
-        }
+        })
     }
 
     /// Scores a candidate pair against a history network, with `present`
@@ -84,7 +110,8 @@ impl SsfnmModel {
     ///
     /// # Panics
     ///
-    /// Panics if `u == v` or either endpoint is outside `g`.
+    /// Panics if `u == v` or either endpoint is outside `g`;
+    /// [`SsfnmModel::try_score`] reports both as typed errors.
     pub fn score(
         &self,
         g: &DynamicNetwork,
@@ -92,12 +119,31 @@ impl SsfnmModel {
         v: NodeId,
         present: Timestamp,
     ) -> f64 {
-        let mut f = self.extractor.extract(g, u, v, present).into_values();
+        match self.try_score(g, u, v, present) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`SsfnmModel::score`] for the serving path.
+    ///
+    /// # Errors
+    ///
+    /// [`ExtractError`] when the pair is degenerate (equal endpoints or an
+    /// endpoint outside `g`'s id space).
+    pub fn try_score(
+        &self,
+        g: &DynamicNetwork,
+        u: NodeId,
+        v: NodeId,
+        present: Timestamp,
+    ) -> Result<f64, ExtractError> {
+        let mut f = self.extractor.try_extract(g, u, v, present)?.into_values();
         for x in &mut f {
             *x = x.ln_1p();
         }
         self.scaler.transform_row(&mut f);
-        self.model.score(&f)
+        Ok(self.model.score(&f))
     }
 
     /// The extractor configuration the model was trained with.
@@ -149,7 +195,8 @@ impl SsfnmModel {
                 _ => {}
             }
         }
-        let (Some(k), Some(encoding), Some(max_h)) = (k, encoding, max_h) else {
+        let (Some(k), Some(encoding), Some(max_h)) = (k, encoding, max_h)
+        else {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
                 "incomplete ssf-config line",
@@ -236,6 +283,24 @@ mod tests {
         assert_eq!(loaded.config().k, opts.k);
         // Corruption is rejected, not mis-loaded.
         assert!(SsfnmModel::load(&b"garbage\n"[..]).is_err());
+    }
+
+    #[test]
+    fn try_score_reports_degenerate_pairs() {
+        let g = triadic_network();
+        let split = Split::new(&g, &SplitConfig::default()).unwrap();
+        let opts = MethodOptions {
+            nm_epochs: 10,
+            ..MethodOptions::default()
+        };
+        let model = SsfnmModel::try_fit(&split, &[], &opts).unwrap();
+        let present = split.history.max_timestamp().unwrap() + 1;
+        assert!(model.try_score(&split.history, 2, 2, present).is_err());
+        let far = split.history.node_count() as u32 + 10;
+        assert!(model.try_score(&split.history, 0, far, present).is_err());
+        let s = &split.test[0];
+        let p = model.try_score(&split.history, s.u, s.v, present).unwrap();
+        assert_eq!(p, model.score(&split.history, s.u, s.v, present));
     }
 
     #[test]

@@ -6,10 +6,24 @@
 //! provides the matching runtime: feed links as they arrive, and the
 //! predictor periodically refits an [`SsfnmModel`] on the accumulated
 //! history so candidate pairs can be scored at any moment.
+//!
+//! Real streams are hostile: they replay events, carry self-loops and
+//! deliver hours-late timestamps. The predictor therefore never panics on
+//! an event. Malformed events are *quarantined* — counted in
+//! [`StreamStats`], their endpoints registered so the ids stay scoreable —
+//! and the healthy remainder drives the model. Failed refits back off
+//! exponentially (a stream too sparse to fit at tick `t` is rarely fit at
+//! `t + 1`), and a scoring failure on one pair degrades to a
+//! common-neighbor fallback for that pair only. [`OnlineLinkPredictor::health`]
+//! reports the whole picture.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use dyngraph::{DynamicNetwork, NodeId, Timestamp};
-use ssf_eval::{backtest_splits, BacktestConfig, Split, SplitConfig, SplitError};
+use ssf_eval::{backtest_splits, BacktestConfig, Split, SplitConfig};
 
+use crate::error::SsfError;
 use crate::methods::MethodOptions;
 use crate::model::SsfnmModel;
 
@@ -19,8 +33,17 @@ pub struct OnlinePredictorConfig {
     /// Hyperparameters shared with the offline experiments.
     pub method: MethodOptions,
     /// Refit whenever the stream has advanced this many ticks since the
-    /// last (attempted) fit.
+    /// last (attempted) fit. After a failed fit the effective interval
+    /// doubles per failure, up to `refit_every × max_backoff`.
     pub refit_every: u32,
+    /// Cap on the exponential refit backoff multiplier (≥ 1).
+    pub max_backoff: u32,
+    /// Quarantine events older than `max_lag` ticks behind the newest
+    /// observed timestamp (`None` accepts arbitrary reordering).
+    pub max_lag: Option<u32>,
+    /// Quarantine exact `(u, v, t)` replays. Off by default: the network
+    /// is a multigraph and repeated same-tick interactions can be real.
+    pub quarantine_duplicates: bool,
     /// Split settings used to carve training sets out of the history.
     pub split: SplitConfig,
     /// Minimum positives a training split must contain.
@@ -34,11 +57,115 @@ impl Default for OnlinePredictorConfig {
         OnlinePredictorConfig {
             method: MethodOptions::default(),
             refit_every: 5,
+            max_backoff: 8,
+            max_lag: None,
+            quarantine_duplicates: false,
             split: SplitConfig::default(),
             min_positives: 30,
             history_folds: 2,
         }
     }
+}
+
+/// Why an event was quarantined instead of entering the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QuarantineReason {
+    /// Both endpoints are the same node.
+    SelfLoop,
+    /// An identical `(u, v, t)` event was already recorded
+    /// (only with [`OnlinePredictorConfig::quarantine_duplicates`]).
+    Duplicate,
+    /// The timestamp trails the newest observed one by more than
+    /// [`OnlinePredictorConfig::max_lag`] ticks.
+    Stale {
+        /// How many ticks behind the stream head the event arrived.
+        lag: u32,
+    },
+}
+
+/// Outcome of feeding one event to [`OnlineLinkPredictor::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Observed {
+    /// The event entered the network.
+    Accepted,
+    /// The event was counted and dropped; its endpoints remain known.
+    Quarantined(QuarantineReason),
+}
+
+impl Observed {
+    /// `true` when the event entered the network.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Observed::Accepted)
+    }
+}
+
+/// Running tallies of stream hygiene and degradation.
+#[derive(Debug, Default)]
+pub struct StreamStats {
+    /// Events that entered the network.
+    pub accepted: u64,
+    /// Quarantined self-loop events.
+    pub self_loops: u64,
+    /// Quarantined duplicate events.
+    pub duplicates: u64,
+    /// Quarantined stale events.
+    pub stale: u64,
+    /// Refit attempts that produced a model.
+    pub successful_refits: u64,
+    /// Refit attempts that failed (model unchanged).
+    pub failed_refits: u64,
+    /// Scores served by the common-neighbor fallback instead of the
+    /// model. Atomic because scoring takes `&self`.
+    degraded_scores: AtomicU64,
+}
+
+impl StreamStats {
+    /// Total quarantined events, all reasons.
+    pub fn quarantined(&self) -> u64 {
+        self.self_loops + self.duplicates + self.stale
+    }
+
+    /// Scores served by the degraded fallback path.
+    pub fn degraded_scores(&self) -> u64 {
+        self.degraded_scores.load(Ordering::Relaxed)
+    }
+}
+
+impl Clone for StreamStats {
+    fn clone(&self) -> Self {
+        StreamStats {
+            accepted: self.accepted,
+            self_loops: self.self_loops,
+            duplicates: self.duplicates,
+            stale: self.stale,
+            successful_refits: self.successful_refits,
+            failed_refits: self.failed_refits,
+            degraded_scores: AtomicU64::new(self.degraded_scores()),
+        }
+    }
+}
+
+/// Point-in-time health snapshot of an [`OnlineLinkPredictor`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct Health {
+    /// Whether a model is currently serving.
+    pub fitted: bool,
+    /// Events accepted into the network.
+    pub accepted: u64,
+    /// Events quarantined, all reasons combined.
+    pub quarantined: u64,
+    /// Scores served by the degraded fallback path.
+    pub degraded_scores: u64,
+    /// Refit attempts that produced a model.
+    pub successful_refits: u64,
+    /// Refit attempts that failed.
+    pub failed_refits: u64,
+    /// Current backoff multiplier on the refit interval (1 = healthy).
+    pub current_backoff: u32,
+    /// Rendered error of the most recent failed refit, cleared on success.
+    pub last_refit_error: Option<String>,
 }
 
 /// An online link predictor over a growing dynamic network.
@@ -51,7 +178,9 @@ impl Default for OnlinePredictorConfig {
 /// let mut p = OnlineLinkPredictor::new(OnlinePredictorConfig::default());
 /// p.observe(0, 1, 1);
 /// p.observe(1, 2, 2);
+/// assert!(!p.observe(2, 2, 3).is_accepted()); // self-loop quarantined
 /// assert!(p.score(0, 2).is_none()); // not enough history to fit yet
+/// assert_eq!(p.health().quarantined, 1);
 /// ```
 #[derive(Debug, Clone)]
 pub struct OnlineLinkPredictor {
@@ -59,6 +188,9 @@ pub struct OnlineLinkPredictor {
     network: DynamicNetwork,
     model: Option<SsfnmModel>,
     last_fit_attempt: Option<Timestamp>,
+    backoff: u32,
+    last_refit_error: Option<String>,
+    stats: StreamStats,
 }
 
 impl OnlineLinkPredictor {
@@ -69,39 +201,97 @@ impl OnlineLinkPredictor {
             network: DynamicNetwork::new(),
             model: None,
             last_fit_attempt: None,
+            backoff: 1,
+            last_refit_error: None,
+            stats: StreamStats::default(),
         }
     }
 
-    /// Feeds one stream event. Timestamps should be non-decreasing (the
-    /// stream model); out-of-order links are accepted but only the maximum
-    /// timestamp drives refitting. Refits automatically every
-    /// `refit_every` ticks (silently skipping when the history cannot
-    /// produce a training split yet).
+    /// Feeds one stream event; never panics.
     ///
-    /// # Panics
-    ///
-    /// Panics if `u == v`.
-    pub fn observe(&mut self, u: NodeId, v: NodeId, t: Timestamp) {
-        self.network.add_link(u, v, t);
-        let now = self.network.max_timestamp().expect("just added a link");
+    /// Healthy events enter the network; self-loops, configured
+    /// duplicates and too-stale timestamps are quarantined — counted in
+    /// [`StreamStats`] with their endpoints registered as (possibly
+    /// isolated) nodes, so ids seen only in quarantined events remain
+    /// valid scoring targets. Refitting triggers automatically every
+    /// `refit_every` ticks, stretched by the current backoff after
+    /// failures.
+    pub fn observe(&mut self, u: NodeId, v: NodeId, t: Timestamp) -> Observed {
+        if let (Some(max_lag), Some(head)) =
+            (self.config.max_lag, self.network.max_timestamp())
+        {
+            if t.saturating_add(max_lag) < head {
+                self.network.ensure_node(u);
+                self.network.ensure_node(v);
+                self.stats.stale += 1;
+                return Observed::Quarantined(QuarantineReason::Stale {
+                    lag: head - t,
+                });
+            }
+        }
+        if u == v {
+            self.network.ensure_node(u);
+            self.stats.self_loops += 1;
+            return Observed::Quarantined(QuarantineReason::SelfLoop);
+        }
+        if self.config.quarantine_duplicates && self.already_recorded(u, v, t) {
+            self.network.ensure_node(u);
+            self.network.ensure_node(v);
+            self.stats.duplicates += 1;
+            return Observed::Quarantined(QuarantineReason::Duplicate);
+        }
+        if self.network.try_add_link(u, v, t).is_err() {
+            // try_add_link only rejects self-loops, handled above; treat a
+            // future rejection reason as quarantine rather than panic.
+            self.stats.self_loops += 1;
+            return Observed::Quarantined(QuarantineReason::SelfLoop);
+        }
+        self.stats.accepted += 1;
+        let Some(now) = self.network.max_timestamp() else {
+            return Observed::Accepted;
+        };
+        let interval = self.config.refit_every.saturating_mul(self.backoff);
         let due = match self.last_fit_attempt {
             None => true,
-            Some(last) => now.saturating_sub(last) >= self.config.refit_every,
+            Some(last) => now.saturating_sub(last) >= interval,
         };
         if due {
             self.last_fit_attempt = Some(now);
             let _ = self.refit();
         }
+        Observed::Accepted
     }
 
     /// Forces a refit on the current history.
     ///
     /// # Errors
     ///
-    /// Returns the underlying [`SplitError`] when the accumulated stream
-    /// cannot produce a usable training split (too short, no fresh pairs);
-    /// the previous model, if any, stays active.
-    pub fn refit(&mut self) -> Result<(), SplitError> {
+    /// Returns the underlying [`SsfError`] when the accumulated stream
+    /// cannot produce a usable training split or the fit itself fails;
+    /// the previous model, if any, stays active and the automatic refit
+    /// backoff widens.
+    pub fn refit(&mut self) -> Result<(), SsfError> {
+        match self.fit_current() {
+            Ok(model) => {
+                self.model = Some(model);
+                self.stats.successful_refits += 1;
+                self.backoff = 1;
+                self.last_refit_error = None;
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.failed_refits += 1;
+                self.backoff = self
+                    .backoff
+                    .saturating_mul(2)
+                    .min(self.config.max_backoff.max(1));
+                self.last_refit_error = Some(e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    fn fit_current(&self) -> Result<SsfnmModel, SsfError> {
         let split = Split::with_min_positives(
             &self.network,
             &self.config.split,
@@ -121,20 +311,36 @@ impl OnlineLinkPredictor {
         } else {
             Vec::new()
         };
-        self.model = Some(SsfnmModel::fit(&split, &extra, &self.config.method));
-        Ok(())
+        SsfnmModel::try_fit(&split, &extra, &self.config.method)
     }
 
     /// Scores a candidate pair with the latest fitted model, or `None` if
-    /// no model could be fitted yet or an endpoint is unknown.
+    /// no model could be fitted yet, `u == v`, or an endpoint lies outside
+    /// the network's id space. The id space covers every node ever seen —
+    /// including endpoints of quarantined events, which score as isolated
+    /// nodes rather than being rejected.
+    ///
+    /// If the model fails on this one pair (a panic in extraction on a
+    /// pathological subgraph), the score degrades to a common-neighbor
+    /// fallback for this pair only and
+    /// [`StreamStats::degraded_scores`] is incremented.
     pub fn score(&self, u: NodeId, v: NodeId) -> Option<f64> {
-        let model = self.model.as_ref()?;
         let n = self.network.node_count() as NodeId;
         if u == v || u >= n || v >= n {
             return None;
         }
         let present = self.network.max_timestamp()? + 1;
-        Some(model.score(&self.network, u, v, present))
+        let model = self.model.as_ref()?;
+        let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
+            model.try_score(&self.network, u, v, present)
+        }));
+        match attempt {
+            Ok(Ok(p)) => Some(p),
+            Ok(Err(_)) | Err(_) => {
+                self.stats.degraded_scores.fetch_add(1, Ordering::Relaxed);
+                Some(self.common_neighbor_fallback(u, v))
+            }
+        }
     }
 
     /// `true` once a model has been fitted.
@@ -145,6 +351,51 @@ impl OnlineLinkPredictor {
     /// The accumulated network.
     pub fn network(&self) -> &DynamicNetwork {
         &self.network
+    }
+
+    /// The running stream-hygiene tallies.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// A point-in-time health snapshot.
+    pub fn health(&self) -> Health {
+        Health {
+            fitted: self.model.is_some(),
+            accepted: self.stats.accepted,
+            quarantined: self.stats.quarantined(),
+            degraded_scores: self.stats.degraded_scores(),
+            successful_refits: self.stats.successful_refits,
+            failed_refits: self.stats.failed_refits,
+            current_backoff: self.backoff,
+            last_refit_error: self.last_refit_error.clone(),
+        }
+    }
+
+    /// Whether the exact `(u, v, t)` event is already in the network.
+    fn already_recorded(&self, u: NodeId, v: NodeId, t: Timestamp) -> bool {
+        (u as usize) < self.network.node_count()
+            && self.network.incident_links(u).contains(&(v, t))
+    }
+
+    /// Degraded scorer: `cn / (cn + 1)` over distinct common neighbors —
+    /// monotone in CN and bounded in `[0, 1)` like a probability.
+    fn common_neighbor_fallback(&self, u: NodeId, v: NodeId) -> f64 {
+        let a = self.network.neighbors(u);
+        let b = self.network.neighbors(v);
+        let (mut i, mut j, mut cn) = (0usize, 0usize, 0u64);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    cn += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        cn as f64 / (cn as f64 + 1.0)
     }
 }
 
@@ -189,6 +440,11 @@ mod tests {
         let s = p.score(0, 1);
         assert!(s.is_some());
         assert!((0.0..=1.0).contains(&s.unwrap()));
+        let h = p.health();
+        assert!(h.fitted);
+        assert!(h.successful_refits >= 1);
+        assert_eq!(h.quarantined, 0);
+        assert_eq!(h.current_backoff, 1, "success resets the backoff");
     }
 
     #[test]
@@ -210,5 +466,106 @@ mod tests {
         p.observe(0, 1, 1);
         assert!(p.refit().is_err());
         assert!(!p.is_fitted());
+        let h = p.health();
+        assert!(h.failed_refits >= 1);
+        assert!(h.last_refit_error.is_some());
+    }
+
+    #[test]
+    fn self_loops_are_quarantined_not_fatal() {
+        let mut p = OnlineLinkPredictor::new(quick_config());
+        p.observe(0, 1, 1);
+        let r = p.observe(7, 7, 2);
+        assert_eq!(r, Observed::Quarantined(QuarantineReason::SelfLoop));
+        assert_eq!(p.stats().self_loops, 1);
+        assert_eq!(p.stats().accepted, 1);
+        // The quarantined endpoint is registered as an isolated node.
+        assert!(p.network().node_count() > 7);
+        assert!(!p.network().has_link(7, 7));
+    }
+
+    /// Regression test for the score bound check: ids that only ever
+    /// appeared in quarantined events are part of the network's id space
+    /// after lossy ingestion and must be scoreable (as isolated nodes),
+    /// not rejected as unknown.
+    #[test]
+    fn quarantined_endpoints_remain_scoreable() {
+        let spec = DatasetSpec::coauthor().scaled(0.15);
+        let g = generate(&spec, 9);
+        let mut links: Vec<_> = g.links().collect();
+        links.sort_by_key(|l| l.t);
+        let mut p = OnlineLinkPredictor::new(quick_config());
+        for l in links {
+            p.observe(l.u, l.v, l.t);
+        }
+        assert!(p.is_fitted());
+        let lonely = p.network().node_count() as NodeId + 3;
+        p.observe(lonely, lonely, 100);
+        assert_eq!(p.stats().self_loops, 1);
+        // `lonely` now bounds the id space; the boundary id is valid.
+        let s = p.score(lonely, 0);
+        assert!(s.is_some(), "known-but-isolated ids must score");
+        assert!((0.0..=1.0).contains(&s.unwrap()));
+        assert!(p.score(lonely + 1, 0).is_none(), "beyond the id space");
+    }
+
+    #[test]
+    fn duplicates_and_stale_events_quarantined_when_configured() {
+        let mut p = OnlineLinkPredictor::new(OnlinePredictorConfig {
+            quarantine_duplicates: true,
+            max_lag: Some(2),
+            ..quick_config()
+        });
+        assert!(p.observe(0, 1, 1).is_accepted());
+        assert_eq!(
+            p.observe(0, 1, 1),
+            Observed::Quarantined(QuarantineReason::Duplicate)
+        );
+        // Same pair at a new tick is a legitimate multigraph link.
+        assert!(p.observe(0, 1, 2).is_accepted());
+        assert!(p.observe(1, 2, 10).is_accepted());
+        assert_eq!(
+            p.observe(2, 3, 1),
+            Observed::Quarantined(QuarantineReason::Stale { lag: 9 })
+        );
+        assert_eq!(p.stats().duplicates, 1);
+        assert_eq!(p.stats().stale, 1);
+        assert_eq!(p.stats().accepted, 3);
+        assert_eq!(p.stats().quarantined(), 2);
+        // Stale endpoints still become known nodes.
+        assert!(p.network().node_count() >= 4);
+    }
+
+    #[test]
+    fn failed_refits_back_off_exponentially() {
+        let mut p = OnlineLinkPredictor::new(OnlinePredictorConfig {
+            refit_every: 1,
+            max_backoff: 8,
+            ..quick_config()
+        });
+        // A stream that only ever repeats one pair produces no fresh
+        // (positive) links in any prediction window, so every refit fails
+        // while the clock still advances.
+        for t in 1..=20u32 {
+            p.observe(0, 1, t);
+        }
+        // Attempts land at t = 1, 3, 7, 15 (intervals 2, 4, 8, 8-capped),
+        // not at all 20 ticks.
+        assert_eq!(p.stats().failed_refits, 4);
+        assert_eq!(p.health().current_backoff, 8);
+        assert!(p.health().last_refit_error.is_some());
+    }
+
+    #[test]
+    fn fallback_score_is_monotone_in_common_neighbors() {
+        let mut p = OnlineLinkPredictor::new(quick_config());
+        p.observe(0, 1, 1);
+        p.observe(1, 2, 1);
+        p.observe(0, 3, 1);
+        p.observe(3, 2, 1);
+        // 0 and 2 share {1, 3}; 0 and 1 share nothing.
+        assert!((p.common_neighbor_fallback(0, 2) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(p.common_neighbor_fallback(0, 1), 0.0);
+        assert_eq!(p.stats().degraded_scores(), 0);
     }
 }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-bbee85b668db01ee.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-bbee85b668db01ee: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/baselines-bcd2185fea236b37.d: crates/baselines/src/lib.rs crates/baselines/src/katz.rs crates/baselines/src/local.rs crates/baselines/src/lp.rs crates/baselines/src/nmf.rs crates/baselines/src/rw.rs crates/baselines/src/tmf.rs crates/baselines/src/wlf.rs
+
+/root/repo/target/debug/deps/libbaselines-bcd2185fea236b37.rlib: crates/baselines/src/lib.rs crates/baselines/src/katz.rs crates/baselines/src/local.rs crates/baselines/src/lp.rs crates/baselines/src/nmf.rs crates/baselines/src/rw.rs crates/baselines/src/tmf.rs crates/baselines/src/wlf.rs
+
+/root/repo/target/debug/deps/libbaselines-bcd2185fea236b37.rmeta: crates/baselines/src/lib.rs crates/baselines/src/katz.rs crates/baselines/src/local.rs crates/baselines/src/lp.rs crates/baselines/src/nmf.rs crates/baselines/src/rw.rs crates/baselines/src/tmf.rs crates/baselines/src/wlf.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/katz.rs:
+crates/baselines/src/local.rs:
+crates/baselines/src/lp.rs:
+crates/baselines/src/nmf.rs:
+crates/baselines/src/rw.rs:
+crates/baselines/src/tmf.rs:
+crates/baselines/src/wlf.rs:

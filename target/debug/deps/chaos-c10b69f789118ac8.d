@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/chaos-c10b69f789118ac8.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-c10b69f789118ac8: tests/chaos.rs
+
+tests/chaos.rs:
+
+# env-dep:CARGO_BIN_EXE_ssf=/root/repo/target/debug/ssf

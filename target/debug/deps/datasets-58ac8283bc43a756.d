@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/datasets-58ac8283bc43a756.d: crates/datasets/src/lib.rs crates/datasets/src/generators.rs crates/datasets/src/io.rs crates/datasets/src/spec.rs
+
+/root/repo/target/debug/deps/datasets-58ac8283bc43a756: crates/datasets/src/lib.rs crates/datasets/src/generators.rs crates/datasets/src/io.rs crates/datasets/src/spec.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/generators.rs:
+crates/datasets/src/io.rs:
+crates/datasets/src/spec.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/datasets-59468aa465e72769.d: crates/datasets/src/lib.rs crates/datasets/src/generators.rs crates/datasets/src/io.rs crates/datasets/src/spec.rs
+
+/root/repo/target/debug/deps/libdatasets-59468aa465e72769.rlib: crates/datasets/src/lib.rs crates/datasets/src/generators.rs crates/datasets/src/io.rs crates/datasets/src/spec.rs
+
+/root/repo/target/debug/deps/libdatasets-59468aa465e72769.rmeta: crates/datasets/src/lib.rs crates/datasets/src/generators.rs crates/datasets/src/io.rs crates/datasets/src/spec.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/generators.rs:
+crates/datasets/src/io.rs:
+crates/datasets/src/spec.rs:

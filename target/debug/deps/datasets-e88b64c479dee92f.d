@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/datasets-e88b64c479dee92f.d: /root/repo/clippy.toml crates/datasets/src/lib.rs crates/datasets/src/generators.rs crates/datasets/src/io.rs crates/datasets/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatasets-e88b64c479dee92f.rmeta: /root/repo/clippy.toml crates/datasets/src/lib.rs crates/datasets/src/generators.rs crates/datasets/src/io.rs crates/datasets/src/spec.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/datasets/src/lib.rs:
+crates/datasets/src/generators.rs:
+crates/datasets/src/io.rs:
+crates/datasets/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dyngraph-5d8b9050b9b92f01.d: /root/repo/clippy.toml crates/dyngraph/src/lib.rs crates/dyngraph/src/error.rs crates/dyngraph/src/io.rs crates/dyngraph/src/metrics.rs crates/dyngraph/src/network.rs crates/dyngraph/src/static_graph.rs crates/dyngraph/src/stats.rs crates/dyngraph/src/traversal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdyngraph-5d8b9050b9b92f01.rmeta: /root/repo/clippy.toml crates/dyngraph/src/lib.rs crates/dyngraph/src/error.rs crates/dyngraph/src/io.rs crates/dyngraph/src/metrics.rs crates/dyngraph/src/network.rs crates/dyngraph/src/static_graph.rs crates/dyngraph/src/stats.rs crates/dyngraph/src/traversal.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/dyngraph/src/lib.rs:
+crates/dyngraph/src/error.rs:
+crates/dyngraph/src/io.rs:
+crates/dyngraph/src/metrics.rs:
+crates/dyngraph/src/network.rs:
+crates/dyngraph/src/static_graph.rs:
+crates/dyngraph/src/stats.rs:
+crates/dyngraph/src/traversal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

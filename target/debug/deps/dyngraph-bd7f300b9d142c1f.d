@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dyngraph-bd7f300b9d142c1f.d: crates/dyngraph/src/lib.rs crates/dyngraph/src/error.rs crates/dyngraph/src/io.rs crates/dyngraph/src/metrics.rs crates/dyngraph/src/network.rs crates/dyngraph/src/static_graph.rs crates/dyngraph/src/stats.rs crates/dyngraph/src/traversal.rs
+
+/root/repo/target/debug/deps/libdyngraph-bd7f300b9d142c1f.rlib: crates/dyngraph/src/lib.rs crates/dyngraph/src/error.rs crates/dyngraph/src/io.rs crates/dyngraph/src/metrics.rs crates/dyngraph/src/network.rs crates/dyngraph/src/static_graph.rs crates/dyngraph/src/stats.rs crates/dyngraph/src/traversal.rs
+
+/root/repo/target/debug/deps/libdyngraph-bd7f300b9d142c1f.rmeta: crates/dyngraph/src/lib.rs crates/dyngraph/src/error.rs crates/dyngraph/src/io.rs crates/dyngraph/src/metrics.rs crates/dyngraph/src/network.rs crates/dyngraph/src/static_graph.rs crates/dyngraph/src/stats.rs crates/dyngraph/src/traversal.rs
+
+crates/dyngraph/src/lib.rs:
+crates/dyngraph/src/error.rs:
+crates/dyngraph/src/io.rs:
+crates/dyngraph/src/metrics.rs:
+crates/dyngraph/src/network.rs:
+crates/dyngraph/src/static_graph.rs:
+crates/dyngraph/src/stats.rs:
+crates/dyngraph/src/traversal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-94b2ca6c6790aa0f.d: tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-94b2ca6c6790aa0f: tests/edge_cases.rs
+
+tests/edge_cases.rs:

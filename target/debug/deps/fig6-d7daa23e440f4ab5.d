@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-d7daa23e440f4ab5.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-d7daa23e440f4ab5: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

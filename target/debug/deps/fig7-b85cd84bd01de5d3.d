@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-b85cd84bd01de5d3.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-b85cd84bd01de5d3: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/linalg-31f8b2c96310cce4.d: /root/repo/clippy.toml crates/linalg/src/lib.rs crates/linalg/src/matrix.rs crates/linalg/src/solve.rs crates/linalg/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblinalg-31f8b2c96310cce4.rmeta: /root/repo/clippy.toml crates/linalg/src/lib.rs crates/linalg/src/matrix.rs crates/linalg/src/solve.rs crates/linalg/src/vector.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/linalg/src/lib.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/linalg-438de09e0aa40152.d: crates/linalg/src/lib.rs crates/linalg/src/matrix.rs crates/linalg/src/solve.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/linalg-438de09e0aa40152: crates/linalg/src/lib.rs crates/linalg/src/matrix.rs crates/linalg/src/solve.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/vector.rs:

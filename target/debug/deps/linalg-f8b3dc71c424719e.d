@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/linalg-f8b3dc71c424719e.d: crates/linalg/src/lib.rs crates/linalg/src/matrix.rs crates/linalg/src/solve.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/liblinalg-f8b3dc71c424719e.rlib: crates/linalg/src/lib.rs crates/linalg/src/matrix.rs crates/linalg/src/solve.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/liblinalg-f8b3dc71c424719e.rmeta: crates/linalg/src/lib.rs crates/linalg/src/matrix.rs crates/linalg/src/solve.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/vector.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-ffe7ca0ec952a370.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-ffe7ca0ec952a370: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-32725120733dc074.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-32725120733dc074: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-2a34e5a1dce60077.d: crates/ml/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-2a34e5a1dce60077: crates/ml/tests/prop.rs
+
+crates/ml/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-30272b0fd8ad87cf.d: crates/dyngraph/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-30272b0fd8ad87cf: crates/dyngraph/tests/prop.rs
+
+crates/dyngraph/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-4afb37ec6904407b.d: crates/eval/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-4afb37ec6904407b: crates/eval/tests/prop.rs
+
+crates/eval/tests/prop.rs:

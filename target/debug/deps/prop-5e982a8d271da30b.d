@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-5e982a8d271da30b.d: crates/baselines/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-5e982a8d271da30b: crates/baselines/tests/prop.rs
+
+crates/baselines/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-62c99773fdedddb6.d: crates/datasets/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-62c99773fdedddb6: crates/datasets/tests/prop.rs
+
+crates/datasets/tests/prop.rs:

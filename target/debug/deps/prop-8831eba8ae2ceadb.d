@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-8831eba8ae2ceadb.d: crates/linalg/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-8831eba8ae2ceadb: crates/linalg/tests/prop.rs
+
+crates/linalg/tests/prop.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prop-95f7de16c3b19ad1.d: /root/repo/clippy.toml crates/eval/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-95f7de16c3b19ad1.rmeta: /root/repo/clippy.toml crates/eval/tests/prop.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/eval/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

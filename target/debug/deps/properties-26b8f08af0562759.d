@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/properties-26b8f08af0562759.d: /root/repo/clippy.toml tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-26b8f08af0562759.rmeta: /root/repo/clippy.toml tests/properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c20e18bdd5059443.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c20e18bdd5059443: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-9f4f9f2b16005b49.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9f4f9f2b16005b49.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9f4f9f2b16005b49.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

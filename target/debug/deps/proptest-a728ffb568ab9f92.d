@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-a728ffb568ab9f92.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-a728ffb568ab9f92: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

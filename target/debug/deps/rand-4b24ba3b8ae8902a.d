@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rand-4b24ba3b8ae8902a.d: /root/repo/clippy.toml vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-4b24ba3b8ae8902a.rmeta: /root/repo/clippy.toml vendor/rand/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

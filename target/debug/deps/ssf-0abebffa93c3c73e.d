@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssf-0abebffa93c3c73e.d: src/bin/ssf.rs
+
+/root/repo/target/debug/deps/ssf-0abebffa93c3c73e: src/bin/ssf.rs
+
+src/bin/ssf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssf-711e06e41a322ecb.d: src/bin/ssf.rs
+
+/root/repo/target/debug/deps/ssf-711e06e41a322ecb: src/bin/ssf.rs
+
+src/bin/ssf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssf_bench-401d796d3f9c3415.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ssf_bench-401d796d3f9c3415: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

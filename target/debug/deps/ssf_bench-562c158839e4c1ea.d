@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ssf_bench-562c158839e4c1ea.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libssf_bench-562c158839e4c1ea.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libssf_bench-562c158839e4c1ea.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

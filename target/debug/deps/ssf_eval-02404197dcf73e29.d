@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ssf_eval-02404197dcf73e29.d: /root/repo/clippy.toml crates/eval/src/lib.rs crates/eval/src/backtest.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/split.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssf_eval-02404197dcf73e29.rmeta: /root/repo/clippy.toml crates/eval/src/lib.rs crates/eval/src/backtest.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/split.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/eval/src/lib.rs:
+crates/eval/src/backtest.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/report.rs:
+crates/eval/src/runner.rs:
+crates/eval/src/split.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

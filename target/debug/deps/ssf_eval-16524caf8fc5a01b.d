@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ssf_eval-16524caf8fc5a01b.d: crates/eval/src/lib.rs crates/eval/src/backtest.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/split.rs
+
+/root/repo/target/debug/deps/libssf_eval-16524caf8fc5a01b.rlib: crates/eval/src/lib.rs crates/eval/src/backtest.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/split.rs
+
+/root/repo/target/debug/deps/libssf_eval-16524caf8fc5a01b.rmeta: crates/eval/src/lib.rs crates/eval/src/backtest.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/split.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/backtest.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/report.rs:
+crates/eval/src/runner.rs:
+crates/eval/src/split.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ssf_eval-9221f248dabafb26.d: crates/eval/src/lib.rs crates/eval/src/backtest.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/split.rs
+
+/root/repo/target/debug/deps/ssf_eval-9221f248dabafb26: crates/eval/src/lib.rs crates/eval/src/backtest.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/split.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/backtest.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/report.rs:
+crates/eval/src/runner.rs:
+crates/eval/src/split.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ssf_repro-ca0c777d280f2138.d: src/lib.rs src/error.rs src/methods.rs src/model.rs src/stream.rs
+
+/root/repo/target/debug/deps/ssf_repro-ca0c777d280f2138: src/lib.rs src/error.rs src/methods.rs src/model.rs src/stream.rs
+
+src/lib.rs:
+src/error.rs:
+src/methods.rs:
+src/model.rs:
+src/stream.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-442beefcf78e870a.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-442beefcf78e870a: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-e7d52a4ead8649b1.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-e7d52a4ead8649b1: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

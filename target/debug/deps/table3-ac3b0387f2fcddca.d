@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-ac3b0387f2fcddca.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-ac3b0387f2fcddca: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

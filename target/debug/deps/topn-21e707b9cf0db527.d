@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topn-21e707b9cf0db527.d: crates/bench/src/bin/topn.rs
+
+/root/repo/target/debug/deps/topn-21e707b9cf0db527: crates/bench/src/bin/topn.rs
+
+crates/bench/src/bin/topn.rs:

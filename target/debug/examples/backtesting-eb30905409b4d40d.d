@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/backtesting-eb30905409b4d40d.d: examples/backtesting.rs
+
+/root/repo/target/debug/examples/backtesting-eb30905409b4d40d: examples/backtesting.rs
+
+examples/backtesting.rs:

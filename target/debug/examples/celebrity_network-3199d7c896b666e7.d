@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/celebrity_network-3199d7c896b666e7.d: examples/celebrity_network.rs
+
+/root/repo/target/debug/examples/celebrity_network-3199d7c896b666e7: examples/celebrity_network.rs
+
+examples/celebrity_network.rs:

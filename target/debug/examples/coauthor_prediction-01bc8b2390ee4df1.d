@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/coauthor_prediction-01bc8b2390ee4df1.d: examples/coauthor_prediction.rs
+
+/root/repo/target/debug/examples/coauthor_prediction-01bc8b2390ee4df1: examples/coauthor_prediction.rs
+
+examples/coauthor_prediction.rs:

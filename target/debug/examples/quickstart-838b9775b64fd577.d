@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-838b9775b64fd577.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-838b9775b64fd577: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/reply_recommendation-3001b4d90d705b90.d: /root/repo/clippy.toml examples/reply_recommendation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreply_recommendation-3001b4d90d705b90.rmeta: /root/repo/clippy.toml examples/reply_recommendation.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/reply_recommendation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reply_recommendation-f372336d2b9d1f2d.d: examples/reply_recommendation.rs
+
+/root/repo/target/debug/examples/reply_recommendation-f372336d2b9d1f2d: examples/reply_recommendation.rs
+
+examples/reply_recommendation.rs:

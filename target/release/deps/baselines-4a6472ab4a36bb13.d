@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/baselines-4a6472ab4a36bb13.d: crates/baselines/src/lib.rs crates/baselines/src/katz.rs crates/baselines/src/local.rs crates/baselines/src/lp.rs crates/baselines/src/nmf.rs crates/baselines/src/rw.rs crates/baselines/src/tmf.rs crates/baselines/src/wlf.rs
+
+/root/repo/target/release/deps/libbaselines-4a6472ab4a36bb13.rlib: crates/baselines/src/lib.rs crates/baselines/src/katz.rs crates/baselines/src/local.rs crates/baselines/src/lp.rs crates/baselines/src/nmf.rs crates/baselines/src/rw.rs crates/baselines/src/tmf.rs crates/baselines/src/wlf.rs
+
+/root/repo/target/release/deps/libbaselines-4a6472ab4a36bb13.rmeta: crates/baselines/src/lib.rs crates/baselines/src/katz.rs crates/baselines/src/local.rs crates/baselines/src/lp.rs crates/baselines/src/nmf.rs crates/baselines/src/rw.rs crates/baselines/src/tmf.rs crates/baselines/src/wlf.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/katz.rs:
+crates/baselines/src/local.rs:
+crates/baselines/src/lp.rs:
+crates/baselines/src/nmf.rs:
+crates/baselines/src/rw.rs:
+crates/baselines/src/tmf.rs:
+crates/baselines/src/wlf.rs:

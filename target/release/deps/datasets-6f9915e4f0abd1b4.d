@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/datasets-6f9915e4f0abd1b4.d: crates/datasets/src/lib.rs crates/datasets/src/generators.rs crates/datasets/src/io.rs crates/datasets/src/spec.rs
+
+/root/repo/target/release/deps/libdatasets-6f9915e4f0abd1b4.rlib: crates/datasets/src/lib.rs crates/datasets/src/generators.rs crates/datasets/src/io.rs crates/datasets/src/spec.rs
+
+/root/repo/target/release/deps/libdatasets-6f9915e4f0abd1b4.rmeta: crates/datasets/src/lib.rs crates/datasets/src/generators.rs crates/datasets/src/io.rs crates/datasets/src/spec.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/generators.rs:
+crates/datasets/src/io.rs:
+crates/datasets/src/spec.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dyngraph-7c91a77f9d107d57.d: crates/dyngraph/src/lib.rs crates/dyngraph/src/error.rs crates/dyngraph/src/io.rs crates/dyngraph/src/metrics.rs crates/dyngraph/src/network.rs crates/dyngraph/src/static_graph.rs crates/dyngraph/src/stats.rs crates/dyngraph/src/traversal.rs
+
+/root/repo/target/release/deps/libdyngraph-7c91a77f9d107d57.rlib: crates/dyngraph/src/lib.rs crates/dyngraph/src/error.rs crates/dyngraph/src/io.rs crates/dyngraph/src/metrics.rs crates/dyngraph/src/network.rs crates/dyngraph/src/static_graph.rs crates/dyngraph/src/stats.rs crates/dyngraph/src/traversal.rs
+
+/root/repo/target/release/deps/libdyngraph-7c91a77f9d107d57.rmeta: crates/dyngraph/src/lib.rs crates/dyngraph/src/error.rs crates/dyngraph/src/io.rs crates/dyngraph/src/metrics.rs crates/dyngraph/src/network.rs crates/dyngraph/src/static_graph.rs crates/dyngraph/src/stats.rs crates/dyngraph/src/traversal.rs
+
+crates/dyngraph/src/lib.rs:
+crates/dyngraph/src/error.rs:
+crates/dyngraph/src/io.rs:
+crates/dyngraph/src/metrics.rs:
+crates/dyngraph/src/network.rs:
+crates/dyngraph/src/static_graph.rs:
+crates/dyngraph/src/stats.rs:
+crates/dyngraph/src/traversal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/edge_cases-23e2cfb651f67b7e.d: tests/edge_cases.rs
+
+/root/repo/target/release/deps/edge_cases-23e2cfb651f67b7e: tests/edge_cases.rs
+
+tests/edge_cases.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-b786b5f51df5a043.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-b786b5f51df5a043: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-6facbd6b9c8a9f5a.d: tests/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-6facbd6b9c8a9f5a: tests/pipeline.rs
+
+tests/pipeline.rs:

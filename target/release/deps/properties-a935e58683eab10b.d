@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-a935e58683eab10b.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-a935e58683eab10b: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-cfa51df53ab99f21.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-cfa51df53ab99f21.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-cfa51df53ab99f21.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

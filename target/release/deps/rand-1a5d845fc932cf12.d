@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-1a5d845fc932cf12.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1a5d845fc932cf12.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1a5d845fc932cf12.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ssf-91786edead5f9a82.d: src/bin/ssf.rs
+
+/root/repo/target/release/deps/ssf-91786edead5f9a82: src/bin/ssf.rs
+
+src/bin/ssf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ssf-b11926fa89548e98.d: src/bin/ssf.rs
+
+/root/repo/target/release/deps/ssf-b11926fa89548e98: src/bin/ssf.rs
+
+src/bin/ssf.rs:

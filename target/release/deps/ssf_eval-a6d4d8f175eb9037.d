@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ssf_eval-a6d4d8f175eb9037.d: crates/eval/src/lib.rs crates/eval/src/backtest.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/split.rs
+
+/root/repo/target/release/deps/libssf_eval-a6d4d8f175eb9037.rlib: crates/eval/src/lib.rs crates/eval/src/backtest.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/split.rs
+
+/root/repo/target/release/deps/libssf_eval-a6d4d8f175eb9037.rmeta: crates/eval/src/lib.rs crates/eval/src/backtest.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/split.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/backtest.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/report.rs:
+crates/eval/src/runner.rs:
+crates/eval/src/split.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ssf_ml-9e9cd4ce992695a6.d: crates/ml/src/lib.rs crates/ml/src/error.rs crates/ml/src/linreg.rs crates/ml/src/nn.rs crates/ml/src/persist.rs crates/ml/src/scaler.rs
+
+/root/repo/target/release/deps/libssf_ml-9e9cd4ce992695a6.rlib: crates/ml/src/lib.rs crates/ml/src/error.rs crates/ml/src/linreg.rs crates/ml/src/nn.rs crates/ml/src/persist.rs crates/ml/src/scaler.rs
+
+/root/repo/target/release/deps/libssf_ml-9e9cd4ce992695a6.rmeta: crates/ml/src/lib.rs crates/ml/src/error.rs crates/ml/src/linreg.rs crates/ml/src/nn.rs crates/ml/src/persist.rs crates/ml/src/scaler.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/error.rs:
+crates/ml/src/linreg.rs:
+crates/ml/src/nn.rs:
+crates/ml/src/persist.rs:
+crates/ml/src/scaler.rs:

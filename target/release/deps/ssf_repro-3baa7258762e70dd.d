@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ssf_repro-3baa7258762e70dd.d: src/lib.rs src/error.rs src/methods.rs src/model.rs src/stream.rs
+
+/root/repo/target/release/deps/libssf_repro-3baa7258762e70dd.rlib: src/lib.rs src/error.rs src/methods.rs src/model.rs src/stream.rs
+
+/root/repo/target/release/deps/libssf_repro-3baa7258762e70dd.rmeta: src/lib.rs src/error.rs src/methods.rs src/model.rs src/stream.rs
+
+src/lib.rs:
+src/error.rs:
+src/methods.rs:
+src/model.rs:
+src/stream.rs:

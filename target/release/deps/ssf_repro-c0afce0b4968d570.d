@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ssf_repro-c0afce0b4968d570.d: src/lib.rs src/error.rs src/methods.rs src/model.rs src/stream.rs
+
+/root/repo/target/release/deps/ssf_repro-c0afce0b4968d570: src/lib.rs src/error.rs src/methods.rs src/model.rs src/stream.rs
+
+src/lib.rs:
+src/error.rs:
+src/methods.rs:
+src/model.rs:
+src/stream.rs:

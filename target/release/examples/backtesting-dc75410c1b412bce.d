@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/backtesting-dc75410c1b412bce.d: examples/backtesting.rs
+
+/root/repo/target/release/examples/backtesting-dc75410c1b412bce: examples/backtesting.rs
+
+examples/backtesting.rs:

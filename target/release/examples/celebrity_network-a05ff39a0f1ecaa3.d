@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/celebrity_network-a05ff39a0f1ecaa3.d: examples/celebrity_network.rs
+
+/root/repo/target/release/examples/celebrity_network-a05ff39a0f1ecaa3: examples/celebrity_network.rs
+
+examples/celebrity_network.rs:

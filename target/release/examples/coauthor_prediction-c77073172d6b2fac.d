@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/coauthor_prediction-c77073172d6b2fac.d: examples/coauthor_prediction.rs
+
+/root/repo/target/release/examples/coauthor_prediction-c77073172d6b2fac: examples/coauthor_prediction.rs
+
+examples/coauthor_prediction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dbg_backoff-246a5312dba23028.d: examples/dbg_backoff.rs
+
+/root/repo/target/release/examples/dbg_backoff-246a5312dba23028: examples/dbg_backoff.rs
+
+examples/dbg_backoff.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-71d69e2ff5550ed7.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-71d69e2ff5550ed7: examples/quickstart.rs
+
+examples/quickstart.rs:

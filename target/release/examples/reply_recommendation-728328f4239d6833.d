@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/reply_recommendation-728328f4239d6833.d: examples/reply_recommendation.rs
+
+/root/repo/target/release/examples/reply_recommendation-728328f4239d6833: examples/reply_recommendation.rs
+
+examples/reply_recommendation.rs:

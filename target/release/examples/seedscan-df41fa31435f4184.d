@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/seedscan-df41fa31435f4184.d: examples/seedscan.rs
+
+/root/repo/target/release/examples/seedscan-df41fa31435f4184: examples/seedscan.rs
+
+examples/seedscan.rs:

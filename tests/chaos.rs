@@ -1,0 +1,221 @@
+//! Chaos suite: corrupted traces through the full serving path.
+//!
+//! The fault model matches what production link streams actually do:
+//! self-loops, exact replays, hours-late timestamps, mangled lines.
+//! Every test asserts the same contract — no panic, quarantine counts
+//! visible, and degradation bounded: the surviving (healthy) events must
+//! produce *exactly* the model the clean trace produces, so accuracy on
+//! survivors is identical by construction, not merely "within noise".
+
+use std::collections::BTreeSet;
+use std::process::Command;
+
+use ssf_repro::datasets::{generate, DatasetSpec};
+use ssf_repro::dyngraph::io::{
+    read_edge_list_lossy, write_edge_list, FaultConfig, FaultyReader,
+};
+use ssf_repro::dyngraph::{DynamicNetwork, NodeId, Timestamp};
+use ssf_repro::methods::MethodOptions;
+use ssf_repro::stream::{OnlineLinkPredictor, OnlinePredictorConfig};
+
+fn chaos_config() -> OnlinePredictorConfig {
+    OnlinePredictorConfig {
+        method: MethodOptions {
+            nm_epochs: 15,
+            ..MethodOptions::default()
+        },
+        refit_every: 5,
+        min_positives: 10,
+        history_folds: 1,
+        quarantine_duplicates: true,
+        max_lag: Some(5),
+        ..OnlinePredictorConfig::default()
+    }
+}
+
+/// The clean trace: deduplicated, time-ordered events of a synthetic
+/// coauthor network.
+fn clean_events() -> Vec<(NodeId, NodeId, Timestamp)> {
+    let g = generate(&DatasetSpec::coauthor().scaled(0.15), 9);
+    let ordered: BTreeSet<(Timestamp, NodeId, NodeId)> =
+        g.links().map(|l| (l.t, l.u, l.v)).collect();
+    ordered.into_iter().map(|(t, u, v)| (u, v, t)).collect()
+}
+
+#[test]
+fn predictor_survives_hostile_stream_with_bounded_degradation() {
+    let events = clean_events();
+
+    let mut clean = OnlineLinkPredictor::new(chaos_config());
+    for &(u, v, t) in &events {
+        assert!(clean.observe(u, v, t).is_accepted());
+    }
+
+    // Hostile replay: after every 6th healthy event (>16% junk ratio),
+    // inject a self-loop, an exact duplicate, or a stale event. All junk
+    // reuses existing node ids and timestamps, so the surviving stream is
+    // the clean stream exactly.
+    let mut hostile = OnlineLinkPredictor::new(chaos_config());
+    let mut injected = 0u64;
+    for (i, &(u, v, t)) in events.iter().enumerate() {
+        assert!(hostile.observe(u, v, t).is_accepted());
+        if i % 6 == 5 {
+            let head = hostile.network().max_timestamp().unwrap_or(0);
+            let outcome = match injected % 3 {
+                0 => hostile.observe(u, u, t), // self-loop
+                1 => hostile.observe(u, v, t), // exact replay
+                _ if head > 5 => {
+                    let (u0, v0, _) = events[0];
+                    hostile.observe(u0, v0, 0) // hopelessly late
+                }
+                _ => hostile.observe(v, v, t), // self-loop until time moves
+            };
+            assert!(!outcome.is_accepted(), "junk event {i} was accepted");
+            injected += 1;
+        }
+    }
+    assert_eq!(injected, (events.len() / 6) as u64);
+    assert!(injected > 0);
+
+    // No panic happened (we are here), the junk was quarantined and
+    // counted, and the healthy events all made it in.
+    let health = hostile.health();
+    assert_eq!(health.quarantined, injected);
+    assert_eq!(health.accepted, events.len() as u64);
+    assert_eq!(clean.health().quarantined, 0);
+
+    // Bounded degradation: the surviving stream equals the clean stream,
+    // so the networks and the fitted models must agree exactly.
+    assert_eq!(clean.network().link_count(), hostile.network().link_count());
+    assert_eq!(clean.network().node_count(), hostile.network().node_count());
+    assert!(clean.is_fitted());
+    assert!(hostile.is_fitted());
+    for (a, b) in [(0, 1), (0, 2), (1, 3), (2, 7), (5, 11)] {
+        assert_eq!(
+            clean.score(a, b),
+            hostile.score(a, b),
+            "scores diverged on ({a}, {b})"
+        );
+    }
+}
+
+/// Writes `contents` to a fresh temp file and returns its path.
+#[allow(clippy::expect_used)] // test helper
+fn temp_file(name: &str, contents: &[u8]) -> std::path::PathBuf {
+    let path = std::env::temp_dir()
+        .join(format!("ssf-chaos-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("write temp file");
+    path
+}
+
+#[allow(clippy::expect_used)] // test helper
+fn clean_edge_list() -> (DynamicNetwork, Vec<u8>) {
+    let g = generate(&DatasetSpec::coauthor().scaled(0.1), 7);
+    let mut buf = Vec::new();
+    write_edge_list(&g, &mut buf).expect("write to memory");
+    (g, buf)
+}
+
+#[test]
+fn cli_evaluate_survives_corrupted_trace_with_identical_results() {
+    let (g, clean_bytes) = clean_edge_list();
+    let clean_lines = g.link_count();
+
+    // ≥10% junk: self-loops on real ids, garbage, and bad timestamps.
+    let mut corrupted = clean_bytes.clone();
+    let n_junk = clean_lines / 6;
+    for i in 0..n_junk {
+        let line = match i % 3 {
+            0 => format!("{0} {0} 3\n", i % 40),
+            1 => "@@ chaos #! ??\n".to_string(),
+            _ => format!("{} {} not-a-time\n", i, i + 1),
+        };
+        corrupted.extend_from_slice(line.as_bytes());
+    }
+    let clean_path = temp_file("clean.txt", &clean_bytes);
+    let dirty_path = temp_file("dirty.txt", &corrupted);
+
+    let run = |path: &std::path::Path| {
+        Command::new(env!("CARGO_BIN_EXE_ssf"))
+            .args(["evaluate"])
+            .arg(path)
+            .args(["--methods", "cn,aa", "--seed", "7"])
+            .output()
+            .expect("run ssf evaluate")
+    };
+    let clean_out = run(&clean_path);
+    let dirty_out = run(&dirty_path);
+    let _ = std::fs::remove_file(&clean_path);
+    let _ = std::fs::remove_file(&dirty_path);
+
+    let dirty_stderr = String::from_utf8_lossy(&dirty_out.stderr).into_owned();
+    assert!(clean_out.status.success(), "clean run failed");
+    assert!(
+        dirty_out.status.success(),
+        "corrupted run must degrade, not die: {dirty_stderr}"
+    );
+    // The quarantine is visible and counted on stderr; no backtraces.
+    assert!(
+        dirty_stderr.contains(&format!("quarantined {n_junk} of")),
+        "stderr missing quarantine summary: {dirty_stderr}"
+    );
+    assert!(!dirty_stderr.contains("panicked"), "{dirty_stderr}");
+    assert!(!dirty_stderr.contains("RUST_BACKTRACE"), "{dirty_stderr}");
+    assert!(String::from_utf8_lossy(&clean_out.stderr).is_empty());
+    // Junk only reuses known ids, so the surviving network is the clean
+    // network and the metrics agree exactly — degradation is bounded.
+    assert_eq!(
+        String::from_utf8_lossy(&clean_out.stdout),
+        String::from_utf8_lossy(&dirty_out.stdout)
+    );
+}
+
+#[test]
+fn cli_survives_fault_injected_reader_mangling() {
+    let (_, clean_bytes) = clean_edge_list();
+    let mangled = {
+        use std::io::Read as _;
+        let mut out = Vec::new();
+        FaultyReader::new(
+            clean_bytes.as_slice(),
+            FaultConfig {
+                corrupt_rate: 0.15,
+                truncate_rate: 0.05,
+                garbage_rate: 0.1,
+                seed: 42,
+            },
+        )
+        .read_to_end(&mut out)
+        .expect("fault injection over memory");
+        out
+    };
+    // Sanity: the mangled bytes still parse leniently with losses.
+    let report = read_edge_list_lossy(mangled.as_slice());
+    assert!(!report.rejected.is_empty(), "faults should reject lines");
+    assert!(report.accepted > 0, "most lines should survive");
+
+    let path = temp_file("mangled.txt", &mangled);
+    let out = Command::new(env!("CARGO_BIN_EXE_ssf"))
+        .arg("stats")
+        .arg(&path)
+        .output()
+        .expect("run ssf stats");
+    let _ = std::fs::remove_file(&path);
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "stats must serve survivors: {stderr}");
+    assert!(stderr.contains("quarantined"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn cli_fatal_errors_use_the_error_contract() {
+    let out = Command::new(env!("CARGO_BIN_EXE_ssf"))
+        .args(["stats", "/nonexistent/ssf-chaos-input.txt"])
+        .output()
+        .expect("run ssf stats");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.starts_with("error: "), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert!(!stderr.contains("RUST_BACKTRACE"), "{stderr}");
+}

@@ -59,7 +59,11 @@ fn long_path_growth() {
     let g: DynamicNetwork = (0..50u32).map(|i| (i, i + 1, 1 + i % 5)).collect();
     let ex = SsfExtractor::new(SsfConfig::new(12));
     let f = ex.extract(&g, 25, 26, 10);
-    assert!(f.radius() >= 3, "path needs a deep radius, got {}", f.radius());
+    assert!(
+        f.radius() >= 3,
+        "path needs a deep radius, got {}",
+        f.radius()
+    );
     assert!(f.structure_node_count() >= 12);
 }
 
@@ -146,7 +150,8 @@ fn methods_on_dense_small_network() {
 /// K larger than anything the component can provide.
 #[test]
 fn k_exceeds_component() {
-    let g: DynamicNetwork = [(0, 1, 1), (1, 2, 2), (2, 0, 3)].into_iter().collect();
+    let g: DynamicNetwork =
+        [(0, 1, 1), (1, 2, 2), (2, 0, 3)].into_iter().collect();
     let cfg = SsfConfig::new(20);
     let f = SsfExtractor::new(cfg).extract(&g, 0, 1, 5);
     assert_eq!(f.values().len(), cfg.feature_dim());
@@ -156,13 +161,10 @@ fn k_exceeds_component() {
 /// Timestamps at the u32 extremes must not overflow the decay math.
 #[test]
 fn extreme_timestamps() {
-    let g: DynamicNetwork = [
-        (0, 2, 1),
-        (1, 2, u32::MAX - 1),
-        (2, 3, u32::MAX / 2),
-    ]
-    .into_iter()
-    .collect();
+    let g: DynamicNetwork =
+        [(0, 2, 1), (1, 2, u32::MAX - 1), (2, 3, u32::MAX / 2)]
+            .into_iter()
+            .collect();
     let ex = SsfExtractor::new(SsfConfig::new(4));
     let f = ex.extract(&g, 0, 1, u32::MAX);
     assert!(f.values().iter().all(|v| v.is_finite()));

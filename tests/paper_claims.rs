@@ -38,7 +38,10 @@ fn local_indices_cannot_separate_celebrities_from_fans() {
         local::common_neighbors(&stat, a, b),
         local::common_neighbors(&stat, x, y)
     );
-    assert_eq!(local::adamic_adar(&stat, a, b), local::adamic_adar(&stat, x, y));
+    assert_eq!(
+        local::adamic_adar(&stat, a, b),
+        local::adamic_adar(&stat, x, y)
+    );
     assert_eq!(
         local::resource_allocation(&stat, a, b),
         local::resource_allocation(&stat, x, y)

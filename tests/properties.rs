@@ -10,7 +10,10 @@ use ssf_repro::ssf_core::{
 use ssf_repro::ssf_eval::{Split, SplitConfig};
 
 /// Strategy: a connected-ish random multigraph on up to `n` nodes.
-fn network(n: NodeId, max_links: usize) -> impl Strategy<Value = DynamicNetwork> {
+fn network(
+    n: NodeId,
+    max_links: usize,
+) -> impl Strategy<Value = DynamicNetwork> {
     prop::collection::vec(
         (0..n, 0..n, 1..20u32).prop_filter("no self-loops", |(u, v, _)| u != v),
         2..max_links,

@@ -1,0 +1,188 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the tiny subset of criterion's API its benches use: `Criterion`,
+//! `benchmark_group` / `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. Each benchmark runs a short warmup plus a
+//! fixed number of timed iterations and prints mean time per iteration —
+//! enough to eyeball regressions, with none of upstream's statistics.
+
+// API-compatibility shim: mirror the upstream names verbatim, even where
+// clippy would restyle them.
+#![allow(clippy::all)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Opaque value barrier; forwards to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendering as the parameter itself.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    iters: u32,
+    last_nanos_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f` over warmup + measured iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup / fault-in
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.last_nanos_per_iter =
+            start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+fn report(label: &str, nanos: f64) {
+    let (value, unit) = if nanos >= 1e9 {
+        (nanos / 1e9, "s")
+    } else if nanos >= 1e6 {
+        (nanos / 1e6, "ms")
+    } else if nanos >= 1e3 {
+        (nanos / 1e3, "µs")
+    } else {
+        (nanos, "ns")
+    };
+    println!("bench {label:<40} {value:10.2} {unit}/iter");
+}
+
+/// Benchmark registry and driver.
+pub struct Criterion {
+    iters: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `--test` (as passed by `cargo test --benches`) keeps runs short.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            iters: if test_mode { 1 } else { 10 },
+        }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.iters,
+            last_nanos_per_iter: 0.0,
+        };
+        f(&mut b);
+        report(name, b.last_nanos_per_iter);
+        self
+    }
+
+    /// Opens a named group of parameterized benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            iters: self.iters,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup {
+    name: String,
+    iters: u32,
+}
+
+impl BenchmarkGroup {
+    /// Runs one benchmark of the group with an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.iters,
+            last_nanos_per_iter: 0.0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), b.last_nanos_per_iter);
+        self
+    }
+
+    /// Finishes the group (upstream flushes reports here; a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running the listed benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("sum_1k", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        let mut group = c.benchmark_group("param");
+        for n in [10u64, 100] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(n),
+                &n,
+                |b, &n| b.iter(|| (0..n).product::<u64>()),
+            );
+        }
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+    }
+}

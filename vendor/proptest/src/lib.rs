@@ -1,0 +1,585 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendors the
+//! subset of proptest's API the workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_filter` / `boxed`,
+//! range and tuple strategies, `prop::collection::vec`, `Just`, `any`,
+//! the `proptest!` / `prop_oneof!` macros and the `prop_assert*` family.
+//!
+//! Differences from upstream, deliberately accepted:
+//! * **No shrinking** — a failing case reports the case index and seed;
+//!   inputs are re-derivable by rerunning the deterministic generator.
+//! * **Deterministic seeding** — each test derives its stream from the
+//!   test name, so failures reproduce across runs and machines.
+//! * **`prop_assume!` skips** the case instead of resampling it.
+
+// API-compatibility shim: mirror the upstream names verbatim, even where
+// clippy would restyle them.
+#![allow(clippy::all)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod strategy {
+    use super::TestRng;
+
+    /// A generator of values of type `Value`.
+    ///
+    /// `gen_value` returns `None` when a filter rejected the draw; the
+    /// runner retries rejected draws a bounded number of times.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value, or `None` on filter rejection.
+        fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Rejects values failing `pred`; `reason` is reported when the
+        /// rejection budget is exhausted.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            reason: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                inner: self,
+                reason,
+                pred,
+            }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<V> {
+            (**self).gen_value(rng)
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<O> {
+            self.inner.gen_value(rng).map(&self.f)
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        #[allow(dead_code)]
+        reason: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            self.inner.gen_value(rng).filter(|v| (self.pred)(v))
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union; panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs alternatives");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<V> {
+            let i = rng.below(self.options.len());
+            self.options[i].gen_value(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                    debug_assert!(self.start < self.end);
+                    let span = (self.end as u128) - (self.start as u128);
+                    Some(self.start + ((rng.next() as u128 * span) >> 64) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize);
+
+    impl Strategy for ::std::ops::Range<f64> {
+        type Value = f64;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<f64> {
+            Some(self.start + (self.end - self.start) * rng.unit_f64())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn gen_value(
+                    &self,
+                    rng: &mut TestRng,
+                ) -> Option<Self::Value> {
+                    let ($($name,)+) = self;
+                    Some(($($name.gen_value(rng)?,)+))
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy (returned by [`any`]).
+        fn arbitrary() -> ArbitraryStrategy<Self>;
+    }
+
+    /// Marker strategy for [`Arbitrary`] types.
+    pub struct ArbitraryStrategy<T> {
+        gen: fn(&mut TestRng) -> T,
+    }
+
+    impl<T> Strategy for ArbitraryStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<T> {
+            Some((self.gen)(rng))
+        }
+    }
+
+    /// The canonical strategy for `T`, mirroring `proptest::arbitrary::any`.
+    pub fn any<T: Arbitrary>() -> ArbitraryStrategy<T> {
+        T::arbitrary()
+    }
+
+    macro_rules! arbitrary_impl {
+        ($t:ty, $gen:expr) => {
+            impl Arbitrary for $t {
+                fn arbitrary() -> ArbitraryStrategy<$t> {
+                    ArbitraryStrategy { gen: $gen }
+                }
+            }
+        };
+    }
+
+    arbitrary_impl!(bool, |rng| rng.next() & 1 == 1);
+    arbitrary_impl!(u8, |rng| rng.next() as u8);
+    arbitrary_impl!(u16, |rng| rng.next() as u16);
+    arbitrary_impl!(u32, |rng| rng.next() as u32);
+    arbitrary_impl!(u64, |rng| rng.next());
+    arbitrary_impl!(usize, |rng| rng.next() as usize);
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Vector length specification: an exact `usize` or a `Range<usize>`.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for ::std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.start + rng.below(self.end - self.start)
+        }
+    }
+
+    /// Strategy for vectors of values drawn from `element`.
+    pub struct VecStrategy<S, L> {
+        element: S,
+        len: L,
+    }
+
+    /// `prop::collection::vec(element, len)`.
+    pub fn vec<S: Strategy, L: SizeRange>(
+        element: S,
+        len: L,
+    ) -> VecStrategy<S, L> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = self.len.pick(rng);
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Retry per element so sparse filters inside `vec` don't
+                // reject whole collections.
+                let v = (0..100).find_map(|_| self.element.gen_value(rng))?;
+                out.push(v);
+            }
+            Some(out)
+        }
+    }
+}
+
+/// `prop::collection` / future `prop::*` namespaces, as re-exported by the
+/// upstream prelude.
+pub mod prop {
+    pub use super::collection;
+}
+
+pub mod test_runner {
+    use super::TestRng;
+
+    /// Runner configuration (`cases` is the only knob the workspace uses).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    /// A failed property assertion.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: String) -> Self {
+            TestCaseError(msg)
+        }
+
+        /// The failure message.
+        pub fn message(&self) -> &str {
+            &self.0
+        }
+    }
+
+    /// Per-test driver: owns the RNG stream and the case budget.
+    pub struct TestRunner {
+        rng: TestRng,
+        cases: u32,
+        name: &'static str,
+    }
+
+    impl TestRunner {
+        /// Creates a runner whose stream is derived from the test name, so
+        /// every run draws the same inputs.
+        pub fn new(config: Config, name: &'static str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRunner {
+                rng: TestRng::seed(seed),
+                cases: config.cases,
+                name,
+            }
+        }
+
+        /// Number of cases to run.
+        pub fn cases(&self) -> u32 {
+            self.cases
+        }
+
+        /// Draws one input from `strategy`, retrying bounded rejections.
+        pub fn generate<S: super::strategy::Strategy>(
+            &mut self,
+            strategy: &S,
+        ) -> S::Value {
+            for _ in 0..1000 {
+                if let Some(v) = strategy.gen_value(&mut self.rng) {
+                    return v;
+                }
+            }
+            panic!("{}: strategy rejected 1000 consecutive draws", self.name);
+        }
+    }
+}
+
+/// The deterministic RNG behind all strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    fn seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next(&mut self) -> u64 {
+        self.0.gen_range(0..u64::MAX)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.0.gen_range(0.0..1.0)
+    }
+
+    /// Uniform index below `n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            self.0.gen_range(0..n)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
+        proptest,
+    };
+}
+
+/// Property-test entry point; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut runner =
+                $crate::test_runner::TestRunner::new(config, stringify!($name));
+            for case in 0..runner.cases() {
+                $(let $arg = {
+                    let strategy = $strat;
+                    runner.generate(&strategy)
+                };)+
+                let outcome: ::std::result::Result<
+                    (),
+                    $crate::test_runner::TestCaseError,
+                > = (move || {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "property {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        runner.cases(),
+                        e.message(),
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($s)),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), a, b
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a != b,
+            "{}\n  both: {:?}",
+            format!($($fmt)+), a
+        );
+    }};
+}
+
+/// Skips the current case when the assumption fails (upstream resamples;
+/// this stand-in counts the case as passed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_draw_in_bounds() {
+        let mut runner = crate::test_runner::TestRunner::new(
+            ProptestConfig::with_cases(10),
+            "strategies_draw_in_bounds",
+        );
+        for _ in 0..200 {
+            let x = runner.generate(&(3..9u32));
+            assert!((3..9).contains(&x));
+            let (a, b) = runner.generate(&(0..5u32, -1.0..1.0f64));
+            assert!(a < 5 && (-1.0..1.0).contains(&b));
+            let v = runner.generate(&prop::collection::vec(0..100usize, 2..6));
+            assert!((2..6).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 100));
+            let filtered = runner
+                .generate(&(0..10u32).prop_filter("even", |n| n % 2 == 0));
+            assert_eq!(filtered % 2, 0);
+            let mapped =
+                runner.generate(&(0..10u32).prop_map(|n| n as f64 + 0.5));
+            assert!(mapped.fract() == 0.5);
+            let chosen = runner
+                .generate(&prop_oneof![Just(1u32), (5..7u32).prop_map(|x| x),]);
+            assert!(chosen == 1 || (5..7).contains(&chosen));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// The macro pipeline itself: args, filters, asserts, assume.
+        #[test]
+        fn macro_roundtrip(
+            xs in prop::collection::vec(0..50u32, 1..10),
+            flag in any::<bool>(),
+        ) {
+            prop_assume!(!xs.is_empty());
+            let doubled: Vec<u32> = xs.iter().map(|x| x * 2).collect();
+            prop_assert_eq!(doubled.len(), xs.len());
+            prop_assert!(doubled.iter().all(|d| d % 2 == 0), "parity");
+            if flag {
+                prop_assert_ne!(doubled.len(), 0);
+            }
+        }
+    }
+}
