@@ -1,0 +1,236 @@
+//! Batch-scoring throughput benchmark: amortized `score_batch` vs the
+//! per-pair `score` path, on a ~1k-node generated HubDominated network.
+//!
+//! The workload is the recommendation shape from the paper's
+//! introduction: a set of focal users each scored against many
+//! candidates, so batches share endpoints and repeat pairs — exactly
+//! what the graph-versioned extraction cache amortizes.
+//!
+//! Emits machine-readable `BENCH_batch_scoring.json` (pairs/sec for
+//! each path, cache hit rate, p50/p99 per-pair latency) and asserts
+//! that cached and uncached scores are bit-identical.
+//!
+//! Run: `cargo run -p ssf-bench --release --bin batch_scoring
+//!       [--smoke] [--seed <n>] [--out <path>]`
+
+use std::fs;
+use std::time::Instant;
+
+use datasets::{generate, DatasetSpec};
+use dyngraph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssf_repro::methods::MethodOptions;
+use ssf_repro::stream::{OnlineLinkPredictor, OnlinePredictorConfig};
+
+/// Per-path timing summary. Latencies are per pair, in microseconds;
+/// for the batch paths they are measured over chunks of
+/// [`CHUNK`] pairs and divided down.
+struct PathTiming {
+    pairs_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+const CHUNK: usize = 64;
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn summarize(per_pair_us: &mut [f64], total_secs: f64, n: usize) -> PathTiming {
+    per_pair_us.sort_by(f64::total_cmp);
+    PathTiming {
+        pairs_per_sec: n as f64 / total_secs,
+        p50_us: percentile(per_pair_us, 0.50),
+        p99_us: percentile(per_pair_us, 0.99),
+    }
+}
+
+/// Times the per-pair `score` path, one call per pair.
+fn run_per_pair(
+    p: &OnlineLinkPredictor,
+    pairs: &[(NodeId, NodeId)],
+) -> (Vec<Option<f64>>, PathTiming) {
+    let mut lat = Vec::with_capacity(pairs.len());
+    let mut out = Vec::with_capacity(pairs.len());
+    let start = Instant::now();
+    for &(u, v) in pairs {
+        let t0 = Instant::now();
+        out.push(p.score(u, v));
+        lat.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    let total = start.elapsed().as_secs_f64();
+    (out, summarize(&mut lat, total, pairs.len()))
+}
+
+/// Times `score_batch` in chunks of [`CHUNK`] pairs.
+fn run_batch(
+    p: &mut OnlineLinkPredictor,
+    pairs: &[(NodeId, NodeId)],
+) -> (Vec<Option<f64>>, PathTiming) {
+    let mut lat = Vec::new();
+    let mut out = Vec::with_capacity(pairs.len());
+    let start = Instant::now();
+    for chunk in pairs.chunks(CHUNK) {
+        let t0 = Instant::now();
+        out.extend(p.score_batch(chunk));
+        let us = t0.elapsed().as_secs_f64() * 1e6 / chunk.len() as f64;
+        lat.extend(std::iter::repeat_n(us, chunk.len()));
+    }
+    let total = start.elapsed().as_secs_f64();
+    (out, summarize(&mut lat, total, pairs.len()))
+}
+
+fn timing_json(name: &str, t: &PathTiming) -> String {
+    format!(
+        "  \"{name}\": {{\n    \"pairs_per_sec\": {:.1},\n    \
+         \"p50_us\": {:.2},\n    \"p99_us\": {:.2}\n  }}",
+        t.pairs_per_sec, t.p50_us, t.p99_us
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut seed = 7u64;
+    let mut out_path = String::from("BENCH_batch_scoring.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                let v = it.next().expect("--seed requires a value");
+                seed = v.parse().expect("--seed must be an integer");
+            }
+            "--out" => {
+                out_path = it.next().expect("--out requires a value").clone();
+            }
+            _ => {}
+        }
+    }
+
+    // Prosper scaled to ~1k nodes (smoke: ~250) — HubDominated topology,
+    // so candidate pairs concentrate around hubs and share endpoints.
+    let spec = if smoke {
+        DatasetSpec::prosper().scaled(0.2)
+    } else {
+        DatasetSpec::prosper().scaled(0.8)
+    };
+    let g = generate(&spec, seed);
+    println!(
+        "network: {} nodes, {} links ({})",
+        g.node_count(),
+        g.link_count(),
+        spec.name
+    );
+
+    // Ingest the whole stream without intermediate refits, then fit once.
+    let mut p = OnlineLinkPredictor::new(OnlinePredictorConfig {
+        method: MethodOptions {
+            seed,
+            nm_epochs: if smoke { 15 } else { 40 },
+            ..MethodOptions::default()
+        },
+        refit_every: u32::MAX,
+        min_positives: if smoke { 20 } else { 60 },
+        history_folds: 0,
+        ..OnlinePredictorConfig::default()
+    });
+    let mut links: Vec<_> = g.links().collect();
+    links.sort_by_key(|l| l.t);
+    for l in links {
+        p.observe(l.u, l.v, l.t);
+    }
+    p.refit().expect("benchmark network must support a fit");
+
+    // Recommendation-shaped batch: focal nodes × candidates, shuffled-ish
+    // by the RNG, with every 4th pair repeating an earlier one.
+    let n = p.network().node_count() as NodeId;
+    let (focals, cands) = if smoke { (16, 24) } else { (48, 64) };
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::with_capacity(focals * cands);
+    for _ in 0..focals {
+        let u = rng.gen_range(0..n);
+        for _ in 0..cands {
+            let pair = if pairs.len() % 4 == 3 && !pairs.is_empty() {
+                pairs[rng.gen_range(0..pairs.len())]
+            } else {
+                (u, rng.gen_range(0..n))
+            };
+            pairs.push(pair);
+        }
+    }
+    println!("scoring {} pairs", pairs.len());
+
+    let (base, per_pair) = run_per_pair(&p, &pairs);
+    let (cold_scores, cold) = run_batch(&mut p, &pairs);
+    let (warm_scores, warm) = run_batch(&mut p, &pairs);
+    let stats = p.cache_stats();
+
+    // Bit-identity: every batch slot must equal the per-pair path.
+    for (i, (b, s)) in cold_scores.iter().zip(&base).enumerate() {
+        let same = match (b, s) {
+            (Some(b), Some(s)) => b.to_bits() == s.to_bits(),
+            (None, None) => true,
+            _ => false,
+        };
+        assert!(same, "pair {:?} diverged: {b:?} vs {s:?}", pairs[i]);
+    }
+    assert_eq!(cold_scores, warm_scores, "warm batch changed scores");
+
+    let speedup_warm = warm.pairs_per_sec / per_pair.pairs_per_sec;
+    let speedup_cold = cold.pairs_per_sec / per_pair.pairs_per_sec;
+    println!(
+        "per-pair: {:>9.1} pairs/s   (p50 {:.1}us, p99 {:.1}us)",
+        per_pair.pairs_per_sec, per_pair.p50_us, per_pair.p99_us
+    );
+    println!(
+        "batch cold: {:>7.1} pairs/s   ({speedup_cold:.2}x)",
+        cold.pairs_per_sec
+    );
+    println!(
+        "batch warm: {:>7.1} pairs/s   ({speedup_warm:.2}x)",
+        warm.pairs_per_sec
+    );
+    println!(
+        "cache: {} ball hits / {} misses, {} pair hits / {} misses \
+         (hit rate {:.3})",
+        stats.ball_hits,
+        stats.ball_misses,
+        stats.pair_hits,
+        stats.pair_misses,
+        stats.hit_rate()
+    );
+
+    let json = format!(
+        "{{\n  \"spec\": \"{}\",\n  \"smoke\": {smoke},\n  \
+         \"seed\": {seed},\n  \"nodes\": {},\n  \"links\": {},\n  \
+         \"pairs\": {},\n{},\n{},\n{},\n  \
+         \"speedup_batch_cold\": {speedup_cold:.3},\n  \
+         \"speedup_batch_warm\": {speedup_warm:.3},\n  \"cache\": {{\n    \
+         \"ball_hits\": {},\n    \"ball_misses\": {},\n    \
+         \"pair_hits\": {},\n    \"pair_misses\": {},\n    \
+         \"invalidations\": {},\n    \"hit_rate\": {:.4}\n  }},\n  \
+         \"bit_identical\": true\n}}\n",
+        spec.name,
+        g.node_count(),
+        g.link_count(),
+        pairs.len(),
+        timing_json("per_pair", &per_pair),
+        timing_json("batch_cold", &cold),
+        timing_json("batch_warm", &warm),
+        stats.ball_hits,
+        stats.ball_misses,
+        stats.pair_hits,
+        stats.pair_misses,
+        stats.invalidations,
+        stats.hit_rate(),
+    );
+    fs::write(&out_path, json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}

@@ -49,7 +49,7 @@ impl Link {
 /// assert_eq!(g.link_count(), 3);
 /// assert_eq!(g.neighbors(1), &[0, 2]);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct DynamicNetwork {
     /// `adj[u]` holds `(neighbor, timestamp)` for every incident link; each
     /// undirected link appears in both endpoint lists.
@@ -60,6 +60,24 @@ pub struct DynamicNetwork {
     num_links: usize,
     min_ts: Timestamp,
     max_ts: Timestamp,
+    /// Monotone mutation counter: bumped whenever the node set grows or a
+    /// link is accepted. Downstream caches key derived results on it (see
+    /// `ssf-core`'s extraction cache); any bump invalidates them.
+    revision: u64,
+}
+
+/// Equality compares graph *content* only; the [`DynamicNetwork::revision`]
+/// counter is an implementation detail of cache invalidation and two
+/// networks holding the same links are equal regardless of the mutation
+/// history that produced them.
+impl PartialEq for DynamicNetwork {
+    fn eq(&self, other: &Self) -> bool {
+        self.adj == other.adj
+            && self.distinct == other.distinct
+            && self.num_links == other.num_links
+            && self.min_ts == other.min_ts
+            && self.max_ts == other.max_ts
+    }
 }
 
 impl DynamicNetwork {
@@ -102,12 +120,22 @@ impl DynamicNetwork {
         (!self.is_empty()).then_some(self.max_ts)
     }
 
+    /// The graph-version counter: strictly increases on every accepted
+    /// mutation (node growth or link insertion) and never otherwise.
+    ///
+    /// Extraction caches memoize per-pair results keyed on this value; a
+    /// stale revision means every cached subgraph may be invalid.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
     /// Ensures node `id` exists, growing the node set if needed.
     pub fn ensure_node(&mut self, id: NodeId) {
         let want = id as usize + 1;
         if self.adj.len() < want {
             self.adj.resize_with(want, Vec::new);
             self.distinct.resize_with(want, Vec::new);
+            self.revision += 1;
         }
     }
 
@@ -156,6 +184,7 @@ impl DynamicNetwork {
             self.max_ts = self.max_ts.max(t);
         }
         self.num_links += 1;
+        self.revision += 1;
         Ok(())
     }
 
@@ -436,6 +465,34 @@ mod tests {
         let mut g = triangle();
         g.extend([(0, 3, 4)]);
         assert_eq!(g.neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn revision_bumps_on_every_mutation_only() {
+        let mut g = DynamicNetwork::new();
+        assert_eq!(g.revision(), 0);
+        g.add_link(0, 1, 1); // grows nodes + adds link
+        let r1 = g.revision();
+        assert!(r1 >= 2);
+        g.add_link(0, 1, 2); // existing nodes: link bump only
+        assert_eq!(g.revision(), r1 + 1);
+        g.ensure_node(0); // already present: no bump
+        assert_eq!(g.revision(), r1 + 1);
+        g.ensure_node(9); // growth bump
+        assert_eq!(g.revision(), r1 + 2);
+        let r = g.revision();
+        assert!(g.try_add_link(3, 3, 5).is_err()); // rejected: no bump
+        assert_eq!(g.revision(), r);
+    }
+
+    #[test]
+    fn equality_ignores_revision() {
+        let a = triangle();
+        let mut b = DynamicNetwork::new();
+        b.ensure_node(2); // extra mutation shifts the revision
+        b.extend([(0, 1, 1), (1, 2, 2), (2, 0, 3)]);
+        assert_ne!(a.revision(), b.revision());
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! Graph-versioned extraction cache: the amortization layer of the batch
+//! scoring engine.
+//!
+//! SSF extraction recomputes h-hop frontiers and full pipeline runs from
+//! scratch for every candidate pair, yet pairs scored in one batch share
+//! endpoints (so their BFS balls coincide) and pairs re-scored between
+//! graph updates share everything. The cache memoizes both levels:
+//!
+//! * **per-endpoint balls** — `(node, h) →` bounded BFS frontier, the unit
+//!   [`HopSubgraph::from_balls`] composes pairs from, and
+//! * **per-pair K-structure results** — `(a, b) →` the selected
+//!   [`KStructureSubgraph`] (everything *upstream* of the prediction time
+//!   `l_t`; the cheap `K×K` matrix fill is redone per call so one cached
+//!   pair serves any `l_t`).
+//!
+//! Invalidation is by **graph revision**: [`dyngraph::DynamicNetwork`]
+//! bumps a monotone counter on every accepted mutation, and
+//! [`ExtractionCache::sync`] drops all memoized state whenever the observed
+//! revision moves. Entries are therefore keyed `(pair, revision)` in
+//! effect, without storing the revision per entry.
+//!
+//! Cached and uncached extractions are **bit-identical** by construction:
+//! both route through the same canonical-order subgraph assembly and the
+//! same refinement code, and reusing scratch buffers or memoized balls
+//! never changes any intermediate value (`tests/properties.rs` proves this
+//! end to end against live `observe`/`score_batch` interleavings).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Arc;
+
+use dyngraph::{DynamicNetwork, NodeId};
+
+use crate::hop::{ball, HopScratch};
+use crate::kstructure::KStructureSubgraph;
+use crate::palette::WlScratch;
+use crate::structure::StructureScratch;
+
+/// Reusable buffers for the whole extraction pipeline, threaded through
+/// hop extraction, structure combination, and Palette-WL refinement.
+#[derive(Debug, Clone, Default)]
+pub struct ExtractScratch {
+    /// BFS + ball-merge buffers.
+    pub hop: HopScratch,
+    /// Algorithm 1 fixpoint buffers.
+    pub structure: StructureScratch,
+    /// Palette-WL buffers (notably the prime table).
+    pub wl: WlScratch,
+}
+
+/// A bounded-size memo with LRU-style segmented eviction.
+///
+/// Entries are stamped with a monotone tick on insert and on every hit;
+/// when the map reaches capacity the oldest half (by stamp) is dropped in
+/// one `O(n)` sweep. This trades exact LRU order for zero per-entry list
+/// maintenance — eviction affects only performance, never output, because
+/// cached and recomputed values are identical.
+#[derive(Debug, Clone)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, (u64, V)>,
+    tick: u64,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::new(),
+            tick: 0,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops every entry (stamps restart; capacity is kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Looks up `key`, refreshing its eviction stamp on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(stamp, v)| {
+            *stamp = tick;
+            &*v
+        })
+    }
+
+    /// Inserts `key → value`, evicting the stalest half first when full.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            let mut stamps: Vec<u64> =
+                self.map.values().map(|&(s, _)| s).collect();
+            stamps.sort_unstable();
+            // Keep the newer half: drop stamps up to the lower median.
+            let cutoff = stamps[(stamps.len() - 1) / 2];
+            self.map.retain(|_, &mut (s, _)| s > cutoff);
+        }
+        self.tick += 1;
+        self.map.insert(key, (self.tick, value));
+    }
+}
+
+/// The `l_t`-independent prefix of one pair's extraction: Algorithm 3
+/// lines 1–8 (hop growth, structure combination, Palette-WL selection).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedPair {
+    /// The selected K-structure subgraph.
+    pub ks: KStructureSubgraph,
+    /// The hop radius the adaptive growth stopped at.
+    pub h_used: u32,
+    /// `|V_S|` of the final structure subgraph.
+    pub structure_nodes: usize,
+}
+
+/// Hit/miss/invalidation counters of an [`ExtractionCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Per-endpoint ball lookups served from the memo.
+    pub ball_hits: u64,
+    /// Per-endpoint ball lookups that ran a fresh BFS.
+    pub ball_misses: u64,
+    /// Per-pair lookups served from the memo.
+    pub pair_hits: u64,
+    /// Per-pair lookups that ran the full pipeline.
+    pub pair_misses: u64,
+    /// Times the graph revision moved and the memos were dropped.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Fraction of all lookups (balls + pairs) served from the memo;
+    /// 0.0 when nothing was looked up yet.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.ball_hits + self.pair_hits;
+        let total = hits + self.ball_misses + self.pair_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
+/// The graph-versioned extraction cache (see the [module docs](self)).
+///
+/// One cache serves one [`DynamicNetwork`] value over time: `sync` tracks
+/// that network's revision counter. Pair keys are directional — `(a, b)`
+/// and `(b, a)` are distinct targets because the endpoints pin Palette-WL
+/// orders 1 and 2 respectively.
+/// A memoized per-endpoint h-hop frontier: `(node, min-distance)` pairs
+/// in BFS layer order, the source first at distance 0.
+pub type CachedBall = Arc<Vec<(NodeId, u32)>>;
+
+#[derive(Debug, Clone)]
+pub struct ExtractionCache {
+    revision: u64,
+    /// `(k, max_h)` the pair memo was filled under; balls are
+    /// config-independent and survive config changes.
+    config_key: (usize, u32),
+    balls: LruCache<(NodeId, u32), CachedBall>,
+    pairs: LruCache<(NodeId, NodeId), Arc<CachedPair>>,
+    pub(crate) scratch: ExtractScratch,
+    pub(crate) stats: CacheStats,
+}
+
+impl Default for ExtractionCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExtractionCache {
+    /// Default memo capacities: 8192 balls, 8192 pairs.
+    pub fn new() -> Self {
+        Self::with_capacity(8192, 8192)
+    }
+
+    /// Creates a cache with explicit memo capacities.
+    pub fn with_capacity(balls: usize, pairs: usize) -> Self {
+        ExtractionCache {
+            revision: 0,
+            config_key: (0, 0),
+            balls: LruCache::new(balls),
+            pairs: LruCache::new(pairs),
+            scratch: ExtractScratch::default(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Counters accumulated since construction (they survive
+    /// invalidation — they describe the cache, not the current graph).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Live entry counts `(balls, pairs)`.
+    pub fn len(&self) -> (usize, usize) {
+        (self.balls.len(), self.pairs.len())
+    }
+
+    /// Whether both memos are empty.
+    pub fn is_empty(&self) -> bool {
+        self.balls.is_empty() && self.pairs.is_empty()
+    }
+
+    /// Re-keys the cache to `g`'s current revision, dropping every memo
+    /// entry if the graph changed since the last sync.
+    pub fn sync(&mut self, g: &DynamicNetwork) {
+        let rev = g.revision();
+        if rev != self.revision {
+            if !self.is_empty() {
+                self.stats.invalidations += 1;
+            }
+            self.balls.clear();
+            self.pairs.clear();
+            self.revision = rev;
+        }
+    }
+
+    /// Drops the pair memo if the extractor configuration it was filled
+    /// under differs (balls survive: they depend only on the graph).
+    pub(crate) fn sync_config(&mut self, k: usize, max_h: u32) {
+        if self.config_key != (k, max_h) {
+            self.pairs.clear();
+            self.config_key = (k, max_h);
+        }
+    }
+
+    /// Memoized bounded BFS ball of `src` at radius `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` is outside `g` (callers validate endpoints first).
+    pub(crate) fn ball(
+        &mut self,
+        g: &DynamicNetwork,
+        src: NodeId,
+        h: u32,
+    ) -> CachedBall {
+        if let Some(b) = self.balls.get(&(src, h)) {
+            self.stats.ball_hits += 1;
+            return Arc::clone(b);
+        }
+        self.stats.ball_misses += 1;
+        let b = Arc::new(ball(g, src, h, &mut self.scratch.hop));
+        self.balls.insert((src, h), Arc::clone(&b));
+        b
+    }
+
+    /// Memoized pair lookup (no recording of misses: the caller decides
+    /// whether a miss leads to a computation).
+    pub(crate) fn pair(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+    ) -> Option<Arc<CachedPair>> {
+        self.pairs.get(&(a, b)).map(Arc::clone)
+    }
+
+    /// Stores a freshly computed pair result.
+    pub(crate) fn insert_pair(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        pair: Arc<CachedPair>,
+    ) {
+        self.pairs.insert((a, b), pair);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_get_and_insert_round_trip() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        assert!(c.is_empty());
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(&10));
+        assert_eq!(c.get(&3), None);
+        assert_eq!(c.len(), 2);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries() {
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        for i in 0..4 {
+            c.insert(i, i);
+        }
+        // Touch 0 and 1 so 2 and 3 are the stale half.
+        assert!(c.get(&0).is_some());
+        assert!(c.get(&1).is_some());
+        c.insert(4, 4);
+        assert!(c.len() <= 4);
+        assert_eq!(c.get(&0), Some(&0));
+        assert_eq!(c.get(&1), Some(&1));
+        assert_eq!(c.get(&4), Some(&4));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&3), None);
+    }
+
+    #[test]
+    fn lru_capacity_one_still_works() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        assert_eq!(c.get(&2), Some(&2));
+        assert_eq!(c.get(&1), None);
+    }
+
+    #[test]
+    fn lru_reinsert_replaces_without_eviction() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        c.insert(1, 11);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.get(&2), Some(&2));
+    }
+
+    #[test]
+    fn sync_invalidates_on_revision_change_only() {
+        let mut g = DynamicNetwork::new();
+        g.extend([(0, 1, 1), (1, 2, 2)]);
+        let mut cache = ExtractionCache::new();
+        cache.sync(&g);
+        let _ = cache.ball(&g, 0, 1);
+        assert_eq!(cache.len().0, 1);
+        cache.sync(&g); // same revision: memo survives
+        assert_eq!(cache.len().0, 1);
+        g.add_link(0, 2, 3);
+        cache.sync(&g); // revision moved: memo dropped
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn ball_memo_hits_and_misses_are_counted() {
+        let mut g = DynamicNetwork::new();
+        g.extend([(0, 1, 1), (1, 2, 2)]);
+        let mut cache = ExtractionCache::new();
+        cache.sync(&g);
+        let fresh = cache.ball(&g, 1, 2);
+        let memo = cache.ball(&g, 1, 2);
+        assert_eq!(fresh, memo);
+        assert_eq!(cache.stats().ball_misses, 1);
+        assert_eq!(cache.stats().ball_hits, 1);
+        assert!(cache.stats().hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn config_change_drops_pairs_but_keeps_balls() {
+        let mut g = DynamicNetwork::new();
+        g.extend([(0, 1, 1), (1, 2, 2)]);
+        let mut cache = ExtractionCache::new();
+        cache.sync(&g);
+        cache.sync_config(4, 10);
+        let _ = cache.ball(&g, 0, 1);
+        cache.insert_pair(
+            0,
+            1,
+            Arc::new(CachedPair {
+                ks: KStructureSubgraph::empty(3),
+                h_used: 1,
+                structure_nodes: 2,
+            }),
+        );
+        assert_eq!(cache.len(), (1, 1));
+        cache.sync_config(5, 10);
+        assert_eq!(cache.len(), (1, 0));
+    }
+}

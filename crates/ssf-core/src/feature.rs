@@ -1,12 +1,15 @@
 //! SSF extraction (Algorithm 3, Definitions 9–10, Eq. 4–5 of the paper).
 
+use std::sync::Arc;
+
 use dyngraph::{traversal, DynamicNetwork, NodeId, Timestamp};
 
+use crate::cache::{CachedPair, ExtractionCache};
 use crate::error::ExtractError;
 use crate::hop::HopSubgraph;
 use crate::influence::{normalized_influence, ExponentialDecay};
 use crate::kstructure::KStructureSubgraph;
-use crate::palette::palette_wl;
+use crate::palette::palette_wl_with_scratch;
 use crate::structure::StructureSubgraph;
 
 /// How an entry `A(m, n)` of the normalized K-structure-subgraph adjacency
@@ -248,31 +251,62 @@ impl SsfExtractor {
         l_t: Timestamp,
     ) -> Result<SsfFeature, ExtractError> {
         let (ks, h_used, structure_nodes) = self.try_k_structure(g, a, b)?;
+        Ok(self.feature_from_ks(&ks, h_used, structure_nodes, l_t))
+    }
+
+    /// [`SsfExtractor::try_extract`] against an [`ExtractionCache`]:
+    /// bit-identical output, with the `l_t`-independent pipeline prefix
+    /// served from (and stored into) the cache's pair memo and the h-hop
+    /// frontiers from its ball memo.
+    ///
+    /// The cache is synced to `g`'s revision and this extractor's
+    /// configuration first, so stale entries can never leak into a result.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SsfExtractor::try_extract`].
+    pub fn try_extract_cached(
+        &self,
+        g: &DynamicNetwork,
+        a: NodeId,
+        b: NodeId,
+        l_t: Timestamp,
+        cache: &mut ExtractionCache,
+    ) -> Result<SsfFeature, ExtractError> {
+        let p = self.try_k_structure_cached(g, a, b, cache)?;
+        Ok(self.feature_from_ks(&p.ks, p.h_used, p.structure_nodes, l_t))
+    }
+
+    /// Definitions 9–10 from an already-selected K-structure subgraph: the
+    /// cheap, `l_t`-dependent tail every caching layer re-runs per call.
+    fn feature_from_ks(
+        &self,
+        ks: &KStructureSubgraph,
+        h_used: u32,
+        structure_nodes: usize,
+        l_t: Timestamp,
+    ) -> SsfFeature {
         let k = self.config.k;
         let mut values = Vec::with_capacity(self.config.feature_dim());
         match self.config.encoding {
             EntryEncoding::InfluenceAndStructure => {
-                let infl = self.adjacency_matrix(
-                    &ks,
-                    l_t,
-                    EntryEncoding::LogInfluence,
-                );
+                let infl =
+                    self.adjacency_matrix(ks, l_t, EntryEncoding::LogInfluence);
                 unfold_upper_triangle(&infl, k, &mut values);
-                let bin =
-                    self.adjacency_matrix(&ks, l_t, EntryEncoding::Binary);
+                let bin = self.adjacency_matrix(ks, l_t, EntryEncoding::Binary);
                 unfold_upper_triangle(&bin, k, &mut values);
             }
             enc => {
-                let matrix = self.adjacency_matrix(&ks, l_t, enc);
+                let matrix = self.adjacency_matrix(ks, l_t, enc);
                 unfold_upper_triangle(&matrix, k, &mut values);
             }
         }
-        Ok(SsfFeature {
+        SsfFeature {
             values,
             k,
             h_used,
             structure_nodes,
-        })
+        }
     }
 
     /// Runs the pipeline up to K-structure-subgraph selection (Algorithm 3
@@ -306,18 +340,92 @@ impl SsfExtractor {
         a: NodeId,
         b: NodeId,
     ) -> Result<(KStructureSubgraph, u32, usize), ExtractError> {
+        HopSubgraph::validate(g, a, b)?;
+        // One code path for cached and uncached extraction: the uncached
+        // form simply runs against a throwaway cache, which is what makes
+        // "bit-identical" a structural guarantee instead of a test hope.
+        let mut cache = ExtractionCache::new();
+        let p = self.compute_pair(g, a, b, &mut cache);
+        Ok((p.ks, p.h_used, p.structure_nodes))
+    }
+
+    /// Cached form of [`SsfExtractor::try_k_structure`]: syncs `cache` to
+    /// `g`'s revision and this extractor's configuration, then serves the
+    /// pair from the memo or computes and stores it.
+    ///
+    /// Pair keys are directional: `(a, b)` pins Palette-WL orders 1/2 to
+    /// `a`/`b`, so `(b, a)` is a different target.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SsfExtractor::try_extract`].
+    pub fn try_k_structure_cached(
+        &self,
+        g: &DynamicNetwork,
+        a: NodeId,
+        b: NodeId,
+        cache: &mut ExtractionCache,
+    ) -> Result<Arc<CachedPair>, ExtractError> {
+        HopSubgraph::validate(g, a, b)?;
+        cache.sync(g);
+        cache.sync_config(self.config.k, self.config.max_h);
+        if let Some(p) = cache.pair(a, b) {
+            cache.stats.pair_hits += 1;
+            return Ok(p);
+        }
+        cache.stats.pair_misses += 1;
+        let p = Arc::new(self.compute_pair(g, a, b, cache));
+        cache.insert_pair(a, b, Arc::clone(&p));
+        Ok(p)
+    }
+
+    /// Algorithm 3 lines 1–8 against `cache`'s ball memo and scratch
+    /// buffers. Endpoints must already be validated.
+    fn compute_pair(
+        &self,
+        g: &DynamicNetwork,
+        a: NodeId,
+        b: NodeId,
+        cache: &mut ExtractionCache,
+    ) -> CachedPair {
         let k = self.config.k;
         let mut h = 1;
-        let mut hop = HopSubgraph::try_extract(g, a, b, h)?;
-        let mut s = StructureSubgraph::combine(&hop);
+        let ball_a = cache.ball(g, a, h);
+        let ball_b = cache.ball(g, b, h);
+        let mut hop = HopSubgraph::from_balls(
+            g,
+            a,
+            b,
+            h,
+            ball_a.as_slice(),
+            ball_b.as_slice(),
+            &mut cache.scratch.hop,
+        );
+        let mut s = StructureSubgraph::combine_with_scratch(
+            &hop,
+            &mut cache.scratch.structure,
+        );
         while s.node_count() < k && h < self.config.max_h {
             h += 1;
-            let grown = HopSubgraph::try_extract(g, a, b, h)?;
+            let ball_a = cache.ball(g, a, h);
+            let ball_b = cache.ball(g, b, h);
+            let grown = HopSubgraph::from_balls(
+                g,
+                a,
+                b,
+                h,
+                ball_a.as_slice(),
+                ball_b.as_slice(),
+                &mut cache.scratch.hop,
+            );
             if grown.node_count() == hop.node_count() {
                 break; // component exhausted
             }
             hop = grown;
-            s = StructureSubgraph::combine(&hop);
+            s = StructureSubgraph::combine_with_scratch(
+                &hop,
+                &mut cache.scratch.structure,
+            );
         }
         let adj: Vec<Vec<usize>> = (0..s.node_count())
             .map(|x| s.neighbors(x).to_vec())
@@ -336,15 +444,25 @@ impl SsfExtractor {
                 2 * d + u32::from(d >= 1 && !both)
             })
             .collect();
-        // Tiebreak for automorphic structure nodes: earliest BFS-discovered
-        // member first — the same discovery-order semantics WLF uses, which
+        // Tiebreak for automorphic structure nodes: earliest-ordered member
+        // first — canonical local ids sort by (distance, global id), which
         // keeps a slot's meaning stable across target links.
         let tiebreak: Vec<u64> = (0..s.node_count())
             .map(|x| s.members(x)[0] as u64)
             .collect();
-        let order = palette_wl(&adj, &dist, (0, 1), &tiebreak);
+        let order = palette_wl_with_scratch(
+            &adj,
+            &dist,
+            (0, 1),
+            &tiebreak,
+            &mut cache.scratch.wl,
+        );
         let node_count = s.node_count();
-        Ok((KStructureSubgraph::select(&s, &order, k), h, node_count))
+        CachedPair {
+            ks: KStructureSubgraph::select(&s, &order, k),
+            h_used: h,
+            structure_nodes: node_count,
+        }
     }
 
     /// Builds the dense `K×K` adjacency matrix `A` (Eq. 4) in row-major
@@ -582,6 +700,38 @@ mod tests {
             ex.extract(&base, 0, 1, 10).values(),
             ex.extract(&leaky, 0, 1, 10).values()
         );
+    }
+
+    #[test]
+    fn cached_extraction_is_bit_identical_to_plain() {
+        let g = chain_with_fan();
+        let ex = SsfExtractor::new(SsfConfig::new(5));
+        let mut cache = ExtractionCache::new();
+        let plain = ex.extract(&g, 0, 1, 10);
+        let cold = ex.try_extract_cached(&g, 0, 1, 10, &mut cache).unwrap();
+        let warm = ex.try_extract_cached(&g, 0, 1, 10, &mut cache).unwrap();
+        let bits = |f: &SsfFeature| -> Vec<u64> {
+            f.values().iter().map(|v| v.to_bits()).collect()
+        };
+        assert_eq!(bits(&cold), bits(&plain));
+        assert_eq!(bits(&warm), bits(&plain));
+        assert!(cache.stats().pair_hits >= 1);
+        // A second pair sharing endpoint 0 reuses its cached ball.
+        let _ = ex.try_extract_cached(&g, 0, 3, 10, &mut cache).unwrap();
+        assert!(cache.stats().ball_hits >= 1, "endpoint balls shared");
+    }
+
+    #[test]
+    fn cached_extraction_tracks_graph_mutations() {
+        let mut g = chain_with_fan();
+        let ex = SsfExtractor::new(SsfConfig::new(5));
+        let mut cache = ExtractionCache::new();
+        let before = ex.try_extract_cached(&g, 0, 1, 10, &mut cache).unwrap();
+        g.add_link(2, 3, 9); // new induced link inside the 1-hop subgraph
+        let after = ex.try_extract_cached(&g, 0, 1, 10, &mut cache).unwrap();
+        assert_eq!(after, ex.extract(&g, 0, 1, 10), "no stale result");
+        assert_ne!(before, after, "mutation must be visible");
+        assert_eq!(cache.stats().invalidations, 1);
     }
 
     #[test]

@@ -7,9 +7,85 @@
 
 use std::collections::HashMap;
 
-use dyngraph::{traversal, DynamicNetwork, NodeId, Timestamp};
+use dyngraph::{DynamicNetwork, NodeId, Timestamp};
 
 use crate::error::ExtractError;
+
+/// Reusable buffers for h-hop extraction: a stamped distance map (so the
+/// per-node state never needs clearing between runs), BFS frontiers, and
+/// the hash maps used to merge endpoint balls and re-index node ids.
+///
+/// One scratch serves any number of sequential extractions; a fresh
+/// default-constructed scratch produces bit-identical results to a reused
+/// one, so batch paths can thread a single instance through thousands of
+/// samples without changing any output.
+#[derive(Debug, Clone, Default)]
+pub struct HopScratch {
+    /// `stamp[n] == epoch` marks `dist[n]` as valid for the current run.
+    stamp: Vec<u64>,
+    dist: Vec<u32>,
+    epoch: u64,
+    frontier: Vec<NodeId>,
+    next: Vec<NodeId>,
+    merged: HashMap<NodeId, u32>,
+    local_of: HashMap<NodeId, usize>,
+}
+
+impl HopScratch {
+    fn begin(&mut self, nodes: usize) {
+        if self.stamp.len() < nodes {
+            self.stamp.resize(nodes, 0);
+            self.dist.resize(nodes, 0);
+        }
+        self.epoch += 1;
+    }
+}
+
+/// Computes the bounded BFS ball of one endpoint: every `(node, distance)`
+/// with `distance <= h` from `src`, in breadth-first discovery order
+/// (`src` itself first, at distance 0).
+///
+/// Balls are the unit of reuse of the extraction cache: the h-hop subgraph
+/// of a pair is assembled from the two endpoint balls, so pairs sharing an
+/// endpoint share its frontier computation.
+///
+/// # Panics
+///
+/// Panics if `src` is outside `g`.
+pub fn ball(
+    g: &DynamicNetwork,
+    src: NodeId,
+    h: u32,
+    scratch: &mut HopScratch,
+) -> Vec<(NodeId, u32)> {
+    assert!((src as usize) < g.node_count(), "ball source out of range");
+    scratch.begin(g.node_count());
+    let epoch = scratch.epoch;
+    let mut out = Vec::new();
+    scratch.stamp[src as usize] = epoch;
+    scratch.dist[src as usize] = 0;
+    out.push((src, 0));
+    scratch.frontier.clear();
+    scratch.frontier.push(src);
+    let mut depth = 0;
+    while !scratch.frontier.is_empty() && depth < h {
+        depth += 1;
+        scratch.next.clear();
+        for i in 0..scratch.frontier.len() {
+            let u = scratch.frontier[i];
+            for &v in g.neighbors(u) {
+                if scratch.stamp[v as usize] != epoch {
+                    scratch.stamp[v as usize] = epoch;
+                    scratch.dist[v as usize] = depth;
+                    out.push((v, depth));
+                    scratch.next.push(v);
+                }
+            }
+        }
+        std::mem::swap(&mut scratch.frontier, &mut scratch.next);
+    }
+    out
+}
 
 /// The h-hop subgraph of a target link, re-indexed to dense local ids.
 ///
@@ -62,6 +138,23 @@ impl HopSubgraph {
         b: NodeId,
         h: u32,
     ) -> Result<Self, ExtractError> {
+        Self::validate(g, a, b)?;
+        let mut scratch = HopScratch::default();
+        let ball_a = ball(g, a, h, &mut scratch);
+        let ball_b = ball(g, b, h, &mut scratch);
+        Ok(Self::from_balls(g, a, b, h, &ball_a, &ball_b, &mut scratch))
+    }
+
+    /// Checks that `(a, b)` is a valid target pair in `g`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`HopSubgraph::try_extract`].
+    pub fn validate(
+        g: &DynamicNetwork,
+        a: NodeId,
+        b: NodeId,
+    ) -> Result<(), ExtractError> {
         if a == b {
             return Err(ExtractError::DegenerateTarget { node: a });
         }
@@ -73,17 +166,61 @@ impl HopSubgraph {
                 });
             }
         }
-        // `bfs_bounded` reports sources first, so locals 0/1 are a/b. With
-        // duplicate-free sources the order is [a, b, ...frontier...].
-        let reached = traversal::bfs_bounded(g, &[a, b], h);
-        let mut global = Vec::with_capacity(reached.len());
-        let mut dist = Vec::with_capacity(reached.len());
-        let mut local_of: HashMap<NodeId, usize> =
-            HashMap::with_capacity(reached.len());
-        for &(node, d) in &reached {
-            local_of.insert(node, global.len());
-            global.push(node);
+        Ok(())
+    }
+
+    /// Assembles the h-hop subgraph from the two endpoint [`ball`]s.
+    ///
+    /// The joint distance of Eq. 1 is `min(d_a, d_b)`, which is exactly the
+    /// per-node minimum over the two balls, and the h-hop node set is their
+    /// union — so cached per-endpoint frontiers compose losslessly. Local
+    /// ids are canonical: 0 = `a`, 1 = `b`, then every other node sorted by
+    /// `(joint distance, global id)`. The canonical order is independent of
+    /// how the balls were produced, so cached and freshly-computed
+    /// extractions are bit-identical.
+    ///
+    /// Endpoints must already be validated (see [`HopSubgraph::validate`])
+    /// and each ball must belong to its endpoint at radius `h`.
+    pub fn from_balls(
+        g: &DynamicNetwork,
+        a: NodeId,
+        b: NodeId,
+        h: u32,
+        ball_a: &[(NodeId, u32)],
+        ball_b: &[(NodeId, u32)],
+        scratch: &mut HopScratch,
+    ) -> Self {
+        let merged = &mut scratch.merged;
+        merged.clear();
+        merged.reserve(ball_a.len() + ball_b.len());
+        for &(n, d) in ball_a.iter().chain(ball_b) {
+            merged
+                .entry(n)
+                .and_modify(|cur| *cur = (*cur).min(d))
+                .or_insert(d);
+        }
+        // Canonical local order: endpoints first, rest by (distance, id).
+        let mut rest: Vec<(u32, NodeId)> = merged
+            .iter()
+            .filter(|&(&n, _)| n != a && n != b)
+            .map(|(&n, &d)| (d, n))
+            .collect();
+        rest.sort_unstable();
+        let mut global = Vec::with_capacity(rest.len() + 2);
+        let mut dist = Vec::with_capacity(rest.len() + 2);
+        global.push(a);
+        dist.push(0);
+        global.push(b);
+        dist.push(0);
+        for &(d, n) in &rest {
+            global.push(n);
             dist.push(d);
+        }
+        let local_of = &mut scratch.local_of;
+        local_of.clear();
+        local_of.reserve(global.len());
+        for (i, &n) in global.iter().enumerate() {
+            local_of.insert(n, i);
         }
         let mut adj = vec![Vec::new(); global.len()];
         let mut links = 0;
@@ -102,13 +239,13 @@ impl HopSubgraph {
                 }
             }
         }
-        Ok(HopSubgraph {
+        HopSubgraph {
             global,
             dist,
             adj,
             h,
             links,
-        })
+        }
     }
 
     /// Number of nodes in the subgraph.

@@ -42,6 +42,7 @@
 //! assert_eq!(feature.values().len(), SsfConfig::new(5).feature_dim());
 //! ```
 
+pub mod cache;
 pub mod error;
 pub mod feature;
 pub mod hop;
@@ -53,11 +54,14 @@ pub mod roles;
 pub mod structure;
 pub mod viz;
 
+pub use cache::{
+    CacheStats, CachedPair, ExtractScratch, ExtractionCache, LruCache,
+};
 pub use error::ExtractError;
 pub use feature::{EntryEncoding, SsfConfig, SsfExtractor, SsfFeature};
-pub use hop::HopSubgraph;
+pub use hop::{HopScratch, HopSubgraph};
 pub use influence::{normalized_influence, ExponentialDecay};
 pub use kstructure::KStructureSubgraph;
 pub use pattern::{PatternMiner, PatternSignature};
 pub use roles::{NodeRole, RoleAnalysis};
-pub use structure::StructureSubgraph;
+pub use structure::{StructureScratch, StructureSubgraph};

@@ -34,6 +34,21 @@ pub fn first_primes(n: usize) -> Vec<u64> {
     primes
 }
 
+/// Reusable Palette-WL buffers, chiefly the trial-division prime table —
+/// the dominant per-call allocation cost when thousands of subgraphs are
+/// refined in a batch.
+///
+/// Like [`crate::HopScratch`], reuse never changes output: a fresh scratch
+/// and a warm one produce bit-identical orders.
+#[derive(Debug, Clone, Default)]
+pub struct WlScratch {
+    primes: Vec<u64>,
+    /// Per-node sorted neighbor colors of the current refinement round.
+    neigh: Vec<usize>,
+    /// Hash values of the current refinement round.
+    hash: Vec<f64>,
+}
+
 /// Runs Palette-WL color refinement and returns a unique 1-based order per
 /// node.
 ///
@@ -53,6 +68,28 @@ pub fn palette_wl(
     init_key: &[u32],
     pinned: (usize, usize),
     tiebreak: &[u64],
+) -> Vec<usize> {
+    palette_wl_with_scratch(
+        adj,
+        init_key,
+        pinned,
+        tiebreak,
+        &mut WlScratch::default(),
+    )
+}
+
+/// [`palette_wl`] with caller-provided reusable buffers; bit-identical
+/// output, amortized allocations.
+///
+/// # Panics
+///
+/// Same conditions as [`palette_wl`].
+pub fn palette_wl_with_scratch(
+    adj: &[Vec<usize>],
+    init_key: &[u32],
+    pinned: (usize, usize),
+    tiebreak: &[u64],
+    scratch: &mut WlScratch,
 ) -> Vec<usize> {
     let n = adj.len();
     assert_eq!(init_key.len(), n, "init_key length mismatch");
@@ -75,7 +112,14 @@ pub fn palette_wl(
     };
     let mut colors = dense_rank_by(n, |i, j| sort_key(i).cmp(&sort_key(j)));
 
-    let primes = first_primes(n);
+    let WlScratch {
+        primes,
+        neigh,
+        hash,
+    } = scratch;
+    if primes.len() < n {
+        *primes = first_primes(n);
+    }
     let ln_p = |c: usize| -> f64 { (primes[c - 1] as f64).ln() };
 
     // Refine until stable. Each non-trivial round strictly splits at least
@@ -83,23 +127,23 @@ pub fn palette_wl(
     for _ in 0..n + 2 {
         let total: f64 =
             (1..=n).map(|i| ln_p(colors[i - 1])).sum::<f64>().abs();
-        let hash = |i: usize| -> f64 {
+        hash.clear();
+        for i in 0..n {
             // Sort neighbor colors so identical multisets sum in identical
             // order — float-exact equality then preserves true ties.
-            let mut cs: Vec<usize> =
-                adj[i].iter().map(|&j| colors[j]).collect();
-            cs.sort_unstable();
-            let frac: f64 = cs.into_iter().map(ln_p).sum::<f64>() / total;
-            colors[i] as f64 + frac
-        };
-        let h: Vec<f64> = (0..n).map(hash).collect();
+            neigh.clear();
+            neigh.extend(adj[i].iter().map(|&j| colors[j]));
+            neigh.sort_unstable();
+            let frac: f64 = neigh.iter().map(|&c| ln_p(c)).sum::<f64>() / total;
+            hash.push(colors[i] as f64 + frac);
+        }
         let hkey = |i: usize| -> (u8, f64) {
             if i == pinned.0 {
                 (0, 0.0)
             } else if i == pinned.1 {
                 (1, 0.0)
             } else {
-                (2, h[i])
+                (2, hash[i])
             }
         };
         let new_colors = dense_rank_by(n, |i, j| {
@@ -224,6 +268,39 @@ mod tests {
         let adj = vec![vec![], vec![]];
         let order = palette_wl(&adj, &[0, 0], (0, 1), &[0, 0]);
         assert_eq!(order, vec![1, 2]);
+    }
+
+    #[test]
+    fn warm_scratch_is_bit_identical_to_fresh() {
+        let adj = vec![
+            vec![1, 2, 3, 4],
+            vec![0, 2],
+            vec![0, 1, 3],
+            vec![0, 2, 4],
+            vec![0, 3],
+        ];
+        let mut scratch = WlScratch::default();
+        // Warm on a larger graph so the reused prime table is oversized.
+        let ring: Vec<Vec<usize>> =
+            (0..10).map(|i| vec![(i + 1) % 10, (i + 9) % 10]).collect();
+        let keys: Vec<u32> = (0..10).map(|i| i / 2).collect();
+        let _ = palette_wl_with_scratch(
+            &ring,
+            &keys,
+            (0, 1),
+            &[0; 10],
+            &mut scratch,
+        );
+        let warm = palette_wl_with_scratch(
+            &adj,
+            &[0, 0, 1, 1, 1],
+            (0, 1),
+            &[0, 1, 2, 3, 4],
+            &mut scratch,
+        );
+        let fresh =
+            palette_wl(&adj, &[0, 0, 1, 1, 1], (0, 1), &[0, 1, 2, 3, 4]);
+        assert_eq!(warm, fresh);
     }
 
     #[test]

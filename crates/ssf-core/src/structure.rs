@@ -34,6 +34,18 @@ pub struct StructureSubgraph {
     dist: Vec<u32>,
 }
 
+/// Reusable buffers for Algorithm 1's fixpoint merge: the per-group
+/// neighbor-set lists rebuilt every round and the partition maps.
+///
+/// Like [`crate::HopScratch`], reuse never changes output: a fresh scratch
+/// and a warm one produce identical structure subgraphs.
+#[derive(Debug, Clone, Default)]
+pub struct StructureScratch {
+    group_of: Vec<usize>,
+    nbrs: Vec<Vec<usize>>,
+    new_of_group: Vec<usize>,
+}
+
 impl StructureSubgraph {
     /// Runs Algorithm 1 on an h-hop subgraph.
     ///
@@ -41,49 +53,73 @@ impl StructureSubgraph {
     ///
     /// Panics if `hop` has fewer than 2 nodes (no target endpoints).
     pub fn combine(hop: &HopSubgraph) -> Self {
+        Self::combine_with_scratch(hop, &mut StructureScratch::default())
+    }
+
+    /// [`StructureSubgraph::combine`] with caller-provided reusable buffers;
+    /// identical output, amortized allocations.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`StructureSubgraph::combine`].
+    pub fn combine_with_scratch(
+        hop: &HopSubgraph,
+        scratch: &mut StructureScratch,
+    ) -> Self {
         let n = hop.node_count();
         assert!(n >= 2, "hop subgraph must contain both target endpoints");
 
         // group_of[hop node] -> current structure node id. Start from
         // singletons and iterate Algorithm 1's merge to a fixpoint.
-        let mut group_of: Vec<usize> = (0..n).collect();
+        let StructureScratch {
+            group_of,
+            nbrs,
+            new_of_group,
+        } = scratch;
+        group_of.clear();
+        group_of.extend(0..n);
         let mut group_count = n;
         loop {
             // Neighbor set of each current group, over group ids.
-            let mut group_nbrs: Vec<Vec<usize>> = vec![Vec::new(); group_count];
+            if nbrs.len() < group_count {
+                nbrs.resize_with(group_count, Vec::new);
+            }
+            for nb in nbrs[..group_count].iter_mut() {
+                nb.clear();
+            }
             for i in 0..n {
                 let gi = group_of[i];
                 for &(j, _) in hop.incident_links(i) {
                     let gj = group_of[j];
                     debug_assert_ne!(gi, gj, "structure nodes never self-link");
-                    group_nbrs[gi].push(gj);
+                    nbrs[gi].push(gj);
                 }
             }
-            for nbrs in &mut group_nbrs {
-                nbrs.sort_unstable();
-                nbrs.dedup();
+            for nb in nbrs[..group_count].iter_mut() {
+                nb.sort_unstable();
+                nb.dedup();
             }
             // Merge groups with identical neighbor sets. The endpoint groups
             // are pinned: they merge with nobody.
             let (ga, gb) = (group_of[0], group_of[1]);
-            let mut sig_to_new: HashMap<(bool, &[usize]), usize> =
-                HashMap::new();
-            let mut new_of_group: Vec<usize> = vec![usize::MAX; group_count];
+            let mut sig_to_new: HashMap<&[usize], usize> = HashMap::new();
+            new_of_group.clear();
+            new_of_group.resize(group_count, usize::MAX);
             let mut next = 0;
-            for g in 0..group_count {
+            for (g, nb) in nbrs[..group_count].iter().enumerate() {
                 if g == ga || g == gb {
+                    // Endpoint groups are assigned directly, so they never
+                    // share a signature with a mergeable group.
                     new_of_group[g] = next;
                     next += 1;
                     continue;
                 }
-                // `false` marks mergeable groups; endpoint groups never share
-                // a signature because they are assigned above.
-                let key = (false, group_nbrs[g].as_slice());
-                let id = *sig_to_new.entry(key).or_insert_with(|| {
-                    let id = next;
-                    next += 1;
-                    id
-                });
+                let id =
+                    *sig_to_new.entry(nb.as_slice()).or_insert_with(|| {
+                        let id = next;
+                        next += 1;
+                        id
+                    });
                 new_of_group[g] = id;
             }
             if next == group_count {
@@ -95,7 +131,7 @@ impl StructureSubgraph {
             group_count = next;
         }
 
-        Self::finalize(hop, &group_of, group_count)
+        Self::finalize(hop, group_of, group_count)
     }
 
     /// Builds the final structure subgraph from a converged partition,

@@ -14,9 +14,9 @@ use baselines::{
     local, KatzIndex, LocalPathIndex, LocalRandomWalk, Nmf, NmfConfig,
     TemporalNmf, WlfConfig, WlfExtractor,
 };
-use dyngraph::StaticGraph;
+use dyngraph::{StaticGraph, Timestamp};
 use linalg::Matrix;
-use ssf_core::{EntryEncoding, SsfConfig, SsfExtractor};
+use ssf_core::{EntryEncoding, ExtractionCache, SsfConfig, SsfExtractor};
 use ssf_eval::{
     evaluate_ranking, evaluate_supervised_scores, LinkSample, MethodResult,
     Split,
@@ -223,72 +223,87 @@ impl Method {
         }
     }
 
-    /// Extracts this method's feature for one sample against one fold's
-    /// history.
-    ///
-    /// Temporal decay is measured from the first tick after the history
-    /// ends, not from the (possibly later) prediction time: when the
-    /// evaluation window spans several ticks, measuring from `l_t` would
-    /// insert a dead gap that exponentially suppresses *all* history.
-    fn feature(
-        &self,
-        fold: &Split,
-        opts: &MethodOptions,
-        stat: &StaticGraph,
-        sample: &LinkSample,
-    ) -> Vec<f64> {
-        let present = fold.history.max_timestamp().map_or(fold.l_t, |t| t + 1);
+    /// This method's prepared feature extractor, built once per batch
+    /// instead of once per sample; `None` for unsupervised methods.
+    fn feature_extractor(&self, opts: &MethodOptions) -> Option<FeatureKind> {
         match self {
-            Method::Wllr | Method::Wlnm => {
-                WlfExtractor::new(WlfConfig::new(opts.k))
-                    .extract(stat, sample.u, sample.v)
-            }
+            Method::Wllr | Method::Wlnm => Some(FeatureKind::Wlf(
+                WlfExtractor::new(WlfConfig::new(opts.k)),
+            )),
             Method::SsflrW | Method::SsfnmW => {
                 let cfg = SsfConfig::new(opts.k)
                     .with_encoding(EntryEncoding::LinkCount);
-                SsfExtractor::new(cfg)
-                    .extract(&fold.history, sample.u, sample.v, present)
-                    .into_values()
+                Some(FeatureKind::Ssf(SsfExtractor::new(cfg)))
             }
             Method::Ssflr | Method::Ssfnm => {
                 let cfg = SsfConfig::new(opts.k)
                     .with_theta(opts.theta)
                     .with_encoding(opts.ssf_encoding);
-                SsfExtractor::new(cfg)
-                    .extract(&fold.history, sample.u, sample.v, present)
-                    .into_values()
+                Some(FeatureKind::Ssf(SsfExtractor::new(cfg)))
             }
-            _ => {
-                unreachable!("feature() is only called for supervised methods")
-            }
+            _ => None,
         }
     }
 
-    /// [`Method::feature`] behind a panic guard: a sample whose extraction
-    /// panics (degenerate pair after lossy ingestion, pathological
+    /// The feature-row width this method produces under `opts`; `None` for
+    /// unsupervised methods.
+    ///
+    /// Computed from the configuration alone (`K(K−1)/2 − 1`, doubled for
+    /// the concatenated SSF encoding) so a batch whose every sample
+    /// degrades still yields full-width zero rows instead of collapsing
+    /// the design matrix to width 0.
+    pub fn feature_dim(&self, opts: &MethodOptions) -> Option<usize> {
+        let base = (opts.k * opts.k.saturating_sub(1) / 2).saturating_sub(1);
+        match self {
+            Method::Wllr | Method::Wlnm | Method::SsflrW | Method::SsfnmW => {
+                Some(base)
+            }
+            Method::Ssflr | Method::Ssfnm => {
+                if opts.ssf_encoding == EntryEncoding::InfluenceAndStructure {
+                    Some(2 * base)
+                } else {
+                    Some(base)
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Extracts one sample's feature behind a panic guard: a degenerate
+    /// pair (typed error) or a panicking extraction (pathological
     /// subgraph) yields `None` instead of tearing the run down.
     fn feature_caught(
         &self,
+        ex: &FeatureKind,
+        cache: &mut ExtractionCache,
         fold: &Split,
-        opts: &MethodOptions,
         fold_stat: &StaticGraph,
         sample: &LinkSample,
+        present: Timestamp,
     ) -> Option<Vec<f64>> {
-        panic::catch_unwind(AssertUnwindSafe(|| {
-            self.feature(fold, opts, fold_stat, sample)
+        panic::catch_unwind(AssertUnwindSafe(|| match ex {
+            FeatureKind::Wlf(w) => {
+                Some(w.extract(fold_stat, sample.u, sample.v))
+            }
+            FeatureKind::Ssf(s) => s
+                .try_extract_cached(
+                    &fold.history,
+                    sample.u,
+                    sample.v,
+                    present,
+                    cache,
+                )
+                .ok()
+                .map(ssf_core::SsfFeature::into_values),
         }))
         .ok()
+        .flatten()
     }
 
     /// Extracts features for a batch of samples, fanning out across the
     /// available cores with scoped threads (extraction is embarrassingly
     /// parallel and dominates the supervised methods' wall-clock). Output
     /// order matches the input order, so runs stay deterministic.
-    ///
-    /// Robustness: each sample extracts behind [`Method::feature_caught`],
-    /// so one bad sample degrades to an all-zero feature row instead of
-    /// poisoning the batch; a worker thread that dies anyway has its chunk
-    /// recomputed sequentially.
     fn extract_parallel(
         &self,
         fold: &Split,
@@ -299,49 +314,82 @@ impl Method {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
+        self.extract_with_threads(fold, opts, fold_stat, samples, threads)
+    }
+
+    /// [`Method::extract_parallel`] with an explicit worker count — the
+    /// public batch-extraction entry point. Output is identical for every
+    /// `threads` value (the determinism property tests pin this): chunking
+    /// only changes which worker computes a row, and each worker's
+    /// per-chunk [`ExtractionCache`] is bit-identical to no cache at all.
+    ///
+    /// Unsupervised methods have no feature and yield empty rows.
+    pub fn extract_batch(
+        &self,
+        fold: &Split,
+        opts: &MethodOptions,
+        samples: &[LinkSample],
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
+        let stat = fold.history.to_static();
+        self.extract_with_threads(fold, opts, &stat, samples, threads)
+    }
+
+    /// Shared worker-pool body of [`Method::extract_parallel`] /
+    /// [`Method::extract_batch`].
+    ///
+    /// Robustness: each sample extracts behind [`Method::feature_caught`],
+    /// so one bad sample degrades to an all-zero feature row (width from
+    /// [`Method::feature_dim`], even when *every* sample degrades) instead
+    /// of poisoning the batch; a worker thread that dies anyway has its
+    /// chunk recomputed sequentially.
+    ///
+    /// Temporal decay is measured from the first tick after the history
+    /// ends, not from the (possibly later) prediction time: when the
+    /// evaluation window spans several ticks, measuring from `l_t` would
+    /// insert a dead gap that exponentially suppresses *all* history.
+    fn extract_with_threads(
+        &self,
+        fold: &Split,
+        opts: &MethodOptions,
+        fold_stat: &StaticGraph,
+        samples: &[LinkSample],
+        threads: usize,
+    ) -> Vec<Vec<f64>> {
+        let Some(ex) = self.feature_extractor(opts) else {
+            return samples.iter().map(|_| Vec::new()).collect();
+        };
+        let dim = self.feature_dim(opts).unwrap_or(0);
+        let present = fold.history.max_timestamp().map_or(fold.l_t, |t| t + 1);
+        let run_chunk = |part: &[LinkSample]| -> Vec<Option<Vec<f64>>> {
+            let mut cache = ExtractionCache::new();
+            part.iter()
+                .map(|s| {
+                    self.feature_caught(
+                        &ex, &mut cache, fold, fold_stat, s, present,
+                    )
+                })
+                .collect()
+        };
         let rows: Vec<Option<Vec<f64>>> = if threads <= 1 || samples.len() < 64
         {
-            samples
-                .iter()
-                .map(|s| self.feature_caught(fold, opts, fold_stat, s))
-                .collect()
+            run_chunk(samples)
         } else {
             let chunk = samples.len().div_ceil(threads);
+            let run_chunk = &run_chunk;
             std::thread::scope(|scope| {
                 let handles: Vec<_> = samples
                     .chunks(chunk)
-                    .map(|part| {
-                        (
-                            part,
-                            scope.spawn(move || {
-                                part.iter()
-                                    .map(|s| {
-                                        self.feature_caught(
-                                            fold, opts, fold_stat, s,
-                                        )
-                                    })
-                                    .collect::<Vec<Option<Vec<f64>>>>()
-                            }),
-                        )
-                    })
+                    .map(|part| (part, scope.spawn(move || run_chunk(part))))
                     .collect();
                 handles
                     .into_iter()
                     .flat_map(|(part, h)| {
-                        h.join().unwrap_or_else(|_| {
-                            part.iter()
-                                .map(|s| {
-                                    self.feature_caught(
-                                        fold, opts, fold_stat, s,
-                                    )
-                                })
-                                .collect()
-                        })
+                        h.join().unwrap_or_else(|_| run_chunk(part))
                     })
                     .collect()
             })
         };
-        let dim = rows.iter().find_map(|r| r.as_ref()).map_or(0, Vec::len);
         rows.into_iter()
             .map(|r| r.unwrap_or_else(|| vec![0.0; dim]))
             .collect()
@@ -438,6 +486,14 @@ impl Method {
 enum ModelKind {
     Lr,
     Nm,
+}
+
+/// A prepared per-batch feature extractor (WLF is static-graph based, SSF
+/// timestamped), hoisted out of the per-sample loop.
+#[derive(Debug, Clone)]
+enum FeatureKind {
+    Wlf(WlfExtractor),
+    Ssf(SsfExtractor),
 }
 
 /// Shared hyperparameters (paper defaults).
@@ -621,6 +677,49 @@ mod tests {
         assert_eq!(rows[1].len(), dim, "degraded row keeps the batch shape");
         assert!(rows[1].iter().all(|&x| x == 0.0));
         assert_eq!(rows[0], rows[2]);
+    }
+
+    /// Regression test: a batch where *every* sample degrades used to
+    /// infer the row width from the (nonexistent) first surviving row and
+    /// collapse to 0-width rows; the width now comes from the options.
+    #[test]
+    fn all_degenerate_batch_keeps_feature_width() {
+        let eval_split = split();
+        let stat = eval_split.history.to_static();
+        let bad = LinkSample {
+            u: 3,
+            v: 3,
+            label: false,
+        };
+        let opts = MethodOptions::default();
+        for m in [Method::Ssfnm, Method::Wlnm, Method::SsflrW] {
+            let rows =
+                m.extract_parallel(&eval_split, &opts, &stat, &[bad, bad]);
+            let dim = m.feature_dim(&opts).unwrap();
+            assert!(dim > 0, "{m:?}");
+            assert_eq!(rows.len(), 2);
+            for r in &rows {
+                assert_eq!(r.len(), dim, "{m:?} degraded row keeps width");
+                assert!(r.iter().all(|&x| x == 0.0));
+            }
+        }
+    }
+
+    /// `feature_dim` must agree with what extraction actually produces.
+    #[test]
+    fn feature_dim_matches_extracted_rows() {
+        let eval_split = split();
+        let stat = eval_split.history.to_static();
+        let opts = MethodOptions::default();
+        let good = eval_split.train[0];
+        for m in Method::all() {
+            let Some(dim) = m.feature_dim(&opts) else {
+                assert!(!m.is_supervised(), "{m:?}");
+                continue;
+            };
+            let rows = m.extract_parallel(&eval_split, &opts, &stat, &[good]);
+            assert_eq!(rows[0].len(), dim, "{m:?}");
+        }
     }
 
     #[test]

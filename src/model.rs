@@ -10,7 +10,9 @@ use std::io::{self, BufRead, Write};
 
 use dyngraph::{DynamicNetwork, NodeId, Timestamp};
 use linalg::Matrix;
-use ssf_core::{EntryEncoding, ExtractError, SsfConfig, SsfExtractor};
+use ssf_core::{
+    EntryEncoding, ExtractError, ExtractionCache, SsfConfig, SsfExtractor,
+};
 use ssf_eval::Split;
 use ssf_ml::{persist, FitError, MlpConfig, NeuralMachine, StandardScaler};
 
@@ -139,6 +141,32 @@ impl SsfnmModel {
         present: Timestamp,
     ) -> Result<f64, ExtractError> {
         let mut f = self.extractor.try_extract(g, u, v, present)?.into_values();
+        for x in &mut f {
+            *x = x.ln_1p();
+        }
+        self.scaler.transform_row(&mut f);
+        Ok(self.model.score(&f))
+    }
+
+    /// [`SsfnmModel::try_score`] against an [`ExtractionCache`]:
+    /// bit-identical scores, with the expensive extraction prefix
+    /// amortized across the pairs and graph revisions the cache has seen.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SsfnmModel::try_score`].
+    pub fn try_score_cached(
+        &self,
+        g: &DynamicNetwork,
+        u: NodeId,
+        v: NodeId,
+        present: Timestamp,
+        cache: &mut ExtractionCache,
+    ) -> Result<f64, ExtractError> {
+        let mut f = self
+            .extractor
+            .try_extract_cached(g, u, v, present, cache)?
+            .into_values();
         for x in &mut f {
             *x = x.ln_1p();
         }

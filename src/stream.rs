@@ -21,6 +21,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use dyngraph::{DynamicNetwork, NodeId, Timestamp};
+use ssf_core::{CacheStats, ExtractionCache};
 use ssf_eval::{backtest_splits, BacktestConfig, Split, SplitConfig};
 
 use crate::error::SsfError;
@@ -191,6 +192,12 @@ pub struct OnlineLinkPredictor {
     backoff: u32,
     last_refit_error: Option<String>,
     stats: StreamStats,
+    /// Graph-versioned extraction memo behind [`score_batch`]; it syncs to
+    /// the network's revision counter on every use, so `observe` never has
+    /// to touch it.
+    ///
+    /// [`score_batch`]: OnlineLinkPredictor::score_batch
+    cache: ExtractionCache,
 }
 
 impl OnlineLinkPredictor {
@@ -204,6 +211,7 @@ impl OnlineLinkPredictor {
             backoff: 1,
             last_refit_error: None,
             stats: StreamStats::default(),
+            cache: ExtractionCache::new(),
         }
     }
 
@@ -341,6 +349,58 @@ impl OnlineLinkPredictor {
                 Some(self.common_neighbor_fallback(u, v))
             }
         }
+    }
+
+    /// Scores many candidate pairs at once, amortizing subgraph
+    /// extraction through a graph-versioned cache. Each slot carries the
+    /// same value [`score`] would return for that pair — bit-identical,
+    /// including the `None` cases and the common-neighbor degradation —
+    /// but repeated pairs and shared endpoints across the batch (and
+    /// across batches, while the network is unchanged) reuse memoized
+    /// h-hop frontiers and structure-subgraph results instead of
+    /// recomputing them.
+    ///
+    /// Any accepted observation bumps the network's revision counter,
+    /// which invalidates the memo on the next batch; interleaving
+    /// `observe` and `score_batch` is therefore always safe.
+    ///
+    /// [`score`]: OnlineLinkPredictor::score
+    pub fn score_batch(
+        &mut self,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Vec<Option<f64>> {
+        let n = self.network.node_count() as NodeId;
+        let present = self.network.max_timestamp().map(|t| t + 1);
+        let mut out = Vec::with_capacity(pairs.len());
+        for &(u, v) in pairs {
+            if u == v || u >= n || v >= n {
+                out.push(None);
+                continue;
+            }
+            let (Some(present), Some(model)) = (present, self.model.as_ref())
+            else {
+                out.push(None);
+                continue;
+            };
+            let network = &self.network;
+            let cache = &mut self.cache;
+            let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
+                model.try_score_cached(network, u, v, present, cache)
+            }));
+            out.push(match attempt {
+                Ok(Ok(p)) => Some(p),
+                Ok(Err(_)) | Err(_) => {
+                    self.stats.degraded_scores.fetch_add(1, Ordering::Relaxed);
+                    Some(self.common_neighbor_fallback(u, v))
+                }
+            });
+        }
+        out
+    }
+
+    /// Hit/miss tallies from the batch-scoring extraction cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
     }
 
     /// `true` once a model has been fitted.
@@ -554,6 +614,78 @@ mod tests {
         assert_eq!(p.stats().failed_refits, 4);
         assert_eq!(p.health().current_backoff, 8);
         assert!(p.health().last_refit_error.is_some());
+    }
+
+    /// The tentpole contract: for every pair kind — valid, degenerate,
+    /// out-of-range — `score_batch` returns exactly what the per-pair
+    /// `score` path returns, to the bit.
+    #[test]
+    fn score_batch_matches_per_pair_score_bitwise() {
+        let spec = DatasetSpec::coauthor().scaled(0.15);
+        let g = generate(&spec, 9);
+        let mut links: Vec<_> = g.links().collect();
+        links.sort_by_key(|l| l.t);
+        let mut p = OnlineLinkPredictor::new(quick_config());
+        for l in links {
+            p.observe(l.u, l.v, l.t);
+        }
+        assert!(p.is_fitted());
+        let n = p.network().node_count() as NodeId;
+        let pairs: Vec<(NodeId, NodeId)> = vec![
+            (0, 1),
+            (2, 5),
+            (3, 3),     // degenerate: self pair
+            (0, n + 4), // degenerate: beyond the id space
+            (1, 0),     // direction matters to the extractor, not validity
+            (0, 1),     // repeat: must hit the pair memo, same bits
+        ];
+        let individual: Vec<_> =
+            pairs.iter().map(|&(u, v)| p.score(u, v)).collect();
+        let batch = p.score_batch(&pairs);
+        assert_eq!(batch.len(), pairs.len());
+        for (i, (b, s)) in batch.iter().zip(&individual).enumerate() {
+            match (b, s) {
+                (Some(b), Some(s)) => assert_eq!(
+                    b.to_bits(),
+                    s.to_bits(),
+                    "pair {:?} diverged",
+                    pairs[i]
+                ),
+                (None, None) => {}
+                other => panic!("pair {:?}: {other:?}", pairs[i]),
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_batches_hit_the_cache_until_the_graph_moves() {
+        let spec = DatasetSpec::coauthor().scaled(0.15);
+        let g = generate(&spec, 9);
+        let mut links: Vec<_> = g.links().collect();
+        links.sort_by_key(|l| l.t);
+        let mut p = OnlineLinkPredictor::new(quick_config());
+        for l in links {
+            p.observe(l.u, l.v, l.t);
+        }
+        assert!(p.is_fitted());
+        let pairs: Vec<(NodeId, NodeId)> = vec![(0, 1), (0, 2), (1, 2), (2, 5)];
+        let first = p.score_batch(&pairs);
+        let again = p.score_batch(&pairs);
+        assert_eq!(first, again, "warm batch must reproduce cold batch");
+        let stats = p.cache_stats();
+        assert!(
+            stats.pair_hits >= pairs.len() as u64,
+            "second batch should be pair-memo hits, got {stats:?}"
+        );
+        // An accepted observation bumps the revision; the next batch
+        // recomputes instead of serving stale features.
+        let t = p.network().max_timestamp().unwrap_or(0) + 1;
+        assert!(p.observe(0, 2, t).is_accepted());
+        let _ = p.score_batch(&pairs);
+        assert!(
+            p.cache_stats().invalidations >= 1,
+            "mutation must invalidate the memo"
+        );
     }
 
     #[test]

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_scoring-5e883abd53040f3d.d: crates/bench/src/bin/batch_scoring.rs
+
+/root/repo/target/debug/deps/batch_scoring-5e883abd53040f3d: crates/bench/src/bin/batch_scoring.rs
+
+crates/bench/src/bin/batch_scoring.rs:

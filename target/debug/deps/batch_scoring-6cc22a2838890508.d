@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/batch_scoring-6cc22a2838890508.d: /root/repo/clippy.toml crates/bench/src/bin/batch_scoring.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbatch_scoring-6cc22a2838890508.rmeta: /root/repo/clippy.toml crates/bench/src/bin/batch_scoring.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/batch_scoring.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

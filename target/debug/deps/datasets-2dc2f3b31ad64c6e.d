@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/datasets-2dc2f3b31ad64c6e.d: /root/repo/clippy.toml crates/datasets/src/lib.rs crates/datasets/src/generators.rs crates/datasets/src/io.rs crates/datasets/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdatasets-2dc2f3b31ad64c6e.rmeta: /root/repo/clippy.toml crates/datasets/src/lib.rs crates/datasets/src/generators.rs crates/datasets/src/io.rs crates/datasets/src/spec.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/datasets/src/lib.rs:
+crates/datasets/src/generators.rs:
+crates/datasets/src/io.rs:
+crates/datasets/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

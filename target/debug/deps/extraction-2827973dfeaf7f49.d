@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/extraction-2827973dfeaf7f49.d: /root/repo/clippy.toml crates/bench/benches/extraction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextraction-2827973dfeaf7f49.rmeta: /root/repo/clippy.toml crates/bench/benches/extraction.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/extraction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

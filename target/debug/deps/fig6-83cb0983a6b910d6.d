@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig6-83cb0983a6b910d6.d: /root/repo/clippy.toml crates/bench/src/bin/fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6-83cb0983a6b910d6.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig6.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

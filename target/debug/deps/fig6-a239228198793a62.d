@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig6-a239228198793a62.d: /root/repo/clippy.toml crates/bench/src/bin/fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6-a239228198793a62.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig6.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig7-6f91691a2a876bd4.d: /root/repo/clippy.toml crates/bench/src/bin/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-6f91691a2a876bd4.rmeta: /root/repo/clippy.toml crates/bench/src/bin/fig7.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/fig7.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

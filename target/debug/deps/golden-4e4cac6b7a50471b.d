@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/golden-4e4cac6b7a50471b.d: /root/repo/clippy.toml tests/golden.rs tests/fixtures/figure3_k4.txt Cargo.toml
+
+/root/repo/target/debug/deps/libgolden-4e4cac6b7a50471b.rmeta: /root/repo/clippy.toml tests/golden.rs tests/fixtures/figure3_k4.txt Cargo.toml
+
+/root/repo/clippy.toml:
+tests/golden.rs:
+tests/fixtures/figure3_k4.txt:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/golden-6f1525cc76391a26.d: tests/golden.rs tests/fixtures/figure3_k4.txt
+
+/root/repo/target/debug/deps/golden-6f1525cc76391a26: tests/golden.rs tests/fixtures/figure3_k4.txt
+
+tests/golden.rs:
+tests/fixtures/figure3_k4.txt:

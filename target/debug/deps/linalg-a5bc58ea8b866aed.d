@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/linalg-a5bc58ea8b866aed.d: /root/repo/clippy.toml crates/linalg/src/lib.rs crates/linalg/src/matrix.rs crates/linalg/src/solve.rs crates/linalg/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblinalg-a5bc58ea8b866aed.rmeta: /root/repo/clippy.toml crates/linalg/src/lib.rs crates/linalg/src/matrix.rs crates/linalg/src/solve.rs crates/linalg/src/vector.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/linalg/src/lib.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/models-4473caa393400225.d: /root/repo/clippy.toml crates/bench/benches/models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodels-4473caa393400225.rmeta: /root/repo/clippy.toml crates/bench/benches/models.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

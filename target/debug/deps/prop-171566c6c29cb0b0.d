@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prop-171566c6c29cb0b0.d: /root/repo/clippy.toml crates/datasets/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-171566c6c29cb0b0.rmeta: /root/repo/clippy.toml crates/datasets/tests/prop.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/datasets/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prop-30c9e588bc591a20.d: /root/repo/clippy.toml crates/linalg/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-30c9e588bc591a20.rmeta: /root/repo/clippy.toml crates/linalg/tests/prop.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/linalg/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

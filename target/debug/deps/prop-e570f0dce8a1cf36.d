@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prop-e570f0dce8a1cf36.d: /root/repo/clippy.toml crates/baselines/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-e570f0dce8a1cf36.rmeta: /root/repo/clippy.toml crates/baselines/tests/prop.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/baselines/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

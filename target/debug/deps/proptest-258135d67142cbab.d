@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-258135d67142cbab.d: /root/repo/clippy.toml vendor/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-258135d67142cbab.rmeta: /root/repo/clippy.toml vendor/proptest/src/lib.rs Cargo.toml
+
+/root/repo/clippy.toml:
+vendor/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

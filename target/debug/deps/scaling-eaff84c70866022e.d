@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/scaling-eaff84c70866022e.d: /root/repo/clippy.toml crates/bench/benches/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling-eaff84c70866022e.rmeta: /root/repo/clippy.toml crates/bench/benches/scaling.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/benches/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

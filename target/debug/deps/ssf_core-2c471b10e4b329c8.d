@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/ssf_core-2c471b10e4b329c8.d: crates/ssf-core/src/lib.rs crates/ssf-core/src/error.rs crates/ssf-core/src/feature.rs crates/ssf-core/src/hop.rs crates/ssf-core/src/influence.rs crates/ssf-core/src/kstructure.rs crates/ssf-core/src/palette.rs crates/ssf-core/src/pattern.rs crates/ssf-core/src/roles.rs crates/ssf-core/src/structure.rs crates/ssf-core/src/viz.rs
+/root/repo/target/debug/deps/ssf_core-2c471b10e4b329c8.d: crates/ssf-core/src/lib.rs crates/ssf-core/src/cache.rs crates/ssf-core/src/error.rs crates/ssf-core/src/feature.rs crates/ssf-core/src/hop.rs crates/ssf-core/src/influence.rs crates/ssf-core/src/kstructure.rs crates/ssf-core/src/palette.rs crates/ssf-core/src/pattern.rs crates/ssf-core/src/roles.rs crates/ssf-core/src/structure.rs crates/ssf-core/src/viz.rs
 
-/root/repo/target/debug/deps/ssf_core-2c471b10e4b329c8: crates/ssf-core/src/lib.rs crates/ssf-core/src/error.rs crates/ssf-core/src/feature.rs crates/ssf-core/src/hop.rs crates/ssf-core/src/influence.rs crates/ssf-core/src/kstructure.rs crates/ssf-core/src/palette.rs crates/ssf-core/src/pattern.rs crates/ssf-core/src/roles.rs crates/ssf-core/src/structure.rs crates/ssf-core/src/viz.rs
+/root/repo/target/debug/deps/ssf_core-2c471b10e4b329c8: crates/ssf-core/src/lib.rs crates/ssf-core/src/cache.rs crates/ssf-core/src/error.rs crates/ssf-core/src/feature.rs crates/ssf-core/src/hop.rs crates/ssf-core/src/influence.rs crates/ssf-core/src/kstructure.rs crates/ssf-core/src/palette.rs crates/ssf-core/src/pattern.rs crates/ssf-core/src/roles.rs crates/ssf-core/src/structure.rs crates/ssf-core/src/viz.rs
 
 crates/ssf-core/src/lib.rs:
+crates/ssf-core/src/cache.rs:
 crates/ssf-core/src/error.rs:
 crates/ssf-core/src/feature.rs:
 crates/ssf-core/src/hop.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/ssf_core-898418a0bea7579b.d: /root/repo/clippy.toml crates/ssf-core/src/lib.rs crates/ssf-core/src/error.rs crates/ssf-core/src/feature.rs crates/ssf-core/src/hop.rs crates/ssf-core/src/influence.rs crates/ssf-core/src/kstructure.rs crates/ssf-core/src/palette.rs crates/ssf-core/src/pattern.rs crates/ssf-core/src/roles.rs crates/ssf-core/src/structure.rs crates/ssf-core/src/viz.rs Cargo.toml
+/root/repo/target/debug/deps/ssf_core-898418a0bea7579b.d: /root/repo/clippy.toml crates/ssf-core/src/lib.rs crates/ssf-core/src/cache.rs crates/ssf-core/src/error.rs crates/ssf-core/src/feature.rs crates/ssf-core/src/hop.rs crates/ssf-core/src/influence.rs crates/ssf-core/src/kstructure.rs crates/ssf-core/src/palette.rs crates/ssf-core/src/pattern.rs crates/ssf-core/src/roles.rs crates/ssf-core/src/structure.rs crates/ssf-core/src/viz.rs Cargo.toml
 
-/root/repo/target/debug/deps/libssf_core-898418a0bea7579b.rmeta: /root/repo/clippy.toml crates/ssf-core/src/lib.rs crates/ssf-core/src/error.rs crates/ssf-core/src/feature.rs crates/ssf-core/src/hop.rs crates/ssf-core/src/influence.rs crates/ssf-core/src/kstructure.rs crates/ssf-core/src/palette.rs crates/ssf-core/src/pattern.rs crates/ssf-core/src/roles.rs crates/ssf-core/src/structure.rs crates/ssf-core/src/viz.rs Cargo.toml
+/root/repo/target/debug/deps/libssf_core-898418a0bea7579b.rmeta: /root/repo/clippy.toml crates/ssf-core/src/lib.rs crates/ssf-core/src/cache.rs crates/ssf-core/src/error.rs crates/ssf-core/src/feature.rs crates/ssf-core/src/hop.rs crates/ssf-core/src/influence.rs crates/ssf-core/src/kstructure.rs crates/ssf-core/src/palette.rs crates/ssf-core/src/pattern.rs crates/ssf-core/src/roles.rs crates/ssf-core/src/structure.rs crates/ssf-core/src/viz.rs Cargo.toml
 
 /root/repo/clippy.toml:
 crates/ssf-core/src/lib.rs:
+crates/ssf-core/src/cache.rs:
 crates/ssf-core/src/error.rs:
 crates/ssf-core/src/feature.rs:
 crates/ssf-core/src/hop.rs:
@@ -16,5 +17,5 @@ crates/ssf-core/src/structure.rs:
 crates/ssf-core/src/viz.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_ARGS=
 # env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/table1-51368ccdd7cb91ba.d: /root/repo/clippy.toml crates/bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-51368ccdd7cb91ba.rmeta: /root/repo/clippy.toml crates/bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

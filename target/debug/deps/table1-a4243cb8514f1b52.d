@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/table1-a4243cb8514f1b52.d: /root/repo/clippy.toml crates/bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1-a4243cb8514f1b52.rmeta: /root/repo/clippy.toml crates/bench/src/bin/table1.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/table1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

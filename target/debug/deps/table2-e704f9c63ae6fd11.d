@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/table2-e704f9c63ae6fd11.d: /root/repo/clippy.toml crates/bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2-e704f9c63ae6fd11.rmeta: /root/repo/clippy.toml crates/bench/src/bin/table2.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/table2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

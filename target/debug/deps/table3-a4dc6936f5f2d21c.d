@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/table3-a4dc6936f5f2d21c.d: /root/repo/clippy.toml crates/bench/src/bin/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-a4dc6936f5f2d21c.rmeta: /root/repo/clippy.toml crates/bench/src/bin/table3.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/table3-f2f23c2ab07752bf.d: /root/repo/clippy.toml crates/bench/src/bin/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-f2f23c2ab07752bf.rmeta: /root/repo/clippy.toml crates/bench/src/bin/table3.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/topn-017f7d98ddbc190f.d: /root/repo/clippy.toml crates/bench/src/bin/topn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopn-017f7d98ddbc190f.rmeta: /root/repo/clippy.toml crates/bench/src/bin/topn.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/topn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/topn-9dabceaa2c822f84.d: /root/repo/clippy.toml crates/bench/src/bin/topn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtopn-9dabceaa2c822f84.rmeta: /root/repo/clippy.toml crates/bench/src/bin/topn.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/bench/src/bin/topn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

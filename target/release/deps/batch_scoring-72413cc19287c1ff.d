@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/batch_scoring-72413cc19287c1ff.d: crates/bench/src/bin/batch_scoring.rs
+
+/root/repo/target/release/deps/batch_scoring-72413cc19287c1ff: crates/bench/src/bin/batch_scoring.rs
+
+crates/bench/src/bin/batch_scoring.rs:

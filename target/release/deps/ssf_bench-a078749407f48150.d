@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ssf_bench-a078749407f48150.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libssf_bench-a078749407f48150.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libssf_bench-a078749407f48150.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/ssf_core-56b78ef175dc2765.d: crates/ssf-core/src/lib.rs crates/ssf-core/src/error.rs crates/ssf-core/src/feature.rs crates/ssf-core/src/hop.rs crates/ssf-core/src/influence.rs crates/ssf-core/src/kstructure.rs crates/ssf-core/src/palette.rs crates/ssf-core/src/pattern.rs crates/ssf-core/src/roles.rs crates/ssf-core/src/structure.rs crates/ssf-core/src/viz.rs
+/root/repo/target/release/deps/ssf_core-56b78ef175dc2765.d: crates/ssf-core/src/lib.rs crates/ssf-core/src/cache.rs crates/ssf-core/src/error.rs crates/ssf-core/src/feature.rs crates/ssf-core/src/hop.rs crates/ssf-core/src/influence.rs crates/ssf-core/src/kstructure.rs crates/ssf-core/src/palette.rs crates/ssf-core/src/pattern.rs crates/ssf-core/src/roles.rs crates/ssf-core/src/structure.rs crates/ssf-core/src/viz.rs
 
-/root/repo/target/release/deps/libssf_core-56b78ef175dc2765.rlib: crates/ssf-core/src/lib.rs crates/ssf-core/src/error.rs crates/ssf-core/src/feature.rs crates/ssf-core/src/hop.rs crates/ssf-core/src/influence.rs crates/ssf-core/src/kstructure.rs crates/ssf-core/src/palette.rs crates/ssf-core/src/pattern.rs crates/ssf-core/src/roles.rs crates/ssf-core/src/structure.rs crates/ssf-core/src/viz.rs
+/root/repo/target/release/deps/libssf_core-56b78ef175dc2765.rlib: crates/ssf-core/src/lib.rs crates/ssf-core/src/cache.rs crates/ssf-core/src/error.rs crates/ssf-core/src/feature.rs crates/ssf-core/src/hop.rs crates/ssf-core/src/influence.rs crates/ssf-core/src/kstructure.rs crates/ssf-core/src/palette.rs crates/ssf-core/src/pattern.rs crates/ssf-core/src/roles.rs crates/ssf-core/src/structure.rs crates/ssf-core/src/viz.rs
 
-/root/repo/target/release/deps/libssf_core-56b78ef175dc2765.rmeta: crates/ssf-core/src/lib.rs crates/ssf-core/src/error.rs crates/ssf-core/src/feature.rs crates/ssf-core/src/hop.rs crates/ssf-core/src/influence.rs crates/ssf-core/src/kstructure.rs crates/ssf-core/src/palette.rs crates/ssf-core/src/pattern.rs crates/ssf-core/src/roles.rs crates/ssf-core/src/structure.rs crates/ssf-core/src/viz.rs
+/root/repo/target/release/deps/libssf_core-56b78ef175dc2765.rmeta: crates/ssf-core/src/lib.rs crates/ssf-core/src/cache.rs crates/ssf-core/src/error.rs crates/ssf-core/src/feature.rs crates/ssf-core/src/hop.rs crates/ssf-core/src/influence.rs crates/ssf-core/src/kstructure.rs crates/ssf-core/src/palette.rs crates/ssf-core/src/pattern.rs crates/ssf-core/src/roles.rs crates/ssf-core/src/structure.rs crates/ssf-core/src/viz.rs
 
 crates/ssf-core/src/lib.rs:
+crates/ssf-core/src/cache.rs:
 crates/ssf-core/src/error.rs:
 crates/ssf-core/src/feature.rs:
 crates/ssf-core/src/hop.rs:

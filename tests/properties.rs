@@ -194,6 +194,52 @@ proptest! {
         }
     }
 
+    /// The cached batch path is invisible: for any network, any pair list
+    /// (valid, degenerate or out-of-range) and any prior cache state,
+    /// `extract_batch`'s cached rows equal the uncached per-sample
+    /// extraction bit for bit, at every thread count.
+    #[test]
+    fn extract_batch_is_thread_count_invariant(
+        g in network(14, 60),
+        seed in 0..20u64,
+    ) {
+        use ssf_repro::methods::{Method, MethodOptions};
+        let Ok(split) = Split::new(
+            &g,
+            &SplitConfig { seed, ..SplitConfig::default() },
+        ) else {
+            return Ok(()); // tiny/degenerate networks may not split
+        };
+        let opts = MethodOptions::default();
+        // ≥ 64 samples so the parallel path actually spawns workers.
+        let n = split.history.node_count() as NodeId;
+        let samples: Vec<ssf_repro::ssf_eval::LinkSample> = (0..72u32)
+            .map(|i| ssf_repro::ssf_eval::LinkSample {
+                u: (i * 7 + seed as u32) % n,
+                v: (i * 11 + 1) % n,
+                label: i % 2 == 0,
+            })
+            .collect();
+        let threads = std::thread::available_parallelism()
+            .map_or(4, std::num::NonZeroUsize::get);
+        let m = Method::Ssfnm;
+        let base = m.extract_batch(&split, &opts, &samples, 1);
+        for t in [2, threads] {
+            let rows = m.extract_batch(&split, &opts, &samples, t);
+            prop_assert_eq!(rows.len(), base.len());
+            for (i, (a, b)) in rows.iter().zip(&base).enumerate() {
+                let (a, b): (Vec<u64>, Vec<u64>) = (
+                    a.iter().map(|x| x.to_bits()).collect(),
+                    b.iter().map(|x| x.to_bits()).collect(),
+                );
+                prop_assert_eq!(
+                    a, b,
+                    "row {} diverged at {} threads", i, t
+                );
+            }
+        }
+    }
+
     /// Influence decay: normalized influence is monotone in every
     /// timestamp (more recent → larger) and additive in multiplicity.
     #[test]
@@ -209,5 +255,67 @@ proptest! {
         let mut more = ts.clone();
         more.push(50);
         prop_assert!(normalized_influence(&more, l_t, d) > base);
+    }
+}
+
+proptest! {
+    // Each case may fit several MLPs, so this block runs fewer cases
+    // than the structural properties above.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The tentpole determinism contract, end to end: interleaving
+    /// `observe` with `score_batch` over a seeded random stream, every
+    /// batch slot is bit-identical to the uncached per-pair `score` —
+    /// including `None` for degenerate or out-of-range pairs, and
+    /// across refits and cache invalidations.
+    #[test]
+    fn score_batch_matches_score_across_interleaved_streams(
+        events in prop::collection::vec(
+            (0..14u32, 0..14u32).prop_filter("no self-loops", |(u, v)| u != v),
+            30..90,
+        ),
+        seed in 0..10u64,
+    ) {
+        use ssf_repro::methods::MethodOptions;
+        use ssf_repro::stream::{
+            OnlineLinkPredictor, OnlinePredictorConfig,
+        };
+        let mut p = OnlineLinkPredictor::new(OnlinePredictorConfig {
+            method: MethodOptions {
+                nm_epochs: 10,
+                seed,
+                ..MethodOptions::default()
+            },
+            refit_every: 8,
+            min_positives: 6,
+            history_folds: 0,
+            ..OnlinePredictorConfig::default()
+        });
+        // Pairs probe in- and out-of-range ids plus a self pair.
+        let pairs: Vec<(NodeId, NodeId)> = vec![
+            (0, 1), (1, 0), (2, 7), (3, 3), (5, 40), (0, 13), (0, 1),
+        ];
+        for (i, &(u, v)) in events.iter().enumerate() {
+            p.observe(u, v, 1 + i as Timestamp / 3);
+            if i % 17 != 0 {
+                continue;
+            }
+            // `score` first: it must not depend on cache state either.
+            let individual: Vec<Option<f64>> =
+                pairs.iter().map(|&(u, v)| p.score(u, v)).collect();
+            let batch = p.score_batch(&pairs);
+            for (j, (b, s)) in batch.iter().zip(&individual).enumerate() {
+                let same = match (b, s) {
+                    (Some(b), Some(s)) => b.to_bits() == s.to_bits(),
+                    (None, None) => true,
+                    _ => false,
+                };
+                prop_assert!(
+                    same,
+                    "pair {:?} diverged at event {}: {:?} vs {:?}",
+                    pairs[j], i, b, s
+                );
+            }
+        }
     }
 }
