@@ -14,10 +14,12 @@
 //!       [--smoke] [--seed <n>] [--out <path>]`
 
 use std::fs;
+use std::sync::Arc;
 use std::time::Instant;
 
 use datasets::{generate, DatasetSpec};
 use dyngraph::NodeId;
+use obs::{ObsHandle, Registry, Snapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ssf_repro::methods::MethodOptions;
@@ -86,6 +88,35 @@ fn run_batch(
     (out, summarize(&mut lat, total, pairs.len()))
 }
 
+/// Per-stage timing breakdown from the recorder's span histograms:
+/// every `ssf.*` stage with its call count, total time and latency
+/// quantiles (the `obs` crate's fixed-bucket estimates).
+fn stages_json(snap: &Snapshot) -> String {
+    let mut out = String::from("  \"stages\": {");
+    let mut first = true;
+    for (name, h) in &snap.histograms {
+        if !name.starts_with("ssf.") {
+            continue;
+        }
+        out.push_str(if first { "\n" } else { ",\n" });
+        first = false;
+        out.push_str(&format!(
+            "    \"{name}\": {{ \"count\": {}, \"total_ms\": {:.3}, \
+             \"p50_us\": {:.1}, \"p95_us\": {:.1}, \"p99_us\": {:.1} }}",
+            h.count(),
+            h.sum() as f64 / 1e6,
+            h.quantile(0.50) as f64 / 1e3,
+            h.quantile(0.95) as f64 / 1e3,
+            h.quantile(0.99) as f64 / 1e3,
+        ));
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+    out.push('}');
+    out
+}
+
 fn timing_json(name: &str, t: &PathTiming) -> String {
     format!(
         "  \"{name}\": {{\n    \"pairs_per_sec\": {:.1},\n    \
@@ -130,17 +161,23 @@ fn main() {
     );
 
     // Ingest the whole stream without intermediate refits, then fit once.
-    let mut p = OnlineLinkPredictor::new(OnlinePredictorConfig {
-        method: MethodOptions {
-            seed,
-            nm_epochs: if smoke { 15 } else { 40 },
-            ..MethodOptions::default()
+    // The recorder feeds the per-stage breakdown in the JSON output.
+    let registry = Arc::new(Registry::new());
+    let obs = ObsHandle::of_registry(Arc::clone(&registry));
+    let mut p = OnlineLinkPredictor::with_recorder(
+        OnlinePredictorConfig {
+            method: MethodOptions {
+                seed,
+                nm_epochs: if smoke { 15 } else { 40 },
+                ..MethodOptions::default()
+            },
+            refit_every: u32::MAX,
+            min_positives: if smoke { 20 } else { 60 },
+            history_folds: 0,
+            ..OnlinePredictorConfig::default()
         },
-        refit_every: u32::MAX,
-        min_positives: if smoke { 20 } else { 60 },
-        history_folds: 0,
-        ..OnlinePredictorConfig::default()
-    });
+        obs,
+    );
     let mut links: Vec<_> = g.links().collect();
     links.sort_by_key(|l| l.t);
     for l in links {
@@ -207,6 +244,18 @@ fn main() {
         stats.hit_rate()
     );
 
+    let snap = registry.snapshot();
+    for (name, h) in &snap.histograms {
+        if name.starts_with("ssf.") {
+            println!(
+                "stage {name}: {} calls, {:.1}ms total, p50 {:.1}us",
+                h.count(),
+                h.sum() as f64 / 1e6,
+                h.quantile(0.50) as f64 / 1e3,
+            );
+        }
+    }
+
     let json = format!(
         "{{\n  \"spec\": \"{}\",\n  \"smoke\": {smoke},\n  \
          \"seed\": {seed},\n  \"nodes\": {},\n  \"links\": {},\n  \
@@ -215,7 +264,7 @@ fn main() {
          \"speedup_batch_warm\": {speedup_warm:.3},\n  \"cache\": {{\n    \
          \"ball_hits\": {},\n    \"ball_misses\": {},\n    \
          \"pair_hits\": {},\n    \"pair_misses\": {},\n    \
-         \"invalidations\": {},\n    \"hit_rate\": {:.4}\n  }},\n  \
+         \"invalidations\": {},\n    \"hit_rate\": {:.4}\n  }},\n{},\n  \
          \"bit_identical\": true\n}}\n",
         spec.name,
         g.node_count(),
@@ -230,6 +279,7 @@ fn main() {
         stats.pair_misses,
         stats.invalidations,
         stats.hit_rate(),
+        stages_json(&snap),
     );
     fs::write(&out_path, json).expect("write benchmark json");
     println!("wrote {out_path}");

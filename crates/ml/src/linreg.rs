@@ -10,6 +10,7 @@
 
 use linalg::solve::ridge;
 use linalg::Matrix;
+use obs::ObsHandle;
 
 use crate::error::FitError;
 
@@ -32,6 +33,42 @@ impl LinearRegression {
     /// rank-deficient design; any `lambda > 0` with well-shaped inputs
     /// succeeds.
     pub fn fit(x: &Matrix, y: &[f64], lambda: f64) -> Result<Self, FitError> {
+        Self::fit_observed(x, y, lambda, &ObsHandle::noop())
+    }
+
+    /// [`LinearRegression::fit`] with telemetry: the normal-equation solve
+    /// runs under an `ssf.ml.solver` span, and the mean squared training
+    /// residual of the fitted model lands in the `ssf.ml.solver_residual`
+    /// gauge (computed only when the handle is enabled, so the plain
+    /// [`LinearRegression::fit`] path does no extra work).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`LinearRegression::fit`].
+    pub fn fit_observed(
+        x: &Matrix,
+        y: &[f64],
+        lambda: f64,
+        obs: &ObsHandle,
+    ) -> Result<Self, FitError> {
+        let span = obs.span("ssf.ml.solver");
+        let fitted = Self::fit_inner(x, y, lambda);
+        span.finish();
+        if obs.enabled() {
+            if let Ok(m) = &fitted {
+                let sse: f64 = (0..x.rows())
+                    .map(|i| {
+                        let r = m.predict(x.row(i)) - y[i];
+                        r * r
+                    })
+                    .sum();
+                obs.gauge("ssf.ml.solver_residual", sse / x.rows() as f64);
+            }
+        }
+        fitted
+    }
+
+    fn fit_inner(x: &Matrix, y: &[f64], lambda: f64) -> Result<Self, FitError> {
         if x.rows() == 0 || x.cols() == 0 {
             return Err(FitError::EmptyDesign);
         }

@@ -10,6 +10,7 @@
 use std::io::{self, BufRead, Write};
 
 use linalg::{vector, Matrix};
+use obs::ObsHandle;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -145,6 +146,25 @@ impl NeuralMachine {
     /// Panics if `x` is empty, lengths mismatch, a label is out of range,
     /// or `config` has a zero batch size / learning rate.
     pub fn train(x: &Matrix, y: &[usize], config: MlpConfig) -> Self {
+        Self::train_observed(x, y, config, &ObsHandle::noop())
+    }
+
+    /// [`NeuralMachine::train`] with telemetry: wraps the run in an
+    /// `ssf.ml.fit` span, times each epoch into `ssf.ml.fit_epoch`, counts
+    /// `ssf.ml.epochs`, and publishes the latest validation loss as the
+    /// `ssf.ml.val_loss` gauge. Training math is identical — the recorder
+    /// only watches.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`NeuralMachine::train`].
+    pub fn train_observed(
+        x: &Matrix,
+        y: &[usize],
+        config: MlpConfig,
+        obs: &ObsHandle,
+    ) -> Self {
+        let _fit_span = obs.span("ssf.ml.fit");
         assert!(
             x.rows() > 0 && x.cols() > 0,
             "training set must be non-empty"
@@ -190,6 +210,8 @@ impl NeuralMachine {
         let mut best: Option<(f64, Vec<Dense>)> = None;
         let mut since_best = 0u32;
         for _ in 0..nm.config.epochs {
+            let epoch_span = obs.span("ssf.ml.fit_epoch");
+            obs.counter("ssf.ml.epochs", 1);
             index.shuffle(&mut rng);
             for batch in index.chunks(nm.config.batch_size) {
                 step += 1;
@@ -197,16 +219,19 @@ impl NeuralMachine {
             }
             if val_len > 0 {
                 let loss = nm.subset_cross_entropy(x, y, &val_idx);
+                obs.gauge("ssf.ml.val_loss", loss);
                 if best.as_ref().is_none_or(|(b, _)| loss < *b) {
                     best = Some((loss, nm.layers.clone()));
                     since_best = 0;
                 } else {
                     since_best += 1;
                     if since_best >= nm.config.patience {
+                        epoch_span.finish();
                         break;
                     }
                 }
             }
+            epoch_span.finish();
         }
         if let Some((_, layers)) = best {
             nm.layers = layers;

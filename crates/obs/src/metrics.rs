@@ -1,0 +1,354 @@
+//! The three metric primitives: monotone counters, last-value gauges and
+//! fixed-bucket latency histograms.
+//!
+//! Counters and gauges are lock-free atomics so the hot layers can record
+//! from any thread without coordination. Histograms come in two forms:
+//! [`AtomicHistogram`] (the registry-internal, concurrently-writable form)
+//! and [`Histogram`] (a plain value type used in snapshots, with a `merge`
+//! that is associative and commutative — the property tests pin this).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+///
+/// Snapshots taken while other threads increment are always *some* value
+/// the counter passed through: reads and writes are single atomic ops, so
+/// observed values are monotone over time.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `delta` to the counter.
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one to the counter.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding one `f64`.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    /// The value's IEEE-754 bit pattern (atomics hold integers only).
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge starting at `0.0`.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Replaces the gauge value.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Upper bounds (inclusive, in nanoseconds) of the fixed histogram
+/// buckets: 1 µs doubling up to ~8.6 s, plus an implicit overflow bucket.
+///
+/// The bounds are part of the frozen snapshot schema: they never change
+/// between versions, which is what makes [`Histogram::merge`] total and
+/// downstream dashboards stable.
+pub const BUCKET_BOUNDS_NS: [u64; 24] = {
+    let mut bounds = [0u64; 24];
+    let mut i = 0;
+    let mut b = 1_000u64; // 1 µs
+    while i < 24 {
+        bounds[i] = b;
+        b *= 2;
+        i += 1;
+    }
+    bounds
+};
+
+/// Number of buckets including the overflow bucket.
+pub const BUCKETS: usize = BUCKET_BOUNDS_NS.len() + 1;
+
+/// Index of the bucket a value falls into (the overflow bucket for values
+/// above the last bound).
+fn bucket_index(value: u64) -> usize {
+    BUCKET_BOUNDS_NS
+        .iter()
+        .position(|&b| value <= b)
+        .unwrap_or(BUCKET_BOUNDS_NS.len())
+}
+
+/// A plain, mergeable latency histogram over the fixed bucket layout.
+///
+/// This is the snapshot/value form: single-threaded, `Clone`/`PartialEq`,
+/// with quantile summaries estimated from the bucket counts. The registry
+/// records into [`AtomicHistogram`] and converts on snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample (typically a duration in nanoseconds).
+    pub fn record(&mut self, value: u64) {
+        self.buckets[bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample; 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample; 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Per-bucket counts (not cumulative), overflow bucket last.
+    ///
+    /// Invariant (pinned by the metrics-invariant tests): the counts sum
+    /// to [`Histogram::count`].
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Upper bound of bucket `i`; `None` for the overflow bucket.
+    pub fn bucket_bound(i: usize) -> Option<u64> {
+        BUCKET_BOUNDS_NS.get(i).copied()
+    }
+
+    /// Folds another histogram into this one.
+    ///
+    /// Merging is associative and commutative (bucket-wise addition), and
+    /// `a.merge(b)` then querying equals recording all of `a`'s and `b`'s
+    /// samples into one histogram — the property tests pin both.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Quantile estimate for `q ∈ [0, 1]`: the upper bound of the first
+    /// bucket whose cumulative count reaches `⌈q·count⌉`, clamped to the
+    /// observed `[min, max]` range. Monotone in `q` by construction and 0
+    /// when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let threshold = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= threshold {
+                let ub = Histogram::bucket_bound(i).unwrap_or(self.max);
+                return ub.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of the recorded samples; 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// The concurrently-writable histogram the registry hands to recorders.
+///
+/// All fields are relaxed atomics: a record is a handful of uncontended
+/// atomic ops, and a snapshot taken mid-record is a valid histogram of
+/// some prefix of the recorded samples.
+#[derive(Debug, Default)]
+pub struct AtomicHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let h = AtomicHistogram::default();
+        h.min.store(u64::MAX, Ordering::Relaxed);
+        h
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// A point-in-time plain-histogram copy.
+    pub fn snapshot(&self) -> Histogram {
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        // Derive count from the bucket counts so the snapshot invariant
+        // `count == Σ buckets` holds even when another thread is mid-way
+        // through a record (its bucket increment may have landed while
+        // its count increment has not, or vice versa).
+        let count: u64 = buckets.iter().sum();
+        Histogram {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauge_holds_last_value() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), 0.0);
+        g.set(2.5);
+        g.set(-1.0);
+        assert_eq!(g.get(), -1.0);
+    }
+
+    #[test]
+    fn histogram_count_equals_bucket_sum() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 999, 1_000, 1_001, 5_000_000, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 7);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bracketed() {
+        let mut h = Histogram::new();
+        for v in [800, 1_500, 3_000, 100_000, 9_000_000] {
+            h.record(v);
+        }
+        let (p50, p95, p99) =
+            (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(h.min() <= p50 && p99 <= h.max());
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything() {
+        let samples_a = [1u64, 2_000, 70_000];
+        let samples_b = [900u64, 900, 40_000_000_000];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for &v in &samples_a {
+            a.record(v);
+            all.record(v);
+        }
+        for &v in &samples_b {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn atomic_histogram_snapshot_matches_plain() {
+        let ah = AtomicHistogram::new();
+        let mut h = Histogram::new();
+        for v in [500u64, 12_345, 700_000_000] {
+            ah.record(v);
+            h.record(v);
+        }
+        assert_eq!(ah.snapshot(), h);
+    }
+}

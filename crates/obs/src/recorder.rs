@@ -1,0 +1,283 @@
+//! The recording facade the pipeline layers talk to.
+//!
+//! Hot code never holds a [`Registry`] directly; it holds an [`ObsHandle`]
+//! and emits through the [`Recorder`] trait. The default handle is the
+//! no-op: every method is an empty inlineable call behind a `None` check,
+//! so a disabled pipeline performs no clock reads, no allocation and no
+//! atomic traffic — and, by construction, recording can never change a
+//! computed value (the `tests/observability.rs` bit-identity tests pin
+//! this end to end).
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::registry::{Registry, Snapshot};
+
+/// A sink for telemetry events.
+///
+/// All methods default to no-ops so sinks only override what they store;
+/// [`NoopRecorder`] is the all-defaults implementation.
+pub trait Recorder: Send + Sync {
+    /// Adds `delta` to the counter named `name`.
+    fn counter_add(&self, name: &str, delta: u64) {
+        let _ = (name, delta);
+    }
+
+    /// Sets the gauge named `name`.
+    fn gauge_set(&self, name: &str, value: f64) {
+        let _ = (name, value);
+    }
+
+    /// Records one duration sample into the histogram named `name`.
+    fn observe_ns(&self, name: &str, nanos: u64) {
+        let _ = (name, nanos);
+    }
+
+    /// Marks the start of a span (called by [`ObsHandle::span`]).
+    fn span_enter(&self, name: &str) {
+        let _ = name;
+    }
+
+    /// Marks the end of a span with its duration.
+    fn span_exit(&self, name: &str, nanos: u64) {
+        let _ = (name, nanos);
+    }
+
+    /// A point-in-time snapshot of everything this sink has stored.
+    fn snapshot(&self) -> Snapshot {
+        Snapshot::default()
+    }
+}
+
+/// The all-defaults [`Recorder`]: stores nothing, returns empty snapshots.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// Counter of spans entered, maintained by [`RegistryRecorder`]. Together
+/// with [`SPANS_EXITED`] it makes span-nesting balance an observable
+/// invariant: after every guard has dropped, the two counters are equal.
+pub const SPANS_ENTERED: &str = "obs.spans.entered";
+/// Counter of spans exited (see [`SPANS_ENTERED`]).
+pub const SPANS_EXITED: &str = "obs.spans.exited";
+
+/// A [`Recorder`] backed by a shared [`Registry`]: counters and gauges map
+/// one-to-one, span exits land in the histogram of the span's name.
+#[derive(Debug, Clone)]
+pub struct RegistryRecorder {
+    registry: Arc<Registry>,
+}
+
+impl RegistryRecorder {
+    /// A recorder writing into `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        RegistryRecorder { registry }
+    }
+
+    /// The backing registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+}
+
+impl Recorder for RegistryRecorder {
+    fn counter_add(&self, name: &str, delta: u64) {
+        self.registry.counter(name).add(delta);
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        self.registry.gauge(name).set(value);
+    }
+
+    fn observe_ns(&self, name: &str, nanos: u64) {
+        self.registry.histogram(name).record(nanos);
+    }
+
+    fn span_enter(&self, name: &str) {
+        let _ = name;
+        self.registry.counter(SPANS_ENTERED).incr();
+    }
+
+    fn span_exit(&self, name: &str, nanos: u64) {
+        self.registry.counter(SPANS_EXITED).incr();
+        self.registry.histogram(name).record(nanos);
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        self.registry.snapshot()
+    }
+}
+
+/// A cheap, cloneable handle to a recorder — the type the pipeline layers
+/// store and thread around. The default/no-op handle carries no recorder
+/// at all, so every emit short-circuits on one `Option` check.
+#[derive(Clone, Default)]
+pub struct ObsHandle {
+    rec: Option<Arc<dyn Recorder>>,
+}
+
+impl fmt::Debug for ObsHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObsHandle")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl ObsHandle {
+    /// The disabled handle: records nothing, costs nothing.
+    pub fn noop() -> Self {
+        ObsHandle::default()
+    }
+
+    /// A handle emitting into an arbitrary recorder.
+    pub fn new(rec: Arc<dyn Recorder>) -> Self {
+        ObsHandle { rec: Some(rec) }
+    }
+
+    /// A handle emitting into `registry` via a [`RegistryRecorder`].
+    pub fn of_registry(registry: Arc<Registry>) -> Self {
+        ObsHandle::new(Arc::new(RegistryRecorder::new(registry)))
+    }
+
+    /// `true` when emits reach a recorder.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.rec.is_some()
+    }
+
+    /// Adds `delta` to counter `name`.
+    #[inline]
+    pub fn counter(&self, name: &str, delta: u64) {
+        if let Some(rec) = &self.rec {
+            rec.counter_add(name, delta);
+        }
+    }
+
+    /// Sets gauge `name`.
+    #[inline]
+    pub fn gauge(&self, name: &str, value: f64) {
+        if let Some(rec) = &self.rec {
+            rec.gauge_set(name, value);
+        }
+    }
+
+    /// Records a duration sample into histogram `name`.
+    #[inline]
+    pub fn observe_ns(&self, name: &str, nanos: u64) {
+        if let Some(rec) = &self.rec {
+            rec.observe_ns(name, nanos);
+        }
+    }
+
+    /// Opens a timed span; the returned guard records the elapsed time
+    /// into the histogram named `name` when dropped. On the no-op handle
+    /// the guard is inert and no clock is read.
+    ///
+    /// The guard owns its recorder reference, so it outlives any borrow
+    /// of the handle — callers can keep mutating the structure the handle
+    /// lives in while the span is open.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        match &self.rec {
+            None => SpanGuard { active: None },
+            Some(rec) => {
+                rec.span_enter(name);
+                SpanGuard {
+                    active: Some((Arc::clone(rec), name, Instant::now())),
+                }
+            }
+        }
+    }
+
+    /// Snapshot of the underlying recorder (empty for the no-op handle).
+    pub fn snapshot(&self) -> Snapshot {
+        self.rec
+            .as_ref()
+            .map_or_else(Snapshot::default, |r| r.snapshot())
+    }
+}
+
+/// Guard returned by [`ObsHandle::span`]; records on drop.
+#[must_use = "a span measures nothing unless it is held until the end of \
+              the timed region"]
+pub struct SpanGuard {
+    active: Option<(Arc<dyn Recorder>, &'static str, Instant)>,
+}
+
+impl SpanGuard {
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((rec, name, start)) = self.active.take() {
+            let nanos =
+                u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            rec.span_exit(name, nanos);
+        }
+    }
+}
+
+impl fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("active", &self.active.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handle_is_inert() {
+        let h = ObsHandle::noop();
+        assert!(!h.enabled());
+        h.counter("c", 1);
+        h.gauge("g", 1.0);
+        h.observe_ns("h", 5);
+        h.span("s").finish();
+        assert!(h.snapshot().is_empty());
+    }
+
+    #[test]
+    fn registry_handle_records_everything() {
+        let reg = Arc::new(Registry::new());
+        let h = ObsHandle::of_registry(Arc::clone(&reg));
+        assert!(h.enabled());
+        h.counter("c", 2);
+        h.gauge("g", 0.5);
+        h.observe_ns("lat", 3_000);
+        {
+            let _outer = h.span("outer");
+            let _inner = h.span("inner");
+        }
+        let s = reg.snapshot();
+        assert_eq!(s.counter("c"), 2);
+        assert_eq!(s.gauge("g"), 0.5);
+        assert_eq!(s.histogram("lat").map(|h| h.count()), Some(1));
+        assert_eq!(s.counter(SPANS_ENTERED), 2);
+        assert_eq!(s.counter(SPANS_EXITED), 2);
+        assert_eq!(s.histogram("outer").map(|h| h.count()), Some(1));
+        assert_eq!(s.histogram("inner").map(|h| h.count()), Some(1));
+    }
+
+    #[test]
+    fn span_guard_survives_handle_drop() {
+        let reg = Arc::new(Registry::new());
+        let guard = {
+            let h = ObsHandle::of_registry(Arc::clone(&reg));
+            h.span("detached")
+        };
+        drop(guard);
+        assert_eq!(
+            reg.snapshot().histogram("detached").map(|h| h.count()),
+            Some(1)
+        );
+    }
+}

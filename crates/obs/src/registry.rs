@@ -1,0 +1,321 @@
+//! The process-wide metric registry and its stable snapshot format.
+//!
+//! A [`Registry`] owns labeled metric families — counters, gauges and
+//! histograms keyed by a rendered metric name — behind `RwLock`-guarded
+//! maps of `Arc`-shared atomics. Lookups take a read lock; creating a
+//! metric the first time takes a short write lock. Recording through an
+//! already-resolved handle is lock-free.
+//!
+//! [`Snapshot`] is the frozen export format: every consumer (the CLI's
+//! `--metrics-json`, the bench JSON, `health()`) goes through
+//! [`Registry::snapshot`] and [`Snapshot::to_json`], and the golden test
+//! in `tests/observability.rs` pins the JSON field names and types.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, RwLock};
+
+use crate::metrics::{AtomicHistogram, Counter, Gauge, Histogram};
+
+/// Renders a metric family plus labels into one canonical name:
+/// `family{k1=v1,k2=v2}` with labels in the given order, or just `family`
+/// when there are none. The rendered name is the registry key, so equal
+/// label sets must be passed in a stable order.
+pub fn labeled(family: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return family.to_string();
+    }
+    let mut name = String::with_capacity(family.len() + 16);
+    name.push_str(family);
+    name.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            name.push(',');
+        }
+        let _ = write!(name, "{k}={v}");
+    }
+    name.push('}');
+    name
+}
+
+/// A process-wide registry of labeled metric families.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<AtomicHistogram>>>,
+}
+
+/// Get-or-create over one of the three maps; poisoned locks fall back to
+/// a detached metric (recording proceeds, the sample is simply lost)
+/// rather than panicking inside the observability layer.
+macro_rules! get_or_create {
+    ($map:expr, $name:expr, $new:expr) => {{
+        if let Ok(read) = $map.read() {
+            if let Some(m) = read.get($name) {
+                return Arc::clone(m);
+            }
+        }
+        match $map.write() {
+            Ok(mut write) => Arc::clone(
+                write.entry($name.to_string()).or_insert_with(|| $new),
+            ),
+            Err(_) => $new,
+        }
+    }};
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_create!(self.counters, name, Arc::new(Counter::new()))
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_create!(self.gauges, name, Arc::new(Gauge::new()))
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<AtomicHistogram> {
+        get_or_create!(self.histograms, name, Arc::new(AtomicHistogram::new()))
+    }
+
+    /// A point-in-time copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self.counters.read().map_or_else(
+            |_| BTreeMap::new(),
+            |m| m.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+        );
+        let gauges = self.gauges.read().map_or_else(
+            |_| BTreeMap::new(),
+            |m| m.iter().map(|(k, v)| (k.clone(), v.get())).collect(),
+        );
+        let histograms = self.histograms.read().map_or_else(
+            |_| BTreeMap::new(),
+            |m| m.iter().map(|(k, v)| (k.clone(), v.snapshot())).collect(),
+        );
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Registry`]'s metrics.
+///
+/// The JSON rendering ([`Snapshot::to_json`]) is the stable export schema:
+///
+/// ```json
+/// {
+///   "schema": "ssf.metrics.v1",
+///   "counters": { "<name>": <u64>, ... },
+///   "gauges": { "<name>": <f64>, ... },
+///   "histograms": {
+///     "<name>": {
+///       "count": <u64>, "sum_ns": <u64>,
+///       "min_ns": <u64>, "max_ns": <u64>, "mean_ns": <f64>,
+///       "p50_ns": <u64>, "p95_ns": <u64>, "p99_ns": <u64>,
+///       "buckets": [[<le_ns|null>, <count>], ...]
+///     }, ...
+///   }
+/// }
+/// ```
+///
+/// Maps are sorted by metric name; `buckets` lists only non-empty buckets
+/// as `[upper_bound, count]` pairs, the overflow bucket with `null` bound.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram copies by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Snapshot {
+    /// `true` when no metric was ever touched.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+    }
+
+    /// Counter value by name (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by name (0.0 when absent).
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Histogram by name, if it was recorded into.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Renders the stable JSON export format (see the type docs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n  \"schema\": \"ssf.metrics.v1\",\n");
+        out.push_str("  \"counters\": {");
+        render_map(&mut out, &self.counters, |out, v| {
+            let _ = write!(out, "{v}");
+        });
+        out.push_str("},\n  \"gauges\": {");
+        render_map(&mut out, &self.gauges, |out, v| {
+            let _ = write!(out, "{}", json_f64(*v));
+        });
+        out.push_str("},\n  \"histograms\": {");
+        render_map(&mut out, &self.histograms, |out, h| {
+            render_histogram(out, h);
+        });
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+/// Renders one sorted `name: value` map body with 4-space indentation.
+fn render_map<V>(
+    out: &mut String,
+    map: &BTreeMap<String, V>,
+    mut render: impl FnMut(&mut String, &V),
+) {
+    let mut first = true;
+    for (name, value) in map {
+        out.push_str(if first { "\n" } else { ",\n" });
+        first = false;
+        let _ = write!(out, "    \"{}\": ", escape_json(name));
+        render(out, value);
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+fn render_histogram(out: &mut String, h: &Histogram) {
+    let _ = write!(
+        out,
+        "{{ \"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+         \"mean_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \
+         \"buckets\": [",
+        h.count(),
+        h.sum(),
+        h.min(),
+        h.max(),
+        json_f64(h.mean()),
+        h.quantile(0.50),
+        h.quantile(0.95),
+        h.quantile(0.99),
+    );
+    let mut first = true;
+    for (i, &c) in h.bucket_counts().iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if !first {
+            out.push_str(", ");
+        }
+        first = false;
+        match Histogram::bucket_bound(i) {
+            Some(le) => {
+                let _ = write!(out, "[{le}, {c}]");
+            }
+            None => {
+                let _ = write!(out, "[null, {c}]");
+            }
+        }
+    }
+    out.push_str("] }");
+}
+
+/// Formats an `f64` as a JSON number: always with a decimal point or
+/// exponent so the type is unambiguous, and non-finite values (invalid in
+/// JSON) as `null`.
+fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Escapes a metric name for embedding in a JSON string literal.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labeled_renders_canonically() {
+        assert_eq!(labeled("ssf.core.ball", &[]), "ssf.core.ball");
+        assert_eq!(
+            labeled("ssf.stream.quarantined", &[("reason", "self_loop")]),
+            "ssf.stream.quarantined{reason=self_loop}"
+        );
+    }
+
+    #[test]
+    fn registry_get_or_create_shares_metrics() {
+        let r = Registry::new();
+        r.counter("a").add(2);
+        r.counter("a").add(3);
+        r.gauge("g").set(1.5);
+        r.histogram("h").record(2_000);
+        let s = r.snapshot();
+        assert_eq!(s.counter("a"), 5);
+        assert_eq!(s.gauge("g"), 1.5);
+        assert_eq!(s.histogram("h").map(Histogram::count), Some(1));
+        assert_eq!(s.counter("absent"), 0);
+    }
+
+    #[test]
+    fn empty_snapshot_renders_valid_json() {
+        let s = Registry::new().snapshot();
+        assert!(s.is_empty());
+        let json = s.to_json();
+        assert!(json.contains("\"schema\": \"ssf.metrics.v1\""));
+        assert!(json.contains("\"counters\": {}"));
+    }
+
+    #[test]
+    fn json_f64_is_typed_and_total() {
+        assert_eq!(json_f64(1.0), "1.0");
+        assert_eq!(json_f64(0.25), "0.25");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn escape_json_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("tab\tend"), "tab\\u0009end");
+    }
+}

@@ -1,0 +1,226 @@
+//! Property tests over the metric primitives: the algebraic laws the
+//! rest of the observability layer leans on.
+//!
+//! Histogram merging must be a commutative monoid action identical to
+//! replaying every sample into one histogram — that is what makes the
+//! cross-chunk [`CacheStats`]-style aggregation and any future
+//! multi-process rollup well-defined. Quantiles must be monotone in `q`
+//! and bracketed by the observed range. Counters must be monotone under
+//! concurrent increments and lose nothing.
+//!
+//! Run with the default test harness and again with
+//! `RUST_TEST_THREADS=1` (CI does both): the concurrent properties must
+//! hold regardless of how the harness schedules tests around them.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use obs::{AtomicHistogram, Counter, Histogram, Registry, BUCKETS};
+use proptest::prelude::*;
+
+/// Strategy: a batch of plausible latency samples in nanoseconds,
+/// spanning sub-bucket values, mid-range latencies and overflow.
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0..2_000u64).boxed(),
+            (2_000..5_000_000u64).boxed(),
+            (5_000_000..20_000_000_000u64).boxed(),
+        ],
+        0..40,
+    )
+}
+
+fn hist_of(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `merge` is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn histogram_merge_is_associative(
+        a in samples(),
+        b in samples(),
+        c in samples(),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// `merge` is commutative: a ⊕ b == b ⊕ a.
+    #[test]
+    fn histogram_merge_is_commutative(a in samples(), b in samples()) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Merging equals replaying every sample into one histogram, and the
+    /// empty histogram is the identity.
+    #[test]
+    fn histogram_merge_equals_replay(a in samples(), b in samples()) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let all: Vec<u64> =
+            a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(&merged, &hist_of(&all));
+        merged.merge(&Histogram::new());
+        prop_assert_eq!(&merged, &hist_of(&all));
+    }
+
+    /// Bucket counts always sum to `count`, whatever was recorded.
+    #[test]
+    fn histogram_count_equals_bucket_sum(a in samples()) {
+        let h = hist_of(&a);
+        prop_assert_eq!(h.count(), a.len() as u64);
+        prop_assert_eq!(
+            h.bucket_counts().iter().sum::<u64>(),
+            h.count()
+        );
+        prop_assert_eq!(h.bucket_counts().len(), BUCKETS);
+    }
+
+    /// Quantiles are monotone in `q` and bracketed by `[min, max]`.
+    #[test]
+    fn quantiles_monotone_and_bracketed(
+        a in samples().prop_filter("non-empty", |s| !s.is_empty()),
+        q1 in 0.0..1.0f64,
+        q2 in 0.0..1.0f64,
+    ) {
+        let h = hist_of(&a);
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        prop_assert!(h.quantile(lo) <= h.quantile(hi));
+        prop_assert!(h.min() <= h.quantile(lo));
+        prop_assert!(h.quantile(hi) <= h.max());
+        // q = 1 pins to the observed maximum exactly (the last occupied
+        // bucket's bound clamps down to `max`); q = 0 only brackets,
+        // since the estimate is a bucket upper bound.
+        prop_assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    /// A counter incremented concurrently from several threads never
+    /// shows a decreasing value to a reader and ends at the exact total.
+    #[test]
+    fn counter_is_monotone_under_concurrent_increments(
+        per_thread in prop::collection::vec(1..200u64, 2..5),
+    ) {
+        let counter = Arc::new(Counter::new());
+        let done = Arc::new(AtomicBool::new(false));
+        let reader = {
+            let counter = Arc::clone(&counter);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut observed = Vec::new();
+                while !done.load(Ordering::Acquire) {
+                    observed.push(counter.get());
+                }
+                observed.push(counter.get());
+                observed
+            })
+        };
+        let writers: Vec<_> = per_thread
+            .iter()
+            .map(|&n| {
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..n {
+                        counter.incr();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().expect("writer thread must not panic");
+        }
+        done.store(true, Ordering::Release);
+        let observed = reader.join().expect("reader must not panic");
+        let total: u64 = per_thread.iter().sum();
+        prop_assert!(
+            observed.windows(2).all(|w| w[0] <= w[1]),
+            "counter reads went backwards: {observed:?}"
+        );
+        prop_assert_eq!(*observed.last().unwrap(), total);
+        prop_assert_eq!(counter.get(), total);
+    }
+
+    /// Snapshots of an [`AtomicHistogram`] taken *while* other threads
+    /// record still satisfy the bucket-sum invariant, and the final
+    /// snapshot accounts for every sample.
+    #[test]
+    fn atomic_histogram_snapshot_is_consistent_mid_record(
+        per_thread in prop::collection::vec(
+            prop::collection::vec(0..20_000_000_000u64, 1..60),
+            2..4,
+        ),
+    ) {
+        let hist = Arc::new(AtomicHistogram::new());
+        let writers: Vec<_> = per_thread
+            .iter()
+            .cloned()
+            .map(|vals| {
+                let hist = Arc::clone(&hist);
+                std::thread::spawn(move || {
+                    for v in vals {
+                        hist.record(v);
+                    }
+                })
+            })
+            .collect();
+        // Snapshot while writers race: count must equal the bucket sum
+        // even mid-record (count is derived from the buckets).
+        for _ in 0..8 {
+            let snap = hist.snapshot();
+            prop_assert_eq!(
+                snap.bucket_counts().iter().sum::<u64>(),
+                snap.count()
+            );
+        }
+        for w in writers {
+            w.join().expect("writer thread must not panic");
+        }
+        let all: Vec<u64> =
+            per_thread.iter().flatten().copied().collect();
+        prop_assert_eq!(hist.snapshot(), hist_of(&all));
+    }
+
+    /// Registry counters accumulate exactly under concurrent writers
+    /// sharing one metric name.
+    #[test]
+    fn registry_counter_loses_nothing_under_contention(
+        per_thread in prop::collection::vec(1..300u64, 2..5),
+    ) {
+        let reg = Arc::new(Registry::new());
+        let writers: Vec<_> = per_thread
+            .iter()
+            .map(|&n| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for _ in 0..n {
+                        reg.counter("contended").incr();
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().expect("writer thread must not panic");
+        }
+        let total: u64 = per_thread.iter().sum();
+        prop_assert_eq!(reg.snapshot().counter("contended"), total);
+    }
+}

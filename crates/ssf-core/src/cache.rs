@@ -30,6 +30,7 @@ use std::hash::Hash;
 use std::sync::Arc;
 
 use dyngraph::{DynamicNetwork, NodeId};
+use obs::ObsHandle;
 
 use crate::hop::{ball, HopScratch};
 use crate::kstructure::KStructureSubgraph;
@@ -151,6 +152,22 @@ impl CacheStats {
             hits as f64 / total as f64
         }
     }
+
+    /// Total lookups, hits and misses, balls and pairs combined.
+    pub fn total_lookups(&self) -> u64 {
+        self.ball_hits + self.ball_misses + self.pair_hits + self.pair_misses
+    }
+
+    /// Folds another cache's tallies into this one — the aggregation the
+    /// batch extraction paths use to combine per-chunk caches into one
+    /// hit-rate account.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.ball_hits += other.ball_hits;
+        self.ball_misses += other.ball_misses;
+        self.pair_hits += other.pair_hits;
+        self.pair_misses += other.pair_misses;
+        self.invalidations += other.invalidations;
+    }
 }
 
 /// The graph-versioned extraction cache (see the [module docs](self)).
@@ -173,6 +190,7 @@ pub struct ExtractionCache {
     pairs: LruCache<(NodeId, NodeId), Arc<CachedPair>>,
     pub(crate) scratch: ExtractScratch,
     pub(crate) stats: CacheStats,
+    pub(crate) obs: ObsHandle,
 }
 
 impl Default for ExtractionCache {
@@ -196,7 +214,28 @@ impl ExtractionCache {
             pairs: LruCache::new(pairs),
             scratch: ExtractScratch::default(),
             stats: CacheStats::default(),
+            obs: ObsHandle::noop(),
         }
+    }
+
+    /// A default-capacity cache whose extractions emit per-stage spans
+    /// (`ssf.core.*`) through `recorder`. The no-op handle makes this
+    /// identical to [`ExtractionCache::new`].
+    pub fn with_recorder(recorder: ObsHandle) -> Self {
+        let mut cache = Self::new();
+        cache.obs = recorder;
+        cache
+    }
+
+    /// Replaces the telemetry recorder (metrics only — never affects
+    /// cached values; see the bit-identity tests).
+    pub fn set_recorder(&mut self, recorder: ObsHandle) {
+        self.obs = recorder;
+    }
+
+    /// The telemetry handle extractions running against this cache use.
+    pub fn recorder(&self) -> &ObsHandle {
+        &self.obs
     }
 
     /// Counters accumulated since construction (they survive
@@ -254,7 +293,9 @@ impl ExtractionCache {
             return Arc::clone(b);
         }
         self.stats.ball_misses += 1;
+        let span = self.obs.span("ssf.core.ball");
         let b = Arc::new(ball(g, src, h, &mut self.scratch.hop));
+        span.finish();
         self.balls.insert((src, h), Arc::clone(&b));
         b
     }

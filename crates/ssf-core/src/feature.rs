@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use dyngraph::{traversal, DynamicNetwork, NodeId, Timestamp};
+use obs::ObsHandle;
 
 use crate::cache::{CachedPair, ExtractionCache};
 use crate::error::ExtractError;
@@ -251,7 +252,13 @@ impl SsfExtractor {
         l_t: Timestamp,
     ) -> Result<SsfFeature, ExtractError> {
         let (ks, h_used, structure_nodes) = self.try_k_structure(g, a, b)?;
-        Ok(self.feature_from_ks(&ks, h_used, structure_nodes, l_t))
+        Ok(self.feature_from_ks(
+            &ks,
+            h_used,
+            structure_nodes,
+            l_t,
+            &ObsHandle::noop(),
+        ))
     }
 
     /// [`SsfExtractor::try_extract`] against an [`ExtractionCache`]:
@@ -274,7 +281,8 @@ impl SsfExtractor {
         cache: &mut ExtractionCache,
     ) -> Result<SsfFeature, ExtractError> {
         let p = self.try_k_structure_cached(g, a, b, cache)?;
-        Ok(self.feature_from_ks(&p.ks, p.h_used, p.structure_nodes, l_t))
+        let obs = cache.recorder().clone();
+        Ok(self.feature_from_ks(&p.ks, p.h_used, p.structure_nodes, l_t, &obs))
     }
 
     /// Definitions 9–10 from an already-selected K-structure subgraph: the
@@ -285,7 +293,9 @@ impl SsfExtractor {
         h_used: u32,
         structure_nodes: usize,
         l_t: Timestamp,
+        obs: &ObsHandle,
     ) -> SsfFeature {
+        let _span = obs.span("ssf.core.encode");
         let k = self.config.k;
         let mut values = Vec::with_capacity(self.config.feature_dim());
         match self.config.encoding {
@@ -388,6 +398,7 @@ impl SsfExtractor {
         b: NodeId,
         cache: &mut ExtractionCache,
     ) -> CachedPair {
+        let _pair_span = cache.recorder().span("ssf.core.pair");
         let k = self.config.k;
         let mut h = 1;
         let ball_a = cache.ball(g, a, h);
@@ -401,12 +412,15 @@ impl SsfExtractor {
             ball_b.as_slice(),
             &mut cache.scratch.hop,
         );
+        let structure_span = cache.recorder().span("ssf.core.structure");
         let mut s = StructureSubgraph::combine_with_scratch(
             &hop,
             &mut cache.scratch.structure,
         );
+        structure_span.finish();
         while s.node_count() < k && h < self.config.max_h {
             h += 1;
+            cache.recorder().counter("ssf.core.kgrowth_rounds", 1);
             let ball_a = cache.ball(g, a, h);
             let ball_b = cache.ball(g, b, h);
             let grown = HopSubgraph::from_balls(
@@ -422,10 +436,12 @@ impl SsfExtractor {
                 break; // component exhausted
             }
             hop = grown;
+            let structure_span = cache.recorder().span("ssf.core.structure");
             s = StructureSubgraph::combine_with_scratch(
                 &hop,
                 &mut cache.scratch.structure,
             );
+            structure_span.finish();
         }
         let adj: Vec<Vec<usize>> = (0..s.node_count())
             .map(|x| s.neighbors(x).to_vec())
@@ -450,6 +466,7 @@ impl SsfExtractor {
         let tiebreak: Vec<u64> = (0..s.node_count())
             .map(|x| s.members(x)[0] as u64)
             .collect();
+        let wl_span = cache.recorder().span("ssf.core.wl");
         let order = palette_wl_with_scratch(
             &adj,
             &dist,
@@ -457,6 +474,7 @@ impl SsfExtractor {
             &tiebreak,
             &mut cache.scratch.wl,
         );
+        wl_span.finish();
         let node_count = s.node_count();
         CachedPair {
             ks: KStructureSubgraph::select(&s, &order, k),

@@ -15,15 +15,17 @@
 use std::fs::File;
 use std::io::BufReader;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use ssf_repro::baselines;
 use ssf_repro::datasets::{generate, DatasetSpec};
 use ssf_repro::dyngraph::{io, metrics, stats::NetworkStats, DynamicNetwork};
 use ssf_repro::methods::{Method, MethodOptions};
 use ssf_repro::model::SsfnmModel;
+use ssf_repro::obs::{ObsHandle, Registry};
 use ssf_repro::ssf_core::{
-    HopSubgraph, PatternMiner, RoleAnalysis, SsfConfig, SsfExtractor,
-    StructureSubgraph,
+    ExtractionCache, HopSubgraph, PatternMiner, RoleAnalysis, SsfConfig,
+    SsfExtractor, StructureSubgraph,
 };
 use ssf_repro::ssf_eval::{
     backtest_splits, BacktestConfig, ResultsTable, Split, SplitConfig,
@@ -31,21 +33,25 @@ use ssf_repro::ssf_eval::{
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.first().map(String::as_str) {
-        Some("stats") => cmd_stats(&args[1..]),
-        Some("generate") => cmd_generate(&args[1..]),
-        Some("extract") => cmd_extract(&args[1..]),
-        Some("roles") => cmd_roles(&args[1..]),
-        Some("patterns") => cmd_patterns(&args[1..]),
-        Some("evaluate") => cmd_evaluate(&args[1..]),
-        Some("train") => cmd_train(&args[1..]),
-        Some("predict") => cmd_predict(&args[1..]),
-        Some("--help") | Some("-h") | None => {
-            print_usage();
-            Ok(())
+    let metrics_json = flag(&args, "--metrics-json");
+    let metrics_stderr = args.iter().any(|a| a == "--metrics-stderr");
+    let registry = (metrics_json.is_some() || metrics_stderr)
+        .then(|| Arc::new(Registry::new()));
+    let obs = registry.as_ref().map_or_else(ObsHandle::noop, |r| {
+        ObsHandle::of_registry(Arc::clone(r))
+    });
+    let result = dispatch(&args, &obs);
+    if let Some(registry) = registry {
+        let json = registry.snapshot().to_json();
+        if metrics_stderr {
+            eprint!("{json}");
         }
-        Some(other) => Err(format!("unknown subcommand {other:?}; try --help")),
-    };
+        if let Some(path) = metrics_json {
+            if let Err(e) = std::fs::write(&path, &json) {
+                eprintln!("warning: cannot write metrics to {path}: {e}");
+            }
+        }
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
@@ -53,6 +59,38 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Runs the selected subcommand under its `ssf.cli.<subcommand>` span.
+fn dispatch(args: &[String], obs: &ObsHandle) -> Result<(), String> {
+    let span = obs.span(match args.first().map(String::as_str) {
+        Some("stats") => "ssf.cli.stats",
+        Some("generate") => "ssf.cli.generate",
+        Some("extract") => "ssf.cli.extract",
+        Some("roles") => "ssf.cli.roles",
+        Some("patterns") => "ssf.cli.patterns",
+        Some("evaluate") => "ssf.cli.evaluate",
+        Some("train") => "ssf.cli.train",
+        Some("predict") => "ssf.cli.predict",
+        _ => "ssf.cli.other",
+    });
+    let result = match args.first().map(String::as_str) {
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("extract") => cmd_extract(&args[1..], obs),
+        Some("roles") => cmd_roles(&args[1..]),
+        Some("patterns") => cmd_patterns(&args[1..], obs),
+        Some("evaluate") => cmd_evaluate(&args[1..], obs),
+        Some("train") => cmd_train(&args[1..], obs),
+        Some("predict") => cmd_predict(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}; try --help")),
+    };
+    span.finish();
+    result
 }
 
 fn print_usage() {
@@ -73,6 +111,11 @@ USAGE:
   ssf train    <edge-list> --out MODEL [--k N] [--epochs N]
                                                fit SSFNM, persist the model
   ssf predict  <edge-list> <model> <u> <v>     score a pair with a saved model
+
+Global flags (any subcommand):
+  --metrics-json PATH   write an ssf.metrics.v1 JSON snapshot of pipeline
+                        telemetry (span timings, counters, histograms)
+  --metrics-stderr      print the same snapshot to stderr
 
 Datasets: eu-email contact facebook coauthor prosper slashdot digg"
     );
@@ -200,7 +243,7 @@ fn parse_pair(args: &[String]) -> Result<(String, u32, u32), String> {
     Ok((path, u, v))
 }
 
-fn cmd_extract(args: &[String]) -> Result<(), String> {
+fn cmd_extract(args: &[String], obs: &ObsHandle) -> Result<(), String> {
     let (path, u, v) = parse_pair(args)?;
     let k: usize = parse_flag(args, "--k", 10)?;
     let g = load(&path, args)?;
@@ -210,7 +253,12 @@ fn cmd_extract(args: &[String]) -> Result<(), String> {
     }
     let l_t = g.max_timestamp().ok_or("network has no links")? + 1;
     let ex = SsfExtractor::new(SsfConfig::new(k));
-    let f = ex.extract(&g, u, v, l_t);
+    // A recorder-carrying cache routes the ssf.core.* stage spans into the
+    // metrics snapshot; scores are bit-identical to the uncached path.
+    let mut cache = ExtractionCache::with_recorder(obs.clone());
+    let f = ex
+        .try_extract_cached(&g, u, v, l_t, &mut cache)
+        .map_err(|e| e.to_string())?;
     println!(
         "SSF({u}-{v}) K={k} h={} |V_S|={} dim={}",
         f.radius(),
@@ -242,7 +290,7 @@ fn cmd_roles(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_patterns(args: &[String]) -> Result<(), String> {
+fn cmd_patterns(args: &[String], obs: &ObsHandle) -> Result<(), String> {
     let path = args.first().ok_or("usage: ssf patterns <edge-list>")?;
     let samples: usize = parse_flag(args, "--samples", 500)?;
     let k: usize = parse_flag(args, "--k", 10)?;
@@ -254,10 +302,13 @@ fn cmd_patterns(args: &[String]) -> Result<(), String> {
         .take(samples)
         .collect();
     let ex = SsfExtractor::new(SsfConfig::new(k));
+    let mut cache = ExtractionCache::with_recorder(obs.clone());
     let mut miner = PatternMiner::new();
     for &(u, v) in &pairs {
-        let (ks, _, _) = ex.k_structure(&g, u, v);
-        miner.observe(&ks);
+        let p = ex
+            .try_k_structure_cached(&g, u, v, &mut cache)
+            .map_err(|e| e.to_string())?;
+        miner.observe(&p.ks);
     }
     println!(
         "{} observations, {} distinct patterns",
@@ -271,7 +322,7 @@ fn cmd_patterns(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_train(args: &[String]) -> Result<(), String> {
+fn cmd_train(args: &[String], obs: &ObsHandle) -> Result<(), String> {
     let path = args
         .first()
         .ok_or("usage: ssf train <edge-list> --out MODEL")?;
@@ -308,7 +359,8 @@ fn cmd_train(args: &[String]) -> Result<(), String> {
         },
     )
     .unwrap_or_default();
-    let model = SsfnmModel::fit(&split, &extra, &opts);
+    let model = SsfnmModel::try_fit_observed(&split, &extra, &opts, obs)
+        .map_err(|e| e.to_string())?;
     let file =
         File::create(&out).map_err(|e| format!("cannot create {out}: {e}"))?;
     model
@@ -354,7 +406,7 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_evaluate(args: &[String]) -> Result<(), String> {
+fn cmd_evaluate(args: &[String], obs: &ObsHandle) -> Result<(), String> {
     let path = args.first().ok_or("usage: ssf evaluate <edge-list>")?;
     let g = load(path, args)?;
     let seed: u64 = parse_flag(args, "--seed", 7)?;
@@ -406,7 +458,10 @@ fn cmd_evaluate(args: &[String]) -> Result<(), String> {
     .unwrap_or_default();
     let mut table = ResultsTable::new();
     for m in methods {
+        let span = obs.span("ssf.cli.evaluate_method");
         table.record("input", &m.evaluate_augmented(&split, &extra, &opts));
+        span.finish();
+        obs.counter("ssf.cli.methods_evaluated", 1);
     }
     print!("{table}");
     Ok(())

@@ -13,6 +13,8 @@
 //!   Structure Subgraph Feature (SSF).
 //! * [`baselines`] — the 11 comparison methods (CN … WLNM, NMF).
 //! * [`ssf_ml`] — linear regression and the "neural machine" MLP.
+//! * [`obs`] — pipeline observability: span timers, counters, latency
+//!   histograms and the stable `ssf.metrics.v1` JSON snapshot.
 //! * [`datasets`] — synthetic dynamic-network generators matched to the
 //!   paper's seven datasets.
 //! * [`ssf_eval`] — train/test splitting, AUC/F1, experiment runner.
@@ -43,6 +45,7 @@ pub use baselines;
 pub use datasets;
 pub use dyngraph;
 pub use linalg;
+pub use obs;
 pub use ssf_core;
 pub use ssf_eval;
 pub use ssf_ml;

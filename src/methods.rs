@@ -16,7 +16,10 @@ use baselines::{
 };
 use dyngraph::{StaticGraph, Timestamp};
 use linalg::Matrix;
-use ssf_core::{EntryEncoding, ExtractionCache, SsfConfig, SsfExtractor};
+use obs::ObsHandle;
+use ssf_core::{
+    CacheStats, EntryEncoding, ExtractionCache, SsfConfig, SsfExtractor,
+};
 use ssf_eval::{
     evaluate_ranking, evaluate_supervised_scores, LinkSample, MethodResult,
     Split,
@@ -331,8 +334,50 @@ impl Method {
         samples: &[LinkSample],
         threads: usize,
     ) -> Vec<Vec<f64>> {
+        self.extract_batch_stats(fold, opts, samples, threads).0
+    }
+
+    /// [`Method::extract_batch`] that also returns the combined
+    /// [`CacheStats`] of every worker's extraction cache.
+    ///
+    /// Each worker chunk runs against its own cache; the returned stats
+    /// are the merge across *all* chunks (an earlier revision reported
+    /// only the last chunk's counters, under-counting hits and misses on
+    /// any multi-threaded batch — `extract_batch_stats_cover_all_chunks`
+    /// pins the fix).
+    pub fn extract_batch_stats(
+        &self,
+        fold: &Split,
+        opts: &MethodOptions,
+        samples: &[LinkSample],
+        threads: usize,
+    ) -> (Vec<Vec<f64>>, CacheStats) {
+        self.extract_batch_observed(
+            fold,
+            opts,
+            samples,
+            threads,
+            &ObsHandle::noop(),
+        )
+    }
+
+    /// [`Method::extract_batch_stats`] with telemetry: the batch runs
+    /// under an `ssf.methods.extract` span, sample/degraded-row counts
+    /// land in `ssf.methods.samples` / `ssf.methods.degraded_rows`, and
+    /// every worker cache carries the recorder so `ssf.core.*` stage
+    /// timings flow from inside extraction.
+    pub fn extract_batch_observed(
+        &self,
+        fold: &Split,
+        opts: &MethodOptions,
+        samples: &[LinkSample],
+        threads: usize,
+        obs: &ObsHandle,
+    ) -> (Vec<Vec<f64>>, CacheStats) {
         let stat = fold.history.to_static();
-        self.extract_with_threads(fold, opts, &stat, samples, threads)
+        self.extract_with_threads_observed(
+            fold, opts, &stat, samples, threads, obs,
+        )
     }
 
     /// Shared worker-pool body of [`Method::extract_parallel`] /
@@ -356,23 +401,51 @@ impl Method {
         samples: &[LinkSample],
         threads: usize,
     ) -> Vec<Vec<f64>> {
+        self.extract_with_threads_observed(
+            fold,
+            opts,
+            fold_stat,
+            samples,
+            threads,
+            &ObsHandle::noop(),
+        )
+        .0
+    }
+
+    /// Worker-pool body of the batch extraction entry points: returns the
+    /// feature rows plus the [`CacheStats`] merged across every worker
+    /// chunk (not just the last one).
+    fn extract_with_threads_observed(
+        &self,
+        fold: &Split,
+        opts: &MethodOptions,
+        fold_stat: &StaticGraph,
+        samples: &[LinkSample],
+        threads: usize,
+        obs: &ObsHandle,
+    ) -> (Vec<Vec<f64>>, CacheStats) {
+        let _span = obs.span("ssf.methods.extract");
+        obs.counter("ssf.methods.samples", samples.len() as u64);
         let Some(ex) = self.feature_extractor(opts) else {
-            return samples.iter().map(|_| Vec::new()).collect();
+            let empty = samples.iter().map(|_| Vec::new()).collect();
+            return (empty, CacheStats::default());
         };
         let dim = self.feature_dim(opts).unwrap_or(0);
         let present = fold.history.max_timestamp().map_or(fold.l_t, |t| t + 1);
-        let run_chunk = |part: &[LinkSample]| -> Vec<Option<Vec<f64>>> {
-            let mut cache = ExtractionCache::new();
-            part.iter()
-                .map(|s| {
-                    self.feature_caught(
-                        &ex, &mut cache, fold, fold_stat, s, present,
-                    )
-                })
-                .collect()
-        };
-        let rows: Vec<Option<Vec<f64>>> = if threads <= 1 || samples.len() < 64
-        {
+        let run_chunk =
+            |part: &[LinkSample]| -> (Vec<Option<Vec<f64>>>, CacheStats) {
+                let mut cache = ExtractionCache::with_recorder(obs.clone());
+                let rows = part
+                    .iter()
+                    .map(|s| {
+                        self.feature_caught(
+                            &ex, &mut cache, fold, fold_stat, s, present,
+                        )
+                    })
+                    .collect();
+                (rows, cache.stats())
+            };
+        let (rows, stats) = if threads <= 1 || samples.len() < 64 {
             run_chunk(samples)
         } else {
             let chunk = samples.len().div_ceil(threads);
@@ -382,17 +455,31 @@ impl Method {
                     .chunks(chunk)
                     .map(|part| (part, scope.spawn(move || run_chunk(part))))
                     .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|(part, h)| {
-                        h.join().unwrap_or_else(|_| run_chunk(part))
-                    })
-                    .collect()
+                let mut rows = Vec::with_capacity(samples.len());
+                let mut stats = CacheStats::default();
+                for (part, h) in handles {
+                    let (chunk_rows, chunk_stats) =
+                        h.join().unwrap_or_else(|_| run_chunk(part));
+                    rows.extend(chunk_rows);
+                    stats.merge(&chunk_stats);
+                }
+                (rows, stats)
             })
         };
-        rows.into_iter()
-            .map(|r| r.unwrap_or_else(|| vec![0.0; dim]))
-            .collect()
+        let mut degraded = 0u64;
+        let rows = rows
+            .into_iter()
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    degraded += 1;
+                    vec![0.0; dim]
+                })
+            })
+            .collect();
+        if degraded > 0 {
+            obs.counter("ssf.methods.degraded_rows", degraded);
+        }
+        (rows, stats)
     }
 
     fn supervised(

@@ -10,6 +10,7 @@ use std::io::{self, BufRead, Write};
 
 use dyngraph::{DynamicNetwork, NodeId, Timestamp};
 use linalg::Matrix;
+use obs::ObsHandle;
 use ssf_core::{
     EntryEncoding, ExtractError, ExtractionCache, SsfConfig, SsfExtractor,
 };
@@ -58,6 +59,26 @@ impl SsfnmModel {
         extra_train: &[Split],
         opts: &MethodOptions,
     ) -> Result<Self, SsfError> {
+        Self::try_fit_observed(split, extra_train, opts, &ObsHandle::noop())
+    }
+
+    /// [`SsfnmModel::try_fit`] with telemetry: the whole fit runs under an
+    /// `ssf.model.fit` span, the feature-extraction prefix under
+    /// `ssf.model.extract`, training rows land in the
+    /// `ssf.model.train_rows` counter, and the neural machine trains via
+    /// [`NeuralMachine::train_observed`]. The fitted model is identical to
+    /// the unobserved path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SsfnmModel::try_fit`].
+    pub fn try_fit_observed(
+        split: &Split,
+        extra_train: &[Split],
+        opts: &MethodOptions,
+        obs: &ObsHandle,
+    ) -> Result<Self, SsfError> {
+        let _fit_span = obs.span("ssf.model.fit");
         let cfg = SsfConfig::new(opts.k)
             .with_theta(opts.theta)
             .with_encoding(opts.ssf_encoding);
@@ -65,6 +86,7 @@ impl SsfnmModel {
 
         let mut rows: Vec<Vec<f64>> = Vec::new();
         let mut labels: Vec<usize> = Vec::new();
+        let extract_span = obs.span("ssf.model.extract");
         for fold in std::iter::once(split).chain(extra_train) {
             let present =
                 fold.history.max_timestamp().map_or(fold.l_t, |t| t + 1);
@@ -82,6 +104,8 @@ impl SsfnmModel {
                 labels.push(usize::from(s.label));
             }
         }
+        extract_span.finish();
+        obs.counter("ssf.model.train_rows", rows.len() as u64);
         if rows.is_empty() {
             return Err(SsfError::Fit(FitError::EmptyDesign));
         }
@@ -90,7 +114,7 @@ impl SsfnmModel {
             Matrix::from_fn(rows.len(), dim, |i, j| rows[i][j]).map(f64::ln_1p);
         let scaler = StandardScaler::fit(&x_raw);
         let x = scaler.transform(&x_raw);
-        let model = NeuralMachine::train(
+        let model = NeuralMachine::train_observed(
             &x,
             &labels,
             MlpConfig {
@@ -98,6 +122,7 @@ impl SsfnmModel {
                 seed: opts.seed,
                 ..MlpConfig::default()
             },
+            obs,
         );
         Ok(SsfnmModel {
             extractor,

@@ -21,6 +21,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use dyngraph::{DynamicNetwork, NodeId, Timestamp};
+use obs::{labeled, ObsHandle, Snapshot};
 use ssf_core::{CacheStats, ExtractionCache};
 use ssf_eval::{backtest_splits, BacktestConfig, Split, SplitConfig};
 
@@ -167,6 +168,10 @@ pub struct Health {
     pub current_backoff: u32,
     /// Rendered error of the most recent failed refit, cleared on success.
     pub last_refit_error: Option<String>,
+    /// Metrics snapshot from the predictor's recorder. Empty when the
+    /// predictor runs with the no-op handle (see
+    /// [`OnlineLinkPredictor::with_recorder`]).
+    pub metrics: Snapshot,
 }
 
 /// An online link predictor over a growing dynamic network.
@@ -198,11 +203,27 @@ pub struct OnlineLinkPredictor {
     ///
     /// [`score_batch`]: OnlineLinkPredictor::score_batch
     cache: ExtractionCache,
+    /// Telemetry sink; the no-op handle by default.
+    obs: ObsHandle,
 }
 
 impl OnlineLinkPredictor {
     /// Creates an empty predictor.
     pub fn new(config: OnlinePredictorConfig) -> Self {
+        Self::with_recorder(config, ObsHandle::noop())
+    }
+
+    /// Creates an empty predictor emitting telemetry into `obs`: span
+    /// timings under `ssf.stream.*`, quarantine/refit/degradation
+    /// counters, the refit-backoff gauge, and the extraction-cache
+    /// hit/miss gauges folded in from [`CacheStats`] after every batch.
+    /// The recorder also flows into the batch extraction cache, so
+    /// `ssf.core.*` stage timings appear alongside. Scores are
+    /// bit-identical to the unobserved predictor.
+    pub fn with_recorder(
+        config: OnlinePredictorConfig,
+        obs: ObsHandle,
+    ) -> Self {
         OnlineLinkPredictor {
             config,
             network: DynamicNetwork::new(),
@@ -211,8 +232,14 @@ impl OnlineLinkPredictor {
             backoff: 1,
             last_refit_error: None,
             stats: StreamStats::default(),
-            cache: ExtractionCache::new(),
+            cache: ExtractionCache::with_recorder(obs.clone()),
+            obs,
         }
+    }
+
+    /// The predictor's telemetry handle.
+    pub fn recorder(&self) -> &ObsHandle {
+        &self.obs
     }
 
     /// Feeds one stream event; never panics.
@@ -225,6 +252,7 @@ impl OnlineLinkPredictor {
     /// `refit_every` ticks, stretched by the current backoff after
     /// failures.
     pub fn observe(&mut self, u: NodeId, v: NodeId, t: Timestamp) -> Observed {
+        let _span = self.obs.span("ssf.stream.ingest");
         if let (Some(max_lag), Some(head)) =
             (self.config.max_lag, self.network.max_timestamp())
         {
@@ -232,6 +260,7 @@ impl OnlineLinkPredictor {
                 self.network.ensure_node(u);
                 self.network.ensure_node(v);
                 self.stats.stale += 1;
+                self.note_quarantine("stale");
                 return Observed::Quarantined(QuarantineReason::Stale {
                     lag: head - t,
                 });
@@ -240,21 +269,25 @@ impl OnlineLinkPredictor {
         if u == v {
             self.network.ensure_node(u);
             self.stats.self_loops += 1;
+            self.note_quarantine("self_loop");
             return Observed::Quarantined(QuarantineReason::SelfLoop);
         }
         if self.config.quarantine_duplicates && self.already_recorded(u, v, t) {
             self.network.ensure_node(u);
             self.network.ensure_node(v);
             self.stats.duplicates += 1;
+            self.note_quarantine("duplicate");
             return Observed::Quarantined(QuarantineReason::Duplicate);
         }
         if self.network.try_add_link(u, v, t).is_err() {
             // try_add_link only rejects self-loops, handled above; treat a
             // future rejection reason as quarantine rather than panic.
             self.stats.self_loops += 1;
+            self.note_quarantine("self_loop");
             return Observed::Quarantined(QuarantineReason::SelfLoop);
         }
         self.stats.accepted += 1;
+        self.obs.counter("ssf.stream.accepted", 1);
         let Some(now) = self.network.max_timestamp() else {
             return Observed::Accepted;
         };
@@ -279,12 +312,16 @@ impl OnlineLinkPredictor {
     /// the previous model, if any, stays active and the automatic refit
     /// backoff widens.
     pub fn refit(&mut self) -> Result<(), SsfError> {
-        match self.fit_current() {
+        let span = self.obs.span("ssf.stream.refit");
+        let fitted = self.fit_current();
+        span.finish();
+        let outcome = match fitted {
             Ok(model) => {
                 self.model = Some(model);
                 self.stats.successful_refits += 1;
                 self.backoff = 1;
                 self.last_refit_error = None;
+                self.obs.counter("ssf.stream.refit.success", 1);
                 Ok(())
             }
             Err(e) => {
@@ -294,9 +331,13 @@ impl OnlineLinkPredictor {
                     .saturating_mul(2)
                     .min(self.config.max_backoff.max(1));
                 self.last_refit_error = Some(e.to_string());
+                self.obs.counter("ssf.stream.refit.failed", 1);
                 Err(e)
             }
-        }
+        };
+        self.obs
+            .gauge("ssf.stream.backoff", f64::from(self.backoff));
+        outcome
     }
 
     fn fit_current(&self) -> Result<SsfnmModel, SsfError> {
@@ -319,7 +360,52 @@ impl OnlineLinkPredictor {
         } else {
             Vec::new()
         };
-        SsfnmModel::try_fit(&split, &extra, &self.config.method)
+        SsfnmModel::try_fit_observed(
+            &split,
+            &extra,
+            &self.config.method,
+            &self.obs,
+        )
+    }
+
+    /// Per-reason quarantine counters (plus the all-reasons total) under
+    /// the labeled family `ssf.stream.quarantined{reason=…}`. The label
+    /// rendering allocates, so the whole emit is gated on an enabled
+    /// recorder.
+    fn note_quarantine(&self, reason: &'static str) {
+        if self.obs.enabled() {
+            self.obs.counter("ssf.stream.quarantined", 1);
+            self.obs.counter(
+                &labeled("ssf.stream.quarantined", &[("reason", reason)]),
+                1,
+            );
+        }
+    }
+
+    /// Folds the extraction cache's [`CacheStats`] into gauges after a
+    /// batch, including the derived overall hit rate.
+    fn publish_cache_gauges(&self) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let s = self.cache.stats();
+        self.obs
+            .gauge("ssf.stream.cache.ball_hits", s.ball_hits as f64);
+        self.obs
+            .gauge("ssf.stream.cache.ball_misses", s.ball_misses as f64);
+        self.obs
+            .gauge("ssf.stream.cache.pair_hits", s.pair_hits as f64);
+        self.obs
+            .gauge("ssf.stream.cache.pair_misses", s.pair_misses as f64);
+        self.obs
+            .gauge("ssf.stream.cache.invalidations", s.invalidations as f64);
+        let total = s.total_lookups();
+        self.obs.gauge("ssf.stream.cache.lookups", total as f64);
+        if total > 0 {
+            let hits = s.ball_hits + s.pair_hits;
+            self.obs
+                .gauge("ssf.stream.cache.hit_rate", hits as f64 / total as f64);
+        }
     }
 
     /// Scores a candidate pair with the latest fitted model, or `None` if
@@ -333,6 +419,7 @@ impl OnlineLinkPredictor {
     /// fallback for this pair only and
     /// [`StreamStats::degraded_scores`] is incremented.
     pub fn score(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let _span = self.obs.span("ssf.stream.score");
         let n = self.network.node_count() as NodeId;
         if u == v || u >= n || v >= n {
             return None;
@@ -346,6 +433,7 @@ impl OnlineLinkPredictor {
             Ok(Ok(p)) => Some(p),
             Ok(Err(_)) | Err(_) => {
                 self.stats.degraded_scores.fetch_add(1, Ordering::Relaxed);
+                self.obs.counter("ssf.stream.degraded_scores", 1);
                 Some(self.common_neighbor_fallback(u, v))
             }
         }
@@ -369,6 +457,8 @@ impl OnlineLinkPredictor {
         &mut self,
         pairs: &[(NodeId, NodeId)],
     ) -> Vec<Option<f64>> {
+        let _span = self.obs.span("ssf.stream.score_batch");
+        self.obs.counter("ssf.stream.scored", pairs.len() as u64);
         let n = self.network.node_count() as NodeId;
         let present = self.network.max_timestamp().map(|t| t + 1);
         let mut out = Vec::with_capacity(pairs.len());
@@ -391,10 +481,12 @@ impl OnlineLinkPredictor {
                 Ok(Ok(p)) => Some(p),
                 Ok(Err(_)) | Err(_) => {
                     self.stats.degraded_scores.fetch_add(1, Ordering::Relaxed);
+                    self.obs.counter("ssf.stream.degraded_scores", 1);
                     Some(self.common_neighbor_fallback(u, v))
                 }
             });
         }
+        self.publish_cache_gauges();
         out
     }
 
@@ -429,6 +521,7 @@ impl OnlineLinkPredictor {
             failed_refits: self.stats.failed_refits,
             current_backoff: self.backoff,
             last_refit_error: self.last_refit_error.clone(),
+            metrics: self.obs.snapshot(),
         }
     }
 

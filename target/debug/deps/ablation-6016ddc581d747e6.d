@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-6016ddc581d747e6.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-6016ddc581d747e6: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/baselines-9bd1bc47a9dccad7.d: /root/repo/clippy.toml crates/baselines/src/lib.rs crates/baselines/src/katz.rs crates/baselines/src/local.rs crates/baselines/src/lp.rs crates/baselines/src/nmf.rs crates/baselines/src/rw.rs crates/baselines/src/tmf.rs crates/baselines/src/wlf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-9bd1bc47a9dccad7.rmeta: /root/repo/clippy.toml crates/baselines/src/lib.rs crates/baselines/src/katz.rs crates/baselines/src/local.rs crates/baselines/src/lp.rs crates/baselines/src/nmf.rs crates/baselines/src/rw.rs crates/baselines/src/tmf.rs crates/baselines/src/wlf.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/baselines/src/lib.rs:
+crates/baselines/src/katz.rs:
+crates/baselines/src/local.rs:
+crates/baselines/src/lp.rs:
+crates/baselines/src/nmf.rs:
+crates/baselines/src/rw.rs:
+crates/baselines/src/tmf.rs:
+crates/baselines/src/wlf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

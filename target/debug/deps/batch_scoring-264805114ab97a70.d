@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/batch_scoring-264805114ab97a70.d: crates/bench/src/bin/batch_scoring.rs
+
+/root/repo/target/debug/deps/batch_scoring-264805114ab97a70: crates/bench/src/bin/batch_scoring.rs
+
+crates/bench/src/bin/batch_scoring.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/chaos-7c71b8cef3c04924.d: /root/repo/clippy.toml tests/chaos.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos-7c71b8cef3c04924.rmeta: /root/repo/clippy.toml tests/chaos.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/chaos.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_ssf=placeholder:ssf
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/chaos-9c1b9145140a92cb.d: tests/chaos.rs
+
+/root/repo/target/debug/deps/chaos-9c1b9145140a92cb: tests/chaos.rs
+
+tests/chaos.rs:
+
+# env-dep:CARGO_BIN_EXE_ssf=/root/repo/target/debug/ssf

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/edge_cases-7bab819a592a9765.d: tests/edge_cases.rs
+
+/root/repo/target/debug/deps/edge_cases-7bab819a592a9765: tests/edge_cases.rs
+
+tests/edge_cases.rs:

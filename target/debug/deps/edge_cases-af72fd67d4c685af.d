@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/edge_cases-af72fd67d4c685af.d: /root/repo/clippy.toml tests/edge_cases.rs Cargo.toml
+
+/root/repo/target/debug/deps/libedge_cases-af72fd67d4c685af.rmeta: /root/repo/clippy.toml tests/edge_cases.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/edge_cases.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-ae6c3b376ae1046b.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-ae6c3b376ae1046b: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

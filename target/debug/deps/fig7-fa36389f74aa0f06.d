@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-fa36389f74aa0f06.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-fa36389f74aa0f06: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

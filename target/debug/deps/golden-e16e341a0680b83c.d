@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/golden-e16e341a0680b83c.d: tests/golden.rs tests/fixtures/figure3_k4.txt
+
+/root/repo/target/debug/deps/golden-e16e341a0680b83c: tests/golden.rs tests/fixtures/figure3_k4.txt
+
+tests/golden.rs:
+tests/fixtures/figure3_k4.txt:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/golden-f5c9991bdb2d0c5f.d: /root/repo/clippy.toml tests/golden.rs tests/fixtures/figure3_k4.txt Cargo.toml
+
+/root/repo/target/debug/deps/libgolden-f5c9991bdb2d0c5f.rmeta: /root/repo/clippy.toml tests/golden.rs tests/fixtures/figure3_k4.txt Cargo.toml
+
+/root/repo/clippy.toml:
+tests/golden.rs:
+tests/fixtures/figure3_k4.txt:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

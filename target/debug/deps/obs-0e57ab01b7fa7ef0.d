@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/obs-0e57ab01b7fa7ef0.d: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs
+
+/root/repo/target/debug/deps/libobs-0e57ab01b7fa7ef0.rlib: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs
+
+/root/repo/target/debug/deps/libobs-0e57ab01b7fa7ef0.rmeta: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/registry.rs:

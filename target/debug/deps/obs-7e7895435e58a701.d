@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/obs-7e7895435e58a701.d: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs
+
+/root/repo/target/debug/deps/obs-7e7895435e58a701: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/registry.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/obs-e4da8c140f10a988.d: /root/repo/clippy.toml crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libobs-e4da8c140f10a988.rmeta: /root/repo/clippy.toml crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/obs/src/lib.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/registry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

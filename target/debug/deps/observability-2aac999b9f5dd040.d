@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/observability-2aac999b9f5dd040.d: /root/repo/clippy.toml tests/observability.rs tests/fixtures/metrics_snapshot.json Cargo.toml
+
+/root/repo/target/debug/deps/libobservability-2aac999b9f5dd040.rmeta: /root/repo/clippy.toml tests/observability.rs tests/fixtures/metrics_snapshot.json Cargo.toml
+
+/root/repo/clippy.toml:
+tests/observability.rs:
+tests/fixtures/metrics_snapshot.json:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

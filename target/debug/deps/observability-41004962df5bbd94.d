@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/observability-41004962df5bbd94.d: tests/observability.rs tests/fixtures/metrics_snapshot.json
+
+/root/repo/target/debug/deps/observability-41004962df5bbd94: tests/observability.rs tests/fixtures/metrics_snapshot.json
+
+tests/observability.rs:
+tests/fixtures/metrics_snapshot.json:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/paper_claims-a38493f6fce2399d.d: /root/repo/clippy.toml tests/paper_claims.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_claims-a38493f6fce2399d.rmeta: /root/repo/clippy.toml tests/paper_claims.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/paper_claims.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-d114ac8748394db6.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-d114ac8748394db6: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-7b4ea908b388f73d.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-7b4ea908b388f73d: tests/pipeline.rs
+
+tests/pipeline.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pipeline-8232cd4b6bd35e71.d: /root/repo/clippy.toml tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-8232cd4b6bd35e71.rmeta: /root/repo/clippy.toml tests/pipeline.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

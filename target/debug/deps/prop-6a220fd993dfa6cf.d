@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-6a220fd993dfa6cf.d: crates/baselines/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-6a220fd993dfa6cf: crates/baselines/tests/prop.rs
+
+crates/baselines/tests/prop.rs:

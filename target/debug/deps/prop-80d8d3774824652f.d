@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-80d8d3774824652f.d: crates/obs/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-80d8d3774824652f: crates/obs/tests/prop.rs
+
+crates/obs/tests/prop.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop-821db6a2c0d19966.d: crates/ml/tests/prop.rs
+
+/root/repo/target/debug/deps/prop-821db6a2c0d19966: crates/ml/tests/prop.rs
+
+crates/ml/tests/prop.rs:

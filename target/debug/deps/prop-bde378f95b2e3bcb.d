@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prop-bde378f95b2e3bcb.d: /root/repo/clippy.toml crates/obs/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-bde378f95b2e3bcb.rmeta: /root/repo/clippy.toml crates/obs/tests/prop.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/obs/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/prop-e72ef2e97018d4e3.d: /root/repo/clippy.toml crates/ml/tests/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop-e72ef2e97018d4e3.rmeta: /root/repo/clippy.toml crates/ml/tests/prop.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/ml/tests/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/properties-17e2c5ef9c8bd80d.d: /root/repo/clippy.toml tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-17e2c5ef9c8bd80d.rmeta: /root/repo/clippy.toml tests/properties.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

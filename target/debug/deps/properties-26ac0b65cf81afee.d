@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-26ac0b65cf81afee.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-26ac0b65cf81afee: tests/properties.rs
+
+tests/properties.rs:

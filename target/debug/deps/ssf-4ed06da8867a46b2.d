@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssf-4ed06da8867a46b2.d: src/bin/ssf.rs
+
+/root/repo/target/debug/deps/ssf-4ed06da8867a46b2: src/bin/ssf.rs
+
+src/bin/ssf.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ssf-8f9a2ad6c379b351.d: /root/repo/clippy.toml src/bin/ssf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssf-8f9a2ad6c379b351.rmeta: /root/repo/clippy.toml src/bin/ssf.rs Cargo.toml
+
+/root/repo/clippy.toml:
+src/bin/ssf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

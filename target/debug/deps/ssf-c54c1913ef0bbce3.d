@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssf-c54c1913ef0bbce3.d: src/bin/ssf.rs
+
+/root/repo/target/debug/deps/ssf-c54c1913ef0bbce3: src/bin/ssf.rs
+
+src/bin/ssf.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ssf_bench-5015541c92ae7d28.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libssf_bench-5015541c92ae7d28.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libssf_bench-5015541c92ae7d28.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

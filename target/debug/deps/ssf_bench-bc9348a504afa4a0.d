@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssf_bench-bc9348a504afa4a0.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ssf_bench-bc9348a504afa4a0: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/ssf_core-bb9f9bb6275fdb6d.d: /root/repo/clippy.toml crates/ssf-core/src/lib.rs crates/ssf-core/src/cache.rs crates/ssf-core/src/error.rs crates/ssf-core/src/feature.rs crates/ssf-core/src/hop.rs crates/ssf-core/src/influence.rs crates/ssf-core/src/kstructure.rs crates/ssf-core/src/palette.rs crates/ssf-core/src/pattern.rs crates/ssf-core/src/roles.rs crates/ssf-core/src/structure.rs crates/ssf-core/src/viz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssf_core-bb9f9bb6275fdb6d.rmeta: /root/repo/clippy.toml crates/ssf-core/src/lib.rs crates/ssf-core/src/cache.rs crates/ssf-core/src/error.rs crates/ssf-core/src/feature.rs crates/ssf-core/src/hop.rs crates/ssf-core/src/influence.rs crates/ssf-core/src/kstructure.rs crates/ssf-core/src/palette.rs crates/ssf-core/src/pattern.rs crates/ssf-core/src/roles.rs crates/ssf-core/src/structure.rs crates/ssf-core/src/viz.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/ssf-core/src/lib.rs:
+crates/ssf-core/src/cache.rs:
+crates/ssf-core/src/error.rs:
+crates/ssf-core/src/feature.rs:
+crates/ssf-core/src/hop.rs:
+crates/ssf-core/src/influence.rs:
+crates/ssf-core/src/kstructure.rs:
+crates/ssf-core/src/palette.rs:
+crates/ssf-core/src/pattern.rs:
+crates/ssf-core/src/roles.rs:
+crates/ssf-core/src/structure.rs:
+crates/ssf-core/src/viz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

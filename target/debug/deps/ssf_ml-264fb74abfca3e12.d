@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ssf_ml-264fb74abfca3e12.d: crates/ml/src/lib.rs crates/ml/src/error.rs crates/ml/src/linreg.rs crates/ml/src/nn.rs crates/ml/src/persist.rs crates/ml/src/scaler.rs
+
+/root/repo/target/debug/deps/ssf_ml-264fb74abfca3e12: crates/ml/src/lib.rs crates/ml/src/error.rs crates/ml/src/linreg.rs crates/ml/src/nn.rs crates/ml/src/persist.rs crates/ml/src/scaler.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/error.rs:
+crates/ml/src/linreg.rs:
+crates/ml/src/nn.rs:
+crates/ml/src/persist.rs:
+crates/ml/src/scaler.rs:

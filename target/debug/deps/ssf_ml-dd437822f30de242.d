@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ssf_ml-dd437822f30de242.d: crates/ml/src/lib.rs crates/ml/src/error.rs crates/ml/src/linreg.rs crates/ml/src/nn.rs crates/ml/src/persist.rs crates/ml/src/scaler.rs
+
+/root/repo/target/debug/deps/libssf_ml-dd437822f30de242.rlib: crates/ml/src/lib.rs crates/ml/src/error.rs crates/ml/src/linreg.rs crates/ml/src/nn.rs crates/ml/src/persist.rs crates/ml/src/scaler.rs
+
+/root/repo/target/debug/deps/libssf_ml-dd437822f30de242.rmeta: crates/ml/src/lib.rs crates/ml/src/error.rs crates/ml/src/linreg.rs crates/ml/src/nn.rs crates/ml/src/persist.rs crates/ml/src/scaler.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/error.rs:
+crates/ml/src/linreg.rs:
+crates/ml/src/nn.rs:
+crates/ml/src/persist.rs:
+crates/ml/src/scaler.rs:

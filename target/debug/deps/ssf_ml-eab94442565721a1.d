@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ssf_ml-eab94442565721a1.d: /root/repo/clippy.toml crates/ml/src/lib.rs crates/ml/src/error.rs crates/ml/src/linreg.rs crates/ml/src/nn.rs crates/ml/src/persist.rs crates/ml/src/scaler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssf_ml-eab94442565721a1.rmeta: /root/repo/clippy.toml crates/ml/src/lib.rs crates/ml/src/error.rs crates/ml/src/linreg.rs crates/ml/src/nn.rs crates/ml/src/persist.rs crates/ml/src/scaler.rs Cargo.toml
+
+/root/repo/clippy.toml:
+crates/ml/src/lib.rs:
+crates/ml/src/error.rs:
+crates/ml/src/linreg.rs:
+crates/ml/src/nn.rs:
+crates/ml/src/persist.rs:
+crates/ml/src/scaler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-a4a764751ba33f0f.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-a4a764751ba33f0f: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-53600b267b12e96d.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-53600b267b12e96d: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

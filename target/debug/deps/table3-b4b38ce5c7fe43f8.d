@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-b4b38ce5c7fe43f8.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-b4b38ce5c7fe43f8: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/topn-1d2801b967f8ee36.d: crates/bench/src/bin/topn.rs
+
+/root/repo/target/debug/deps/topn-1d2801b967f8ee36: crates/bench/src/bin/topn.rs
+
+crates/bench/src/bin/topn.rs:

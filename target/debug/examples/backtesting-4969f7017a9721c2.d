@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/backtesting-4969f7017a9721c2.d: examples/backtesting.rs
+
+/root/repo/target/debug/examples/backtesting-4969f7017a9721c2: examples/backtesting.rs
+
+examples/backtesting.rs:

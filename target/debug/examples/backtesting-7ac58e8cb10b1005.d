@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/backtesting-7ac58e8cb10b1005.d: /root/repo/clippy.toml examples/backtesting.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbacktesting-7ac58e8cb10b1005.rmeta: /root/repo/clippy.toml examples/backtesting.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/backtesting.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

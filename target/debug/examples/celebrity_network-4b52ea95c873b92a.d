@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/celebrity_network-4b52ea95c873b92a.d: /root/repo/clippy.toml examples/celebrity_network.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcelebrity_network-4b52ea95c873b92a.rmeta: /root/repo/clippy.toml examples/celebrity_network.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/celebrity_network.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

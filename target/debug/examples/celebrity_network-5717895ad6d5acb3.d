@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/celebrity_network-5717895ad6d5acb3.d: examples/celebrity_network.rs
+
+/root/repo/target/debug/examples/celebrity_network-5717895ad6d5acb3: examples/celebrity_network.rs
+
+examples/celebrity_network.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/coauthor_prediction-3f2d5c8243495a97.d: /root/repo/clippy.toml examples/coauthor_prediction.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcoauthor_prediction-3f2d5c8243495a97.rmeta: /root/repo/clippy.toml examples/coauthor_prediction.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/coauthor_prediction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/coauthor_prediction-6a3719b67d01fa3b.d: examples/coauthor_prediction.rs
+
+/root/repo/target/debug/examples/coauthor_prediction-6a3719b67d01fa3b: examples/coauthor_prediction.rs
+
+examples/coauthor_prediction.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4b19753b78cf1e1a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4b19753b78cf1e1a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/examples/reply_recommendation-4d0106d2c5521ec4.d: /root/repo/clippy.toml examples/reply_recommendation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreply_recommendation-4d0106d2c5521ec4.rmeta: /root/repo/clippy.toml examples/reply_recommendation.rs Cargo.toml
+
+/root/repo/clippy.toml:
+examples/reply_recommendation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

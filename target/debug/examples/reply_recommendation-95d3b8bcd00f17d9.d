@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/reply_recommendation-95d3b8bcd00f17d9.d: examples/reply_recommendation.rs
+
+/root/repo/target/debug/examples/reply_recommendation-95d3b8bcd00f17d9: examples/reply_recommendation.rs
+
+examples/reply_recommendation.rs:

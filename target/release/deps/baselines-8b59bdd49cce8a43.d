@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/baselines-8b59bdd49cce8a43.d: crates/baselines/src/lib.rs crates/baselines/src/katz.rs crates/baselines/src/local.rs crates/baselines/src/lp.rs crates/baselines/src/nmf.rs crates/baselines/src/rw.rs crates/baselines/src/tmf.rs crates/baselines/src/wlf.rs
+
+/root/repo/target/release/deps/libbaselines-8b59bdd49cce8a43.rlib: crates/baselines/src/lib.rs crates/baselines/src/katz.rs crates/baselines/src/local.rs crates/baselines/src/lp.rs crates/baselines/src/nmf.rs crates/baselines/src/rw.rs crates/baselines/src/tmf.rs crates/baselines/src/wlf.rs
+
+/root/repo/target/release/deps/libbaselines-8b59bdd49cce8a43.rmeta: crates/baselines/src/lib.rs crates/baselines/src/katz.rs crates/baselines/src/local.rs crates/baselines/src/lp.rs crates/baselines/src/nmf.rs crates/baselines/src/rw.rs crates/baselines/src/tmf.rs crates/baselines/src/wlf.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/katz.rs:
+crates/baselines/src/local.rs:
+crates/baselines/src/lp.rs:
+crates/baselines/src/nmf.rs:
+crates/baselines/src/rw.rs:
+crates/baselines/src/tmf.rs:
+crates/baselines/src/wlf.rs:

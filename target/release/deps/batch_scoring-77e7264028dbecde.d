@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/batch_scoring-77e7264028dbecde.d: crates/bench/src/bin/batch_scoring.rs
+
+/root/repo/target/release/deps/batch_scoring-77e7264028dbecde: crates/bench/src/bin/batch_scoring.rs
+
+crates/bench/src/bin/batch_scoring.rs:

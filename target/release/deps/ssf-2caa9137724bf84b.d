@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ssf-2caa9137724bf84b.d: src/bin/ssf.rs
+
+/root/repo/target/release/deps/ssf-2caa9137724bf84b: src/bin/ssf.rs
+
+src/bin/ssf.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ssf_bench-f69f2c1ab188f99a.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libssf_bench-f69f2c1ab188f99a.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libssf_bench-f69f2c1ab188f99a.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/ssf_core-b57e1b8d58006094.d: crates/ssf-core/src/lib.rs crates/ssf-core/src/cache.rs crates/ssf-core/src/error.rs crates/ssf-core/src/feature.rs crates/ssf-core/src/hop.rs crates/ssf-core/src/influence.rs crates/ssf-core/src/kstructure.rs crates/ssf-core/src/palette.rs crates/ssf-core/src/pattern.rs crates/ssf-core/src/roles.rs crates/ssf-core/src/structure.rs crates/ssf-core/src/viz.rs
+
+/root/repo/target/release/deps/libssf_core-b57e1b8d58006094.rlib: crates/ssf-core/src/lib.rs crates/ssf-core/src/cache.rs crates/ssf-core/src/error.rs crates/ssf-core/src/feature.rs crates/ssf-core/src/hop.rs crates/ssf-core/src/influence.rs crates/ssf-core/src/kstructure.rs crates/ssf-core/src/palette.rs crates/ssf-core/src/pattern.rs crates/ssf-core/src/roles.rs crates/ssf-core/src/structure.rs crates/ssf-core/src/viz.rs
+
+/root/repo/target/release/deps/libssf_core-b57e1b8d58006094.rmeta: crates/ssf-core/src/lib.rs crates/ssf-core/src/cache.rs crates/ssf-core/src/error.rs crates/ssf-core/src/feature.rs crates/ssf-core/src/hop.rs crates/ssf-core/src/influence.rs crates/ssf-core/src/kstructure.rs crates/ssf-core/src/palette.rs crates/ssf-core/src/pattern.rs crates/ssf-core/src/roles.rs crates/ssf-core/src/structure.rs crates/ssf-core/src/viz.rs
+
+crates/ssf-core/src/lib.rs:
+crates/ssf-core/src/cache.rs:
+crates/ssf-core/src/error.rs:
+crates/ssf-core/src/feature.rs:
+crates/ssf-core/src/hop.rs:
+crates/ssf-core/src/influence.rs:
+crates/ssf-core/src/kstructure.rs:
+crates/ssf-core/src/palette.rs:
+crates/ssf-core/src/pattern.rs:
+crates/ssf-core/src/roles.rs:
+crates/ssf-core/src/structure.rs:
+crates/ssf-core/src/viz.rs:

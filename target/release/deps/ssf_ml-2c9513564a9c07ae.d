@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ssf_ml-2c9513564a9c07ae.d: crates/ml/src/lib.rs crates/ml/src/error.rs crates/ml/src/linreg.rs crates/ml/src/nn.rs crates/ml/src/persist.rs crates/ml/src/scaler.rs
+
+/root/repo/target/release/deps/libssf_ml-2c9513564a9c07ae.rlib: crates/ml/src/lib.rs crates/ml/src/error.rs crates/ml/src/linreg.rs crates/ml/src/nn.rs crates/ml/src/persist.rs crates/ml/src/scaler.rs
+
+/root/repo/target/release/deps/libssf_ml-2c9513564a9c07ae.rmeta: crates/ml/src/lib.rs crates/ml/src/error.rs crates/ml/src/linreg.rs crates/ml/src/nn.rs crates/ml/src/persist.rs crates/ml/src/scaler.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/error.rs:
+crates/ml/src/linreg.rs:
+crates/ml/src/nn.rs:
+crates/ml/src/persist.rs:
+crates/ml/src/scaler.rs:

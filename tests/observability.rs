@@ -1,0 +1,403 @@
+//! Metrics-invariant suite: end-to-end checks that the observability
+//! layer measures the pipeline without ever steering it.
+//!
+//! The contract under test has two halves. *Accuracy*: every counter,
+//! gauge and span histogram the serving path emits must agree with the
+//! ground truth the predictor already tracks ([`StreamStats`],
+//! [`CacheStats`], span guards balancing). *Neutrality*: running the
+//! identical workload with the no-op recorder must produce bit-identical
+//! scores and feature rows — recording is observation, never influence.
+//!
+//! The golden test at the bottom pins the `ssf.metrics.v1` JSON export
+//! byte-for-byte against `tests/fixtures/metrics_snapshot.json`
+//! (regenerate deliberately with `UPDATE_METRICS_GOLDEN=1`).
+
+use std::sync::Arc;
+
+use ssf_repro::datasets::{generate, DatasetSpec};
+use ssf_repro::dyngraph::NodeId;
+use ssf_repro::methods::{Method, MethodOptions};
+use ssf_repro::obs::{
+    labeled, ObsHandle, Registry, SPANS_ENTERED, SPANS_EXITED,
+};
+use ssf_repro::ssf_eval::{LinkSample, Split, SplitConfig};
+use ssf_repro::stream::{OnlineLinkPredictor, OnlinePredictorConfig};
+
+fn quick_config() -> OnlinePredictorConfig {
+    OnlinePredictorConfig {
+        method: MethodOptions {
+            nm_epochs: 15,
+            ..MethodOptions::default()
+        },
+        refit_every: 5,
+        min_positives: 10,
+        history_folds: 1,
+        ..OnlinePredictorConfig::default()
+    }
+}
+
+/// Feeds a fit-capable stream into `p` (same generator the stream tests
+/// use) and returns the candidate pairs every test scores.
+fn feed_stream(p: &mut OnlineLinkPredictor) -> Vec<(NodeId, NodeId)> {
+    let g = generate(&DatasetSpec::coauthor().scaled(0.15), 9);
+    let mut links: Vec<_> = g.links().collect();
+    links.sort_by_key(|l| l.t);
+    for l in links {
+        p.observe(l.u, l.v, l.t);
+    }
+    assert!(p.is_fitted(), "stream must support a fit");
+    let n = p.network().node_count() as NodeId;
+    vec![(0, 1), (2, 5), (1, 4), (3, 3), (0, n + 7), (0, 1), (5, 2)]
+}
+
+/// A recording predictor after a full observe → refit → score →
+/// score_batch workload, with its registry.
+fn recorded_run() -> (OnlineLinkPredictor, Arc<Registry>) {
+    let registry = Arc::new(Registry::new());
+    let obs = ObsHandle::of_registry(Arc::clone(&registry));
+    let mut p = OnlineLinkPredictor::with_recorder(quick_config(), obs);
+    let pairs = feed_stream(&mut p);
+    for &(u, v) in &pairs {
+        let _ = p.score(u, v);
+    }
+    let _ = p.score_batch(&pairs);
+    let _ = p.score_batch(&pairs); // warm batch: exercises the pair memo
+    (p, registry)
+}
+
+/// Every span guard the workload opened has dropped by the time we
+/// snapshot, so enters and exits must balance exactly.
+#[test]
+fn span_enters_and_exits_balance() {
+    let (_p, registry) = recorded_run();
+    let snap = registry.snapshot();
+    let entered = snap.counter(SPANS_ENTERED);
+    let exited = snap.counter(SPANS_EXITED);
+    assert!(entered > 0, "workload must open spans");
+    assert_eq!(entered, exited, "unbalanced spans: a guard leaked");
+}
+
+/// Every stage the workload crosses shows up as a span histogram, and
+/// each histogram satisfies count == Σ bucket counts with ordered,
+/// range-bracketed quantiles.
+#[test]
+fn stage_histograms_are_present_and_internally_consistent() {
+    let (_p, registry) = recorded_run();
+    let snap = registry.snapshot();
+    for stage in [
+        "ssf.stream.ingest",
+        "ssf.stream.refit",
+        "ssf.stream.score",
+        "ssf.stream.score_batch",
+        "ssf.model.fit",
+        "ssf.model.extract",
+        "ssf.ml.fit",
+        "ssf.core.pair",
+        "ssf.core.ball",
+        "ssf.core.wl",
+        "ssf.core.structure",
+        "ssf.core.encode",
+    ] {
+        let h = snap
+            .histogram(stage)
+            .unwrap_or_else(|| panic!("stage {stage} never recorded"));
+        assert!(h.count() > 0, "{stage} is empty");
+    }
+    for (name, h) in &snap.histograms {
+        assert_eq!(
+            h.bucket_counts().iter().sum::<u64>(),
+            h.count(),
+            "{name}: bucket counts disagree with count"
+        );
+        let (p50, p95, p99) =
+            (h.quantile(0.50), h.quantile(0.95), h.quantile(0.99));
+        assert!(p50 <= p95 && p95 <= p99, "{name}: quantiles out of order");
+        assert!(
+            h.min() <= p50 && p99 <= h.max(),
+            "{name}: quantiles escape [min, max]"
+        );
+    }
+}
+
+/// The cache gauges published after `score_batch` must agree with the
+/// predictor's own [`CacheStats`], and hits + misses must account for
+/// every lookup.
+#[test]
+fn cache_gauges_match_cache_stats_after_score_batch() {
+    let (p, registry) = recorded_run();
+    let snap = registry.snapshot();
+    let stats = p.cache_stats();
+    let gauge = |name: &str| snap.gauge(name) as u64;
+    assert_eq!(gauge("ssf.stream.cache.ball_hits"), stats.ball_hits);
+    assert_eq!(gauge("ssf.stream.cache.ball_misses"), stats.ball_misses);
+    assert_eq!(gauge("ssf.stream.cache.pair_hits"), stats.pair_hits);
+    assert_eq!(gauge("ssf.stream.cache.pair_misses"), stats.pair_misses);
+    assert_eq!(gauge("ssf.stream.cache.invalidations"), stats.invalidations);
+    let total = stats.total_lookups();
+    assert_eq!(gauge("ssf.stream.cache.lookups"), total);
+    assert_eq!(
+        stats.ball_hits
+            + stats.ball_misses
+            + stats.pair_hits
+            + stats.pair_misses,
+        total,
+        "hit + miss tallies must cover every lookup"
+    );
+    assert!(
+        stats.pair_hits > 0,
+        "the warm batch must have hit the pair memo"
+    );
+}
+
+/// Refit counters mirror [`StreamStats`] on both the success path and
+/// the backoff/failure path.
+#[test]
+fn refit_counters_match_stream_stats() {
+    // Success-heavy run.
+    let (p, registry) = recorded_run();
+    let snap = registry.snapshot();
+    assert!(p.stats().successful_refits > 0);
+    assert_eq!(
+        snap.counter("ssf.stream.refit.success"),
+        p.stats().successful_refits
+    );
+    assert_eq!(
+        snap.counter("ssf.stream.refit.failed"),
+        p.stats().failed_refits
+    );
+
+    // Failure-only run: one repeated pair never yields fresh positives,
+    // so every refit attempt fails and backoff widens.
+    let registry = Arc::new(Registry::new());
+    let obs = ObsHandle::of_registry(Arc::clone(&registry));
+    let mut p = OnlineLinkPredictor::with_recorder(
+        OnlinePredictorConfig {
+            refit_every: 1,
+            max_backoff: 8,
+            ..quick_config()
+        },
+        obs,
+    );
+    for t in 1..=20u32 {
+        p.observe(0, 1, t);
+    }
+    let snap = registry.snapshot();
+    assert!(p.stats().failed_refits > 0);
+    assert_eq!(
+        snap.counter("ssf.stream.refit.failed"),
+        p.stats().failed_refits
+    );
+    assert_eq!(snap.counter("ssf.stream.refit.success"), 0);
+    assert_eq!(
+        snap.gauge("ssf.stream.backoff") as u32,
+        p.health().current_backoff
+    );
+}
+
+/// Quarantine counters — the total and every labeled reason — mirror
+/// the per-reason tallies in [`StreamStats`].
+#[test]
+fn quarantine_counters_match_stream_stats_by_reason() {
+    let registry = Arc::new(Registry::new());
+    let obs = ObsHandle::of_registry(Arc::clone(&registry));
+    let mut p = OnlineLinkPredictor::with_recorder(
+        OnlinePredictorConfig {
+            quarantine_duplicates: true,
+            max_lag: Some(2),
+            ..quick_config()
+        },
+        obs,
+    );
+    p.observe(0, 1, 1);
+    p.observe(0, 1, 1); // duplicate
+    p.observe(7, 7, 2); // self-loop
+    p.observe(1, 2, 10);
+    p.observe(2, 3, 1); // stale (lag 9 > 2)
+    let snap = registry.snapshot();
+    let stats = p.stats();
+    let reason = |r: &str| {
+        snap.counter(&labeled("ssf.stream.quarantined", &[("reason", r)]))
+    };
+    assert_eq!(reason("self_loop"), stats.self_loops);
+    assert_eq!(reason("duplicate"), stats.duplicates);
+    assert_eq!(reason("stale"), stats.stale);
+    assert_eq!(snap.counter("ssf.stream.quarantined"), stats.quarantined());
+    assert_eq!(snap.counter("ssf.stream.accepted"), stats.accepted);
+}
+
+/// `health()` carries the recorder's snapshot — and stays empty (not
+/// stale, not partial) on the no-op handle.
+#[test]
+fn health_carries_metrics_snapshot() {
+    let (p, registry) = recorded_run();
+    assert_eq!(p.health().metrics, registry.snapshot());
+
+    let mut unobserved = OnlineLinkPredictor::new(quick_config());
+    unobserved.observe(0, 1, 1);
+    assert!(unobserved.health().metrics.is_empty());
+}
+
+/// The neutrality half of the contract: an identical workload through
+/// the no-op recorder and through a live registry recorder produces
+/// bit-identical scores, per-pair and batched.
+#[test]
+fn noop_and_recording_paths_are_bit_identical() {
+    let mut plain = OnlineLinkPredictor::new(quick_config());
+    let registry = Arc::new(Registry::new());
+    let mut recorded = OnlineLinkPredictor::with_recorder(
+        quick_config(),
+        ObsHandle::of_registry(Arc::clone(&registry)),
+    );
+    let pairs = feed_stream(&mut plain);
+    let pairs_r = feed_stream(&mut recorded);
+    assert_eq!(pairs, pairs_r);
+
+    let bits = |s: Option<f64>| s.map(f64::to_bits);
+    for &(u, v) in &pairs {
+        assert_eq!(
+            bits(plain.score(u, v)),
+            bits(recorded.score(u, v)),
+            "score({u}, {v}) diverged under recording"
+        );
+    }
+    let batch_plain: Vec<_> =
+        plain.score_batch(&pairs).into_iter().map(bits).collect();
+    let batch_recorded: Vec<_> =
+        recorded.score_batch(&pairs).into_iter().map(bits).collect();
+    assert_eq!(batch_plain, batch_recorded, "batch diverged");
+    assert!(
+        !registry.snapshot().is_empty(),
+        "the recording side must actually have recorded"
+    );
+}
+
+/// A split the extraction tests share, built the way the pipeline tests
+/// build theirs.
+#[allow(clippy::expect_used)] // test helper
+fn eval_split() -> Split {
+    let g = generate(&DatasetSpec::coauthor().scaled(0.15), 9);
+    Split::with_min_positives(
+        &g,
+        &SplitConfig {
+            max_positives: Some(60),
+            ..SplitConfig::default()
+        },
+        30,
+    )
+    .expect("generated dataset must split")
+}
+
+/// Batch extraction is equally neutral: the observed entry point returns
+/// the same rows, bit for bit, as the no-op one.
+#[test]
+fn observed_extraction_rows_are_bit_identical() {
+    let split = eval_split();
+    let opts = MethodOptions::default();
+    let registry = Arc::new(Registry::new());
+    let obs = ObsHandle::of_registry(Arc::clone(&registry));
+    for threads in [1, 4] {
+        let (plain, _) = Method::Ssfnm.extract_batch_stats(
+            &split,
+            &opts,
+            &split.train,
+            threads,
+        );
+        let (observed, _) = Method::Ssfnm.extract_batch_observed(
+            &split,
+            &opts,
+            &split.train,
+            threads,
+            &obs,
+        );
+        let to_bits = |rows: &[Vec<f64>]| -> Vec<Vec<u64>> {
+            rows.iter()
+                .map(|r| r.iter().map(|x| x.to_bits()).collect())
+                .collect()
+        };
+        assert_eq!(
+            to_bits(&plain),
+            to_bits(&observed),
+            "threads={threads}: recording changed extraction output"
+        );
+    }
+    let snap = registry.snapshot();
+    assert!(snap.histogram("ssf.core.pair").is_some());
+    assert!(snap.histogram("ssf.methods.extract").is_some());
+    assert!(snap.counter("ssf.methods.samples") > 0);
+}
+
+/// Regression test for the per-chunk cache-stats bug: the parallel batch
+/// path used to return only the *last* worker chunk's [`CacheStats`],
+/// under-counting on any multi-threaded batch. Every valid sample does
+/// exactly one pair-memo lookup, so across all chunks
+/// `pair_hits + pair_misses` must equal the sample count.
+#[test]
+fn extract_batch_stats_cover_all_chunks() {
+    let split = eval_split();
+    let opts = MethodOptions::default();
+    // ≥ 64 samples forces the threaded path; 4 threads → 4 worker chunks,
+    // each with its own cache.
+    let samples: Vec<LinkSample> =
+        split.train.iter().cycle().take(80).copied().collect();
+    let (rows, stats) =
+        Method::Ssflr.extract_batch_stats(&split, &opts, &samples, 4);
+    assert_eq!(rows.len(), samples.len());
+    assert_eq!(
+        stats.pair_hits + stats.pair_misses,
+        samples.len() as u64,
+        "stats must aggregate every worker chunk, not just the last: \
+         {stats:?}"
+    );
+    // The single-threaded path counts the same lookups in one cache.
+    let (_, seq) =
+        Method::Ssflr.extract_batch_stats(&split, &opts, &samples, 1);
+    assert_eq!(
+        seq.pair_hits + seq.pair_misses,
+        samples.len() as u64,
+        "sequential path lost lookups: {seq:?}"
+    );
+}
+
+const GOLDEN: &str = include_str!("fixtures/metrics_snapshot.json");
+
+/// Builds the deterministic snapshot the golden fixture freezes: fixed
+/// counter/gauge values and explicit histogram samples — no clocks, no
+/// randomness, so the JSON is byte-stable across machines.
+fn golden_registry() -> Registry {
+    let reg = Registry::new();
+    reg.counter(SPANS_ENTERED).add(3);
+    reg.counter(SPANS_EXITED).add(3);
+    reg.counter("ssf.stream.accepted").add(42);
+    reg.counter(&labeled(
+        "ssf.stream.quarantined",
+        &[("reason", "self_loop")],
+    ))
+    .add(1);
+    reg.gauge("ssf.ml.val_loss").set(0.125);
+    reg.gauge("ssf.stream.backoff").set(1.0);
+    reg.gauge("ssf.stream.cache.hit_rate").set(0.75);
+    for ns in [800, 3_000, 250_000, 9_000_000_000] {
+        reg.histogram("ssf.core.ball").record(ns);
+    }
+    reg.histogram("ssf.stream.score").record(2_000_000);
+    reg
+}
+
+/// The `ssf.metrics.v1` JSON export, byte-for-byte. A failure here means
+/// the schema moved: bump the schema version and the consumers, don't
+/// just regenerate. (`UPDATE_METRICS_GOLDEN=1 cargo test` rewrites the
+/// fixture when a change *is* intentional.)
+#[test]
+fn metrics_snapshot_json_matches_golden() {
+    let json = golden_registry().snapshot().to_json();
+    if std::env::var_os("UPDATE_METRICS_GOLDEN").is_some() {
+        std::fs::write("tests/fixtures/metrics_snapshot.json", &json)
+            .expect("rewrite golden fixture");
+        return;
+    }
+    assert!(json.contains("\"schema\": \"ssf.metrics.v1\""));
+    assert_eq!(
+        json, GOLDEN,
+        "ssf.metrics.v1 JSON drifted from the golden fixture"
+    );
+}
