@@ -19,9 +19,9 @@
 //! Two additional related-work baselines beyond Table III round out the
 //! comparison families:
 //!
-//! * [`lp`] — the Local Path index `A² + εA³` (the paper's reference [8]).
+//! * [`lp`] — the Local Path index `A² + εA³` (the paper's reference \[8\]).
 //! * [`tmf`] — temporal matrix factorization over the decay-weighted
-//!   adjacency (after the paper's reference [28], the source of its
+//!   adjacency (after the paper's reference \[28\], the source of its
 //!   influence-decay function).
 
 pub mod katz;

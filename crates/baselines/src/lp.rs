@@ -1,5 +1,5 @@
 //! Local Path index (Lü, Jin & Zhou, Phys. Rev. E 2009 — the paper's
-//! reference [8]): `LP = A² + ε·A³`, a cheap middle ground between CN
+//! reference \[8\]): `LP = A² + ε·A³`, a cheap middle ground between CN
 //! (paths of length 2 only) and Katz (all lengths).
 
 use std::collections::HashMap;

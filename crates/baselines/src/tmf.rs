@@ -1,5 +1,5 @@
 //! Temporal matrix factorization baseline (after Yu et al., IJCAI'17 —
-//! the paper's reference [28] and the source of its influence-decay
+//! the paper's reference \[28\] and the source of its influence-decay
 //! function, Eq. 2).
 //!
 //! The dynamic network is collapsed into a *decay-weighted* adjacency

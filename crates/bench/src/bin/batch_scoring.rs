@@ -23,7 +23,7 @@ use obs::{ObsHandle, Registry, Snapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use ssf_repro::methods::MethodOptions;
-use ssf_repro::stream::{OnlineLinkPredictor, OnlinePredictorConfig};
+use ssf_repro::{OnlineLinkPredictor, OnlinePredictorConfig};
 
 /// Per-path timing summary. Latencies are per pair, in microseconds;
 /// for the batch paths they are measured over chunks of
@@ -164,26 +164,24 @@ fn main() {
     // The recorder feeds the per-stage breakdown in the JSON output.
     let registry = Arc::new(Registry::new());
     let obs = ObsHandle::of_registry(Arc::clone(&registry));
-    let mut p = OnlineLinkPredictor::with_recorder(
-        OnlinePredictorConfig {
-            method: MethodOptions {
-                seed,
-                nm_epochs: if smoke { 15 } else { 40 },
-                ..MethodOptions::default()
-            },
-            refit_every: u32::MAX,
-            min_positives: if smoke { 20 } else { 60 },
-            history_folds: 0,
-            ..OnlinePredictorConfig::default()
-        },
-        obs,
-    );
+    let config = OnlinePredictorConfig::builder()
+        .method(MethodOptions {
+            seed,
+            nm_epochs: if smoke { 15 } else { 40 },
+            ..MethodOptions::default()
+        })
+        .refit_every(u32::MAX)
+        .min_positives(if smoke { 20 } else { 60 })
+        .history_folds(0)
+        .build()
+        .expect("valid benchmark configuration");
+    let mut p = OnlineLinkPredictor::with_recorder(config, obs);
     let mut links: Vec<_> = g.links().collect();
     links.sort_by_key(|l| l.t);
     for l in links {
         p.observe(l.u, l.v, l.t);
     }
-    p.refit().expect("benchmark network must support a fit");
+    p.try_refit().expect("benchmark network must support a fit");
 
     // Recommendation-shaped batch: focal nodes × candidates, shuffled-ish
     // by the RNG, with every 4th pair repeating an earlier one.

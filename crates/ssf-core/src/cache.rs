@@ -7,7 +7,8 @@
 //! graph updates share everything. The cache memoizes both levels:
 //!
 //! * **per-endpoint balls** — `(node, h) →` bounded BFS frontier, the unit
-//!   [`HopSubgraph::from_balls`] composes pairs from, and
+//!   [`HopSubgraph::from_balls`](crate::HopSubgraph::from_balls) composes
+//!   pairs from, and
 //! * **per-pair K-structure results** — `(a, b) →` the selected
 //!   [`KStructureSubgraph`] (everything *upstream* of the prediction time
 //!   `l_t`; the cheap `K×K` matrix fill is redone per call so one cached
@@ -98,6 +99,12 @@ impl<K: Eq + Hash, V> LruCache<K, V> {
         })
     }
 
+    /// Iterates over live entries in arbitrary order (stamps stay
+    /// untouched — iteration is not a "use" for eviction purposes).
+    pub fn entries(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.map.iter().map(|(k, (_, v))| (k, v))
+    }
+
     /// Inserts `key → value`, evicting the stalest half first when full.
     pub fn insert(&mut self, key: K, value: V) {
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
@@ -170,6 +177,44 @@ impl CacheStats {
     }
 }
 
+/// An immutable, shareable view of an [`ExtractionCache`]'s memos at one
+/// graph revision.
+///
+/// Produced by [`ExtractionCache::freeze`] and consumed by
+/// [`ExtractionCache::with_frozen`]: a fresh mutable cache seeded with a
+/// frozen view serves lookups from the view on a local miss, so many
+/// reader threads can share one warm memo without locking. The view is
+/// `Send + Sync` (all payloads are `Arc`-shared immutable data) and stays
+/// valid only for the revision it was frozen at — a seeded cache drops it
+/// as soon as [`ExtractionCache::sync`] observes a newer revision.
+///
+/// Frozen lookups never change extraction output: the view holds the same
+/// bit-identical balls and pair results a cold cache would recompute.
+#[derive(Debug, Clone)]
+pub struct FrozenCacheView {
+    revision: u64,
+    config_key: (usize, u32),
+    balls: Arc<HashMap<(NodeId, u32), CachedBall>>,
+    pairs: Arc<HashMap<(NodeId, NodeId), Arc<CachedPair>>>,
+}
+
+impl FrozenCacheView {
+    /// The graph revision the view was frozen at.
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Frozen entry counts `(balls, pairs)`.
+    pub fn len(&self) -> (usize, usize) {
+        (self.balls.len(), self.pairs.len())
+    }
+
+    /// Whether the view holds no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.balls.is_empty() && self.pairs.is_empty()
+    }
+}
+
 /// The graph-versioned extraction cache (see the [module docs](self)).
 ///
 /// One cache serves one [`DynamicNetwork`] value over time: `sync` tracks
@@ -188,6 +233,9 @@ pub struct ExtractionCache {
     config_key: (usize, u32),
     balls: LruCache<(NodeId, u32), CachedBall>,
     pairs: LruCache<(NodeId, NodeId), Arc<CachedPair>>,
+    /// Read-only fallback consulted on local misses (same revision only;
+    /// pair lookups additionally require a matching config key).
+    frozen: Option<FrozenCacheView>,
     pub(crate) scratch: ExtractScratch,
     pub(crate) stats: CacheStats,
     pub(crate) obs: ObsHandle,
@@ -212,6 +260,7 @@ impl ExtractionCache {
             config_key: (0, 0),
             balls: LruCache::new(balls),
             pairs: LruCache::new(pairs),
+            frozen: None,
             scratch: ExtractScratch::default(),
             stats: CacheStats::default(),
             obs: ObsHandle::noop(),
@@ -236,6 +285,54 @@ impl ExtractionCache {
     /// The telemetry handle extractions running against this cache use.
     pub fn recorder(&self) -> &ObsHandle {
         &self.obs
+    }
+
+    /// A default-capacity cache seeded with a frozen read-only view.
+    ///
+    /// The new cache starts at the view's revision and config, so lookups
+    /// against the same (unchanged) graph hit the frozen memos without an
+    /// initial invalidation. Once the graph moves past the frozen
+    /// revision, `sync` drops the view along with the local memos.
+    pub fn with_frozen(view: FrozenCacheView) -> Self {
+        let mut cache = Self::new();
+        cache.revision = view.revision;
+        cache.config_key = view.config_key;
+        cache.frozen = Some(view);
+        cache
+    }
+
+    /// Captures the current memos as an immutable, `Arc`-shared view.
+    ///
+    /// Entries from an underlying frozen layer (if any, and still at this
+    /// revision) are folded in, overlaid by the live local memos, so
+    /// freezing a seeded cache loses no warmth.
+    pub fn freeze(&self) -> FrozenCacheView {
+        let mut balls: HashMap<(NodeId, u32), CachedBall> = match &self.frozen {
+            Some(f) if f.revision == self.revision => (*f.balls).clone(),
+            _ => HashMap::new(),
+        };
+        for (k, v) in self.balls.entries() {
+            balls.insert(*k, Arc::clone(v));
+        }
+        let mut pairs: HashMap<(NodeId, NodeId), Arc<CachedPair>> =
+            match &self.frozen {
+                Some(f)
+                    if f.revision == self.revision
+                        && f.config_key == self.config_key =>
+                {
+                    (*f.pairs).clone()
+                }
+                _ => HashMap::new(),
+            };
+        for (k, v) in self.pairs.entries() {
+            pairs.insert(*k, Arc::clone(v));
+        }
+        FrozenCacheView {
+            revision: self.revision,
+            config_key: self.config_key,
+            balls: Arc::new(balls),
+            pairs: Arc::new(pairs),
+        }
     }
 
     /// Counters accumulated since construction (they survive
@@ -264,6 +361,9 @@ impl ExtractionCache {
             }
             self.balls.clear();
             self.pairs.clear();
+            if self.frozen.as_ref().is_some_and(|f| f.revision != rev) {
+                self.frozen = None;
+            }
             self.revision = rev;
         }
     }
@@ -292,6 +392,17 @@ impl ExtractionCache {
             self.stats.ball_hits += 1;
             return Arc::clone(b);
         }
+        if let Some(b) = self
+            .frozen
+            .as_ref()
+            .filter(|f| f.revision == self.revision)
+            .and_then(|f| f.balls.get(&(src, h)))
+        {
+            self.stats.ball_hits += 1;
+            let b = Arc::clone(b);
+            self.balls.insert((src, h), Arc::clone(&b));
+            return b;
+        }
         self.stats.ball_misses += 1;
         let span = self.obs.span("ssf.core.ball");
         let b = Arc::new(ball(g, src, h, &mut self.scratch.hop));
@@ -307,7 +418,19 @@ impl ExtractionCache {
         a: NodeId,
         b: NodeId,
     ) -> Option<Arc<CachedPair>> {
-        self.pairs.get(&(a, b)).map(Arc::clone)
+        if let Some(p) = self.pairs.get(&(a, b)) {
+            return Some(Arc::clone(p));
+        }
+        let p = self
+            .frozen
+            .as_ref()
+            .filter(|f| {
+                f.revision == self.revision && f.config_key == self.config_key
+            })
+            .and_then(|f| f.pairs.get(&(a, b)))
+            .map(Arc::clone)?;
+        self.pairs.insert((a, b), Arc::clone(&p));
+        Some(p)
     }
 
     /// Stores a freshly computed pair result.
@@ -404,6 +527,85 @@ mod tests {
         assert_eq!(cache.stats().ball_misses, 1);
         assert_eq!(cache.stats().ball_hits, 1);
         assert!(cache.stats().hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn frozen_view_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrozenCacheView>();
+    }
+
+    #[test]
+    fn frozen_view_serves_ball_hits_without_recompute() {
+        let mut g = DynamicNetwork::new();
+        g.extend([(0, 1, 1), (1, 2, 2)]);
+        let mut warm = ExtractionCache::new();
+        warm.sync(&g);
+        let original = warm.ball(&g, 1, 2);
+        let view = warm.freeze();
+        assert_eq!(view.revision(), g.revision());
+        assert_eq!(view.len().0, 1);
+
+        let mut seeded = ExtractionCache::with_frozen(view);
+        seeded.sync(&g); // same revision: frozen layer survives
+        let served = seeded.ball(&g, 1, 2);
+        assert_eq!(original, served);
+        assert!(Arc::ptr_eq(&original, &served));
+        assert_eq!(seeded.stats().ball_hits, 1);
+        assert_eq!(seeded.stats().ball_misses, 0);
+    }
+
+    #[test]
+    fn frozen_view_dropped_when_revision_moves() {
+        let mut g = DynamicNetwork::new();
+        g.extend([(0, 1, 1), (1, 2, 2)]);
+        let mut warm = ExtractionCache::new();
+        warm.sync(&g);
+        let _ = warm.ball(&g, 1, 2);
+        let mut seeded = ExtractionCache::with_frozen(warm.freeze());
+        g.add_link(0, 2, 3);
+        seeded.sync(&g);
+        let _ = seeded.ball(&g, 1, 2);
+        assert_eq!(seeded.stats().ball_hits, 0);
+        assert_eq!(seeded.stats().ball_misses, 1);
+    }
+
+    #[test]
+    fn frozen_pairs_gated_on_config_key() {
+        let mut g = DynamicNetwork::new();
+        g.extend([(0, 1, 1), (1, 2, 2)]);
+        let mut warm = ExtractionCache::new();
+        warm.sync(&g);
+        warm.sync_config(4, 10);
+        warm.insert_pair(
+            0,
+            1,
+            Arc::new(CachedPair {
+                ks: KStructureSubgraph::empty(3),
+                h_used: 1,
+                structure_nodes: 2,
+            }),
+        );
+        let mut seeded = ExtractionCache::with_frozen(warm.freeze());
+        seeded.sync(&g);
+        seeded.sync_config(4, 10);
+        assert!(seeded.pair(0, 1).is_some());
+        seeded.sync_config(5, 10); // config moved: frozen pairs invalid
+        assert!(seeded.pair(0, 1).is_none());
+    }
+
+    #[test]
+    fn freeze_folds_in_underlying_frozen_layer() {
+        let mut g = DynamicNetwork::new();
+        g.extend([(0, 1, 1), (1, 2, 2)]);
+        let mut warm = ExtractionCache::new();
+        warm.sync(&g);
+        let _ = warm.ball(&g, 0, 2);
+        let mut seeded = ExtractionCache::with_frozen(warm.freeze());
+        seeded.sync(&g);
+        let _ = seeded.ball(&g, 2, 2); // new local entry
+        let refrozen = seeded.freeze();
+        assert_eq!(refrozen.len().0, 2);
     }
 
     #[test]

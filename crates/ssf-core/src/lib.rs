@@ -55,7 +55,8 @@ pub mod structure;
 pub mod viz;
 
 pub use cache::{
-    CacheStats, CachedPair, ExtractScratch, ExtractionCache, LruCache,
+    CacheStats, CachedPair, ExtractScratch, ExtractionCache, FrozenCacheView,
+    LruCache,
 };
 pub use error::ExtractError;
 pub use feature::{EntryEncoding, SsfConfig, SsfExtractor, SsfFeature};

@@ -7,6 +7,7 @@
 //! $ ssf roles network.txt 12 57
 //! $ ssf patterns network.txt --samples 500 --k 10
 //! $ ssf evaluate network.txt --methods cn,katz,ssflr,ssfnm
+//! $ ssf serve network.txt --shards 4 --threads 4
 //! ```
 //!
 //! Edge lists are whitespace-separated `u v t` lines (KONECT style; see
@@ -16,6 +17,7 @@ use std::fs::File;
 use std::io::BufReader;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Instant;
 
 use ssf_repro::baselines;
 use ssf_repro::datasets::{generate, DatasetSpec};
@@ -30,6 +32,7 @@ use ssf_repro::ssf_core::{
 use ssf_repro::ssf_eval::{
     backtest_splits, BacktestConfig, ResultsTable, Split, SplitConfig,
 };
+use ssf_repro::{OnlinePredictorConfig, ShardedPredictor};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -72,6 +75,7 @@ fn dispatch(args: &[String], obs: &ObsHandle) -> Result<(), String> {
         Some("evaluate") => "ssf.cli.evaluate",
         Some("train") => "ssf.cli.train",
         Some("predict") => "ssf.cli.predict",
+        Some("serve") => "ssf.cli.serve",
         _ => "ssf.cli.other",
     });
     let result = match args.first().map(String::as_str) {
@@ -83,6 +87,7 @@ fn dispatch(args: &[String], obs: &ObsHandle) -> Result<(), String> {
         Some("evaluate") => cmd_evaluate(&args[1..], obs),
         Some("train") => cmd_train(&args[1..], obs),
         Some("predict") => cmd_predict(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..], obs),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -111,6 +116,11 @@ USAGE:
   ssf train    <edge-list> --out MODEL [--k N] [--epochs N]
                                                fit SSFNM, persist the model
   ssf predict  <edge-list> <model> <u> <v>     score a pair with a saved model
+  ssf serve    <edge-list> [--shards N] [--threads N] [--pairs N] [--k N]
+               [--epochs N] [--seed N]         replay the stream through the
+                                               sharded serving path, publish a
+                                               snapshot, score candidates in
+                                               parallel, report health
 
 Global flags (any subcommand):
   --metrics-json PATH   write an ssf.metrics.v1 JSON snapshot of pipeline
@@ -401,8 +411,108 @@ fn cmd_predict(args: &[String]) -> Result<(), String> {
     let model =
         SsfnmModel::load(BufReader::new(file)).map_err(|e| e.to_string())?;
     let present = g.max_timestamp().ok_or("network has no links")? + 1;
-    let p = model.score(&g, u, v, present);
+    let p = model
+        .try_score(&g, u, v, present)
+        .map_err(|e| e.to_string())?;
     println!("P(link {u}-{v} emerges at t={present}) = {p:.4}");
+    Ok(())
+}
+
+/// Replays an edge list through the sharded single-writer ingest path,
+/// publishes an immutable snapshot and scores a deterministic candidate
+/// batch on the parallel read path, checking it bit-matches the serial
+/// path before reporting throughput and merged health.
+fn cmd_serve(args: &[String], obs: &ObsHandle) -> Result<(), String> {
+    let path = args.first().ok_or("usage: ssf serve <edge-list>")?;
+    let g = load(path, args)?;
+    let shards: usize = parse_flag(args, "--shards", 1)?;
+    let threads: usize = parse_flag(args, "--threads", 4)?;
+    let n_pairs: u32 = parse_flag(args, "--pairs", 256)?;
+    let seed: u64 = parse_flag(args, "--seed", 7)?;
+    let opts = MethodOptions {
+        k: parse_flag(args, "--k", 10)?,
+        nm_epochs: parse_flag(args, "--epochs", 40)?,
+        seed,
+        ..MethodOptions::default()
+    };
+    let config = OnlinePredictorConfig::builder()
+        .method(opts)
+        .refit_every(u32::MAX) // one deliberate refit after ingest
+        .build()
+        .map_err(|e| e.to_string())?;
+    let mut sharded =
+        ShardedPredictor::with_recorder(config, shards, obs.clone())
+            .map_err(|e| e.to_string())?;
+
+    let mut events: Vec<_> = g.links().map(|l| (l.u, l.v, l.t)).collect();
+    events.sort_by_key(|&(_, _, t)| t);
+    let t0 = Instant::now();
+    let accepted = sharded.observe_batch_parallel(&events);
+    let ingest_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "ingested {accepted} of {} events over {shards} shard(s) \
+         in {ingest_secs:.3}s ({:.0} events/s)",
+        events.len(),
+        accepted as f64 / ingest_secs.max(1e-9),
+    );
+    if let Err(e) = sharded.try_refit_all() {
+        eprintln!("warning: serving degraded, refit failed: {e}");
+    }
+
+    let snap = sharded.snapshot();
+    let n = g.node_count() as u32;
+    if n < 2 {
+        return Err("network too small to serve".into());
+    }
+    // Deterministic candidate sweep: strided pairs across the node space.
+    let pairs: Vec<(u32, u32)> = (0..n_pairs)
+        .map(|i| {
+            let u = i.wrapping_mul(7).wrapping_add(seed as u32) % n;
+            let v = i.wrapping_mul(11).wrapping_add(1) % n;
+            if u == v {
+                (u, (v + 1) % n)
+            } else {
+                (u, v)
+            }
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let serial = snap.score_batch(&pairs);
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let parallel = snap.score_batch_parallel(&pairs, threads);
+    let parallel_secs = t0.elapsed().as_secs_f64();
+    let identical = serial
+        .iter()
+        .zip(&parallel)
+        .all(|(a, b)| a.map(f64::to_bits) == b.map(f64::to_bits));
+    if !identical {
+        return Err("parallel scores diverged from the serial path".into());
+    }
+
+    let scored = parallel.iter().filter(|s| s.is_some()).count();
+    println!(
+        "scored {} pairs ({scored} with a model): serial {:.1} pairs/s, \
+         parallel x{threads} {:.1} pairs/s ({:.2}x), bit-identical",
+        pairs.len(),
+        pairs.len() as f64 / serial_secs.max(1e-9),
+        pairs.len() as f64 / parallel_secs.max(1e-9),
+        serial_secs / parallel_secs.max(1e-9),
+    );
+    let health = sharded.health();
+    let cache = sharded.cache_stats();
+    println!(
+        "health: fitted={} epochs={:?} model_epoch={:?} accepted={} \
+         quarantined={} degraded_scores={} cache_hit_rate={:.3}",
+        health.fitted,
+        snap.epochs(),
+        health.model_epoch,
+        health.accepted,
+        health.quarantined,
+        health.degraded_scores,
+        cache.hit_rate(),
+    );
     Ok(())
 }
 

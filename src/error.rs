@@ -16,6 +16,62 @@ use ssf_ml::FitError;
 
 pub use dyngraph::GraphError;
 
+/// An invalid predictor or serving configuration, rejected before any
+/// stream event is processed.
+///
+/// Produced by [`crate::stream::OnlinePredictorConfigBuilder::build`],
+/// [`crate::methods::MethodOptions::validate`] and
+/// [`crate::serve::ShardedPredictor::new`]: validation moved from
+/// scattered `assert!`s at first use to one typed, testable gate at
+/// construction time.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `K` below the minimum of 3 the K-structure subgraph requires
+    /// (orders 1 and 2 are pinned to the endpoints; at least one free
+    /// structure node must remain).
+    KTooSmall {
+        /// The rejected value.
+        k: usize,
+    },
+    /// The decay parameter θ of the normalized influence must be finite
+    /// and non-negative.
+    InvalidTheta {
+        /// The rejected value.
+        theta: f64,
+    },
+    /// `refit_every` must be at least one tick.
+    ZeroRefitInterval,
+    /// `max_backoff` must be at least 1 (1 = no backoff growth).
+    ZeroBackoff,
+    /// A sharded predictor needs at least one shard.
+    ZeroShards,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::KTooSmall { k } => {
+                write!(f, "K must be at least 3, got {k}")
+            }
+            ConfigError::InvalidTheta { theta } => {
+                write!(f, "theta must be finite and >= 0, got {theta}")
+            }
+            ConfigError::ZeroRefitInterval => {
+                write!(f, "refit_every must be at least 1 tick")
+            }
+            ConfigError::ZeroBackoff => {
+                write!(f, "max_backoff must be at least 1")
+            }
+            ConfigError::ZeroShards => {
+                write!(f, "shard count must be at least 1")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Any error the SSF pipeline can produce, from ingestion to scoring.
 ///
 /// Marked `#[non_exhaustive]`: future layers may add variants without a
@@ -33,6 +89,8 @@ pub enum SsfError {
     Fit(FitError),
     /// Underlying I/O failure while reading or writing artifacts.
     Io(std::io::Error),
+    /// A predictor/serving configuration was rejected at build time.
+    Config(ConfigError),
 }
 
 impl fmt::Display for SsfError {
@@ -43,6 +101,7 @@ impl fmt::Display for SsfError {
             SsfError::Extract(e) => write!(f, "extraction error: {e}"),
             SsfError::Fit(e) => write!(f, "fit error: {e}"),
             SsfError::Io(e) => write!(f, "i/o error: {e}"),
+            SsfError::Config(e) => write!(f, "config error: {e}"),
         }
     }
 }
@@ -55,6 +114,7 @@ impl std::error::Error for SsfError {
             SsfError::Extract(e) => Some(e),
             SsfError::Fit(e) => Some(e),
             SsfError::Io(e) => Some(e),
+            SsfError::Config(e) => Some(e),
         }
     }
 }
@@ -89,6 +149,12 @@ impl From<std::io::Error> for SsfError {
     }
 }
 
+impl From<ConfigError> for SsfError {
+    fn from(e: ConfigError) -> Self {
+        SsfError::Config(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +180,26 @@ mod tests {
             "gone",
         ));
         assert!(e.to_string().starts_with("i/o error:"));
+
+        let e = SsfError::from(ConfigError::KTooSmall { k: 0 });
+        let text = e.to_string();
+        assert!(text.starts_with("config error:"), "got {text:?}");
+        assert!(text.contains("at least 3"));
+    }
+
+    #[test]
+    fn config_error_renders_each_rejection() {
+        let cases: Vec<(ConfigError, &str)> = vec![
+            (ConfigError::KTooSmall { k: 2 }, "got 2"),
+            (ConfigError::InvalidTheta { theta: -0.5 }, "-0.5"),
+            (ConfigError::ZeroRefitInterval, "refit_every"),
+            (ConfigError::ZeroBackoff, "max_backoff"),
+            (ConfigError::ZeroShards, "shard count"),
+        ];
+        for (e, needle) in cases {
+            let text = e.to_string();
+            assert!(text.contains(needle), "{text:?} missing {needle:?}");
+        }
     }
 
     #[test]

@@ -19,11 +19,17 @@
 //!   paper's seven datasets.
 //! * [`ssf_eval`] — train/test splitting, AUC/F1, experiment runner.
 //!
+//! The serving-path API lives in this crate directly: [`stream`] (the
+//! single-writer online predictor), [`serve`] (immutable scoring
+//! snapshots and sharded ingestion), [`methods`], [`model`] and
+//! [`error`]. The everyday names are re-exported at the crate root and
+//! bundled in [`prelude`] — downstream code should not import from the
+//! internal module paths.
+//!
 //! ## Quickstart
 //!
 //! ```rust
-//! use ssf_repro::dyngraph::DynamicNetwork;
-//! use ssf_repro::ssf_core::{SsfConfig, SsfExtractor};
+//! use ssf_repro::prelude::*;
 //!
 //! let mut g = DynamicNetwork::new();
 //! for (u, v, t) in [(0, 1, 1), (1, 2, 2), (2, 0, 3), (0, 3, 3), (3, 4, 4)] {
@@ -33,13 +39,46 @@
 //! let feature = extractor.extract(&g, 1, 4, 5);
 //! assert_eq!(feature.values().len(), SsfConfig::new(5).feature_dim());
 //! ```
+//!
+//! ## Serving
+//!
+//! ```rust
+//! use ssf_repro::prelude::*;
+//!
+//! let config = OnlinePredictorConfig::builder()
+//!     .refit_every(10)
+//!     .build()
+//!     .expect("valid configuration");
+//! let mut predictor = OnlineLinkPredictor::new(config);
+//! predictor.observe(0, 1, 1);
+//! predictor.observe(1, 2, 2);
+//!
+//! // Publish an immutable epoch; readers score it from any thread while
+//! // this writer keeps ingesting.
+//! let snapshot = predictor.snapshot();
+//! predictor.observe(0, 2, 3);
+//! let scores = snapshot.score_batch_parallel(&[(0, 2), (1, 0)], 2);
+//! assert_eq!(scores.len(), 2);
+//! ```
 
 pub mod error;
 pub mod methods;
 pub mod model;
+pub mod prelude;
+pub mod serve;
 pub mod stream;
 
-pub use error::SsfError;
+pub use error::{ConfigError, SsfError};
+pub use methods::{Method, MethodOptions};
+pub use model::SsfnmModel;
+pub use serve::{
+    Health, Observed, QuarantineReason, ScoringSnapshot, ShardedPredictor,
+    ShardedSnapshot, StreamStats,
+};
+pub use ssf_core::CacheStats;
+pub use stream::{
+    OnlineLinkPredictor, OnlinePredictorConfig, OnlinePredictorConfigBuilder,
+};
 
 pub use baselines;
 pub use datasets;

@@ -26,6 +26,8 @@ use ssf_eval::{
 };
 use ssf_ml::{LinearRegression, MlpConfig, NeuralMachine, StandardScaler};
 
+use crate::error::ConfigError;
+
 /// One of the paper's Table III methods.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
@@ -60,10 +62,10 @@ pub enum Method {
     Ssflr,
     /// SSF + neural machine — the paper's second proposed method.
     Ssfnm,
-    /// Local Path index `A² + εA³` (related-work extension, paper ref [8]).
+    /// Local Path index `A² + εA³` (related-work extension, paper ref \[8\]).
     Lp,
     /// Temporal matrix factorization over the decay-weighted adjacency
-    /// (related-work extension, after paper ref [28]).
+    /// (related-work extension, after paper ref \[28\]).
     Tmf,
 }
 
@@ -320,7 +322,7 @@ impl Method {
         self.extract_with_threads(fold, opts, fold_stat, samples, threads)
     }
 
-    /// [`Method::extract_parallel`] with an explicit worker count — the
+    /// Parallel extraction with an explicit worker count — the
     /// public batch-extraction entry point. Output is identical for every
     /// `threads` value (the determinism property tests pin this): chunking
     /// only changes which worker computes a row, and each worker's
@@ -615,6 +617,28 @@ pub struct MethodOptions {
     pub seed: u64,
 }
 
+impl MethodOptions {
+    /// Checks the hyperparameters a predictor cannot recover from at
+    /// runtime: `K` below the K-structure minimum of 3 and a negative or
+    /// non-finite influence decay θ. Called by
+    /// [`crate::stream::OnlinePredictorConfigBuilder::build`], so invalid
+    /// values surface as a typed [`ConfigError`] at construction instead
+    /// of an assert deep inside the first extraction.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::KTooSmall`] or [`ConfigError::InvalidTheta`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.k < 3 {
+            return Err(ConfigError::KTooSmall { k: self.k });
+        }
+        if !self.theta.is_finite() || self.theta < 0.0 {
+            return Err(ConfigError::InvalidTheta { theta: self.theta });
+        }
+        Ok(())
+    }
+}
+
 impl Default for MethodOptions {
     fn default() -> Self {
         MethodOptions {
@@ -638,6 +662,29 @@ mod tests {
     use super::*;
     use dyngraph::DynamicNetwork;
     use ssf_eval::SplitConfig;
+
+    #[test]
+    fn method_options_validate_rejects_bad_hyperparameters() {
+        assert!(MethodOptions::default().validate().is_ok());
+        let opts = MethodOptions {
+            k: 2,
+            ..MethodOptions::default()
+        };
+        assert_eq!(opts.validate(), Err(ConfigError::KTooSmall { k: 2 }));
+        let opts = MethodOptions {
+            theta: -1.0,
+            ..MethodOptions::default()
+        };
+        assert!(matches!(
+            opts.validate(),
+            Err(ConfigError::InvalidTheta { .. })
+        ));
+        let opts = MethodOptions {
+            theta: f64::NAN,
+            ..MethodOptions::default()
+        };
+        assert!(opts.validate().is_err());
+    }
 
     /// A network where new links close triangles: common-neighbor signal.
     fn triadic_network() -> DynamicNetwork {

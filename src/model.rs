@@ -36,6 +36,10 @@ impl SsfnmModel {
     ///
     /// Panics if the split has no training samples or a sample pair is
     /// degenerate; [`SsfnmModel::try_fit`] reports both as typed errors.
+    #[deprecated(
+        note = "use `try_fit` — under the fallible-API naming convention \
+                panicking bare names are being retired"
+    )]
     pub fn fit(
         split: &Split,
         extra_train: &[Split],
@@ -139,6 +143,10 @@ impl SsfnmModel {
     ///
     /// Panics if `u == v` or either endpoint is outside `g`;
     /// [`SsfnmModel::try_score`] reports both as typed errors.
+    #[deprecated(
+        note = "use `try_score` — under the fallible-API naming convention \
+                panicking bare names are being retired"
+    )]
     pub fn score(
         &self,
         g: &DynamicNetwork,
@@ -304,11 +312,11 @@ mod tests {
             nm_epochs: 40,
             ..MethodOptions::default()
         };
-        let model = SsfnmModel::fit(&split, &[], &opts);
+        let model = SsfnmModel::try_fit(&split, &[], &opts).unwrap();
         let present = split.history.max_timestamp().unwrap() + 1;
         // Scores are probabilities.
         for s in &split.test {
-            let p = model.score(&split.history, s.u, s.v, present);
+            let p = model.try_score(&split.history, s.u, s.v, present).unwrap();
             assert!((0.0..=1.0).contains(&p));
         }
         assert_eq!(model.config().k, opts.k);
@@ -322,15 +330,15 @@ mod tests {
             nm_epochs: 15,
             ..MethodOptions::default()
         };
-        let model = SsfnmModel::fit(&split, &[], &opts);
+        let model = SsfnmModel::try_fit(&split, &[], &opts).unwrap();
         let mut buf = Vec::new();
         model.save(&mut buf).unwrap();
         let loaded = SsfnmModel::load(buf.as_slice()).unwrap();
         let present = split.history.max_timestamp().unwrap() + 1;
         for s in split.test.iter().take(5) {
             assert_eq!(
-                model.score(&split.history, s.u, s.v, present),
-                loaded.score(&split.history, s.u, s.v, present),
+                model.try_score(&split.history, s.u, s.v, present).ok(),
+                loaded.try_score(&split.history, s.u, s.v, present).ok(),
             );
         }
         assert_eq!(loaded.config().k, opts.k);
@@ -353,7 +361,7 @@ mod tests {
         assert!(model.try_score(&split.history, 0, far, present).is_err());
         let s = &split.test[0];
         let p = model.try_score(&split.history, s.u, s.v, present).unwrap();
-        assert_eq!(p, model.score(&split.history, s.u, s.v, present));
+        assert!((0.0..=1.0).contains(&p));
     }
 
     #[test]
@@ -364,13 +372,13 @@ mod tests {
             nm_epochs: 10,
             ..MethodOptions::default()
         };
-        let a = SsfnmModel::fit(&split, &[], &opts);
-        let b = SsfnmModel::fit(&split, &[], &opts);
+        let a = SsfnmModel::try_fit(&split, &[], &opts).unwrap();
+        let b = SsfnmModel::try_fit(&split, &[], &opts).unwrap();
         let present = split.history.max_timestamp().unwrap() + 1;
         let s = &split.test[0];
         assert_eq!(
-            a.score(&split.history, s.u, s.v, present),
-            b.score(&split.history, s.u, s.v, present)
+            a.try_score(&split.history, s.u, s.v, present).ok(),
+            b.try_score(&split.history, s.u, s.v, present).ok()
         );
     }
 }

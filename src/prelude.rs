@@ -1,0 +1,30 @@
+//! The curated import surface: `use ssf_repro::prelude::*;`.
+//!
+//! One glob brings in everything a typical application touches — the
+//! dynamic network substrate, the SSF extractor, the online predictor
+//! with its config builder, the concurrent-serving types
+//! ([`ScoringSnapshot`], [`ShardedPredictor`]), the error taxonomy and
+//! the observability recorder types. Anything not listed here is still
+//! reachable through the re-exported workspace crates
+//! ([`crate::dyngraph`], [`crate::ssf_core`], …), but downstream code
+//! should not need internal module paths for the serving workflow.
+
+pub use dyngraph::{DynamicNetwork, GraphError, Link, NodeId, Timestamp};
+pub use obs::{
+    NoopRecorder, ObsHandle, Recorder, Registry, RegistryRecorder, Snapshot,
+};
+pub use ssf_core::{
+    CacheStats, EntryEncoding, ExtractionCache, FrozenCacheView, SsfConfig,
+    SsfExtractor, SsfFeature,
+};
+
+pub use crate::error::{ConfigError, SsfError};
+pub use crate::methods::{Method, MethodOptions};
+pub use crate::model::SsfnmModel;
+pub use crate::serve::{
+    Health, Observed, QuarantineReason, ScoringSnapshot, ShardedPredictor,
+    ShardedSnapshot, StreamStats,
+};
+pub use crate::stream::{
+    OnlineLinkPredictor, OnlinePredictorConfig, OnlinePredictorConfigBuilder,
+};

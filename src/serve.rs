@@ -1,0 +1,1004 @@
+//! Concurrent serving: immutable scoring snapshots and sharded ingestion.
+//!
+//! The paper's serving story (§V) interleaves two workloads: timestamped
+//! links *stream in* while candidate-pair *queries* arrive. The online
+//! predictor is `&mut self` end-to-end — correct, but a single writer
+//! monopolizes it, so score throughput is capped at one core and every
+//! `observe` stalls all scoring. This module splits the two roles:
+//!
+//! * [`ScoringSnapshot`] — an immutable, `Arc`-published *epoch* of the
+//!   predictor (graph + fitted model + frozen extraction-cache view).
+//!   Snapshots are `Send + Sync` and cheap to clone, so any number of
+//!   reader threads score concurrently — [`ScoringSnapshot::score_batch_parallel`]
+//!   fans one batch out across scoped threads — while the writer keeps
+//!   ingesting and refitting, then publishes the next epoch. Scores are
+//!   **bit-identical** to the serial predictor paths: every route goes
+//!   through the same extraction pipeline, and caches never change values
+//!   (`tests/concurrency.rs` proves it under live interleavings).
+//! * [`ShardedPredictor`] — N independent single-writer ingest cores over
+//!   a partition of the node space. A pair `(u, v)` is owned by shard
+//!   `min(u, v) % N`, so every pair has exactly one home for both
+//!   ingestion and scoring, and disjoint shards ingest in parallel
+//!   ([`ShardedPredictor::observe_batch_parallel`]). Health, stream and
+//!   cache statistics merge across shards.
+//!
+//! This module is also the canonical home of the serving-surface types
+//! ([`Health`], [`StreamStats`], [`Observed`], [`QuarantineReason`]);
+//! their old `ssf_repro::stream::*` paths remain as deprecated aliases
+//! for one release. Import from [`crate::prelude`] or the crate root.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dyngraph::{DynamicNetwork, NodeId, Timestamp};
+use obs::{labeled, ObsHandle, Snapshot};
+use ssf_core::{CacheStats, ExtractionCache, FrozenCacheView};
+
+use crate::error::{ConfigError, SsfError};
+use crate::stream::{FittedModel, OnlineLinkPredictor, OnlinePredictorConfig};
+
+/// Why an event was quarantined instead of entering the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QuarantineReason {
+    /// Both endpoints are the same node.
+    SelfLoop,
+    /// An identical `(u, v, t)` event was already recorded
+    /// (only with [`OnlinePredictorConfig::quarantine_duplicates`]).
+    Duplicate,
+    /// The timestamp trails the newest observed one by more than
+    /// [`OnlinePredictorConfig::max_lag`] ticks.
+    Stale {
+        /// How many ticks behind the stream head the event arrived.
+        lag: u32,
+    },
+}
+
+/// Outcome of feeding one event to [`OnlineLinkPredictor::observe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Observed {
+    /// The event entered the network.
+    Accepted,
+    /// The event was counted and dropped; its endpoints remain known.
+    Quarantined(QuarantineReason),
+}
+
+impl Observed {
+    /// `true` when the event entered the network.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Observed::Accepted)
+    }
+}
+
+/// Running tallies of stream hygiene and degradation.
+#[derive(Debug, Default)]
+pub struct StreamStats {
+    /// Events that entered the network.
+    pub accepted: u64,
+    /// Quarantined self-loop events.
+    pub self_loops: u64,
+    /// Quarantined duplicate events.
+    pub duplicates: u64,
+    /// Quarantined stale events.
+    pub stale: u64,
+    /// Refit attempts that produced a model.
+    pub successful_refits: u64,
+    /// Refit attempts that failed (model unchanged).
+    pub failed_refits: u64,
+    /// Scores served by the common-neighbor fallback instead of the
+    /// model. Atomic because scoring takes `&self`.
+    pub(crate) degraded_scores: AtomicU64,
+}
+
+impl StreamStats {
+    /// Total quarantined events, all reasons.
+    pub fn quarantined(&self) -> u64 {
+        self.self_loops + self.duplicates + self.stale
+    }
+
+    /// Scores served by the degraded fallback path.
+    pub fn degraded_scores(&self) -> u64 {
+        self.degraded_scores.load(Ordering::Relaxed)
+    }
+
+    /// Folds another tally into this one — how [`ShardedPredictor`]
+    /// aggregates its per-shard accounts.
+    pub fn merge(&mut self, other: &StreamStats) {
+        self.accepted += other.accepted;
+        self.self_loops += other.self_loops;
+        self.duplicates += other.duplicates;
+        self.stale += other.stale;
+        self.successful_refits += other.successful_refits;
+        self.failed_refits += other.failed_refits;
+        self.degraded_scores
+            .fetch_add(other.degraded_scores(), Ordering::Relaxed);
+    }
+}
+
+impl Clone for StreamStats {
+    fn clone(&self) -> Self {
+        StreamStats {
+            accepted: self.accepted,
+            self_loops: self.self_loops,
+            duplicates: self.duplicates,
+            stale: self.stale,
+            successful_refits: self.successful_refits,
+            failed_refits: self.failed_refits,
+            degraded_scores: AtomicU64::new(self.degraded_scores()),
+        }
+    }
+}
+
+/// Point-in-time health snapshot of an [`OnlineLinkPredictor`] (or the
+/// merged view of a [`ShardedPredictor`]).
+///
+/// `fitted` and `model_epoch` are read from one atomically-replaced
+/// model slot, so they can never disagree: `fitted` is `true` exactly
+/// when `model_epoch` is `Some` (regression-tested — a snapshot taken
+/// mid-refit used to be able to pair the new flag with the old model).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct Health {
+    /// Whether a model is currently serving.
+    pub fitted: bool,
+    /// Graph revision the serving model was fitted at; `None` before the
+    /// first successful refit. Always consistent with `fitted`.
+    pub model_epoch: Option<u64>,
+    /// Current graph revision (total accepted mutations; summed across
+    /// shards in a merged health).
+    pub graph_revision: u64,
+    /// Events accepted into the network.
+    pub accepted: u64,
+    /// Events quarantined, all reasons combined.
+    pub quarantined: u64,
+    /// Scores served by the degraded fallback path.
+    pub degraded_scores: u64,
+    /// Refit attempts that produced a model.
+    pub successful_refits: u64,
+    /// Refit attempts that failed.
+    pub failed_refits: u64,
+    /// Current backoff multiplier on the refit interval (1 = healthy;
+    /// the worst shard in a merged health).
+    pub current_backoff: u32,
+    /// Rendered error of the most recent failed refit, cleared on success.
+    pub last_refit_error: Option<String>,
+    /// Metrics snapshot from the predictor's recorder. Empty when the
+    /// predictor runs with the no-op handle (see
+    /// [`OnlineLinkPredictor::with_recorder`]).
+    pub metrics: Snapshot,
+}
+
+/// Degraded scorer: `cn / (cn + 1)` over distinct common neighbors —
+/// monotone in CN and bounded in `[0, 1)` like a probability.
+pub(crate) fn common_neighbor_fallback(
+    g: &DynamicNetwork,
+    u: NodeId,
+    v: NodeId,
+) -> f64 {
+    let a = g.neighbors(u);
+    let b = g.neighbors(v);
+    let (mut i, mut j, mut cn) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                cn += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    cn as f64 / (cn as f64 + 1.0)
+}
+
+/// One immutable epoch of a predictor: graph, fitted model and a frozen
+/// extraction-cache view, published together.
+///
+/// Created by [`OnlineLinkPredictor::snapshot`]. The snapshot is a value:
+/// later `observe`/`try_refit` calls on the predictor never change it, and
+/// cloning shares one `Arc` allocation. All scoring paths return exactly
+/// what the predictor's own [`score`]/[`score_batch`] returned at publish
+/// time, bit for bit — including the `None` cases and the common-neighbor
+/// degradation.
+///
+/// # Example
+///
+/// ```rust
+/// use std::thread;
+///
+/// use ssf_repro::prelude::*;
+///
+/// let mut p = OnlineLinkPredictor::new(OnlinePredictorConfig::default());
+/// p.observe(0, 1, 1);
+/// p.observe(1, 2, 2);
+/// let snap = p.snapshot();
+/// thread::scope(|s| {
+///     for _ in 0..4 {
+///         let snap = snap.clone();
+///         s.spawn(move || snap.score_batch(&[(0, 2), (1, 2)]));
+///     }
+/// });
+/// // The writer kept going the whole time:
+/// p.observe(0, 2, 3);
+/// assert_eq!(snap.epoch() + 1, p.network().revision());
+/// ```
+///
+/// [`score`]: OnlineLinkPredictor::score
+/// [`score_batch`]: OnlineLinkPredictor::score_batch
+#[derive(Debug, Clone)]
+pub struct ScoringSnapshot {
+    inner: Arc<SnapshotInner>,
+}
+
+#[derive(Debug)]
+struct SnapshotInner {
+    network: DynamicNetwork,
+    model: Option<Arc<FittedModel>>,
+    frozen: FrozenCacheView,
+    /// Graph revision at publish; always equals `network.revision()`.
+    epoch: u64,
+    /// `max_timestamp + 1` at publish — the fixed prediction time.
+    present: Option<Timestamp>,
+    degraded_scores: AtomicU64,
+    obs: ObsHandle,
+}
+
+impl ScoringSnapshot {
+    /// Clones the predictor's current epoch into an immutable snapshot.
+    /// The network clone preserves the revision counter, so the frozen
+    /// cache view stays valid for the snapshot's lifetime.
+    pub(crate) fn publish(p: &OnlineLinkPredictor) -> Self {
+        let network = p.network().clone();
+        let epoch = network.revision();
+        let present = network.max_timestamp().map(|t| t + 1);
+        ScoringSnapshot {
+            inner: Arc::new(SnapshotInner {
+                model: p.fitted.clone(),
+                frozen: p.cache.freeze(),
+                epoch,
+                present,
+                network,
+                degraded_scores: AtomicU64::new(0),
+                obs: p.recorder().clone(),
+            }),
+        }
+    }
+
+    /// The graph revision this snapshot was published at. Equals
+    /// [`Self::network`]`.revision()` — every epoch is internally
+    /// consistent by construction.
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch
+    }
+
+    /// Graph revision the serving model was fitted at; `None` when no
+    /// model had been fitted by publish time. Never exceeds
+    /// [`Self::epoch`].
+    pub fn model_epoch(&self) -> Option<u64> {
+        self.inner.model.as_ref().map(|m| m.epoch)
+    }
+
+    /// Whether a fitted model is serving (equivalent to
+    /// `model_epoch().is_some()`).
+    pub fn is_fitted(&self) -> bool {
+        self.inner.model.is_some()
+    }
+
+    /// The frozen network this snapshot scores against.
+    pub fn network(&self) -> &DynamicNetwork {
+        &self.inner.network
+    }
+
+    /// The fixed prediction timestamp (`max_timestamp + 1` at publish),
+    /// `None` for an empty network.
+    pub fn present(&self) -> Option<Timestamp> {
+        self.inner.present
+    }
+
+    /// Scores served by the common-neighbor fallback *through this
+    /// snapshot* (per-snapshot tally; the predictor's own
+    /// [`StreamStats::degraded_scores`] is not retro-incremented).
+    pub fn degraded_scores(&self) -> u64 {
+        self.inner.degraded_scores.load(Ordering::Relaxed)
+    }
+
+    /// Frozen cache warmth carried over from the predictor, as
+    /// `(balls, pairs)` entry counts.
+    pub fn frozen_entries(&self) -> (usize, usize) {
+        self.inner.frozen.len()
+    }
+
+    /// Scores one candidate pair — same contract and same bits as
+    /// [`OnlineLinkPredictor::score`] at publish time, but through
+    /// `&self`, from any thread.
+    pub fn score(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        let _span = self.inner.obs.span("ssf.serve.score");
+        let inner = &*self.inner;
+        let n = inner.network.node_count() as NodeId;
+        if u == v || u >= n || v >= n {
+            return None;
+        }
+        let present = inner.present?;
+        let fitted = inner.model.as_deref()?;
+        let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
+            fitted.model.try_score(&inner.network, u, v, present)
+        }));
+        match attempt {
+            Ok(Ok(p)) => Some(p),
+            Ok(Err(_)) | Err(_) => {
+                inner.degraded_scores.fetch_add(1, Ordering::Relaxed);
+                inner.obs.counter("ssf.serve.degraded_scores", 1);
+                Some(common_neighbor_fallback(&inner.network, u, v))
+            }
+        }
+    }
+
+    /// Scores a batch serially against a thread-local cache seeded with
+    /// the snapshot's frozen view — bit-identical to calling
+    /// [`Self::score`] per pair, with the warm memos of the publishing
+    /// predictor already in place.
+    pub fn score_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<Option<f64>> {
+        let _span = self.inner.obs.span("ssf.serve.score_batch");
+        self.inner
+            .obs
+            .counter("ssf.serve.scored", pairs.len() as u64);
+        let mut cache = self.local_cache();
+        self.score_chunk(pairs, &mut cache)
+    }
+
+    /// Fans a batch out over `threads` scoped worker threads, each with
+    /// its own frozen-seeded cache, and reassembles results in input
+    /// order. Bit-identical to [`Self::score_batch`] for every slot:
+    /// caches only memoize values the pipeline would recompute
+    /// identically, so the chunking never shows in the output.
+    ///
+    /// `threads == 0` is treated as 1; a single thread short-circuits to
+    /// the serial path.
+    pub fn score_batch_parallel(
+        &self,
+        pairs: &[(NodeId, NodeId)],
+        threads: usize,
+    ) -> Vec<Option<f64>> {
+        let threads = threads.max(1).min(pairs.len().max(1));
+        if threads == 1 {
+            return self.score_batch(pairs);
+        }
+        let _span = self.inner.obs.span("ssf.serve.score_batch_parallel");
+        self.inner
+            .obs
+            .counter("ssf.serve.scored", pairs.len() as u64);
+        let chunk = pairs.len().div_ceil(threads);
+        let mut out: Vec<Option<f64>> = Vec::with_capacity(pairs.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = pairs
+                .chunks(chunk)
+                .map(|c| {
+                    (
+                        c.len(),
+                        s.spawn(move || {
+                            let mut cache = self.local_cache();
+                            self.score_chunk(c, &mut cache)
+                        }),
+                    )
+                })
+                .collect();
+            for (len, h) in handles {
+                match h.join() {
+                    Ok(scores) => out.extend(scores),
+                    // Unreachable (workers catch per-pair panics), but a
+                    // dying worker must not shift later chunks.
+                    Err(_) => out.extend(std::iter::repeat_n(None, len)),
+                }
+            }
+        });
+        out
+    }
+
+    /// A fresh mutable cache seeded with the snapshot's frozen view.
+    fn local_cache(&self) -> ExtractionCache {
+        let mut cache = ExtractionCache::with_frozen(self.inner.frozen.clone());
+        cache.set_recorder(self.inner.obs.clone());
+        cache
+    }
+
+    /// The shared serial scoring loop behind both batch paths.
+    fn score_chunk(
+        &self,
+        pairs: &[(NodeId, NodeId)],
+        cache: &mut ExtractionCache,
+    ) -> Vec<Option<f64>> {
+        let inner = &*self.inner;
+        let n = inner.network.node_count() as NodeId;
+        let mut out = Vec::with_capacity(pairs.len());
+        for &(u, v) in pairs {
+            if u == v || u >= n || v >= n {
+                out.push(None);
+                continue;
+            }
+            let (Some(present), Some(fitted)) =
+                (inner.present, inner.model.as_deref())
+            else {
+                out.push(None);
+                continue;
+            };
+            let network = &inner.network;
+            let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
+                fitted.model.try_score_cached(network, u, v, present, cache)
+            }));
+            out.push(match attempt {
+                Ok(Ok(p)) => Some(p),
+                Ok(Err(_)) | Err(_) => {
+                    inner.degraded_scores.fetch_add(1, Ordering::Relaxed);
+                    inner.obs.counter("ssf.serve.degraded_scores", 1);
+                    Some(common_neighbor_fallback(network, u, v))
+                }
+            });
+        }
+        out
+    }
+}
+
+/// N independent single-writer ingest cores over a partition of the node
+/// space.
+///
+/// A pair `(u, v)` is owned by shard `min(u, v) % N` — one deterministic
+/// home per pair for both ingestion and scoring, so cross-shard pairs
+/// never need coordination. Each shard is a full [`OnlineLinkPredictor`]
+/// over the substream routed to it; shard counts divide the refit cost
+/// and let [`Self::observe_batch_parallel`] ingest disjoint substreams on
+/// parallel threads.
+///
+/// The trade-off is explicit: a shard scores a pair against *its own*
+/// substream, not the global graph (see DESIGN.md §9). With one shard the
+/// predictor is exactly the unsharded one, bit for bit; with N shards
+/// each pair scores exactly as an unsharded predictor fed the owner's
+/// substream would — both properties are tested in
+/// `tests/concurrency.rs`.
+#[derive(Debug)]
+pub struct ShardedPredictor {
+    shards: Vec<OnlineLinkPredictor>,
+    /// Pre-rendered shard indices for labeled counters.
+    labels: Vec<String>,
+    obs: ObsHandle,
+}
+
+impl ShardedPredictor {
+    /// Creates `shards` empty ingest cores sharing one configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::ZeroShards`] for `shards == 0`, plus any
+    /// [`MethodOptions::validate`](crate::methods::MethodOptions::validate)
+    /// rejection of the configuration's hyperparameters.
+    pub fn new(
+        config: OnlinePredictorConfig,
+        shards: usize,
+    ) -> Result<Self, SsfError> {
+        Self::with_recorder(config, shards, ObsHandle::noop())
+    }
+
+    /// [`Self::new`] with telemetry: per-shard quarantine counters under
+    /// the labeled family `ssf.serve.shard.quarantined{shard=…}`, shared
+    /// `ssf.stream.*` instrumentation inside every shard, and
+    /// `ssf.serve.ingest_batch` spans around parallel ingestion.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::new`].
+    pub fn with_recorder(
+        config: OnlinePredictorConfig,
+        shards: usize,
+        obs: ObsHandle,
+    ) -> Result<Self, SsfError> {
+        if shards == 0 {
+            return Err(ConfigError::ZeroShards.into());
+        }
+        config.method.validate()?;
+        Ok(ShardedPredictor {
+            shards: (0..shards)
+                .map(|_| {
+                    OnlineLinkPredictor::with_recorder(
+                        config.clone(),
+                        obs.clone(),
+                    )
+                })
+                .collect(),
+            labels: (0..shards).map(|i| i.to_string()).collect(),
+            obs,
+        })
+    }
+
+    /// Number of ingest cores.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The owner shard of a pair: `min(u, v) % N`.
+    pub fn shard_of(&self, u: NodeId, v: NodeId) -> usize {
+        u.min(v) as usize % self.shards.len()
+    }
+
+    /// Borrows one shard's predictor, `None` out of range.
+    pub fn shard(&self, index: usize) -> Option<&OnlineLinkPredictor> {
+        self.shards.get(index)
+    }
+
+    /// Routes one stream event to its owner shard; never panics.
+    pub fn observe(&mut self, u: NodeId, v: NodeId, t: Timestamp) -> Observed {
+        let idx = self.shard_of(u, v);
+        let outcome = self.shards[idx].observe(u, v, t);
+        if !outcome.is_accepted() && self.obs.enabled() {
+            self.obs.counter(
+                &labeled(
+                    "ssf.serve.shard.quarantined",
+                    &[("shard", &self.labels[idx])],
+                ),
+                1,
+            );
+        }
+        outcome
+    }
+
+    /// Partitions a batch of events by owner shard and ingests every
+    /// shard's substream on its own scoped thread — the near-linear
+    /// ingest-scaling path. Within a shard, events keep their order in
+    /// `events`. Returns the number of accepted events.
+    pub fn observe_batch_parallel(
+        &mut self,
+        events: &[(NodeId, NodeId, Timestamp)],
+    ) -> u64 {
+        let n = self.shards.len();
+        let mut per: Vec<Vec<(NodeId, NodeId, Timestamp)>> =
+            vec![Vec::new(); n];
+        for &(u, v, t) in events {
+            per[u.min(v) as usize % n].push((u, v, t));
+        }
+        let _span = self.obs.span("ssf.serve.ingest_batch");
+        let shards = &mut self.shards;
+        let mut accepted = 0u64;
+        let mut quarantined: Vec<u64> = vec![0; n];
+        std::thread::scope(|s| {
+            let handles: Vec<_> = shards
+                .iter_mut()
+                .zip(&per)
+                .map(|(shard, evs)| {
+                    s.spawn(move || {
+                        let (mut acc, mut quar) = (0u64, 0u64);
+                        for &(u, v, t) in evs {
+                            if shard.observe(u, v, t).is_accepted() {
+                                acc += 1;
+                            } else {
+                                quar += 1;
+                            }
+                        }
+                        (acc, quar)
+                    })
+                })
+                .collect();
+            for (i, h) in handles.into_iter().enumerate() {
+                if let Ok((acc, quar)) = h.join() {
+                    accepted += acc;
+                    quarantined[i] = quar;
+                }
+            }
+        });
+        if self.obs.enabled() {
+            for (label, &quar) in self.labels.iter().zip(&quarantined) {
+                if quar > 0 {
+                    self.obs.counter(
+                        &labeled(
+                            "ssf.serve.shard.quarantined",
+                            &[("shard", label)],
+                        ),
+                        quar,
+                    );
+                }
+            }
+        }
+        accepted
+    }
+
+    /// Forces a refit on every shard, attempting all of them even when
+    /// some fail.
+    ///
+    /// # Errors
+    ///
+    /// The first shard failure, after all shards were attempted. Shards
+    /// that fitted keep their new model either way.
+    pub fn try_refit_all(&mut self) -> Result<(), SsfError> {
+        let mut first_err = None;
+        for shard in &mut self.shards {
+            if let Err(e) = shard.try_refit() {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Routes a pair to its owner shard's [`OnlineLinkPredictor::score`].
+    pub fn score(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.shards[self.shard_of(u, v)].score(u, v)
+    }
+
+    /// Scores a batch by grouping pairs per owner shard, scoring each
+    /// group through the shard's cached batch path, and scattering the
+    /// results back into input order.
+    pub fn score_batch(
+        &mut self,
+        pairs: &[(NodeId, NodeId)],
+    ) -> Vec<Option<f64>> {
+        let n = self.shards.len();
+        let mut slots: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut groups: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); n];
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            let owner = u.min(v) as usize % n;
+            slots[owner].push(i);
+            groups[owner].push((u, v));
+        }
+        let mut out = vec![None; pairs.len()];
+        for (shard, (slots, group)) in
+            self.shards.iter_mut().zip(slots.iter().zip(&groups))
+        {
+            if group.is_empty() {
+                continue;
+            }
+            for (&i, score) in slots.iter().zip(shard.score_batch(group)) {
+                out[i] = score;
+            }
+        }
+        out
+    }
+
+    /// Publishes every shard's current epoch as one routed snapshot.
+    pub fn snapshot(&self) -> ShardedSnapshot {
+        ShardedSnapshot {
+            shards: self.shards.iter().map(|s| s.snapshot()).collect(),
+        }
+    }
+
+    /// Merged stream tallies, summed across shards.
+    pub fn stream_stats(&self) -> StreamStats {
+        let mut total = StreamStats::default();
+        for shard in &self.shards {
+            total.merge(shard.stats());
+        }
+        total
+    }
+
+    /// Merged extraction-cache tallies, summed across shards.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            total.merge(&shard.cache_stats());
+        }
+        total
+    }
+
+    /// Merged health: counters are summed, `fitted` is true when *any*
+    /// shard serves a model (a pair owned by an unfitted shard still
+    /// scores `None` — check [`Self::shard_healths`] for the full
+    /// picture), `model_epoch` is the stalest fitted shard's epoch,
+    /// `graph_revision` the summed revisions, `current_backoff` the worst
+    /// shard's, and `last_refit_error` the first shard's pending error.
+    pub fn health(&self) -> Health {
+        let stats = self.stream_stats();
+        let mut health = Health {
+            fitted: false,
+            model_epoch: None,
+            graph_revision: 0,
+            accepted: stats.accepted,
+            quarantined: stats.quarantined(),
+            degraded_scores: stats.degraded_scores(),
+            successful_refits: stats.successful_refits,
+            failed_refits: stats.failed_refits,
+            current_backoff: 1,
+            last_refit_error: None,
+            metrics: self.obs.snapshot(),
+        };
+        for shard in &self.shards {
+            let h = shard.health();
+            health.fitted |= h.fitted;
+            health.model_epoch = match (health.model_epoch, h.model_epoch) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            health.graph_revision += h.graph_revision;
+            health.current_backoff =
+                health.current_backoff.max(h.current_backoff);
+            if health.last_refit_error.is_none() {
+                health.last_refit_error = h.last_refit_error;
+            }
+        }
+        health
+    }
+
+    /// Per-shard health snapshots, in shard order.
+    pub fn shard_healths(&self) -> Vec<Health> {
+        self.shards.iter().map(|s| s.health()).collect()
+    }
+}
+
+/// Immutable snapshots of every shard, routed like the predictor:
+/// `min(u, v) % N` picks the [`ScoringSnapshot`] a pair scores against.
+///
+/// `Send + Sync` and cheap to clone, like the per-shard snapshots it
+/// wraps.
+#[derive(Debug, Clone)]
+pub struct ShardedSnapshot {
+    shards: Vec<ScoringSnapshot>,
+}
+
+impl ShardedSnapshot {
+    /// Number of shard snapshots.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The owner shard of a pair: `min(u, v) % N`.
+    pub fn shard_of(&self, u: NodeId, v: NodeId) -> usize {
+        u.min(v) as usize % self.shards.len()
+    }
+
+    /// Borrows one shard's snapshot, `None` out of range.
+    pub fn shard(&self, index: usize) -> Option<&ScoringSnapshot> {
+        self.shards.get(index)
+    }
+
+    /// Publish epochs of every shard snapshot, in shard order.
+    pub fn epochs(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.epoch()).collect()
+    }
+
+    /// Routes a pair to its owner snapshot's [`ScoringSnapshot::score`].
+    pub fn score(&self, u: NodeId, v: NodeId) -> Option<f64> {
+        self.shards[self.shard_of(u, v)].score(u, v)
+    }
+
+    /// Scores a batch by owner-shard grouping, serially per shard.
+    pub fn score_batch(&self, pairs: &[(NodeId, NodeId)]) -> Vec<Option<f64>> {
+        self.score_batch_with(pairs, |snap, group| snap.score_batch(group))
+    }
+
+    /// Scores a batch with each shard's group fanned out over up to
+    /// `threads` worker threads (divided across shards with work), in
+    /// parallel across shards. Bit-identical to [`Self::score_batch`].
+    pub fn score_batch_parallel(
+        &self,
+        pairs: &[(NodeId, NodeId)],
+        threads: usize,
+    ) -> Vec<Option<f64>> {
+        let threads = threads.max(1);
+        let busy = self.shards.len().min(pairs.len().max(1));
+        let per_shard = threads.div_ceil(busy);
+        self.score_batch_with(pairs, |snap, group| {
+            snap.score_batch_parallel(group, per_shard)
+        })
+    }
+
+    /// Shared group/score/scatter skeleton of the batch paths. The
+    /// scoring closure runs per shard on scoped threads; input order is
+    /// restored in the output.
+    fn score_batch_with<F>(
+        &self,
+        pairs: &[(NodeId, NodeId)],
+        score: F,
+    ) -> Vec<Option<f64>>
+    where
+        F: Fn(&ScoringSnapshot, &[(NodeId, NodeId)]) -> Vec<Option<f64>> + Sync,
+    {
+        let n = self.shards.len();
+        let mut slots: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut groups: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); n];
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            let owner = u.min(v) as usize % n;
+            slots[owner].push(i);
+            groups[owner].push((u, v));
+        }
+        let mut out = vec![None; pairs.len()];
+        std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .zip(slots.iter().zip(&groups))
+                .filter(|(_, (_, group))| !group.is_empty())
+                .map(|(snap, (slots, group))| {
+                    let score = &score;
+                    (slots, s.spawn(move || score(snap, group)))
+                })
+                .collect();
+            for (slots, h) in handles {
+                if let Ok(scores) = h.join() {
+                    for (&i, sc) in slots.iter().zip(scores) {
+                        out[i] = sc;
+                    }
+                }
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methods::MethodOptions;
+    use datasets::{generate, DatasetSpec};
+
+    fn quick_config() -> OnlinePredictorConfig {
+        OnlinePredictorConfig {
+            method: MethodOptions {
+                nm_epochs: 15,
+                ..MethodOptions::default()
+            },
+            refit_every: 5,
+            min_positives: 10,
+            history_folds: 1,
+            ..OnlinePredictorConfig::default()
+        }
+    }
+
+    fn fitted_predictor() -> OnlineLinkPredictor {
+        let spec = DatasetSpec::coauthor().scaled(0.15);
+        let g = generate(&spec, 9);
+        let mut links: Vec<_> = g.links().collect();
+        links.sort_by_key(|l| l.t);
+        let mut p = OnlineLinkPredictor::new(quick_config());
+        for l in links {
+            p.observe(l.u, l.v, l.t);
+        }
+        assert!(p.is_fitted());
+        p
+    }
+
+    #[test]
+    fn snapshot_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ScoringSnapshot>();
+        assert_send_sync::<ShardedSnapshot>();
+        assert_send_sync::<ShardedPredictor>();
+    }
+
+    #[test]
+    fn snapshot_matches_predictor_bit_for_bit() {
+        let mut p = fitted_predictor();
+        let n = p.network().node_count() as NodeId;
+        let pairs: Vec<(NodeId, NodeId)> =
+            vec![(0, 1), (2, 5), (3, 3), (0, n + 4), (1, 0), (0, 1)];
+        let snap = p.snapshot();
+        assert_eq!(snap.epoch(), p.network().revision());
+        assert_eq!(snap.model_epoch().is_some(), snap.is_fitted());
+        let serial: Vec<_> =
+            pairs.iter().map(|&(u, v)| p.score(u, v)).collect();
+        let via_score: Vec<_> =
+            pairs.iter().map(|&(u, v)| snap.score(u, v)).collect();
+        let via_batch = snap.score_batch(&pairs);
+        let via_parallel = snap.score_batch_parallel(&pairs, 3);
+        let via_predictor_batch = p.score_batch(&pairs);
+        for (name, got) in [
+            ("score", &via_score),
+            ("score_batch", &via_batch),
+            ("score_batch_parallel", &via_parallel),
+            ("predictor score_batch", &via_predictor_batch),
+        ] {
+            for (i, (a, b)) in serial.iter().zip(got.iter()).enumerate() {
+                assert_eq!(
+                    a.map(f64::to_bits),
+                    b.map(f64::to_bits),
+                    "{name}: pair {:?} diverged",
+                    pairs[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_is_immutable_under_later_observes() {
+        let mut p = fitted_predictor();
+        let snap = p.snapshot();
+        let before = snap.score(0, 1);
+        let epoch = snap.epoch();
+        let t = p.network().max_timestamp().unwrap_or(0) + 1;
+        assert!(p.observe(0, 1, t).is_accepted());
+        assert!(p.observe(2, 9, t + 1).is_accepted());
+        assert_eq!(snap.epoch(), epoch, "published epoch is frozen");
+        assert_eq!(
+            snap.score(0, 1).map(f64::to_bits),
+            before.map(f64::to_bits),
+            "snapshot scores must not move with the live graph"
+        );
+        assert!(p.network().revision() > epoch);
+    }
+
+    #[test]
+    fn unfitted_snapshot_scores_none_consistently() {
+        let mut p = OnlineLinkPredictor::new(quick_config());
+        p.observe(0, 1, 1);
+        p.observe(1, 2, 2);
+        let snap = p.snapshot();
+        assert!(!snap.is_fitted());
+        assert_eq!(snap.model_epoch(), None);
+        assert_eq!(snap.score(0, 2), None);
+        assert_eq!(snap.score_batch(&[(0, 2)]), vec![None]);
+        assert_eq!(snap.score_batch_parallel(&[(0, 2), (1, 0)], 2).len(), 2);
+    }
+
+    #[test]
+    fn sharded_predictor_rejects_zero_shards() {
+        let err = ShardedPredictor::new(quick_config(), 0);
+        assert!(matches!(
+            err,
+            Err(SsfError::Config(ConfigError::ZeroShards))
+        ));
+    }
+
+    #[test]
+    fn sharded_routing_is_deterministic_by_min_endpoint() {
+        let sharded =
+            ShardedPredictor::new(quick_config(), 3).expect("valid config");
+        assert_eq!(sharded.num_shards(), 3);
+        assert_eq!(sharded.shard_of(4, 7), 1);
+        assert_eq!(sharded.shard_of(7, 4), 1, "order must not matter");
+        assert_eq!(sharded.shard_of(9, 2), 2);
+        assert!(sharded.shard(2).is_some());
+        assert!(sharded.shard(3).is_none());
+    }
+
+    #[test]
+    fn sharded_stats_and_health_merge_across_shards() {
+        let mut sharded =
+            ShardedPredictor::new(quick_config(), 2).expect("valid config");
+        sharded.observe(0, 1, 1);
+        sharded.observe(2, 3, 1);
+        sharded.observe(5, 5, 2); // quarantined on 5 % 2 == shard 1
+        let stats = sharded.stream_stats();
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.self_loops, 1);
+        let health = sharded.health();
+        assert!(!health.fitted);
+        assert_eq!(health.accepted, 2);
+        assert_eq!(health.quarantined, 1);
+        // Revisions count every graph mutation (node growth included),
+        // so the merged value is the exact sum over shards.
+        let revisions: u64 = (0..sharded.num_shards())
+            .filter_map(|i| sharded.shard(i))
+            .map(|p| p.network().revision())
+            .sum();
+        assert!(revisions > 0);
+        assert_eq!(health.graph_revision, revisions);
+        assert_eq!(sharded.shard_healths().len(), 2);
+    }
+
+    #[test]
+    fn observe_batch_parallel_matches_serial_routing() {
+        let spec = DatasetSpec::coauthor().scaled(0.12);
+        let g = generate(&spec, 11);
+        let mut events: Vec<_> = g.links().map(|l| (l.u, l.v, l.t)).collect();
+        events.sort_by_key(|&(_, _, t)| t);
+        let mut serial =
+            ShardedPredictor::new(quick_config(), 3).expect("valid config");
+        for &(u, v, t) in &events {
+            serial.observe(u, v, t);
+        }
+        let mut parallel =
+            ShardedPredictor::new(quick_config(), 3).expect("valid config");
+        let accepted = parallel.observe_batch_parallel(&events);
+        assert_eq!(accepted, serial.stream_stats().accepted);
+        for i in 0..3 {
+            let a = serial.shard(i).expect("shard");
+            let b = parallel.shard(i).expect("shard");
+            assert_eq!(
+                a.network().link_count(),
+                b.network().link_count(),
+                "shard {i} ingested a different substream"
+            );
+            assert_eq!(a.network().revision(), b.network().revision());
+        }
+    }
+}

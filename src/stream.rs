@@ -10,27 +10,68 @@
 //! Real streams are hostile: they replay events, carry self-loops and
 //! deliver hours-late timestamps. The predictor therefore never panics on
 //! an event. Malformed events are *quarantined* — counted in
-//! [`StreamStats`], their endpoints registered so the ids stay scoreable —
-//! and the healthy remainder drives the model. Failed refits back off
-//! exponentially (a stream too sparse to fit at tick `t` is rarely fit at
-//! `t + 1`), and a scoring failure on one pair degrades to a
-//! common-neighbor fallback for that pair only. [`OnlineLinkPredictor::health`]
-//! reports the whole picture.
+//! [`StreamStats`](crate::serve::StreamStats), their endpoints registered
+//! so the ids stay scoreable — and the healthy remainder drives the
+//! model. Failed refits back off exponentially (a stream too sparse to
+//! fit at tick `t` is rarely fit at `t + 1`), and a scoring failure on
+//! one pair degrades to a common-neighbor fallback for that pair only.
+//! [`OnlineLinkPredictor::health`] reports the whole picture.
+//!
+//! For concurrent serving — many reader threads scoring while this
+//! single writer ingests — publish immutable epochs with
+//! [`OnlineLinkPredictor::snapshot`] and see [`crate::serve`].
 
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use dyngraph::{DynamicNetwork, NodeId, Timestamp};
-use obs::{labeled, ObsHandle, Snapshot};
+use obs::{labeled, ObsHandle};
 use ssf_core::{CacheStats, ExtractionCache};
 use ssf_eval::{backtest_splits, BacktestConfig, Split, SplitConfig};
 
-use crate::error::SsfError;
+use crate::error::{ConfigError, SsfError};
 use crate::methods::MethodOptions;
 use crate::model::SsfnmModel;
+use crate::serve;
+
+/// Deprecated path of [`serve::QuarantineReason`], kept for one release.
+#[deprecated(
+    note = "moved to `ssf_repro::serve`; import from `ssf_repro::prelude` \
+            or the crate root"
+)]
+pub type QuarantineReason = serve::QuarantineReason;
+
+/// Deprecated path of [`serve::Observed`], kept for one release.
+#[deprecated(
+    note = "moved to `ssf_repro::serve`; import from `ssf_repro::prelude` \
+            or the crate root"
+)]
+pub type Observed = serve::Observed;
+
+/// Deprecated path of [`serve::StreamStats`], kept for one release.
+#[deprecated(
+    note = "moved to `ssf_repro::serve`; import from `ssf_repro::prelude` \
+            or the crate root"
+)]
+pub type StreamStats = serve::StreamStats;
+
+/// Deprecated path of [`serve::Health`], kept for one release.
+#[deprecated(
+    note = "moved to `ssf_repro::serve`; import from `ssf_repro::prelude` \
+            or the crate root"
+)]
+pub type Health = serve::Health;
 
 /// Configuration of the online predictor.
+///
+/// Construct through [`OnlinePredictorConfig::builder`] (or start from
+/// [`Default::default`]): the struct is `#[non_exhaustive]`, so
+/// struct-literal construction outside this crate no longer compiles, and
+/// the builder's [`build`](OnlinePredictorConfigBuilder::build) validates
+/// the hyperparameters the pipeline cannot recover from at runtime.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub struct OnlinePredictorConfig {
     /// Hyperparameters shared with the offline experiments.
     pub method: MethodOptions,
@@ -69,109 +110,125 @@ impl Default for OnlinePredictorConfig {
     }
 }
 
-/// Why an event was quarantined instead of entering the network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[non_exhaustive]
-pub enum QuarantineReason {
-    /// Both endpoints are the same node.
-    SelfLoop,
-    /// An identical `(u, v, t)` event was already recorded
-    /// (only with [`OnlinePredictorConfig::quarantine_duplicates`]).
-    Duplicate,
-    /// The timestamp trails the newest observed one by more than
-    /// [`OnlinePredictorConfig::max_lag`] ticks.
-    Stale {
-        /// How many ticks behind the stream head the event arrived.
-        lag: u32,
-    },
-}
-
-/// Outcome of feeding one event to [`OnlineLinkPredictor::observe`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Observed {
-    /// The event entered the network.
-    Accepted,
-    /// The event was counted and dropped; its endpoints remain known.
-    Quarantined(QuarantineReason),
-}
-
-impl Observed {
-    /// `true` when the event entered the network.
-    pub fn is_accepted(&self) -> bool {
-        matches!(self, Observed::Accepted)
-    }
-}
-
-/// Running tallies of stream hygiene and degradation.
-#[derive(Debug, Default)]
-pub struct StreamStats {
-    /// Events that entered the network.
-    pub accepted: u64,
-    /// Quarantined self-loop events.
-    pub self_loops: u64,
-    /// Quarantined duplicate events.
-    pub duplicates: u64,
-    /// Quarantined stale events.
-    pub stale: u64,
-    /// Refit attempts that produced a model.
-    pub successful_refits: u64,
-    /// Refit attempts that failed (model unchanged).
-    pub failed_refits: u64,
-    /// Scores served by the common-neighbor fallback instead of the
-    /// model. Atomic because scoring takes `&self`.
-    degraded_scores: AtomicU64,
-}
-
-impl StreamStats {
-    /// Total quarantined events, all reasons.
-    pub fn quarantined(&self) -> u64 {
-        self.self_loops + self.duplicates + self.stale
-    }
-
-    /// Scores served by the degraded fallback path.
-    pub fn degraded_scores(&self) -> u64 {
-        self.degraded_scores.load(Ordering::Relaxed)
-    }
-}
-
-impl Clone for StreamStats {
-    fn clone(&self) -> Self {
-        StreamStats {
-            accepted: self.accepted,
-            self_loops: self.self_loops,
-            duplicates: self.duplicates,
-            stale: self.stale,
-            successful_refits: self.successful_refits,
-            failed_refits: self.failed_refits,
-            degraded_scores: AtomicU64::new(self.degraded_scores()),
+impl OnlinePredictorConfig {
+    /// Starts a builder preloaded with the paper defaults.
+    pub fn builder() -> OnlinePredictorConfigBuilder {
+        OnlinePredictorConfigBuilder {
+            config: OnlinePredictorConfig::default(),
         }
     }
 }
 
-/// Point-in-time health snapshot of an [`OnlineLinkPredictor`].
+/// Validating builder for [`OnlinePredictorConfig`] — the supported way
+/// to construct a non-default configuration.
+///
+/// # Example
+///
+/// ```rust
+/// use ssf_repro::prelude::*;
+///
+/// let config = OnlinePredictorConfig::builder()
+///     .refit_every(10)
+///     .quarantine_duplicates(true)
+///     .max_lag(Some(50))
+///     .build()
+///     .expect("valid configuration");
+/// assert_eq!(config.refit_every, 10);
+///
+/// // Invalid hyperparameters are rejected with a typed error:
+/// let err = OnlinePredictorConfig::builder()
+///     .refit_every(0)
+///     .build();
+/// assert!(matches!(err, Err(SsfError::Config(_))));
+/// ```
 #[derive(Debug, Clone)]
-#[non_exhaustive]
-pub struct Health {
-    /// Whether a model is currently serving.
-    pub fitted: bool,
-    /// Events accepted into the network.
-    pub accepted: u64,
-    /// Events quarantined, all reasons combined.
-    pub quarantined: u64,
-    /// Scores served by the degraded fallback path.
-    pub degraded_scores: u64,
-    /// Refit attempts that produced a model.
-    pub successful_refits: u64,
-    /// Refit attempts that failed.
-    pub failed_refits: u64,
-    /// Current backoff multiplier on the refit interval (1 = healthy).
-    pub current_backoff: u32,
-    /// Rendered error of the most recent failed refit, cleared on success.
-    pub last_refit_error: Option<String>,
-    /// Metrics snapshot from the predictor's recorder. Empty when the
-    /// predictor runs with the no-op handle (see
-    /// [`OnlineLinkPredictor::with_recorder`]).
-    pub metrics: Snapshot,
+pub struct OnlinePredictorConfigBuilder {
+    config: OnlinePredictorConfig,
+}
+
+impl OnlinePredictorConfigBuilder {
+    /// Hyperparameters shared with the offline experiments.
+    pub fn method(mut self, method: MethodOptions) -> Self {
+        self.config.method = method;
+        self
+    }
+
+    /// Refit cadence in stream ticks (must be ≥ 1).
+    pub fn refit_every(mut self, ticks: u32) -> Self {
+        self.config.refit_every = ticks;
+        self
+    }
+
+    /// Cap on the exponential refit backoff multiplier (must be ≥ 1).
+    pub fn max_backoff(mut self, cap: u32) -> Self {
+        self.config.max_backoff = cap;
+        self
+    }
+
+    /// Staleness cutoff in ticks behind the stream head (`None` accepts
+    /// arbitrary reordering).
+    pub fn max_lag(mut self, lag: Option<u32>) -> Self {
+        self.config.max_lag = lag;
+        self
+    }
+
+    /// Whether exact `(u, v, t)` replays are quarantined.
+    pub fn quarantine_duplicates(mut self, on: bool) -> Self {
+        self.config.quarantine_duplicates = on;
+        self
+    }
+
+    /// Split settings used to carve training sets out of the history.
+    pub fn split(mut self, split: SplitConfig) -> Self {
+        self.config.split = split;
+        self
+    }
+
+    /// Minimum positives a training split must contain.
+    pub fn min_positives(mut self, n: usize) -> Self {
+        self.config.min_positives = n;
+        self
+    }
+
+    /// Earlier-window folds used to augment training (0 = none).
+    pub fn history_folds(mut self, folds: u32) -> Self {
+        self.config.history_folds = folds;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SsfError::Config`] when `K < 3`, θ is negative or non-finite
+    /// (via [`MethodOptions::validate`]), `refit_every == 0` or
+    /// `max_backoff == 0`.
+    pub fn build(self) -> Result<OnlinePredictorConfig, SsfError> {
+        self.config.method.validate()?;
+        if self.config.refit_every == 0 {
+            return Err(ConfigError::ZeroRefitInterval.into());
+        }
+        if self.config.max_backoff == 0 {
+            return Err(ConfigError::ZeroBackoff.into());
+        }
+        Ok(self.config)
+    }
+}
+
+/// A fitted model bound to the graph revision its training history was
+/// read at.
+///
+/// The predictor stores this behind one `Arc` option and replaces it in a
+/// single assignment, so the "is fitted" flag, the serving weights and
+/// the model epoch flip together — a health or scoring snapshot can never
+/// pair the new flag with a half-replaced model (the bug this type
+/// fixed).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct FittedModel {
+    /// The serving model.
+    pub(crate) model: SsfnmModel,
+    /// Graph revision of the history the fit consumed.
+    pub(crate) epoch: u64,
 }
 
 /// An online link predictor over a growing dynamic network.
@@ -179,7 +236,7 @@ pub struct Health {
 /// # Example
 ///
 /// ```rust
-/// use ssf_repro::stream::{OnlineLinkPredictor, OnlinePredictorConfig};
+/// use ssf_repro::prelude::*;
 ///
 /// let mut p = OnlineLinkPredictor::new(OnlinePredictorConfig::default());
 /// p.observe(0, 1, 1);
@@ -192,17 +249,18 @@ pub struct Health {
 pub struct OnlineLinkPredictor {
     config: OnlinePredictorConfig,
     network: DynamicNetwork,
-    model: Option<SsfnmModel>,
+    /// The serving model and its epoch, replaced atomically as one unit.
+    pub(crate) fitted: Option<Arc<FittedModel>>,
     last_fit_attempt: Option<Timestamp>,
     backoff: u32,
     last_refit_error: Option<String>,
-    stats: StreamStats,
+    stats: serve::StreamStats,
     /// Graph-versioned extraction memo behind [`score_batch`]; it syncs to
     /// the network's revision counter on every use, so `observe` never has
     /// to touch it.
     ///
     /// [`score_batch`]: OnlineLinkPredictor::score_batch
-    cache: ExtractionCache,
+    pub(crate) cache: ExtractionCache,
     /// Telemetry sink; the no-op handle by default.
     obs: ObsHandle,
 }
@@ -227,11 +285,11 @@ impl OnlineLinkPredictor {
         OnlineLinkPredictor {
             config,
             network: DynamicNetwork::new(),
-            model: None,
+            fitted: None,
             last_fit_attempt: None,
             backoff: 1,
             last_refit_error: None,
-            stats: StreamStats::default(),
+            stats: serve::StreamStats::default(),
             cache: ExtractionCache::with_recorder(obs.clone()),
             obs,
         }
@@ -246,12 +304,17 @@ impl OnlineLinkPredictor {
     ///
     /// Healthy events enter the network; self-loops, configured
     /// duplicates and too-stale timestamps are quarantined — counted in
-    /// [`StreamStats`] with their endpoints registered as (possibly
-    /// isolated) nodes, so ids seen only in quarantined events remain
-    /// valid scoring targets. Refitting triggers automatically every
-    /// `refit_every` ticks, stretched by the current backoff after
+    /// [`serve::StreamStats`] with their endpoints registered as
+    /// (possibly isolated) nodes, so ids seen only in quarantined events
+    /// remain valid scoring targets. Refitting triggers automatically
+    /// every `refit_every` ticks, stretched by the current backoff after
     /// failures.
-    pub fn observe(&mut self, u: NodeId, v: NodeId, t: Timestamp) -> Observed {
+    pub fn observe(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        t: Timestamp,
+    ) -> serve::Observed {
         let _span = self.obs.span("ssf.stream.ingest");
         if let (Some(max_lag), Some(head)) =
             (self.config.max_lag, self.network.max_timestamp())
@@ -261,35 +324,41 @@ impl OnlineLinkPredictor {
                 self.network.ensure_node(v);
                 self.stats.stale += 1;
                 self.note_quarantine("stale");
-                return Observed::Quarantined(QuarantineReason::Stale {
-                    lag: head - t,
-                });
+                return serve::Observed::Quarantined(
+                    serve::QuarantineReason::Stale { lag: head - t },
+                );
             }
         }
         if u == v {
             self.network.ensure_node(u);
             self.stats.self_loops += 1;
             self.note_quarantine("self_loop");
-            return Observed::Quarantined(QuarantineReason::SelfLoop);
+            return serve::Observed::Quarantined(
+                serve::QuarantineReason::SelfLoop,
+            );
         }
         if self.config.quarantine_duplicates && self.already_recorded(u, v, t) {
             self.network.ensure_node(u);
             self.network.ensure_node(v);
             self.stats.duplicates += 1;
             self.note_quarantine("duplicate");
-            return Observed::Quarantined(QuarantineReason::Duplicate);
+            return serve::Observed::Quarantined(
+                serve::QuarantineReason::Duplicate,
+            );
         }
         if self.network.try_add_link(u, v, t).is_err() {
             // try_add_link only rejects self-loops, handled above; treat a
             // future rejection reason as quarantine rather than panic.
             self.stats.self_loops += 1;
             self.note_quarantine("self_loop");
-            return Observed::Quarantined(QuarantineReason::SelfLoop);
+            return serve::Observed::Quarantined(
+                serve::QuarantineReason::SelfLoop,
+            );
         }
         self.stats.accepted += 1;
         self.obs.counter("ssf.stream.accepted", 1);
         let Some(now) = self.network.max_timestamp() else {
-            return Observed::Accepted;
+            return serve::Observed::Accepted;
         };
         let interval = self.config.refit_every.saturating_mul(self.backoff);
         let due = match self.last_fit_attempt {
@@ -298,12 +367,16 @@ impl OnlineLinkPredictor {
         };
         if due {
             self.last_fit_attempt = Some(now);
-            let _ = self.refit();
+            let _ = self.try_refit();
         }
-        Observed::Accepted
+        serve::Observed::Accepted
     }
 
     /// Forces a refit on the current history.
+    ///
+    /// On success the serving model and its epoch (the graph revision the
+    /// training history was read at) are replaced in a single atomic slot
+    /// assignment.
     ///
     /// # Errors
     ///
@@ -311,13 +384,15 @@ impl OnlineLinkPredictor {
     /// cannot produce a usable training split or the fit itself fails;
     /// the previous model, if any, stays active and the automatic refit
     /// backoff widens.
-    pub fn refit(&mut self) -> Result<(), SsfError> {
+    pub fn try_refit(&mut self) -> Result<(), SsfError> {
         let span = self.obs.span("ssf.stream.refit");
-        let fitted = self.fit_current();
+        let epoch = self.network.revision();
+        let outcome = self.fit_current();
         span.finish();
-        let outcome = match fitted {
+        let outcome = match outcome {
             Ok(model) => {
-                self.model = Some(model);
+                // One assignment flips flag, weights and epoch together.
+                self.fitted = Some(Arc::new(FittedModel { model, epoch }));
                 self.stats.successful_refits += 1;
                 self.backoff = 1;
                 self.last_refit_error = None;
@@ -338,6 +413,19 @@ impl OnlineLinkPredictor {
         self.obs
             .gauge("ssf.stream.backoff", f64::from(self.backoff));
         outcome
+    }
+
+    /// Deprecated name of [`OnlineLinkPredictor::try_refit`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`OnlineLinkPredictor::try_refit`].
+    #[deprecated(
+        note = "renamed to `try_refit` under the fallible-API naming \
+                convention (`try_*` returns `Result`)"
+    )]
+    pub fn refit(&mut self) -> Result<(), SsfError> {
+        self.try_refit()
     }
 
     fn fit_current(&self) -> Result<SsfnmModel, SsfError> {
@@ -417,7 +505,7 @@ impl OnlineLinkPredictor {
     /// If the model fails on this one pair (a panic in extraction on a
     /// pathological subgraph), the score degrades to a common-neighbor
     /// fallback for this pair only and
-    /// [`StreamStats::degraded_scores`] is incremented.
+    /// [`serve::StreamStats::degraded_scores`] is incremented.
     pub fn score(&self, u: NodeId, v: NodeId) -> Option<f64> {
         let _span = self.obs.span("ssf.stream.score");
         let n = self.network.node_count() as NodeId;
@@ -425,9 +513,9 @@ impl OnlineLinkPredictor {
             return None;
         }
         let present = self.network.max_timestamp()? + 1;
-        let model = self.model.as_ref()?;
+        let fitted = self.fitted.as_deref()?;
         let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
-            model.try_score(&self.network, u, v, present)
+            fitted.model.try_score(&self.network, u, v, present)
         }));
         match attempt {
             Ok(Ok(p)) => Some(p),
@@ -467,7 +555,8 @@ impl OnlineLinkPredictor {
                 out.push(None);
                 continue;
             }
-            let (Some(present), Some(model)) = (present, self.model.as_ref())
+            let (Some(present), Some(fitted)) =
+                (present, self.fitted.as_deref())
             else {
                 out.push(None);
                 continue;
@@ -475,7 +564,7 @@ impl OnlineLinkPredictor {
             let network = &self.network;
             let cache = &mut self.cache;
             let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
-                model.try_score_cached(network, u, v, present, cache)
+                fitted.model.try_score_cached(network, u, v, present, cache)
             }));
             out.push(match attempt {
                 Ok(Ok(p)) => Some(p),
@@ -490,6 +579,30 @@ impl OnlineLinkPredictor {
         out
     }
 
+    /// Publishes the current epoch as an immutable, `Arc`-shared
+    /// [`serve::ScoringSnapshot`]: the network, the serving model and a
+    /// frozen view of the warm extraction cache, captured together. The
+    /// snapshot scores from any thread through `&self` while this writer
+    /// keeps ingesting; its results are bit-identical to this predictor's
+    /// serial paths at publish time.
+    ///
+    /// Publish cost is one graph clone plus `Arc` bumps — recorded under
+    /// the `ssf.serve.snapshot_publish` span, with the
+    /// `ssf.serve.epoch_lag` gauge tracking how many graph revisions the
+    /// serving model trails behind the published epoch.
+    pub fn snapshot(&self) -> serve::ScoringSnapshot {
+        let span = self.obs.span("ssf.serve.snapshot_publish");
+        let snap = serve::ScoringSnapshot::publish(self);
+        span.finish();
+        self.obs.counter("ssf.serve.snapshots", 1);
+        let lag = match snap.model_epoch() {
+            Some(epoch) => snap.epoch().saturating_sub(epoch),
+            None => snap.epoch(),
+        };
+        self.obs.gauge("ssf.serve.epoch_lag", lag as f64);
+        snap
+    }
+
     /// Hit/miss tallies from the batch-scoring extraction cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
@@ -497,7 +610,15 @@ impl OnlineLinkPredictor {
 
     /// `true` once a model has been fitted.
     pub fn is_fitted(&self) -> bool {
-        self.model.is_some()
+        self.fitted.is_some()
+    }
+
+    /// Graph revision the serving model was fitted at; `None` before the
+    /// first successful refit. Read from the same atomic slot as
+    /// [`is_fitted`](OnlineLinkPredictor::is_fitted), so the two never
+    /// disagree.
+    pub fn model_epoch(&self) -> Option<u64> {
+        self.fitted.as_ref().map(|m| m.epoch)
     }
 
     /// The accumulated network.
@@ -506,14 +627,17 @@ impl OnlineLinkPredictor {
     }
 
     /// The running stream-hygiene tallies.
-    pub fn stats(&self) -> &StreamStats {
+    pub fn stats(&self) -> &serve::StreamStats {
         &self.stats
     }
 
     /// A point-in-time health snapshot.
-    pub fn health(&self) -> Health {
-        Health {
-            fitted: self.model.is_some(),
+    pub fn health(&self) -> serve::Health {
+        let fitted = self.fitted.as_ref();
+        serve::Health {
+            fitted: fitted.is_some(),
+            model_epoch: fitted.map(|m| m.epoch),
+            graph_revision: self.network.revision(),
             accepted: self.stats.accepted,
             quarantined: self.stats.quarantined(),
             degraded_scores: self.stats.degraded_scores(),
@@ -531,30 +655,17 @@ impl OnlineLinkPredictor {
             && self.network.incident_links(u).contains(&(v, t))
     }
 
-    /// Degraded scorer: `cn / (cn + 1)` over distinct common neighbors —
-    /// monotone in CN and bounded in `[0, 1)` like a probability.
+    /// Degraded scorer shared with the snapshot path (see
+    /// [`serve::common_neighbor_fallback`]).
     fn common_neighbor_fallback(&self, u: NodeId, v: NodeId) -> f64 {
-        let a = self.network.neighbors(u);
-        let b = self.network.neighbors(v);
-        let (mut i, mut j, mut cn) = (0usize, 0usize, 0u64);
-        while i < a.len() && j < b.len() {
-            match a[i].cmp(&b[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    cn += 1;
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        cn as f64 / (cn as f64 + 1.0)
+        serve::common_neighbor_fallback(&self.network, u, v)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::serve::{Observed, QuarantineReason};
     use datasets::{generate, DatasetSpec};
 
     fn quick_config() -> OnlinePredictorConfig {
@@ -568,6 +679,65 @@ mod tests {
             history_folds: 1,
             ..OnlinePredictorConfig::default()
         }
+    }
+
+    #[test]
+    fn builder_round_trips_every_field() {
+        let split = SplitConfig::default();
+        let built = OnlinePredictorConfig::builder()
+            .method(MethodOptions {
+                nm_epochs: 15,
+                ..MethodOptions::default()
+            })
+            .refit_every(5)
+            .max_backoff(8)
+            .max_lag(Some(7))
+            .quarantine_duplicates(true)
+            .split(split)
+            .min_positives(10)
+            .history_folds(1)
+            .build()
+            .expect("valid configuration");
+        let literal = OnlinePredictorConfig {
+            max_lag: Some(7),
+            quarantine_duplicates: true,
+            ..quick_config()
+        };
+        assert_eq!(built, literal);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_hyperparameters() {
+        let err = OnlinePredictorConfig::builder()
+            .method(MethodOptions {
+                k: 0,
+                ..MethodOptions::default()
+            })
+            .build();
+        assert!(matches!(
+            err,
+            Err(SsfError::Config(ConfigError::KTooSmall { k: 0 }))
+        ));
+        let err = OnlinePredictorConfig::builder()
+            .method(MethodOptions {
+                theta: -0.25,
+                ..MethodOptions::default()
+            })
+            .build();
+        assert!(matches!(
+            err,
+            Err(SsfError::Config(ConfigError::InvalidTheta { .. }))
+        ));
+        let err = OnlinePredictorConfig::builder().refit_every(0).build();
+        assert!(matches!(
+            err,
+            Err(SsfError::Config(ConfigError::ZeroRefitInterval))
+        ));
+        let err = OnlinePredictorConfig::builder().max_backoff(0).build();
+        assert!(matches!(
+            err,
+            Err(SsfError::Config(ConfigError::ZeroBackoff))
+        ));
     }
 
     #[test]
@@ -617,11 +787,53 @@ mod tests {
     fn refit_error_keeps_previous_model() {
         let mut p = OnlineLinkPredictor::new(quick_config());
         p.observe(0, 1, 1);
-        assert!(p.refit().is_err());
+        assert!(p.try_refit().is_err());
         assert!(!p.is_fitted());
         let h = p.health();
         assert!(h.failed_refits >= 1);
         assert!(h.last_refit_error.is_some());
+    }
+
+    /// Regression test for the mid-refit health bug: `fitted` and
+    /// `model_epoch` are read from one atomically-replaced slot, so a
+    /// health snapshot can never report a fitted predictor without the
+    /// matching model epoch — and the epoch always names the revision the
+    /// serving model's history was read at, even across failed refits.
+    #[test]
+    fn health_fitted_flag_and_model_epoch_stay_consistent() {
+        let spec = DatasetSpec::coauthor().scaled(0.15);
+        let g = generate(&spec, 9);
+        let mut links: Vec<_> = g.links().collect();
+        links.sort_by_key(|l| l.t);
+        let mut p = OnlineLinkPredictor::new(quick_config());
+        for l in links {
+            p.observe(l.u, l.v, l.t);
+            let h = p.health();
+            assert_eq!(
+                h.fitted,
+                h.model_epoch.is_some(),
+                "fitted and model_epoch must flip together"
+            );
+            if let Some(epoch) = h.model_epoch {
+                assert!(epoch <= h.graph_revision);
+            }
+        }
+        assert!(p.is_fitted());
+        let epoch_before = p.model_epoch().expect("fitted");
+        assert!(p.try_refit().is_ok());
+        let epoch_after = p.model_epoch().expect("still fitted");
+        assert_eq!(
+            epoch_after,
+            p.network().revision(),
+            "successful refit stamps the current revision"
+        );
+        assert!(epoch_after >= epoch_before);
+        // A failed refit must leave the served epoch untouched.
+        let lonely = p.network().node_count() as NodeId + 1;
+        p.observe(lonely, lonely, 1); // quarantined: revision unchanged
+        let h = p.health();
+        assert!(h.fitted);
+        assert_eq!(h.model_epoch, Some(epoch_after));
     }
 
     #[test]

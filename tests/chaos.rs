@@ -15,22 +15,22 @@ use ssf_repro::dyngraph::io::{
     read_edge_list_lossy, write_edge_list, FaultConfig, FaultyReader,
 };
 use ssf_repro::dyngraph::{DynamicNetwork, NodeId, Timestamp};
-use ssf_repro::methods::MethodOptions;
-use ssf_repro::stream::{OnlineLinkPredictor, OnlinePredictorConfig};
+use ssf_repro::prelude::*;
 
+#[allow(clippy::expect_used)] // test helper
 fn chaos_config() -> OnlinePredictorConfig {
-    OnlinePredictorConfig {
-        method: MethodOptions {
+    OnlinePredictorConfig::builder()
+        .method(MethodOptions {
             nm_epochs: 15,
             ..MethodOptions::default()
-        },
-        refit_every: 5,
-        min_positives: 10,
-        history_folds: 1,
-        quarantine_duplicates: true,
-        max_lag: Some(5),
-        ..OnlinePredictorConfig::default()
-    }
+        })
+        .refit_every(5)
+        .min_positives(10)
+        .history_folds(1)
+        .quarantine_duplicates(true)
+        .max_lag(Some(5))
+        .build()
+        .expect("valid chaos configuration")
 }
 
 /// The clean trace: deduplicated, time-ordered events of a synthetic

@@ -21,19 +21,26 @@ use ssf_repro::obs::{
     labeled, ObsHandle, Registry, SPANS_ENTERED, SPANS_EXITED,
 };
 use ssf_repro::ssf_eval::{LinkSample, Split, SplitConfig};
-use ssf_repro::stream::{OnlineLinkPredictor, OnlinePredictorConfig};
+use ssf_repro::{
+    OnlineLinkPredictor, OnlinePredictorConfig, OnlinePredictorConfigBuilder,
+};
 
-fn quick_config() -> OnlinePredictorConfig {
-    OnlinePredictorConfig {
-        method: MethodOptions {
+/// The shared builder the suite's configs start from; individual tests
+/// chain further setters before `build()`.
+fn quick_builder() -> OnlinePredictorConfigBuilder {
+    OnlinePredictorConfig::builder()
+        .method(MethodOptions {
             nm_epochs: 15,
             ..MethodOptions::default()
-        },
-        refit_every: 5,
-        min_positives: 10,
-        history_folds: 1,
-        ..OnlinePredictorConfig::default()
-    }
+        })
+        .refit_every(5)
+        .min_positives(10)
+        .history_folds(1)
+}
+
+#[allow(clippy::expect_used)] // test helper
+fn quick_config() -> OnlinePredictorConfig {
+    quick_builder().build().expect("valid quick configuration")
 }
 
 /// Feeds a fit-capable stream into `p` (same generator the stream tests
@@ -170,14 +177,13 @@ fn refit_counters_match_stream_stats() {
     // so every refit attempt fails and backoff widens.
     let registry = Arc::new(Registry::new());
     let obs = ObsHandle::of_registry(Arc::clone(&registry));
-    let mut p = OnlineLinkPredictor::with_recorder(
-        OnlinePredictorConfig {
-            refit_every: 1,
-            max_backoff: 8,
-            ..quick_config()
-        },
-        obs,
-    );
+    #[allow(clippy::expect_used)] // test setup
+    let config = quick_builder()
+        .refit_every(1)
+        .max_backoff(8)
+        .build()
+        .expect("valid failure-only configuration");
+    let mut p = OnlineLinkPredictor::with_recorder(config, obs);
     for t in 1..=20u32 {
         p.observe(0, 1, t);
     }
@@ -200,14 +206,13 @@ fn refit_counters_match_stream_stats() {
 fn quarantine_counters_match_stream_stats_by_reason() {
     let registry = Arc::new(Registry::new());
     let obs = ObsHandle::of_registry(Arc::clone(&registry));
-    let mut p = OnlineLinkPredictor::with_recorder(
-        OnlinePredictorConfig {
-            quarantine_duplicates: true,
-            max_lag: Some(2),
-            ..quick_config()
-        },
-        obs,
-    );
+    #[allow(clippy::expect_used)] // test setup
+    let config = quick_builder()
+        .quarantine_duplicates(true)
+        .max_lag(Some(2))
+        .build()
+        .expect("valid quarantine configuration");
+    let mut p = OnlineLinkPredictor::with_recorder(config, obs);
     p.observe(0, 1, 1);
     p.observe(0, 1, 1); // duplicate
     p.observe(7, 7, 2); // self-loop

@@ -277,20 +277,19 @@ proptest! {
         seed in 0..10u64,
     ) {
         use ssf_repro::methods::MethodOptions;
-        use ssf_repro::stream::{
-            OnlineLinkPredictor, OnlinePredictorConfig,
-        };
-        let mut p = OnlineLinkPredictor::new(OnlinePredictorConfig {
-            method: MethodOptions {
+        use ssf_repro::{OnlineLinkPredictor, OnlinePredictorConfig};
+        let config = OnlinePredictorConfig::builder()
+            .method(MethodOptions {
                 nm_epochs: 10,
                 seed,
                 ..MethodOptions::default()
-            },
-            refit_every: 8,
-            min_positives: 6,
-            history_folds: 0,
-            ..OnlinePredictorConfig::default()
-        });
+            })
+            .refit_every(8)
+            .min_positives(6)
+            .history_folds(0)
+            .build()
+            .expect("valid property configuration");
+        let mut p = OnlineLinkPredictor::new(config);
         // Pairs probe in- and out-of-range ids plus a self pair.
         let pairs: Vec<(NodeId, NodeId)> = vec![
             (0, 1), (1, 0), (2, 7), (3, 3), (5, 40), (0, 13), (0, 1),
