@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/baselines-99c986f251aafa0c.d: crates/baselines/src/lib.rs crates/baselines/src/katz.rs crates/baselines/src/local.rs crates/baselines/src/lp.rs crates/baselines/src/nmf.rs crates/baselines/src/rw.rs crates/baselines/src/tmf.rs crates/baselines/src/wlf.rs
+
+/root/repo/target/debug/deps/libbaselines-99c986f251aafa0c.rmeta: crates/baselines/src/lib.rs crates/baselines/src/katz.rs crates/baselines/src/local.rs crates/baselines/src/lp.rs crates/baselines/src/nmf.rs crates/baselines/src/rw.rs crates/baselines/src/tmf.rs crates/baselines/src/wlf.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/katz.rs:
+crates/baselines/src/local.rs:
+crates/baselines/src/lp.rs:
+crates/baselines/src/nmf.rs:
+crates/baselines/src/rw.rs:
+crates/baselines/src/tmf.rs:
+crates/baselines/src/wlf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-dd7c88da6b1e0d35.d: tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-dd7c88da6b1e0d35: tests/concurrency.rs
+
+tests/concurrency.rs:

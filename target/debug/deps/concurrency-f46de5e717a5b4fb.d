@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/concurrency-f46de5e717a5b4fb.d: /root/repo/clippy.toml tests/concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency-f46de5e717a5b4fb.rmeta: /root/repo/clippy.toml tests/concurrency.rs Cargo.toml
+
+/root/repo/clippy.toml:
+tests/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::unwrap_used__CLIPPY_HACKERY__-D__CLIPPY_HACKERY__clippy::expect_used__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent_serving-1444747a196d5d96.d: crates/bench/src/bin/concurrent_serving.rs
+
+/root/repo/target/debug/deps/concurrent_serving-1444747a196d5d96: crates/bench/src/bin/concurrent_serving.rs
+
+crates/bench/src/bin/concurrent_serving.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/datasets-ada567e9a0aa230d.d: crates/datasets/src/lib.rs crates/datasets/src/generators.rs crates/datasets/src/io.rs crates/datasets/src/spec.rs
+
+/root/repo/target/debug/deps/libdatasets-ada567e9a0aa230d.rmeta: crates/datasets/src/lib.rs crates/datasets/src/generators.rs crates/datasets/src/io.rs crates/datasets/src/spec.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/generators.rs:
+crates/datasets/src/io.rs:
+crates/datasets/src/spec.rs:

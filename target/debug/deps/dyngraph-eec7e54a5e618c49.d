@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dyngraph-eec7e54a5e618c49.d: crates/dyngraph/src/lib.rs crates/dyngraph/src/error.rs crates/dyngraph/src/io.rs crates/dyngraph/src/metrics.rs crates/dyngraph/src/network.rs crates/dyngraph/src/static_graph.rs crates/dyngraph/src/stats.rs crates/dyngraph/src/traversal.rs
+
+/root/repo/target/debug/deps/libdyngraph-eec7e54a5e618c49.rmeta: crates/dyngraph/src/lib.rs crates/dyngraph/src/error.rs crates/dyngraph/src/io.rs crates/dyngraph/src/metrics.rs crates/dyngraph/src/network.rs crates/dyngraph/src/static_graph.rs crates/dyngraph/src/stats.rs crates/dyngraph/src/traversal.rs
+
+crates/dyngraph/src/lib.rs:
+crates/dyngraph/src/error.rs:
+crates/dyngraph/src/io.rs:
+crates/dyngraph/src/metrics.rs:
+crates/dyngraph/src/network.rs:
+crates/dyngraph/src/static_graph.rs:
+crates/dyngraph/src/stats.rs:
+crates/dyngraph/src/traversal.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/linalg-4f0753949baa8e79.d: crates/linalg/src/lib.rs crates/linalg/src/matrix.rs crates/linalg/src/solve.rs crates/linalg/src/vector.rs
+
+/root/repo/target/debug/deps/liblinalg-4f0753949baa8e79.rmeta: crates/linalg/src/lib.rs crates/linalg/src/matrix.rs crates/linalg/src/solve.rs crates/linalg/src/vector.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/solve.rs:
+crates/linalg/src/vector.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/obs-286a3c9a801d513a.d: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs
+
+/root/repo/target/debug/deps/libobs-286a3c9a801d513a.rmeta: crates/obs/src/lib.rs crates/obs/src/metrics.rs crates/obs/src/recorder.rs crates/obs/src/registry.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/metrics.rs:
+crates/obs/src/recorder.rs:
+crates/obs/src/registry.rs:

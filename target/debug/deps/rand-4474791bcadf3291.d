@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-4474791bcadf3291.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-4474791bcadf3291.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

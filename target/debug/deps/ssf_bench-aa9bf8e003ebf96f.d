@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ssf_bench-aa9bf8e003ebf96f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libssf_bench-aa9bf8e003ebf96f.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ssf_core-4614298d21a3a167.d: crates/ssf-core/src/lib.rs crates/ssf-core/src/cache.rs crates/ssf-core/src/error.rs crates/ssf-core/src/feature.rs crates/ssf-core/src/hop.rs crates/ssf-core/src/influence.rs crates/ssf-core/src/kstructure.rs crates/ssf-core/src/palette.rs crates/ssf-core/src/pattern.rs crates/ssf-core/src/roles.rs crates/ssf-core/src/structure.rs crates/ssf-core/src/viz.rs
+
+/root/repo/target/debug/deps/libssf_core-4614298d21a3a167.rmeta: crates/ssf-core/src/lib.rs crates/ssf-core/src/cache.rs crates/ssf-core/src/error.rs crates/ssf-core/src/feature.rs crates/ssf-core/src/hop.rs crates/ssf-core/src/influence.rs crates/ssf-core/src/kstructure.rs crates/ssf-core/src/palette.rs crates/ssf-core/src/pattern.rs crates/ssf-core/src/roles.rs crates/ssf-core/src/structure.rs crates/ssf-core/src/viz.rs
+
+crates/ssf-core/src/lib.rs:
+crates/ssf-core/src/cache.rs:
+crates/ssf-core/src/error.rs:
+crates/ssf-core/src/feature.rs:
+crates/ssf-core/src/hop.rs:
+crates/ssf-core/src/influence.rs:
+crates/ssf-core/src/kstructure.rs:
+crates/ssf-core/src/palette.rs:
+crates/ssf-core/src/pattern.rs:
+crates/ssf-core/src/roles.rs:
+crates/ssf-core/src/structure.rs:
+crates/ssf-core/src/viz.rs:

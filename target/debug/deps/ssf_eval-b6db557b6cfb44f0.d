@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ssf_eval-b6db557b6cfb44f0.d: crates/eval/src/lib.rs crates/eval/src/backtest.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/split.rs
+
+/root/repo/target/debug/deps/libssf_eval-b6db557b6cfb44f0.rmeta: crates/eval/src/lib.rs crates/eval/src/backtest.rs crates/eval/src/metrics.rs crates/eval/src/report.rs crates/eval/src/runner.rs crates/eval/src/split.rs
+
+crates/eval/src/lib.rs:
+crates/eval/src/backtest.rs:
+crates/eval/src/metrics.rs:
+crates/eval/src/report.rs:
+crates/eval/src/runner.rs:
+crates/eval/src/split.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ssf_repro-06e8a54bae666010.d: src/lib.rs src/error.rs src/methods.rs src/model.rs src/prelude.rs src/serve.rs src/stream.rs
+
+/root/repo/target/debug/deps/libssf_repro-06e8a54bae666010.rmeta: src/lib.rs src/error.rs src/methods.rs src/model.rs src/prelude.rs src/serve.rs src/stream.rs
+
+src/lib.rs:
+src/error.rs:
+src/methods.rs:
+src/model.rs:
+src/prelude.rs:
+src/serve.rs:
+src/stream.rs:

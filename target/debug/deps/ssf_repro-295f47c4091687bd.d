@@ -1,9 +1,11 @@
-/root/repo/target/debug/deps/ssf_repro-295f47c4091687bd.d: src/lib.rs src/error.rs src/methods.rs src/model.rs src/stream.rs
+/root/repo/target/debug/deps/ssf_repro-295f47c4091687bd.d: src/lib.rs src/error.rs src/methods.rs src/model.rs src/prelude.rs src/serve.rs src/stream.rs
 
-/root/repo/target/debug/deps/ssf_repro-295f47c4091687bd: src/lib.rs src/error.rs src/methods.rs src/model.rs src/stream.rs
+/root/repo/target/debug/deps/ssf_repro-295f47c4091687bd: src/lib.rs src/error.rs src/methods.rs src/model.rs src/prelude.rs src/serve.rs src/stream.rs
 
 src/lib.rs:
 src/error.rs:
 src/methods.rs:
 src/model.rs:
+src/prelude.rs:
+src/serve.rs:
 src/stream.rs:

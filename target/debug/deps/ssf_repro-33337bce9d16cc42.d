@@ -1,12 +1,14 @@
-/root/repo/target/debug/deps/ssf_repro-33337bce9d16cc42.d: /root/repo/clippy.toml src/lib.rs src/error.rs src/methods.rs src/model.rs src/stream.rs Cargo.toml
+/root/repo/target/debug/deps/ssf_repro-33337bce9d16cc42.d: /root/repo/clippy.toml src/lib.rs src/error.rs src/methods.rs src/model.rs src/prelude.rs src/serve.rs src/stream.rs Cargo.toml
 
-/root/repo/target/debug/deps/libssf_repro-33337bce9d16cc42.rmeta: /root/repo/clippy.toml src/lib.rs src/error.rs src/methods.rs src/model.rs src/stream.rs Cargo.toml
+/root/repo/target/debug/deps/libssf_repro-33337bce9d16cc42.rmeta: /root/repo/clippy.toml src/lib.rs src/error.rs src/methods.rs src/model.rs src/prelude.rs src/serve.rs src/stream.rs Cargo.toml
 
 /root/repo/clippy.toml:
 src/lib.rs:
 src/error.rs:
 src/methods.rs:
 src/model.rs:
+src/prelude.rs:
+src/serve.rs:
 src/stream.rs:
 Cargo.toml:
 

@@ -1,11 +1,13 @@
-/root/repo/target/debug/deps/ssf_repro-97ce2c190a676c45.d: src/lib.rs src/error.rs src/methods.rs src/model.rs src/stream.rs
+/root/repo/target/debug/deps/ssf_repro-97ce2c190a676c45.d: src/lib.rs src/error.rs src/methods.rs src/model.rs src/prelude.rs src/serve.rs src/stream.rs
 
-/root/repo/target/debug/deps/libssf_repro-97ce2c190a676c45.rlib: src/lib.rs src/error.rs src/methods.rs src/model.rs src/stream.rs
+/root/repo/target/debug/deps/libssf_repro-97ce2c190a676c45.rlib: src/lib.rs src/error.rs src/methods.rs src/model.rs src/prelude.rs src/serve.rs src/stream.rs
 
-/root/repo/target/debug/deps/libssf_repro-97ce2c190a676c45.rmeta: src/lib.rs src/error.rs src/methods.rs src/model.rs src/stream.rs
+/root/repo/target/debug/deps/libssf_repro-97ce2c190a676c45.rmeta: src/lib.rs src/error.rs src/methods.rs src/model.rs src/prelude.rs src/serve.rs src/stream.rs
 
 src/lib.rs:
 src/error.rs:
 src/methods.rs:
 src/model.rs:
+src/prelude.rs:
+src/serve.rs:
 src/stream.rs:

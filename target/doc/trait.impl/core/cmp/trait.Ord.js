@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["dyngraph",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"dyngraph/struct.Link.html\" title=\"struct dyngraph::Link\">Link</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[249]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["dyngraph",[["impl&lt;R: <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/std/io/trait.BufRead.html\" title=\"trait std::io::BufRead\">BufRead</a>&gt; <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/std/io/trait.Read.html\" title=\"trait std::io::Read\">Read</a> for <a class=\"struct\" href=\"dyngraph/io/struct.FaultyReader.html\" title=\"struct dyngraph::io::FaultyReader\">FaultyReader</a>&lt;R&gt;",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[430]}

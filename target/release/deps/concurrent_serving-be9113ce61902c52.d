@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/concurrent_serving-be9113ce61902c52.d: crates/bench/src/bin/concurrent_serving.rs
+
+/root/repo/target/release/deps/concurrent_serving-be9113ce61902c52: crates/bench/src/bin/concurrent_serving.rs
+
+crates/bench/src/bin/concurrent_serving.rs:

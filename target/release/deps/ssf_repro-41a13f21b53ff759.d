@@ -1,11 +1,13 @@
-/root/repo/target/release/deps/ssf_repro-41a13f21b53ff759.d: src/lib.rs src/error.rs src/methods.rs src/model.rs src/stream.rs
+/root/repo/target/release/deps/ssf_repro-41a13f21b53ff759.d: src/lib.rs src/error.rs src/methods.rs src/model.rs src/prelude.rs src/serve.rs src/stream.rs
 
-/root/repo/target/release/deps/libssf_repro-41a13f21b53ff759.rlib: src/lib.rs src/error.rs src/methods.rs src/model.rs src/stream.rs
+/root/repo/target/release/deps/libssf_repro-41a13f21b53ff759.rlib: src/lib.rs src/error.rs src/methods.rs src/model.rs src/prelude.rs src/serve.rs src/stream.rs
 
-/root/repo/target/release/deps/libssf_repro-41a13f21b53ff759.rmeta: src/lib.rs src/error.rs src/methods.rs src/model.rs src/stream.rs
+/root/repo/target/release/deps/libssf_repro-41a13f21b53ff759.rmeta: src/lib.rs src/error.rs src/methods.rs src/model.rs src/prelude.rs src/serve.rs src/stream.rs
 
 src/lib.rs:
 src/error.rs:
 src/methods.rs:
 src/model.rs:
+src/prelude.rs:
+src/serve.rs:
 src/stream.rs:
