@@ -10,7 +10,10 @@
 //! 2. Snapshot-publish latency (p50/p95 from the
 //!    `ssf.serve.snapshot_publish` span histogram) and the epoch-lag
 //!    gauge after writes land behind a published model.
-//! 3. Ingest throughput of [`ShardedPredictor::observe_batch_parallel`]
+//! 3. Delta proportionality: publish latency sampled as the copy-on-write
+//!    overlay grows (1/16/64 extra observes), demonstrating the O(delta)
+//!    publish contract — latency tracks the overlay, not the graph.
+//! 4. Ingest throughput of [`ShardedPredictor::observe_batch_parallel`]
 //!    at 1/2/4 shards over the same event stream.
 //!
 //! Emits machine-readable `BENCH_concurrent_serving.json`. The ≥3×
@@ -154,12 +157,17 @@ fn main() {
     }
     p.try_refit().expect("benchmark network must support a fit");
     let mut snapshot: ScoringSnapshot = p.snapshot();
+    // Sum of overlay delta links carried by each publish: the work a
+    // publish actually pays for under the O(delta) contract.
+    let mut rebase_delta_links: usize = snapshot.delta_links();
     for &(u, v, t) in tail {
         p.observe(u, v, t);
         snapshot = p.snapshot();
+        rebase_delta_links += snapshot.delta_links();
     }
     println!(
-        "published {} snapshots (epoch {}, model epoch {:?})",
+        "published {} snapshots (epoch {}, model epoch {:?}, \
+         {rebase_delta_links} delta links carried)",
         tail.len() + 1,
         snapshot.epoch(),
         snapshot.model_epoch()
@@ -202,6 +210,41 @@ fn main() {
         publish.count()
     );
 
+    // --- Delta proportionality: publish latency vs overlay size. ---
+    // Grow the delta in steps and time publishes at each size; under the
+    // O(delta) contract latency must track the overlay, not the graph.
+    let mut max_t = p.network().max_timestamp().unwrap_or(0);
+    let mut drng = StdRng::seed_from_u64(seed ^ 0x51f0_aa11);
+    let mut proportionality: Vec<(usize, f64)> = Vec::new();
+    for &step in &[1usize, 16, 64] {
+        let mut added = 0usize;
+        while added < step {
+            let u = drng.gen_range(0..n);
+            let v = drng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            max_t += 1;
+            if p.observe(u, v, max_t).is_accepted() {
+                added += 1;
+            }
+        }
+        let delta_now = p.delta_link_count();
+        const REPS: usize = 32;
+        let t0 = Instant::now();
+        let mut last = p.snapshot();
+        for _ in 1..REPS {
+            last = p.snapshot();
+        }
+        let us = t0.elapsed().as_secs_f64() * 1e6 / REPS as f64;
+        println!(
+            "publish at delta {delta_now}: {us:.1}us \
+             (epoch {})",
+            last.epoch()
+        );
+        proportionality.push((delta_now, us));
+    }
+
     // --- Sharded ingest scaling over the same event stream. ---
     let mut ingest: Vec<(usize, f64)> = Vec::new();
     for &shards in &SHARD_COUNTS {
@@ -223,6 +266,15 @@ fn main() {
             )
         })
         .collect();
+    let proportionality_json: Vec<String> = proportionality
+        .iter()
+        .map(|(delta, us)| {
+            format!(
+                "    {{ \"delta_links\": {delta}, \
+                 \"publish_us\": {us:.2} }}"
+            )
+        })
+        .collect();
     let ingest_json: Vec<String> = ingest
         .iter()
         .map(|(shards, eps)| {
@@ -241,7 +293,9 @@ fn main() {
          \"speedup_at_4_threads\": {speedup_at_4:.3},\n  \
          \"target_speedup_met\": {},\n  \"snapshot_publish\": {{\n    \
          \"count\": {},\n    \"p50_us\": {pub_p50_us:.1},\n    \
-         \"p95_us\": {pub_p95_us:.1}\n  }},\n  \
+         \"p95_us\": {pub_p95_us:.1},\n    \
+         \"rebase_delta_links\": {rebase_delta_links}\n  }},\n  \
+         \"delta_proportionality\": [\n{}\n  ],\n  \
          \"epoch_lag\": {epoch_lag},\n  \
          \"ingest\": [\n{}\n  ],\n  \"bit_identical\": true\n}}\n",
         spec.name,
@@ -251,6 +305,7 @@ fn main() {
         parallel_json.join(",\n"),
         speedup_at_4 >= 3.0,
         publish.count(),
+        proportionality_json.join(",\n"),
         ingest_json.join(",\n"),
     );
     fs::write(&out_path, json).expect("write benchmark json");

@@ -1,0 +1,624 @@
+//! Immutable CSR graphs and copy-on-write delta overlays.
+//!
+//! A [`DynamicNetwork`] is built for ingestion: per-node `Vec` rows that
+//! grow in place. Serving wants the opposite trade — an immutable,
+//! `Arc`-shared value that any number of reader threads can score
+//! against while the single writer keeps mutating its own copy. This
+//! module provides that split:
+//!
+//! * [`FrozenGraph`] — the network frozen into CSR (compressed sparse
+//!   row) layout: one flat `offsets`/`neighbors`/`timestamps` triple for
+//!   incident links plus a distinct-neighbor CSR. Built once in
+//!   O(V + E), then shared by `Arc` cloning.
+//! * [`DeltaGraph`] — the writer-side accumulator: an
+//!   `Arc<FrozenGraph>` base plus a small copy-on-write mutation log.
+//!   Mutations never touch the shared base; only the rows of nodes the
+//!   delta touches are materialized.
+//! * [`OverlayView`] — the published, immutable face of a
+//!   [`DeltaGraph`]: publishing is a handful of `Arc` clones, O(1) in
+//!   graph size, so snapshot cost scales with the delta, not the graph.
+//!
+//! All three implement [`GraphView`] with [`DynamicNetwork`]-identical
+//! orderings, so extraction over any of them is bit-identical
+//! (property-tested in `crates/dyngraph/tests/frozen_prop.rs`).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::view::{GraphView, IncidentLinks};
+#[cfg(any(test, doc))]
+use crate::DynamicNetwork;
+use crate::{GraphError, NodeId, Timestamp};
+
+/// An immutable dynamic network in CSR layout.
+///
+/// Row `u` of the incident-link CSR spans
+/// `offsets[u]..offsets[u + 1]` in the flat `neighbors`/`timestamps`
+/// arrays, preserving [`DynamicNetwork::incident_links`]'s insertion
+/// order; the distinct-neighbor CSR mirrors
+/// [`DynamicNetwork::neighbors`]'s sorted rows. Freezing copies the
+/// source once (O(V + E)); afterwards the graph is shared by `Arc`
+/// cloning and read concurrently without locks.
+///
+/// # Example
+///
+/// ```rust
+/// use dyngraph::{DynamicNetwork, FrozenGraph, GraphView};
+///
+/// let mut g = DynamicNetwork::new();
+/// g.add_link(0, 1, 3);
+/// g.add_link(1, 2, 5);
+/// let frozen = FrozenGraph::from_view(&g);
+/// assert_eq!(frozen.node_count(), 3);
+/// assert_eq!(frozen.distinct_neighbors(1), &[0, 2]);
+/// assert_eq!(frozen.revision(), g.revision());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrozenGraph {
+    /// Incident-link row bounds: row `u` is `offsets[u]..offsets[u+1]`.
+    offsets: Vec<usize>,
+    /// Flat neighbor ids, per-node insertion order.
+    neighbors: Vec<NodeId>,
+    /// Flat timestamps, parallel to `neighbors`.
+    timestamps: Vec<Timestamp>,
+    /// Distinct-neighbor row bounds.
+    nbr_offsets: Vec<usize>,
+    /// Flat distinct neighbors, sorted ascending per node.
+    nbr_ids: Vec<NodeId>,
+    num_links: usize,
+    min_ts: Timestamp,
+    max_ts: Timestamp,
+    /// Revision of the source graph at freeze time.
+    revision: u64,
+}
+
+impl Default for FrozenGraph {
+    fn default() -> Self {
+        FrozenGraph {
+            offsets: vec![0],
+            neighbors: Vec::new(),
+            timestamps: Vec::new(),
+            nbr_offsets: vec![0],
+            nbr_ids: Vec::new(),
+            num_links: 0,
+            min_ts: 0,
+            max_ts: 0,
+            revision: 0,
+        }
+    }
+}
+
+impl FrozenGraph {
+    /// An empty frozen graph at revision 0.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Freezes any [`GraphView`] into CSR layout, preserving node ids,
+    /// per-node link insertion order, timestamps and the revision
+    /// counter. O(V + E).
+    pub fn from_view<G: GraphView + ?Sized>(g: &G) -> Self {
+        let n = g.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut nbr_offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        nbr_offsets.push(0);
+        let total = 2 * g.link_count();
+        let mut neighbors = Vec::with_capacity(total);
+        let mut timestamps = Vec::with_capacity(total);
+        let mut nbr_ids = Vec::new();
+        for u in 0..n as NodeId {
+            for (v, t) in g.incident_links(u) {
+                neighbors.push(v);
+                timestamps.push(t);
+            }
+            offsets.push(neighbors.len());
+            nbr_ids.extend_from_slice(g.distinct_neighbors(u));
+            nbr_offsets.push(nbr_ids.len());
+        }
+        FrozenGraph {
+            offsets,
+            neighbors,
+            timestamps,
+            nbr_offsets,
+            nbr_ids,
+            num_links: g.link_count(),
+            min_ts: g.min_timestamp().unwrap_or(0),
+            max_ts: g.max_timestamp().unwrap_or(0),
+            revision: g.revision(),
+        }
+    }
+
+    /// The flat per-node neighbor slice of the incident-link CSR
+    /// (insertion order, parallel to [`Self::link_times`]).
+    pub fn link_targets(&self, u: NodeId) -> &[NodeId] {
+        let u = u as usize;
+        &self.neighbors[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// The flat per-node timestamp slice of the incident-link CSR.
+    pub fn link_times(&self, u: NodeId) -> &[Timestamp] {
+        let u = u as usize;
+        &self.timestamps[self.offsets[u]..self.offsets[u + 1]]
+    }
+}
+
+impl GraphView for FrozenGraph {
+    fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn link_count(&self) -> usize {
+        self.num_links
+    }
+
+    fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    fn min_timestamp(&self) -> Option<Timestamp> {
+        (self.num_links > 0).then_some(self.min_ts)
+    }
+
+    fn max_timestamp(&self) -> Option<Timestamp> {
+        (self.num_links > 0).then_some(self.max_ts)
+    }
+
+    fn distinct_neighbors(&self, u: NodeId) -> &[NodeId] {
+        let u = u as usize;
+        &self.nbr_ids[self.nbr_offsets[u]..self.nbr_offsets[u + 1]]
+    }
+
+    fn incident_links(&self, u: NodeId) -> IncidentLinks<'_> {
+        IncidentLinks::from_split(self.link_targets(u), self.link_times(u))
+    }
+
+    fn multi_degree(&self, u: NodeId) -> usize {
+        let u = u as usize;
+        self.offsets[u + 1] - self.offsets[u]
+    }
+}
+
+/// The published, immutable face of a [`DeltaGraph`]: a shared
+/// [`FrozenGraph`] base plus copy-on-write overlay rows for the nodes
+/// the delta touched.
+///
+/// Publishing one (via [`DeltaGraph::publish`]) and cloning it are both
+/// a handful of `Arc` bumps — O(1) in graph size — which is what makes
+/// snapshot publishing O(delta): the only per-link work is the
+/// copy-on-write performed by the writer when it first touches a node
+/// after a publish. Reads are lock-free and [`Send`] + [`Sync`].
+#[derive(Debug, Clone)]
+pub struct OverlayView {
+    base: Arc<FrozenGraph>,
+    /// Replacement incident-link rows for touched nodes (base row copy
+    /// plus the delta's appends, insertion order preserved).
+    links: Arc<HashMap<NodeId, Vec<(NodeId, Timestamp)>>>,
+    /// Replacement distinct-neighbor rows, sorted ascending.
+    distinct: Arc<HashMap<NodeId, Vec<NodeId>>>,
+    node_count: usize,
+    num_links: usize,
+    min_ts: Timestamp,
+    max_ts: Timestamp,
+    revision: u64,
+    delta_links: usize,
+}
+
+impl OverlayView {
+    /// The shared frozen base. Two views publishing from the same
+    /// un-rebased [`DeltaGraph`] return pointer-equal `Arc`s — the
+    /// structural-sharing contract snapshot tests assert with
+    /// [`Arc::ptr_eq`].
+    pub fn base(&self) -> &Arc<FrozenGraph> {
+        &self.base
+    }
+
+    /// Links accumulated on top of the base since the last rebase.
+    pub fn delta_link_count(&self) -> usize {
+        self.delta_links
+    }
+
+    /// `true` when the view is exactly its frozen base (empty delta and
+    /// no node growth).
+    pub fn is_pristine(&self) -> bool {
+        self.delta_links == 0 && self.node_count == self.base.node_count()
+    }
+}
+
+impl GraphView for OverlayView {
+    fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    fn link_count(&self) -> usize {
+        self.num_links
+    }
+
+    fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    fn min_timestamp(&self) -> Option<Timestamp> {
+        (self.num_links > 0).then_some(self.min_ts)
+    }
+
+    fn max_timestamp(&self) -> Option<Timestamp> {
+        (self.num_links > 0).then_some(self.max_ts)
+    }
+
+    fn distinct_neighbors(&self, u: NodeId) -> &[NodeId] {
+        if let Some(row) = self.distinct.get(&u) {
+            row
+        } else if (u as usize) < self.base.node_count() {
+            self.base.distinct_neighbors(u)
+        } else {
+            &[]
+        }
+    }
+
+    fn incident_links(&self, u: NodeId) -> IncidentLinks<'_> {
+        if let Some(row) = self.links.get(&u) {
+            IncidentLinks::from_pairs(row)
+        } else if (u as usize) < self.base.node_count() {
+            self.base.incident_links(u)
+        } else {
+            IncidentLinks::from_pairs(&[])
+        }
+    }
+
+    fn multi_degree(&self, u: NodeId) -> usize {
+        if let Some(row) = self.links.get(&u) {
+            row.len()
+        } else if (u as usize) < self.base.node_count() {
+            self.base.multi_degree(u)
+        } else {
+            0
+        }
+    }
+}
+
+/// Single-writer mutation accumulator over a shared [`FrozenGraph`].
+///
+/// Mirrors [`DynamicNetwork`]'s mutation semantics exactly — the same
+/// self-loop rejection, node growth, sorted distinct-neighbor
+/// maintenance and revision arithmetic — but copy-on-write: the shared
+/// base is never touched, and only the rows of nodes the delta reaches
+/// are materialized (first touch copies that node's base row). The
+/// overlay rows live behind `Arc`s, so [`Self::publish`] is O(1); after
+/// a publish, the writer's next mutation re-clones only the touched
+/// rows (O(delta)), never the base.
+///
+/// Rebase with [`Self::rebase`] once the delta has grown past taste:
+/// the accumulated state folds into a fresh [`FrozenGraph`] (O(V + E),
+/// amortized over the delta) and the log restarts empty, preserving the
+/// revision counter.
+///
+/// # Example
+///
+/// ```rust
+/// use std::sync::Arc;
+///
+/// use dyngraph::{DeltaGraph, FrozenGraph, GraphView};
+///
+/// let mut delta = DeltaGraph::new(Arc::new(FrozenGraph::empty()));
+/// delta.try_add_link(0, 1, 5)?;
+/// let published = delta.publish();
+/// delta.try_add_link(1, 2, 6)?; // the published view is unaffected
+/// assert_eq!(published.link_count(), 1);
+/// assert_eq!(delta.link_count(), 2);
+/// assert!(Arc::ptr_eq(published.base(), delta.base()));
+/// # Ok::<(), dyngraph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeltaGraph {
+    view: OverlayView,
+}
+
+impl DeltaGraph {
+    /// Starts an empty delta over `base`.
+    pub fn new(base: Arc<FrozenGraph>) -> Self {
+        let view = OverlayView {
+            node_count: base.node_count(),
+            num_links: base.link_count(),
+            min_ts: base.min_timestamp().unwrap_or(0),
+            max_ts: base.max_timestamp().unwrap_or(0),
+            revision: base.revision(),
+            delta_links: 0,
+            links: Arc::new(HashMap::new()),
+            distinct: Arc::new(HashMap::new()),
+            base,
+        };
+        DeltaGraph { view }
+    }
+
+    /// The shared frozen base this delta accumulates on top of.
+    pub fn base(&self) -> &Arc<FrozenGraph> {
+        &self.view.base
+    }
+
+    /// Links accumulated since the base was frozen (or last rebased).
+    pub fn delta_link_count(&self) -> usize {
+        self.view.delta_links
+    }
+
+    /// `true` when no mutation has landed since the last rebase.
+    pub fn is_clean(&self) -> bool {
+        self.view.is_pristine()
+    }
+
+    /// Publishes the current state as an immutable [`OverlayView`] —
+    /// `Arc` clones only, O(1) in graph size.
+    pub fn publish(&self) -> OverlayView {
+        self.view.clone()
+    }
+
+    /// Ensures node `id` exists, growing the node set if needed; bumps
+    /// the revision once per growth, like
+    /// [`DynamicNetwork::ensure_node`].
+    pub fn ensure_node(&mut self, id: NodeId) {
+        let want = id as usize + 1;
+        if self.view.node_count < want {
+            self.view.node_count = want;
+            self.view.revision += 1;
+        }
+    }
+
+    /// Adds an undirected link, mirroring
+    /// [`DynamicNetwork::try_add_link`] bit for bit: endpoints are
+    /// created on demand, multi-links are allowed, and the revision
+    /// advances by the same amount as the mutable graph's would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] if `u == v`.
+    pub fn try_add_link(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        t: Timestamp,
+    ) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        self.ensure_node(u.max(v));
+        let base = &self.view.base;
+        let links = Arc::make_mut(&mut self.view.links);
+        for (a, b) in [(u, v), (v, u)] {
+            links
+                .entry(a)
+                .or_insert_with(|| base_links_row(base, a))
+                .push((b, t));
+        }
+        let distinct = Arc::make_mut(&mut self.view.distinct);
+        for (a, b) in [(u, v), (v, u)] {
+            let row = distinct
+                .entry(a)
+                .or_insert_with(|| base_distinct_row(base, a));
+            if let Err(i) = row.binary_search(&b) {
+                row.insert(i, b);
+            }
+        }
+        if self.view.num_links == 0 {
+            self.view.min_ts = t;
+            self.view.max_ts = t;
+        } else {
+            self.view.min_ts = self.view.min_ts.min(t);
+            self.view.max_ts = self.view.max_ts.max(t);
+        }
+        self.view.num_links += 1;
+        self.view.revision += 1;
+        self.view.delta_links += 1;
+        Ok(())
+    }
+
+    /// Folds base + delta into a fresh CSR [`FrozenGraph`] without
+    /// resetting this delta. The frozen copy carries the current
+    /// revision.
+    pub fn freeze(&self) -> FrozenGraph {
+        FrozenGraph::from_view(&self.view)
+    }
+
+    /// Compacts: freezes the accumulated state into a new shared base
+    /// and restarts the delta empty on top of it. Returns the new base.
+    /// O(V + E) — amortize by rebasing only when
+    /// [`Self::delta_link_count`] has grown proportionally.
+    pub fn rebase(&mut self) -> Arc<FrozenGraph> {
+        let base = Arc::new(self.freeze());
+        *self = DeltaGraph::new(Arc::clone(&base));
+        base
+    }
+}
+
+impl GraphView for DeltaGraph {
+    fn node_count(&self) -> usize {
+        self.view.node_count()
+    }
+
+    fn link_count(&self) -> usize {
+        self.view.link_count()
+    }
+
+    fn revision(&self) -> u64 {
+        self.view.revision()
+    }
+
+    fn min_timestamp(&self) -> Option<Timestamp> {
+        self.view.min_timestamp()
+    }
+
+    fn max_timestamp(&self) -> Option<Timestamp> {
+        self.view.max_timestamp()
+    }
+
+    fn distinct_neighbors(&self, u: NodeId) -> &[NodeId] {
+        self.view.distinct_neighbors(u)
+    }
+
+    fn incident_links(&self, u: NodeId) -> IncidentLinks<'_> {
+        self.view.incident_links(u)
+    }
+
+    fn multi_degree(&self, u: NodeId) -> usize {
+        self.view.multi_degree(u)
+    }
+}
+
+/// Copy of node `a`'s incident-link base row (empty for nodes beyond
+/// the base).
+fn base_links_row(base: &FrozenGraph, a: NodeId) -> Vec<(NodeId, Timestamp)> {
+    if (a as usize) < base.node_count() {
+        base.incident_links(a).collect()
+    } else {
+        Vec::new()
+    }
+}
+
+/// Copy of node `a`'s distinct-neighbor base row.
+fn base_distinct_row(base: &FrozenGraph, a: NodeId) -> Vec<NodeId> {
+    if (a as usize) < base.node_count() {
+        base.distinct_neighbors(a).to_vec()
+    } else {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DynamicNetwork {
+        let mut g = DynamicNetwork::new();
+        g.add_link(0, 1, 3);
+        g.add_link(1, 2, 5);
+        g.add_link(0, 1, 4);
+        g.add_link(3, 1, 2);
+        g
+    }
+
+    fn assert_views_agree<G: GraphView>(got: &G, want: &DynamicNetwork) {
+        assert_eq!(got.node_count(), want.node_count());
+        assert_eq!(got.link_count(), want.link_count());
+        assert_eq!(got.revision(), want.revision());
+        assert_eq!(got.min_timestamp(), want.min_timestamp());
+        assert_eq!(got.max_timestamp(), want.max_timestamp());
+        for u in 0..want.node_count() as NodeId {
+            assert_eq!(got.distinct_neighbors(u), want.neighbors(u));
+            assert_eq!(got.multi_degree(u), want.multi_degree(u));
+            let links: Vec<_> = got.incident_links(u).collect();
+            assert_eq!(links.as_slice(), want.incident_links(u));
+            for w in 0..want.node_count() as NodeId {
+                assert_eq!(got.has_link(u, w), want.has_link(u, w));
+                assert_eq!(
+                    got.links_between(u, w),
+                    want.link_count_between(u, w)
+                );
+                assert_eq!(
+                    got.timestamps_between(u, w),
+                    want.timestamps_between(u, w)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_graph_matches_source() {
+        let g = sample();
+        let f = FrozenGraph::from_view(&g);
+        assert_views_agree(&f, &g);
+    }
+
+    #[test]
+    fn empty_frozen_graph() {
+        let f = FrozenGraph::empty();
+        assert_eq!(f.node_count(), 0);
+        assert_eq!(f.link_count(), 0);
+        assert!(f.is_empty());
+        assert_eq!(f.min_timestamp(), None);
+        assert_eq!(f.max_timestamp(), None);
+        assert_eq!(f.revision(), 0);
+    }
+
+    #[test]
+    fn delta_graph_tracks_mutable_twin() {
+        let g = sample();
+        let mut delta = DeltaGraph::new(Arc::new(FrozenGraph::from_view(&g)));
+        let mut twin = g.clone();
+        // Revision parity requires identical starting counters.
+        assert_eq!(delta.revision(), twin.revision());
+        let events = [(0u32, 4u32, 9u32), (4, 5, 1), (2, 0, 7), (0, 1, 8)];
+        for &(u, v, t) in &events {
+            assert!(delta.try_add_link(u, v, t).is_ok());
+            assert!(twin.try_add_link(u, v, t).is_ok());
+            assert_views_agree(&delta, &twin);
+        }
+        assert_eq!(delta.delta_link_count(), events.len());
+        // Quarantine-style node growth mirrors too.
+        delta.ensure_node(9);
+        twin.ensure_node(9);
+        assert_views_agree(&delta, &twin);
+        // Self-loops are rejected without any state change.
+        let r = delta.revision();
+        assert!(delta.try_add_link(3, 3, 1).is_err());
+        assert_eq!(delta.revision(), r);
+    }
+
+    #[test]
+    fn publish_is_immutable_and_shares_the_base() {
+        let g = sample();
+        let mut delta = DeltaGraph::new(Arc::new(FrozenGraph::from_view(&g)));
+        assert!(delta.is_clean());
+        let clean = delta.publish();
+        assert!(clean.is_pristine());
+        assert!(Arc::ptr_eq(clean.base(), delta.base()));
+        assert!(delta.try_add_link(0, 4, 9).is_ok());
+        let dirty = delta.publish();
+        assert_eq!(clean.link_count(), g.link_count());
+        assert_eq!(dirty.link_count(), g.link_count() + 1);
+        assert_eq!(dirty.delta_link_count(), 1);
+        assert!(Arc::ptr_eq(clean.base(), dirty.base()));
+        // Further writes never reach the published views.
+        assert!(delta.try_add_link(0, 5, 10).is_ok());
+        assert_eq!(dirty.link_count(), g.link_count() + 1);
+    }
+
+    #[test]
+    fn rebase_preserves_content_and_revision() {
+        let g = sample();
+        let mut delta = DeltaGraph::new(Arc::new(FrozenGraph::from_view(&g)));
+        let mut twin = g.clone();
+        for &(u, v, t) in &[(0u32, 4u32, 9u32), (4, 5, 1)] {
+            assert!(delta.try_add_link(u, v, t).is_ok());
+            assert!(twin.try_add_link(u, v, t).is_ok());
+        }
+        let old_base = Arc::clone(delta.base());
+        let new_base = delta.rebase();
+        assert!(!Arc::ptr_eq(&old_base, &new_base));
+        assert!(delta.is_clean());
+        assert_eq!(delta.delta_link_count(), 0);
+        assert_views_agree(&delta, &twin);
+        assert_views_agree(&*new_base, &twin);
+        // And mutation continues seamlessly after the rebase.
+        assert!(delta.try_add_link(5, 6, 2).is_ok());
+        assert!(twin.try_add_link(5, 6, 2).is_ok());
+        assert_views_agree(&delta, &twin);
+    }
+
+    #[test]
+    fn overlay_answers_beyond_base_node_range() {
+        let mut delta = DeltaGraph::new(Arc::new(FrozenGraph::empty()));
+        delta.ensure_node(3);
+        assert_eq!(delta.node_count(), 4);
+        assert_eq!(delta.distinct_neighbors(2), &[] as &[NodeId]);
+        assert_eq!(delta.multi_degree(2), 0);
+        assert_eq!(delta.incident_links(2).count(), 0);
+        assert!(!delta.has_link(0, 2));
+    }
+
+    #[test]
+    fn frozen_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrozenGraph>();
+        assert_send_sync::<DeltaGraph>();
+        assert_send_sync::<OverlayView>();
+    }
+}

@@ -9,6 +9,9 @@
 //!   deduplicated [`StaticGraph`] view.
 //! * [`StaticGraph`] — a simple undirected graph with multi-edge counts kept
 //!   as integer weights, used by the static baseline features (CN, AA, …).
+//! * [`GraphView`] — the read-only trait every representation serves, and
+//!   the immutable CSR [`FrozenGraph`] / copy-on-write [`DeltaGraph`] +
+//!   [`OverlayView`] family built on it for O(delta) snapshot publishing.
 //! * [`traversal`] — BFS distance maps and Dijkstra shortest paths, generic
 //!   over any [`Adjacency`] source.
 //! * [`io`] — KONECT-style `u v t` edge-list parsing and writing.
@@ -34,17 +37,21 @@
 //! ```
 
 mod error;
+mod frozen;
 pub mod io;
 pub mod metrics;
 mod network;
 mod static_graph;
 pub mod stats;
 pub mod traversal;
+mod view;
 
 pub use error::GraphError;
+pub use frozen::{DeltaGraph, FrozenGraph, OverlayView};
 pub use network::{DynamicNetwork, Link};
 pub use static_graph::StaticGraph;
 pub use traversal::Adjacency;
+pub use view::{GraphView, IncidentLinks};
 
 /// Identifier of a node. Nodes are dense integers `0..node_count()`.
 pub type NodeId = u32;

@@ -69,11 +69,11 @@ pub struct DynamicNetwork {
 /// Equality compares graph *content* only; the [`DynamicNetwork::revision`]
 /// counter is an implementation detail of cache invalidation and two
 /// networks holding the same links are equal regardless of the mutation
-/// history that produced them.
+/// history that produced them. Only source-of-truth fields participate:
+/// `distinct` is derived from `adj` and is skipped.
 impl PartialEq for DynamicNetwork {
     fn eq(&self, other: &Self) -> bool {
         self.adj == other.adj
-            && self.distinct == other.distinct
             && self.num_links == other.num_links
             && self.min_ts == other.min_ts
             && self.max_ts == other.max_ts

@@ -5,7 +5,9 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use crate::{DynamicNetwork, NodeId, StaticGraph};
+use crate::{
+    DynamicNetwork, FrozenGraph, GraphView, NodeId, OverlayView, StaticGraph,
+};
 
 /// Anything that can enumerate distinct neighbors of a node.
 ///
@@ -26,6 +28,30 @@ impl Adjacency for DynamicNetwork {
 
     fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
         for &v in self.neighbors(u) {
+            f(v);
+        }
+    }
+}
+
+impl Adjacency for FrozenGraph {
+    fn node_count(&self) -> usize {
+        GraphView::node_count(self)
+    }
+
+    fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
+        for &v in self.distinct_neighbors(u) {
+            f(v);
+        }
+    }
+}
+
+impl Adjacency for OverlayView {
+    fn node_count(&self) -> usize {
+        GraphView::node_count(self)
+    }
+
+    fn for_each_neighbor(&self, u: NodeId, f: &mut dyn FnMut(NodeId)) {
+        for &v in self.distinct_neighbors(u) {
             f(v);
         }
     }

@@ -30,7 +30,7 @@ use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
 
-use dyngraph::{DynamicNetwork, NodeId};
+use dyngraph::{GraphView, NodeId};
 use obs::ObsHandle;
 
 use crate::hop::{ball, HopScratch};
@@ -217,10 +217,10 @@ impl FrozenCacheView {
 
 /// The graph-versioned extraction cache (see the [module docs](self)).
 ///
-/// One cache serves one [`DynamicNetwork`] value over time: `sync` tracks
-/// that network's revision counter. Pair keys are directional — `(a, b)`
-/// and `(b, a)` are distinct targets because the endpoints pin Palette-WL
-/// orders 1 and 2 respectively.
+/// One cache serves one graph value over time — any [`GraphView`]
+/// implementor works, since `sync` tracks the view's revision counter.
+/// Pair keys are directional — `(a, b)` and `(b, a)` are distinct targets
+/// because the endpoints pin Palette-WL orders 1 and 2 respectively.
 /// A memoized per-endpoint h-hop frontier: `(node, min-distance)` pairs
 /// in BFS layer order, the source first at distance 0.
 pub type CachedBall = Arc<Vec<(NodeId, u32)>>;
@@ -353,7 +353,7 @@ impl ExtractionCache {
 
     /// Re-keys the cache to `g`'s current revision, dropping every memo
     /// entry if the graph changed since the last sync.
-    pub fn sync(&mut self, g: &DynamicNetwork) {
+    pub fn sync<G: GraphView + ?Sized>(&mut self, g: &G) {
         let rev = g.revision();
         if rev != self.revision {
             if !self.is_empty() {
@@ -382,9 +382,9 @@ impl ExtractionCache {
     /// # Panics
     ///
     /// Panics if `src` is outside `g` (callers validate endpoints first).
-    pub(crate) fn ball(
+    pub(crate) fn ball<G: GraphView + ?Sized>(
         &mut self,
-        g: &DynamicNetwork,
+        g: &G,
         src: NodeId,
         h: u32,
     ) -> CachedBall {
@@ -446,6 +446,8 @@ impl ExtractionCache {
 
 #[cfg(test)]
 mod tests {
+    use dyngraph::DynamicNetwork;
+
     use super::*;
 
     #[test]

@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use dyngraph::{traversal, DynamicNetwork, NodeId, Timestamp};
+use dyngraph::{traversal, GraphView, NodeId, Timestamp};
 use obs::ObsHandle;
 
 use crate::cache::{CachedPair, ExtractionCache};
@@ -223,9 +223,9 @@ impl SsfExtractor {
     /// Panics if `a == b` or either endpoint is outside `g`. Serving paths
     /// that cannot rule those out should use
     /// [`SsfExtractor::try_extract`].
-    pub fn extract(
+    pub fn extract<G: GraphView + ?Sized>(
         &self,
-        g: &DynamicNetwork,
+        g: &G,
         a: NodeId,
         b: NodeId,
         l_t: Timestamp,
@@ -244,9 +244,9 @@ impl SsfExtractor {
     /// [`ExtractError::DegenerateTarget`] when `a == b`, and
     /// [`ExtractError::UnknownEndpoint`] when either endpoint is outside
     /// `g`'s id space.
-    pub fn try_extract(
+    pub fn try_extract<G: GraphView + ?Sized>(
         &self,
-        g: &DynamicNetwork,
+        g: &G,
         a: NodeId,
         b: NodeId,
         l_t: Timestamp,
@@ -272,9 +272,9 @@ impl SsfExtractor {
     /// # Errors
     ///
     /// Same conditions as [`SsfExtractor::try_extract`].
-    pub fn try_extract_cached(
+    pub fn try_extract_cached<G: GraphView + ?Sized>(
         &self,
-        g: &DynamicNetwork,
+        g: &G,
         a: NodeId,
         b: NodeId,
         l_t: Timestamp,
@@ -327,9 +327,9 @@ impl SsfExtractor {
     /// # Panics
     ///
     /// Panics if `a == b` or either endpoint is outside `g`.
-    pub fn k_structure(
+    pub fn k_structure<G: GraphView + ?Sized>(
         &self,
-        g: &DynamicNetwork,
+        g: &G,
         a: NodeId,
         b: NodeId,
     ) -> (KStructureSubgraph, u32, usize) {
@@ -344,9 +344,9 @@ impl SsfExtractor {
     /// # Errors
     ///
     /// Same conditions as [`SsfExtractor::try_extract`].
-    pub fn try_k_structure(
+    pub fn try_k_structure<G: GraphView + ?Sized>(
         &self,
-        g: &DynamicNetwork,
+        g: &G,
         a: NodeId,
         b: NodeId,
     ) -> Result<(KStructureSubgraph, u32, usize), ExtractError> {
@@ -369,9 +369,9 @@ impl SsfExtractor {
     /// # Errors
     ///
     /// Same conditions as [`SsfExtractor::try_extract`].
-    pub fn try_k_structure_cached(
+    pub fn try_k_structure_cached<G: GraphView + ?Sized>(
         &self,
-        g: &DynamicNetwork,
+        g: &G,
         a: NodeId,
         b: NodeId,
         cache: &mut ExtractionCache,
@@ -391,9 +391,9 @@ impl SsfExtractor {
 
     /// Algorithm 3 lines 1–8 against `cache`'s ball memo and scratch
     /// buffers. Endpoints must already be validated.
-    fn compute_pair(
+    fn compute_pair<G: GraphView + ?Sized>(
         &self,
-        g: &DynamicNetwork,
+        g: &G,
         a: NodeId,
         b: NodeId,
         cache: &mut ExtractionCache,
@@ -578,6 +578,8 @@ fn unfold_upper_triangle(matrix: &[f64], k: usize, out: &mut Vec<f64>) {
 
 #[cfg(test)]
 mod tests {
+    use dyngraph::DynamicNetwork;
+
     use super::*;
 
     fn chain_with_fan() -> DynamicNetwork {
@@ -750,6 +752,28 @@ mod tests {
         assert_eq!(after, ex.extract(&g, 0, 1, 10), "no stale result");
         assert_ne!(before, after, "mutation must be visible");
         assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn extraction_over_frozen_view_is_bit_identical() {
+        use dyngraph::{DeltaGraph, FrozenGraph};
+        use std::sync::Arc;
+
+        let g = chain_with_fan();
+        let frozen = FrozenGraph::from_view(&g);
+        let overlay = DeltaGraph::new(Arc::new(frozen.clone())).publish();
+        let ex = SsfExtractor::new(SsfConfig::new(5));
+        let bits = |f: &SsfFeature| -> Vec<u64> {
+            f.values().iter().map(|v| v.to_bits()).collect()
+        };
+        let want = ex.extract(&g, 0, 1, 10);
+        assert_eq!(bits(&ex.extract(&frozen, 0, 1, 10)), bits(&want));
+        assert_eq!(bits(&ex.extract(&overlay, 0, 1, 10)), bits(&want));
+        let mut cache = ExtractionCache::new();
+        let cached = ex
+            .try_extract_cached(&frozen, 0, 1, 10, &mut cache)
+            .unwrap();
+        assert_eq!(bits(&cached), bits(&want));
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use dyngraph::{DynamicNetwork, NodeId, Timestamp};
+use dyngraph::{GraphView, NodeId, Timestamp};
 
 use crate::error::ExtractError;
 
@@ -49,11 +49,15 @@ impl HopScratch {
 /// of a pair is assembled from the two endpoint balls, so pairs sharing an
 /// endpoint share its frontier computation.
 ///
+/// Generic over any [`GraphView`]: the mutable `DynamicNetwork`, the CSR
+/// `FrozenGraph` and published overlay views all produce bit-identical
+/// balls (the view contract fixes the neighbor ordering).
+///
 /// # Panics
 ///
 /// Panics if `src` is outside `g`.
-pub fn ball(
-    g: &DynamicNetwork,
+pub fn ball<G: GraphView + ?Sized>(
+    g: &G,
     src: NodeId,
     h: u32,
     scratch: &mut HopScratch,
@@ -73,7 +77,7 @@ pub fn ball(
         scratch.next.clear();
         for i in 0..scratch.frontier.len() {
             let u = scratch.frontier[i];
-            for &v in g.neighbors(u) {
+            for &v in g.distinct_neighbors(u) {
                 if scratch.stamp[v as usize] != epoch {
                     scratch.stamp[v as usize] = epoch;
                     scratch.dist[v as usize] = depth;
@@ -99,6 +103,11 @@ pub struct HopSubgraph {
     /// Local adjacency: one `(neighbor, timestamp)` entry per induced link,
     /// mirrored in both endpoint lists.
     adj: Vec<Vec<(usize, Timestamp)>>,
+    /// Distinct-neighbor CSR row bounds: row `i` is
+    /// `nbr_offsets[i]..nbr_offsets[i + 1]` of `nbr_ids`.
+    nbr_offsets: Vec<usize>,
+    /// Flat distinct local neighbors, sorted ascending per node.
+    nbr_ids: Vec<usize>,
     /// The hop radius this subgraph was extracted with.
     h: u32,
     /// Total induced links (each counted once).
@@ -117,7 +126,12 @@ impl HopSubgraph {
     ///
     /// Panics if `a == b` or either endpoint is outside `g`. Serving paths
     /// that cannot rule those out should use [`HopSubgraph::try_extract`].
-    pub fn extract(g: &DynamicNetwork, a: NodeId, b: NodeId, h: u32) -> Self {
+    pub fn extract<G: GraphView + ?Sized>(
+        g: &G,
+        a: NodeId,
+        b: NodeId,
+        h: u32,
+    ) -> Self {
         match Self::try_extract(g, a, b, h) {
             Ok(s) => s,
             Err(e) => panic!("{e}"),
@@ -132,8 +146,8 @@ impl HopSubgraph {
     /// [`ExtractError::DegenerateTarget`] when `a == b`, and
     /// [`ExtractError::UnknownEndpoint`] when either endpoint is outside
     /// `g`'s id space.
-    pub fn try_extract(
-        g: &DynamicNetwork,
+    pub fn try_extract<G: GraphView + ?Sized>(
+        g: &G,
         a: NodeId,
         b: NodeId,
         h: u32,
@@ -150,8 +164,8 @@ impl HopSubgraph {
     /// # Errors
     ///
     /// Same conditions as [`HopSubgraph::try_extract`].
-    pub fn validate(
-        g: &DynamicNetwork,
+    pub fn validate<G: GraphView + ?Sized>(
+        g: &G,
         a: NodeId,
         b: NodeId,
     ) -> Result<(), ExtractError> {
@@ -181,8 +195,8 @@ impl HopSubgraph {
     ///
     /// Endpoints must already be validated (see [`HopSubgraph::validate`])
     /// and each ball must belong to its endpoint at radius `h`.
-    pub fn from_balls(
-        g: &DynamicNetwork,
+    pub fn from_balls<G: GraphView + ?Sized>(
+        g: &G,
         a: NodeId,
         b: NodeId,
         h: u32,
@@ -225,7 +239,7 @@ impl HopSubgraph {
         let mut adj = vec![Vec::new(); global.len()];
         let mut links = 0;
         for (i, &u) in global.iter().enumerate() {
-            for &(v, t) in g.incident_links(u) {
+            for (v, t) in g.incident_links(u) {
                 // Count each induced link once by requiring u < v globally.
                 if u < v {
                     if let Some(&j) = local_of.get(&v) {
@@ -239,10 +253,26 @@ impl HopSubgraph {
                 }
             }
         }
+        // Precompute the distinct-neighbor CSR so `neighbors` serves a
+        // slice on the hot extraction path instead of allocating.
+        let mut nbr_offsets = Vec::with_capacity(adj.len() + 1);
+        let mut nbr_ids = Vec::with_capacity(2 * links);
+        nbr_offsets.push(0);
+        let mut row: Vec<usize> = Vec::new();
+        for incidences in &adj {
+            row.clear();
+            row.extend(incidences.iter().map(|&(j, _)| j));
+            row.sort_unstable();
+            row.dedup();
+            nbr_ids.extend_from_slice(&row);
+            nbr_offsets.push(nbr_ids.len());
+        }
         HopSubgraph {
             global,
             dist,
             adj,
+            nbr_offsets,
+            nbr_ids,
             h,
             links,
         }
@@ -291,17 +321,21 @@ impl HopSubgraph {
         &self.adj[i]
     }
 
-    /// Sorted distinct local neighbors of local node `i`.
-    pub fn neighbors(&self, i: usize) -> Vec<usize> {
-        let mut n: Vec<usize> = self.adj[i].iter().map(|&(j, _)| j).collect();
-        n.sort_unstable();
-        n.dedup();
-        n
+    /// Sorted distinct local neighbors of local node `i`, served from the
+    /// precomputed local CSR (no per-call allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.nbr_ids[self.nbr_offsets[i]..self.nbr_offsets[i + 1]]
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use dyngraph::DynamicNetwork;
+
     use super::*;
 
     /// A two-triangle "bowtie" with a pendant chain:

@@ -5,6 +5,11 @@
 //! after Yu et al., IJCAI'17). All links between two structure nodes are
 //! collapsed into one *normalized influence* — the sum of their individual
 //! remaining influences (Eq. 3).
+//!
+//! Inputs here are bare timestamp multisets already pulled out of a
+//! subgraph, so this stage is representation-independent: any
+//! [`dyngraph::GraphView`] source (mutable, frozen CSR, overlay) that
+//! serves the same timestamps produces the same influence, bit for bit.
 
 use dyngraph::Timestamp;
 

@@ -13,6 +13,12 @@
 //! where `P(n)` is the n-th prime. The fractional hash term is strictly less
 //! than 1, so refinement only ever splits color classes ("palette"
 //! property), and the two endpoints of the target link keep orders 1 and 2.
+//!
+//! Refinement runs on the structure subgraph's local adjacency lists, never
+//! on the source graph, so the ordering is identical for every
+//! [`dyngraph::GraphView`] representation upstream (mutable network, frozen
+//! CSR, delta overlay) — the canonical local ids fixed at hop extraction
+//! carry the determinism through.
 
 /// Returns the first `n` primes (`P(1) = 2`).
 ///

@@ -7,6 +7,12 @@
 //! identical neighborhoods — e.g. two pendant nodes whose distinct anchors
 //! were themselves merged). The two endpoints of the target link are always
 //! kept as singleton structure nodes (Definition 4).
+//!
+//! This stage consumes only the re-indexed [`HopSubgraph`], so it is
+//! automatically independent of the graph representation the subgraph was
+//! extracted from ([`dyngraph::GraphView`] — mutable network, frozen CSR,
+//! or overlay): the bit-identity of the whole pipeline across views is
+//! decided at hop extraction, upstream of this module.
 
 use std::collections::HashMap;
 

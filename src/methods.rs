@@ -277,6 +277,11 @@ impl Method {
     /// Extracts one sample's feature behind a panic guard: a degenerate
     /// pair (typed error) or a panicking extraction (pathological
     /// subgraph) yields `None` instead of tearing the run down.
+    ///
+    /// The SSF arm runs the [`dyngraph::GraphView`]-generic extraction
+    /// pipeline against the fold's mutable history network; the serving
+    /// layer drives the same code over frozen CSR views, and the outputs
+    /// are bit-identical by the view contract.
     fn feature_caught(
         &self,
         ex: &FeatureKind,

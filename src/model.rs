@@ -8,7 +8,7 @@
 
 use std::io::{self, BufRead, Write};
 
-use dyngraph::{DynamicNetwork, NodeId, Timestamp};
+use dyngraph::{DynamicNetwork, GraphView, NodeId, Timestamp};
 use linalg::Matrix;
 use obs::ObsHandle;
 use ssf_core::{
@@ -166,9 +166,9 @@ impl SsfnmModel {
     ///
     /// [`ExtractError`] when the pair is degenerate (equal endpoints or an
     /// endpoint outside `g`'s id space).
-    pub fn try_score(
+    pub fn try_score<G: GraphView + ?Sized>(
         &self,
-        g: &DynamicNetwork,
+        g: &G,
         u: NodeId,
         v: NodeId,
         present: Timestamp,
@@ -188,9 +188,9 @@ impl SsfnmModel {
     /// # Errors
     ///
     /// Same conditions as [`SsfnmModel::try_score`].
-    pub fn try_score_cached(
+    pub fn try_score_cached<G: GraphView + ?Sized>(
         &self,
-        g: &DynamicNetwork,
+        g: &G,
         u: NodeId,
         v: NodeId,
         present: Timestamp,

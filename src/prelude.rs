@@ -9,7 +9,10 @@
 //! ([`crate::dyngraph`], [`crate::ssf_core`], …), but downstream code
 //! should not need internal module paths for the serving workflow.
 
-pub use dyngraph::{DynamicNetwork, GraphError, Link, NodeId, Timestamp};
+pub use dyngraph::{
+    DeltaGraph, DynamicNetwork, FrozenGraph, GraphError, GraphView,
+    IncidentLinks, Link, NodeId, OverlayView, Timestamp,
+};
 pub use obs::{
     NoopRecorder, ObsHandle, Recorder, Registry, RegistryRecorder, Snapshot,
 };

@@ -31,7 +31,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use dyngraph::{DynamicNetwork, NodeId, Timestamp};
+use dyngraph::{GraphView, NodeId, OverlayView, Timestamp};
 use obs::{labeled, ObsHandle, Snapshot};
 use ssf_core::{CacheStats, ExtractionCache, FrozenCacheView};
 
@@ -171,8 +171,8 @@ pub struct Health {
 
 /// Degraded scorer: `cn / (cn + 1)` over distinct common neighbors —
 /// monotone in CN and bounded in `[0, 1)` like a probability.
-pub(crate) fn common_neighbor_fallback(
-    g: &DynamicNetwork,
+pub(crate) fn common_neighbor_fallback<G: GraphView + ?Sized>(
+    g: &G,
     u: NodeId,
     v: NodeId,
 ) -> f64 {
@@ -234,10 +234,12 @@ pub struct ScoringSnapshot {
 
 #[derive(Debug)]
 struct SnapshotInner {
-    network: DynamicNetwork,
+    /// Copy-on-write view of the predictor's graph at publish: a shared
+    /// frozen CSR base plus the delta rows, captured with `Arc` clones.
+    graph: OverlayView,
     model: Option<Arc<FittedModel>>,
     frozen: FrozenCacheView,
-    /// Graph revision at publish; always equals `network.revision()`.
+    /// Graph revision at publish; always equals `graph.revision()`.
     epoch: u64,
     /// `max_timestamp + 1` at publish — the fixed prediction time.
     present: Option<Timestamp>,
@@ -246,20 +248,22 @@ struct SnapshotInner {
 }
 
 impl ScoringSnapshot {
-    /// Clones the predictor's current epoch into an immutable snapshot.
-    /// The network clone preserves the revision counter, so the frozen
-    /// cache view stays valid for the snapshot's lifetime.
+    /// Publishes the predictor's current epoch as an immutable snapshot.
+    /// The graph is captured as a copy-on-write [`OverlayView`] — `Arc`
+    /// clones of the frozen base plus the delta rows, O(delta) rather
+    /// than a graph-sized copy. The view preserves the revision counter,
+    /// so the frozen cache view stays valid for the snapshot's lifetime.
     pub(crate) fn publish(p: &OnlineLinkPredictor) -> Self {
-        let network = p.network().clone();
-        let epoch = network.revision();
-        let present = network.max_timestamp().map(|t| t + 1);
+        let graph = p.published_graph();
+        let epoch = graph.revision();
+        let present = graph.max_timestamp().map(|t| t + 1);
         ScoringSnapshot {
             inner: Arc::new(SnapshotInner {
                 model: p.fitted.clone(),
                 frozen: p.cache.freeze(),
                 epoch,
                 present,
-                network,
+                graph,
                 degraded_scores: AtomicU64::new(0),
                 obs: p.recorder().clone(),
             }),
@@ -267,7 +271,7 @@ impl ScoringSnapshot {
     }
 
     /// The graph revision this snapshot was published at. Equals
-    /// [`Self::network`]`.revision()` — every epoch is internally
+    /// [`Self::graph`]`.revision()` — every epoch is internally
     /// consistent by construction.
     pub fn epoch(&self) -> u64 {
         self.inner.epoch
@@ -286,9 +290,16 @@ impl ScoringSnapshot {
         self.inner.model.is_some()
     }
 
-    /// The frozen network this snapshot scores against.
-    pub fn network(&self) -> &DynamicNetwork {
-        &self.inner.network
+    /// The frozen graph view this snapshot scores against.
+    pub fn graph(&self) -> &OverlayView {
+        &self.inner.graph
+    }
+
+    /// Links the publishing predictor had accumulated on top of its
+    /// shared frozen base — the delta the publish cost was proportional
+    /// to (0 right after a compaction or for an untouched graph).
+    pub fn delta_links(&self) -> usize {
+        self.inner.graph.delta_link_count()
     }
 
     /// The fixed prediction timestamp (`max_timestamp + 1` at publish),
@@ -316,21 +327,21 @@ impl ScoringSnapshot {
     pub fn score(&self, u: NodeId, v: NodeId) -> Option<f64> {
         let _span = self.inner.obs.span("ssf.serve.score");
         let inner = &*self.inner;
-        let n = inner.network.node_count() as NodeId;
+        let n = inner.graph.node_count() as NodeId;
         if u == v || u >= n || v >= n {
             return None;
         }
         let present = inner.present?;
         let fitted = inner.model.as_deref()?;
         let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
-            fitted.model.try_score(&inner.network, u, v, present)
+            fitted.model.try_score(&inner.graph, u, v, present)
         }));
         match attempt {
             Ok(Ok(p)) => Some(p),
             Ok(Err(_)) | Err(_) => {
                 inner.degraded_scores.fetch_add(1, Ordering::Relaxed);
                 inner.obs.counter("ssf.serve.degraded_scores", 1);
-                Some(common_neighbor_fallback(&inner.network, u, v))
+                Some(common_neighbor_fallback(&inner.graph, u, v))
             }
         }
     }
@@ -410,7 +421,7 @@ impl ScoringSnapshot {
         cache: &mut ExtractionCache,
     ) -> Vec<Option<f64>> {
         let inner = &*self.inner;
-        let n = inner.network.node_count() as NodeId;
+        let n = inner.graph.node_count() as NodeId;
         let mut out = Vec::with_capacity(pairs.len());
         for &(u, v) in pairs {
             if u == v || u >= n || v >= n {
@@ -423,16 +434,16 @@ impl ScoringSnapshot {
                 out.push(None);
                 continue;
             };
-            let network = &inner.network;
+            let graph = &inner.graph;
             let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
-                fitted.model.try_score_cached(network, u, v, present, cache)
+                fitted.model.try_score_cached(graph, u, v, present, cache)
             }));
             out.push(match attempt {
                 Ok(Ok(p)) => Some(p),
                 Ok(Err(_)) | Err(_) => {
                     inner.degraded_scores.fetch_add(1, Ordering::Relaxed);
                     inner.obs.counter("ssf.serve.degraded_scores", 1);
-                    Some(common_neighbor_fallback(network, u, v))
+                    Some(common_neighbor_fallback(graph, u, v))
                 }
             });
         }
@@ -896,6 +907,19 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn republish_without_observes_reuses_the_frozen_base() {
+        let p = fitted_predictor();
+        let s1 = p.snapshot();
+        let s2 = p.snapshot();
+        assert_eq!(s1.epoch(), s2.epoch());
+        assert_eq!(s1.delta_links(), s2.delta_links());
+        assert!(
+            Arc::ptr_eq(s1.graph().base(), s2.graph().base()),
+            "publish without new observes must not rebuild the CSR base"
+        );
     }
 
     #[test]

@@ -25,7 +25,10 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use dyngraph::{DynamicNetwork, NodeId, Timestamp};
+use dyngraph::{
+    DeltaGraph, DynamicNetwork, FrozenGraph, GraphView, NodeId, OverlayView,
+    Timestamp,
+};
 use obs::{labeled, ObsHandle};
 use ssf_core::{CacheStats, ExtractionCache};
 use ssf_eval::{backtest_splits, BacktestConfig, Split, SplitConfig};
@@ -249,6 +252,11 @@ pub(crate) struct FittedModel {
 pub struct OnlineLinkPredictor {
     config: OnlinePredictorConfig,
     network: DynamicNetwork,
+    /// Copy-on-write mirror of `network`: a shared frozen CSR base plus
+    /// the mutations since the last compaction, updated in lockstep by
+    /// `observe`. Snapshots publish this mirror with `Arc` clones —
+    /// O(delta), never a graph-sized copy.
+    delta: DeltaGraph,
     /// The serving model and its epoch, replaced atomically as one unit.
     pub(crate) fitted: Option<Arc<FittedModel>>,
     last_fit_attempt: Option<Timestamp>,
@@ -285,6 +293,7 @@ impl OnlineLinkPredictor {
         OnlineLinkPredictor {
             config,
             network: DynamicNetwork::new(),
+            delta: DeltaGraph::new(Arc::new(FrozenGraph::empty())),
             fitted: None,
             last_fit_attempt: None,
             backoff: 1,
@@ -322,6 +331,8 @@ impl OnlineLinkPredictor {
             if t.saturating_add(max_lag) < head {
                 self.network.ensure_node(u);
                 self.network.ensure_node(v);
+                self.delta.ensure_node(u);
+                self.delta.ensure_node(v);
                 self.stats.stale += 1;
                 self.note_quarantine("stale");
                 return serve::Observed::Quarantined(
@@ -331,6 +342,7 @@ impl OnlineLinkPredictor {
         }
         if u == v {
             self.network.ensure_node(u);
+            self.delta.ensure_node(u);
             self.stats.self_loops += 1;
             self.note_quarantine("self_loop");
             return serve::Observed::Quarantined(
@@ -340,6 +352,8 @@ impl OnlineLinkPredictor {
         if self.config.quarantine_duplicates && self.already_recorded(u, v, t) {
             self.network.ensure_node(u);
             self.network.ensure_node(v);
+            self.delta.ensure_node(u);
+            self.delta.ensure_node(v);
             self.stats.duplicates += 1;
             self.note_quarantine("duplicate");
             return serve::Observed::Quarantined(
@@ -354,6 +368,18 @@ impl OnlineLinkPredictor {
             return serve::Observed::Quarantined(
                 serve::QuarantineReason::SelfLoop,
             );
+        }
+        let _ = self.delta.try_add_link(u, v, t);
+        if self.delta.delta_link_count()
+            >= compaction_threshold(self.network.link_count())
+        {
+            // Amortized O(delta): folding the log into a fresh CSR base
+            // costs O(V + E) but only after the delta has grown to a
+            // fixed fraction of the graph.
+            let span = self.obs.span("ssf.stream.compact");
+            self.delta.rebase();
+            span.finish();
+            self.obs.counter("ssf.stream.compactions", 1);
         }
         self.stats.accepted += 1;
         self.obs.counter("ssf.stream.accepted", 1);
@@ -586,10 +612,13 @@ impl OnlineLinkPredictor {
     /// keeps ingesting; its results are bit-identical to this predictor's
     /// serial paths at publish time.
     ///
-    /// Publish cost is one graph clone plus `Arc` bumps — recorded under
-    /// the `ssf.serve.snapshot_publish` span, with the
-    /// `ssf.serve.epoch_lag` gauge tracking how many graph revisions the
-    /// serving model trails behind the published epoch.
+    /// Publish cost is a handful of `Arc` clones over the copy-on-write
+    /// graph mirror — O(delta links since the last compaction), never a
+    /// graph-sized copy — recorded under the `ssf.serve.snapshot_publish`
+    /// span, with the `ssf.serve.epoch_lag` gauge tracking how many graph
+    /// revisions the serving model trails behind the published epoch.
+    /// Publishing twice with no intervening compaction reuses the same
+    /// frozen base `Arc` (pointer-equal across snapshots).
     pub fn snapshot(&self) -> serve::ScoringSnapshot {
         let span = self.obs.span("ssf.serve.snapshot_publish");
         let snap = serve::ScoringSnapshot::publish(self);
@@ -626,6 +655,33 @@ impl OnlineLinkPredictor {
         &self.network
     }
 
+    /// The copy-on-write graph view [`snapshot`] publishes: `Arc` clones
+    /// of the shared frozen base plus the delta rows, O(1) in graph size.
+    /// Falls back to a fresh freeze of the network if the mirror ever
+    /// diverged (defensive — the two are updated in lockstep).
+    ///
+    /// [`snapshot`]: OnlineLinkPredictor::snapshot
+    pub(crate) fn published_graph(&self) -> OverlayView {
+        if self.delta.revision() == self.network.revision() {
+            self.delta.publish()
+        } else {
+            debug_assert!(
+                false,
+                "delta mirror diverged from the network: {} != {}",
+                self.delta.revision(),
+                self.network.revision()
+            );
+            DeltaGraph::new(Arc::new(FrozenGraph::from_view(&self.network)))
+                .publish()
+        }
+    }
+
+    /// Links accumulated in the copy-on-write mirror since its last
+    /// compaction — the "delta" a snapshot publish is proportional to.
+    pub fn delta_link_count(&self) -> usize {
+        self.delta.delta_link_count()
+    }
+
     /// The running stream-hygiene tallies.
     pub fn stats(&self) -> &serve::StreamStats {
         &self.stats
@@ -660,6 +716,13 @@ impl OnlineLinkPredictor {
     fn common_neighbor_fallback(&self, u: NodeId, v: NodeId) -> f64 {
         serve::common_neighbor_fallback(&self.network, u, v)
     }
+}
+
+/// Delta size that triggers folding the copy-on-write log into a fresh
+/// frozen base: an eighth of the graph, floored at 64 links so tiny
+/// graphs don't compact on every observe.
+fn compaction_threshold(link_count: usize) -> usize {
+    (link_count / 8).max(64)
 }
 
 #[cfg(test)]

@@ -56,7 +56,7 @@ fn bits(scores: &[Option<f64>]) -> Vec<Option<u64>> {
 fn check_snapshot(snap: &ScoringSnapshot, pairs: &[(NodeId, NodeId)]) {
     assert_eq!(
         snap.epoch(),
-        snap.network().revision(),
+        snap.graph().revision(),
         "published epoch must equal the frozen graph's revision"
     );
     assert_eq!(
