@@ -26,6 +26,17 @@ pub enum GraphError {
         /// Exclusive end of the requested period.
         end: u32,
     },
+    /// Raw CSR arrays handed to [`FrozenGraph::try_from_parts`] are
+    /// internally inconsistent (offsets not monotone, ids out of range,
+    /// asymmetric rows, …). Deserialized graphs must never reach the
+    /// scoring path, so reconstruction validates everything and refuses
+    /// rather than serving silently-wrong structure.
+    ///
+    /// [`FrozenGraph::try_from_parts`]: crate::FrozenGraph::try_from_parts
+    InvalidCsr {
+        /// Which invariant failed, human-readable.
+        detail: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -39,6 +50,9 @@ impl fmt::Display for GraphError {
             }
             GraphError::EmptyPeriod { start, end } => {
                 write!(f, "empty period [{start}, {end})")
+            }
+            GraphError::InvalidCsr { detail } => {
+                write!(f, "invalid CSR graph: {detail}")
             }
         }
     }
@@ -61,6 +75,10 @@ mod tests {
         assert!(e.to_string().contains("line 7"));
         let e = GraphError::EmptyPeriod { start: 5, end: 5 };
         assert!(e.to_string().contains("[5, 5)"));
+        let e = GraphError::InvalidCsr {
+            detail: "offsets not monotone".to_string(),
+        };
+        assert_eq!(e.to_string(), "invalid CSR graph: offsets not monotone");
     }
 
     #[test]

@@ -141,6 +141,245 @@ impl FrozenGraph {
         let u = u as usize;
         &self.timestamps[self.offsets[u]..self.offsets[u + 1]]
     }
+
+    /// The flat incident-link row bounds (`node_count() + 1` entries,
+    /// `offsets[0] == 0`). Together with the other `csr_*` accessors
+    /// this exposes the raw arrays so serialization layers can write
+    /// the CSR verbatim; [`Self::try_from_parts`] is the validated
+    /// inverse.
+    pub fn csr_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flat neighbor-id array of the incident-link CSR.
+    pub fn csr_neighbors(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+
+    /// The flat timestamp array, parallel to [`Self::csr_neighbors`].
+    pub fn csr_timestamps(&self) -> &[Timestamp] {
+        &self.timestamps
+    }
+
+    /// The distinct-neighbor row bounds (`node_count() + 1` entries).
+    pub fn csr_nbr_offsets(&self) -> &[usize] {
+        &self.nbr_offsets
+    }
+
+    /// The flat distinct-neighbor array, sorted ascending per row.
+    pub fn csr_nbr_ids(&self) -> &[NodeId] {
+        &self.nbr_ids
+    }
+
+    /// Raw `(min_ts, max_ts)` counters, `(0, 0)` when the graph holds
+    /// no links (unlike [`GraphView::min_timestamp`], which hides the
+    /// sentinel behind `None`).
+    pub fn raw_timestamp_bounds(&self) -> (Timestamp, Timestamp) {
+        (self.min_ts, self.max_ts)
+    }
+
+    /// Reassembles a frozen graph from raw CSR arrays, validating every
+    /// structural invariant first. This is the deserialization path:
+    /// the input may come from disk, so nothing is trusted — a graph
+    /// that decodes but fails any check below must never be served.
+    ///
+    /// Checked invariants:
+    /// * both offset arrays start at 0, are monotone, agree on the node
+    ///   count and close over their flat arrays;
+    /// * `neighbors`/`timestamps` are parallel and hold exactly
+    ///   `2 * num_links` entries;
+    /// * every id is in range and no row contains its own node;
+    /// * each distinct-neighbor row is strictly ascending and equals
+    ///   the sorted deduplication of its incident-link row;
+    /// * the `(u, v, t)` multiset is symmetric across endpoint rows;
+    /// * `min_ts`/`max_ts` match the timestamp array (`(0, 0)` when
+    ///   empty).
+    ///
+    /// O(E log E) for the symmetry check — reconstruction is a startup
+    /// cost, so correctness wins over speed here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidCsr`] naming the violated
+    /// invariant.
+    pub fn try_from_parts(parts: FrozenGraphParts) -> Result<Self, GraphError> {
+        parts.validate()?;
+        let FrozenGraphParts {
+            offsets,
+            neighbors,
+            timestamps,
+            nbr_offsets,
+            nbr_ids,
+            num_links,
+            min_ts,
+            max_ts,
+            revision,
+        } = parts;
+        Ok(FrozenGraph {
+            offsets,
+            neighbors,
+            timestamps,
+            nbr_offsets,
+            nbr_ids,
+            num_links,
+            min_ts,
+            max_ts,
+            revision,
+        })
+    }
+}
+
+/// Owned raw CSR arrays of a [`FrozenGraph`], the interchange type for
+/// serialization layers (see `ssf-persist`). Construct one field by
+/// field from decoded bytes and hand it to
+/// [`FrozenGraph::try_from_parts`] for validated reassembly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FrozenGraphParts {
+    /// Incident-link row bounds, `node_count + 1` entries.
+    pub offsets: Vec<usize>,
+    /// Flat neighbor ids, per-node insertion order.
+    pub neighbors: Vec<NodeId>,
+    /// Flat timestamps, parallel to `neighbors`.
+    pub timestamps: Vec<Timestamp>,
+    /// Distinct-neighbor row bounds, `node_count + 1` entries.
+    pub nbr_offsets: Vec<usize>,
+    /// Flat distinct neighbors, sorted ascending per row.
+    pub nbr_ids: Vec<NodeId>,
+    /// Total link count (each link occupies two CSR slots).
+    pub num_links: usize,
+    /// Smallest timestamp, 0 when empty.
+    pub min_ts: Timestamp,
+    /// Largest timestamp, 0 when empty.
+    pub max_ts: Timestamp,
+    /// Revision of the source graph at freeze time.
+    pub revision: u64,
+}
+
+impl FrozenGraphParts {
+    fn fail(detail: impl Into<String>) -> GraphError {
+        GraphError::InvalidCsr {
+            detail: detail.into(),
+        }
+    }
+
+    /// Checks one offsets array: starts at 0, monotone, closes over a
+    /// flat array of `flat_len` entries.
+    fn check_offsets(
+        name: &str,
+        offsets: &[usize],
+        flat_len: usize,
+    ) -> Result<(), GraphError> {
+        if offsets.first() != Some(&0) {
+            return Err(Self::fail(format!("{name} must start at 0")));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(Self::fail(format!("{name} not monotone")));
+        }
+        if offsets.last() != Some(&flat_len) {
+            return Err(Self::fail(format!(
+                "{name} end {:?} != flat length {flat_len}",
+                offsets.last()
+            )));
+        }
+        Ok(())
+    }
+
+    fn validate(&self) -> Result<(), GraphError> {
+        Self::check_offsets("offsets", &self.offsets, self.neighbors.len())?;
+        Self::check_offsets(
+            "nbr_offsets",
+            &self.nbr_offsets,
+            self.nbr_ids.len(),
+        )?;
+        if self.offsets.len() != self.nbr_offsets.len() {
+            return Err(Self::fail(format!(
+                "offset arrays disagree on node count: {} vs {}",
+                self.offsets.len() - 1,
+                self.nbr_offsets.len() - 1
+            )));
+        }
+        let n = self.offsets.len() - 1;
+        if self.timestamps.len() != self.neighbors.len() {
+            return Err(Self::fail(format!(
+                "timestamps length {} != neighbors length {}",
+                self.timestamps.len(),
+                self.neighbors.len()
+            )));
+        }
+        if self.neighbors.len() != 2 * self.num_links {
+            return Err(Self::fail(format!(
+                "neighbors length {} != 2 * num_links {}",
+                self.neighbors.len(),
+                self.num_links
+            )));
+        }
+        // Per-row structure: id range, self-loops, sorted distinct rows
+        // and distinct == sorted-dedup(links).
+        let mut fwd = Vec::with_capacity(self.num_links);
+        let mut bwd = Vec::with_capacity(self.num_links);
+        for u in 0..n {
+            let row = &self.neighbors[self.offsets[u]..self.offsets[u + 1]];
+            let times = &self.timestamps[self.offsets[u]..self.offsets[u + 1]];
+            let distinct =
+                &self.nbr_ids[self.nbr_offsets[u]..self.nbr_offsets[u + 1]];
+            for (&v, &t) in row.iter().zip(times) {
+                if v as usize >= n {
+                    return Err(Self::fail(format!(
+                        "node {u} links to out-of-range id {v}"
+                    )));
+                }
+                if v as usize == u {
+                    return Err(Self::fail(format!("self-loop on node {u}")));
+                }
+                if (u as NodeId) < v {
+                    fwd.push((u as NodeId, v, t));
+                } else {
+                    bwd.push((v, u as NodeId, t));
+                }
+            }
+            if distinct.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(Self::fail(format!(
+                    "distinct row of node {u} not strictly ascending"
+                )));
+            }
+            let mut derived: Vec<NodeId> = row.to_vec();
+            derived.sort_unstable();
+            derived.dedup();
+            if derived != distinct {
+                return Err(Self::fail(format!(
+                    "distinct row of node {u} disagrees with its links"
+                )));
+            }
+        }
+        // Undirected symmetry: each (u, v, t) must appear in both
+        // endpoint rows the same number of times.
+        fwd.sort_unstable();
+        bwd.sort_unstable();
+        if fwd != bwd {
+            return Err(Self::fail(
+                "link multiset is asymmetric across endpoint rows",
+            ));
+        }
+        // Timestamp bounds match the flat array ((0, 0) sentinel when
+        // no links exist, as `from_view` writes).
+        if self.num_links == 0 {
+            if (self.min_ts, self.max_ts) != (0, 0) {
+                return Err(Self::fail(
+                    "empty graph must carry (0, 0) timestamp bounds",
+                ));
+            }
+        } else {
+            let lo = self.timestamps.iter().min().copied();
+            let hi = self.timestamps.iter().max().copied();
+            if Some(self.min_ts) != lo || Some(self.max_ts) != hi {
+                return Err(Self::fail(format!(
+                    "timestamp bounds ({}, {}) disagree with links",
+                    self.min_ts, self.max_ts
+                )));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl GraphView for FrozenGraph {
@@ -612,6 +851,111 @@ mod tests {
         assert_eq!(delta.multi_degree(2), 0);
         assert_eq!(delta.incident_links(2).count(), 0);
         assert!(!delta.has_link(0, 2));
+    }
+
+    /// Raw parts of a frozen graph, cloned out through the `csr_*`
+    /// accessors the way a serialization layer would.
+    fn parts_of(f: &FrozenGraph) -> crate::FrozenGraphParts {
+        let (min_ts, max_ts) = f.raw_timestamp_bounds();
+        crate::FrozenGraphParts {
+            offsets: f.csr_offsets().to_vec(),
+            neighbors: f.csr_neighbors().to_vec(),
+            timestamps: f.csr_timestamps().to_vec(),
+            nbr_offsets: f.csr_nbr_offsets().to_vec(),
+            nbr_ids: f.csr_nbr_ids().to_vec(),
+            num_links: f.link_count(),
+            min_ts,
+            max_ts,
+            revision: f.revision(),
+        }
+    }
+
+    #[test]
+    fn try_from_parts_round_trips() {
+        let g = sample();
+        let f = FrozenGraph::from_view(&g);
+        let rebuilt = FrozenGraph::try_from_parts(parts_of(&f)).unwrap();
+        assert_eq!(rebuilt, f);
+        let empty =
+            FrozenGraph::try_from_parts(parts_of(&FrozenGraph::empty()))
+                .unwrap();
+        assert_eq!(empty, FrozenGraph::empty());
+    }
+
+    #[test]
+    fn try_from_parts_rejects_every_broken_invariant() {
+        let f = FrozenGraph::from_view(&sample());
+        let good = parts_of(&f);
+        assert!(FrozenGraph::try_from_parts(good.clone()).is_ok());
+        type Mutation = Box<dyn Fn(&mut crate::FrozenGraphParts)>;
+        let mutations: Vec<(&str, Mutation)> = vec![
+            ("offsets start", Box::new(|p| p.offsets[0] = 1)),
+            ("offsets monotone", Box::new(|p| p.offsets[2] = 0)),
+            (
+                "offsets end",
+                Box::new(|p| {
+                    let last = p.offsets.len() - 1;
+                    p.offsets[last] += 1;
+                }),
+            ),
+            (
+                "timestamps parallel",
+                Box::new(|p| {
+                    p.timestamps.pop();
+                    let last = p.offsets.len() - 1;
+                    p.offsets[last] -= 1;
+                }),
+            ),
+            ("link count", Box::new(|p| p.num_links += 1)),
+            ("id range", Box::new(|p| p.neighbors[0] = 99)),
+            (
+                "self loop",
+                Box::new(|p| {
+                    // Node 0's first neighbor becomes node 0 itself.
+                    p.neighbors[p.offsets[0]] = 0;
+                }),
+            ),
+            (
+                "distinct sorted",
+                Box::new(|p| {
+                    p.nbr_ids.swap(0, 1);
+                }),
+            ),
+            (
+                "symmetry",
+                Box::new(|p| {
+                    // Retarget one directed slot without its mirror.
+                    p.neighbors[p.offsets[1]] = 2;
+                }),
+            ),
+            ("timestamp bounds", Box::new(|p| p.max_ts += 7)),
+            (
+                "node count agreement",
+                Box::new(|p| {
+                    p.nbr_offsets.pop();
+                }),
+            ),
+        ];
+        for (name, mutate) in mutations {
+            let mut bad = good.clone();
+            mutate(&mut bad);
+            let got = FrozenGraph::try_from_parts(bad);
+            assert!(
+                matches!(got, Err(GraphError::InvalidCsr { .. })),
+                "mutation {name:?} was accepted: {got:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn try_from_parts_rejects_nonzero_empty_bounds() {
+        let mut p = parts_of(&FrozenGraph::empty());
+        p.min_ts = 3;
+        p.max_ts = 3;
+        assert!(matches!(
+            FrozenGraph::try_from_parts(p),
+            Err(GraphError::InvalidCsr { .. })
+        ));
     }
 
     #[test]

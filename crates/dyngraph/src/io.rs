@@ -192,6 +192,16 @@ pub struct FaultConfig {
     /// Probability of injecting a whole garbage line (possibly invalid
     /// UTF-8) before the real one.
     pub garbage_rate: f64,
+    /// Byte-level fault: probability, per emitted byte, of flipping one
+    /// random bit. Unlike the per-line rates above this mangles the raw
+    /// stream, so it also models corruption of *binary* formats (WAL
+    /// segments, snapshot files), not just text edge lists.
+    pub bit_flip_rate: f64,
+    /// Byte-level fault: hard-stop the stream after exactly this many
+    /// bytes, as if the process died mid-write. `None` streams to the
+    /// end. Applies after the line-level faults, so the cut can land in
+    /// the middle of a record.
+    pub truncate_at: Option<u64>,
     /// Seed for the internal deterministic generator.
     pub seed: u64,
 }
@@ -202,6 +212,8 @@ impl Default for FaultConfig {
             corrupt_rate: 0.0,
             truncate_rate: 0.0,
             garbage_rate: 0.0,
+            bit_flip_rate: 0.0,
+            truncate_at: None,
             seed: 0,
         }
     }
@@ -222,6 +234,8 @@ pub struct FaultyReader<R> {
     buf: Vec<u8>,
     pos: usize,
     inner_done: bool,
+    /// Total bytes produced so far, for the `truncate_at` cut-off.
+    generated: u64,
 }
 
 impl<R: BufRead> FaultyReader<R> {
@@ -235,6 +249,7 @@ impl<R: BufRead> FaultyReader<R> {
             buf: Vec::new(),
             pos: 0,
             inner_done: false,
+            generated: 0,
         }
     }
 
@@ -347,6 +362,25 @@ impl<R: BufRead> FaultyReader<R> {
                 self.buf.extend_from_slice(&raw);
             }
         }
+        // Byte-level faults act on the assembled stream, after the
+        // line-level ones, so they reach every consumer — `read` and
+        // the `BufRead` fast path alike.
+        if self.cfg.bit_flip_rate > 0.0 {
+            for i in 0..self.buf.len() {
+                if self.chance(self.cfg.bit_flip_rate) {
+                    let bit = self.below(8);
+                    self.buf[i] ^= 1 << bit;
+                }
+            }
+        }
+        if let Some(limit) = self.cfg.truncate_at {
+            let remaining = limit.saturating_sub(self.generated);
+            if self.buf.len() as u64 > remaining {
+                self.buf.truncate(remaining as usize);
+                self.inner_done = true;
+            }
+        }
+        self.generated += self.buf.len() as u64;
         Ok(())
     }
 }
@@ -500,6 +534,7 @@ mod tests {
                 truncate_rate: 0.1,
                 garbage_rate: 0.1,
                 seed,
+                ..FaultConfig::default()
             };
             let mut out = Vec::new();
             FaultyReader::new(text.as_bytes(), cfg)
@@ -526,6 +561,7 @@ mod tests {
             truncate_rate: 0.1,
             garbage_rate: 0.1,
             seed: 42,
+            ..FaultConfig::default()
         };
         let report =
             read_edge_list_lossy(FaultyReader::new(text.as_bytes(), cfg));
@@ -535,6 +571,61 @@ mod tests {
             report.accepted
         );
         assert!(!report.rejected.is_empty(), "some lines must be rejected");
+    }
+
+    #[test]
+    fn faulty_reader_truncates_at_exact_byte_offset() {
+        let text = "0 1 1\n2 3 4\n5 6 7\n";
+        for cut in 0..=text.len() as u64 {
+            let cfg = FaultConfig {
+                truncate_at: Some(cut),
+                ..FaultConfig::default()
+            };
+            let mut out = Vec::new();
+            FaultyReader::new(text.as_bytes(), cfg)
+                .read_to_end(&mut out)
+                .expect("in-memory reads cannot fail");
+            assert_eq!(
+                out,
+                &text.as_bytes()[..cut as usize],
+                "cut at byte {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_reader_bit_flips_one_bit_deterministically() {
+        let text: String =
+            (0..100).map(|i| format!("{i} {} 1\n", i + 1)).collect();
+        let run = |seed| {
+            let cfg = FaultConfig {
+                bit_flip_rate: 0.05,
+                seed,
+                ..FaultConfig::default()
+            };
+            let mut out = Vec::new();
+            FaultyReader::new(text.as_bytes(), cfg)
+                .read_to_end(&mut out)
+                .expect("in-memory reads cannot fail");
+            out
+        };
+        let flipped = run(3);
+        // Flips mangle bytes in place: same length, same seed → same
+        // bytes, and every corrupted byte differs in exactly one bit.
+        assert_eq!(flipped.len(), text.len());
+        assert_eq!(flipped, run(3));
+        let differing = flipped
+            .iter()
+            .zip(text.as_bytes())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(differing > 0, "5% over {} bytes must hit", text.len());
+        for (i, (a, b)) in flipped.iter().zip(text.as_bytes()).enumerate() {
+            assert!(
+                (a ^ b).count_ones() <= 1,
+                "byte {i} changed more than one bit"
+            );
+        }
     }
 
     #[test]

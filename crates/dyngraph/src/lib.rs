@@ -47,7 +47,7 @@ pub mod traversal;
 mod view;
 
 pub use error::GraphError;
-pub use frozen::{DeltaGraph, FrozenGraph, OverlayView};
+pub use frozen::{DeltaGraph, FrozenGraph, FrozenGraphParts, OverlayView};
 pub use network::{DynamicNetwork, Link};
 pub use static_graph::StaticGraph;
 pub use traversal::Adjacency;

@@ -1,3 +1,4 @@
+use crate::view::GraphView;
 use crate::{GraphError, NodeId, StaticGraph, Timestamp};
 
 /// A single timestamped link `(u, v, t)` of a [`DynamicNetwork`].
@@ -92,6 +93,37 @@ impl DynamicNetwork {
             adj: Vec::with_capacity(nodes),
             distinct: Vec::with_capacity(nodes),
             ..Self::default()
+        }
+    }
+
+    /// Reconstructs a mutable network from any [`GraphView`], restoring
+    /// per-node incident-link rows (insertion order preserved), the
+    /// derived distinct-neighbor cache, the timestamp bounds and the
+    /// revision counter. O(V + E).
+    ///
+    /// This is the recovery inverse of [`FrozenGraph::from_view`]: the
+    /// observable state of a `DynamicNetwork` is exactly its per-node
+    /// rows plus the counters — the global link insertion order is not
+    /// observable — so a round trip through a frozen CSR and back
+    /// yields a network that compares equal and continues mutating
+    /// (and bumping its revision) exactly like the original.
+    ///
+    /// [`FrozenGraph::from_view`]: crate::FrozenGraph::from_view
+    pub fn from_view<G: GraphView + ?Sized>(g: &G) -> Self {
+        let n = g.node_count();
+        let mut adj = Vec::with_capacity(n);
+        let mut distinct = Vec::with_capacity(n);
+        for u in 0..n as NodeId {
+            adj.push(g.incident_links(u).collect());
+            distinct.push(g.distinct_neighbors(u).to_vec());
+        }
+        DynamicNetwork {
+            adj,
+            distinct,
+            num_links: g.link_count(),
+            min_ts: g.min_timestamp().unwrap_or(0),
+            max_ts: g.max_timestamp().unwrap_or(0),
+            revision: g.revision(),
         }
     }
 
@@ -493,6 +525,35 @@ mod tests {
         b.extend([(0, 1, 1), (1, 2, 2), (2, 0, 3)]);
         assert_ne!(a.revision(), b.revision());
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_view_round_trips_through_frozen() {
+        let mut g = triangle();
+        g.add_link(0, 1, 9); // multi-link
+        g.ensure_node(6); // isolated tail nodes survive the round trip
+        let frozen = crate::FrozenGraph::from_view(&g);
+        let restored = DynamicNetwork::from_view(&frozen);
+        assert_eq!(restored, g);
+        assert_eq!(restored.revision(), g.revision());
+        for u in 0..g.node_count() as NodeId {
+            assert_eq!(restored.incident_links(u), g.incident_links(u));
+            assert_eq!(restored.neighbors(u), g.neighbors(u));
+        }
+        // The restored network keeps mutating in lockstep.
+        let mut twin = g.clone();
+        let mut restored = restored;
+        restored.add_link(4, 6, 11);
+        twin.add_link(4, 6, 11);
+        assert_eq!(restored, twin);
+        assert_eq!(restored.revision(), twin.revision());
+    }
+
+    #[test]
+    fn from_view_of_empty_graph() {
+        let restored = DynamicNetwork::from_view(&crate::FrozenGraph::empty());
+        assert_eq!(restored, DynamicNetwork::new());
+        assert_eq!(restored.revision(), 0);
     }
 
     #[test]

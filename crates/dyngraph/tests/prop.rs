@@ -153,6 +153,7 @@ proptest! {
                 truncate_rate: 0.1,
                 garbage_rate: garbage as f64 / 100.0,
                 seed,
+                ..io::FaultConfig::default()
             },
         );
         let report = io::read_edge_list_lossy(std::io::BufReader::new(faulty));

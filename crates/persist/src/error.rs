@@ -1,0 +1,89 @@
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Errors produced by the durability layer.
+///
+/// The contract mirrors the rest of the pipeline: corruption is a
+/// *typed* outcome, never a panic, and it names the section that failed
+/// so operators can tell a torn WAL tail from a damaged snapshot.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PersistError {
+    /// The underlying filesystem operation failed.
+    Io(io::Error),
+    /// Stored bytes failed validation — bad magic, checksum mismatch,
+    /// truncated record, out-of-order sequence number, or a decoded
+    /// structure that violates its own invariants.
+    Corrupt {
+        /// Which part of the on-disk state failed (`"header"`,
+        /// `"graph.offsets"`, `"wal"`, …).
+        section: String,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+}
+
+/// Shorthand constructor for [`PersistError::Corrupt`].
+pub(crate) fn corrupt(
+    section: impl Into<String>,
+    detail: impl Into<String>,
+) -> PersistError {
+    PersistError::Corrupt {
+        section: section.into(),
+        detail: detail.into(),
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "persist i/o error: {e}"),
+            PersistError::Corrupt { section, detail } => {
+                write!(f, "corrupt {section}: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for PersistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Corrupt { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_section() {
+        let e = corrupt("graph.offsets", "checksum mismatch");
+        assert_eq!(e.to_string(), "corrupt graph.offsets: checksum mismatch");
+        let e = PersistError::from(io::Error::other("disk on fire"));
+        assert!(e.to_string().starts_with("persist i/o error: "));
+    }
+
+    #[test]
+    fn io_errors_keep_their_source() {
+        let e = PersistError::from(io::Error::other("boom"));
+        assert!(e.source().is_some());
+        let e = corrupt("wal", "torn tail");
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PersistError>();
+    }
+}

@@ -1,0 +1,182 @@
+//! `FrozenGraph` ⇄ snapshot sections.
+//!
+//! The on-disk layout mirrors [`FrozenGraph`]'s in-memory CSR exactly:
+//! one section per flat array (`offsets` and `nbr_offsets` as `u64`,
+//! ids and timestamps as `u32`, all little-endian) plus a small meta
+//! section with the counters. Decoding builds a
+//! [`FrozenGraphParts`] and funnels it through
+//! [`FrozenGraph::try_from_parts`], so a graph that loads is a graph
+//! whose every structural invariant has been re-proven — checksums
+//! catch flipped bits, the validator catches a consistent-looking but
+//! internally wrong CSR.
+
+use dyngraph::{FrozenGraph, FrozenGraphParts, GraphView};
+
+use crate::codec::{encode_u32s, encode_usizes, put_u32, put_u64, Cursor};
+use crate::error::PersistError;
+use crate::snapshot::{SnapshotReader, SnapshotWriter};
+
+/// Section names for the graph payload.
+pub const SEC_GRAPH_META: &str = "graph.meta";
+/// Incident-link row bounds, `u64` each.
+pub const SEC_GRAPH_OFFSETS: &str = "graph.offsets";
+/// Flat neighbor ids, `u32` each.
+pub const SEC_GRAPH_NEIGHBORS: &str = "graph.neighbors";
+/// Flat timestamps, `u32` each, parallel to the neighbors.
+pub const SEC_GRAPH_TIMESTAMPS: &str = "graph.timestamps";
+/// Distinct-neighbor row bounds, `u64` each.
+pub const SEC_GRAPH_NBR_OFFSETS: &str = "graph.nbr_offsets";
+/// Flat distinct-neighbor ids, `u32` each.
+pub const SEC_GRAPH_NBR_IDS: &str = "graph.nbr_ids";
+
+/// Writes `g` into `w` as the six `graph.*` sections.
+pub fn encode_graph(g: &FrozenGraph, w: &mut SnapshotWriter) {
+    let (min_ts, max_ts) = g.raw_timestamp_bounds();
+    let mut meta = Vec::with_capacity(8 * 3 + 4 * 2);
+    put_u64(&mut meta, g.link_count() as u64);
+    put_u64(&mut meta, g.node_count() as u64);
+    put_u64(&mut meta, g.revision());
+    put_u32(&mut meta, min_ts);
+    put_u32(&mut meta, max_ts);
+    w.section(SEC_GRAPH_META, meta);
+    w.section(SEC_GRAPH_OFFSETS, encode_usizes(g.csr_offsets()));
+    w.section(SEC_GRAPH_NEIGHBORS, encode_u32s(g.csr_neighbors()));
+    w.section(SEC_GRAPH_TIMESTAMPS, encode_u32s(g.csr_timestamps()));
+    w.section(SEC_GRAPH_NBR_OFFSETS, encode_usizes(g.csr_nbr_offsets()));
+    w.section(SEC_GRAPH_NBR_IDS, encode_u32s(g.csr_nbr_ids()));
+}
+
+/// Reads the `graph.*` sections of `r` back into a validated
+/// [`FrozenGraph`].
+///
+/// # Errors
+///
+/// Returns [`PersistError::Corrupt`] if any section is missing,
+/// malformed, or the reassembled CSR violates a structural invariant.
+pub fn decode_graph(r: &SnapshotReader) -> Result<FrozenGraph, PersistError> {
+    let mut meta = Cursor::new(SEC_GRAPH_META, r.require(SEC_GRAPH_META)?);
+    let num_links = meta.usize()?;
+    let node_count = meta.usize()?;
+    let revision = meta.u64()?;
+    let min_ts = meta.u32()?;
+    let max_ts = meta.u32()?;
+    meta.finish()?;
+
+    let read_usizes = |name: &'static str, count: usize| {
+        let mut c = Cursor::new(name, r.require(name)?);
+        let out = c.usizes(count)?;
+        c.finish()?;
+        Ok::<_, PersistError>(out)
+    };
+    let read_u32s = |name: &'static str, count: usize| {
+        let mut c = Cursor::new(name, r.require(name)?);
+        let out = c.u32s(count)?;
+        c.finish()?;
+        Ok::<_, PersistError>(out)
+    };
+
+    let offsets = read_usizes(SEC_GRAPH_OFFSETS, node_count + 1)?;
+    let neighbors = read_u32s(SEC_GRAPH_NEIGHBORS, 2 * num_links)?;
+    let timestamps = read_u32s(SEC_GRAPH_TIMESTAMPS, 2 * num_links)?;
+    let nbr_offsets = read_usizes(SEC_GRAPH_NBR_OFFSETS, node_count + 1)?;
+    let nbr_count = *nbr_offsets.last().unwrap_or(&0);
+    let nbr_ids = read_u32s(SEC_GRAPH_NBR_IDS, nbr_count)?;
+
+    FrozenGraph::try_from_parts(FrozenGraphParts {
+        offsets,
+        neighbors,
+        timestamps,
+        nbr_offsets,
+        nbr_ids,
+        num_links,
+        min_ts,
+        max_ts,
+        revision,
+    })
+    .map_err(|e| PersistError::Corrupt {
+        section: "graph".to_string(),
+        detail: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use dyngraph::DynamicNetwork;
+
+    use super::*;
+    use crate::snapshot::SnapshotReader;
+
+    fn sample() -> FrozenGraph {
+        let mut g = DynamicNetwork::new();
+        g.add_link(0, 1, 3);
+        g.add_link(1, 2, 5);
+        g.add_link(0, 1, 4);
+        g.add_link(3, 1, 2);
+        g.ensure_node(6);
+        FrozenGraph::from_view(&g)
+    }
+
+    fn round_trip(g: &FrozenGraph) -> FrozenGraph {
+        let mut w = SnapshotWriter::new();
+        encode_graph(g, &mut w);
+        let r = SnapshotReader::from_bytes(&w.to_bytes()).unwrap();
+        decode_graph(&r).unwrap()
+    }
+
+    #[test]
+    fn graph_round_trips_bit_identically() {
+        let g = sample();
+        assert_eq!(round_trip(&g), g);
+        let empty = FrozenGraph::empty();
+        assert_eq!(round_trip(&empty), empty);
+    }
+
+    #[test]
+    fn payload_corruption_is_typed_not_panicking() {
+        let mut w = SnapshotWriter::new();
+        encode_graph(&sample(), &mut w);
+        let bytes = w.to_bytes();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] = bad[i].wrapping_add(1);
+            let outcome =
+                SnapshotReader::from_bytes(&bad).and_then(|r| decode_graph(&r));
+            match outcome {
+                Err(PersistError::Corrupt { .. }) => {}
+                Err(other) => panic!("byte {i}: unexpected {other}"),
+                Ok(g) => assert_eq!(
+                    g,
+                    sample(),
+                    "byte {i} silently changed the graph"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn cross_section_lies_are_caught_by_the_validator() {
+        // A snapshot whose sections each checksum fine but which
+        // disagree with each other: claim one fewer link than the
+        // arrays hold.
+        let g = sample();
+        let mut w = SnapshotWriter::new();
+        let (min_ts, max_ts) = g.raw_timestamp_bounds();
+        let mut meta = Vec::new();
+        crate::codec::put_u64(&mut meta, g.link_count() as u64 - 1);
+        crate::codec::put_u64(&mut meta, g.node_count() as u64);
+        crate::codec::put_u64(&mut meta, g.revision());
+        crate::codec::put_u32(&mut meta, min_ts);
+        crate::codec::put_u32(&mut meta, max_ts);
+        w.section(SEC_GRAPH_META, meta);
+        w.section(SEC_GRAPH_OFFSETS, encode_usizes(g.csr_offsets()));
+        w.section(SEC_GRAPH_NEIGHBORS, encode_u32s(g.csr_neighbors()));
+        w.section(SEC_GRAPH_TIMESTAMPS, encode_u32s(g.csr_timestamps()));
+        w.section(SEC_GRAPH_NBR_OFFSETS, encode_usizes(g.csr_nbr_offsets()));
+        w.section(SEC_GRAPH_NBR_IDS, encode_u32s(g.csr_nbr_ids()));
+        let r = SnapshotReader::from_bytes(&w.to_bytes()).unwrap();
+        assert!(matches!(
+            decode_graph(&r),
+            Err(PersistError::Corrupt { .. })
+        ));
+    }
+}

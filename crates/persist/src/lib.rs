@@ -1,0 +1,45 @@
+//! Durable predictor state for the SSF serving stack.
+//!
+//! Two cooperating formats:
+//!
+//! * [`snapshot`] — the `SSF1` container: a versioned, sectioned,
+//!   per-section-CRC32 binary file whose `graph.*` sections are the
+//!   flat little-endian image of a [`dyngraph::FrozenGraph`] CSR.
+//!   Loading validates every checksum *and* re-proves every structural
+//!   invariant before anything reaches the scoring path.
+//! * [`wal`] — a segmented, length-prefixed, checksummed write-ahead
+//!   log of the ingest stream with strict sequence continuity, a
+//!   configurable [`FsyncPolicy`] and torn-tail-tolerant [`replay`].
+//!
+//! The durability protocol built on top (see `ssf-repro`'s
+//! `stream::OnlineLinkPredictor::with_durability`):
+//!
+//! ```text
+//! observe(u, v, t)   → WAL append (seq n)  → in-memory mutation
+//! checkpoint()       → snapshot-<rev>-<seq>.ssf1 (atomic rename)
+//!                    → WAL segments below seq deleted
+//! open(dir)          → newest valid snapshot + WAL tail replay
+//! ```
+//!
+//! Corruption anywhere is a typed [`PersistError::Corrupt`] or an
+//! honestly-reported truncated tail — never a panic, never silently
+//! wrong state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod crc;
+mod error;
+pub mod graph;
+pub mod snapshot;
+pub mod wal;
+
+pub use crc::crc32;
+pub use error::PersistError;
+pub use graph::{decode_graph, encode_graph};
+pub use snapshot::{SnapshotReader, SnapshotWriter};
+pub use wal::{
+    list_segments, replay, FsyncPolicy, ReplayReport, ReplayStep, WalOptions,
+    WalRecord, WalWriter,
+};

@@ -1,0 +1,747 @@
+//! Segmented write-ahead log for the ingest stream.
+//!
+//! Every `observe()` call on a durable predictor appends one record
+//! *before* the in-memory state mutates; recovery replays the tail on
+//! top of the latest snapshot through the exact same code path, which
+//! is what makes recovered scores bit-identical.
+//!
+//! On-disk layout (all integers little-endian):
+//!
+//! ```text
+//! segment file "wal-<start_seq, 20 digits>.log":
+//!   magic   "SSFW"              4 bytes
+//!   version u32 (currently 1)   4 bytes
+//!   start   u64 first sequence  8 bytes
+//!   record, repeated:
+//!     len  u32 payload length   4 bytes
+//!     crc  u32 CRC-32(payload)  4 bytes
+//!     payload                   len bytes
+//! event payload (kind 1):
+//!   seq u64, kind u8 = 1, u u32, v u32, t u32   (21 bytes)
+//! ```
+//!
+//! Records carry their sequence number explicitly and replay enforces
+//! strict `+1` continuity within and across segments, so duplicated or
+//! reordered bytes are detected exactly like checksum failures: the log
+//! has a valid prefix and a rejected tail, never a silently-wrong
+//! middle. [`replay`] optionally repairs in place — truncating the torn
+//! segment at the first bad byte and deleting unreachable later
+//! segments — so the writer can always resume appending cleanly.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::codec::{put_u32, put_u64};
+use crate::crc::crc32;
+use crate::error::PersistError;
+
+/// Segment file magic.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"SSFW";
+/// Current WAL format version.
+pub const VERSION: u32 = 1;
+/// Segment header size in bytes.
+const HEADER_LEN: u64 = 16;
+/// Upper bound on a record payload; anything larger is a corrupt
+/// length field, refused before allocation.
+const MAX_PAYLOAD: u32 = 1024;
+/// Payload kind tag for a link event.
+const KIND_EVENT: u8 = 1;
+/// Encoded size of an event payload.
+const EVENT_PAYLOAD: u32 = 21;
+
+/// When appended records reach the disk platter.
+///
+/// The write itself always happens immediately (the OS page cache sees
+/// every record, so a process crash loses nothing); the policy only
+/// governs `fsync`, i.e. what a *machine* crash can take with it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync after every record: zero loss on power failure, slowest.
+    #[default]
+    Always,
+    /// fsync every `n` records: bounded loss window, amortized cost.
+    EveryN(u32),
+    /// Never fsync explicitly; the OS flushes at its leisure.
+    Never,
+}
+
+/// Writer-side configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalOptions {
+    /// Durability of each append; see [`FsyncPolicy`].
+    pub fsync: FsyncPolicy,
+    /// Rotate to a fresh segment once the current one reaches this many
+    /// bytes. Checkpoints delete whole segments, so smaller segments
+    /// mean finer-grained truncation at the cost of more files.
+    pub segment_bytes: u64,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        WalOptions {
+            fsync: FsyncPolicy::default(),
+            segment_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// One decoded WAL record: a link event with its sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Position in the global event sequence, starting at 0.
+    pub seq: u64,
+    /// First endpoint, as passed to `observe`.
+    pub u: u32,
+    /// Second endpoint.
+    pub v: u32,
+    /// Event timestamp.
+    pub t: u32,
+}
+
+/// Whether replay should keep consuming records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplayStep {
+    /// Deliver the next record.
+    Continue,
+    /// Stop cleanly; remaining valid records stay on disk untouched.
+    Stop,
+}
+
+/// What a [`replay`] pass found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Records delivered to the callback (`seq >= from_seq`).
+    pub records_replayed: u64,
+    /// Valid records below `from_seq` (already covered by a snapshot).
+    pub records_skipped: u64,
+    /// Bytes discarded as a torn or corrupt tail, across all segments.
+    pub bytes_dropped: u64,
+    /// `true` if any corruption was hit (the tail after it is gone).
+    pub tail_truncated: bool,
+    /// Segment files visited.
+    pub segments_scanned: u64,
+    /// Segment files deleted during repair.
+    pub segments_removed: u64,
+}
+
+/// Lists `wal-*.log` segments in `dir`, sorted by start sequence.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] if the directory cannot be read.
+pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, PersistError> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(stem) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".log"))
+        else {
+            continue;
+        };
+        if let Ok(start) = stem.parse::<u64>() {
+            out.push((start, path));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn segment_path(dir: &Path, start_seq: u64) -> PathBuf {
+    dir.join(format!("wal-{start_seq:020}.log"))
+}
+
+/// Append-only WAL writer. Single-owner: the durable predictor holds
+/// exactly one per directory.
+#[derive(Debug)]
+pub struct WalWriter {
+    dir: PathBuf,
+    opts: WalOptions,
+    file: File,
+    seg_start: u64,
+    seg_bytes: u64,
+    next_seq: u64,
+    unsynced: u32,
+}
+
+impl WalWriter {
+    /// Opens a writer whose next record will carry `next_seq`, starting
+    /// a fresh segment there. Called after recovery (which reports the
+    /// sequence it replayed up to) or on a brand-new directory with
+    /// `next_seq == 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on filesystem failure.
+    pub fn create(
+        dir: &Path,
+        next_seq: u64,
+        opts: WalOptions,
+    ) -> Result<Self, PersistError> {
+        fs::create_dir_all(dir)?;
+        let (file, seg_bytes) = Self::open_segment(dir, next_seq)?;
+        Ok(WalWriter {
+            dir: dir.to_path_buf(),
+            opts,
+            file,
+            seg_start: next_seq,
+            seg_bytes,
+            next_seq,
+            unsynced: 0,
+        })
+    }
+
+    /// Creates (truncating any leftover) the segment starting at
+    /// `start_seq` and writes its header.
+    fn open_segment(
+        dir: &Path,
+        start_seq: u64,
+    ) -> Result<(File, u64), PersistError> {
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+        header.extend_from_slice(&SEGMENT_MAGIC);
+        put_u32(&mut header, VERSION);
+        put_u64(&mut header, start_seq);
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(segment_path(dir, start_seq))?;
+        file.write_all(&header)?;
+        Ok((file, HEADER_LEN))
+    }
+
+    /// The sequence number the next appended record will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Appends one link event, returning its sequence number. Rotates
+    /// to a new segment first if the current one is full, and applies
+    /// the fsync policy after the write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on filesystem failure. The caller
+    /// must treat an error as "not logged" and surface the durability
+    /// degradation; the in-memory state may still advance.
+    pub fn append(
+        &mut self,
+        u: u32,
+        v: u32,
+        t: u32,
+    ) -> Result<u64, PersistError> {
+        if self.seg_bytes >= self.opts.segment_bytes {
+            self.rotate()?;
+        }
+        let seq = self.next_seq;
+        let mut payload = Vec::with_capacity(EVENT_PAYLOAD as usize);
+        put_u64(&mut payload, seq);
+        payload.push(KIND_EVENT);
+        put_u32(&mut payload, u);
+        put_u32(&mut payload, v);
+        put_u32(&mut payload, t);
+        let mut record = Vec::with_capacity(8 + payload.len());
+        put_u32(&mut record, payload.len() as u32);
+        put_u32(&mut record, crc32(&payload));
+        record.extend_from_slice(&payload);
+        self.file.write_all(&record)?;
+        self.seg_bytes += record.len() as u64;
+        self.next_seq += 1;
+        match self.opts.fsync {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::EveryN(n) => {
+                self.unsynced += 1;
+                if self.unsynced >= n.max(1) {
+                    self.sync()?;
+                }
+            }
+            FsyncPolicy::Never => {}
+        }
+        Ok(seq)
+    }
+
+    /// Forces all appended records to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] if `fsync` fails.
+    pub fn sync(&mut self) -> Result<(), PersistError> {
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Closes the current segment and starts a fresh one at
+    /// [`Self::next_seq`].
+    fn rotate(&mut self) -> Result<(), PersistError> {
+        self.sync()?;
+        let (file, seg_bytes) = Self::open_segment(&self.dir, self.next_seq)?;
+        self.file = file;
+        self.seg_start = self.next_seq;
+        self.seg_bytes = seg_bytes;
+        Ok(())
+    }
+
+    /// Checkpoint truncation: rotates so the live segment starts at the
+    /// current [`Self::next_seq`], then deletes every segment whose
+    /// records all fall below `seq` (i.e. are covered by a snapshot).
+    /// Returns the number of segments removed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PersistError::Io`] on filesystem failure.
+    pub fn truncate_below(&mut self, seq: u64) -> Result<u64, PersistError> {
+        if self.seg_start < self.next_seq {
+            self.rotate()?;
+        }
+        let segments = list_segments(&self.dir)?;
+        let mut removed = 0;
+        for (i, (start, path)) in segments.iter().enumerate() {
+            if *path == segment_path(&self.dir, self.seg_start) {
+                continue;
+            }
+            // A segment is disposable iff a later segment begins at or
+            // below `seq` — then every record in it is below `seq`.
+            let covered = segments
+                .get(i + 1)
+                .is_some_and(|&(next_start, _)| next_start <= seq);
+            if covered && *start < seq {
+                fs::remove_file(path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// Replays the log in `dir`, delivering every record with
+/// `seq >= from_seq` to `on_event` in order.
+///
+/// Validation is strict: segment headers, record lengths, checksums and
+/// exact `+1` sequence continuity (within and across segments). The
+/// first violation ends the scan — everything before it is the valid
+/// prefix, everything after is counted into
+/// [`ReplayReport::bytes_dropped`]. With `repair` set, the torn segment
+/// is physically truncated at the violation and unreachable later
+/// segments are deleted, leaving a log a [`WalWriter`] can extend.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on filesystem failure, or an error
+/// propagated from the callback. Corruption is *not* an error here — it
+/// is reported, because a valid prefix is still a usable recovery.
+pub fn replay<F>(
+    dir: &Path,
+    from_seq: u64,
+    repair: bool,
+    mut on_event: F,
+) -> Result<ReplayReport, PersistError>
+where
+    F: FnMut(WalRecord) -> Result<ReplayStep, PersistError>,
+{
+    let segments = list_segments(dir)?;
+    let mut report = ReplayReport::default();
+    let mut expected: Option<u64> = None;
+    let mut stopped = false;
+    // Index of the first segment that is no longer trustworthy, plus
+    // the byte offset at which its valid prefix ends.
+    let mut cut: Option<(usize, u64)> = None;
+    for (i, (start_seq, path)) in segments.iter().enumerate() {
+        if stopped {
+            break;
+        }
+        let bytes = fs::read(path)?;
+        report.segments_scanned += 1;
+        match scan_segment(
+            &bytes,
+            *start_seq,
+            expected,
+            from_seq,
+            &mut report,
+            &mut on_event,
+        )? {
+            SegmentOutcome::Clean { next_expected } => {
+                expected = Some(next_expected);
+            }
+            SegmentOutcome::Stopped => {
+                stopped = true;
+            }
+            SegmentOutcome::Torn { valid_bytes } => {
+                report.tail_truncated = true;
+                report.bytes_dropped += bytes.len() as u64 - valid_bytes;
+                for (_, later) in &segments[i + 1..] {
+                    report.bytes_dropped += fs::metadata(later)?.len();
+                }
+                cut = Some((i, valid_bytes));
+                break;
+            }
+        }
+    }
+    if repair {
+        if let Some((i, valid_bytes)) = cut {
+            let (_, path) = &segments[i];
+            if valid_bytes == 0 {
+                // Bad header or unreachable sequence range: nothing in
+                // the file is usable, so repair removes it outright.
+                fs::remove_file(path)?;
+                report.segments_removed += 1;
+            } else {
+                let f = OpenOptions::new().write(true).open(path)?;
+                f.set_len(valid_bytes)?;
+                f.sync_all()?;
+            }
+            for (_, later) in &segments[i + 1..] {
+                fs::remove_file(later)?;
+                report.segments_removed += 1;
+            }
+        }
+    }
+    Ok(report)
+}
+
+enum SegmentOutcome {
+    /// Whole segment consumed; the next segment must start here.
+    Clean { next_expected: u64 },
+    /// The callback asked to stop; the rest of the log is untouched.
+    Stopped,
+    /// Corruption at `valid_bytes`; everything after is a torn tail.
+    Torn { valid_bytes: u64 },
+}
+
+/// Scans one segment, delivering records and classifying the outcome.
+fn scan_segment<F>(
+    bytes: &[u8],
+    start_seq: u64,
+    expected: Option<u64>,
+    from_seq: u64,
+    report: &mut ReplayReport,
+    on_event: &mut F,
+) -> Result<SegmentOutcome, PersistError>
+where
+    F: FnMut(WalRecord) -> Result<ReplayStep, PersistError>,
+{
+    // Header: magic, version, start sequence — and continuity with the
+    // previous segment.
+    if bytes.len() < HEADER_LEN as usize
+        || bytes[..4] != SEGMENT_MAGIC
+        || bytes[4..8] != VERSION.to_le_bytes()
+        || bytes[8..16] != start_seq.to_le_bytes()
+    {
+        return Ok(SegmentOutcome::Torn { valid_bytes: 0 });
+    }
+    if let Some(e) = expected {
+        if start_seq != e {
+            // Gap or overlap between segments: the tail is unusable.
+            return Ok(SegmentOutcome::Torn { valid_bytes: 0 });
+        }
+    } else if start_seq > from_seq {
+        // The log starts after the snapshot ends: records in between
+        // are gone, so nothing past this point can be applied.
+        return Ok(SegmentOutcome::Torn { valid_bytes: 0 });
+    }
+    let mut pos = HEADER_LEN as usize;
+    let mut next = start_seq;
+    while pos < bytes.len() {
+        let Some(record) = decode_record(&bytes[pos..], next) else {
+            return Ok(SegmentOutcome::Torn {
+                valid_bytes: pos as u64,
+            });
+        };
+        let (rec, consumed) = record;
+        if rec.seq < from_seq {
+            report.records_skipped += 1;
+        } else {
+            match on_event(rec)? {
+                ReplayStep::Continue => report.records_replayed += 1,
+                ReplayStep::Stop => return Ok(SegmentOutcome::Stopped),
+            }
+        }
+        next += 1;
+        pos += consumed;
+    }
+    Ok(SegmentOutcome::Clean {
+        next_expected: next,
+    })
+}
+
+/// Decodes the record at the head of `bytes`, requiring sequence
+/// `expect_seq`. `None` means the bytes are torn or corrupt.
+fn decode_record(bytes: &[u8], expect_seq: u64) -> Option<(WalRecord, usize)> {
+    if bytes.len() < 8 {
+        return None;
+    }
+    let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    let want_crc = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if len > MAX_PAYLOAD || bytes.len() < 8 + len as usize {
+        return None;
+    }
+    let payload = &bytes[8..8 + len as usize];
+    if crc32(payload) != want_crc || len != EVENT_PAYLOAD {
+        return None;
+    }
+    let mut seq_bytes = [0u8; 8];
+    seq_bytes.copy_from_slice(&payload[..8]);
+    let seq = u64::from_le_bytes(seq_bytes);
+    if payload[8] != KIND_EVENT || seq != expect_seq {
+        return None;
+    }
+    let word = |i: usize| {
+        u32::from_le_bytes([
+            payload[9 + 4 * i],
+            payload[10 + 4 * i],
+            payload[11 + 4 * i],
+            payload[12 + 4 * i],
+        ])
+    };
+    let (u, v, t) = (word(0), word(1), word(2));
+    Some((WalRecord { seq, u, v, t }, 8 + len as usize))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("ssf-wal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn collect(dir: &Path, from_seq: u64) -> (Vec<WalRecord>, ReplayReport) {
+        let mut got = Vec::new();
+        let report = replay(dir, from_seq, false, |r| {
+            got.push(r);
+            Ok(ReplayStep::Continue)
+        })
+        .unwrap();
+        (got, report)
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let mut w = WalWriter::create(&dir, 0, WalOptions::default()).unwrap();
+        for i in 0..10u32 {
+            let seq = w.append(i, i + 1, 100 + i).unwrap();
+            assert_eq!(seq, i as u64);
+        }
+        let (got, report) = collect(&dir, 0);
+        assert_eq!(got.len(), 10);
+        assert_eq!(report.records_replayed, 10);
+        assert_eq!(report.records_skipped, 0);
+        assert!(!report.tail_truncated);
+        for (i, r) in got.iter().enumerate() {
+            let i = i as u32;
+            assert_eq!(
+                *r,
+                WalRecord {
+                    seq: i as u64,
+                    u: i,
+                    v: i + 1,
+                    t: 100 + i
+                }
+            );
+        }
+        // Skipping a prefix works too.
+        let (tail, report) = collect(&dir, 7);
+        assert_eq!(tail.len(), 3);
+        assert_eq!(report.records_skipped, 7);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_splits_segments_and_replay_stitches_them() {
+        let dir = temp_dir("rotate");
+        let opts = WalOptions {
+            segment_bytes: 64, // a couple of records per segment
+            fsync: FsyncPolicy::Never,
+        };
+        let mut w = WalWriter::create(&dir, 0, opts).unwrap();
+        for i in 0..20u32 {
+            w.append(i, i + 1, i).unwrap();
+        }
+        assert!(list_segments(&dir).unwrap().len() > 3);
+        let (got, report) = collect(&dir, 0);
+        assert_eq!(got.len(), 20);
+        assert!(!report.tail_truncated);
+        assert_eq!(
+            report.segments_scanned as usize,
+            list_segments(&dir).unwrap().len()
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reported() {
+        let dir = temp_dir("torn");
+        let mut w = WalWriter::create(&dir, 0, WalOptions::default()).unwrap();
+        for i in 0..5u32 {
+            w.append(i, i + 1, i).unwrap();
+        }
+        drop(w);
+        // Tear the last record: chop 3 bytes off the segment.
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let len = fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let mut got = Vec::new();
+        let report = replay(&dir, 0, true, |r| {
+            got.push(r);
+            Ok(ReplayStep::Continue)
+        })
+        .unwrap();
+        assert_eq!(got.len(), 4);
+        assert!(report.tail_truncated);
+        assert_eq!(report.bytes_dropped, 29 - 3);
+        // Repair truncated the file; a second replay is clean.
+        let (again, report2) = collect(&dir, 0);
+        assert_eq!(again.len(), 4);
+        assert!(!report2.tail_truncated);
+        // And the writer resumes at the recovered sequence.
+        let mut w = WalWriter::create(&dir, 4, WalOptions::default()).unwrap();
+        w.append(9, 10, 11).unwrap();
+        let (full, _) = collect(&dir, 0);
+        assert_eq!(full.len(), 5);
+        assert_eq!(
+            full[4],
+            WalRecord {
+                seq: 4,
+                u: 9,
+                v: 10,
+                t: 11
+            }
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_ends_the_prefix() {
+        let dir = temp_dir("flip");
+        let mut w = WalWriter::create(&dir, 0, WalOptions::default()).unwrap();
+        for i in 0..8u32 {
+            w.append(i, i + 1, i).unwrap();
+        }
+        drop(w);
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a bit inside record 3's payload.
+        let off = HEADER_LEN as usize + 3 * 29 + 12;
+        bytes[off] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let (got, report) = collect(&dir, 0);
+        assert_eq!(got.len(), 3);
+        assert!(report.tail_truncated);
+        assert_eq!(report.bytes_dropped, 5 * 29);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn duplicated_record_bytes_are_rejected() {
+        let dir = temp_dir("dup");
+        let mut w = WalWriter::create(&dir, 0, WalOptions::default()).unwrap();
+        for i in 0..4u32 {
+            w.append(i, i + 1, i).unwrap();
+        }
+        drop(w);
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // Duplicate the final record verbatim — checksums pass, but the
+        // sequence number repeats.
+        let tail = bytes[bytes.len() - 29..].to_vec();
+        bytes.extend_from_slice(&tail);
+        fs::write(&path, &bytes).unwrap();
+        let (got, report) = collect(&dir, 0);
+        assert_eq!(got.len(), 4, "the valid prefix survives");
+        assert!(report.tail_truncated);
+        assert_eq!(report.bytes_dropped, 29);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncate_below_deletes_covered_segments() {
+        let dir = temp_dir("checkpoint");
+        let opts = WalOptions {
+            segment_bytes: 64,
+            fsync: FsyncPolicy::EveryN(4),
+        };
+        let mut w = WalWriter::create(&dir, 0, opts).unwrap();
+        for i in 0..20u32 {
+            w.append(i, i + 1, i).unwrap();
+        }
+        let seq = w.next_seq();
+        assert!(list_segments(&dir).unwrap().len() > 3);
+        let removed = w.truncate_below(seq).unwrap();
+        assert!(removed > 3);
+        // Everything below the checkpoint is gone; the live segment
+        // starts exactly at the checkpointed sequence.
+        let segments = list_segments(&dir).unwrap();
+        assert_eq!(segments.len(), 1);
+        assert_eq!(segments[0].0, seq);
+        // New appends continue the sequence and replay only the tail.
+        w.append(77, 78, 79).unwrap();
+        let (got, report) = collect(&dir, seq);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].seq, seq);
+        assert_eq!(report.records_skipped, 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replay_can_stop_early_without_damage() {
+        let dir = temp_dir("stop");
+        let mut w = WalWriter::create(&dir, 0, WalOptions::default()).unwrap();
+        for i in 0..6u32 {
+            w.append(i, i + 1, i).unwrap();
+        }
+        drop(w);
+        let mut seen = 0u64;
+        let report = replay(&dir, 0, true, |_| {
+            seen += 1;
+            Ok(if seen == 3 {
+                ReplayStep::Stop
+            } else {
+                ReplayStep::Continue
+            })
+        })
+        .unwrap();
+        assert_eq!(report.records_replayed, 2);
+        assert!(!report.tail_truncated);
+        assert_eq!(report.segments_removed, 0);
+        // Nothing was truncated: a full replay still sees all 6.
+        let (got, _) = collect(&dir, 0);
+        assert_eq!(got.len(), 6);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_wal_gap_after_snapshot_is_reported_not_applied() {
+        let dir = temp_dir("gap");
+        // Log starts at sequence 10, but the caller's snapshot only
+        // covers up to 5: the five missing records make the tail
+        // unusable.
+        let mut w = WalWriter::create(&dir, 10, WalOptions::default()).unwrap();
+        w.append(1, 2, 3).unwrap();
+        drop(w);
+        let (got, report) = collect(&dir, 5);
+        assert!(got.is_empty());
+        assert!(report.tail_truncated);
+        assert!(report.bytes_dropped > 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_directory_replays_nothing() {
+        let dir = temp_dir("empty");
+        let (got, report) = collect(&dir, 0);
+        assert!(got.is_empty());
+        assert_eq!(report, ReplayReport::default());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -15,6 +15,7 @@
 
 use std::fs::File;
 use std::io::BufReader;
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
@@ -32,7 +33,10 @@ use ssf_repro::ssf_core::{
 use ssf_repro::ssf_eval::{
     backtest_splits, BacktestConfig, ResultsTable, Split, SplitConfig,
 };
-use ssf_repro::{OnlinePredictorConfig, ShardedPredictor};
+use ssf_repro::{
+    DurabilityPolicy, FsyncPolicy, OnlineLinkPredictor, OnlinePredictorConfig,
+    ShardedPredictor,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -76,6 +80,8 @@ fn dispatch(args: &[String], obs: &ObsHandle) -> Result<(), String> {
         Some("train") => "ssf.cli.train",
         Some("predict") => "ssf.cli.predict",
         Some("serve") => "ssf.cli.serve",
+        Some("save") => "ssf.cli.save",
+        Some("restore") => "ssf.cli.restore",
         _ => "ssf.cli.other",
     });
     let result = match args.first().map(String::as_str) {
@@ -88,6 +94,8 @@ fn dispatch(args: &[String], obs: &ObsHandle) -> Result<(), String> {
         Some("train") => cmd_train(&args[1..], obs),
         Some("predict") => cmd_predict(&args[1..]),
         Some("serve") => cmd_serve(&args[1..], obs),
+        Some("save") => cmd_save(&args[1..], obs),
+        Some("restore") => cmd_restore(&args[1..], obs),
         Some("--help") | Some("-h") | None => {
             print_usage();
             Ok(())
@@ -121,6 +129,16 @@ USAGE:
                                                sharded serving path, publish a
                                                snapshot, score candidates in
                                                parallel, report health
+  ssf save     <edge-list> --dir DIR [--k N] [--epochs N] [--seed N]
+               [--refit-every N] [--fsync always|never|N]
+                                               ingest through a durable
+                                               predictor (WAL per event) and
+                                               checkpoint one SSF1 snapshot
+  ssf restore  --dir DIR [--strict] [--at-revision N] [--score U,V]
+               [--k N] [--epochs N] [--seed N] [--refit-every N]
+                                               recover snapshot + WAL tail;
+                                               --strict fails if anything was
+                                               dropped, --at-revision rewinds
 
 Global flags (any subcommand):
   --metrics-json PATH   write an ssf.metrics.v1 JSON snapshot of pipeline
@@ -513,6 +531,185 @@ fn cmd_serve(args: &[String], obs: &ObsHandle) -> Result<(), String> {
         health.degraded_scores,
         cache.hit_rate(),
     );
+    Ok(())
+}
+
+/// The predictor configuration `save` and `restore` share. Both parse
+/// the same flags with the same defaults: the durable state carries a
+/// fingerprint of the configuration it was written under, and recovery
+/// refuses a mismatch — so the two commands must derive the config
+/// identically.
+fn predictor_config(args: &[String]) -> Result<OnlinePredictorConfig, String> {
+    let seed: u64 = parse_flag(args, "--seed", 7)?;
+    let opts = MethodOptions {
+        k: parse_flag(args, "--k", 10)?,
+        nm_epochs: parse_flag(args, "--epochs", 40)?,
+        seed,
+        ..MethodOptions::default()
+    };
+    OnlinePredictorConfig::builder()
+        .method(opts)
+        .refit_every(parse_flag(args, "--refit-every", 64)?)
+        .build()
+        .map_err(|e| e.to_string())
+}
+
+fn fsync_policy(args: &[String]) -> Result<FsyncPolicy, String> {
+    match flag(args, "--fsync").as_deref() {
+        None | Some("always") => Ok(FsyncPolicy::Always),
+        Some("never") => Ok(FsyncPolicy::Never),
+        Some(v) => match v.parse::<u32>() {
+            Ok(n) if n >= 1 => Ok(FsyncPolicy::EveryN(n)),
+            _ => Err(format!(
+                "invalid value for --fsync: {v:?} \
+                 (always, never, or a record count >= 1)"
+            )),
+        },
+    }
+}
+
+fn report_warnings(report: &ssf_repro::RecoveryReport) {
+    if report.tail_truncated {
+        eprintln!(
+            "warning: WAL tail was torn; dropped {} bytes after the \
+             last valid record",
+            report.bytes_dropped
+        );
+    }
+    for path in &report.corrupt_snapshots {
+        eprintln!("warning: skipped corrupt snapshot {}", path.display());
+    }
+}
+
+/// Replays an edge list through a durable predictor — every event hits
+/// the write-ahead log before memory — then checkpoints the full state
+/// as one atomic snapshot, leaving `--dir` ready for load-and-serve
+/// startup (`ssf restore`, or `ScoringSnapshot::load` in process).
+fn cmd_save(args: &[String], obs: &ObsHandle) -> Result<(), String> {
+    let path = args
+        .first()
+        .ok_or("usage: ssf save <edge-list> --dir DIR")?;
+    let dir = flag(args, "--dir").ok_or("--dir DIR required")?;
+    let g = load(path, args)?;
+    let config = predictor_config(args)?;
+    let policy = DurabilityPolicy {
+        fsync: fsync_policy(args)?,
+        ..DurabilityPolicy::default()
+    };
+    let (mut p, report) = OnlineLinkPredictor::open_with(
+        config,
+        Path::new(&dir),
+        policy,
+        obs.clone(),
+    )
+    .map_err(|e| e.to_string())?;
+    report_warnings(&report);
+    if report.snapshot_revision.is_some() || report.records_replayed > 0 {
+        eprintln!(
+            "warning: {dir} already held durable state at revision {}; \
+             appending this edge list on top",
+            p.network().revision()
+        );
+    }
+    let mut events: Vec<_> = g.links().map(|l| (l.u, l.v, l.t)).collect();
+    events.sort_by_key(|&(_, _, t)| t);
+    let t0 = Instant::now();
+    for &(u, v, t) in &events {
+        p.observe(u, v, t);
+    }
+    if let Some(e) = p.last_wal_error() {
+        return Err(format!("WAL append failed: {e}"));
+    }
+    let ingest_secs = t0.elapsed().as_secs_f64();
+    let snapshot = p.checkpoint().map_err(|e| e.to_string())?;
+    println!(
+        "logged {} events in {ingest_secs:.3}s ({:.0} events/s)",
+        events.len(),
+        events.len() as f64 / ingest_secs.max(1e-9),
+    );
+    println!(
+        "checkpoint {} at revision {} (fitted={})",
+        snapshot.display(),
+        p.network().revision(),
+        p.is_fitted(),
+    );
+    Ok(())
+}
+
+/// Recovers a predictor from a durability directory: newest valid
+/// snapshot, then the WAL tail replayed through the normal ingest
+/// path. Lossy by default (torn tails and corrupt snapshots become
+/// `warning:` lines); `--strict` turns any loss into a fatal error.
+fn cmd_restore(args: &[String], obs: &ObsHandle) -> Result<(), String> {
+    let dir = flag(args, "--dir")
+        .ok_or("usage: ssf restore --dir DIR [--strict] [--score U,V]")?;
+    let config = predictor_config(args)?;
+    let strict = args.iter().any(|a| a == "--strict");
+    let (p, report) = match flag(args, "--at-revision") {
+        Some(rev) => {
+            let rev: u64 = rev.parse().map_err(|_| {
+                format!("invalid value for --at-revision: {rev:?}")
+            })?;
+            OnlineLinkPredictor::open_to_revision(config, Path::new(&dir), rev)
+        }
+        None => OnlineLinkPredictor::open_with(
+            config,
+            Path::new(&dir),
+            DurabilityPolicy::default(),
+            obs.clone(),
+        ),
+    }
+    .map_err(|e| e.to_string())?;
+    report_warnings(&report);
+    if strict && report.is_lossy() {
+        return Err(format!(
+            "recovery dropped data ({} WAL bytes truncated, {} corrupt \
+             snapshot(s) skipped); rerun without --strict to accept the \
+             recovered prefix",
+            report.bytes_dropped,
+            report.corrupt_snapshots.len(),
+        ));
+    }
+    match report.snapshot_revision {
+        Some(rev) => println!(
+            "restored snapshot at revision {rev} + {} WAL records",
+            report.records_replayed
+        ),
+        None => println!(
+            "no snapshot; replayed {} WAL records from genesis",
+            report.records_replayed
+        ),
+    }
+    let h = p.health();
+    println!(
+        "health: revision={} fitted={} model_epoch={:?} accepted={} \
+         quarantined={}",
+        p.network().revision(),
+        h.fitted,
+        h.model_epoch,
+        h.accepted,
+        h.quarantined,
+    );
+    if let Some(pair) = flag(args, "--score") {
+        let (u, v) = pair
+            .split_once(',')
+            .ok_or_else(|| format!("--score expects U,V, got {pair:?}"))?;
+        let u: u32 = u
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid node in --score: {u:?}"))?;
+        let v: u32 = v
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid node in --score: {v:?}"))?;
+        match p.score(u, v) {
+            Some(s) => println!("P(link {u}-{v}) = {s:.4}"),
+            None => println!(
+                "P(link {u}-{v}) unavailable (no fitted model, unknown \
+                 node, or u == v)"
+            ),
+        }
+    }
     Ok(())
 }
 

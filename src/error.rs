@@ -91,6 +91,17 @@ pub enum SsfError {
     Io(std::io::Error),
     /// A predictor/serving configuration was rejected at build time.
     Config(ConfigError),
+    /// Durable state on disk failed validation — a snapshot or WAL
+    /// section with a bad checksum, a malformed record, or decoded
+    /// structure that violates its own invariants. Recovery refuses to
+    /// serve such state rather than guess at it.
+    Corrupt {
+        /// Which piece of durable state failed (`"header"`,
+        /// `"graph.offsets"`, `"wal"`, `"snapshot"`, …).
+        section: String,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SsfError {
@@ -102,6 +113,9 @@ impl fmt::Display for SsfError {
             SsfError::Fit(e) => write!(f, "fit error: {e}"),
             SsfError::Io(e) => write!(f, "i/o error: {e}"),
             SsfError::Config(e) => write!(f, "config error: {e}"),
+            SsfError::Corrupt { section, detail } => {
+                write!(f, "corrupt {section}: {detail}")
+            }
         }
     }
 }
@@ -115,6 +129,7 @@ impl std::error::Error for SsfError {
             SsfError::Fit(e) => Some(e),
             SsfError::Io(e) => Some(e),
             SsfError::Config(e) => Some(e),
+            SsfError::Corrupt { .. } => None,
         }
     }
 }
@@ -155,6 +170,24 @@ impl From<ConfigError> for SsfError {
     }
 }
 
+/// Durability-layer errors fold into the unified taxonomy: I/O failures
+/// join the existing [`SsfError::Io`] arm, corruption keeps its section
+/// attribution in [`SsfError::Corrupt`].
+impl From<ssf_persist::PersistError> for SsfError {
+    fn from(e: ssf_persist::PersistError) -> Self {
+        match e {
+            ssf_persist::PersistError::Io(io) => SsfError::Io(io),
+            ssf_persist::PersistError::Corrupt { section, detail } => {
+                SsfError::Corrupt { section, detail }
+            }
+            other => SsfError::Corrupt {
+                section: "persist".to_string(),
+                detail: other.to_string(),
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +218,26 @@ mod tests {
         let text = e.to_string();
         assert!(text.starts_with("config error:"), "got {text:?}");
         assert!(text.contains("at least 3"));
+
+        let e = SsfError::Corrupt {
+            section: "graph.offsets".to_string(),
+            detail: "checksum mismatch".to_string(),
+        };
+        assert_eq!(e.to_string(), "corrupt graph.offsets: checksum mismatch");
+    }
+
+    #[test]
+    fn persist_errors_fold_into_the_taxonomy() {
+        let e = SsfError::from(ssf_persist::PersistError::Corrupt {
+            section: "wal".to_string(),
+            detail: "torn tail".to_string(),
+        });
+        assert!(matches!(e, SsfError::Corrupt { .. }), "{e}");
+        assert_eq!(e.to_string(), "corrupt wal: torn tail");
+        let e = SsfError::from(ssf_persist::PersistError::Io(
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        ));
+        assert!(matches!(e, SsfError::Io(_)), "{e}");
     }
 
     #[test]

@@ -18,11 +18,13 @@
 //! * [`datasets`] — synthetic dynamic-network generators matched to the
 //!   paper's seven datasets.
 //! * [`ssf_eval`] — train/test splitting, AUC/F1, experiment runner.
+//! * [`ssf_persist`] — durable-state primitives: the checksummed `SSF1`
+//!   snapshot container and the write-ahead log.
 //!
 //! The serving-path API lives in this crate directly: [`stream`] (the
 //! single-writer online predictor), [`serve`] (immutable scoring
-//! snapshots and sharded ingestion), [`methods`], [`model`] and
-//! [`error`]. The everyday names are re-exported at the crate root and
+//! snapshots and sharded ingestion), [`durability`] (checkpoints, WAL
+//! and crash recovery), [`methods`], [`model`] and [`error`]. The everyday names are re-exported at the crate root and
 //! bundled in [`prelude`] — downstream code should not import from the
 //! internal module paths.
 //!
@@ -61,6 +63,7 @@
 //! assert_eq!(scores.len(), 2);
 //! ```
 
+pub mod durability;
 pub mod error;
 pub mod methods;
 pub mod model;
@@ -68,6 +71,7 @@ pub mod prelude;
 pub mod serve;
 pub mod stream;
 
+pub use durability::{DurabilityPolicy, RecoveryReport};
 pub use error::{ConfigError, SsfError};
 pub use methods::{Method, MethodOptions};
 pub use model::SsfnmModel;
@@ -76,6 +80,7 @@ pub use serve::{
     ShardedSnapshot, StreamStats,
 };
 pub use ssf_core::CacheStats;
+pub use ssf_persist::FsyncPolicy;
 pub use stream::{
     OnlineLinkPredictor, OnlinePredictorConfig, OnlinePredictorConfigBuilder,
 };
@@ -88,3 +93,4 @@ pub use obs;
 pub use ssf_core;
 pub use ssf_eval;
 pub use ssf_ml;
+pub use ssf_persist;

@@ -21,6 +21,9 @@ pub use ssf_core::{
     SsfExtractor, SsfFeature,
 };
 
+pub use ssf_persist::FsyncPolicy;
+
+pub use crate::durability::{DurabilityPolicy, RecoveryReport};
 pub use crate::error::{ConfigError, SsfError};
 pub use crate::methods::{Method, MethodOptions};
 pub use crate::model::SsfnmModel;

@@ -28,13 +28,16 @@
 //! for one release. Import from [`crate::prelude`] or the crate root.
 
 use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use dyngraph::{GraphView, NodeId, OverlayView, Timestamp};
+use dyngraph::{DeltaGraph, GraphView, NodeId, OverlayView, Timestamp};
 use obs::{labeled, ObsHandle, Snapshot};
 use ssf_core::{CacheStats, ExtractionCache, FrozenCacheView};
+use ssf_persist::SnapshotReader;
 
+use crate::durability::{self, PersistedState};
 use crate::error::{ConfigError, SsfError};
 use crate::stream::{FittedModel, OnlineLinkPredictor, OnlinePredictorConfig};
 
@@ -268,6 +271,51 @@ impl ScoringSnapshot {
                 obs: p.recorder().clone(),
             }),
         }
+    }
+
+    /// Loads a checkpoint written by
+    /// [`OnlineLinkPredictor::checkpoint`] (or the CLI `save` command)
+    /// directly into a servable snapshot — no predictor, no WAL replay,
+    /// no rebuild. This is the read-only fast path for replicas that
+    /// serve a point-in-time state: the file's graph revision becomes
+    /// the snapshot epoch and its persisted model (if any) serves
+    /// scores exactly as it did on the writer.
+    ///
+    /// The extraction cache starts cold (the on-disk format does not
+    /// carry memoized subgraphs — they are pure functions of the graph)
+    /// and telemetry is detached; both only affect speed, never
+    /// scores.
+    ///
+    /// # Errors
+    ///
+    /// [`SsfError::Io`] when the file cannot be read,
+    /// [`SsfError::Corrupt`] when any section fails its checksum or
+    /// the decoded state violates its invariants.
+    pub fn load(path: &Path) -> Result<Self, SsfError> {
+        let reader = SnapshotReader::open(path)?;
+        let PersistedState {
+            graph, model, meta, ..
+        } = durability::decode_state(&reader)?;
+        let graph = DeltaGraph::new(Arc::new(graph)).publish();
+        let epoch = graph.revision();
+        let present = graph.max_timestamp().map(|t| t + 1);
+        let model = match (model, meta.model_epoch) {
+            (Some(model), Some(epoch)) => {
+                Some(Arc::new(FittedModel { model, epoch }))
+            }
+            _ => None,
+        };
+        Ok(ScoringSnapshot {
+            inner: Arc::new(SnapshotInner {
+                graph,
+                model,
+                frozen: ExtractionCache::new().freeze(),
+                epoch,
+                present,
+                degraded_scores: AtomicU64::new(0),
+                obs: ObsHandle::noop(),
+            }),
+        })
     }
 
     /// The graph revision this snapshot was published at. Equals

@@ -22,7 +22,8 @@
 //! [`OnlineLinkPredictor::snapshot`] and see [`crate::serve`].
 
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::Ordering;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dyngraph::{
@@ -32,7 +33,14 @@ use dyngraph::{
 use obs::{labeled, ObsHandle};
 use ssf_core::{CacheStats, ExtractionCache};
 use ssf_eval::{backtest_splits, BacktestConfig, Split, SplitConfig};
+use ssf_persist::{
+    replay, ReplayStep, SnapshotReader, SnapshotWriter, WalOptions, WalWriter,
+};
 
+use crate::durability::{
+    self, Durability, DurabilityPolicy, PersistedState, PredictorMeta,
+    RecoveryReport,
+};
 use crate::error::{ConfigError, SsfError};
 use crate::methods::MethodOptions;
 use crate::model::SsfnmModel;
@@ -248,7 +256,7 @@ pub(crate) struct FittedModel {
 /// assert!(p.score(0, 2).is_none()); // not enough history to fit yet
 /// assert_eq!(p.health().quarantined, 1);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct OnlineLinkPredictor {
     config: OnlinePredictorConfig,
     network: DynamicNetwork,
@@ -271,6 +279,31 @@ pub struct OnlineLinkPredictor {
     pub(crate) cache: ExtractionCache,
     /// Telemetry sink; the no-op handle by default.
     obs: ObsHandle,
+    /// Durable-state attachment (WAL writer + directory); `None` for
+    /// the default in-memory predictor. See
+    /// [`with_durability`](OnlineLinkPredictor::with_durability).
+    durability: Option<Durability>,
+}
+
+/// Clones share everything except durability: a WAL has exactly one
+/// writer, so the clone detaches from the directory and continues as a
+/// purely in-memory predictor (its scores are unaffected).
+impl Clone for OnlineLinkPredictor {
+    fn clone(&self) -> Self {
+        OnlineLinkPredictor {
+            config: self.config.clone(),
+            network: self.network.clone(),
+            delta: self.delta.clone(),
+            fitted: self.fitted.clone(),
+            last_fit_attempt: self.last_fit_attempt,
+            backoff: self.backoff,
+            last_refit_error: self.last_refit_error.clone(),
+            stats: self.stats.clone(),
+            cache: self.cache.clone(),
+            obs: self.obs.clone(),
+            durability: None,
+        }
+    }
 }
 
 impl OnlineLinkPredictor {
@@ -301,6 +334,7 @@ impl OnlineLinkPredictor {
             stats: serve::StreamStats::default(),
             cache: ExtractionCache::with_recorder(obs.clone()),
             obs,
+            durability: None,
         }
     }
 
@@ -325,6 +359,10 @@ impl OnlineLinkPredictor {
         t: Timestamp,
     ) -> serve::Observed {
         let _span = self.obs.span("ssf.stream.ingest");
+        // Log-before-mutate: the WAL sees every event — including ones
+        // about to be quarantined, whose node registration still bumps
+        // the revision — so replay reproduces the exact state machine.
+        self.log_event(u, v, t);
         if let (Some(max_lag), Some(head)) =
             (self.config.max_lag, self.network.max_timestamp())
         {
@@ -705,6 +743,27 @@ impl OnlineLinkPredictor {
         }
     }
 
+    /// Appends one event to the WAL when durable. An append failure
+    /// must not drop the event or panic the ingest path: the event
+    /// still enters memory, the degradation is recorded in
+    /// [`last_wal_error`](OnlineLinkPredictor::last_wal_error) and the
+    /// `ssf.persist.wal_append_failed` counter.
+    fn log_event(&mut self, u: NodeId, v: NodeId, t: Timestamp) {
+        let Some(d) = self.durability.as_mut() else {
+            return;
+        };
+        match d.wal.append(u, v, t) {
+            Ok(_) => {
+                d.last_wal_error = None;
+                self.obs.counter("ssf.persist.wal_appends", 1);
+            }
+            Err(e) => {
+                d.last_wal_error = Some(e.to_string());
+                self.obs.counter("ssf.persist.wal_append_failed", 1);
+            }
+        }
+    }
+
     /// Whether the exact `(u, v, t)` event is already in the network.
     fn already_recorded(&self, u: NodeId, v: NodeId, t: Timestamp) -> bool {
         (u as usize) < self.network.node_count()
@@ -715,6 +774,380 @@ impl OnlineLinkPredictor {
     /// [`serve::common_neighbor_fallback`]).
     fn common_neighbor_fallback(&self, u: NodeId, v: NodeId) -> f64 {
         serve::common_neighbor_fallback(&self.network, u, v)
+    }
+}
+
+/// Durability: write-ahead logging, checkpoints and crash recovery.
+///
+/// A durable predictor logs every [`observe`] call to a write-ahead
+/// log *before* mutating memory, and [`checkpoint`] persists the full
+/// state (graph CSR, serving model, refit clock, stream statistics) as
+/// one atomic `SSF1` snapshot, after which the covered WAL prefix is
+/// reclaimed. [`open`] restores the newest valid snapshot and replays
+/// the WAL tail through the normal `observe` path — the recovered
+/// predictor's scores are bit-identical to an uninterrupted run over
+/// the same logged events.
+///
+/// [`observe`]: OnlineLinkPredictor::observe
+/// [`checkpoint`]: OnlineLinkPredictor::checkpoint
+/// [`open`]: OnlineLinkPredictor::open
+impl OnlineLinkPredictor {
+    /// Opens (or creates) a durable predictor in `dir` with the default
+    /// [`DurabilityPolicy`] and no telemetry, discarding the recovery
+    /// report. Use [`open`](OnlineLinkPredictor::open) to inspect what
+    /// recovery found.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`open`](OnlineLinkPredictor::open).
+    pub fn with_durability(
+        config: OnlinePredictorConfig,
+        dir: &Path,
+        policy: DurabilityPolicy,
+    ) -> Result<Self, SsfError> {
+        Ok(Self::open_with(config, dir, policy, ObsHandle::noop())?.0)
+    }
+
+    /// Recovers (or cold-starts) a durable predictor from `dir` with
+    /// the default policy and no telemetry.
+    ///
+    /// On an empty directory this is a fresh durable predictor. On a
+    /// directory with prior state it loads the newest valid snapshot,
+    /// replays the WAL tail through the normal ingest path (repairing
+    /// torn tails in place), and resumes logging at the recovered
+    /// sequence. Recovery is lossy-by-default: corruption truncates to
+    /// the last valid prefix and the [`RecoveryReport`] says exactly
+    /// what was dropped — callers needing all-or-nothing semantics
+    /// check [`RecoveryReport::is_lossy`].
+    ///
+    /// # Errors
+    ///
+    /// [`SsfError::Io`] on filesystem failure, [`SsfError::Corrupt`]
+    /// when the newest readable snapshot was written under a different
+    /// configuration (restoring it would silently change refit cadence
+    /// and hyperparameters mid-history).
+    pub fn open(
+        config: OnlinePredictorConfig,
+        dir: &Path,
+    ) -> Result<(Self, RecoveryReport), SsfError> {
+        Self::open_with(config, dir, DurabilityPolicy::default(), {
+            ObsHandle::noop()
+        })
+    }
+
+    /// [`open`](OnlineLinkPredictor::open) with an explicit policy and
+    /// telemetry: recovery runs under an `ssf.persist.open` span and
+    /// reports `ssf.persist.recovered_records`,
+    /// `ssf.persist.dropped_bytes` and
+    /// `ssf.persist.corrupt_snapshots` counters; the recovered
+    /// predictor then logs `ssf.persist.wal_appends` per event.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`open`](OnlineLinkPredictor::open).
+    pub fn open_with(
+        config: OnlinePredictorConfig,
+        dir: &Path,
+        policy: DurabilityPolicy,
+        obs: ObsHandle,
+    ) -> Result<(Self, RecoveryReport), SsfError> {
+        std::fs::create_dir_all(dir)?;
+        let span = obs.span("ssf.persist.open");
+        let fingerprint = durability::config_fingerprint(&config);
+        let mut predictor = Self::with_recorder(config, obs);
+        let mut report = RecoveryReport::default();
+        let mut from_seq = 0u64;
+        if let Some(state) = load_newest_snapshot(
+            dir,
+            fingerprint,
+            None,
+            &mut report,
+            predictor.obs.clone(),
+        )? {
+            report.snapshot_revision = Some(state.graph.revision());
+            from_seq = state.meta.next_seq;
+            predictor.restore_state(state);
+        }
+        let wal_report = {
+            let p = &mut predictor;
+            replay(dir, from_seq, true, |rec| {
+                p.observe(rec.u, rec.v, rec.t);
+                Ok(ReplayStep::Continue)
+            })?
+        };
+        report.records_replayed = wal_report.records_replayed;
+        report.bytes_dropped = wal_report.bytes_dropped;
+        report.tail_truncated = wal_report.tail_truncated;
+        report.segments_removed = wal_report.segments_removed;
+        let next_seq = from_seq + wal_report.records_replayed;
+        let wal = WalWriter::create(dir, next_seq, wal_options(policy))?;
+        predictor.durability = Some(Durability {
+            dir: dir.to_path_buf(),
+            policy,
+            wal,
+            last_wal_error: None,
+        });
+        span.finish();
+        predictor
+            .obs
+            .counter("ssf.persist.recovered_records", report.records_replayed);
+        if report.tail_truncated {
+            predictor
+                .obs
+                .counter("ssf.persist.dropped_bytes", report.bytes_dropped);
+        }
+        Ok((predictor, report))
+    }
+
+    /// Reconstructs the predictor as it first stood at (or immediately
+    /// past) graph revision `revision`: loads the newest snapshot not
+    /// beyond the target and replays WAL records until the revision
+    /// counter reaches it. One `observe` can advance the revision by
+    /// more than one (node growth plus the link), so the recovered
+    /// state is the first logged state with `revision() >= revision`.
+    ///
+    /// The returned predictor is **not durable**: appending new events
+    /// after rewinding history would fork the log, so time-travel
+    /// reads are in-memory only. The on-disk state is not modified
+    /// (no torn-tail repair either).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`open`](OnlineLinkPredictor::open) can return, plus
+    /// [`SsfError::Corrupt`] when `revision` lies beyond the durable
+    /// history (more WAL would be needed than survives on disk).
+    pub fn open_to_revision(
+        config: OnlinePredictorConfig,
+        dir: &Path,
+        revision: u64,
+    ) -> Result<(Self, RecoveryReport), SsfError> {
+        let fingerprint = durability::config_fingerprint(&config);
+        let mut predictor = Self::with_recorder(config, ObsHandle::noop());
+        let mut report = RecoveryReport::default();
+        let mut from_seq = 0u64;
+        if let Some(state) = load_newest_snapshot(
+            dir,
+            fingerprint,
+            Some(revision),
+            &mut report,
+            predictor.obs.clone(),
+        )? {
+            report.snapshot_revision = Some(state.graph.revision());
+            from_seq = state.meta.next_seq;
+            predictor.restore_state(state);
+        }
+        let wal_report = {
+            let p = &mut predictor;
+            replay(dir, from_seq, false, |rec| {
+                if p.network.revision() >= revision {
+                    return Ok(ReplayStep::Stop);
+                }
+                p.observe(rec.u, rec.v, rec.t);
+                Ok(ReplayStep::Continue)
+            })?
+        };
+        report.records_replayed = wal_report.records_replayed;
+        report.bytes_dropped = wal_report.bytes_dropped;
+        report.tail_truncated = wal_report.tail_truncated;
+        if predictor.network.revision() < revision {
+            return Err(SsfError::Corrupt {
+                section: "recovery".to_string(),
+                detail: format!(
+                    "revision {revision} is beyond the durable history \
+                     (replay reached revision {})",
+                    predictor.network.revision()
+                ),
+            });
+        }
+        Ok((predictor, report))
+    }
+
+    /// Persists the complete current state as one atomic snapshot file
+    /// and reclaims the WAL prefix it covers, returning the snapshot
+    /// path. After a checkpoint, recovery is load-and-replay-nothing
+    /// until the next observe. Old checkpoints beyond
+    /// [`DurabilityPolicy::keep_snapshots`] are pruned.
+    ///
+    /// # Errors
+    ///
+    /// [`SsfError::Io`] if the predictor has no durability attachment
+    /// or a filesystem step fails. A failed checkpoint never corrupts
+    /// the previous one — the snapshot lands under a temp name and is
+    /// renamed only once fully synced.
+    pub fn checkpoint(&mut self) -> Result<PathBuf, SsfError> {
+        if self.durability.is_none() {
+            return Err(SsfError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "checkpoint requires a durable predictor (open or \
+                 with_durability)",
+            )));
+        }
+        let span = self.obs.span("ssf.persist.checkpoint");
+        // Fold the copy-on-write delta so the shared frozen base *is*
+        // the full graph (skipped when already pristine).
+        let base = if self.delta.base().revision() == self.network.revision() {
+            Arc::clone(self.delta.base())
+        } else {
+            self.delta.rebase()
+        };
+        let Some(d) = self.durability.as_mut() else {
+            // Checked above; durability is never detached in between.
+            return Err(SsfError::Io(std::io::Error::other(
+                "durability detached mid-checkpoint",
+            )));
+        };
+        let seq = d.wal.next_seq();
+        let revision = base.revision();
+        let meta = PredictorMeta {
+            fingerprint: durability::config_fingerprint(&self.config),
+            next_seq: seq,
+            model_epoch: self.fitted.as_ref().map(|m| m.epoch),
+            last_fit_attempt: self.last_fit_attempt,
+            backoff: self.backoff,
+            accepted: self.stats.accepted,
+            self_loops: self.stats.self_loops,
+            duplicates: self.stats.duplicates,
+            stale: self.stats.stale,
+            successful_refits: self.stats.successful_refits,
+            failed_refits: self.stats.failed_refits,
+            degraded_scores: self.stats.degraded_scores(),
+        };
+        let mut w = SnapshotWriter::new();
+        durability::encode_state(
+            &mut w,
+            &base,
+            self.fitted.as_deref().map(|f| &f.model),
+            &meta,
+            self.last_refit_error.as_deref(),
+        )?;
+        let path = durability::snapshot_path(&d.dir, revision, seq);
+        w.write_atomic(&path)?;
+        d.wal.truncate_below(seq)?;
+        durability::prune_snapshots(&d.dir, d.policy.keep_snapshots)?;
+        span.finish();
+        self.obs.counter("ssf.persist.checkpoints", 1);
+        Ok(path)
+    }
+
+    /// `true` when every observe is written ahead to a WAL.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// The durability directory, when attached.
+    pub fn durability_dir(&self) -> Option<&Path> {
+        self.durability.as_ref().map(|d| d.dir.as_path())
+    }
+
+    /// Rendered error of the most recent failed WAL append, cleared by
+    /// the next successful one. A pending error means recent events
+    /// are in memory but possibly not on disk.
+    pub fn last_wal_error(&self) -> Option<&str> {
+        self.durability
+            .as_ref()
+            .and_then(|d| d.last_wal_error.as_deref())
+    }
+
+    /// Forces all logged events to stable storage regardless of the
+    /// [`FsyncPolicy`](ssf_persist::FsyncPolicy); a no-op when not
+    /// durable.
+    ///
+    /// # Errors
+    ///
+    /// [`SsfError::Io`] if the fsync fails.
+    pub fn sync_wal(&mut self) -> Result<(), SsfError> {
+        if let Some(d) = self.durability.as_mut() {
+            d.wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Installs a decoded snapshot: graph (both the mutable network
+    /// and its frozen copy-on-write mirror, revision-aligned), model
+    /// slot, refit clock and stream statistics.
+    fn restore_state(&mut self, state: PersistedState) {
+        let PersistedState {
+            graph,
+            model,
+            meta,
+            last_refit_error,
+        } = state;
+        let frozen = Arc::new(graph);
+        self.network = DynamicNetwork::from_view(frozen.as_ref());
+        self.delta = DeltaGraph::new(frozen);
+        self.fitted = match (model, meta.model_epoch) {
+            (Some(model), Some(epoch)) => {
+                Some(Arc::new(FittedModel { model, epoch }))
+            }
+            _ => None,
+        };
+        self.last_fit_attempt = meta.last_fit_attempt;
+        self.backoff = meta.backoff;
+        self.last_refit_error = last_refit_error;
+        self.stats = serve::StreamStats {
+            accepted: meta.accepted,
+            self_loops: meta.self_loops,
+            duplicates: meta.duplicates,
+            stale: meta.stale,
+            successful_refits: meta.successful_refits,
+            failed_refits: meta.failed_refits,
+            degraded_scores: AtomicU64::new(meta.degraded_scores),
+        };
+    }
+}
+
+/// Picks the newest usable snapshot in `dir`: readable, internally
+/// consistent, named truthfully, and (when `max_revision` is set) not
+/// past the rewind target. Unusable snapshots are recorded in the
+/// report and skipped — except a configuration-fingerprint mismatch,
+/// which is a hard error rather than something to silently fall
+/// through.
+fn load_newest_snapshot(
+    dir: &Path,
+    fingerprint: u64,
+    max_revision: Option<u64>,
+    report: &mut RecoveryReport,
+    obs: ObsHandle,
+) -> Result<Option<PersistedState>, SsfError> {
+    let mut snapshots = durability::list_snapshots(dir)?;
+    snapshots.reverse(); // newest first
+    for entry in snapshots {
+        if max_revision.is_some_and(|max| entry.revision > max) {
+            continue;
+        }
+        let state = match SnapshotReader::open(&entry.path)
+            .and_then(|r| durability::decode_state(&r))
+        {
+            Ok(state) if state.meta.next_seq == entry.seq => state,
+            Ok(_) | Err(_) => {
+                obs.counter("ssf.persist.corrupt_snapshots", 1);
+                report.corrupt_snapshots.push(entry.path);
+                continue;
+            }
+        };
+        if state.meta.fingerprint != fingerprint {
+            return Err(SsfError::Corrupt {
+                section: "pmeta".to_string(),
+                detail: format!(
+                    "snapshot {} was written under a different \
+                     configuration (fingerprint {:016x}, this \
+                     configuration is {:016x})",
+                    entry.path.display(),
+                    state.meta.fingerprint,
+                    fingerprint
+                ),
+            });
+        }
+        return Ok(Some(state));
+    }
+    Ok(None)
+}
+
+/// The WAL writer options a [`DurabilityPolicy`] translates to.
+fn wal_options(policy: DurabilityPolicy) -> WalOptions {
+    WalOptions {
+        fsync: policy.fsync,
+        segment_bytes: policy.segment_bytes,
     }
 }
 
@@ -1067,5 +1500,195 @@ mod tests {
         assert!((p.common_neighbor_fallback(0, 2) - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(p.common_neighbor_fallback(0, 1), 0.0);
         assert_eq!(p.stats().degraded_scores(), 0);
+    }
+
+    fn durable_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("ssf-stream-durable-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Page-cache-only fsync keeps unit tests fast; the records still
+    /// reach the file, just without waiting on the disk.
+    fn fast_policy() -> DurabilityPolicy {
+        DurabilityPolicy {
+            fsync: ssf_persist::FsyncPolicy::Never,
+            ..DurabilityPolicy::default()
+        }
+    }
+
+    fn clean_events() -> Vec<(NodeId, NodeId, Timestamp)> {
+        let spec = DatasetSpec::coauthor().scaled(0.15);
+        let g = generate(&spec, 9);
+        let mut links: Vec<_> = g.links().collect();
+        links.sort_by_key(|l| l.t);
+        links.iter().map(|l| (l.u, l.v, l.t)).collect()
+    }
+
+    fn assert_scores_match(
+        a: &mut OnlineLinkPredictor,
+        b: &mut OnlineLinkPredictor,
+    ) {
+        let n = (a.network().node_count() as NodeId).min(24);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let (sa, sb) = (a.score(u, v), b.score(u, v));
+                assert_eq!(sa, sb, "scores diverge at pair ({u}, {v})");
+            }
+        }
+    }
+
+    #[test]
+    fn reopen_replays_the_wal_bit_identically() {
+        let dir = durable_dir("reopen");
+        let events = clean_events();
+        let mut p = OnlineLinkPredictor::with_durability(
+            quick_config(),
+            &dir,
+            fast_policy(),
+        )
+        .expect("fresh durable predictor");
+        let mut twin = OnlineLinkPredictor::new(quick_config());
+        for &(u, v, t) in &events {
+            p.observe(u, v, t);
+            twin.observe(u, v, t);
+        }
+        assert!(p.is_durable());
+        assert_eq!(p.durability_dir(), Some(dir.as_path()));
+        assert!(p.last_wal_error().is_none());
+        drop(p);
+
+        let (mut r, report) = OnlineLinkPredictor::open(quick_config(), &dir)
+            .expect("recovery from a clean shutdown");
+        assert_eq!(report.records_replayed, events.len() as u64);
+        assert_eq!(report.snapshot_revision, None, "never checkpointed");
+        assert!(!report.is_lossy());
+        assert_eq!(r.network().revision(), twin.network().revision());
+        assert_eq!(r.is_fitted(), twin.is_fitted());
+        assert_scores_match(&mut r, &mut twin);
+    }
+
+    #[test]
+    fn checkpoint_then_reopen_replays_only_the_tail() {
+        let dir = durable_dir("checkpoint");
+        let events = clean_events();
+        let mid = events.len() / 2;
+        let mut p = OnlineLinkPredictor::with_durability(
+            quick_config(),
+            &dir,
+            fast_policy(),
+        )
+        .expect("fresh durable predictor");
+        let mut twin = OnlineLinkPredictor::new(quick_config());
+        for &(u, v, t) in &events[..mid] {
+            p.observe(u, v, t);
+            twin.observe(u, v, t);
+        }
+        let snapshot = p.checkpoint().expect("checkpoint");
+        assert!(snapshot.exists());
+        for &(u, v, t) in &events[mid..] {
+            p.observe(u, v, t);
+            twin.observe(u, v, t);
+        }
+        drop(p);
+
+        let (mut r, report) = OnlineLinkPredictor::open(quick_config(), &dir)
+            .expect("recovery from snapshot + WAL tail");
+        assert!(report.snapshot_revision.is_some());
+        assert_eq!(report.records_replayed, (events.len() - mid) as u64);
+        assert!(!report.is_lossy());
+        assert_eq!(r.network().revision(), twin.network().revision());
+        assert_eq!(r.is_fitted(), twin.is_fitted());
+        assert_scores_match(&mut r, &mut twin);
+    }
+
+    #[test]
+    fn checkpoint_requires_durability() {
+        let mut p = OnlineLinkPredictor::new(quick_config());
+        let err = p.checkpoint().expect_err("no durability attached");
+        assert!(matches!(err, SsfError::Io(_)), "{err}");
+    }
+
+    #[test]
+    fn clones_detach_the_wal() {
+        let dir = durable_dir("clone");
+        let p = OnlineLinkPredictor::with_durability(
+            quick_config(),
+            &dir,
+            fast_policy(),
+        )
+        .expect("fresh durable predictor");
+        let c = p.clone();
+        assert!(p.is_durable());
+        assert!(!c.is_durable(), "a WAL has exactly one writer");
+        assert_eq!(c.durability_dir(), None);
+    }
+
+    #[test]
+    fn open_rejects_a_snapshot_from_another_configuration() {
+        let dir = durable_dir("fingerprint");
+        let mut p = OnlineLinkPredictor::with_durability(
+            quick_config(),
+            &dir,
+            fast_policy(),
+        )
+        .expect("fresh durable predictor");
+        for &(u, v, t) in &clean_events()[..40] {
+            p.observe(u, v, t);
+        }
+        p.checkpoint().expect("checkpoint");
+        drop(p);
+
+        let other = OnlinePredictorConfig {
+            refit_every: 7,
+            ..quick_config()
+        };
+        let err = OnlineLinkPredictor::open(other, &dir)
+            .expect_err("hyperparameters changed under the state");
+        assert!(matches!(err, SsfError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn open_to_revision_rewinds_to_a_past_state() {
+        let dir = durable_dir("rewind");
+        let events = clean_events();
+        let mid = events.len() / 2;
+        let mut p = OnlineLinkPredictor::with_durability(
+            quick_config(),
+            &dir,
+            fast_policy(),
+        )
+        .expect("fresh durable predictor");
+        let mut twin = OnlineLinkPredictor::new(quick_config());
+        let mut target = 0;
+        for (i, &(u, v, t)) in events.iter().enumerate() {
+            p.observe(u, v, t);
+            if i < mid {
+                twin.observe(u, v, t);
+            }
+            if i + 1 == mid {
+                target = p.network().revision();
+            }
+        }
+        p.sync_wal().expect("sync");
+        drop(p);
+
+        let (mut r, report) =
+            OnlineLinkPredictor::open_to_revision(quick_config(), &dir, target)
+                .expect("rewind within durable history");
+        assert!(!r.is_durable(), "time travel must not fork the log");
+        assert_eq!(report.records_replayed, mid as u64);
+        assert_eq!(r.network().revision(), target);
+        assert_eq!(r.network().revision(), twin.network().revision());
+        assert_scores_match(&mut r, &mut twin);
+
+        let err = OnlineLinkPredictor::open_to_revision(
+            quick_config(),
+            &dir,
+            u64::MAX,
+        )
+        .expect_err("target beyond the durable history");
+        assert!(matches!(err, SsfError::Corrupt { .. }), "{err}");
     }
 }

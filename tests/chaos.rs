@@ -183,6 +183,7 @@ fn cli_survives_fault_injected_reader_mangling() {
                 truncate_rate: 0.05,
                 garbage_rate: 0.1,
                 seed: 42,
+                ..FaultConfig::default()
             },
         )
         .read_to_end(&mut out)
