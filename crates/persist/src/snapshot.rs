@@ -189,16 +189,22 @@ impl SnapshotReader {
         let len = usize::try_from(u64::from_le_bytes(len_bytes))
             .map_err(|_| fail("payload length overflows usize".to_string()))?;
         let rest = &rest[8..];
-        if rest.len() < len + 4 {
-            return Err(fail(format!(
-                "payload of {name:?} truncated: want {len} + 4 bytes, \
-                 have {}",
-                rest.len()
-            )));
-        }
+        // `len` comes straight off the disk: the +4 must not wrap on
+        // lengths near usize::MAX, or the bounds check below would
+        // pass and the slice would panic.
+        let total = match len.checked_add(4) {
+            Some(total) if rest.len() >= total => total,
+            _ => {
+                return Err(fail(format!(
+                    "payload of {name:?} truncated: want {len} + 4 \
+                     bytes, have {}",
+                    rest.len()
+                )));
+            }
+        };
         let payload = rest[..len].to_vec();
         let mut crc_bytes = [0u8; 4];
-        crc_bytes.copy_from_slice(&rest[len..len + 4]);
+        crc_bytes.copy_from_slice(&rest[len..total]);
         let want = u32::from_le_bytes(crc_bytes);
         let got = crc32(&payload);
         if got != want {
@@ -210,7 +216,7 @@ impl SnapshotReader {
                 ),
             ));
         }
-        Ok((name, payload, &rest[len + 4..]))
+        Ok((name, payload, &rest[total..]))
     }
 
     /// The payload of section `name`, if present.
@@ -313,6 +319,25 @@ mod tests {
         assert_eq!(r.section("alpha"), Some(&[1u8, 2, 3][..]));
         assert!(!path.with_extension("tmp").exists());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_section_length_is_corrupt_not_panic() {
+        // A length near u64::MAX must not wrap the `len + 4` bounds
+        // check (it used to, slicing out of range in release builds).
+        for len in [u64::MAX, u64::MAX - 3, u64::MAX - 4, 1 << 40] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&MAGIC);
+            put_u32(&mut bytes, VERSION);
+            put_u32(&mut bytes, 1); // one section
+            bytes.push(1);
+            bytes.push(b'a');
+            put_u64(&mut bytes, len);
+            bytes.extend_from_slice(&[0u8; 16]); // far fewer than `len`
+            let err = SnapshotReader::from_bytes(&bytes)
+                .expect_err("absurd length must not decode");
+            assert!(matches!(err, PersistError::Corrupt { .. }), "{err}");
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! segments — so the writer can always resume appending cleanly.
 
 use std::fs::{self, File, OpenOptions};
-use std::io::Write as _;
+use std::io::{self, Seek as _, SeekFrom, Write as _};
 use std::path::{Path, PathBuf};
 
 use crate::codec::{put_u32, put_u64};
@@ -166,6 +166,11 @@ pub struct WalWriter {
     seg_bytes: u64,
     next_seq: u64,
     unsynced: u32,
+    /// Set when a failed append could not be rolled back: the segment
+    /// may end in a partial record, so anything written after it would
+    /// be unreachable at replay. A poisoned writer refuses all further
+    /// appends instead of silently stranding them.
+    poisoned: bool,
 }
 
 impl WalWriter {
@@ -192,6 +197,7 @@ impl WalWriter {
             seg_bytes,
             next_seq,
             unsynced: 0,
+            poisoned: false,
         })
     }
 
@@ -227,13 +233,23 @@ impl WalWriter {
     ///
     /// Returns [`PersistError::Io`] on filesystem failure. The caller
     /// must treat an error as "not logged" and surface the durability
-    /// degradation; the in-memory state may still advance.
+    /// degradation; the in-memory state may still advance. A failed
+    /// write rolls the segment back to the last whole record so later
+    /// appends stay reachable at replay; if even the rollback fails the
+    /// writer is poisoned and every further append errors immediately
+    /// (reopening the log repairs the torn segment).
     pub fn append(
         &mut self,
         u: u32,
         v: u32,
         t: u32,
     ) -> Result<u64, PersistError> {
+        if self.poisoned {
+            return Err(PersistError::Io(io::Error::other(
+                "WAL writer poisoned: an earlier failed append could \
+                 not be rolled back; reopen the log to repair it",
+            )));
+        }
         if self.seg_bytes >= self.opts.segment_bytes {
             self.rotate()?;
         }
@@ -248,7 +264,18 @@ impl WalWriter {
         put_u32(&mut record, payload.len() as u32);
         put_u32(&mut record, crc32(&payload));
         record.extend_from_slice(&payload);
-        self.file.write_all(&record)?;
+        if let Err(e) = self.file.write_all(&record) {
+            // Part of the record may already be on disk. Left there, it
+            // would become a torn *middle* once the next append lands
+            // after it — replay truncates at the first bad byte, so
+            // every later record would be silently unreachable. Roll
+            // back to the last whole record; if that fails too, refuse
+            // all further appends rather than strand them.
+            if self.restore_tail().is_err() {
+                self.poisoned = true;
+            }
+            return Err(e.into());
+        }
         self.seg_bytes += record.len() as u64;
         self.next_seq += 1;
         match self.opts.fsync {
@@ -262,6 +289,22 @@ impl WalWriter {
             FsyncPolicy::Never => {}
         }
         Ok(seq)
+    }
+
+    /// Drops any partially written bytes past the last whole record,
+    /// restoring the segment length *and* the file cursor to the last
+    /// known-good boundary.
+    fn restore_tail(&mut self) -> io::Result<()> {
+        self.file.set_len(self.seg_bytes)?;
+        self.file.seek(SeekFrom::Start(self.seg_bytes))?;
+        Ok(())
+    }
+
+    /// `true` once a failed append could not be rolled back; the writer
+    /// refuses further appends until the log is reopened (which repairs
+    /// the torn segment during replay).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
     }
 
     /// Forces all appended records to stable storage.
@@ -661,6 +704,58 @@ mod tests {
         assert_eq!(got.len(), 4, "the valid prefix survives");
         assert!(report.tail_truncated);
         assert_eq!(report.bytes_dropped, 29);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_append_rolls_back_the_partial_record() {
+        let dir = temp_dir("rollback");
+        let mut w = WalWriter::create(&dir, 0, WalOptions::default()).unwrap();
+        w.append(1, 2, 3).unwrap();
+        // Simulate the on-disk aftermath of a write that failed midway:
+        // garbage bytes past the last whole record, cursor advanced
+        // with them — exactly the state `append` hands to the rollback.
+        w.file.write_all(&[0xEE; 11]).unwrap();
+        w.restore_tail().unwrap();
+        // The next append lands at the record boundary, not after the
+        // garbage, so replay sees an unbroken log.
+        w.append(4, 5, 6).unwrap();
+        drop(w);
+        let (got, report) = collect(&dir, 0);
+        assert_eq!(got.len(), 2);
+        assert!(!report.tail_truncated);
+        assert_eq!(
+            got[1],
+            WalRecord {
+                seq: 1,
+                u: 4,
+                v: 5,
+                t: 6
+            }
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unrollbackable_append_poisons_the_writer() {
+        let dir = temp_dir("poison");
+        let mut w = WalWriter::create(&dir, 0, WalOptions::default()).unwrap();
+        w.append(1, 2, 3).unwrap();
+        // Swap in a read-only handle: the write fails, and so does the
+        // rollback (`set_len` needs write access).
+        w.file = File::open(segment_path(&dir, 0)).unwrap();
+        assert!(w.append(4, 5, 6).is_err());
+        assert!(w.is_poisoned());
+        // Poisoned writers fail fast instead of stranding records
+        // behind a possibly-torn tail.
+        let err = w.append(7, 8, 9).expect_err("poisoned writer");
+        assert!(err.to_string().contains("poisoned"), "{err}");
+        assert_eq!(w.next_seq(), 1, "failed appends consume no sequence");
+        drop(w);
+        // The durable prefix is intact; reopening repairs and resumes.
+        let (got, report) = collect(&dir, 0);
+        assert_eq!(got.len(), 1);
+        assert!(!report.tail_truncated);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -107,9 +107,12 @@ pub(crate) struct Durability {
     pub(crate) dir: PathBuf,
     pub(crate) policy: DurabilityPolicy,
     pub(crate) wal: WalWriter,
-    /// Rendered error of the most recent failed WAL append, cleared
-    /// by the next success. A failed append degrades durability (the
-    /// event is in memory but not on disk) without dropping the event.
+    /// Rendered error of the most recent failed WAL append. Sticky
+    /// until a successful checkpoint re-establishes full durability —
+    /// a later successful append cannot clear it, because the failed
+    /// event is still absent from the durable history. A failed append
+    /// degrades durability (the event is in memory but not on disk)
+    /// without dropping the event.
     pub(crate) last_wal_error: Option<String>,
 }
 

@@ -259,7 +259,7 @@ impl ScoringSnapshot {
     pub(crate) fn publish(p: &OnlineLinkPredictor) -> Self {
         let graph = p.published_graph();
         let epoch = graph.revision();
-        let present = graph.max_timestamp().map(|t| t + 1);
+        let present = graph.max_timestamp().map(|t| t.saturating_add(1));
         ScoringSnapshot {
             inner: Arc::new(SnapshotInner {
                 model: p.fitted.clone(),
@@ -298,7 +298,9 @@ impl ScoringSnapshot {
         } = durability::decode_state(&reader)?;
         let graph = DeltaGraph::new(Arc::new(graph)).publish();
         let epoch = graph.revision();
-        let present = graph.max_timestamp().map(|t| t + 1);
+        // Saturate: the graph comes off disk, and a max timestamp of
+        // u32::MAX must not wrap the serving horizon back to 0.
+        let present = graph.max_timestamp().map(|t| t.saturating_add(1));
         let model = match (model, meta.model_epoch) {
             (Some(model), Some(epoch)) => {
                 Some(Arc::new(FittedModel { model, epoch }))

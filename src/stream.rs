@@ -747,14 +747,18 @@ impl OnlineLinkPredictor {
     /// must not drop the event or panic the ingest path: the event
     /// still enters memory, the degradation is recorded in
     /// [`last_wal_error`](OnlineLinkPredictor::last_wal_error) and the
-    /// `ssf.persist.wal_append_failed` counter.
+    /// `ssf.persist.wal_append_failed` counter. The error is sticky —
+    /// a later successful append does not clear it, because the failed
+    /// event is still absent from the durable history; only a
+    /// successful [`checkpoint`](OnlineLinkPredictor::checkpoint)
+    /// (which persists the full in-memory state, failed appends
+    /// included) resets it.
     fn log_event(&mut self, u: NodeId, v: NodeId, t: Timestamp) {
         let Some(d) = self.durability.as_mut() else {
             return;
         };
         match d.wal.append(u, v, t) {
             Ok(_) => {
-                d.last_wal_error = None;
                 self.obs.counter("ssf.persist.wal_appends", 1);
             }
             Err(e) => {
@@ -880,7 +884,17 @@ impl OnlineLinkPredictor {
         report.tail_truncated = wal_report.tail_truncated;
         report.segments_removed = wal_report.segments_removed;
         let next_seq = from_seq + wal_report.records_replayed;
-        let wal = WalWriter::create(dir, next_seq, wal_options(policy))?;
+        let mut wal = WalWriter::create(dir, next_seq, wal_options(policy))?;
+        // A lossy recovery can leave the repaired WAL prefix ending
+        // below the snapshot's coverage (`from_seq`) — e.g. a crash
+        // between the checkpoint rename and its WAL truncation under a
+        // lazy fsync policy. The fresh segment at `next_seq` would then
+        // look like a sequence gap to the *next* open, whose repair
+        // would delete it along with every record appended after this
+        // recovery. Those stale segments are fully covered by the
+        // snapshot, so reclaim them now; continuity then starts at the
+        // snapshot's coverage point.
+        report.segments_removed += wal.truncate_below(from_seq)?;
         predictor.durability = Some(Durability {
             dir: dir.to_path_buf(),
             policy,
@@ -1023,6 +1037,10 @@ impl OnlineLinkPredictor {
         let path = durability::snapshot_path(&d.dir, revision, seq);
         w.write_atomic(&path)?;
         d.wal.truncate_below(seq)?;
+        // The snapshot covers the complete in-memory state, including
+        // any events a failed append kept out of the WAL — durability
+        // is whole again, so the sticky degradation marker can reset.
+        d.last_wal_error = None;
         durability::prune_snapshots(&d.dir, d.policy.keep_snapshots)?;
         span.finish();
         self.obs.counter("ssf.persist.checkpoints", 1);
@@ -1039,9 +1057,13 @@ impl OnlineLinkPredictor {
         self.durability.as_ref().map(|d| d.dir.as_path())
     }
 
-    /// Rendered error of the most recent failed WAL append, cleared by
-    /// the next successful one. A pending error means recent events
-    /// are in memory but possibly not on disk.
+    /// Rendered error of the most recent failed WAL append. Sticky: a
+    /// later successful append does *not* clear it — the failed event
+    /// is still missing from the durable history, so replay would not
+    /// reproduce the in-memory state. Only a successful
+    /// [`checkpoint`](OnlineLinkPredictor::checkpoint), which persists
+    /// the full in-memory state, resets it. A pending error means some
+    /// events are in memory but not on disk.
     pub fn last_wal_error(&self) -> Option<&str> {
         self.durability
             .as_ref()
@@ -1601,6 +1623,90 @@ mod tests {
         assert_eq!(r.network().revision(), twin.network().revision());
         assert_eq!(r.is_fitted(), twin.is_fitted());
         assert_scores_match(&mut r, &mut twin);
+    }
+
+    #[test]
+    fn stale_wal_prefix_below_snapshot_survives_reopen() {
+        let dir = durable_dir("stale-prefix");
+        let events = clean_events();
+        let mut p = OnlineLinkPredictor::with_durability(
+            quick_config(),
+            &dir,
+            fast_policy(),
+        )
+        .expect("fresh durable predictor");
+        for &(u, v, t) in &events[..12] {
+            p.observe(u, v, t);
+        }
+        let segments = ssf_persist::list_segments(&dir).expect("list");
+        assert_eq!(segments.len(), 1, "one live segment before checkpoint");
+        let seg_path = segments[0].1.clone();
+        let pre = std::fs::read(&seg_path).expect("pre-checkpoint bytes");
+        p.checkpoint().expect("checkpoint at sequence 12");
+        drop(p);
+
+        // Crash simulation: neither the checkpoint's segment deletion
+        // nor its rotation became durable — the pre-checkpoint segment
+        // reappears with a torn tail (so its repaired prefix ends
+        // *below* the snapshot's coverage) and the rotated segment is
+        // gone.
+        for (_, path) in ssf_persist::list_segments(&dir).expect("list") {
+            std::fs::remove_file(path).expect("drop post-checkpoint wal");
+        }
+        const HEADER: usize = 16;
+        const RECORD: usize = 29;
+        let records = (pre.len() - HEADER) / RECORD;
+        assert!(records >= 2, "need a multi-record segment");
+        std::fs::write(&seg_path, &pre[..HEADER + (records - 1) * RECORD])
+            .expect("write stale prefix");
+
+        // Recovery has nothing to replay — the stale prefix is fully
+        // covered by the snapshot — and must reclaim it so it cannot
+        // masquerade as the head of the log on the *next* open.
+        let (mut p, report) = OnlineLinkPredictor::open(quick_config(), &dir)
+            .expect("recovery over a stale prefix");
+        assert_eq!(report.records_replayed, 0);
+        assert!(report.segments_removed >= 1, "stale prefix reclaimed");
+        for &(u, v, t) in &events[12..18] {
+            p.observe(u, v, t);
+        }
+        let revision = p.network().revision();
+        drop(p);
+
+        // The records appended after that recovery must not be taken
+        // for a sequence gap and repaired away.
+        let (r, report) = OnlineLinkPredictor::open(quick_config(), &dir)
+            .expect("reopen after post-recovery appends");
+        assert!(!report.is_lossy(), "fake gap detected: {report:?}");
+        assert_eq!(report.records_replayed, 6);
+        assert_eq!(r.network().revision(), revision);
+    }
+
+    #[test]
+    fn wal_error_is_sticky_until_checkpoint() {
+        let dir = durable_dir("sticky");
+        let mut p = OnlineLinkPredictor::with_durability(
+            quick_config(),
+            &dir,
+            fast_policy(),
+        )
+        .expect("fresh durable predictor");
+        p.observe(0, 1, 1);
+        // Simulate an earlier append failure: that event is in memory
+        // but missing from the durable history.
+        p.durability.as_mut().unwrap().last_wal_error =
+            Some("disk on fire".to_string());
+        p.observe(1, 2, 2);
+        assert_eq!(
+            p.last_wal_error(),
+            Some("disk on fire"),
+            "a successful append must not hide the degradation"
+        );
+        p.checkpoint().expect("checkpoint");
+        assert!(
+            p.last_wal_error().is_none(),
+            "a checkpoint persists the full state and resets the marker"
+        );
     }
 
     #[test]
