@@ -7,8 +7,10 @@
 //! what the graph-versioned extraction cache amortizes.
 //!
 //! Emits machine-readable `BENCH_batch_scoring.json` (pairs/sec for
-//! each path, cache hit rate, p50/p99 per-pair latency) and asserts
-//! that cached and uncached scores are bit-identical.
+//! each path, cache hit rate, p50/p99 per-pair latency, and the
+//! snapshot-parallel speedup with an honest `"unmeasurable"` verdict
+//! when the host has fewer than 4 cores) and asserts that cached and
+//! uncached scores are bit-identical.
 //!
 //! Run: `cargo run -p ssf-bench --release --bin batch_scoring
 //!       [--smoke] [--seed <n>] [--out <path>]`
@@ -202,10 +204,56 @@ fn main() {
     }
     println!("scoring {} pairs", pairs.len());
 
-    let (base, per_pair) = run_per_pair(&p, &pairs);
-    let (cold_scores, cold) = run_batch(&mut p, &pairs);
-    let (warm_scores, warm) = run_batch(&mut p, &pairs);
+    // One shared vCPU makes single measurements noisy (±2x observed),
+    // so each path is measured three times and the run with the median
+    // `pairs_per_sec` is reported. The cold path clears the extraction
+    // cache before every repetition so each run really starts cold;
+    // every repetition must produce identical scores.
+    const REPS: usize = 3;
+    let median = |mut runs: Vec<(Vec<Option<f64>>, PathTiming)>| {
+        runs.sort_by(|a, b| a.1.pairs_per_sec.total_cmp(&b.1.pairs_per_sec));
+        for w in runs.windows(2) {
+            assert_eq!(w[0].0, w[1].0, "repeated runs changed scores");
+        }
+        runs.swap_remove(REPS / 2)
+    };
+    let (base, per_pair) =
+        median((0..REPS).map(|_| run_per_pair(&p, &pairs)).collect());
+    let (cold_scores, cold) = median(
+        (0..REPS)
+            .map(|_| {
+                p.clear_cache();
+                run_batch(&mut p, &pairs)
+            })
+            .collect(),
+    );
+    let (warm_scores, warm) =
+        median((0..REPS).map(|_| run_batch(&mut p, &pairs)).collect());
     let stats = p.cache_stats();
+
+    // Parallel read path on a published snapshot: serial `score_batch`
+    // baseline vs `score_batch_parallel` at 4 workers.
+    let cores = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get);
+    let snapshot = p.snapshot();
+    let t0 = Instant::now();
+    let snap_serial = snapshot.score_batch(&pairs);
+    let snap_serial_pps =
+        pairs.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    let t0 = Instant::now();
+    let snap_parallel = snapshot.score_batch_parallel(&pairs, 4);
+    let snap_parallel_pps =
+        pairs.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+    assert_eq!(snap_serial, snap_parallel, "parallel read path diverged");
+    let speedup_parallel = snap_parallel_pps / snap_serial_pps;
+    // A 4-thread speedup target is meaningless on a host without 4
+    // cores: report "unmeasurable" instead of a misleading `false` so
+    // dashboards distinguish "too slow" from "could not be measured".
+    let target_speedup_met = if cores < 4 {
+        "\"unmeasurable\"".to_string()
+    } else {
+        (speedup_parallel >= 3.0).to_string()
+    };
 
     // Bit-identity: every batch slot must equal the per-pair path.
     for (i, (b, s)) in cold_scores.iter().zip(&base).enumerate() {
@@ -231,6 +279,11 @@ fn main() {
     println!(
         "batch warm: {:>7.1} pairs/s   ({speedup_warm:.2}x)",
         warm.pairs_per_sec
+    );
+    println!(
+        "snapshot parallel x4: {snap_parallel_pps:>7.1} pairs/s \
+         ({speedup_parallel:.2}x vs serial snapshot, {cores} core(s), \
+         target met: {target_speedup_met})"
     );
     println!(
         "cache: {} ball hits / {} misses, {} pair hits / {} misses \
@@ -259,7 +312,14 @@ fn main() {
          \"seed\": {seed},\n  \"nodes\": {},\n  \"links\": {},\n  \
          \"pairs\": {},\n{},\n{},\n{},\n  \
          \"speedup_batch_cold\": {speedup_cold:.3},\n  \
-         \"speedup_batch_warm\": {speedup_warm:.3},\n  \"cache\": {{\n    \
+         \"speedup_batch_warm\": {speedup_warm:.3},\n  \
+         \"available_parallelism\": {cores},\n  \
+         \"snapshot_parallel\": {{\n    \"threads\": 4,\n    \
+         \"serial_pairs_per_sec\": {snap_serial_pps:.1},\n    \
+         \"parallel_pairs_per_sec\": {snap_parallel_pps:.1},\n    \
+         \"speedup\": {speedup_parallel:.3},\n    \
+         \"target_speedup_met\": {target_speedup_met}\n  }},\n  \
+         \"cache\": {{\n    \
          \"ball_hits\": {},\n    \"ball_misses\": {},\n    \
          \"pair_hits\": {},\n    \"pair_misses\": {},\n    \
          \"invalidations\": {},\n    \"hit_rate\": {:.4}\n  }},\n{},\n  \

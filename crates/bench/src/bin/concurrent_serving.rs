@@ -43,6 +43,13 @@ const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 /// Snapshot publishes measured for the latency histogram.
 const PUBLISHES: usize = 24;
+/// Hard floor on multi-shard ingest throughput relative to one shard.
+/// Sharding may not *help* on a starved host (no spare cores), but it
+/// must never cost real throughput: an earlier revision spawned one
+/// thread per shard unconditionally and dropped 1→4-shard ingest by
+/// ~20% on a single-core host. The floor leaves headroom for timer
+/// noise, not for regressions of that size.
+const INGEST_REGRESSION_FLOOR: f64 = 0.5;
 
 fn config(smoke: bool, seed: u64) -> OnlinePredictorConfig {
     OnlinePredictorConfig::builder()
@@ -254,15 +261,25 @@ fn main() {
     }
 
     // --- Sharded ingest scaling over the same event stream. ---
-    let mut ingest: Vec<(usize, f64)> = Vec::new();
+    let mut ingest: Vec<(usize, f64, f64)> = Vec::new();
     for &shards in &SHARD_COUNTS {
         let mut sharded = ShardedPredictor::new(config(smoke, seed), shards)
             .expect("valid benchmark configuration");
         let t0 = Instant::now();
         let accepted = sharded.observe_batch_parallel(&events);
         let eps = accepted as f64 / t0.elapsed().as_secs_f64().max(1e-9);
-        println!("ingest x{shards}: {eps:>10.0} events/s");
-        ingest.push((shards, eps));
+        let ratio = if ingest.is_empty() {
+            1.0
+        } else {
+            eps / ingest[0].1
+        };
+        println!("ingest x{shards}: {eps:>10.0} events/s ({ratio:.2}x)");
+        assert!(
+            ratio >= INGEST_REGRESSION_FLOOR,
+            "sharded ingest regressed: {shards} shards ran at {ratio:.2}x \
+             the 1-shard baseline (floor {INGEST_REGRESSION_FLOOR})"
+        );
+        ingest.push((shards, eps, ratio));
     }
 
     let parallel_json: Vec<String> = parallel
@@ -285,10 +302,11 @@ fn main() {
         .collect();
     let ingest_json: Vec<String> = ingest
         .iter()
-        .map(|(shards, eps)| {
+        .map(|(shards, eps, ratio)| {
             format!(
                 "    {{ \"shards\": {shards}, \
-                 \"events_per_sec\": {eps:.0} }}"
+                 \"events_per_sec\": {eps:.0}, \
+                 \"vs_one_shard\": {ratio:.3} }}"
             )
         })
         .collect();
@@ -306,6 +324,7 @@ fn main() {
          \"rebase_delta_links\": {rebase_delta_links}\n  }},\n  \
          \"delta_proportionality\": [\n{}\n  ],\n  \
          \"epoch_lag\": {epoch_lag},\n  \
+         \"ingest_regression_floor\": {INGEST_REGRESSION_FLOOR},\n  \
          \"ingest\": [\n{}\n  ],\n  \"bit_identical\": true\n}}\n",
         spec.name,
         g.node_count(),

@@ -33,21 +33,25 @@ use std::sync::Arc;
 use dyngraph::{GraphView, NodeId};
 use obs::ObsHandle;
 
-use crate::hop::{ball, HopScratch};
+use crate::feature::DijkstraScratch;
+use crate::hop::{ball, ball_extend, HopScratch};
 use crate::kstructure::KStructureSubgraph;
 use crate::palette::WlScratch;
 use crate::structure::StructureScratch;
 
 /// Reusable buffers for the whole extraction pipeline, threaded through
-/// hop extraction, structure combination, and Palette-WL refinement.
+/// hop extraction, structure combination, Palette-WL refinement, and the
+/// reciprocal-distance encoding.
 #[derive(Debug, Clone, Default)]
 pub struct ExtractScratch {
     /// BFS + ball-merge buffers.
     pub hop: HopScratch,
     /// Algorithm 1 fixpoint buffers.
     pub structure: StructureScratch,
-    /// Palette-WL buffers (notably the prime table).
+    /// Palette-WL buffers (notably the prime/log tables).
     pub wl: WlScratch,
+    /// Bounded-Dijkstra buffers for the reciprocal-distance encoding.
+    pub dijkstra: DijkstraScratch,
 }
 
 /// A bounded-size memo with LRU-style segmented eviction.
@@ -351,6 +355,17 @@ impl ExtractionCache {
         self.balls.is_empty() && self.pairs.is_empty()
     }
 
+    /// Drops every memoized ball and pair (and any frozen base view),
+    /// keeping the stats counters — they describe the cache's lifetime,
+    /// not its current contents. The next lookup simply runs cold;
+    /// results are unaffected. Used under memory pressure and by
+    /// benchmarks that need repeatable cold-path measurements.
+    pub fn clear(&mut self) {
+        self.balls.clear();
+        self.pairs.clear();
+        self.frozen = None;
+    }
+
     /// Re-keys the cache to `g`'s current revision, dropping every memo
     /// entry if the graph changed since the last sync.
     pub fn sync<G: GraphView + ?Sized>(&mut self, g: &G) {
@@ -404,8 +419,31 @@ impl ExtractionCache {
             return b;
         }
         self.stats.ball_misses += 1;
+        // K-growth requests radii incrementally; when the radius-(h−1) ball
+        // is already memoized, extend it instead of rediscovering the inner
+        // layers — bit-identical because BFS layers are strict prefixes.
+        let prev: Option<CachedBall> = if h > 1 {
+            self.balls.get(&(src, h - 1)).map(Arc::clone).or_else(|| {
+                self.frozen
+                    .as_ref()
+                    .filter(|f| f.revision == self.revision)
+                    .and_then(|f| f.balls.get(&(src, h - 1)))
+                    .map(Arc::clone)
+            })
+        } else {
+            None
+        };
         let span = self.obs.span("ssf.core.ball");
-        let b = Arc::new(ball(g, src, h, &mut self.scratch.hop));
+        let b = match prev {
+            Some(p) => Arc::new(ball_extend(
+                g,
+                p.as_slice(),
+                h - 1,
+                h,
+                &mut self.scratch.hop,
+            )),
+            None => Arc::new(ball(g, src, h, &mut self.scratch.hop)),
+        };
         span.finish();
         self.balls.insert((src, h), Arc::clone(&b));
         b

@@ -1,8 +1,10 @@
 //! SSF extraction (Algorithm 3, Definitions 9–10, Eq. 4–5 of the paper).
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use dyngraph::{traversal, GraphView, NodeId, Timestamp};
+use dyngraph::{GraphView, NodeId, Timestamp};
 use obs::ObsHandle;
 
 use crate::cache::{CachedPair, ExtractionCache};
@@ -10,7 +12,7 @@ use crate::error::ExtractError;
 use crate::hop::HopSubgraph;
 use crate::influence::{normalized_influence, ExponentialDecay};
 use crate::kstructure::KStructureSubgraph;
-use crate::palette::palette_wl_with_scratch;
+use crate::palette::palette_wl_csr;
 use crate::structure::StructureSubgraph;
 
 /// How an entry `A(m, n)` of the normalized K-structure-subgraph adjacency
@@ -258,6 +260,7 @@ impl SsfExtractor {
             structure_nodes,
             l_t,
             &ObsHandle::noop(),
+            &mut DijkstraScratch::default(),
         ))
     }
 
@@ -282,7 +285,14 @@ impl SsfExtractor {
     ) -> Result<SsfFeature, ExtractError> {
         let p = self.try_k_structure_cached(g, a, b, cache)?;
         let obs = cache.recorder().clone();
-        Ok(self.feature_from_ks(&p.ks, p.h_used, p.structure_nodes, l_t, &obs))
+        Ok(self.feature_from_ks(
+            &p.ks,
+            p.h_used,
+            p.structure_nodes,
+            l_t,
+            &obs,
+            &mut cache.scratch.dijkstra,
+        ))
     }
 
     /// Definitions 9–10 from an already-selected K-structure subgraph: the
@@ -294,20 +304,26 @@ impl SsfExtractor {
         structure_nodes: usize,
         l_t: Timestamp,
         obs: &ObsHandle,
+        dij: &mut DijkstraScratch,
     ) -> SsfFeature {
         let _span = obs.span("ssf.core.encode");
         let k = self.config.k;
         let mut values = Vec::with_capacity(self.config.feature_dim());
         match self.config.encoding {
             EntryEncoding::InfluenceAndStructure => {
-                let infl =
-                    self.adjacency_matrix(ks, l_t, EntryEncoding::LogInfluence);
+                let infl = self.adjacency_matrix(
+                    ks,
+                    l_t,
+                    EntryEncoding::LogInfluence,
+                    dij,
+                );
                 unfold_upper_triangle(&infl, k, &mut values);
-                let bin = self.adjacency_matrix(ks, l_t, EntryEncoding::Binary);
+                let bin =
+                    self.adjacency_matrix(ks, l_t, EntryEncoding::Binary, dij);
                 unfold_upper_triangle(&bin, k, &mut values);
             }
             enc => {
-                let matrix = self.adjacency_matrix(ks, l_t, enc);
+                let matrix = self.adjacency_matrix(ks, l_t, enc, dij);
                 unfold_upper_triangle(&matrix, k, &mut values);
             }
         }
@@ -443,9 +459,6 @@ impl SsfExtractor {
             );
             structure_span.finish();
         }
-        let adj: Vec<Vec<usize>> = (0..s.node_count())
-            .map(|x| s.neighbors(x).to_vec())
-            .collect();
         // Initial colors: distance to the target link, with structure nodes
         // adjacent to BOTH endpoints preceding the rest of their distance
         // class. The prime-log hash ranks well-connected nodes late within
@@ -456,7 +469,8 @@ impl SsfExtractor {
         let dist: Vec<u32> = (0..s.node_count())
             .map(|x| {
                 let d = s.distance(x);
-                let both = adj[x].contains(&0) && adj[x].contains(&1);
+                let nb = s.neighbors(x);
+                let both = nb.contains(&0) && nb.contains(&1);
                 2 * d + u32::from(d >= 1 && !both)
             })
             .collect();
@@ -467,8 +481,11 @@ impl SsfExtractor {
             .map(|x| s.members(x)[0] as u64)
             .collect();
         let wl_span = cache.recorder().span("ssf.core.wl");
-        let order = palette_wl_with_scratch(
-            &adj,
+        // Refinement reads the structure subgraph's adjacency CSR directly —
+        // no per-pair `Vec<Vec<usize>>` materialization.
+        let order = palette_wl_csr(
+            s.node_count(),
+            |x| s.neighbors(x),
             &dist,
             (0, 1),
             &tiebreak,
@@ -490,6 +507,7 @@ impl SsfExtractor {
         ks: &KStructureSubgraph,
         l_t: Timestamp,
         encoding: EntryEncoding,
+        dij: &mut DijkstraScratch,
     ) -> Vec<f64> {
         let k = self.config.k;
         let mut a = vec![0.0; k * k];
@@ -525,7 +543,7 @@ impl SsfExtractor {
             a[n * k + m] = v;
         }
         if encoding == EntryEncoding::ReciprocalDistance {
-            self.fill_reciprocal_distance(ks, l_t, &mut a);
+            self.fill_reciprocal_distance(ks, l_t, &mut a, dij);
         }
         // The target entry is always unknown (Eq. 4 note).
         a[1] = 0.0;
@@ -535,14 +553,32 @@ impl SsfExtractor {
 
     /// §V-B variant: entries are `1/(1 + min(d(N_x), d(N_y)))` with `d` the
     /// Dijkstra distance to either endpoint over edge lengths `1/l̃`.
+    ///
+    /// Both runs are *bounded*: relaxation stops as soon as every slot
+    /// incident to a structure link has settled (only those distances are
+    /// read below), and a link-free subgraph skips the traversal entirely.
+    /// With non-negative weights and strict `<` relaxation the settled
+    /// distances are the minimum over paths of the float path sum — a value
+    /// independent of relaxation order — so early exit is bit-identical to
+    /// the exhaustive reference run; unreachable slots keep `+∞`, and
+    /// `1/(1+∞)` is the same `+0.0` the matrix was initialized with.
     fn fill_reciprocal_distance(
         &self,
         ks: &KStructureSubgraph,
         l_t: Timestamp,
         a: &mut [f64],
+        dij: &mut DijkstraScratch,
     ) {
         let k = self.config.k;
-        let mut wadj: Vec<Vec<(usize, f64)>> = vec![Vec::new(); k];
+        if dij.wadj.len() < k {
+            dij.wadj.resize_with(k, Vec::new);
+        }
+        for row in dij.wadj[..k].iter_mut() {
+            row.clear();
+        }
+        dij.needed.clear();
+        dij.needed.resize(k, false);
+        let mut needed_count = 0;
         for (m, n) in ks.links() {
             let lt = normalized_influence(
                 ks.timestamps_between(m, n),
@@ -551,17 +587,94 @@ impl SsfExtractor {
             );
             if lt > 0.0 {
                 let len = 1.0 / lt;
-                wadj[m].push((n, len));
-                wadj[n].push((m, len));
+                dij.wadj[m].push((n, len));
+                dij.wadj[n].push((m, len));
+            }
+            for s in [m, n] {
+                if !dij.needed[s] {
+                    dij.needed[s] = true;
+                    needed_count += 1;
+                }
             }
         }
-        let da = traversal::dijkstra(&wadj, 0);
-        let db = traversal::dijkstra(&wadj, 1);
-        let d = |m: usize| da[m].min(db[m]);
+        if needed_count == 0 {
+            return; // no links: every entry stays 0
+        }
+        bounded_dijkstra(dij, k, 0, needed_count, DistSlot::A);
+        bounded_dijkstra(dij, k, 1, needed_count, DistSlot::B);
+        let d = |m: usize| dij.dist_a[m].min(dij.dist_b[m]);
         for (m, n) in ks.links() {
             let v = 1.0 / (1.0 + d(m).min(d(n)));
             a[m * k + n] = v;
             a[n * k + m] = v;
+        }
+    }
+}
+
+/// Which distance array of [`DijkstraScratch`] a run fills.
+#[derive(Clone, Copy)]
+enum DistSlot {
+    A,
+    B,
+}
+
+/// Reusable buffers for the bounded Dijkstra runs of the
+/// [`EntryEncoding::ReciprocalDistance`] encoding: the weighted slot
+/// adjacency, both distance arrays and the relaxation heap.
+///
+/// Like [`crate::HopScratch`], reuse never changes output.
+#[derive(Debug, Clone, Default)]
+pub struct DijkstraScratch {
+    wadj: Vec<Vec<(usize, f64)>>,
+    dist_a: Vec<f64>,
+    dist_b: Vec<f64>,
+    /// Slots whose distance the encoding actually reads (incident to links).
+    needed: Vec<bool>,
+    settled: Vec<bool>,
+    /// Min-heap of `(distance bits, slot)`; for non-negative finite `f64`
+    /// the bit order equals the numeric order.
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+}
+
+/// Single-source Dijkstra over `dij.wadj[..k]` from `src`, exiting early
+/// once all `needed_count` link-incident slots have settled.
+fn bounded_dijkstra(
+    dij: &mut DijkstraScratch,
+    k: usize,
+    src: usize,
+    needed_count: usize,
+    slot: DistSlot,
+) {
+    let dist = match slot {
+        DistSlot::A => &mut dij.dist_a,
+        DistSlot::B => &mut dij.dist_b,
+    };
+    dist.clear();
+    dist.resize(k, f64::INFINITY);
+    dij.settled.clear();
+    dij.settled.resize(k, false);
+    dij.heap.clear();
+    dist[src] = 0.0;
+    dij.heap.push(Reverse((0.0f64.to_bits(), src)));
+    let mut remaining = needed_count;
+    while let Some(Reverse((bits, u))) = dij.heap.pop() {
+        let du = f64::from_bits(bits);
+        if dij.settled[u] || du > dist[u] {
+            continue; // stale heap entry
+        }
+        dij.settled[u] = true;
+        if dij.needed[u] {
+            remaining -= 1;
+            if remaining == 0 {
+                break; // every read distance is final
+            }
+        }
+        for &(v, w) in &dij.wadj[u] {
+            let nd = du + w;
+            if nd < dist[v] {
+                dist[v] = nd;
+                dij.heap.push(Reverse((nd.to_bits(), v)));
+            }
         }
     }
 }

@@ -4,8 +4,12 @@
 //! every node within hop distance `h` of either endpoint (Eq. 1:
 //! `d(n_i, e_t) = min(|P(n_i, n_a)|, |P(n_i, n_b)|)`) together with all
 //! timestamped links induced among those nodes.
-
-use std::collections::HashMap;
+//!
+//! The assembly path is branch-light by design: ball merging, local-id
+//! lookup and membership tests all run over stamped arrays indexed by
+//! global node id (no hashing), and the induced links live in one flat
+//! CSR — `crate::reference` keeps the naive `HashMap` formulation this
+//! module is differentially tested against (`tests/kernels.rs`).
 
 use dyngraph::{GraphView, NodeId, Timestamp};
 
@@ -13,7 +17,7 @@ use crate::error::ExtractError;
 
 /// Reusable buffers for h-hop extraction: a stamped distance map (so the
 /// per-node state never needs clearing between runs), BFS frontiers, and
-/// the hash maps used to merge endpoint balls and re-index node ids.
+/// the stamped merge/local-index arrays that replace per-call hash maps.
 ///
 /// One scratch serves any number of sequential extractions; a fresh
 /// default-constructed scratch produces bit-identical results to a reused
@@ -27,8 +31,16 @@ pub struct HopScratch {
     epoch: u64,
     frontier: Vec<NodeId>,
     next: Vec<NodeId>,
-    merged: HashMap<NodeId, u32>,
-    local_of: HashMap<NodeId, usize>,
+    /// `mstamp[n] == mepoch` marks `n` as a member of the current merge;
+    /// `mdist[n]` is its joint distance and `mlocal[n]` its local id.
+    mstamp: Vec<u64>,
+    mdist: Vec<u32>,
+    mlocal: Vec<u32>,
+    mepoch: u64,
+    rest: Vec<(u32, NodeId)>,
+    edges: Vec<(u32, u32, Timestamp)>,
+    cursor: Vec<usize>,
+    row: Vec<usize>,
 }
 
 impl HopScratch {
@@ -38,6 +50,15 @@ impl HopScratch {
             self.dist.resize(nodes, 0);
         }
         self.epoch += 1;
+    }
+
+    fn begin_merge(&mut self, nodes: usize) {
+        if self.mstamp.len() < nodes {
+            self.mstamp.resize(nodes, 0);
+            self.mdist.resize(nodes, 0);
+            self.mlocal.resize(nodes, 0);
+        }
+        self.mepoch += 1;
     }
 }
 
@@ -71,7 +92,60 @@ pub fn ball<G: GraphView + ?Sized>(
     out.push((src, 0));
     scratch.frontier.clear();
     scratch.frontier.push(src);
-    let mut depth = 0;
+    grow_layers(g, h, 0, &mut out, scratch);
+    out
+}
+
+/// Extends a radius-`h_prev` [`ball`] of `src` to radius `h` without
+/// re-discovering the inner layers.
+///
+/// A bounded BFS discovers layers in order, so `ball(src, h_prev)` is a
+/// strict prefix of `ball(src, h)`; re-stamping the known layers and
+/// resuming from the depth-`h_prev` frontier reproduces the full ball
+/// bit for bit (same nodes, same discovery order). `prev` must be the
+/// exact output of `ball(g, src, h_prev, …)` at the current graph state.
+///
+/// # Panics
+///
+/// Panics if `prev` is empty or not rooted at distance 0.
+pub fn ball_extend<G: GraphView + ?Sized>(
+    g: &G,
+    prev: &[(NodeId, u32)],
+    h_prev: u32,
+    h: u32,
+    scratch: &mut HopScratch,
+) -> Vec<(NodeId, u32)> {
+    assert!(
+        !prev.is_empty() && prev[0].1 == 0,
+        "malformed previous ball"
+    );
+    scratch.begin(g.node_count());
+    let epoch = scratch.epoch;
+    let mut out = Vec::with_capacity(prev.len());
+    scratch.frontier.clear();
+    for &(n, d) in prev {
+        scratch.stamp[n as usize] = epoch;
+        scratch.dist[n as usize] = d;
+        out.push((n, d));
+        if d == h_prev {
+            scratch.frontier.push(n);
+        }
+    }
+    grow_layers(g, h, h_prev, &mut out, scratch);
+    out
+}
+
+/// BFS layer expansion shared by [`ball`] and [`ball_extend`]: grows
+/// `scratch.frontier` (depth `depth`) out to radius `h`, appending
+/// discoveries to `out`.
+fn grow_layers<G: GraphView + ?Sized>(
+    g: &G,
+    h: u32,
+    mut depth: u32,
+    out: &mut Vec<(NodeId, u32)>,
+    scratch: &mut HopScratch,
+) {
+    let epoch = scratch.epoch;
     while !scratch.frontier.is_empty() && depth < h {
         depth += 1;
         scratch.next.clear();
@@ -88,7 +162,6 @@ pub fn ball<G: GraphView + ?Sized>(
         }
         std::mem::swap(&mut scratch.frontier, &mut scratch.next);
     }
-    out
 }
 
 /// The h-hop subgraph of a target link, re-indexed to dense local ids.
@@ -100,9 +173,12 @@ pub struct HopSubgraph {
     global: Vec<NodeId>,
     /// `dist[i]` = hop distance of local node `i` to the target link (Eq. 1).
     dist: Vec<u32>,
-    /// Local adjacency: one `(neighbor, timestamp)` entry per induced link,
-    /// mirrored in both endpoint lists.
-    adj: Vec<Vec<(usize, Timestamp)>>,
+    /// Incidence CSR row bounds: row `i` is
+    /// `inc_offsets[i]..inc_offsets[i + 1]` of `inc`.
+    inc_offsets: Vec<usize>,
+    /// Flat `(neighbor, timestamp)` incidences, one entry per induced link
+    /// per endpoint (mirrored).
+    inc: Vec<(usize, Timestamp)>,
     /// Distinct-neighbor CSR row bounds: row `i` is
     /// `nbr_offsets[i]..nbr_offsets[i + 1]` of `nbr_ids`.
     nbr_offsets: Vec<usize>,
@@ -204,73 +280,104 @@ impl HopSubgraph {
         ball_b: &[(NodeId, u32)],
         scratch: &mut HopScratch,
     ) -> Self {
-        let merged = &mut scratch.merged;
-        merged.clear();
-        merged.reserve(ball_a.len() + ball_b.len());
+        scratch.begin_merge(g.node_count());
+        let epoch = scratch.mepoch;
+        // Union of the balls with per-node minimum distance, over stamped
+        // arrays: first sight records, later sights only lower the
+        // distance. The endpoints are members by construction.
+        scratch.rest.clear();
         for &(n, d) in ball_a.iter().chain(ball_b) {
-            merged
-                .entry(n)
-                .and_modify(|cur| *cur = (*cur).min(d))
-                .or_insert(d);
+            let i = n as usize;
+            if scratch.mstamp[i] != epoch {
+                scratch.mstamp[i] = epoch;
+                scratch.mdist[i] = d;
+                if n != a && n != b {
+                    scratch.rest.push((0, n));
+                }
+            } else if d < scratch.mdist[i] {
+                scratch.mdist[i] = d;
+            }
         }
         // Canonical local order: endpoints first, rest by (distance, id).
-        let mut rest: Vec<(u32, NodeId)> = merged
-            .iter()
-            .filter(|&(&n, _)| n != a && n != b)
-            .map(|(&n, &d)| (d, n))
-            .collect();
-        rest.sort_unstable();
-        let mut global = Vec::with_capacity(rest.len() + 2);
-        let mut dist = Vec::with_capacity(rest.len() + 2);
+        for entry in scratch.rest.iter_mut() {
+            entry.0 = scratch.mdist[entry.1 as usize];
+        }
+        scratch.rest.sort_unstable();
+        let mut global = Vec::with_capacity(scratch.rest.len() + 2);
+        let mut dist = Vec::with_capacity(scratch.rest.len() + 2);
         global.push(a);
         dist.push(0);
         global.push(b);
         dist.push(0);
-        for &(d, n) in &rest {
+        for &(d, n) in &scratch.rest {
             global.push(n);
             dist.push(d);
         }
-        let local_of = &mut scratch.local_of;
-        local_of.clear();
-        local_of.reserve(global.len());
         for (i, &n) in global.iter().enumerate() {
-            local_of.insert(n, i);
+            scratch.mlocal[n as usize] = i as u32;
         }
-        let mut adj = vec![Vec::new(); global.len()];
-        let mut links = 0;
+        // Induced links, each discovered once via `u < v`; the stamped
+        // membership test replaces the per-link hash lookup.
+        scratch.edges.clear();
         for (i, &u) in global.iter().enumerate() {
             for (v, t) in g.incident_links(u) {
-                // Count each induced link once by requiring u < v globally.
-                if u < v {
-                    if let Some(&j) = local_of.get(&v) {
-                        if (u == a && v == b) || (u == b && v == a) {
-                            continue; // target pair history excluded
-                        }
-                        adj[i].push((j, t));
-                        adj[j].push((i, t));
-                        links += 1;
+                if u < v && scratch.mstamp[v as usize] == epoch {
+                    if (u == a && v == b) || (u == b && v == a) {
+                        continue; // target pair history excluded
                     }
+                    scratch.edges.push((
+                        i as u32,
+                        scratch.mlocal[v as usize],
+                        t,
+                    ));
                 }
             }
         }
+        let links = scratch.edges.len();
+        // Mirrored incidence CSR, rows filled in edge-discovery order —
+        // the same per-row sequence the per-node push formulation yields.
+        let n = global.len();
+        let mut inc_offsets = vec![0usize; n + 1];
+        for &(i, j, _) in &scratch.edges {
+            inc_offsets[i as usize + 1] += 1;
+            inc_offsets[j as usize + 1] += 1;
+        }
+        for i in 0..n {
+            inc_offsets[i + 1] += inc_offsets[i];
+        }
+        scratch.cursor.clear();
+        scratch.cursor.extend_from_slice(&inc_offsets[..n]);
+        let mut inc = vec![(0usize, 0 as Timestamp); 2 * links];
+        for &(i, j, t) in &scratch.edges {
+            let (i, j) = (i as usize, j as usize);
+            inc[scratch.cursor[i]] = (j, t);
+            scratch.cursor[i] += 1;
+            inc[scratch.cursor[j]] = (i, t);
+            scratch.cursor[j] += 1;
+        }
         // Precompute the distinct-neighbor CSR so `neighbors` serves a
         // slice on the hot extraction path instead of allocating.
-        let mut nbr_offsets = Vec::with_capacity(adj.len() + 1);
+        let mut nbr_offsets = Vec::with_capacity(n + 1);
         let mut nbr_ids = Vec::with_capacity(2 * links);
         nbr_offsets.push(0);
-        let mut row: Vec<usize> = Vec::new();
-        for incidences in &adj {
+        for i in 0..n {
+            let row = &mut scratch.row;
             row.clear();
-            row.extend(incidences.iter().map(|&(j, _)| j));
+            row.extend(
+                inc[inc_offsets[i]..inc_offsets[i + 1]]
+                    .iter()
+                    .map(|&(j, _)| j),
+            );
             row.sort_unstable();
             row.dedup();
-            nbr_ids.extend_from_slice(&row);
+            nbr_ids.extend_from_slice(row);
             nbr_offsets.push(nbr_ids.len());
         }
         HopSubgraph {
             global,
             dist,
-            adj,
+            inc_offsets,
+            inc,
             nbr_offsets,
             nbr_ids,
             h,
@@ -312,13 +419,14 @@ impl HopSubgraph {
         self.dist[i]
     }
 
-    /// All `(local neighbor, timestamp)` incidences of local node `i`.
+    /// All `(local neighbor, timestamp)` incidences of local node `i`,
+    /// served from the flat incidence CSR.
     ///
     /// # Panics
     ///
     /// Panics if `i` is out of range.
     pub fn incident_links(&self, i: usize) -> &[(usize, Timestamp)] {
-        &self.adj[i]
+        &self.inc[self.inc_offsets[i]..self.inc_offsets[i + 1]]
     }
 
     /// Sorted distinct local neighbors of local node `i`, served from the
@@ -453,5 +561,33 @@ mod tests {
         assert_eq!(s.global_id(1), 8);
         // Components of both endpoints explored.
         assert!(s.node_count() >= 4);
+    }
+
+    #[test]
+    fn ball_extend_matches_full_ball() {
+        let mut g = sample();
+        g.extend([(4, 5, 7), (5, 6, 8)]);
+        let mut scratch = HopScratch::default();
+        for src in [0u32, 2, 4, 6] {
+            let mut prev = ball(&g, src, 1, &mut scratch);
+            for h in 2..=4u32 {
+                let full = ball(&g, src, h, &mut scratch);
+                let ext = ball_extend(&g, &prev, h - 1, h, &mut scratch);
+                assert_eq!(full, ext, "src {src} radius {h}");
+                prev = ext;
+            }
+        }
+    }
+
+    #[test]
+    fn ball_extend_handles_exhausted_component() {
+        let g = sample();
+        let mut scratch = HopScratch::default();
+        let full = ball(&g, 0, 10, &mut scratch);
+        let prev = ball(&g, 0, 9, &mut scratch);
+        // Radius 9 already exhausts the component: the frontier is empty
+        // and extension is a no-op copy.
+        let ext = ball_extend(&g, &prev, 9, 10, &mut scratch);
+        assert_eq!(full, ext);
     }
 }

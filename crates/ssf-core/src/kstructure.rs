@@ -8,21 +8,28 @@
 //! nodes, the remaining slots stay unoccupied and the matrix is zero-padded
 //! (the paper leaves this case unspecified; zero-padding matches WLNM).
 
-use std::collections::HashMap;
-
 use dyngraph::Timestamp;
 
 use crate::structure::StructureSubgraph;
 
 /// The selected top-`K` structure nodes of a target link, indexed by
 /// *slot* = Palette-WL order − 1 (slot 0 = endpoint `a`, slot 1 = `b`).
+///
+/// Links and their timestamp multisets are stored flat — a sorted slot-pair
+/// key list with a timestamp CSR — so the encoding stage probes links with
+/// a binary search over contiguous memory instead of hashing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct KStructureSubgraph {
     k: usize,
     /// `selected[slot]` = structure-subgraph node id, `None` when padded.
     selected: Vec<Option<usize>>,
-    /// Timestamps per slot pair `(m, n)`, `m < n`.
-    timestamps: HashMap<(usize, usize), Vec<Timestamp>>,
+    /// Slot-pair link keys `(m, n)` with `m < n`, sorted ascending.
+    link_keys: Vec<(usize, usize)>,
+    /// Timestamp CSR row bounds: link `link_keys[e]` owns
+    /// `ts[ts_offsets[e]..ts_offsets[e + 1]]`.
+    ts_offsets: Vec<usize>,
+    /// Flat timestamps of all underlying links, sorted per link.
+    ts: Vec<Timestamp>,
     /// Hop distance to the target link per slot (`u32::MAX` when padded).
     dist: Vec<u32>,
 }
@@ -45,30 +52,40 @@ impl KStructureSubgraph {
 
         let mut selected = vec![None; k];
         let mut dist = vec![u32::MAX; k];
+        // slot_of[x] for selected structure nodes, sentinel otherwise.
+        let mut slot_of = vec![usize::MAX; s.node_count()];
         for (x, &ord) in order.iter().enumerate() {
             if ord <= k {
                 selected[ord - 1] = Some(x);
                 dist[ord - 1] = s.distance(x);
+                slot_of[x] = ord - 1;
             }
         }
-        let mut timestamps = HashMap::new();
-        // slot_of[x] for selected nodes only.
-        let mut slot_of: HashMap<usize, usize> = HashMap::new();
-        for (slot, sel) in selected.iter().enumerate() {
-            if let Some(x) = sel {
-                slot_of.insert(*x, slot);
-            }
-        }
+        // Structure links between selected nodes, re-keyed to slot pairs.
+        // Palette order permutes the node order, so re-sort by slot key.
+        let mut kept: Vec<(usize, usize, usize, usize)> = Vec::new();
         for (x, y) in s.links() {
-            if let (Some(&m), Some(&n)) = (slot_of.get(&x), slot_of.get(&y)) {
-                let key = (m.min(n), m.max(n));
-                timestamps.insert(key, s.timestamps_between(x, y).to_vec());
+            let (m, n) = (slot_of[x], slot_of[y]);
+            if m != usize::MAX && n != usize::MAX {
+                kept.push((m.min(n), m.max(n), x, y));
             }
+        }
+        kept.sort_unstable();
+        let mut link_keys = Vec::with_capacity(kept.len());
+        let mut ts_offsets = Vec::with_capacity(kept.len() + 1);
+        let mut ts = Vec::new();
+        ts_offsets.push(0);
+        for &(m, n, x, y) in &kept {
+            link_keys.push((m, n));
+            ts.extend_from_slice(s.timestamps_between(x, y));
+            ts_offsets.push(ts.len());
         }
         KStructureSubgraph {
             k,
             selected,
-            timestamps,
+            link_keys,
+            ts_offsets,
+            ts,
             dist,
         }
     }
@@ -80,7 +97,9 @@ impl KStructureSubgraph {
         KStructureSubgraph {
             k,
             selected: vec![None; k],
-            timestamps: HashMap::new(),
+            link_keys: Vec::new(),
+            ts_offsets: vec![0],
+            ts: Vec::new(),
             dist: vec![u32::MAX; k],
         }
     }
@@ -124,20 +143,22 @@ impl KStructureSubgraph {
 
     /// `true` if a structure link connects slots `m` and `n`.
     pub fn has_link(&self, m: usize, n: usize) -> bool {
-        self.timestamps.contains_key(&(m.min(n), m.max(n)))
+        self.link_keys.binary_search(&(m.min(n), m.max(n))).is_ok()
     }
 
     /// Timestamps of the structure link between slots `m` and `n`
     /// (empty if absent).
     pub fn timestamps_between(&self, m: usize, n: usize) -> &[Timestamp] {
-        self.timestamps
-            .get(&(m.min(n), m.max(n)))
-            .map_or(&[], Vec::as_slice)
+        match self.link_keys.binary_search(&(m.min(n), m.max(n))) {
+            Ok(e) => &self.ts[self.ts_offsets[e]..self.ts_offsets[e + 1]],
+            Err(_) => &[],
+        }
     }
 
-    /// Iterates existing structure links once as slot pairs `(m, n)`, `m < n`.
+    /// Iterates existing structure links once as slot pairs `(m, n)` with
+    /// `m < n`, in ascending order.
     pub fn links(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.timestamps.keys().copied()
+        self.link_keys.iter().copied()
     }
 }
 
@@ -222,6 +243,15 @@ mod tests {
         for (m, n) in ks.links() {
             assert!(m < 3 && n < 3);
         }
+    }
+
+    #[test]
+    fn links_iterate_sorted() {
+        let g = bowtie();
+        let (_, ks) = pipeline(&g, 0, 1, 2, 5);
+        let links: Vec<_> = ks.links().collect();
+        assert!(links.windows(2).all(|w| w[0] < w[1]));
+        assert!(links.iter().all(|&(m, n)| m < n));
     }
 
     #[test]

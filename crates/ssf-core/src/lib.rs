@@ -50,6 +50,7 @@ pub mod influence;
 pub mod kstructure;
 pub mod palette;
 pub mod pattern;
+pub mod reference;
 pub mod roles;
 pub mod structure;
 pub mod viz;
@@ -59,7 +60,9 @@ pub use cache::{
     LruCache,
 };
 pub use error::ExtractError;
-pub use feature::{EntryEncoding, SsfConfig, SsfExtractor, SsfFeature};
+pub use feature::{
+    DijkstraScratch, EntryEncoding, SsfConfig, SsfExtractor, SsfFeature,
+};
 pub use hop::{HopScratch, HopSubgraph};
 pub use influence::{normalized_influence, ExponentialDecay};
 pub use kstructure::KStructureSubgraph;

@@ -14,8 +14,18 @@
 //! than 1, so refinement only ever splits color classes ("palette"
 //! property), and the two endpoints of the target link keep orders 1 and 2.
 //!
-//! Refinement runs on the structure subgraph's local adjacency lists, never
-//! on the source graph, so the ordering is identical for every
+//! Refinement is hash-free per round: nodes are bucketed by current color
+//! with a counting sort, the neighbor-color log sums accumulate in
+//! ascending-color order (bit-identical to summing each node's *sorted*
+//! neighbor multiset — the addends arrive in the same sequence), and new
+//! dense color ids are assigned class-locally, guarded by the palette
+//! property that refinement only splits classes. If float rounding ever
+//! violates that guard the round falls back to the reference global
+//! ranking, so the output is bit-identical to `crate::reference` either way
+//! (proven by `tests/kernels.rs`).
+//!
+//! Refinement runs on the structure subgraph's local adjacency, never on
+//! the source graph, so the ordering is identical for every
 //! [`dyngraph::GraphView`] representation upstream (mutable network, frozen
 //! CSR, delta overlay) — the canonical local ids fixed at hop extraction
 //! carry the determinism through.
@@ -40,19 +50,36 @@ pub fn first_primes(n: usize) -> Vec<u64> {
     primes
 }
 
-/// Reusable Palette-WL buffers, chiefly the trial-division prime table —
-/// the dominant per-call allocation cost when thousands of subgraphs are
-/// refined in a batch.
+/// Reusable Palette-WL buffers: the trial-division prime table with its
+/// cached logarithms (the dominant per-call cost when thousands of
+/// subgraphs are refined in a batch) plus every per-round working array, so
+/// a warm refinement allocates only the two color vectors.
 ///
 /// Like [`crate::HopScratch`], reuse never changes output: a fresh scratch
 /// and a warm one produce bit-identical orders.
 #[derive(Debug, Clone, Default)]
 pub struct WlScratch {
     primes: Vec<u64>,
-    /// Per-node sorted neighbor colors of the current refinement round.
-    neigh: Vec<usize>,
+    /// `lnp[c - 1] = ln P(c)`, cached alongside the primes.
+    lnp: Vec<f64>,
+    /// Neighbor-color log-sum accumulator of the current round.
+    acc: Vec<f64>,
     /// Hash values of the current refinement round.
     hash: Vec<f64>,
+    /// Node ids bucketed by current color (counting sort).
+    by_color: Vec<u32>,
+    /// Bucket start offsets per color.
+    starts: Vec<usize>,
+    cursor: Vec<usize>,
+}
+
+impl WlScratch {
+    fn ensure_primes(&mut self, n: usize) {
+        if self.primes.len() < n {
+            self.primes = first_primes(n);
+            self.lnp = self.primes.iter().map(|&p| (p as f64).ln()).collect();
+        }
+    }
 }
 
 /// Runs Palette-WL color refinement and returns a unique 1-based order per
@@ -97,7 +124,34 @@ pub fn palette_wl_with_scratch(
     tiebreak: &[u64],
     scratch: &mut WlScratch,
 ) -> Vec<usize> {
-    let n = adj.len();
+    palette_wl_csr(
+        adj.len(),
+        |i| adj[i].as_slice(),
+        init_key,
+        pinned,
+        tiebreak,
+        scratch,
+    )
+}
+
+/// [`palette_wl_with_scratch`] over any slice-yielding adjacency accessor,
+/// letting CSR-backed graphs (e.g. the structure subgraph) refine without
+/// materializing `Vec<Vec<usize>>` rows.
+///
+/// # Panics
+///
+/// Same conditions as [`palette_wl`].
+pub fn palette_wl_csr<'a, F>(
+    n: usize,
+    adj: F,
+    init_key: &[u32],
+    pinned: (usize, usize),
+    tiebreak: &[u64],
+    scratch: &mut WlScratch,
+) -> Vec<usize>
+where
+    F: Fn(usize) -> &'a [usize],
+{
     assert_eq!(init_key.len(), n, "init_key length mismatch");
     assert_eq!(tiebreak.len(), n, "tiebreak length mismatch");
     assert!(pinned.0 < n && pinned.1 < n, "pinned index out of range");
@@ -117,50 +171,125 @@ pub fn palette_wl_with_scratch(
         }
     };
     let mut colors = dense_rank_by(n, |i, j| sort_key(i).cmp(&sort_key(j)));
+    let mut new_colors = vec![0usize; n];
+    let mut num_classes = colors.iter().copied().max().unwrap_or(0);
 
+    scratch.ensure_primes(n);
     let WlScratch {
-        primes,
-        neigh,
+        lnp,
+        acc,
         hash,
+        by_color,
+        starts,
+        cursor,
+        ..
     } = scratch;
-    if primes.len() < n {
-        *primes = first_primes(n);
-    }
-    let ln_p = |c: usize| -> f64 { (primes[c - 1] as f64).ln() };
 
     // Refine until stable. Each non-trivial round strictly splits at least
     // one color class, so n rounds suffice; the cap guards regressions.
     for _ in 0..n + 2 {
-        let total: f64 =
-            (1..=n).map(|i| ln_p(colors[i - 1])).sum::<f64>().abs();
-        hash.clear();
-        for i in 0..n {
-            // Sort neighbor colors so identical multisets sum in identical
-            // order — float-exact equality then preserves true ties.
-            neigh.clear();
-            neigh.extend(adj[i].iter().map(|&j| colors[j]));
-            neigh.sort_unstable();
-            let frac: f64 = neigh.iter().map(|&c| ln_p(c)).sum::<f64>() / total;
-            hash.push(colors[i] as f64 + frac);
+        // Global normalizer, summed in node-index order (the reference
+        // addition sequence).
+        let total: f64 = (0..n).map(|i| lnp[colors[i] - 1]).sum::<f64>().abs();
+        // Bucket nodes by current color (counting sort, colors are 1-based
+        // dense ids).
+        starts.clear();
+        starts.resize(num_classes + 2, 0);
+        for &c in colors.iter() {
+            starts[c + 1] += 1;
         }
-        let hkey = |i: usize| -> (u8, f64) {
-            if i == pinned.0 {
-                (0, 0.0)
-            } else if i == pinned.1 {
-                (1, 0.0)
-            } else {
-                (2, hash[i])
+        for c in 1..starts.len() {
+            starts[c] += starts[c - 1];
+        }
+        cursor.clear();
+        cursor.extend_from_slice(starts);
+        by_color.resize(n, 0);
+        for (i, &c) in colors.iter().enumerate() {
+            by_color[cursor[c]] = i as u32;
+            cursor[c] += 1;
+        }
+        // Neighbor log-sum accumulation in ascending-color order: for every
+        // node `i`, the values landing in `acc[i]` arrive exactly as if its
+        // neighbor colors had been sorted ascending and summed — equal
+        // addends within one class commute bit-exactly — so `acc[i]`
+        // reproduces the reference's sorted-multiset sum.
+        acc.clear();
+        acc.resize(n, 0.0);
+        for c in 1..=num_classes {
+            let lp = lnp[c - 1];
+            for &j in &by_color[starts[c]..starts[c + 1]] {
+                for &i in adj(j as usize) {
+                    acc[i] += lp;
+                }
             }
-        };
-        let new_colors = dense_rank_by(n, |i, j| {
-            let (ti, hi) = hkey(i);
-            let (tj, hj) = hkey(j);
-            ti.cmp(&tj).then(hi.total_cmp(&hj))
-        });
+        }
+        hash.clear();
+        hash.extend((0..n).map(|i| colors[i] as f64 + acc[i] / total));
+        // Class-local dense re-ranking. The palette property says classes
+        // only split (hash = color + frac with frac ∈ [0, 1)), so ranking
+        // each class's nodes independently — classes visited in ascending
+        // color — concatenates into the global hash order. The boundary
+        // guard verifies exactly that; float pathology falls back to the
+        // reference global ranking. The pinned endpoints are singleton
+        // classes 1 and 2 by construction.
+        let mut fast = num_classes >= 2
+            && colors[pinned.0] == 1
+            && colors[pinned.1] == 2
+            && starts[2] - starts[1] == 1
+            && starts[3] - starts[2] == 1;
+        if fast {
+            new_colors[pinned.0] = 1;
+            new_colors[pinned.1] = 2;
+            let mut rank = 2usize;
+            let mut prev: Option<f64> = None;
+            for c in 3..=num_classes {
+                let seg = &mut by_color[starts[c]..starts[c + 1]];
+                seg.sort_unstable_by(|&x, &y| {
+                    hash[x as usize].total_cmp(&hash[y as usize])
+                });
+                if let Some(p) = prev {
+                    if hash[seg[0] as usize].total_cmp(&p)
+                        != std::cmp::Ordering::Greater
+                    {
+                        fast = false;
+                        break;
+                    }
+                }
+                for pos in 0..seg.len() {
+                    if pos == 0
+                        || hash[seg[pos - 1] as usize]
+                            .total_cmp(&hash[seg[pos] as usize])
+                            == std::cmp::Ordering::Less
+                    {
+                        rank += 1;
+                    }
+                    new_colors[seg[pos] as usize] = rank;
+                }
+                prev = seg.last().map(|&i| hash[i as usize]);
+            }
+        }
+        if !fast {
+            // Reference ranking: global sort over (tier, hash).
+            let hkey = |i: usize| -> (u8, f64) {
+                if i == pinned.0 {
+                    (0, 0.0)
+                } else if i == pinned.1 {
+                    (1, 0.0)
+                } else {
+                    (2, hash[i])
+                }
+            };
+            new_colors = dense_rank_by(n, |i, j| {
+                let (ti, hi) = hkey(i);
+                let (tj, hj) = hkey(j);
+                ti.cmp(&tj).then(hi.total_cmp(&hj))
+            });
+        }
         if new_colors == colors {
             break;
         }
-        colors = new_colors;
+        std::mem::swap(&mut colors, &mut new_colors);
+        num_classes = colors.iter().copied().max().unwrap_or(0);
     }
 
     // Unique total order: converged color, then caller tiebreak, then index.
@@ -175,7 +304,11 @@ pub fn palette_wl_with_scratch(
 
 /// Dense ranking (1-based): equal elements share a rank, the next distinct
 /// element gets the previous rank + 1.
-fn dense_rank_by(
+///
+/// The result depends only on the comparator's equivalence classes and
+/// order, never on sort stability: equal elements share a rank by
+/// definition, so any permutation within a class yields identical ranks.
+pub(crate) fn dense_rank_by(
     n: usize,
     mut cmp: impl FnMut(usize, usize) -> std::cmp::Ordering,
 ) -> Vec<usize> {
@@ -307,6 +440,34 @@ mod tests {
         let fresh =
             palette_wl(&adj, &[0, 0, 1, 1, 1], (0, 1), &[0, 1, 2, 3, 4]);
         assert_eq!(warm, fresh);
+    }
+
+    #[test]
+    fn csr_accessor_matches_vec_adjacency() {
+        let adj = vec![
+            vec![1, 2, 3, 4],
+            vec![0, 2],
+            vec![0, 1, 3],
+            vec![0, 2, 4],
+            vec![0, 3],
+        ];
+        let flat: Vec<usize> = adj.iter().flatten().copied().collect();
+        let mut offsets = vec![0usize];
+        for row in &adj {
+            offsets.push(offsets.last().copied().unwrap_or(0) + row.len());
+        }
+        let mut scratch = WlScratch::default();
+        let via_csr = palette_wl_csr(
+            adj.len(),
+            |i| &flat[offsets[i]..offsets[i + 1]],
+            &[0, 0, 1, 1, 1],
+            (0, 1),
+            &[0, 1, 2, 3, 4],
+            &mut scratch,
+        );
+        let via_vec =
+            palette_wl(&adj, &[0, 0, 1, 1, 1], (0, 1), &[0, 1, 2, 3, 4]);
+        assert_eq!(via_csr, via_vec);
     }
 
     #[test]

@@ -8,13 +8,20 @@
 //! were themselves merged). The two endpoints of the target link are always
 //! kept as singleton structure nodes (Definition 4).
 //!
+//! The merge is branch-light: each round flattens every group's neighbor
+//! set into one sorted, deduplicated pair list, groups equal signatures by
+//! sorting group ids with a slice comparator, and assigns dense new ids per
+//! run — no per-round hash maps or per-group `Vec`s. Intermediate group
+//! numbering differs from the naive formulation, but signature-equality
+//! classes are invariant under any bijective renumbering and
+//! `finalize` renumbers canonically, so the final subgraph is bit-identical
+//! to `crate::reference` (proven by `tests/kernels.rs`).
+//!
 //! This stage consumes only the re-indexed [`HopSubgraph`], so it is
 //! automatically independent of the graph representation the subgraph was
 //! extracted from ([`dyngraph::GraphView`] — mutable network, frozen CSR,
 //! or overlay): the bit-identity of the whole pipeline across views is
 //! decided at hop extraction, upstream of this module.
-
-use std::collections::HashMap;
 
 use dyngraph::Timestamp;
 
@@ -25,31 +32,54 @@ use crate::hop::HopSubgraph;
 /// Structure node 0 is always the singleton `{a}` and structure node 1 the
 /// singleton `{b}`. Every structure link keeps the full multiset of
 /// timestamps of the underlying links (Definition 5), which the
-/// [normalized influence](crate::influence) later collapses.
+/// [normalized influence](crate::influence) later collapses. All state is
+/// flat CSR — members, adjacency and link timestamps are slices into shared
+/// arrays, so downstream stages read contiguous memory.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StructureSubgraph {
-    /// `members[x]` = sorted hop-local node ids merged into structure node `x`.
-    members: Vec<Vec<usize>>,
-    /// Sorted distinct structure-node neighbors.
-    adj: Vec<Vec<usize>>,
-    /// Timestamps of all underlying links per structure link, keyed `(x, y)`
-    /// with `x < y`.
-    timestamps: HashMap<(usize, usize), Vec<Timestamp>>,
+    /// Member CSR row bounds: structure node `x` owns
+    /// `mem_ids[mem_offsets[x]..mem_offsets[x + 1]]`.
+    mem_offsets: Vec<usize>,
+    /// Flat sorted hop-local member ids.
+    mem_ids: Vec<usize>,
+    /// Adjacency CSR row bounds over `adj_ids`.
+    adj_offsets: Vec<usize>,
+    /// Flat sorted distinct structure-node neighbors.
+    adj_ids: Vec<usize>,
+    /// Structure links as `(x, y)` with `x < y`, sorted ascending.
+    link_keys: Vec<(usize, usize)>,
+    /// Timestamp CSR row bounds: link `link_keys[e]` owns
+    /// `ts[ts_offsets[e]..ts_offsets[e + 1]]` (sorted ascending).
+    ts_offsets: Vec<usize>,
+    /// Flat timestamps of all underlying links.
+    ts: Vec<Timestamp>,
     /// `dist[x]` = hop distance of structure node `x` to the target link
     /// (all members share it; kept as the minimum for safety).
     dist: Vec<u32>,
 }
 
-/// Reusable buffers for Algorithm 1's fixpoint merge: the per-group
-/// neighbor-set lists rebuilt every round and the partition maps.
+/// Reusable buffers for Algorithm 1's fixpoint merge: the flattened
+/// signature pair list, the per-group signature bounds and the partition
+/// maps.
 ///
 /// Like [`crate::HopScratch`], reuse never changes output: a fresh scratch
 /// and a warm one produce identical structure subgraphs.
 #[derive(Debug, Clone, Default)]
 pub struct StructureScratch {
     group_of: Vec<usize>,
-    nbrs: Vec<Vec<usize>>,
+    /// Flattened `(group, neighbor group)` signature entries, sorted and
+    /// deduplicated each round.
+    pairs: Vec<(u32, u32)>,
+    /// `pairs[sig_off[g]..sig_off[g + 1]]` is group `g`'s neighbor set.
+    sig_off: Vec<usize>,
+    /// Non-endpoint group ids ordered by signature for run detection.
+    order: Vec<u32>,
+    /// Counting-sorted neighbor-group ids, one row per group.
+    flat: Vec<u32>,
     new_of_group: Vec<usize>,
+    /// Per-link `(x, y, t)` triples accumulated during finalize.
+    triples: Vec<(u32, u32, Timestamp)>,
+    cursor: Vec<usize>,
 }
 
 impl StructureSubgraph {
@@ -79,144 +109,291 @@ impl StructureSubgraph {
         // singletons and iterate Algorithm 1's merge to a fixpoint.
         let StructureScratch {
             group_of,
-            nbrs,
+            pairs,
+            sig_off,
+            order,
+            flat,
             new_of_group,
+            ..
         } = scratch;
         group_of.clear();
         group_of.extend(0..n);
         let mut group_count = n;
+        let mut round = 0usize;
         loop {
-            // Neighbor set of each current group, over group ids.
-            if nbrs.len() < group_count {
-                nbrs.resize_with(group_count, Vec::new);
-            }
-            for nb in nbrs[..group_count].iter_mut() {
-                nb.clear();
-            }
-            for i in 0..n {
-                let gi = group_of[i];
-                for &(j, _) in hop.incident_links(i) {
-                    let gj = group_of[j];
-                    debug_assert_ne!(gi, gj, "structure nodes never self-link");
-                    nbrs[gi].push(gj);
+            round += 1;
+            let merged = if round == 1 {
+                // Singleton round: a node's neighbor set over singleton
+                // group ids IS the hop subgraph's sorted distinct-neighbor
+                // CSR row — no per-round signature build at all.
+                merge_round(
+                    group_count,
+                    (0, 1),
+                    |g| hop.neighbors(g),
+                    order,
+                    new_of_group,
+                )
+            } else {
+                // Later rounds: flatten every group's neighbor set into one
+                // (group, neighbor-group) pair list, grouped by a counting
+                // sort on the owning group and sorted + deduplicated per
+                // row — rows are small, so this beats one global sort.
+                pairs.clear();
+                for i in 0..n {
+                    let gi = group_of[i] as u32;
+                    for &(j, _) in hop.incident_links(i) {
+                        let gj = group_of[j] as u32;
+                        debug_assert_ne!(
+                            gi, gj,
+                            "structure nodes never self-link"
+                        );
+                        pairs.push((gi, gj));
+                    }
                 }
-            }
-            for nb in nbrs[..group_count].iter_mut() {
-                nb.sort_unstable();
-                nb.dedup();
-            }
-            // Merge groups with identical neighbor sets. The endpoint groups
-            // are pinned: they merge with nobody.
-            let (ga, gb) = (group_of[0], group_of[1]);
-            let mut sig_to_new: HashMap<&[usize], usize> = HashMap::new();
-            new_of_group.clear();
-            new_of_group.resize(group_count, usize::MAX);
-            let mut next = 0;
-            for (g, nb) in nbrs[..group_count].iter().enumerate() {
-                if g == ga || g == gb {
-                    // Endpoint groups are assigned directly, so they never
-                    // share a signature with a mergeable group.
-                    new_of_group[g] = next;
-                    next += 1;
-                    continue;
+                sig_off.clear();
+                sig_off.resize(group_count + 1, 0);
+                for &(gi, _) in pairs.iter() {
+                    sig_off[gi as usize + 1] += 1;
                 }
-                let id =
-                    *sig_to_new.entry(nb.as_slice()).or_insert_with(|| {
-                        let id = next;
-                        next += 1;
-                        id
-                    });
-                new_of_group[g] = id;
-            }
-            if next == group_count {
+                for g in 0..group_count {
+                    sig_off[g + 1] += sig_off[g];
+                }
+                // Bucket placement, reusing new_of_group as the cursor (it
+                // is rebuilt from scratch by merge_round below).
+                new_of_group.clear();
+                new_of_group.extend_from_slice(&sig_off[..group_count]);
+                flat.clear();
+                flat.resize(pairs.len(), 0);
+                for &(gi, gj) in pairs.iter() {
+                    flat[new_of_group[gi as usize]] = gj;
+                    new_of_group[gi as usize] += 1;
+                }
+                // Sort + dedup each group's row, compacting in place.
+                let mut w = 0usize;
+                let mut start = 0usize;
+                for g in 0..group_count {
+                    let end = sig_off[g + 1];
+                    let row = &mut flat[start..end];
+                    row.sort_unstable();
+                    let row_start = w;
+                    let mut prev = u32::MAX;
+                    for idx in start..end {
+                        let v = flat[idx];
+                        if v != prev {
+                            flat[w] = v;
+                            w += 1;
+                            prev = v;
+                        }
+                    }
+                    start = end;
+                    sig_off[g] = row_start;
+                }
+                sig_off[group_count] = w;
+                // sig_off now holds compacted row starts (shifted in the
+                // loop above: sig_off[g] = start of row g).
+                let (ga, gb) = (group_of[0], group_of[1]);
+                merge_round(
+                    group_count,
+                    (ga, gb),
+                    |g| &flat[sig_off[g]..sig_off[g + 1]],
+                    order,
+                    new_of_group,
+                )
+            };
+            let Some(next) = merged else {
                 break; // fixpoint: nothing merged
-            }
+            };
             for g in group_of.iter_mut() {
                 *g = new_of_group[*g];
             }
             group_count = next;
         }
 
-        Self::finalize(hop, group_of, group_count)
+        Self::finalize(hop, scratch, group_count)
     }
 
     /// Builds the final structure subgraph from a converged partition,
     /// renumbering so the endpoints are structure nodes 0 and 1 and the rest
-    /// follow in (distance, smallest member) order.
+    /// follow in (distance, smallest member) order. This canonical
+    /// renumbering is what makes the intermediate group ids (which differ
+    /// from the naive first-occurrence numbering) output-invisible.
     fn finalize(
         hop: &HopSubgraph,
-        group_of: &[usize],
+        scratch: &mut StructureScratch,
         group_count: usize,
     ) -> Self {
+        let StructureScratch {
+            group_of,
+            pairs,
+            order,
+            new_of_group,
+            triples,
+            cursor,
+            ..
+        } = scratch;
         let n = hop.node_count();
-        let mut members_raw: Vec<Vec<usize>> = vec![Vec::new(); group_count];
-        for i in 0..n {
-            members_raw[group_of[i]].push(i);
+        // Member CSR via counting sort: hop ids ascend within each group.
+        let mut mem_offsets = vec![0usize; group_count + 1];
+        for &g in group_of.iter() {
+            mem_offsets[g + 1] += 1;
+        }
+        for g in 0..group_count {
+            mem_offsets[g + 1] += mem_offsets[g];
+        }
+        cursor.clear();
+        cursor.extend_from_slice(&mem_offsets[..group_count]);
+        let mut mem_ids = vec![0usize; n];
+        for (i, &g) in group_of.iter().enumerate() {
+            mem_ids[cursor[g]] = i;
+            cursor[g] += 1;
         }
         // Deterministic renumbering: endpoint groups first, then by
-        // (distance, smallest member id).
-        let mut order: Vec<usize> = (0..group_count).collect();
-        let key = |g: usize| {
-            let m = &members_raw[g];
-            let d =
-                m.iter().map(|&i| hop.distance(i)).min().unwrap_or(u32::MAX);
-            let lo = m.first().copied().unwrap_or(usize::MAX);
-            (d, lo)
-        };
-        order.sort_by_key(|&g| key(g));
-        debug_assert_eq!(members_raw[order[0]][0], 0, "endpoint a first");
-        debug_assert_eq!(members_raw[order[1]][0], 1, "endpoint b second");
-        let mut new_id = vec![usize::MAX; group_count];
+        // (distance, smallest member id). Hop-local ids beyond the two
+        // endpoints are sorted by (distance, global id), so distance is
+        // monotone in local id and each group's first (smallest) member
+        // carries its minimum distance — the key is O(1) per group, unique
+        // via the first-member component. Keys are staged in the `pairs`
+        // buffer so the sort never re-derives them.
+        let keys = pairs;
+        keys.clear();
+        keys.extend((0..group_count).map(|g| {
+            let first = mem_ids[mem_offsets[g]];
+            (hop.distance(first), first as u32)
+        }));
+        order.clear();
+        order.extend(0..group_count as u32);
+        order.sort_unstable_by_key(|&g| keys[g as usize]);
+        debug_assert_eq!(
+            mem_ids[mem_offsets[order[0] as usize]], 0,
+            "endpoint a first"
+        );
+        debug_assert_eq!(
+            mem_ids[mem_offsets[order[1] as usize]], 1,
+            "endpoint b second"
+        );
+        let new_id = new_of_group;
+        new_id.clear();
+        new_id.resize(group_count, usize::MAX);
         for (rank, &g) in order.iter().enumerate() {
-            new_id[g] = rank;
+            new_id[g as usize] = rank;
         }
 
-        let mut members = vec![Vec::new(); group_count];
+        // Re-lay the member CSR in final rank order and record distances.
+        let mut out_mem_offsets = Vec::with_capacity(group_count + 1);
+        let mut out_mem_ids = Vec::with_capacity(n);
         let mut dist = vec![u32::MAX; group_count];
-        for (g, m) in members_raw.into_iter().enumerate() {
-            let x = new_id[g];
-            dist[x] =
-                m.iter().map(|&i| hop.distance(i)).min().unwrap_or(u32::MAX);
-            members[x] = m; // already ascending (filled in id order)
+        out_mem_offsets.push(0);
+        for &g in order.iter() {
+            let m =
+                &mem_ids[mem_offsets[g as usize]..mem_offsets[g as usize + 1]];
+            out_mem_ids.extend_from_slice(m);
+            out_mem_offsets.push(out_mem_ids.len());
+        }
+        for x in 0..group_count {
+            // Partition rows are non-empty and their first member is the
+            // group minimum, which carries the minimum distance (see the
+            // renumbering key above).
+            dist[x] = hop.distance(out_mem_ids[out_mem_offsets[x]]);
         }
 
-        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); group_count];
-        let mut timestamps: HashMap<(usize, usize), Vec<Timestamp>> =
-            HashMap::new();
+        // Structure links: every underlying hop link becomes a timestamped
+        // (x, y) triple, grouped per link with ascending timestamps. The
+        // triples are bucketed by leading slot `x` with a counting pass over
+        // the incidence CSR, then each (small) row is sorted by (y, t) —
+        // the same total order a global sort would produce.
+        cursor.clear();
+        cursor.resize(group_count + 1, 0);
+        for i in 0..n {
+            let x = new_id[group_of[i]];
+            for &(j, _) in hop.incident_links(i) {
+                if i < j {
+                    let y = new_id[group_of[j]];
+                    cursor[x.min(y) + 1] += 1;
+                }
+            }
+        }
+        for g in 0..group_count {
+            cursor[g + 1] += cursor[g];
+        }
+        triples.clear();
+        triples.resize(cursor[group_count], (0, 0, 0));
         for i in 0..n {
             let x = new_id[group_of[i]];
             for &(j, t) in hop.incident_links(i) {
                 if i < j {
                     let y = new_id[group_of[j]];
-                    let key = (x.min(y), x.max(y));
-                    timestamps.entry(key).or_default().push(t);
+                    let lo = x.min(y);
+                    triples[cursor[lo]] = (lo as u32, x.max(y) as u32, t);
+                    cursor[lo] += 1;
                 }
             }
         }
-        for (&(x, y), ts) in &mut timestamps {
-            ts.sort_unstable();
-            adj[x].push(y);
-            adj[y].push(x);
+        // cursor[g] now bounds the end of row g (and the start of row g+1
+        // was its pre-pass value, i.e. cursor[g - 1] after the fill).
+        let mut row_start = 0;
+        for g in 0..group_count {
+            triples[row_start..cursor[g]].sort_unstable();
+            row_start = cursor[g];
         }
-        for a in &mut adj {
-            a.sort_unstable();
+        let mut link_keys = Vec::new();
+        let mut ts_offsets = Vec::new();
+        let mut ts = Vec::with_capacity(triples.len());
+        for &(x, y, t) in triples.iter() {
+            let key = (x as usize, y as usize);
+            if link_keys.last() != Some(&key) {
+                link_keys.push(key);
+                ts_offsets.push(ts.len());
+            }
+            ts.push(t);
         }
+        ts_offsets.push(ts.len());
+        // Adjacency CSR from the distinct link keys, mirrored and
+        // counting-sorted into rows. Keys ascend by (x, y), so node g's row
+        // receives its smaller neighbors first (from keys (x, g), ascending
+        // in x, all processed before any (g, y)) and then its larger
+        // neighbors ascending in y — each row is born sorted.
+        let mut adj_offsets = vec![0usize; group_count + 1];
+        for &(x, y) in &link_keys {
+            adj_offsets[x + 1] += 1;
+            adj_offsets[y + 1] += 1;
+        }
+        for g in 0..group_count {
+            adj_offsets[g + 1] += adj_offsets[g];
+        }
+        cursor.clear();
+        cursor.extend_from_slice(&adj_offsets[..group_count]);
+        let mut adj_ids = vec![0usize; 2 * link_keys.len()];
+        for &(x, y) in &link_keys {
+            adj_ids[cursor[x]] = y;
+            cursor[x] += 1;
+            adj_ids[cursor[y]] = x;
+            cursor[y] += 1;
+        }
+        debug_assert!((0..group_count).all(|g| {
+            adj_ids[adj_offsets[g]..adj_offsets[g + 1]]
+                .windows(2)
+                .all(|w| w[0] < w[1])
+        }));
         StructureSubgraph {
-            members,
-            adj,
-            timestamps,
+            mem_offsets: out_mem_offsets,
+            mem_ids: out_mem_ids,
+            adj_offsets,
+            adj_ids,
+            link_keys,
+            ts_offsets,
+            ts,
             dist,
         }
     }
 
     /// Number of structure nodes `|V_S|`.
     pub fn node_count(&self) -> usize {
-        self.members.len()
+        self.dist.len()
     }
 
     /// Number of structure links `|E_S|`.
     pub fn link_count(&self) -> usize {
-        self.timestamps.len()
+        self.link_keys.len()
     }
 
     /// Sorted hop-local node ids merged into structure node `x`.
@@ -225,7 +402,7 @@ impl StructureSubgraph {
     ///
     /// Panics if `x` is out of range.
     pub fn members(&self, x: usize) -> &[usize] {
-        &self.members[x]
+        &self.mem_ids[self.mem_offsets[x]..self.mem_offsets[x + 1]]
     }
 
     /// Sorted structure-node neighbors of `x`.
@@ -234,7 +411,7 @@ impl StructureSubgraph {
     ///
     /// Panics if `x` is out of range.
     pub fn neighbors(&self, x: usize) -> &[usize] {
-        &self.adj[x]
+        &self.adj_ids[self.adj_offsets[x]..self.adj_offsets[x + 1]]
     }
 
     /// Hop distance of structure node `x` to the target link.
@@ -249,14 +426,70 @@ impl StructureSubgraph {
     /// Sorted timestamps of all underlying links between `x` and `y`
     /// (empty if no structure link exists).
     pub fn timestamps_between(&self, x: usize, y: usize) -> &[Timestamp] {
-        self.timestamps
-            .get(&(x.min(y), x.max(y)))
-            .map_or(&[], Vec::as_slice)
+        let key = (x.min(y), x.max(y));
+        match self.link_keys.binary_search(&key) {
+            Ok(e) => &self.ts[self.ts_offsets[e]..self.ts_offsets[e + 1]],
+            Err(_) => &[],
+        }
     }
 
-    /// Iterates structure links once as `(x, y)` with `x < y`.
+    /// Iterates structure links once as `(x, y)` with `x < y`, in ascending
+    /// order.
     pub fn links(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.timestamps.keys().copied()
+        self.link_keys.iter().copied()
+    }
+}
+
+/// One merge round of Algorithm 1: groups whose signature slices compare
+/// equal collapse to one new id (endpoints pinned to ids 0 and 1), filling
+/// `new_of_group`. Returns the new group count, or `None` at the fixpoint.
+///
+/// Only signature *equality* affects the partition, so any total order over
+/// signatures works for run detection; the resulting intermediate numbering
+/// is one bijection among many, made canonical by `finalize`.
+fn merge_round<'a, T, F>(
+    group_count: usize,
+    pinned: (usize, usize),
+    sig: F,
+    order: &mut Vec<u32>,
+    new_of_group: &mut Vec<usize>,
+) -> Option<usize>
+where
+    T: Ord + 'a,
+    F: Fn(usize) -> &'a [T],
+{
+    let (ga, gb) = pinned;
+    order.clear();
+    order.extend(
+        (0..group_count as u32)
+            .filter(|&g| g as usize != ga && g as usize != gb),
+    );
+    order.sort_unstable_by(|&x, &y| {
+        sig(x as usize).cmp(sig(y as usize)).then(x.cmp(&y))
+    });
+    new_of_group.clear();
+    new_of_group.resize(group_count, usize::MAX);
+    new_of_group[ga] = 0;
+    new_of_group[gb] = 1;
+    let mut next = 2;
+    let mut r = 0;
+    while r < order.len() {
+        let mut e = r + 1;
+        while e < order.len()
+            && sig(order[r] as usize) == sig(order[e] as usize)
+        {
+            e += 1;
+        }
+        for &g in &order[r..e] {
+            new_of_group[g as usize] = next;
+        }
+        next += 1;
+        r = e;
+    }
+    if next == group_count {
+        None // fixpoint: nothing merged
+    } else {
+        Some(next)
     }
 }
 
@@ -418,5 +651,17 @@ mod tests {
                 assert!(s.neighbors(y).contains(&x));
             }
         }
+    }
+
+    #[test]
+    fn links_iterate_sorted_with_x_less_than_y() {
+        let g: DynamicNetwork = [(0, 2, 1), (2, 3, 2), (1, 3, 3), (0, 1, 4)]
+            .into_iter()
+            .collect();
+        let s = structure_of(&g, 0, 1, 2);
+        let links: Vec<_> = s.links().collect();
+        assert!(links.windows(2).all(|w| w[0] < w[1]));
+        assert!(links.iter().all(|&(x, y)| x < y));
+        assert_eq!(links.len(), s.link_count());
     }
 }

@@ -606,45 +606,70 @@ impl ShardedPredictor {
     /// shard's substream on its own scoped thread — the near-linear
     /// ingest-scaling path. Within a shard, events keep their order in
     /// `events`. Returns the number of accepted events.
+    ///
+    /// With one shard — or on a machine without usable parallelism — the
+    /// batch ingests serially instead: spawning threads for substreams
+    /// that cannot run concurrently only adds partition + spawn + join
+    /// overhead (the measured 1→4-shard throughput *drop* in
+    /// `BENCH_concurrent_serving.json` on a single-core host). Events
+    /// route to shards in batch order either way, so both paths produce
+    /// identical shard states by construction; empty substreams never
+    /// spawn a thread.
     pub fn observe_batch_parallel(
         &mut self,
         events: &[(NodeId, NodeId, Timestamp)],
     ) -> u64 {
         let n = self.shards.len();
-        let mut per: Vec<Vec<(NodeId, NodeId, Timestamp)>> =
-            vec![Vec::new(); n];
-        for &(u, v, t) in events {
-            per[u.min(v) as usize % n].push((u, v, t));
-        }
+        let parallelism = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get);
         let _span = self.obs.span("ssf.serve.ingest_batch");
-        let shards = &mut self.shards;
         let mut accepted = 0u64;
         let mut quarantined: Vec<u64> = vec![0; n];
-        std::thread::scope(|s| {
-            let handles: Vec<_> = shards
-                .iter_mut()
-                .zip(&per)
-                .map(|(shard, evs)| {
-                    s.spawn(move || {
-                        let (mut acc, mut quar) = (0u64, 0u64);
-                        for &(u, v, t) in evs {
-                            if shard.observe(u, v, t).is_accepted() {
-                                acc += 1;
-                            } else {
-                                quar += 1;
-                            }
-                        }
-                        (acc, quar)
-                    })
-                })
-                .collect();
-            for (i, h) in handles.into_iter().enumerate() {
-                if let Ok((acc, quar)) = h.join() {
-                    accepted += acc;
-                    quarantined[i] = quar;
+        if n == 1 || parallelism <= 1 {
+            for &(u, v, t) in events {
+                let idx = u.min(v) as usize % n;
+                if self.shards[idx].observe(u, v, t).is_accepted() {
+                    accepted += 1;
+                } else {
+                    quarantined[idx] += 1;
                 }
             }
-        });
+        } else {
+            let mut per: Vec<Vec<(NodeId, NodeId, Timestamp)>> =
+                vec![Vec::new(); n];
+            for &(u, v, t) in events {
+                per[u.min(v) as usize % n].push((u, v, t));
+            }
+            let shards = &mut self.shards;
+            std::thread::scope(|s| {
+                let handles: Vec<_> = shards
+                    .iter_mut()
+                    .zip(&per)
+                    .enumerate()
+                    .filter(|(_, (_, evs))| !evs.is_empty())
+                    .map(|(i, (shard, evs))| {
+                        let handle = s.spawn(move || {
+                            let (mut acc, mut quar) = (0u64, 0u64);
+                            for &(u, v, t) in evs {
+                                if shard.observe(u, v, t).is_accepted() {
+                                    acc += 1;
+                                } else {
+                                    quar += 1;
+                                }
+                            }
+                            (acc, quar)
+                        });
+                        (i, handle)
+                    })
+                    .collect();
+                for (i, h) in handles {
+                    if let Ok((acc, quar)) = h.join() {
+                        accepted += acc;
+                        quarantined[i] = quar;
+                    }
+                }
+            });
+        }
         if self.obs.enabled() {
             for (label, &quar) in self.labels.iter().zip(&quarantined) {
                 if quar > 0 {

@@ -670,6 +670,14 @@ impl OnlineLinkPredictor {
         snap
     }
 
+    /// Drops every memoized entry from the batch-scoring extraction
+    /// cache (stats counters survive). Scores are unaffected — the next
+    /// `score_batch` simply starts cold. Exposed for memory pressure
+    /// and for repeatable cold-path benchmark measurements.
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
     /// Hit/miss tallies from the batch-scoring extraction cache.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()

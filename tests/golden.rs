@@ -1,5 +1,7 @@
 //! Golden-vector tests: byte-exact SSF features for the paper's worked
-//! small network (fixture `tests/fixtures/figure3_k4.txt`).
+//! small network (fixture `tests/fixtures/figure3_k4.txt`) and for the
+//! bounded-Dijkstra edge cases — disconnected endpoints, a degenerate
+//! single-node ball, max-radius growth (`tests/fixtures/dijkstra_k4.txt`).
 //!
 //! Every expectation here was derived by hand from Definitions 3–10 —
 //! the structure-node merge, the Palette-WL order, the slot-pair
@@ -15,11 +17,14 @@ const K: usize = 4;
 const L_T: u32 = 5;
 const THETA: f64 = 0.5;
 
-/// Parses the fixture's edge list and expected-vector lines.
-fn load_fixture() -> (DynamicNetwork, Vec<(String, Vec<f64>)>) {
+const DIJKSTRA_FIXTURE: &str = include_str!("fixtures/dijkstra_k4.txt");
+const DIJKSTRA_L_T: u32 = 9;
+
+/// Parses a fixture's edge list and expected-vector lines.
+fn parse_fixture(text: &str) -> (DynamicNetwork, Vec<(String, Vec<f64>)>) {
     let mut g = DynamicNetwork::new();
     let mut expected = Vec::new();
-    for line in FIXTURE.lines() {
+    for line in text.lines() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -45,6 +50,10 @@ fn load_fixture() -> (DynamicNetwork, Vec<(String, Vec<f64>)>) {
         }
     }
     (g, expected)
+}
+
+fn load_fixture() -> (DynamicNetwork, Vec<(String, Vec<f64>)>) {
+    parse_fixture(FIXTURE)
 }
 
 fn extractor(encoding: EntryEncoding) -> SsfExtractor {
@@ -134,6 +143,110 @@ fn influence_encodings_match_hand_computation() {
         extractor(EntryEncoding::InfluenceAndStructure).extract(&g, 0, 1, L_T);
     assert_eq!(bits(f.values()), bits(&both));
     assert_eq!(f.values().len(), 2 * (K * (K - 1) / 2 - 1));
+}
+
+/// The Dijkstra fixture's pipeline intermediates: the isolated endpoint
+/// keeps a single-node ball at every radius, growth stops the moment
+/// `K` structure nodes exist, and the slot links carry the doubled
+/// same-timestamp multisets the hand derivation assumes.
+#[test]
+fn dijkstra_fixture_intermediates_match_hand_derivation() {
+    let (g, _) = parse_fixture(DIJKSTRA_FIXTURE);
+    let ex = extractor(EntryEncoding::ReciprocalDistance);
+    let (ks, h_used, structure_nodes) = ex.k_structure(&g, 0, 1);
+    assert_eq!(h_used, 2, "h = 1 yields only 3 structure nodes");
+    assert_eq!(structure_nodes, 4, "{{0}} {{1}} {{2,3}} {{4}}");
+    assert_eq!(ks.occupied_count(), K);
+    assert_eq!(ks.timestamps_between(0, 2), &[9, 9]);
+    assert_eq!(ks.timestamps_between(2, 3), &[9, 9]);
+    for n in 1..K {
+        assert!(!ks.has_link(1, n), "isolated endpoint 1 has no links");
+    }
+    assert!(!ks.has_link(0, 3), "{{0}} never touches {{4}} directly");
+}
+
+/// Byte-exact vectors for the Dijkstra fixture: the unreachable slot-1
+/// distances, the exactly-dyadic weights and the 1/1.5 entry all come
+/// out bit-identical to the hand derivation, through both the plain and
+/// the cached path.
+#[test]
+fn dijkstra_fixture_matches_hand_vectors() {
+    let (g, expected) = parse_fixture(DIJKSTRA_FIXTURE);
+    assert_eq!(expected.len(), 4, "fixture lists four exact encodings");
+    let mut cache = ssf_core::ExtractionCache::new();
+    for (name, want) in &expected {
+        let enc = EntryEncoding::parse(name).expect("fixture encoding name");
+        let f = extractor(enc).extract(&g, 0, 1, DIJKSTRA_L_T);
+        assert_eq!(
+            bits(f.values()),
+            bits(want),
+            "{name} diverged from the hand-computed vector"
+        );
+        let cached = extractor(enc)
+            .try_extract_cached(&g, 0, 1, DIJKSTRA_L_T, &mut cache)
+            .expect("valid target");
+        assert_eq!(bits(cached.values()), bits(want), "{name} cached");
+    }
+}
+
+/// The transcendental encodings of the Dijkstra fixture, derived from
+/// the exact raw influences (both slot links sum to exactly 2.0).
+#[test]
+fn dijkstra_fixture_influence_encodings_match() {
+    let (g, _) = parse_fixture(DIJKSTRA_FIXTURE);
+    let logv: Vec<f64> = [2.0, 0.0, 0.0, 0.0, 2.0]
+        .iter()
+        .map(|&x| if x > 0.0 { log_infl(x) } else { 0.0 })
+        .collect();
+    let f =
+        extractor(EntryEncoding::LogInfluence).extract(&g, 0, 1, DIJKSTRA_L_T);
+    assert_eq!(bits(f.values()), bits(&logv));
+    let mut both = logv;
+    both.extend([1.0, 0.0, 0.0, 0.0, 1.0]);
+    let f = extractor(EntryEncoding::InfluenceAndStructure).extract(
+        &g,
+        0,
+        1,
+        DIJKSTRA_L_T,
+    );
+    assert_eq!(bits(f.values()), bits(&both));
+}
+
+/// Max-radius growth: with `K = 10` the chain component can never
+/// produce enough structure nodes, so `h` stops exactly at the
+/// configured cap and the remaining slots stay zero-padded.
+#[test]
+fn dijkstra_fixture_max_radius_pair_caps_growth() {
+    let (g, _) = parse_fixture(DIJKSTRA_FIXTURE);
+    let config = SsfConfig::new(10)
+        .with_theta(THETA)
+        .with_encoding(EntryEncoding::ReciprocalDistance)
+        .with_max_h(2);
+    let ex = SsfExtractor::new(config);
+    // Target (7, 1): both ends far from the 0-side fan; radius 2 reaches
+    // only {7,6,5} ∪ {1} = 4 structure nodes, far short of K = 10.
+    let (ks, h_used, structure_nodes) = ex.k_structure(&g, 7, 1);
+    assert_eq!(h_used, 2, "growth must stop at max_h");
+    assert_eq!(structure_nodes, 4);
+    assert_eq!(ks.occupied_count(), 4, "6 of 10 slots stay padded");
+    let f = ex.extract(&g, 7, 1, DIJKSTRA_L_T);
+    // Chain 7-6-5 with unit influences: slot pairs (0,2)=[9] and
+    // (2,3)=[9], weights exactly 1.0, so the entries are 1/(1+0) and
+    // 1/(1+1); everything else (44 − 2 entries) is padding.
+    let nonzero: Vec<(usize, f64)> = f
+        .values()
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|&(_, v)| v != 0.0)
+        .collect();
+    assert_eq!(
+        nonzero
+            .iter()
+            .map(|&(_, v)| v.to_bits())
+            .collect::<Vec<_>>(),
+        vec![1.0f64.to_bits(), 0.5f64.to_bits()]
+    );
 }
 
 /// The golden vectors hold under the cache too — same bits through

@@ -1,0 +1,249 @@
+//! Differential kernel tests: the branch-light optimized extraction
+//! kernels (sorted-slice structure merge, hash-free Palette-WL,
+//! early-exit bounded Dijkstra) against the retained naive
+//! [`ssf_core::reference`] pipeline.
+//!
+//! Every assertion here is *bit* equality on the feature values — the
+//! optimized kernels are rewrites of the numeric hot path, so any
+//! reordering of float operations, any divergence in tie-breaking, or
+//! any cache-reuse leak shows up as a failed `to_bits` comparison.
+//! Coverage axes: all six [`EntryEncoding`]s, `K ∈ {3..6}`, uncached vs
+//! cached (fresh and warm-reused caches), and the multi-threaded
+//! `extract_batch` at 1/2/8 workers.
+
+use proptest::prelude::*;
+use ssf_repro::dyngraph::{DynamicNetwork, NodeId, Timestamp};
+use ssf_repro::methods::{Method, MethodOptions};
+use ssf_repro::ssf_core::{
+    reference, EntryEncoding, ExtractionCache, SsfConfig, SsfExtractor,
+};
+use ssf_repro::ssf_eval::{LinkSample, Split, SplitConfig};
+
+const ENCODINGS: [EntryEncoding; 6] = [
+    EntryEncoding::NormalizedInfluence,
+    EntryEncoding::LogInfluence,
+    EntryEncoding::ReciprocalDistance,
+    EntryEncoding::InfluenceAndStructure,
+    EntryEncoding::LinkCount,
+    EntryEncoding::Binary,
+];
+
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Strategy: a connected-ish random multigraph on up to `n` nodes (same
+/// shape as `tests/properties.rs`).
+fn network(
+    n: NodeId,
+    max_links: usize,
+) -> impl Strategy<Value = DynamicNetwork> {
+    prop::collection::vec(
+        (0..n, 0..n, 1..20u32).prop_filter("no self-loops", |(u, v, _)| u != v),
+        2..max_links,
+    )
+    .prop_map(move |links| {
+        let mut g = DynamicNetwork::new();
+        for i in 0..n - 1 {
+            g.add_link(i, i + 1, 1);
+        }
+        for (u, v, t) in links {
+            g.add_link(u, v, t);
+        }
+        g
+    })
+}
+
+/// Asserts the optimized uncached and cached paths both reproduce the
+/// reference pipeline bit for bit on one target pair.
+#[allow(clippy::unwrap_used, clippy::expect_used)] // test helper
+fn assert_matches_reference(
+    g: &DynamicNetwork,
+    a: NodeId,
+    b: NodeId,
+    l_t: Timestamp,
+    config: &SsfConfig,
+    cache: &mut ExtractionCache,
+) {
+    let expect = reference::try_extract(g, a, b, l_t, config);
+    let ex = SsfExtractor::new(*config);
+    let uncached = ex.try_extract(g, a, b, l_t);
+    let cached = ex.try_extract_cached(g, a, b, l_t, cache);
+    match expect {
+        Ok((values, h, s_nodes)) => {
+            let f = uncached.expect("reference extracted, optimized failed");
+            assert_eq!(bits(f.values()), bits(&values), "uncached values");
+            assert_eq!(f.radius(), h, "uncached radius");
+            assert_eq!(f.structure_node_count(), s_nodes, "uncached nodes");
+            let f = cached.expect("reference extracted, cached failed");
+            assert_eq!(bits(f.values()), bits(&values), "cached values");
+            assert_eq!(f.radius(), h, "cached radius");
+            assert_eq!(f.structure_node_count(), s_nodes, "cached nodes");
+        }
+        Err(e) => {
+            assert_eq!(uncached.unwrap_err(), e, "uncached error");
+            assert_eq!(cached.unwrap_err(), e, "cached error");
+        }
+    }
+}
+
+/// Deterministic sweep: every encoding × K ∈ {3..6} on a fixed graph that
+/// exercises merging fans, a bridge, multi-links and an outlying chain —
+/// guaranteed coverage of all 24 combinations regardless of proptest
+/// case generation.
+#[test]
+fn every_encoding_and_k_matches_reference() {
+    let g: DynamicNetwork = [
+        (0, 2, 1),
+        (0, 3, 1),
+        (0, 4, 2),
+        (1, 5, 2),
+        (1, 6, 3),
+        (0, 7, 3),
+        (1, 7, 4),
+        (2, 8, 5),
+        (8, 9, 6),
+        (9, 10, 7),
+        (4, 5, 8),
+        (4, 5, 9), // multi-link
+    ]
+    .into_iter()
+    .collect();
+    for encoding in ENCODINGS {
+        for k in 3..=6usize {
+            let config =
+                SsfConfig::new(k).with_theta(0.5).with_encoding(encoding);
+            let mut cache = ExtractionCache::new();
+            for (a, b) in [(0, 1), (2, 5), (9, 0), (10, 3)] {
+                assert_matches_reference(&g, a, b, 12, &config, &mut cache);
+            }
+        }
+    }
+}
+
+/// The Dijkstra early-exit must not depend on reachability: endpoints in
+/// different components, pendant endpoints with empty link sets, and
+/// fully padded slots all reduce to the reference answer.
+#[test]
+fn reciprocal_distance_disconnected_matches_reference() {
+    // Two components: {0,2,3,4,8} and {1,5,6,7} — target (0,1) spans them.
+    let g: DynamicNetwork = [
+        (0, 2, 1),
+        (2, 3, 2),
+        (3, 4, 3),
+        (5, 6, 4),
+        (6, 7, 5),
+        (1, 5, 6),
+        (4, 8, 7),
+    ]
+    .into_iter()
+    .collect();
+    let config = SsfConfig::new(4)
+        .with_theta(0.5)
+        .with_encoding(EntryEncoding::ReciprocalDistance);
+    let mut cache = ExtractionCache::new();
+    for (a, b) in [(0, 1), (4, 7), (0, 8), (8, 6)] {
+        assert_matches_reference(&g, a, b, 9, &config, &mut cache);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random graphs, random encoding/K/target: uncached and cached
+    /// optimized extraction are bit-identical to the reference pipeline.
+    /// The cache is reused across all targets of a case, so warm ball
+    /// reuse, pair memo hits and K-growth all run under the comparison.
+    #[test]
+    fn kernels_match_reference(
+        g in network(12, 50),
+        enc_idx in 0..ENCODINGS.len(),
+        k in 3..7usize,
+        targets in prop::collection::vec((0..12u32, 0..12u32), 1..6),
+    ) {
+        let config = SsfConfig::new(k)
+            .with_theta(0.5)
+            .with_encoding(ENCODINGS[enc_idx]);
+        let mut cache = ExtractionCache::new();
+        for (a, b) in targets {
+            assert_matches_reference(&g, a, b, 21, &config, &mut cache);
+        }
+    }
+
+    /// One warm cache serving a *growing* K (3 → 6) on the same graph:
+    /// the pair memo is keyed per configuration, so K-growth must re-run
+    /// the kernels, never serve a stale smaller-K selection.
+    #[test]
+    fn cache_survives_k_growth(
+        g in network(10, 40),
+        enc_idx in 0..ENCODINGS.len(),
+    ) {
+        let mut cache = ExtractionCache::new();
+        for k in 3..=6usize {
+            let config = SsfConfig::new(k)
+                .with_theta(0.5)
+                .with_encoding(ENCODINGS[enc_idx]);
+            for (a, b) in [(0u32, 1u32), (2, 7), (0, 1)] {
+                assert_matches_reference(&g, a, b, 25, &config, &mut cache);
+            }
+        }
+    }
+
+    /// `extract_batch` rows at 1, 2 and 8 workers all equal the reference
+    /// pipeline run sample by sample against the fold history (degraded
+    /// rows — degenerate pairs — are all-zero by contract).
+    #[test]
+    fn extract_batch_matches_reference_at_every_thread_count(
+        g in network(14, 70),
+        seed in 0..20u64,
+        enc_idx in 0..ENCODINGS.len(),
+    ) {
+        let Ok(split) = Split::new(
+            &g,
+            &SplitConfig { seed, ..SplitConfig::default() },
+        ) else {
+            return Ok(()); // tiny/degenerate networks may not split
+        };
+        let opts = MethodOptions {
+            ssf_encoding: ENCODINGS[enc_idx],
+            ..MethodOptions::default()
+        };
+        let config = SsfConfig::new(opts.k)
+            .with_theta(opts.theta)
+            .with_encoding(opts.ssf_encoding);
+        let n = split.history.node_count() as NodeId;
+        // ≥ 64 samples so multi-threaded runs actually spawn workers;
+        // every 9th sample is degenerate (u == v) to pin zero-row padding.
+        let samples: Vec<LinkSample> = (0..72u32)
+            .map(|i| LinkSample {
+                u: (i * 7 + seed as u32) % n,
+                v: if i % 9 == 0 { (i * 7 + seed as u32) % n } else { (i * 11 + 1) % n },
+                label: i % 2 == 0,
+            })
+            .collect();
+        let present =
+            split.history.max_timestamp().map_or(split.l_t, |t| t + 1);
+        let dim = Method::Ssfnm.feature_dim(&opts).unwrap_or(0);
+        let expected: Vec<Vec<u64>> = samples
+            .iter()
+            .map(|s| {
+                reference::try_extract(
+                    &split.history, s.u, s.v, present, &config,
+                )
+                .map_or_else(|_| vec![0f64.to_bits(); dim], |(v, _, _)| bits(&v))
+            })
+            .collect();
+        for threads in [1usize, 2, 8] {
+            let rows =
+                Method::Ssfnm.extract_batch(&split, &opts, &samples, threads);
+            prop_assert_eq!(rows.len(), expected.len());
+            for (i, (row, want)) in rows.iter().zip(&expected).enumerate() {
+                prop_assert_eq!(
+                    &bits(row), want,
+                    "row {} diverged from reference at {} threads",
+                    i, threads
+                );
+            }
+        }
+    }
+}
