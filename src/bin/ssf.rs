@@ -34,8 +34,8 @@ use ssf_repro::ssf_eval::{
     backtest_splits, BacktestConfig, ResultsTable, Split, SplitConfig,
 };
 use ssf_repro::{
-    DurabilityPolicy, FsyncPolicy, OnlineLinkPredictor, OnlinePredictorConfig,
-    ShardedPredictor,
+    CoalesceConfig, Coalescer, DurabilityPolicy, FsyncPolicy,
+    OnlineLinkPredictor, OnlinePredictorConfig, ShardedPredictor, SystemClock,
 };
 
 fn main() -> ExitCode {
@@ -80,6 +80,7 @@ fn dispatch(args: &[String], obs: &ObsHandle) -> Result<(), String> {
         Some("train") => "ssf.cli.train",
         Some("predict") => "ssf.cli.predict",
         Some("serve") => "ssf.cli.serve",
+        Some("serve-loop") => "ssf.cli.serve_loop",
         Some("save") => "ssf.cli.save",
         Some("restore") => "ssf.cli.restore",
         _ => "ssf.cli.other",
@@ -94,6 +95,7 @@ fn dispatch(args: &[String], obs: &ObsHandle) -> Result<(), String> {
         Some("train") => cmd_train(&args[1..], obs),
         Some("predict") => cmd_predict(&args[1..]),
         Some("serve") => cmd_serve(&args[1..], obs),
+        Some("serve-loop") => cmd_serve_loop(&args[1..], obs),
         Some("save") => cmd_save(&args[1..], obs),
         Some("restore") => cmd_restore(&args[1..], obs),
         Some("--help") | Some("-h") | None => {
@@ -129,6 +131,14 @@ USAGE:
                                                sharded serving path, publish a
                                                snapshot, score candidates in
                                                parallel, report health
+  ssf serve-loop <edge-list> [--qps N] [--duration-ms N] [--clients N]
+               [--max-batch N] [--max-delay-us N] [--queue N]
+               [--deadline-us N] [--shards N] [--threads N] [--k N]
+               [--epochs N] [--seed N]         run the request-coalescing
+                                               front-end under closed-loop
+                                               load and report the SLO
+                                               (p50/p99, miss rate, batch
+                                               size); --qps 0 is unpaced
   ssf save     <edge-list> --dir DIR [--k N] [--epochs N] [--seed N]
                [--refit-every N] [--fsync always|never|N]
                                                ingest through a durable
@@ -530,6 +540,191 @@ fn cmd_serve(args: &[String], obs: &ObsHandle) -> Result<(), String> {
         health.quarantined,
         health.degraded_scores,
         cache.hit_rate(),
+    );
+    Ok(())
+}
+
+/// `serve-loop`: the request-coalescing front-end under closed-loop
+/// load. Ingests the stream through the sharded path like `serve`, then
+/// puts the published snapshot behind a [`Coalescer`] and drives it
+/// with client threads that each submit one pair, wait for the ticket,
+/// and pace to the offered rate (`--qps 0` submits as fast as the loop
+/// allows). Reports the SLO numbers the coalescer exists to serve:
+/// p50/p99 end-to-end latency, deadline-miss rate, mean batch size and
+/// overload sheds.
+fn cmd_serve_loop(args: &[String], obs: &ObsHandle) -> Result<(), String> {
+    let path = args.first().ok_or("usage: ssf serve-loop <edge-list>")?;
+    let g = load(path, args)?;
+    let shards: usize = parse_flag(args, "--shards", 1)?;
+    let threads: usize = parse_flag(args, "--threads", 1)?;
+    let clients: usize = parse_flag(args, "--clients", 4)?;
+    let qps: u64 = parse_flag(args, "--qps", 0)?;
+    let duration_ms: u64 = parse_flag(args, "--duration-ms", 1000)?;
+    let max_batch: usize = parse_flag(args, "--max-batch", 32)?;
+    let max_delay_us: u64 = parse_flag(args, "--max-delay-us", 100)?;
+    let queue: usize = parse_flag(args, "--queue", 256)?;
+    let deadline_us: u64 = parse_flag(args, "--deadline-us", 250_000)?;
+    let seed: u64 = parse_flag(args, "--seed", 7)?;
+    if clients == 0 {
+        return Err("--clients must be at least 1".into());
+    }
+    let n = g.node_count() as u32;
+    if n < 2 {
+        return Err("network too small to serve".into());
+    }
+    let opts = MethodOptions {
+        k: parse_flag(args, "--k", 10)?,
+        nm_epochs: parse_flag(args, "--epochs", 40)?,
+        seed,
+        ..MethodOptions::default()
+    };
+    let config = OnlinePredictorConfig::builder()
+        .method(opts)
+        .refit_every(u32::MAX) // one deliberate refit after ingest
+        .build()
+        .map_err(|e| e.to_string())?;
+    let mut sharded =
+        ShardedPredictor::with_recorder(config, shards, obs.clone())
+            .map_err(|e| e.to_string())?;
+    let mut events: Vec<_> = g.links().map(|l| (l.u, l.v, l.t)).collect();
+    events.sort_by_key(|&(_, _, t)| t);
+    let accepted = sharded.observe_batch_parallel(&events);
+    println!("ingested {accepted} events over {shards} shard(s)");
+    if let Err(e) = sharded.try_refit_all() {
+        eprintln!("warning: serving degraded, refit failed: {e}");
+    }
+    let snap = sharded.snapshot();
+
+    // Typed configuration errors (ConfigError::ZeroBatch & friends)
+    // surface here as `error:` lines, never panics.
+    let coalesce_config = CoalesceConfig::builder()
+        .max_batch(max_batch)
+        .max_delay_ns(max_delay_us.saturating_mul(1_000))
+        .queue_capacity(queue)
+        .worker_threads(threads)
+        .default_deadline_ns(Some(deadline_us.saturating_mul(1_000).max(1)))
+        .build()
+        .map_err(|e| e.to_string())?;
+    let coalescer = Coalescer::with_clock_and_recorder(
+        snap,
+        coalesce_config,
+        Arc::new(SystemClock::new()),
+        obs.clone(),
+    );
+    let duration = std::time::Duration::from_millis(duration_ms);
+    // Per-client pacing interval; `--qps 0` means unpaced.
+    let interval = (qps > 0).then(|| {
+        std::time::Duration::from_secs_f64(clients as f64 / qps as f64)
+    });
+    let worker = {
+        let c = coalescer.clone();
+        std::thread::spawn(move || c.run_worker())
+    };
+    let t0 = Instant::now();
+    let mut latencies_ns: Vec<u64> = Vec::new();
+    std::thread::scope(|s| -> Result<(), String> {
+        let handles: Vec<_> = (0..clients)
+            .map(|who| {
+                let c = coalescer.clone();
+                s.spawn(move || {
+                    // Deterministic per-client pair stream (splitmix-
+                    // style LCG; no RNG dependency in the CLI).
+                    let mut state =
+                        seed ^ (who as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    let mut next_u32 = move || {
+                        state = state
+                            .wrapping_mul(6_364_136_223_846_793_005)
+                            .wrapping_add(1_442_695_040_888_963_407);
+                        (state >> 33) as u32
+                    };
+                    let mut lat: Vec<u64> = Vec::new();
+                    let start = Instant::now();
+                    let mut next = start;
+                    while start.elapsed() < duration {
+                        if let Some(iv) = interval {
+                            let now = Instant::now();
+                            if now < next {
+                                std::thread::sleep(next - now);
+                            }
+                            next += iv;
+                        }
+                        let u = next_u32() % n;
+                        let mut v = next_u32() % n;
+                        if u == v {
+                            v = (v + 1) % n;
+                        }
+                        let issued = Instant::now();
+                        if let Ok(ticket) = c.submit(u, v) {
+                            if ticket.wait().is_ok() {
+                                let ns =
+                                    u64::try_from(issued.elapsed().as_nanos())
+                                        .unwrap_or(u64::MAX);
+                                lat.push(ns);
+                            }
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            let lat =
+                h.join().map_err(|_| "client thread panicked".to_string())?;
+            latencies_ns.extend(lat);
+        }
+        Ok(())
+    })?;
+    let elapsed = t0.elapsed().as_secs_f64();
+    coalescer.shutdown();
+    worker
+        .join()
+        .map_err(|_| "worker thread panicked".to_string())?;
+
+    let stats = coalescer.stats();
+    if stats.accepted + stats.rejected() != stats.submitted
+        || stats.completed + stats.expired != stats.accepted
+    {
+        return Err(format!("serving counters do not reconcile: {stats:?}"));
+    }
+    latencies_ns.sort_unstable();
+    let quantile_us = |q: f64| -> f64 {
+        if latencies_ns.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies_ns.len() - 1) as f64 * q).round() as usize;
+        latencies_ns[idx.min(latencies_ns.len() - 1)] as f64 / 1e3
+    };
+    let offered = if qps > 0 {
+        format!("{qps} qps offered")
+    } else {
+        "unpaced".to_string()
+    };
+    println!(
+        "serve-loop: {clients} client(s), {offered}, {duration_ms} ms, \
+         max_batch {max_batch}, max_delay {max_delay_us}us, \
+         queue {queue}, deadline {deadline_us}us"
+    );
+    println!(
+        "completed {} of {} submitted: {:.0} qps achieved, \
+         p50 {:.0}us, p99 {:.0}us",
+        stats.completed,
+        stats.submitted,
+        stats.completed as f64 / elapsed.max(1e-9),
+        quantile_us(0.50),
+        quantile_us(0.99),
+    );
+    let miss_rate = if stats.submitted == 0 {
+        0.0
+    } else {
+        stats.deadline_misses() as f64 / stats.submitted as f64
+    };
+    println!(
+        "slo: deadline miss rate {miss_rate:.4} ({} misses), \
+         shed {} overloaded, mean batch size {:.2} over {} batches",
+        stats.deadline_misses(),
+        stats.rejected_overload,
+        stats.mean_batch_size(),
+        stats.batches,
     );
     Ok(())
 }

@@ -46,6 +46,18 @@ pub enum ConfigError {
     ZeroBackoff,
     /// A sharded predictor needs at least one shard.
     ZeroShards,
+    /// A coalescing queue must close batches at ≥ 1 request.
+    ZeroBatch,
+    /// A coalescing queue must admit at least one request.
+    ZeroQueueCapacity,
+    /// Batch dispatch needs at least one worker thread. (The serve
+    /// layer's `score_batch_parallel` historically coerced `threads ==
+    /// 0` to 1 silently; the coalescing front-end rejects it as a typed
+    /// configuration error instead.)
+    ZeroWorkerThreads,
+    /// A zero-nanosecond default deadline budget would reject every
+    /// request at admission.
+    ZeroDeadline,
 }
 
 impl fmt::Display for ConfigError {
@@ -65,6 +77,22 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::ZeroShards => {
                 write!(f, "shard count must be at least 1")
+            }
+            ConfigError::ZeroBatch => {
+                write!(f, "max_batch must be at least 1 request")
+            }
+            ConfigError::ZeroQueueCapacity => {
+                write!(f, "queue_capacity must be at least 1 request")
+            }
+            ConfigError::ZeroWorkerThreads => {
+                write!(f, "worker_threads must be at least 1")
+            }
+            ConfigError::ZeroDeadline => {
+                write!(
+                    f,
+                    "default deadline budget must be at least 1 ns \
+                     (or None for no deadline)"
+                )
             }
         }
     }
@@ -248,6 +276,10 @@ mod tests {
             (ConfigError::ZeroRefitInterval, "refit_every"),
             (ConfigError::ZeroBackoff, "max_backoff"),
             (ConfigError::ZeroShards, "shard count"),
+            (ConfigError::ZeroBatch, "max_batch"),
+            (ConfigError::ZeroQueueCapacity, "queue_capacity"),
+            (ConfigError::ZeroWorkerThreads, "worker_threads"),
+            (ConfigError::ZeroDeadline, "deadline budget"),
         ];
         for (e, needle) in cases {
             let text = e.to_string();

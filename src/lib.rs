@@ -23,8 +23,10 @@
 //!
 //! The serving-path API lives in this crate directly: [`stream`] (the
 //! single-writer online predictor), [`serve`] (immutable scoring
-//! snapshots and sharded ingestion), [`durability`] (checkpoints, WAL
-//! and crash recovery), [`methods`], [`model`] and [`error`]. The everyday names are re-exported at the crate root and
+//! snapshots and sharded ingestion), [`coalesce`] (the micro-batching
+//! request front-end with deadline budgets and backpressure),
+//! [`durability`] (checkpoints, WAL and crash recovery), [`methods`],
+//! [`model`] and [`error`]. The everyday names are re-exported at the crate root and
 //! bundled in [`prelude`] — downstream code should not import from the
 //! internal module paths.
 //!
@@ -63,6 +65,7 @@
 //! assert_eq!(scores.len(), 2);
 //! ```
 
+pub mod coalesce;
 pub mod durability;
 pub mod error;
 pub mod methods;
@@ -71,6 +74,10 @@ pub mod prelude;
 pub mod serve;
 pub mod stream;
 
+pub use coalesce::{
+    BatchScorer, Clock, CoalesceConfig, CoalesceConfigBuilder, CoalesceStats,
+    Coalescer, MockClock, Rejection, StepReport, SystemClock, Ticket,
+};
 pub use durability::{DurabilityPolicy, RecoveryReport};
 pub use error::{ConfigError, SsfError};
 pub use methods::{Method, MethodOptions};

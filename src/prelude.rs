@@ -23,6 +23,10 @@ pub use ssf_core::{
 
 pub use ssf_persist::FsyncPolicy;
 
+pub use crate::coalesce::{
+    BatchScorer, Clock, CoalesceConfig, CoalesceStats, Coalescer, MockClock,
+    Rejection, SystemClock, Ticket,
+};
 pub use crate::durability::{DurabilityPolicy, RecoveryReport};
 pub use crate::error::{ConfigError, SsfError};
 pub use crate::methods::{Method, MethodOptions};

@@ -415,14 +415,21 @@ impl ScoringSnapshot {
     /// caches only memoize values the pipeline would recompute
     /// identically, so the chunking never shows in the output.
     ///
-    /// `threads == 0` is treated as 1; a single thread short-circuits to
-    /// the serial path.
+    /// Degenerate inputs are handled uniformly across every batch path
+    /// (snapshot, sharded, coalesced): `threads == 0` is clamped to 1
+    /// and an empty batch returns an empty vector without spawning
+    /// threads or opening spans. Callers that want `threads == 0`
+    /// rejected as a typed error should validate through
+    /// [`CoalesceConfig::builder`](crate::coalesce::CoalesceConfig::builder).
     pub fn score_batch_parallel(
         &self,
         pairs: &[(NodeId, NodeId)],
         threads: usize,
     ) -> Vec<Option<f64>> {
-        let threads = threads.max(1).min(pairs.len().max(1));
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.max(1).min(pairs.len());
         if threads == 1 {
             return self.score_batch(pairs);
         }
@@ -855,13 +862,21 @@ impl ShardedSnapshot {
     /// Scores a batch with each shard's group fanned out over up to
     /// `threads` worker threads (divided across shards with work), in
     /// parallel across shards. Bit-identical to [`Self::score_batch`].
+    ///
+    /// Degenerate inputs follow the same contract as
+    /// [`ScoringSnapshot::score_batch_parallel`]: `threads == 0` is
+    /// clamped to 1 and an empty batch returns an empty vector without
+    /// spawning threads.
     pub fn score_batch_parallel(
         &self,
         pairs: &[(NodeId, NodeId)],
         threads: usize,
     ) -> Vec<Option<f64>> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
         let threads = threads.max(1);
-        let busy = self.shards.len().min(pairs.len().max(1));
+        let busy = self.shards.len().min(pairs.len());
         let per_shard = threads.div_ceil(busy);
         self.score_batch_with(pairs, |snap, group| {
             snap.score_batch_parallel(group, per_shard)
