@@ -2,9 +2,13 @@
 //! (h-hop subgraph, structure combination, Palette-WL, full SSF) against
 //! the WLF baseline pipeline on a realistic hub-dominated network.
 
+// Bench harness, not the serving data path: a failed expectation
+// aborts the run and IS the failure report.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use baselines::{WlfConfig, WlfExtractor};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use datasets::{generate, DatasetSpec};
+use datasets::DatasetSpec;
 use ssf_core::{
     palette::palette_wl, HopSubgraph, SsfConfig, SsfExtractor,
     StructureSubgraph,
@@ -12,7 +16,7 @@ use ssf_core::{
 
 fn bench_pipeline(c: &mut Criterion) {
     let spec = DatasetSpec::facebook().scaled(0.25);
-    let g = generate(&spec, 3);
+    let g = spec.generate(3);
     let stat = g.to_static();
     // A mid-degree target pair.
     let (a, b) = (10u32, 200u32);

@@ -1,9 +1,13 @@
 //! Criterion micro-benchmarks of the models: ridge solve, one neural
 //! machine training epoch, NMF update rounds.
 
+// Bench harness, not the serving data path: a failed expectation
+// aborts the run and IS the failure report.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use baselines::{Nmf, NmfConfig};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use datasets::{generate, DatasetSpec};
+use datasets::DatasetSpec;
 use linalg::Matrix;
 use ssf_ml::{LinearRegression, MlpConfig, NeuralMachine};
 
@@ -36,7 +40,7 @@ fn bench_models(c: &mut Criterion) {
         })
     });
 
-    let g = generate(&DatasetSpec::coauthor().scaled(0.5), 5).to_static();
+    let g = DatasetSpec::coauthor().scaled(0.5).generate(5).to_static();
     c.bench_function("nmf_20_rounds", |bench| {
         bench.iter(|| {
             Nmf::factorize(

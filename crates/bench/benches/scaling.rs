@@ -2,15 +2,19 @@
 //! `O(K³ + K·|V_h|²)` (Algorithm 3 analysis) — cost should grow with K and
 //! with the surrounding subgraph size, not with the whole network.
 
+// Bench harness, not the serving data path: a failed expectation
+// aborts the run and IS the failure report.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use criterion::{
     black_box, criterion_group, criterion_main, BenchmarkId, Criterion,
 };
-use datasets::{generate, DatasetSpec, Topology};
+use datasets::{DatasetSpec, Topology};
 use ssf_core::{SsfConfig, SsfExtractor};
 
 fn bench_scaling(c: &mut Criterion) {
     // Sweep K on a fixed network.
-    let g = generate(&DatasetSpec::coauthor(), 3);
+    let g = DatasetSpec::coauthor().generate(3);
     let l_t = g.max_timestamp().unwrap() + 1;
     let mut group = c.benchmark_group("ssf_vs_k");
     for k in [5usize, 10, 15, 20] {
@@ -38,7 +42,7 @@ fn bench_scaling(c: &mut Criterion) {
                 local: 0.5,
             },
         };
-        let g = generate(&spec, 4);
+        let g = spec.generate(4);
         let l_t = g.max_timestamp().unwrap() + 1;
         let ex = SsfExtractor::new(SsfConfig::new(10));
         group.bench_with_input(

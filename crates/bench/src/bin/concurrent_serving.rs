@@ -24,11 +24,15 @@
 //! Run: `cargo run -p ssf-bench --release --bin concurrent_serving
 //!       [--smoke] [--seed <n>] [--out <path>]`
 
+// Bench harness, not the serving data path: a failed expectation
+// aborts the run and IS the failure report.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use std::fs;
 use std::sync::Arc;
 use std::time::Instant;
 
-use datasets::{generate, DatasetSpec};
+use datasets::DatasetSpec;
 use dyngraph::NodeId;
 use obs::{ObsHandle, Registry};
 use rand::rngs::StdRng;
@@ -138,7 +142,7 @@ fn main() {
     } else {
         DatasetSpec::prosper().scaled(0.8)
     };
-    let g = generate(&spec, seed);
+    let g = spec.generate(seed);
     println!(
         "network: {} nodes, {} links ({}), {cores} core(s)",
         g.node_count(),

@@ -8,7 +8,10 @@
 //!
 //! Run: `cargo run -p ssf-bench --release --bin fig6 [--fast] [--samples N]`
 
-use datasets::io::load_or_generate;
+// Bench harness, not the serving data path: a failed expectation
+// aborts the run and IS the failure report.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -48,7 +51,8 @@ fn main() {
     ];
     for spec in specs {
         let spec = if opts.fast { spec.scaled(0.15) } else { spec };
-        let (g, _) = load_or_generate(&spec, &opts.data_dir, opts.seed)
+        let (g, _) = spec
+            .load_or_generate(&opts.data_dir, opts.seed)
             .expect("dataset file exists but is malformed");
         let links: Vec<(u32, u32)> = {
             let mut pairs: Vec<(u32, u32)> =

@@ -5,6 +5,10 @@
 //!
 //! Run: `cargo run -p ssf-bench --release --bin fig7 [--fast] [--datasets …]`
 
+// Bench harness, not the serving data path: a failed expectation
+// aborts the run and IS the failure report.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use ssf_bench::{prepare, HarnessOptions};
 use ssf_repro::methods::{Method, MethodOptions};
 

@@ -1,0 +1,320 @@
+//! Million-scale tier benchmark: generates the [`ScaleTier`] ladder,
+//! freezes each tier in both physical layouts, and runs the serving
+//! path end-to-end on every tier.
+//!
+//! Per tier, the report measures:
+//!
+//! * streamed generation and ingest time (events/s through `observe`),
+//! * freeze time for the wide (usize-offset) and compact (u32 +
+//!   varint-arena) layouts,
+//! * `heap_bytes()` per link for each layout — the honest compression
+//!   accounting the compact representation is judged by,
+//! * cold and warm batch-scoring throughput through a fitted online
+//!   predictor (cold = extraction cache cleared),
+//! * snapshot publish latency (median of several publishes).
+//!
+//! Emits machine-readable `BENCH_scale.json`. The binary itself asserts
+//! the invariants CI gates on: compact bytes/link strictly below wide
+//! bytes/link on every tier, and cold/warm scores bit-identical.
+//!
+//! Run: `cargo run -p ssf-bench --release --bin scale
+//!       [--smoke] [--seed <n>] [--out <path>]`
+//!
+//! Full mode runs the S(10k)/M(100k)/L(400k)-node tiers; `--smoke`
+//! substitutes a scaled-down M so the whole run fits a CI minute while
+//! still crossing the streamed-generation and compact-auto thresholds.
+
+// Bench harness, not the serving data path: a failed expectation
+// aborts the run and IS the failure report.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use std::fs;
+use std::time::Instant;
+
+use datasets::{DatasetSpec, ScaleTier};
+use dyngraph::{FrozenGraph, NodeId, StorageMode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ssf_eval::SplitConfig;
+use ssf_repro::methods::MethodOptions;
+use ssf_repro::{OnlineLinkPredictor, OnlinePredictorConfig};
+
+const CHUNK: usize = 64;
+
+struct TierReport {
+    tier: &'static str,
+    spec_name: &'static str,
+    nodes: usize,
+    links: usize,
+    gen_secs: f64,
+    ingest_secs: f64,
+    wide_secs: f64,
+    compact_secs: f64,
+    wide_bytes: usize,
+    compact_bytes: usize,
+    pairs: usize,
+    cold_pps: f64,
+    warm_pps: f64,
+    storage_mode: StorageMode,
+    publish_us: f64,
+}
+
+impl TierReport {
+    fn wide_per_link(&self) -> f64 {
+        self.wide_bytes as f64 / self.links as f64
+    }
+    fn compact_per_link(&self) -> f64 {
+        self.compact_bytes as f64 / self.links as f64
+    }
+    fn saving_pct(&self) -> f64 {
+        100.0 * (1.0 - self.compact_per_link() / self.wide_per_link())
+    }
+}
+
+/// Times one tier end to end: generate → freeze both layouts →
+/// ingest → fit → score cold/warm → publish.
+fn run_tier(
+    tier: &'static str,
+    spec: &DatasetSpec,
+    seed: u64,
+    n_pairs: usize,
+) -> TierReport {
+    let t0 = Instant::now();
+    let g = spec.generate(seed);
+    let gen_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "[{tier}] generated {} nodes / {} links in {gen_secs:.2}s",
+        g.node_count(),
+        g.link_count()
+    );
+
+    let t0 = Instant::now();
+    let wide = FrozenGraph::from_view_with(&g, StorageMode::Wide)
+        .expect("wide freeze never fails");
+    let wide_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let compact = FrozenGraph::from_view_with(&g, StorageMode::Compact)
+        .expect("every tier fits the compact u32 limits");
+    let compact_secs = t0.elapsed().as_secs_f64();
+    let (wide_bytes, compact_bytes) = (wide.heap_bytes(), compact.heap_bytes());
+    assert!(
+        compact_bytes < wide_bytes,
+        "[{tier}] compact layout must be smaller: {compact_bytes} vs \
+         {wide_bytes} bytes"
+    );
+    println!(
+        "[{tier}] freeze wide {wide_secs:.2}s ({:.1} B/link), \
+         compact {compact_secs:.2}s ({:.1} B/link, -{:.1}%)",
+        wide_bytes as f64 / g.link_count() as f64,
+        compact_bytes as f64 / g.link_count() as f64,
+        100.0 * (1.0 - compact_bytes as f64 / wide_bytes as f64),
+    );
+    drop(wide);
+    drop(compact);
+
+    // End-to-end serving path: ingest the stream, fit once, score.
+    // The split caps keep the fit cost bounded so throughput measures
+    // extraction + scoring over the tier's graph, not training size.
+    let config = OnlinePredictorConfig::builder()
+        .method(MethodOptions {
+            seed,
+            nm_epochs: 12,
+            ..MethodOptions::default()
+        })
+        .refit_every(u32::MAX)
+        .min_positives(40)
+        .history_folds(0)
+        .split(SplitConfig {
+            seed,
+            max_positives: Some(160),
+            ..SplitConfig::default()
+        })
+        .build()
+        .expect("valid benchmark configuration");
+    let mut p = OnlineLinkPredictor::new(config);
+    let mut links: Vec<_> = g.links().collect();
+    links.sort_by_key(|l| l.t);
+    let t0 = Instant::now();
+    for l in &links {
+        p.observe(l.u, l.v, l.t);
+    }
+    let ingest_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "[{tier}] ingested {} events in {ingest_secs:.2}s ({:.0} events/s)",
+        links.len(),
+        links.len() as f64 / ingest_secs.max(1e-9),
+    );
+    p.try_refit().expect("tier stream must support a fit");
+
+    // Recommendation-shaped pairs: focal nodes × candidates with
+    // repeats, the same shape the batch_scoring bench uses.
+    let n = p.network().node_count() as NodeId;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    let mut pairs: Vec<(NodeId, NodeId)> = Vec::with_capacity(n_pairs);
+    let mut focal = rng.gen_range(0..n);
+    for i in 0..n_pairs {
+        if i % 16 == 0 {
+            focal = rng.gen_range(0..n);
+        }
+        let pair = if i % 4 == 3 && !pairs.is_empty() {
+            pairs[rng.gen_range(0..pairs.len())]
+        } else {
+            (focal, rng.gen_range(0..n))
+        };
+        pairs.push(pair);
+    }
+
+    let run_batch = |p: &mut OnlineLinkPredictor| {
+        let t0 = Instant::now();
+        let mut out = Vec::with_capacity(pairs.len());
+        for chunk in pairs.chunks(CHUNK) {
+            out.extend(p.score_batch(chunk));
+        }
+        (
+            out,
+            pairs.len() as f64 / t0.elapsed().as_secs_f64().max(1e-9),
+        )
+    };
+    p.clear_cache();
+    let (cold_scores, cold_pps) = run_batch(&mut p);
+    let (warm_scores, warm_pps) = run_batch(&mut p);
+    assert_eq!(cold_scores, warm_scores, "warm batch changed scores");
+    println!(
+        "[{tier}] scoring {} pairs: cold {cold_pps:.0} pairs/s, \
+         warm {warm_pps:.0} pairs/s",
+        pairs.len()
+    );
+
+    // Snapshot publish latency: median of five publishes (O(delta)
+    // copy-on-write, so this is the tail a serving replica pays).
+    let mut publish_us: Vec<f64> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            let s = p.snapshot();
+            let us = t0.elapsed().as_secs_f64() * 1e6;
+            drop(s);
+            us
+        })
+        .collect();
+    publish_us.sort_by(f64::total_cmp);
+    let publish_us = publish_us[publish_us.len() / 2];
+    let storage_mode = p.snapshot().storage_mode();
+    println!(
+        "[{tier}] snapshot publish p50 {publish_us:.1}us \
+         (storage: {storage_mode})"
+    );
+
+    TierReport {
+        tier,
+        spec_name: spec.name,
+        nodes: g.node_count(),
+        links: g.link_count(),
+        gen_secs,
+        ingest_secs,
+        wide_secs,
+        compact_secs,
+        wide_bytes,
+        compact_bytes,
+        pairs: pairs.len(),
+        cold_pps,
+        warm_pps,
+        storage_mode,
+        publish_us,
+    }
+}
+
+fn tier_json(r: &TierReport) -> String {
+    format!(
+        "    {{\n      \"tier\": \"{}\",\n      \"spec\": \"{}\",\n      \
+         \"nodes\": {},\n      \"links\": {},\n      \
+         \"gen_secs\": {:.3},\n      \"ingest_secs\": {:.3},\n      \
+         \"freeze\": {{ \"wide_secs\": {:.3}, \"compact_secs\": {:.3} }},\n      \
+         \"bytes\": {{\n        \"wide\": {},\n        \"compact\": {},\n        \
+         \"wide_per_link\": {:.2},\n        \"compact_per_link\": {:.2},\n        \
+         \"saving_pct\": {:.1}\n      }},\n      \
+         \"scoring\": {{\n        \"pairs\": {},\n        \
+         \"cold_pairs_per_sec\": {:.1},\n        \
+         \"warm_pairs_per_sec\": {:.1},\n        \
+         \"storage_mode\": \"{}\"\n      }},\n      \
+         \"snapshot_publish_us\": {:.1}\n    }}",
+        r.tier,
+        r.spec_name,
+        r.nodes,
+        r.links,
+        r.gen_secs,
+        r.ingest_secs,
+        r.wide_secs,
+        r.compact_secs,
+        r.wide_bytes,
+        r.compact_bytes,
+        r.wide_per_link(),
+        r.compact_per_link(),
+        r.saving_pct(),
+        r.pairs,
+        r.cold_pps,
+        r.warm_pps,
+        r.storage_mode,
+        r.publish_us,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut seed = 7u64;
+    let mut out_path = String::from("BENCH_scale.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--seed" => {
+                let v = it.next().expect("--seed requires a value");
+                seed = v.parse().expect("--seed must be an integer");
+            }
+            "--out" => {
+                out_path = it.next().expect("--out requires a value").clone();
+            }
+            _ => {}
+        }
+    }
+
+    // Smoke keeps CI fast but still crosses both interesting
+    // thresholds: S streams (10k nodes = STREAM_THRESHOLD) and the
+    // reduced M (70k nodes) sits above the compact-auto node floor, so
+    // its serving path runs on the compact layout.
+    let tiers: Vec<(&'static str, DatasetSpec, usize)> = if smoke {
+        vec![
+            ("S", DatasetSpec::tier(ScaleTier::S), 256),
+            ("M-smoke", DatasetSpec::tier(ScaleTier::M).scaled(0.7), 256),
+        ]
+    } else {
+        vec![
+            ("S", DatasetSpec::tier(ScaleTier::S), 1024),
+            ("M", DatasetSpec::tier(ScaleTier::M), 1024),
+            ("L", DatasetSpec::tier(ScaleTier::L), 512),
+        ]
+    };
+
+    let reports: Vec<TierReport> = tiers
+        .iter()
+        .map(|(tier, spec, pairs)| run_tier(tier, spec, seed, *pairs))
+        .collect();
+
+    for w in reports.windows(2) {
+        assert!(
+            w[0].links < w[1].links,
+            "tiers must be monotone in links: {} !< {}",
+            w[0].links,
+            w[1].links
+        );
+    }
+
+    let body: Vec<String> = reports.iter().map(tier_json).collect();
+    let json = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"seed\": {seed},\n  \
+         \"tiers\": [\n{}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    fs::write(&out_path, json).expect("write benchmark json");
+    println!("wrote {out_path}");
+}

@@ -27,10 +27,14 @@
 //! Run: `cargo run -p ssf-bench --release --bin serving_slo
 //!       [--smoke] [--seed <n>] [--out <path>]`
 
+// Bench harness, not the serving data path: a failed expectation
+// aborts the run and IS the failure report.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use std::fs;
 use std::time::{Duration, Instant};
 
-use datasets::{generate, DatasetSpec};
+use datasets::DatasetSpec;
 use dyngraph::{GraphView, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -65,7 +69,7 @@ fn fitted_snapshot(smoke: bool, seed: u64) -> ScoringSnapshot {
     } else {
         DatasetSpec::prosper().scaled(0.5)
     };
-    let g = generate(&spec, seed);
+    let g = spec.generate(seed);
     println!(
         "network: {} nodes, {} links ({})",
         g.node_count(),

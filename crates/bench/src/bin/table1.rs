@@ -9,6 +9,10 @@
 //!
 //! Run: `cargo run -p ssf-bench --release --bin table1`
 
+// Bench harness, not the serving data path: a failed expectation
+// aborts the run and IS the failure report.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use baselines::local;
 use ssf_bench::figure1_network;
 use ssf_core::{EntryEncoding, SsfConfig, SsfExtractor};

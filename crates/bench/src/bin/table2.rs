@@ -5,7 +5,11 @@
 //!
 //! Run: `cargo run -p ssf-bench --release --bin table2 [--fast] [--data-dir data]`
 
-use datasets::io::{load_or_generate, Provenance};
+// Bench harness, not the serving data path: a failed expectation
+// aborts the run and IS the failure report.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
+use datasets::io::Provenance;
 use dyngraph::{metrics, stats::NetworkStats};
 use ssf_bench::HarnessOptions;
 
@@ -19,7 +23,8 @@ fn main() {
     );
     println!("{}", "-".repeat(114));
     for spec in opts.selected_specs() {
-        let (g, prov) = load_or_generate(&spec, &opts.data_dir, opts.seed)
+        let (g, prov) = spec
+            .load_or_generate(&opts.data_dir, opts.seed)
             .expect("dataset file exists but is malformed");
         let s = NetworkStats::of(&g);
         let source = match prov {

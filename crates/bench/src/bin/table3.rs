@@ -11,6 +11,10 @@
 //! counterparts, WLF/SSF-based methods are consistent across topologies
 //! while the local indices crater on the sparse hub networks.
 
+// Bench harness, not the serving data path: a failed expectation
+// aborts the run and IS the failure report.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use ssf_bench::{prepare, HarnessOptions};
 use ssf_eval::ResultsTable;
 use ssf_repro::methods::{Method, MethodOptions};

@@ -9,6 +9,10 @@
 //! Run: `cargo run -p ssf-bench --release --bin topn [--fast] [--datasets …]
 //!       [--methods cn,ssflr,…]`
 
+// Bench harness, not the serving data path: a failed expectation
+// aborts the run and IS the failure report.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use ssf_bench::{prepare, HarnessOptions};
 use ssf_eval::metrics::{average_precision, precision_at_k};
 use ssf_repro::methods::{Method, MethodOptions};

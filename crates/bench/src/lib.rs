@@ -15,9 +15,13 @@
 //! `--seed <n>`, `--data-dir <path>` (real KONECT edge lists, see
 //! `datasets::io`), and `--datasets a,b,c` to filter.
 
+// Bench harness, not the serving data path: a failed expectation
+// aborts the run and IS the failure report.
+#![allow(clippy::expect_used, clippy::unwrap_used)]
+
 use std::path::PathBuf;
 
-use datasets::{io::load_or_generate, DatasetSpec};
+use datasets::DatasetSpec;
 use dyngraph::DynamicNetwork;
 use ssf_eval::{
     backtest_splits, BacktestConfig, Split, SplitConfig, SplitError,
@@ -144,7 +148,8 @@ pub fn prepare(
     spec: &DatasetSpec,
     opts: &HarnessOptions,
 ) -> Result<PreparedDataset, SplitError> {
-    let (network, _prov) = load_or_generate(spec, &opts.data_dir, opts.seed)
+    let (network, _prov) = spec
+        .load_or_generate(&opts.data_dir, opts.seed)
         .expect("real dataset file exists but is malformed");
     let cfg = SplitConfig {
         seed: opts.seed,

@@ -21,6 +21,19 @@
 //! threads die, celebrities rise and fall — and it is the property that
 //! makes time-aware features (the paper's premise) informative: without
 //! drift, all-time link counts would dominate any recency weighting.
+//!
+//! # Two memory regimes
+//!
+//! Specs below [`STREAM_THRESHOLD`] nodes use the *dense* state: the full
+//! event-pair log and endpoint bag, giving exact Pólya / preferential
+//! sampling. That state is two full-edge-list copies — irrelevant at
+//! paper scale (≤ 61k events), prohibitive at the million-node scale
+//! tiers. At or above the threshold the generator switches to *streamed*
+//! state: fixed-capacity recency rings plus uniform reservoirs stand in
+//! for the full logs, so auxiliary memory is `O(|V| + W)` for a constant
+//! window `W` and the only `O(|E|)` allocation is the network being
+//! built. Paper specs are all far below the threshold, so their output is
+//! bit-for-bit unchanged by the streamed path's existence.
 
 use dyngraph::{DynamicNetwork, NodeId, Timestamp};
 use rand::rngs::StdRng;
@@ -35,18 +48,62 @@ pub const RECENCY_BIAS: f64 = 0.5;
 /// The fraction of most recent events that recency-biased draws use.
 pub const RECENT_SLICE: f64 = 0.1;
 
+/// Node count at which generation switches from the dense full-log state
+/// to the bounded streamed state. Every paper dataset is far below this,
+/// every [`crate::ScaleTier`] rung at or above it.
+pub const STREAM_THRESHOLD: usize = 10_000;
+
+/// Capacity of the streamed state's recency ring and reservoirs.
+const STREAM_WINDOW: usize = 1 << 16;
+
+/// Per-node neighbor-ring capacity in the streamed state (drives triadic
+/// closure for hub topologies).
+const STREAM_NBR_CAP: usize = 4;
+
 /// Generates a dynamic network for `spec`, deterministically from `seed`.
+///
+/// Deprecated free-function form of [`DatasetSpec::generate`].
 ///
 /// # Panics
 ///
 /// Panics if the spec has fewer than 2 nodes or fewer links than nodes − 1
 /// (the growth phase needs one event per new node).
+#[deprecated(note = "use the `DatasetSpec::generate` method instead")]
 pub fn generate(spec: &DatasetSpec, seed: u64) -> DynamicNetwork {
-    assert!(spec.nodes >= 2, "need at least two nodes");
-    assert!(
-        spec.target_links >= spec.nodes - 1,
-        "need at least |V|-1 links to cover every node"
-    );
+    spec.generate(seed)
+}
+
+impl DatasetSpec {
+    /// Generates the dynamic network of this spec, deterministically from
+    /// `seed`.
+    ///
+    /// Specs with at least [`STREAM_THRESHOLD`] nodes are built through
+    /// the streamed generator state (auxiliary memory bounded by a
+    /// constant window instead of the full event log); smaller specs use
+    /// the dense state. Output is deterministic per `(spec, seed)` in
+    /// both regimes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has fewer than 2 nodes or fewer links than
+    /// nodes − 1 (the growth phase needs one event per new node) —
+    /// specs from [`DatasetSpec::builder`] have already ruled both out.
+    pub fn generate(&self, seed: u64) -> DynamicNetwork {
+        assert!(self.nodes >= 2, "need at least two nodes");
+        assert!(
+            self.target_links >= self.nodes - 1,
+            "need at least |V|-1 links to cover every node"
+        );
+        if self.nodes >= STREAM_THRESHOLD {
+            generate_streamed(self, seed)
+        } else {
+            generate_dense(self, seed)
+        }
+    }
+}
+
+/// Dense-state generation: exact Pólya urn and endpoint bag.
+fn generate_dense(spec: &DatasetSpec, seed: u64) -> DynamicNetwork {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut state = GenState::new(spec, &mut rng);
 
@@ -67,13 +124,124 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> DynamicNetwork {
     g
 }
 
+/// Streamed generation: bounded rings/reservoirs instead of full logs.
+fn generate_streamed(spec: &DatasetSpec, seed: u64) -> DynamicNetwork {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut state = StreamState::new(spec, &mut rng);
+
+    let m = spec.target_links;
+    let mut g = DynamicNetwork::with_node_capacity(spec.nodes);
+    for event in 0..m {
+        let t = timestamp_of(event, m, spec.time_span);
+        let (u, v) = if event == 0 {
+            (0, 1)
+        } else if event < spec.nodes - 1 {
+            state.growth_pair(event as NodeId + 1, &mut rng)
+        } else {
+            state.activity_pair(&mut rng)
+        };
+        state.record(u, v, &mut rng);
+        g.add_link(u, v, t);
+    }
+    g
+}
+
 /// Timestamp of the `event`-th of `m` events over `[1, span]`: ticks are
 /// filled evenly in event order, the last event always lands on `span`.
 fn timestamp_of(event: usize, m: usize, span: u32) -> Timestamp {
     ((((event as u64) + 1) * span as u64) / m as u64).max(1) as Timestamp
 }
 
-/// Mutable generator state: the endpoint bag (degree-proportional
+/// Random community labels for `nodes` nodes over `communities` groups,
+/// with every group guaranteed non-empty (re-homed from the largest).
+/// Members are pushed in ascending node order.
+fn assign_communities(
+    nodes: usize,
+    communities: usize,
+    rng: &mut StdRng,
+) -> (Vec<usize>, Vec<Vec<NodeId>>) {
+    let mut of = Vec::with_capacity(nodes);
+    let mut members = vec![Vec::new(); communities];
+    for node in 0..nodes {
+        let c = rng.gen_range(0..communities);
+        of.push(c);
+        members[c].push(node as NodeId);
+    }
+    for c in 0..communities {
+        if members[c].is_empty() {
+            #[allow(clippy::expect_used)] // communities ≥ 1
+            let donor = (0..communities)
+                .max_by_key(|&d| members[d].len())
+                .expect("communities exist");
+            #[allow(clippy::expect_used)] // donor holds ≥ 1
+            let node = members[donor].pop().expect("non-empty donor");
+            of[node as usize] = c;
+            members[c].push(node);
+        }
+    }
+    (of, members)
+}
+
+/// A uniform pair inside one (size-weighted) group; falls back to a
+/// uniform global pair for degenerate groups.
+fn intra_group_pair(
+    nodes: usize,
+    community_of: &[usize],
+    members: &[Vec<NodeId>],
+    rng: &mut StdRng,
+) -> (NodeId, NodeId) {
+    for _ in 0..16 {
+        let c = community_of[rng.gen_range(0..nodes)];
+        let group = &members[c];
+        if group.len() >= 2 {
+            let a = group[rng.gen_range(0..group.len())];
+            let b = group[rng.gen_range(0..group.len())];
+            if a != b {
+                return (a, b);
+            }
+        } else {
+            break;
+        }
+    }
+    uniform_pair(nodes, rng)
+}
+
+/// Community drift: move one random node into a different community.
+fn migrate_random_node(
+    nodes: usize,
+    community_of: &mut [usize],
+    members: &mut [Vec<NodeId>],
+    rng: &mut StdRng,
+) {
+    let n_comms = members.len();
+    if n_comms < 2 {
+        return;
+    }
+    let node = rng.gen_range(0..nodes) as NodeId;
+    let old = community_of[node as usize];
+    // Never empty a community.
+    if members[old].len() <= 1 {
+        return;
+    }
+    let mut new = rng.gen_range(0..n_comms);
+    while new == old {
+        new = rng.gen_range(0..n_comms);
+    }
+    members[old].retain(|&m| m != node);
+    members[new].push(node);
+    community_of[node as usize] = new;
+}
+
+fn uniform_pair(nodes: usize, rng: &mut StdRng) -> (NodeId, NodeId) {
+    let a = rng.gen_range(0..nodes as NodeId);
+    let mut b = rng.gen_range(0..nodes as NodeId);
+    while b == a {
+        b = rng.gen_range(0..nodes as NodeId);
+    }
+    (a, b)
+}
+
+/// Dense generator state: the endpoint bag (degree-proportional
 /// sampling), the event-pair log (Pólya repetition) and community labels.
 struct GenState {
     topology: Topology,
@@ -104,28 +272,7 @@ impl GenState {
         };
         let (community_of, members) = match group_count {
             Some(communities) => {
-                let mut of = Vec::with_capacity(spec.nodes);
-                let mut members = vec![Vec::new(); communities];
-                for node in 0..spec.nodes {
-                    let c = rng.gen_range(0..communities);
-                    of.push(c);
-                    members[c].push(node as NodeId);
-                }
-                // No community may be empty (re-home from the largest).
-                for c in 0..communities {
-                    if members[c].is_empty() {
-                        #[allow(clippy::expect_used)] // communities ≥ 1
-                        let donor = (0..communities)
-                            .max_by_key(|&d| members[d].len())
-                            .expect("communities exist");
-                        #[allow(clippy::expect_used)] // donor holds ≥ 1
-                        let node =
-                            members[donor].pop().expect("non-empty donor");
-                        of[node as usize] = c;
-                        members[c].push(node);
-                    }
-                }
-                (of, members)
+                assign_communities(spec.nodes, communities, rng)
             }
             None => (Vec::new(), Vec::new()),
         };
@@ -187,7 +334,12 @@ impl GenState {
             Topology::HubDominated { .. } => 0.0,
         };
         if drift > 0.0 && rng.gen_bool(drift) {
-            self.migrate_random_node(rng);
+            migrate_random_node(
+                self.nodes,
+                &mut self.community_of,
+                &mut self.members,
+                rng,
+            );
         }
         let repeat = match self.topology {
             Topology::RepeatedContact { repeat, .. } => repeat,
@@ -199,11 +351,17 @@ impl GenState {
             return self.pair_log[self.drifted_index(self.pair_log.len(), rng)];
         }
         match self.topology {
-            Topology::RepeatedContact { intra, .. } => {
+            Topology::RepeatedContact { intra, .. }
+            | Topology::Community { intra, .. } => {
                 if rng.gen_bool(intra) {
-                    self.intra_group_pair(rng)
+                    intra_group_pair(
+                        self.nodes,
+                        &self.community_of,
+                        &self.members,
+                        rng,
+                    )
                 } else {
-                    self.uniform_pair(rng)
+                    uniform_pair(self.nodes, rng)
                 }
             }
             Topology::HubDominated {
@@ -221,33 +379,7 @@ impl GenState {
                 }
                 (hub, other)
             }
-            Topology::Community { intra, .. } => {
-                if rng.gen_bool(intra) {
-                    self.intra_group_pair(rng)
-                } else {
-                    self.uniform_pair(rng)
-                }
-            }
         }
-    }
-
-    /// A uniform pair inside one (size-weighted) group; falls back to a
-    /// uniform global pair for degenerate groups.
-    fn intra_group_pair(&self, rng: &mut StdRng) -> (NodeId, NodeId) {
-        for _ in 0..16 {
-            let c = self.community_of[rng.gen_range(0..self.nodes)];
-            let members = &self.members[c];
-            if members.len() >= 2 {
-                let a = members[rng.gen_range(0..members.len())];
-                let b = members[rng.gen_range(0..members.len())];
-                if a != b {
-                    return (a, b);
-                }
-            } else {
-                break;
-            }
-        }
-        self.uniform_pair(rng)
     }
 
     /// Triadic closure: a random neighbor-of-neighbor of `hub` that is not
@@ -273,36 +405,6 @@ impl GenState {
             }
         }
         None
-    }
-
-    /// Community drift: move one random node into a different community.
-    fn migrate_random_node(&mut self, rng: &mut StdRng) {
-        let n_comms = self.members.len();
-        if n_comms < 2 {
-            return;
-        }
-        let node = rng.gen_range(0..self.nodes) as NodeId;
-        let old = self.community_of[node as usize];
-        // Never empty a community.
-        if self.members[old].len() <= 1 {
-            return;
-        }
-        let mut new = rng.gen_range(0..n_comms);
-        while new == old {
-            new = rng.gen_range(0..n_comms);
-        }
-        self.members[old].retain(|&m| m != node);
-        self.members[new].push(node);
-        self.community_of[node as usize] = new;
-    }
-
-    fn uniform_pair(&self, rng: &mut StdRng) -> (NodeId, NodeId) {
-        let a = rng.gen_range(0..self.nodes as NodeId);
-        let mut b = rng.gen_range(0..self.nodes as NodeId);
-        while b == a {
-            b = rng.gen_range(0..self.nodes as NodeId);
-        }
-        (a, b)
     }
 
     /// Degree-proportional node pick, sharpened by `bias`: a tournament of
@@ -354,9 +456,276 @@ impl GenState {
     }
 }
 
+/// Streamed generator state: the full pair log and endpoint bag are
+/// replaced by a recency ring (the "last slice" of [`RECENCY_BIAS`]
+/// draws) and uniform Algorithm-R reservoirs (the "all time" draws — a
+/// uniform sample of the endpoint stream *is* a degree-proportional node
+/// sample). Per-node neighbor logs become fixed-capacity rings. All
+/// auxiliary state is `O(|V| + STREAM_WINDOW)`.
+struct StreamState {
+    topology: Topology,
+    nodes: usize,
+    /// Ring of the most recent events (pairs), overwritten in place.
+    recent: Vec<(NodeId, NodeId)>,
+    recent_pos: usize,
+    /// Uniform reservoir over all events (Algorithm R).
+    pair_sample: Vec<(NodeId, NodeId)>,
+    /// Uniform reservoir over all endpoint occurrences: a uniform draw is
+    /// degree-proportional node sampling, exactly what the dense
+    /// endpoint bag provides.
+    endpoint_sample: Vec<NodeId>,
+    /// Events recorded so far (reservoir denominators).
+    events: u64,
+    endpoints: u64,
+    community_of: Vec<usize>,
+    members: Vec<Vec<NodeId>>,
+    degree: Vec<u32>,
+    /// Fixed-capacity per-node neighbor rings (`STREAM_NBR_CAP` each),
+    /// flat: node `u` owns `nbr_ring[u*CAP .. u*CAP + nbr_len[u]]`.
+    nbr_ring: Vec<NodeId>,
+    nbr_len: Vec<u8>,
+    nbr_pos: Vec<u8>,
+}
+
+impl StreamState {
+    fn new(spec: &DatasetSpec, rng: &mut StdRng) -> Self {
+        let group_count = match spec.topology {
+            Topology::Community { communities, .. } => Some(communities),
+            Topology::RepeatedContact { groups, .. } => Some(groups),
+            Topology::HubDominated { .. } => None,
+        };
+        let (community_of, members) = match group_count {
+            Some(communities) => {
+                assign_communities(spec.nodes, communities, rng)
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+        let hub = matches!(spec.topology, Topology::HubDominated { .. });
+        StreamState {
+            topology: spec.topology,
+            nodes: spec.nodes,
+            recent: Vec::with_capacity(STREAM_WINDOW),
+            recent_pos: 0,
+            pair_sample: Vec::with_capacity(STREAM_WINDOW),
+            endpoint_sample: Vec::with_capacity(STREAM_WINDOW),
+            events: 0,
+            endpoints: 0,
+            community_of,
+            members,
+            degree: vec![0; spec.nodes],
+            // Triadic closure only serves hub topologies; skip the ring
+            // allocation otherwise.
+            nbr_ring: vec![
+                0;
+                if hub { spec.nodes * STREAM_NBR_CAP } else { 0 }
+            ],
+            nbr_len: vec![0; if hub { spec.nodes } else { 0 }],
+            nbr_pos: vec![0; if hub { spec.nodes } else { 0 }],
+        }
+    }
+
+    fn record(&mut self, u: NodeId, v: NodeId, rng: &mut StdRng) {
+        self.degree[u as usize] += 1;
+        self.degree[v as usize] += 1;
+        // Recency ring.
+        if self.recent.len() < STREAM_WINDOW {
+            self.recent.push((u, v));
+        } else {
+            self.recent[self.recent_pos] = (u, v);
+            self.recent_pos = (self.recent_pos + 1) % STREAM_WINDOW;
+        }
+        // Algorithm R pair reservoir.
+        self.events += 1;
+        if self.pair_sample.len() < STREAM_WINDOW {
+            self.pair_sample.push((u, v));
+        } else {
+            let j = rng.gen_range(0..self.events);
+            if (j as usize) < STREAM_WINDOW {
+                self.pair_sample[j as usize] = (u, v);
+            }
+        }
+        // Algorithm R endpoint reservoir (two pushes per event).
+        for n in [u, v] {
+            self.endpoints += 1;
+            if self.endpoint_sample.len() < STREAM_WINDOW {
+                self.endpoint_sample.push(n);
+            } else {
+                let j = rng.gen_range(0..self.endpoints);
+                if (j as usize) < STREAM_WINDOW {
+                    self.endpoint_sample[j as usize] = n;
+                }
+            }
+        }
+        // Neighbor rings (hub topologies only).
+        if !self.nbr_len.is_empty() {
+            for (a, b) in [(u, v), (v, u)] {
+                let i = a as usize;
+                let cap = STREAM_NBR_CAP as u8;
+                let slot = self.nbr_pos[i] % cap;
+                self.nbr_ring[i * STREAM_NBR_CAP + slot as usize] = b;
+                self.nbr_pos[i] = (slot + 1) % cap;
+                self.nbr_len[i] = (self.nbr_len[i] + 1).min(cap);
+            }
+        }
+    }
+
+    /// Growth phase: attach `newcomer` to the existing network. Growth
+    /// precedes all activity, so community member lists are still in
+    /// ascending node order and the attached prefix is a binary search.
+    fn growth_pair(
+        &mut self,
+        newcomer: NodeId,
+        rng: &mut StdRng,
+    ) -> (NodeId, NodeId) {
+        let anchor = match self.topology {
+            Topology::HubDominated { hub_bias, .. } => {
+                for _ in 0..64 {
+                    let n = self.degree_biased(hub_bias, rng);
+                    if n < newcomer {
+                        return (n, newcomer);
+                    }
+                }
+                rng.gen_range(0..newcomer)
+            }
+            Topology::Community { .. } | Topology::RepeatedContact { .. } => {
+                let c = self.community_of[newcomer as usize];
+                let attached =
+                    self.members[c].partition_point(|&n| n < newcomer);
+                if attached == 0 {
+                    rng.gen_range(0..newcomer)
+                } else {
+                    self.members[c][rng.gen_range(0..attached)]
+                }
+            }
+        };
+        (anchor, newcomer)
+    }
+
+    /// Activity phase: repetition or a fresh topology-specific pair —
+    /// the dense logic with ring/reservoir draws in place of log draws.
+    fn activity_pair(&mut self, rng: &mut StdRng) -> (NodeId, NodeId) {
+        let drift = match self.topology {
+            Topology::Community { drift, .. } => drift,
+            Topology::RepeatedContact { drift, .. } => drift,
+            Topology::HubDominated { .. } => 0.0,
+        };
+        if drift > 0.0 && rng.gen_bool(drift) {
+            migrate_random_node(
+                self.nodes,
+                &mut self.community_of,
+                &mut self.members,
+                rng,
+            );
+        }
+        let repeat = match self.topology {
+            Topology::RepeatedContact { repeat, .. } => repeat,
+            Topology::HubDominated { repeat, .. } => repeat,
+            Topology::Community { repeat, .. } => repeat,
+        };
+        if rng.gen_bool(repeat) {
+            return self.drifted_pair(rng);
+        }
+        match self.topology {
+            Topology::RepeatedContact { intra, .. }
+            | Topology::Community { intra, .. } => {
+                if rng.gen_bool(intra) {
+                    intra_group_pair(
+                        self.nodes,
+                        &self.community_of,
+                        &self.members,
+                        rng,
+                    )
+                } else {
+                    uniform_pair(self.nodes, rng)
+                }
+            }
+            Topology::HubDominated {
+                hub_bias, local, ..
+            } => {
+                let hub = self.degree_biased(hub_bias, rng);
+                if rng.gen_bool(local) {
+                    if let Some(v) = self.two_hop_neighbor(hub, rng) {
+                        return (hub, v);
+                    }
+                }
+                let mut other = rng.gen_range(0..self.nodes as NodeId);
+                while other == hub {
+                    other = rng.gen_range(0..self.nodes as NodeId);
+                }
+                (hub, other)
+            }
+        }
+    }
+
+    /// Recency-drifted pair draw: recent ring with [`RECENCY_BIAS`]
+    /// probability, otherwise the uniform all-time reservoir.
+    fn drifted_pair(&self, rng: &mut StdRng) -> (NodeId, NodeId) {
+        debug_assert!(!self.recent.is_empty());
+        if rng.gen_bool(RECENCY_BIAS) {
+            self.recent[rng.gen_range(0..self.recent.len())]
+        } else {
+            self.pair_sample[rng.gen_range(0..self.pair_sample.len())]
+        }
+    }
+
+    /// Degree-proportional pick via the endpoint reservoir, sharpened by
+    /// `bias` with the same tournament rule as the dense state.
+    fn degree_biased(&self, bias: f64, rng: &mut StdRng) -> NodeId {
+        let draws = bias.floor().max(1.0) as usize
+            + usize::from(
+                bias.fract() > 0.0 && rng.gen_bool(bias.fract().min(1.0)),
+            );
+        #[allow(clippy::expect_used)] // draws ≥ 1 by construction
+        (0..draws)
+            .map(|_| {
+                if rng.gen_bool(RECENCY_BIAS) {
+                    let (u, v) =
+                        self.recent[rng.gen_range(0..self.recent.len())];
+                    if rng.gen_bool(0.5) {
+                        u
+                    } else {
+                        v
+                    }
+                } else {
+                    self.endpoint_sample
+                        [rng.gen_range(0..self.endpoint_sample.len())]
+                }
+            })
+            .max_by_key(|&n| self.degree[n as usize])
+            .expect("at least one draw")
+    }
+
+    /// Triadic closure over the bounded neighbor rings.
+    fn two_hop_neighbor(
+        &self,
+        hub: NodeId,
+        rng: &mut StdRng,
+    ) -> Option<NodeId> {
+        let l1 = self.nbr_len[hub as usize] as usize;
+        if l1 == 0 {
+            return None;
+        }
+        for _ in 0..8 {
+            let w = self.nbr_ring
+                [hub as usize * STREAM_NBR_CAP + rng.gen_range(0..l1)];
+            let l2 = self.nbr_len[w as usize] as usize;
+            if l2 == 0 {
+                continue;
+            }
+            let v = self.nbr_ring
+                [w as usize * STREAM_NBR_CAP + rng.gen_range(0..l2)];
+            if v != hub {
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::ScaleTier;
     use dyngraph::stats::NetworkStats;
 
     fn small_hub() -> DatasetSpec {
@@ -366,7 +735,7 @@ mod tests {
     #[test]
     fn hits_exact_link_count_and_span() {
         let spec = small_hub();
-        let g = generate(&spec, 1);
+        let g = spec.generate(1);
         assert_eq!(g.link_count(), spec.target_links);
         assert_eq!(g.min_timestamp(), Some(1));
         assert_eq!(g.max_timestamp(), Some(spec.time_span));
@@ -375,7 +744,7 @@ mod tests {
     #[test]
     fn covers_every_node() {
         let spec = small_hub();
-        let g = generate(&spec, 2);
+        let g = spec.generate(2);
         let stats = NetworkStats::of(&g);
         assert_eq!(stats.nodes, spec.nodes);
     }
@@ -383,8 +752,16 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let spec = DatasetSpec::coauthor().scaled(0.1);
-        assert_eq!(generate(&spec, 7), generate(&spec, 7));
-        assert_ne!(generate(&spec, 7), generate(&spec, 8));
+        assert_eq!(spec.generate(7), spec.generate(7));
+        assert_ne!(spec.generate(7), spec.generate(8));
+    }
+
+    #[test]
+    fn deprecated_free_function_matches_method() {
+        let spec = DatasetSpec::coauthor().scaled(0.1);
+        #[allow(deprecated)]
+        let via_free = generate(&spec, 7);
+        assert_eq!(via_free, spec.generate(7));
     }
 
     #[test]
@@ -413,7 +790,7 @@ mod tests {
                 local: 0.5,
             },
         };
-        let g = generate(&spec, 3);
+        let g = spec.generate(3);
         let degrees: Vec<usize> = (0..g.node_count())
             .map(|u| g.multi_degree(u as NodeId))
             .collect();
@@ -436,7 +813,7 @@ mod tests {
                 drift: 0.0,
             },
         };
-        let g = generate(&spec, 4);
+        let g = spec.generate(4);
         let distinct = g.to_static().edge_count();
         let ratio = g.link_count() as f64 / distinct as f64;
         assert!(
@@ -464,7 +841,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let state = GenState::new(&spec, &mut rng);
         let labels = state.community_of.clone();
-        let g = generate(&spec, 5);
+        let g = spec.generate(5);
         let (mut intra, mut total) = (0usize, 0usize);
         for link in g.links() {
             total += 1;
@@ -481,7 +858,7 @@ mod tests {
     #[test]
     fn paper_scale_generation_is_fast_enough() {
         // Generate the largest dataset at full scale to guard complexity.
-        let g = generate(&DatasetSpec::eu_email(), 11);
+        let g = DatasetSpec::eu_email().generate(11);
         assert_eq!(g.link_count(), 61_046);
         let stats = NetworkStats::of(&g);
         assert_eq!(stats.nodes, 309);
@@ -503,6 +880,60 @@ mod tests {
                 drift: 0.0,
             },
         };
-        let _ = generate(&spec, 0);
+        let _ = spec.generate(0);
+    }
+
+    #[test]
+    fn s_tier_streams_to_exact_counts() {
+        let spec = DatasetSpec::tier(ScaleTier::S);
+        assert!(
+            spec.nodes >= STREAM_THRESHOLD,
+            "S must take the streamed path"
+        );
+        let g = spec.generate(1);
+        assert_eq!(g.link_count(), spec.target_links);
+        let stats = NetworkStats::of(&g);
+        assert_eq!(stats.nodes, spec.nodes);
+        assert_eq!(g.min_timestamp(), Some(1));
+        assert_eq!(g.max_timestamp(), Some(spec.time_span));
+    }
+
+    #[test]
+    fn streamed_generation_is_deterministic() {
+        let spec = DatasetSpec::tier(ScaleTier::S);
+        assert_eq!(spec.generate(3), spec.generate(3));
+    }
+
+    #[test]
+    fn streamed_state_keeps_repetition_and_community_structure() {
+        let spec = DatasetSpec::tier(ScaleTier::S);
+        let g = spec.generate(2);
+        let distinct = g.to_static().edge_count();
+        let ratio = g.link_count() as f64 / distinct as f64;
+        // repeat = 0.3 with Pólya reinforcement: clear multi-link mass.
+        assert!(ratio > 1.1, "expected repetition, ratio {ratio}");
+    }
+
+    #[test]
+    fn streamed_threshold_splits_paths() {
+        // A spec one node below the threshold uses dense state, at the
+        // threshold the streamed state; both must satisfy the contract.
+        for nodes in [STREAM_THRESHOLD - 1, STREAM_THRESHOLD] {
+            let spec = DatasetSpec::builder("threshold-test")
+                .nodes(nodes)
+                .target_links(2 * nodes)
+                .time_span(1000)
+                .topology(Topology::Community {
+                    communities: nodes / 100,
+                    intra: 0.8,
+                    repeat: 0.3,
+                    drift: 0.005,
+                })
+                .build()
+                .unwrap();
+            let g = spec.generate(6);
+            assert_eq!(g.link_count(), spec.target_links);
+            assert_eq!(NetworkStats::of(&g).nodes, nodes);
+        }
     }
 }

@@ -11,7 +11,6 @@ use std::path::{Path, PathBuf};
 
 use dyngraph::{io::read_edge_list, DynamicNetwork, GraphError};
 
-use crate::generators::generate;
 use crate::spec::DatasetSpec;
 
 /// Where a loaded network came from.
@@ -34,25 +33,47 @@ pub fn file_name(spec: &DatasetSpec) -> String {
 
 /// Loads `<data_dir>/<name>.txt` if present, else generates synthetically.
 ///
+/// Deprecated free-function form of [`DatasetSpec::load_or_generate`].
+///
 /// # Errors
 ///
 /// Returns [`GraphError`] only when a file exists but cannot be parsed
 /// (a malformed real dataset should not silently degrade to synthetic).
+#[deprecated(note = "use the `DatasetSpec::load_or_generate` method instead")]
 pub fn load_or_generate(
     spec: &DatasetSpec,
     data_dir: &Path,
     seed: u64,
 ) -> Result<(DynamicNetwork, Provenance), GraphError> {
-    let path = data_dir.join(file_name(spec));
-    if path.is_file() {
-        let file = File::open(&path).map_err(|e| GraphError::Parse {
-            line: 0,
-            reason: format!("cannot open {}: {e}", path.display()),
-        })?;
-        let g = read_edge_list(BufReader::new(file))?;
-        Ok((g, Provenance::File(path)))
-    } else {
-        Ok((generate(spec, seed), Provenance::Generated { seed }))
+    spec.load_or_generate(data_dir, seed)
+}
+
+impl DatasetSpec {
+    /// Loads `<data_dir>/<name>.txt` if present, else generates this
+    /// spec's network synthetically with `seed` (see
+    /// [`DatasetSpec::generate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] only when a file exists but cannot be
+    /// parsed (a malformed real dataset should not silently degrade to
+    /// synthetic).
+    pub fn load_or_generate(
+        &self,
+        data_dir: &Path,
+        seed: u64,
+    ) -> Result<(DynamicNetwork, Provenance), GraphError> {
+        let path = data_dir.join(file_name(self));
+        if path.is_file() {
+            let file = File::open(&path).map_err(|e| GraphError::Parse {
+                line: 0,
+                reason: format!("cannot open {}: {e}", path.display()),
+            })?;
+            let g = read_edge_list(BufReader::new(file))?;
+            Ok((g, Provenance::File(path)))
+        } else {
+            Ok((self.generate(seed), Provenance::Generated { seed }))
+        }
     }
 }
 
@@ -71,7 +92,7 @@ mod tests {
     fn falls_back_to_generation() {
         let spec = DatasetSpec::coauthor().scaled(0.05);
         let dir = std::env::temp_dir().join("ssf-no-such-dir");
-        let (g, prov) = load_or_generate(&spec, &dir, 9).unwrap();
+        let (g, prov) = spec.load_or_generate(&dir, 9).unwrap();
         assert_eq!(prov, Provenance::Generated { seed: 9 });
         assert_eq!(g.link_count(), spec.target_links);
     }
@@ -85,10 +106,24 @@ mod tests {
         let mut f = File::create(&path).unwrap();
         writeln!(f, "0 1 1\n1 2 2").unwrap();
         drop(f);
-        let (g, prov) = load_or_generate(&spec, &dir, 1).unwrap();
+        let (g, prov) = spec.load_or_generate(&dir, 1).unwrap();
         assert_eq!(prov, Provenance::File(path.clone()));
         assert_eq!(g.link_count(), 2);
         std::fs::remove_file(path).unwrap();
+    }
+
+    /// The deprecated free function stays a pure delegation shim for
+    /// one release; compiling this call under `-D warnings` (with the
+    /// targeted allow) is the migration-window regression test.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_free_function_matches_method() {
+        let spec = DatasetSpec::coauthor().scaled(0.05);
+        let dir = std::env::temp_dir().join("ssf-no-such-dir");
+        let (g, prov) = load_or_generate(&spec, &dir, 9).unwrap();
+        let (g2, prov2) = spec.load_or_generate(&dir, 9).unwrap();
+        assert_eq!(prov, prov2);
+        assert_eq!(g.link_count(), g2.link_count());
     }
 
     #[test]
@@ -98,7 +133,7 @@ mod tests {
         let spec = DatasetSpec::contact().scaled(0.05);
         let path = dir.join(file_name(&spec));
         std::fs::write(&path, "not an edge list\n").unwrap();
-        let err = load_or_generate(&spec, &dir, 1).unwrap_err();
+        let err = spec.load_or_generate(&dir, 1).unwrap_err();
         assert!(matches!(err, GraphError::Parse { .. }));
         std::fs::remove_file(path).unwrap();
     }

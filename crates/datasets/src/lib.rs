@@ -19,24 +19,54 @@
 //!   Figure 6(b)'s dense co-author pattern.
 //!
 //! The generators are deterministic given a seed. When the real KONECT
-//! edge lists are available on disk, [`io::load_or_generate`] transparently
-//! prefers them, so the whole experiment harness runs unchanged on the
-//! original data.
+//! edge lists are available on disk, [`DatasetSpec::load_or_generate`]
+//! transparently prefers them, so the whole experiment harness runs
+//! unchanged on the original data.
+//!
+//! Beyond the paper's scale, [`ScaleTier`] defines a synthetic S/M/L/XL/
+//! Huge ladder (10k to 2M nodes) whose specs stream-build through a
+//! bounded-memory generator path — see [`generators::STREAM_THRESHOLD`].
 //!
 //! # Example
 //!
 //! ```rust
-//! use datasets::{generate, DatasetSpec};
+//! use datasets::DatasetSpec;
 //!
 //! let spec = DatasetSpec::coauthor();
-//! let g = generate(&spec, 42);
+//! let g = spec.generate(42);
 //! assert_eq!(g.link_count(), spec.target_links);
 //! assert_eq!(g.max_timestamp(), Some(spec.time_span));
+//! ```
+//!
+//! Custom specs go through the validated builder:
+//!
+//! ```rust
+//! use datasets::{DatasetSpec, ScaleTier, Topology};
+//!
+//! let spec = DatasetSpec::builder("sandbox")
+//!     .nodes(200)
+//!     .target_links(2_000)
+//!     .time_span(90)
+//!     .topology(Topology::Community {
+//!         communities: 10,
+//!         intra: 0.85,
+//!         repeat: 0.3,
+//!         drift: 0.01,
+//!     })
+//!     .build()?;
+//! assert_eq!(spec.name, "sandbox");
+//! let tier = DatasetSpec::tier(ScaleTier::S);
+//! assert_eq!(tier.nodes, 10_000);
+//! # Ok::<(), datasets::SpecError>(())
 //! ```
 
 pub mod generators;
 pub mod io;
 pub mod spec;
 
+#[allow(deprecated)] // re-exported one release for migration
 pub use generators::generate;
-pub use spec::{DatasetSpec, Topology};
+pub use spec::{
+    DatasetSpec, DatasetSpecBuilder, PaperDataset, ScaleTier, SpecError,
+    Topology,
+};

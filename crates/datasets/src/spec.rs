@@ -1,5 +1,7 @@
-//! Dataset specifications mirroring the paper's Table II.
+//! Dataset specifications: the paper's Table II datasets, the synthetic
+//! scale ladder, and the validated [`DatasetSpec::builder`].
 
+use std::error::Error;
 use std::fmt;
 
 /// Qualitative topology class of a generated network.
@@ -50,6 +52,205 @@ pub enum Topology {
     },
 }
 
+impl Topology {
+    /// All `(name, value)` probability parameters of the class, for
+    /// validation.
+    fn probabilities(&self) -> Vec<(&'static str, f64)> {
+        match *self {
+            Topology::RepeatedContact {
+                repeat,
+                intra,
+                drift,
+                ..
+            } => vec![("repeat", repeat), ("intra", intra), ("drift", drift)],
+            Topology::HubDominated { repeat, local, .. } => {
+                vec![("repeat", repeat), ("local", local)]
+            }
+            Topology::Community {
+                intra,
+                repeat,
+                drift,
+                ..
+            } => vec![("intra", intra), ("repeat", repeat), ("drift", drift)],
+        }
+    }
+}
+
+/// A typed reason a [`DatasetSpec`] is invalid, produced by
+/// [`DatasetSpecBuilder::build`] (and converted into the facade's
+/// `SsfError::Config` by `ssf-repro`).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// The dataset name is empty.
+    EmptyName,
+    /// Fewer than two nodes: no pair to link.
+    TooFewNodes {
+        /// The requested node count.
+        nodes: usize,
+    },
+    /// Fewer links than `nodes - 1`: the growth phase attaches every node
+    /// with one event, so the graph cannot cover `|V|` nodes.
+    TooFewLinks {
+        /// The requested link count.
+        links: usize,
+        /// The minimum for the requested node count.
+        min: usize,
+    },
+    /// A time span of zero ticks: timestamps sweep `[1, span]`.
+    ZeroTimeSpan,
+    /// No topology class was supplied to the builder.
+    MissingTopology,
+    /// A probability parameter is outside `[0, 1]`.
+    InvalidProbability {
+        /// Which parameter (`"repeat"`, `"intra"`, …).
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A group/community count of zero, or a degree bias below 1.
+    InvalidTopology {
+        /// Which invariant failed, human-readable.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::EmptyName => write!(f, "dataset name is empty"),
+            SpecError::TooFewNodes { nodes } => {
+                write!(f, "need at least 2 nodes, got {nodes}")
+            }
+            SpecError::TooFewLinks { links, min } => write!(
+                f,
+                "need at least {min} links to cover every node, got {links}"
+            ),
+            SpecError::ZeroTimeSpan => {
+                write!(f, "time span must be at least 1 tick")
+            }
+            SpecError::MissingTopology => {
+                write!(f, "no topology class supplied")
+            }
+            SpecError::InvalidProbability { field, value } => write!(
+                f,
+                "probability `{field}` must be in [0, 1], got {value}"
+            ),
+            SpecError::InvalidTopology { detail } => {
+                write!(f, "invalid topology: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for SpecError {}
+
+/// One paper dataset (Table II), as a typed name for
+/// [`ScaleTier::Paper`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperDataset {
+    /// Eu-Email — institutional email.
+    EuEmail,
+    /// Contact — wireless proximity.
+    Contact,
+    /// Facebook — wall posts.
+    Facebook,
+    /// Co-author — DBLP subset.
+    Coauthor,
+    /// Prosper — loans.
+    Prosper,
+    /// Slashdot — replies.
+    Slashdot,
+    /// Digg — replies, sparsest.
+    Digg,
+}
+
+impl PaperDataset {
+    /// All seven paper datasets in Table II order.
+    pub fn all() -> [PaperDataset; 7] {
+        [
+            PaperDataset::EuEmail,
+            PaperDataset::Contact,
+            PaperDataset::Facebook,
+            PaperDataset::Coauthor,
+            PaperDataset::Prosper,
+            PaperDataset::Slashdot,
+            PaperDataset::Digg,
+        ]
+    }
+
+    /// The spec of this dataset.
+    pub fn spec(self) -> DatasetSpec {
+        match self {
+            PaperDataset::EuEmail => DatasetSpec::eu_email(),
+            PaperDataset::Contact => DatasetSpec::contact(),
+            PaperDataset::Facebook => DatasetSpec::facebook(),
+            PaperDataset::Coauthor => DatasetSpec::coauthor(),
+            PaperDataset::Prosper => DatasetSpec::prosper(),
+            PaperDataset::Slashdot => DatasetSpec::slashdot(),
+            PaperDataset::Digg => DatasetSpec::digg(),
+        }
+    }
+}
+
+/// A rung of the synthetic scale ladder, or one of the paper datasets.
+///
+/// The synthetic tiers share one topology family (drifting communities
+/// with Pólya pair repetition) and grow only in size, so cross-tier
+/// comparisons measure scale, not topology. Tier time spans are coarse
+/// relative to the link count — consecutive same-row timestamps stay
+/// close, which is what the compact storage's delta encoding rewards
+/// (and what real traces look like: many events per tick).
+///
+/// | tier | nodes | links | span |
+/// |------|-------|-------|------|
+/// | S    | 10 000 | 50 000 | 4 000 |
+/// | M    | 100 000 | 300 000 | 8 000 |
+/// | L    | 400 000 | 1 000 000 | 16 000 |
+/// | XL   | 1 000 000 | 2 500 000 | 30 000 |
+/// | Huge | 2 000 000 | 5 000 000 | 50 000 |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ScaleTier {
+    /// 10k nodes / 50k links — fits every mode, CI-fast.
+    S,
+    /// 100k nodes / 300k links — first compact-by-default rung.
+    M,
+    /// 400k nodes / 1M links — the acceptance rung for bytes/link.
+    L,
+    /// 1M nodes / 2.5M links.
+    Xl,
+    /// 2M nodes / 5M links — headroom rung, not exercised by CI.
+    Huge,
+    /// One of the seven Table II datasets.
+    Paper(PaperDataset),
+}
+
+impl ScaleTier {
+    /// All synthetic rungs, small to large.
+    pub fn synthetic() -> [ScaleTier; 5] {
+        [
+            ScaleTier::S,
+            ScaleTier::M,
+            ScaleTier::L,
+            ScaleTier::Xl,
+            ScaleTier::Huge,
+        ]
+    }
+
+    /// The tier's short name (`"S"`, `"M"`, …, or the paper dataset name).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScaleTier::S => "S",
+            ScaleTier::M => "M",
+            ScaleTier::L => "L",
+            ScaleTier::Xl => "XL",
+            ScaleTier::Huge => "Huge",
+            ScaleTier::Paper(p) => p.spec().name,
+        }
+    }
+}
+
 /// Parameters of one dataset: name, Table II statistics and topology class.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSpec {
@@ -66,6 +267,111 @@ pub struct DatasetSpec {
 }
 
 impl DatasetSpec {
+    /// Starts a validated spec builder. See [`DatasetSpecBuilder`].
+    ///
+    /// ```rust
+    /// use datasets::{DatasetSpec, Topology};
+    ///
+    /// let spec = DatasetSpec::builder("my-trace")
+    ///     .nodes(500)
+    ///     .target_links(5_000)
+    ///     .time_span(100)
+    ///     .topology(Topology::HubDominated {
+    ///         repeat: 0.3,
+    ///         hub_bias: 1.1,
+    ///         local: 0.5,
+    ///     })
+    ///     .build()
+    ///     .unwrap();
+    /// assert_eq!(spec.nodes, 500);
+    /// ```
+    pub fn builder(name: &'static str) -> DatasetSpecBuilder {
+        DatasetSpecBuilder {
+            name,
+            nodes: 0,
+            target_links: 0,
+            time_span: 0,
+            topology: None,
+        }
+    }
+
+    /// The spec of one [`ScaleTier`] rung — infallible (every rung is a
+    /// known-valid spec).
+    pub fn tier(tier: ScaleTier) -> DatasetSpec {
+        let synthetic = |name, nodes: usize, links, span| DatasetSpec {
+            name,
+            nodes,
+            target_links: links,
+            time_span: span,
+            topology: Topology::Community {
+                communities: (nodes / 250).max(4),
+                intra: 0.8,
+                repeat: 0.3,
+                drift: 0.005,
+            },
+        };
+        match tier {
+            ScaleTier::S => synthetic("scale-s", 10_000, 50_000, 4_000),
+            ScaleTier::M => synthetic("scale-m", 100_000, 300_000, 8_000),
+            ScaleTier::L => synthetic("scale-l", 400_000, 1_000_000, 16_000),
+            ScaleTier::Xl => {
+                synthetic("scale-xl", 1_000_000, 2_500_000, 30_000)
+            }
+            ScaleTier::Huge => {
+                synthetic("scale-huge", 2_000_000, 5_000_000, 50_000)
+            }
+            ScaleTier::Paper(p) => p.spec(),
+        }
+    }
+
+    /// Checks every invariant the builder enforces; constructor-made specs
+    /// always pass.
+    ///
+    /// # Errors
+    ///
+    /// The first violated [`SpecError`] invariant.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.name.is_empty() {
+            return Err(SpecError::EmptyName);
+        }
+        if self.nodes < 2 {
+            return Err(SpecError::TooFewNodes { nodes: self.nodes });
+        }
+        if self.target_links < self.nodes - 1 {
+            return Err(SpecError::TooFewLinks {
+                links: self.target_links,
+                min: self.nodes - 1,
+            });
+        }
+        if self.time_span == 0 {
+            return Err(SpecError::ZeroTimeSpan);
+        }
+        for (field, value) in self.topology.probabilities() {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(SpecError::InvalidProbability { field, value });
+            }
+        }
+        match self.topology {
+            Topology::RepeatedContact { groups: 0, .. } => {
+                return Err(SpecError::InvalidTopology {
+                    detail: "zero groups".to_string(),
+                });
+            }
+            Topology::Community { communities: 0, .. } => {
+                return Err(SpecError::InvalidTopology {
+                    detail: "zero communities".to_string(),
+                });
+            }
+            Topology::HubDominated { hub_bias, .. } if hub_bias < 1.0 => {
+                return Err(SpecError::InvalidTopology {
+                    detail: format!("hub_bias {hub_bias} below 1.0"),
+                });
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
     /// Eu-Email: |V|=309, |E|=61046, span 803 h — institutional email.
     pub fn eu_email() -> Self {
         DatasetSpec {
@@ -176,15 +482,7 @@ impl DatasetSpec {
 
     /// All seven paper datasets in Table II order.
     pub fn paper_datasets() -> Vec<DatasetSpec> {
-        vec![
-            Self::eu_email(),
-            Self::contact(),
-            Self::facebook(),
-            Self::coauthor(),
-            Self::prosper(),
-            Self::slashdot(),
-            Self::digg(),
-        ]
+        PaperDataset::all().iter().map(|p| p.spec()).collect()
     }
 
     /// A reduced copy for fast test/CI runs: scales nodes and links by
@@ -225,6 +523,65 @@ impl fmt::Display for DatasetSpec {
     }
 }
 
+/// Validated builder for custom [`DatasetSpec`]s, mirroring the facade's
+/// `OnlinePredictorConfig` pattern: setters are infallible, every
+/// invariant is checked once in [`build`](DatasetSpecBuilder::build) and
+/// violations come back as typed [`SpecError`]s instead of generator
+/// panics deep inside a run.
+#[derive(Debug, Clone)]
+#[must_use = "call .build() to obtain the validated spec"]
+pub struct DatasetSpecBuilder {
+    name: &'static str,
+    nodes: usize,
+    target_links: usize,
+    time_span: u32,
+    topology: Option<Topology>,
+}
+
+impl DatasetSpecBuilder {
+    /// Target node count `|V|` (at least 2).
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Target timestamped link count `|E|` (at least `nodes - 1`).
+    pub fn target_links(mut self, links: usize) -> Self {
+        self.target_links = links;
+        self
+    }
+
+    /// Number of timestamp ticks (at least 1).
+    pub fn time_span(mut self, span: u32) -> Self {
+        self.time_span = span;
+        self
+    }
+
+    /// Topology class driving the generator (required).
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Validates and produces the spec.
+    ///
+    /// # Errors
+    ///
+    /// The first violated [`SpecError`] invariant.
+    pub fn build(self) -> Result<DatasetSpec, SpecError> {
+        let topology = self.topology.ok_or(SpecError::MissingTopology)?;
+        let spec = DatasetSpec {
+            name: self.name,
+            nodes: self.nodes,
+            target_links: self.target_links,
+            time_span: self.time_span,
+            topology,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -255,5 +612,123 @@ mod tests {
     #[test]
     fn display_contains_name() {
         assert!(DatasetSpec::digg().to_string().contains("Digg"));
+    }
+
+    #[test]
+    fn builder_round_trips_a_valid_spec() {
+        let spec = DatasetSpec::builder("custom")
+            .nodes(100)
+            .target_links(1000)
+            .time_span(50)
+            .topology(Topology::Community {
+                communities: 8,
+                intra: 0.9,
+                repeat: 0.2,
+                drift: 0.05,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(spec.name, "custom");
+        assert_eq!(spec.nodes, 100);
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn builder_rejects_each_invalid_field_with_a_typed_error() {
+        let topo = Topology::HubDominated {
+            repeat: 0.3,
+            hub_bias: 1.0,
+            local: 0.5,
+        };
+        let base = || {
+            DatasetSpec::builder("t")
+                .nodes(100)
+                .target_links(1000)
+                .time_span(10)
+                .topology(topo)
+        };
+        assert_eq!(
+            DatasetSpec::builder("t").build(),
+            Err(SpecError::MissingTopology)
+        );
+        assert_eq!(
+            base().nodes(1).build(),
+            Err(SpecError::TooFewNodes { nodes: 1 })
+        );
+        assert_eq!(
+            base().target_links(5).build(),
+            Err(SpecError::TooFewLinks { links: 5, min: 99 })
+        );
+        assert_eq!(base().time_span(0).build(), Err(SpecError::ZeroTimeSpan));
+        assert_eq!(
+            base()
+                .topology(Topology::HubDominated {
+                    repeat: 1.5,
+                    hub_bias: 1.0,
+                    local: 0.5,
+                })
+                .build(),
+            Err(SpecError::InvalidProbability {
+                field: "repeat",
+                value: 1.5
+            })
+        );
+        assert!(matches!(
+            base()
+                .topology(Topology::Community {
+                    communities: 0,
+                    intra: 0.5,
+                    repeat: 0.5,
+                    drift: 0.0,
+                })
+                .build(),
+            Err(SpecError::InvalidTopology { .. })
+        ));
+        assert_eq!(
+            DatasetSpec::builder("")
+                .nodes(2)
+                .target_links(1)
+                .time_span(1)
+                .topology(topo)
+                .build(),
+            Err(SpecError::EmptyName)
+        );
+    }
+
+    #[test]
+    fn spec_error_display_is_actionable() {
+        let e = SpecError::TooFewLinks { links: 5, min: 99 };
+        let text = e.to_string();
+        assert!(text.contains('5') && text.contains("99"), "{text}");
+        assert!(SpecError::InvalidProbability {
+            field: "intra",
+            value: -0.2
+        }
+        .to_string()
+        .contains("intra"));
+    }
+
+    #[test]
+    fn every_tier_is_valid_and_monotone_in_links() {
+        let mut last = 0usize;
+        for tier in ScaleTier::synthetic() {
+            let spec = DatasetSpec::tier(tier);
+            spec.validate().unwrap();
+            assert!(
+                spec.target_links > last,
+                "{tier:?} not larger than predecessor"
+            );
+            last = spec.target_links;
+        }
+        for p in PaperDataset::all() {
+            DatasetSpec::tier(ScaleTier::Paper(p)).validate().unwrap();
+        }
+        assert_eq!(DatasetSpec::tier(ScaleTier::S).name, "scale-s");
+        assert_eq!(
+            DatasetSpec::tier(ScaleTier::Paper(PaperDataset::Digg)).name,
+            "Digg"
+        );
+        assert_eq!(ScaleTier::Xl.name(), "XL");
+        assert_eq!(ScaleTier::Paper(PaperDataset::Coauthor).name(), "Coauthor");
     }
 }

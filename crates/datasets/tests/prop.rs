@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 
-use datasets::{generate, DatasetSpec, Topology};
+use datasets::{DatasetSpec, Topology};
 use dyngraph::stats::NetworkStats;
 
 fn arbitrary_spec() -> impl Strategy<Value = DatasetSpec> {
@@ -49,7 +49,7 @@ proptest! {
     /// topology class and any sane parameters.
     #[test]
     fn generator_meets_spec(spec in arbitrary_spec(), seed in 0..1000u64) {
-        let g = generate(&spec, seed);
+        let g = spec.generate(seed);
         let s = NetworkStats::of(&g);
         prop_assert_eq!(s.nodes, spec.nodes, "all nodes active");
         prop_assert_eq!(s.links, spec.target_links);
@@ -62,7 +62,7 @@ proptest! {
     /// per-tick counts are balanced within a factor.
     #[test]
     fn generator_structural_sanity(spec in arbitrary_spec(), seed in 0..1000u64) {
-        let g = generate(&spec, seed);
+        let g = spec.generate(seed);
         for link in g.links() {
             prop_assert_ne!(link.u, link.v);
             prop_assert!((1..=spec.time_span).contains(&link.t));
@@ -82,14 +82,14 @@ proptest! {
     /// Determinism: same spec and seed → identical network.
     #[test]
     fn generator_deterministic(spec in arbitrary_spec(), seed in 0..100u64) {
-        prop_assert_eq!(generate(&spec, seed), generate(&spec, seed));
+        prop_assert_eq!(spec.generate(seed), spec.generate(seed));
     }
 
     /// The generated graph is connected (the growth phase attaches every
     /// node to the evolving component).
     #[test]
     fn generator_connected(spec in arbitrary_spec(), seed in 0..100u64) {
-        let g = generate(&spec, seed);
+        let g = spec.generate(seed);
         let comps =
             dyngraph::metrics::connected_components(&g.to_static());
         prop_assert_eq!(comps.len(), 1, "growth phase keeps one component");

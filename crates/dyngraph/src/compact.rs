@@ -1,0 +1,423 @@
+//! Compact CSR storage for [`FrozenGraph`](crate::FrozenGraph).
+//!
+//! The wide representation spends two `usize` offset arrays and a raw
+//! `u32` pair per incident slot. At million-node scale that layout is
+//! dominated by redundancy: offsets never exceed `2 * link_count`
+//! (which fits `u32`), an incident neighbor is always one of the node's
+//! few distinct neighbors, and timestamps within a row are strongly
+//! correlated. The compact layout exploits all three:
+//!
+//! * all four offset arrays are `u32`;
+//! * the per-slot `(neighbor, timestamp)` pair is packed into a shared
+//!   byte arena as two varints — the neighbor as an *index into the
+//!   node's sorted distinct-neighbor row* (usually 1 byte) and the
+//!   timestamp as a zigzag delta against the previous slot of the same
+//!   row (usually 1-3 bytes);
+//! * the distinct-neighbor rows stay raw `u32` slices, because
+//!   [`GraphView::distinct_neighbors`](crate::GraphView::distinct_neighbors)
+//!   returns `&[NodeId]` and BFS hot loops iterate it directly.
+//!
+//! Everything lives behind one `Arc`, so cloning a compact graph is a
+//! single refcount bump. Decoding preserves insertion order bit for
+//! bit; the property tests in `tests/frozen_prop.rs` hold the two
+//! representations to full [`GraphView`](crate::GraphView) equality.
+//!
+//! Every count that lands in a `u32` offset array is checked against
+//! [`CompactLimits`] at build time and reported as
+//! [`GraphError::TooLarge`] — values are never truncated.
+
+use crate::view::GraphView;
+use crate::{GraphError, NodeId, Timestamp};
+
+/// The arrays of a compact graph, shared behind one
+/// `Arc<CompactData>`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct CompactData {
+    /// Incident-slot row bounds, `node_count + 1` entries: node `u`
+    /// holds slots `slot_offsets[u]..slot_offsets[u + 1]`.
+    pub slot_offsets: Box<[u32]>,
+    /// Arena byte bounds per node, `node_count + 1` entries.
+    pub byte_offsets: Box<[u32]>,
+    /// Packed incident slots: per slot a varint local neighbor index
+    /// followed by a zigzag-varint timestamp delta.
+    pub arena: Box<[u8]>,
+    /// Distinct-neighbor row bounds, `node_count + 1` entries.
+    pub nbr_offsets: Box<[u32]>,
+    /// Flat distinct neighbors, sorted ascending per row.
+    pub nbr_ids: Box<[NodeId]>,
+}
+
+/// Ceilings on every count a compact graph stores in a `u32`. The
+/// default is the full `u32` range; tests inject tiny limits to prove
+/// overflow surfaces as a typed error instead of truncation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CompactLimits {
+    /// Largest admissible value for any `u32`-stored count (node count
+    /// + 1, slot count, distinct-slot count, arena byte length).
+    pub max_index: u64,
+}
+
+impl Default for CompactLimits {
+    fn default() -> Self {
+        CompactLimits {
+            max_index: u32::MAX as u64,
+        }
+    }
+}
+
+fn too_large(what: &'static str, value: u64, limit: u64) -> GraphError {
+    GraphError::TooLarge { what, value, limit }
+}
+
+/// Appends `x` as an LEB128 varint.
+fn push_varint(buf: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let byte = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            buf.push(byte);
+            break;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint at `*pos`, advancing it. `None` on
+/// truncated or oversized input.
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut x: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(*pos)?;
+        *pos += 1;
+        if shift >= 63 && byte > 1 {
+            return None;
+        }
+        x |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(x);
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+impl CompactData {
+    /// Packs any [`GraphView`] into the compact layout, checking every
+    /// `u32`-stored count against `limits`.
+    pub fn build<G: GraphView + ?Sized>(
+        g: &G,
+        limits: &CompactLimits,
+    ) -> Result<CompactData, GraphError> {
+        let n = g.node_count();
+        let limit = limits.max_index;
+        if (n as u64).saturating_add(1) > limit {
+            return Err(too_large("node count + 1", n as u64 + 1, limit));
+        }
+        let slots = 2 * g.link_count() as u64;
+        if slots > limit {
+            return Err(too_large("incident slot count", slots, limit));
+        }
+        let mut slot_offsets = Vec::with_capacity(n + 1);
+        let mut byte_offsets = Vec::with_capacity(n + 1);
+        let mut nbr_offsets = Vec::with_capacity(n + 1);
+        slot_offsets.push(0u32);
+        byte_offsets.push(0u32);
+        nbr_offsets.push(0u32);
+        let mut arena: Vec<u8> = Vec::new();
+        let mut nbr_ids: Vec<NodeId> = Vec::new();
+        let mut slot_count: u64 = 0;
+        for u in 0..n as NodeId {
+            let distinct = g.distinct_neighbors(u);
+            nbr_ids.extend_from_slice(distinct);
+            if nbr_ids.len() as u64 > limit {
+                return Err(too_large(
+                    "distinct slot count",
+                    nbr_ids.len() as u64,
+                    limit,
+                ));
+            }
+            let mut prev: i64 = 0;
+            for (v, t) in g.incident_links(u) {
+                let idx = match distinct.binary_search(&v) {
+                    Ok(i) => i,
+                    Err(_) => {
+                        return Err(GraphError::InvalidCsr {
+                            detail: format!(
+                                "incident neighbor {v} of node {u} missing \
+                                 from its distinct row"
+                            ),
+                        })
+                    }
+                };
+                push_varint(&mut arena, idx as u64);
+                push_varint(&mut arena, zigzag(i64::from(t) - prev));
+                prev = i64::from(t);
+                slot_count += 1;
+            }
+            if arena.len() as u64 > limit {
+                return Err(too_large(
+                    "arena byte length",
+                    arena.len() as u64,
+                    limit,
+                ));
+            }
+            slot_offsets.push(slot_count as u32);
+            byte_offsets.push(arena.len() as u32);
+            nbr_offsets.push(nbr_ids.len() as u32);
+        }
+        if slot_count != slots {
+            return Err(GraphError::InvalidCsr {
+                detail: format!(
+                    "incident slots {slot_count} != 2 * link count {}",
+                    g.link_count()
+                ),
+            });
+        }
+        Ok(CompactData {
+            slot_offsets: slot_offsets.into_boxed_slice(),
+            byte_offsets: byte_offsets.into_boxed_slice(),
+            arena: arena.into_boxed_slice(),
+            nbr_offsets: nbr_offsets.into_boxed_slice(),
+            nbr_ids: nbr_ids.into_boxed_slice(),
+        })
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.slot_offsets.len() - 1
+    }
+
+    /// Distinct-neighbor row of `u` (sorted ascending).
+    pub fn distinct_row(&self, u: usize) -> &[NodeId] {
+        let lo = self.nbr_offsets[u] as usize;
+        let hi = self.nbr_offsets[u + 1] as usize;
+        &self.nbr_ids[lo..hi]
+    }
+
+    /// Incident-slot count of `u`.
+    pub fn slot_count(&self, u: usize) -> usize {
+        (self.slot_offsets[u + 1] - self.slot_offsets[u]) as usize
+    }
+
+    /// Decoding iterator over `u`'s packed incident row.
+    pub fn packed_row(&self, u: usize) -> PackedLinks<'_> {
+        let lo = self.byte_offsets[u] as usize;
+        let hi = self.byte_offsets[u + 1] as usize;
+        PackedLinks {
+            row: self.distinct_row(u),
+            bytes: &self.arena[lo..hi],
+            pos: 0,
+            remaining: self.slot_count(u),
+            prev: 0,
+        }
+    }
+
+    /// Logical heap footprint in bytes (lengths, not capacities).
+    pub fn heap_bytes(&self) -> usize {
+        self.slot_offsets.len() * 4
+            + self.byte_offsets.len() * 4
+            + self.arena.len()
+            + self.nbr_offsets.len() * 4
+            + self.nbr_ids.len() * 4
+    }
+
+    /// Structural validation of untrusted arrays (the deserialization
+    /// path): offset arrays agree, start at 0, are monotone and close
+    /// over their flat arrays; every packed row decodes to exactly its
+    /// slot count with in-range local indices and timestamps, consuming
+    /// exactly its byte range. Semantic invariants (sortedness,
+    /// symmetry, bounds) are checked afterwards by expanding to
+    /// [`crate::FrozenGraphParts`].
+    pub fn validate_structure(
+        &self,
+        num_links: usize,
+    ) -> Result<(), GraphError> {
+        let fail = |detail: String| GraphError::InvalidCsr { detail };
+        let n1 = self.slot_offsets.len();
+        if n1 == 0
+            || self.byte_offsets.len() != n1
+            || self.nbr_offsets.len() != n1
+        {
+            return Err(fail(format!(
+                "compact offset arrays disagree: {} / {} / {}",
+                n1,
+                self.byte_offsets.len(),
+                self.nbr_offsets.len()
+            )));
+        }
+        for (name, offs, flat_len) in [
+            ("slot_offsets", &self.slot_offsets, 2 * num_links),
+            ("byte_offsets", &self.byte_offsets, self.arena.len()),
+            ("nbr_offsets", &self.nbr_offsets, self.nbr_ids.len()),
+        ] {
+            if offs.first() != Some(&0) {
+                return Err(fail(format!("compact {name} must start at 0")));
+            }
+            if offs.windows(2).any(|w| w[0] > w[1]) {
+                return Err(fail(format!("compact {name} not monotone")));
+            }
+            if offs.last().copied().map(|x| x as usize) != Some(flat_len) {
+                return Err(fail(format!(
+                    "compact {name} end {:?} != flat length {flat_len}",
+                    offs.last()
+                )));
+            }
+        }
+        for u in 0..n1 - 1 {
+            let row = self.distinct_row(u);
+            let lo = self.byte_offsets[u] as usize;
+            let hi = self.byte_offsets[u + 1] as usize;
+            let bytes = &self.arena[lo..hi];
+            let mut pos = 0usize;
+            let mut prev: i64 = 0;
+            for _ in 0..self.slot_count(u) {
+                let idx = read_varint(bytes, &mut pos)
+                    .ok_or_else(|| fail(format!("truncated row {u}")))?;
+                if idx as usize >= row.len() {
+                    return Err(fail(format!(
+                        "row {u}: local index {idx} out of range {}",
+                        row.len()
+                    )));
+                }
+                let delta = read_varint(bytes, &mut pos)
+                    .ok_or_else(|| fail(format!("truncated row {u}")))?;
+                let t = prev + unzigzag(delta);
+                if t < 0 || t > i64::from(u32::MAX) {
+                    return Err(fail(format!(
+                        "row {u}: decoded timestamp {t} outside u32"
+                    )));
+                }
+                prev = t;
+            }
+            if pos != bytes.len() {
+                return Err(fail(format!(
+                    "row {u}: {} trailing arena bytes",
+                    bytes.len() - pos
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Iterator decoding one packed incident row on the fly, yielding
+/// `(neighbor, timestamp)` in insertion order.
+#[derive(Debug, Clone)]
+pub struct PackedLinks<'a> {
+    row: &'a [NodeId],
+    bytes: &'a [u8],
+    pos: usize,
+    remaining: usize,
+    prev: i64,
+}
+
+impl Iterator for PackedLinks<'_> {
+    type Item = (NodeId, Timestamp);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        // The arena was validated at construction (build or
+        // `validate_structure`), so these reads cannot fail; `?` keeps
+        // the decoder panic-free all the same.
+        let idx = read_varint(self.bytes, &mut self.pos)?;
+        let &v = self.row.get(idx as usize)?;
+        let delta = read_varint(self.bytes, &mut self.pos)?;
+        let t = self.prev + unzigzag(delta);
+        self.prev = t;
+        self.remaining -= 1;
+        Some((v, t as Timestamp))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for PackedLinks<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DynamicNetwork;
+
+    #[test]
+    fn varint_round_trips() {
+        for x in [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, x);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(x));
+            assert_eq!(pos, buf.len());
+        }
+        assert_eq!(read_varint(&[0x80], &mut 0), None, "truncated");
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for d in [0i64, 1, -1, 63, -64, i64::from(u32::MAX), -5_000_000] {
+            assert_eq!(unzigzag(zigzag(d)), d);
+        }
+    }
+
+    #[test]
+    fn build_decodes_in_insertion_order() {
+        let mut g = DynamicNetwork::new();
+        g.add_link(0, 2, 9);
+        g.add_link(0, 1, 3);
+        g.add_link(0, 2, 5); // timestamp decreases within the row
+        let d = CompactData::build(&g, &CompactLimits::default()).unwrap();
+        let got: Vec<_> = d.packed_row(0).collect();
+        assert_eq!(got, vec![(2, 9), (1, 3), (2, 5)]);
+        assert_eq!(d.slot_count(0), 3);
+        assert_eq!(d.distinct_row(0), &[1, 2]);
+        d.validate_structure(g.link_count()).unwrap();
+    }
+
+    #[test]
+    fn tiny_limits_reject_without_truncating() {
+        let mut g = DynamicNetwork::new();
+        for i in 0..8u32 {
+            g.add_link(i, i + 1, i);
+        }
+        let limits = CompactLimits { max_index: 4 };
+        let err = CompactData::build(&g, &limits).unwrap_err();
+        assert!(
+            matches!(err, GraphError::TooLarge { limit: 4, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn validate_rejects_corrupt_arena() {
+        let mut g = DynamicNetwork::new();
+        g.add_link(0, 1, 5);
+        g.add_link(1, 2, 7);
+        let d = CompactData::build(&g, &CompactLimits::default()).unwrap();
+        d.validate_structure(g.link_count()).unwrap();
+        // Out-of-range local index.
+        let mut bad = d.clone();
+        let mut arena = bad.arena.to_vec();
+        arena[0] = 0x7f;
+        bad.arena = arena.into_boxed_slice();
+        assert!(bad.validate_structure(g.link_count()).is_err());
+        // Trailing bytes.
+        let mut bad = d.clone();
+        let mut offs = bad.byte_offsets.to_vec();
+        let mut arena = bad.arena.to_vec();
+        arena.push(0);
+        let last = offs.len() - 1;
+        offs[last] += 1;
+        bad.byte_offsets = offs.into_boxed_slice();
+        bad.arena = arena.into_boxed_slice();
+        assert!(bad.validate_structure(g.link_count()).is_err());
+    }
+}

@@ -36,6 +36,7 @@
 //! # }
 //! ```
 
+mod compact;
 mod error;
 mod frozen;
 pub mod io;
@@ -47,7 +48,10 @@ pub mod traversal;
 mod view;
 
 pub use error::GraphError;
-pub use frozen::{DeltaGraph, FrozenGraph, FrozenGraphParts, OverlayView};
+pub use frozen::{
+    CompactGraphParts, DeltaGraph, FrozenGraph, FrozenGraphParts, OverlayView,
+    RawStorage, StorageMode,
+};
 pub use network::{DynamicNetwork, Link};
 pub use static_graph::StaticGraph;
 pub use traversal::Adjacency;

@@ -15,6 +15,7 @@
 //! extracted through any view reproduce the mutable graph's output
 //! exactly (property-tested in `crates/dyngraph/tests/`).
 
+use crate::compact::PackedLinks;
 use crate::{DynamicNetwork, NodeId, Timestamp};
 
 /// Iterator over the `(neighbor, timestamp)` incidences of one node, in
@@ -40,6 +41,8 @@ enum IncidentLinksInner<'a> {
             std::slice::Iter<'a, Timestamp>,
         >,
     ),
+    /// A varint-packed compact-CSR row, decoded on the fly.
+    Packed(PackedLinks<'a>),
 }
 
 impl<'a> IncidentLinks<'a> {
@@ -64,6 +67,13 @@ impl<'a> IncidentLinks<'a> {
             ),
         }
     }
+
+    /// Wraps a compact-CSR packed-row decoder.
+    pub(crate) fn from_packed(links: PackedLinks<'_>) -> IncidentLinks<'_> {
+        IncidentLinks {
+            inner: IncidentLinksInner::Packed(links),
+        }
+    }
 }
 
 impl Iterator for IncidentLinks<'_> {
@@ -73,6 +83,7 @@ impl Iterator for IncidentLinks<'_> {
         match &mut self.inner {
             IncidentLinksInner::Pairs(it) => it.next().copied(),
             IncidentLinksInner::Split(it) => it.next().map(|(&v, &t)| (v, t)),
+            IncidentLinksInner::Packed(it) => it.next(),
         }
     }
 
@@ -80,6 +91,7 @@ impl Iterator for IncidentLinks<'_> {
         match &self.inner {
             IncidentLinksInner::Pairs(it) => it.size_hint(),
             IncidentLinksInner::Split(it) => it.size_hint(),
+            IncidentLinksInner::Packed(it) => it.size_hint(),
         }
     }
 }

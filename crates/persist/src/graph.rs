@@ -1,16 +1,28 @@
 //! `FrozenGraph` ⇄ snapshot sections.
 //!
-//! The on-disk layout mirrors [`FrozenGraph`]'s in-memory CSR exactly:
-//! one section per flat array (`offsets` and `nbr_offsets` as `u64`,
-//! ids and timestamps as `u32`, all little-endian) plus a small meta
-//! section with the counters. Decoding builds a
-//! [`FrozenGraphParts`] and funnels it through
-//! [`FrozenGraph::try_from_parts`], so a graph that loads is a graph
-//! whose every structural invariant has been re-proven — checksums
-//! catch flipped bits, the validator catches a consistent-looking but
-//! internally wrong CSR.
+//! The on-disk layout mirrors [`FrozenGraph`]'s in-memory arrays
+//! exactly, one section per flat array plus a small meta section with
+//! the counters. Both [`dyngraph::StorageMode`]s have a codec:
+//!
+//! * **wide** — `graph.offsets`/`graph.nbr_offsets` as `u64`, ids and
+//!   timestamps as raw `u32` (the format-version-1 layout, still
+//!   written for wide graphs and still loaded unchanged);
+//! * **compact** — `graph.c32.*` sections: `u32` offset arrays and the
+//!   varint incident arena verbatim (added in format version 2).
+//!
+//! Decoding dispatches on which sections are present and funnels the
+//! arrays through [`FrozenGraph::try_from_parts`] /
+//! [`FrozenGraph::try_from_compact_parts`], so a graph that loads is a
+//! graph whose every structural invariant has been re-proven —
+//! checksums catch flipped bits, the validators catch a
+//! consistent-looking but internally wrong CSR. A compact file decodes
+//! to a compact in-memory graph and vice versa, and either loads into
+//! bit-identical scores (the representations serve the same
+//! [`GraphView`]).
 
-use dyngraph::{FrozenGraph, FrozenGraphParts, GraphView};
+use dyngraph::{
+    CompactGraphParts, FrozenGraph, FrozenGraphParts, GraphView, RawStorage,
+};
 
 use crate::codec::{encode_u32s, encode_usizes, put_u32, put_u64, Cursor};
 use crate::error::PersistError;
@@ -18,18 +30,29 @@ use crate::snapshot::{SnapshotReader, SnapshotWriter};
 
 /// Section names for the graph payload.
 pub const SEC_GRAPH_META: &str = "graph.meta";
-/// Incident-link row bounds, `u64` each.
+/// Incident-link row bounds, `u64` each (wide layout).
 pub const SEC_GRAPH_OFFSETS: &str = "graph.offsets";
-/// Flat neighbor ids, `u32` each.
+/// Flat neighbor ids, `u32` each (wide layout).
 pub const SEC_GRAPH_NEIGHBORS: &str = "graph.neighbors";
-/// Flat timestamps, `u32` each, parallel to the neighbors.
+/// Flat timestamps, `u32` each, parallel to the neighbors (wide).
 pub const SEC_GRAPH_TIMESTAMPS: &str = "graph.timestamps";
-/// Distinct-neighbor row bounds, `u64` each.
+/// Distinct-neighbor row bounds, `u64` each (wide layout).
 pub const SEC_GRAPH_NBR_OFFSETS: &str = "graph.nbr_offsets";
-/// Flat distinct-neighbor ids, `u32` each.
+/// Flat distinct-neighbor ids, `u32` each (wide layout).
 pub const SEC_GRAPH_NBR_IDS: &str = "graph.nbr_ids";
+/// Incident-slot row bounds, `u32` each (compact layout).
+pub const SEC_GRAPH_C32_SLOT_OFFSETS: &str = "graph.c32.slot_offsets";
+/// Arena byte bounds, `u32` each (compact layout).
+pub const SEC_GRAPH_C32_BYTE_OFFSETS: &str = "graph.c32.byte_offsets";
+/// Varint-packed incident arena, raw bytes (compact layout).
+pub const SEC_GRAPH_C32_ARENA: &str = "graph.c32.arena";
+/// Distinct-neighbor row bounds, `u32` each (compact layout).
+pub const SEC_GRAPH_C32_NBR_OFFSETS: &str = "graph.c32.nbr_offsets";
+/// Flat distinct-neighbor ids, `u32` each (compact layout).
+pub const SEC_GRAPH_C32_NBR_IDS: &str = "graph.c32.nbr_ids";
 
-/// Writes `g` into `w` as the six `graph.*` sections.
+/// Writes `g` into `w` as `graph.*` sections matching its
+/// [`storage mode`](FrozenGraph::storage_mode).
 pub fn encode_graph(g: &FrozenGraph, w: &mut SnapshotWriter) {
     let (min_ts, max_ts) = g.raw_timestamp_bounds();
     let mut meta = Vec::with_capacity(8 * 3 + 4 * 2);
@@ -39,15 +62,46 @@ pub fn encode_graph(g: &FrozenGraph, w: &mut SnapshotWriter) {
     put_u32(&mut meta, min_ts);
     put_u32(&mut meta, max_ts);
     w.section(SEC_GRAPH_META, meta);
-    w.section(SEC_GRAPH_OFFSETS, encode_usizes(g.csr_offsets()));
-    w.section(SEC_GRAPH_NEIGHBORS, encode_u32s(g.csr_neighbors()));
-    w.section(SEC_GRAPH_TIMESTAMPS, encode_u32s(g.csr_timestamps()));
-    w.section(SEC_GRAPH_NBR_OFFSETS, encode_usizes(g.csr_nbr_offsets()));
-    w.section(SEC_GRAPH_NBR_IDS, encode_u32s(g.csr_nbr_ids()));
+    match g.raw_storage() {
+        RawStorage::Wide {
+            offsets,
+            neighbors,
+            timestamps,
+            nbr_offsets,
+            nbr_ids,
+            ..
+        } => {
+            w.section(SEC_GRAPH_OFFSETS, encode_usizes(offsets));
+            w.section(SEC_GRAPH_NEIGHBORS, encode_u32s(neighbors));
+            w.section(SEC_GRAPH_TIMESTAMPS, encode_u32s(timestamps));
+            w.section(SEC_GRAPH_NBR_OFFSETS, encode_usizes(nbr_offsets));
+            w.section(SEC_GRAPH_NBR_IDS, encode_u32s(nbr_ids));
+        }
+        RawStorage::Compact {
+            slot_offsets,
+            byte_offsets,
+            arena,
+            nbr_offsets,
+            nbr_ids,
+            ..
+        } => {
+            w.section(SEC_GRAPH_C32_SLOT_OFFSETS, encode_u32s(slot_offsets));
+            w.section(SEC_GRAPH_C32_BYTE_OFFSETS, encode_u32s(byte_offsets));
+            w.section(SEC_GRAPH_C32_ARENA, arena.to_vec());
+            w.section(SEC_GRAPH_C32_NBR_OFFSETS, encode_u32s(nbr_offsets));
+            w.section(SEC_GRAPH_C32_NBR_IDS, encode_u32s(nbr_ids));
+        }
+        // `RawStorage` is non-exhaustive for future layouts; encoding
+        // runs in-process against the same dyngraph version, so both
+        // current arms are covered above.
+        #[allow(unreachable_patterns)]
+        _ => unreachable!("unknown frozen-graph storage layout"),
+    }
 }
 
 /// Reads the `graph.*` sections of `r` back into a validated
-/// [`FrozenGraph`].
+/// [`FrozenGraph`], in whichever [`dyngraph::StorageMode`] the file
+/// was written.
 ///
 /// # Errors
 ///
@@ -75,6 +129,34 @@ pub fn decode_graph(r: &SnapshotReader) -> Result<FrozenGraph, PersistError> {
         Ok::<_, PersistError>(out)
     };
 
+    let corrupt_graph = |e: dyngraph::GraphError| PersistError::Corrupt {
+        section: "graph".to_string(),
+        detail: e.to_string(),
+    };
+
+    if r.section(SEC_GRAPH_C32_SLOT_OFFSETS).is_some() {
+        let slot_offsets =
+            read_u32s(SEC_GRAPH_C32_SLOT_OFFSETS, node_count + 1)?;
+        let byte_offsets =
+            read_u32s(SEC_GRAPH_C32_BYTE_OFFSETS, node_count + 1)?;
+        let arena = r.require(SEC_GRAPH_C32_ARENA)?.to_vec();
+        let nbr_offsets = read_u32s(SEC_GRAPH_C32_NBR_OFFSETS, node_count + 1)?;
+        let nbr_count = nbr_offsets.last().copied().unwrap_or(0) as usize;
+        let nbr_ids = read_u32s(SEC_GRAPH_C32_NBR_IDS, nbr_count)?;
+        return FrozenGraph::try_from_compact_parts(CompactGraphParts {
+            slot_offsets,
+            byte_offsets,
+            arena,
+            nbr_offsets,
+            nbr_ids,
+            num_links,
+            min_ts,
+            max_ts,
+            revision,
+        })
+        .map_err(corrupt_graph);
+    }
+
     let offsets = read_usizes(SEC_GRAPH_OFFSETS, node_count + 1)?;
     let neighbors = read_u32s(SEC_GRAPH_NEIGHBORS, 2 * num_links)?;
     let timestamps = read_u32s(SEC_GRAPH_TIMESTAMPS, 2 * num_links)?;
@@ -93,27 +175,32 @@ pub fn decode_graph(r: &SnapshotReader) -> Result<FrozenGraph, PersistError> {
         max_ts,
         revision,
     })
-    .map_err(|e| PersistError::Corrupt {
-        section: "graph".to_string(),
-        detail: e.to_string(),
-    })
+    .map_err(corrupt_graph)
 }
 
 #[cfg(test)]
 mod tests {
-    use dyngraph::DynamicNetwork;
+    use dyngraph::{DynamicNetwork, StorageMode};
 
     use super::*;
     use crate::snapshot::SnapshotReader;
 
-    fn sample() -> FrozenGraph {
+    fn network() -> DynamicNetwork {
         let mut g = DynamicNetwork::new();
         g.add_link(0, 1, 3);
         g.add_link(1, 2, 5);
         g.add_link(0, 1, 4);
         g.add_link(3, 1, 2);
         g.ensure_node(6);
-        FrozenGraph::from_view(&g)
+        g
+    }
+
+    fn sample() -> FrozenGraph {
+        FrozenGraph::from_view(&network())
+    }
+
+    fn sample_compact() -> FrozenGraph {
+        FrozenGraph::from_view_with(&network(), StorageMode::Compact).unwrap()
     }
 
     fn round_trip(g: &FrozenGraph) -> FrozenGraph {
@@ -132,23 +219,59 @@ mod tests {
     }
 
     #[test]
+    fn compact_graph_round_trips_in_compact_mode() {
+        let g = sample_compact();
+        let back = round_trip(&g);
+        assert_eq!(back.storage_mode(), StorageMode::Compact);
+        assert_eq!(back, g);
+        // And logically equals the wide twin of the same network.
+        assert_eq!(back, sample());
+    }
+
+    #[test]
+    fn compact_sections_are_smaller_than_wide_sections() {
+        let mut dense = DynamicNetwork::new();
+        for i in 0..400u32 {
+            let u = i % 97;
+            dense.add_link(u, (u + 1 + i % 7) % 97, i / 4);
+        }
+        let mut ww = SnapshotWriter::new();
+        encode_graph(
+            &FrozenGraph::from_view_with(&dense, StorageMode::Wide).unwrap(),
+            &mut ww,
+        );
+        let mut cw = SnapshotWriter::new();
+        encode_graph(
+            &FrozenGraph::from_view_with(&dense, StorageMode::Compact).unwrap(),
+            &mut cw,
+        );
+        assert!(
+            cw.to_bytes().len() < ww.to_bytes().len(),
+            "compact file {} >= wide file {}",
+            cw.to_bytes().len(),
+            ww.to_bytes().len()
+        );
+    }
+
+    #[test]
     fn payload_corruption_is_typed_not_panicking() {
-        let mut w = SnapshotWriter::new();
-        encode_graph(&sample(), &mut w);
-        let bytes = w.to_bytes();
-        for i in 0..bytes.len() {
-            let mut bad = bytes.clone();
-            bad[i] = bad[i].wrapping_add(1);
-            let outcome =
-                SnapshotReader::from_bytes(&bad).and_then(|r| decode_graph(&r));
-            match outcome {
-                Err(PersistError::Corrupt { .. }) => {}
-                Err(other) => panic!("byte {i}: unexpected {other}"),
-                Ok(g) => assert_eq!(
-                    g,
-                    sample(),
-                    "byte {i} silently changed the graph"
-                ),
+        for g in [sample(), sample_compact()] {
+            let mut w = SnapshotWriter::new();
+            encode_graph(&g, &mut w);
+            let bytes = w.to_bytes();
+            for i in 0..bytes.len() {
+                let mut bad = bytes.clone();
+                bad[i] = bad[i].wrapping_add(1);
+                let outcome = SnapshotReader::from_bytes(&bad)
+                    .and_then(|r| decode_graph(&r));
+                match outcome {
+                    Err(PersistError::Corrupt { .. }) => {}
+                    Err(other) => panic!("byte {i}: unexpected {other}"),
+                    Ok(got) => assert_eq!(
+                        got, g,
+                        "byte {i} silently changed the graph"
+                    ),
+                }
             }
         }
     }
@@ -157,26 +280,32 @@ mod tests {
     fn cross_section_lies_are_caught_by_the_validator() {
         // A snapshot whose sections each checksum fine but which
         // disagree with each other: claim one fewer link than the
-        // arrays hold.
-        let g = sample();
-        let mut w = SnapshotWriter::new();
-        let (min_ts, max_ts) = g.raw_timestamp_bounds();
-        let mut meta = Vec::new();
-        crate::codec::put_u64(&mut meta, g.link_count() as u64 - 1);
-        crate::codec::put_u64(&mut meta, g.node_count() as u64);
-        crate::codec::put_u64(&mut meta, g.revision());
-        crate::codec::put_u32(&mut meta, min_ts);
-        crate::codec::put_u32(&mut meta, max_ts);
-        w.section(SEC_GRAPH_META, meta);
-        w.section(SEC_GRAPH_OFFSETS, encode_usizes(g.csr_offsets()));
-        w.section(SEC_GRAPH_NEIGHBORS, encode_u32s(g.csr_neighbors()));
-        w.section(SEC_GRAPH_TIMESTAMPS, encode_u32s(g.csr_timestamps()));
-        w.section(SEC_GRAPH_NBR_OFFSETS, encode_usizes(g.csr_nbr_offsets()));
-        w.section(SEC_GRAPH_NBR_IDS, encode_u32s(g.csr_nbr_ids()));
-        let r = SnapshotReader::from_bytes(&w.to_bytes()).unwrap();
-        assert!(matches!(
-            decode_graph(&r),
-            Err(PersistError::Corrupt { .. })
-        ));
+        // arrays hold. Exercised for both storage layouts.
+        for g in [sample(), sample_compact()] {
+            let mut w = SnapshotWriter::new();
+            encode_graph(&g, &mut w);
+            let mut r = SnapshotReader::from_bytes(&w.to_bytes()).unwrap();
+            let (min_ts, max_ts) = g.raw_timestamp_bounds();
+            let mut meta = Vec::new();
+            crate::codec::put_u64(&mut meta, g.link_count() as u64 - 1);
+            crate::codec::put_u64(&mut meta, g.node_count() as u64);
+            crate::codec::put_u64(&mut meta, g.revision());
+            crate::codec::put_u32(&mut meta, min_ts);
+            crate::codec::put_u32(&mut meta, max_ts);
+            let mut lying = SnapshotWriter::new();
+            lying.section(SEC_GRAPH_META, meta);
+            for name in
+                r.section_names().map(str::to_string).collect::<Vec<_>>()
+            {
+                if name != SEC_GRAPH_META {
+                    lying.section(&name, r.require(&name).unwrap().to_vec());
+                }
+            }
+            r = SnapshotReader::from_bytes(&lying.to_bytes()).unwrap();
+            assert!(matches!(
+                decode_graph(&r),
+                Err(PersistError::Corrupt { .. })
+            ));
+        }
     }
 }

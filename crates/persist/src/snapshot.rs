@@ -31,8 +31,13 @@ use crate::error::{corrupt, PersistError};
 
 /// File magic: the first four bytes of every snapshot.
 pub const MAGIC: [u8; 4] = *b"SSF1";
-/// Current container format version.
-pub const VERSION: u32 = 1;
+/// Current container format version. Version 2 added the compact-CSR
+/// graph sections (`graph.c32.*`); the section container itself is
+/// unchanged, so readers accept every version down to
+/// [`MIN_VERSION`].
+pub const VERSION: u32 = 2;
+/// Oldest container format version this reader still loads.
+pub const MIN_VERSION: u32 = 1;
 
 /// Assembles a snapshot in memory, then persists it atomically.
 #[derive(Debug, Default)]
@@ -137,10 +142,13 @@ impl SnapshotReader {
             ));
         }
         let version = c.u32()?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(corrupt(
                 "header",
-                format!("unsupported format version {version}"),
+                format!(
+                    "unsupported format version {version} (supported: \
+                     {MIN_VERSION}..={VERSION})"
+                ),
             ));
         }
         let count = c.u32()? as usize;

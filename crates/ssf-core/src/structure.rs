@@ -142,7 +142,7 @@ impl StructureSubgraph {
                 for i in 0..n {
                     let gi = group_of[i] as u32;
                     for &(j, _) in hop.incident_links(i) {
-                        let gj = group_of[j] as u32;
+                        let gj = group_of[j as usize] as u32;
                         debug_assert_ne!(
                             gi, gj,
                             "structure nodes never self-link"
@@ -306,8 +306,8 @@ impl StructureSubgraph {
         for i in 0..n {
             let x = new_id[group_of[i]];
             for &(j, _) in hop.incident_links(i) {
-                if i < j {
-                    let y = new_id[group_of[j]];
+                if i < j as usize {
+                    let y = new_id[group_of[j as usize]];
                     cursor[x.min(y) + 1] += 1;
                 }
             }
@@ -320,8 +320,8 @@ impl StructureSubgraph {
         for i in 0..n {
             let x = new_id[group_of[i]];
             for &(j, t) in hop.incident_links(i) {
-                if i < j {
-                    let y = new_id[group_of[j]];
+                if i < j as usize {
+                    let y = new_id[group_of[j as usize]];
                     let lo = x.min(y);
                     triples[cursor[lo]] = (lo as u32, x.max(y) as u32, t);
                     cursor[lo] += 1;

@@ -10,7 +10,7 @@
 // Example code: aborting on error is the right UX for a demo binary.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use ssf_repro::datasets::{generate, DatasetSpec};
+use ssf_repro::datasets::DatasetSpec;
 use ssf_repro::methods::{Method, MethodOptions};
 use ssf_repro::ssf_eval::{
     aggregate, backtest_splits, BacktestConfig, SplitConfig,
@@ -18,7 +18,7 @@ use ssf_repro::ssf_eval::{
 
 fn main() {
     let spec = DatasetSpec::prosper().scaled(0.35);
-    let g = generate(&spec, 5);
+    let g = spec.generate(5);
     println!("generated {spec}");
 
     let config = BacktestConfig {

@@ -13,14 +13,14 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use ssf_repro::datasets::{generate, DatasetSpec};
+use ssf_repro::datasets::DatasetSpec;
 use ssf_repro::methods::{Method, MethodOptions};
 use ssf_repro::ssf_core::{PatternMiner, SsfConfig, SsfExtractor};
 use ssf_repro::ssf_eval::{Split, SplitConfig};
 
 fn main() {
     let spec = DatasetSpec::coauthor().scaled(0.4);
-    let g = generate(&spec, 42);
+    let g = spec.generate(42);
     println!("generated {spec}");
 
     let split = Split::with_min_positives(

@@ -10,7 +10,7 @@
 // Example code: aborting on error is the right UX for a demo binary.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use ssf_repro::datasets::{generate, DatasetSpec};
+use ssf_repro::datasets::DatasetSpec;
 use ssf_repro::dyngraph::NodeId;
 use ssf_repro::linalg::Matrix;
 use ssf_repro::ssf_core::{SsfConfig, SsfExtractor};
@@ -19,7 +19,7 @@ use ssf_repro::ssf_ml::{MlpConfig, NeuralMachine, StandardScaler};
 
 fn main() {
     let spec = DatasetSpec::digg().scaled(0.2);
-    let g = generate(&spec, 11);
+    let g = spec.generate(11);
     println!("generated {spec}");
 
     let split = Split::with_min_positives(

@@ -21,8 +21,10 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ssf_repro::baselines;
-use ssf_repro::datasets::{generate, DatasetSpec};
-use ssf_repro::dyngraph::{io, metrics, stats::NetworkStats, DynamicNetwork};
+use ssf_repro::datasets::DatasetSpec;
+use ssf_repro::dyngraph::{
+    io, metrics, stats::NetworkStats, DynamicNetwork, StorageMode,
+};
 use ssf_repro::methods::{Method, MethodOptions};
 use ssf_repro::model::SsfnmModel;
 use ssf_repro::obs::{ObsHandle, Registry};
@@ -141,9 +143,11 @@ USAGE:
                                                size); --qps 0 is unpaced
   ssf save     <edge-list> --dir DIR [--k N] [--epochs N] [--seed N]
                [--refit-every N] [--fsync always|never|N]
-                                               ingest through a durable
+               [--storage auto|wide|compact]   ingest through a durable
                                                predictor (WAL per event) and
-                                               checkpoint one SSF1 snapshot
+                                               checkpoint one SSF1 snapshot;
+                                               --storage picks the frozen
+                                               graph layout (auto = by size)
   ssf restore  --dir DIR [--strict] [--at-revision N] [--score U,V]
                [--k N] [--epochs N] [--seed N] [--refit-every N]
                                                recover snapshot + WAL tail;
@@ -250,7 +254,7 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
     } else {
         spec
     };
-    let g = generate(&spec, seed);
+    let g = spec.generate(seed);
     match flag(args, "--out") {
         Some(path) => {
             let mut file = File::create(&path)
@@ -745,8 +749,18 @@ fn predictor_config(args: &[String]) -> Result<OnlinePredictorConfig, String> {
     OnlinePredictorConfig::builder()
         .method(opts)
         .refit_every(parse_flag(args, "--refit-every", 64)?)
+        .storage(storage_mode(args)?)
         .build()
         .map_err(|e| e.to_string())
+}
+
+fn storage_mode(args: &[String]) -> Result<StorageMode, String> {
+    match flag(args, "--storage").as_deref() {
+        None => Ok(StorageMode::Auto),
+        Some(v) => v.parse::<StorageMode>().map_err(|_| {
+            format!("invalid value for --storage: {v:?} (auto, wide, compact)")
+        }),
+    }
 }
 
 fn fsync_policy(args: &[String]) -> Result<FsyncPolicy, String> {
@@ -823,10 +837,11 @@ fn cmd_save(args: &[String], obs: &ObsHandle) -> Result<(), String> {
         events.len() as f64 / ingest_secs.max(1e-9),
     );
     println!(
-        "checkpoint {} at revision {} (fitted={})",
+        "checkpoint {} at revision {} (fitted={}, storage={})",
         snapshot.display(),
         p.network().revision(),
         p.is_fitted(),
+        p.snapshot().storage_mode(),
     );
     Ok(())
 }

@@ -58,6 +58,12 @@ pub enum ConfigError {
     /// A zero-nanosecond default deadline budget would reject every
     /// request at admission.
     ZeroDeadline,
+    /// A dataset specification failed [`datasets::DatasetSpec::builder`]
+    /// validation (too few nodes/links, out-of-range probability, …).
+    InvalidDatasetSpec {
+        /// The underlying typed reason.
+        spec: datasets::SpecError,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -94,11 +100,23 @@ impl fmt::Display for ConfigError {
                      (or None for no deadline)"
                 )
             }
+            ConfigError::InvalidDatasetSpec { spec } => {
+                write!(f, "invalid dataset spec: {spec}")
+            }
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Dataset-spec validation failures enter the taxonomy as configuration
+/// errors: a bad spec is rejected before any generation work starts,
+/// exactly like a bad predictor config.
+impl From<datasets::SpecError> for SsfError {
+    fn from(e: datasets::SpecError) -> Self {
+        SsfError::Config(ConfigError::InvalidDatasetSpec { spec: e })
+    }
+}
 
 /// Any error the SSF pipeline can produce, from ingestion to scoring.
 ///
@@ -280,11 +298,30 @@ mod tests {
             (ConfigError::ZeroQueueCapacity, "queue_capacity"),
             (ConfigError::ZeroWorkerThreads, "worker_threads"),
             (ConfigError::ZeroDeadline, "deadline budget"),
+            (
+                ConfigError::InvalidDatasetSpec {
+                    spec: datasets::SpecError::ZeroTimeSpan,
+                },
+                "time span",
+            ),
         ];
         for (e, needle) in cases {
             let text = e.to_string();
             assert!(text.contains(needle), "{text:?} missing {needle:?}");
         }
+    }
+
+    #[test]
+    fn spec_errors_fold_into_config() {
+        let e = SsfError::from(datasets::SpecError::TooFewNodes { nodes: 1 });
+        assert!(
+            matches!(
+                e,
+                SsfError::Config(ConfigError::InvalidDatasetSpec { .. })
+            ),
+            "{e}"
+        );
+        assert!(e.to_string().contains("invalid dataset spec"));
     }
 
     #[test]

@@ -3,15 +3,20 @@
 //! One glob brings in everything a typical application touches — the
 //! dynamic network substrate, the SSF extractor, the online predictor
 //! with its config builder, the concurrent-serving types
-//! ([`ScoringSnapshot`], [`ShardedPredictor`]), the error taxonomy and
-//! the observability recorder types. Anything not listed here is still
+//! ([`ScoringSnapshot`], [`ShardedPredictor`]), the validated dataset
+//! specs with their scale tiers ([`DatasetSpec`], [`ScaleTier`]), the
+//! error taxonomy and the observability recorder types. Anything not listed here is still
 //! reachable through the re-exported workspace crates
 //! ([`crate::dyngraph`], [`crate::ssf_core`], …), but downstream code
 //! should not need internal module paths for the serving workflow.
 
+pub use datasets::{
+    DatasetSpec, DatasetSpecBuilder, PaperDataset, ScaleTier, SpecError,
+    Topology,
+};
 pub use dyngraph::{
     DeltaGraph, DynamicNetwork, FrozenGraph, GraphError, GraphView,
-    IncidentLinks, Link, NodeId, OverlayView, Timestamp,
+    IncidentLinks, Link, NodeId, OverlayView, StorageMode, Timestamp,
 };
 pub use obs::{
     NoopRecorder, ObsHandle, Recorder, Registry, RegistryRecorder, Snapshot,

@@ -32,7 +32,9 @@ use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use dyngraph::{DeltaGraph, GraphView, NodeId, OverlayView, Timestamp};
+use dyngraph::{
+    DeltaGraph, GraphView, NodeId, OverlayView, StorageMode, Timestamp,
+};
 use obs::{labeled, ObsHandle, Snapshot};
 use ssf_core::{CacheStats, ExtractionCache, FrozenCacheView};
 use ssf_persist::SnapshotReader;
@@ -325,6 +327,16 @@ impl ScoringSnapshot {
     /// consistent by construction.
     pub fn epoch(&self) -> u64 {
         self.inner.epoch
+    }
+
+    /// The physical layout of the frozen base graph this snapshot
+    /// serves from — [`StorageMode::Wide`] or [`StorageMode::Compact`],
+    /// never [`StorageMode::Auto`] (the policy has already resolved by
+    /// publish time). Exposed so operators can confirm which
+    /// representation a replica is actually holding; the same value is
+    /// emitted as the `ssf.graph.storage_mode` gauge.
+    pub fn storage_mode(&self) -> StorageMode {
+        self.inner.graph.base().storage_mode()
     }
 
     /// Graph revision the serving model was fitted at; `None` when no
@@ -930,7 +942,7 @@ impl ShardedSnapshot {
 mod tests {
     use super::*;
     use crate::methods::MethodOptions;
-    use datasets::{generate, DatasetSpec};
+    use datasets::DatasetSpec;
 
     fn quick_config() -> OnlinePredictorConfig {
         OnlinePredictorConfig {
@@ -947,7 +959,7 @@ mod tests {
 
     fn fitted_predictor() -> OnlineLinkPredictor {
         let spec = DatasetSpec::coauthor().scaled(0.15);
-        let g = generate(&spec, 9);
+        let g = spec.generate(9);
         let mut links: Vec<_> = g.links().collect();
         links.sort_by_key(|l| l.t);
         let mut p = OnlineLinkPredictor::new(quick_config());
@@ -1092,7 +1104,7 @@ mod tests {
     #[test]
     fn observe_batch_parallel_matches_serial_routing() {
         let spec = DatasetSpec::coauthor().scaled(0.12);
-        let g = generate(&spec, 11);
+        let g = spec.generate(11);
         let mut events: Vec<_> = g.links().map(|l| (l.u, l.v, l.t)).collect();
         events.sort_by_key(|&(_, _, t)| t);
         let mut serial =

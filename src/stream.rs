@@ -28,7 +28,7 @@ use std::sync::Arc;
 
 use dyngraph::{
     DeltaGraph, DynamicNetwork, FrozenGraph, GraphView, NodeId, OverlayView,
-    Timestamp,
+    StorageMode, Timestamp,
 };
 use obs::{labeled, ObsHandle};
 use ssf_core::{CacheStats, ExtractionCache};
@@ -104,6 +104,12 @@ pub struct OnlinePredictorConfig {
     pub min_positives: usize,
     /// Earlier-window folds used to augment training (0 = none).
     pub history_folds: u32,
+    /// Physical layout the copy-on-write graph mirror compacts into
+    /// ([`StorageMode::Auto`] by default: compact once the graph is
+    /// large, wide below that). A [`StorageMode::Compact`] request that
+    /// no longer fits `u32` indices falls back to wide at the next
+    /// compaction instead of failing ingestion.
+    pub storage: StorageMode,
 }
 
 impl Default for OnlinePredictorConfig {
@@ -117,6 +123,7 @@ impl Default for OnlinePredictorConfig {
             split: SplitConfig::default(),
             min_positives: 30,
             history_folds: 2,
+            storage: StorageMode::Auto,
         }
     }
 }
@@ -204,6 +211,13 @@ impl OnlinePredictorConfigBuilder {
     /// Earlier-window folds used to augment training (0 = none).
     pub fn history_folds(mut self, folds: u32) -> Self {
         self.config.history_folds = folds;
+        self
+    }
+
+    /// Physical layout the graph mirror compacts into (default
+    /// [`StorageMode::Auto`]).
+    pub fn storage(mut self, mode: StorageMode) -> Self {
+        self.config.storage = mode;
         self
     }
 
@@ -415,9 +429,19 @@ impl OnlineLinkPredictor {
             // costs O(V + E) but only after the delta has grown to a
             // fixed fraction of the graph.
             let span = self.obs.span("ssf.stream.compact");
-            self.delta.rebase();
+            let base = match self.delta.rebase_with(self.config.storage) {
+                Ok(base) => base,
+                // An explicit Compact request that overflowed u32
+                // indices: stay available on the wide layout rather
+                // than failing ingestion.
+                Err(_) => self.delta.rebase(),
+            };
             span.finish();
             self.obs.counter("ssf.stream.compactions", 1);
+            self.obs.gauge(
+                "ssf.graph.storage_mode",
+                storage_mode_gauge(base.storage_mode()),
+            );
         }
         self.stats.accepted += 1;
         self.obs.counter("ssf.stream.accepted", 1);
@@ -667,6 +691,10 @@ impl OnlineLinkPredictor {
             None => snap.epoch(),
         };
         self.obs.gauge("ssf.serve.epoch_lag", lag as f64);
+        self.obs.gauge(
+            "ssf.graph.storage_mode",
+            storage_mode_gauge(snap.storage_mode()),
+        );
         snap
     }
 
@@ -1181,6 +1209,15 @@ fn wal_options(policy: DurabilityPolicy) -> WalOptions {
     }
 }
 
+/// Gauge encoding of a resolved storage mode: 0 = wide, 1 = compact.
+/// (`FrozenGraph::storage_mode` never reports `Auto`.)
+pub(crate) fn storage_mode_gauge(mode: StorageMode) -> f64 {
+    match mode {
+        StorageMode::Compact => 1.0,
+        _ => 0.0,
+    }
+}
+
 /// Delta size that triggers folding the copy-on-write log into a fresh
 /// frozen base: an eighth of the graph, floored at 64 links so tiny
 /// graphs don't compact on every observe.
@@ -1192,7 +1229,7 @@ fn compaction_threshold(link_count: usize) -> usize {
 mod tests {
     use super::*;
     use crate::serve::{Observed, QuarantineReason};
-    use datasets::{generate, DatasetSpec};
+    use datasets::DatasetSpec;
 
     fn quick_config() -> OnlinePredictorConfig {
         OnlinePredictorConfig {
@@ -1267,6 +1304,44 @@ mod tests {
     }
 
     #[test]
+    fn storage_config_defaults_to_auto_and_round_trips() {
+        assert_eq!(OnlinePredictorConfig::default().storage, StorageMode::Auto);
+        let built = OnlinePredictorConfig::builder()
+            .storage(StorageMode::Compact)
+            .build()
+            .expect("storage mode alone is always a valid config");
+        assert_eq!(built.storage, StorageMode::Compact);
+    }
+
+    /// An explicit `Compact` storage config must surface in the
+    /// published snapshot once a compaction has folded the delta into a
+    /// frozen base; the default `Auto` policy keeps small graphs wide.
+    #[test]
+    fn explicit_compact_storage_reaches_the_snapshot() {
+        let g = DatasetSpec::coauthor().scaled(0.15).generate(9);
+        let mut links: Vec<_> = g.links().collect();
+        links.sort_by_key(|l| l.t);
+
+        let compact_config = OnlinePredictorConfig {
+            storage: StorageMode::Compact,
+            ..quick_config()
+        };
+        let mut p = OnlineLinkPredictor::new(compact_config);
+        let mut q = OnlineLinkPredictor::new(quick_config());
+        for l in links {
+            p.observe(l.u, l.v, l.t);
+            q.observe(l.u, l.v, l.t);
+        }
+        assert_eq!(p.snapshot().storage_mode(), StorageMode::Compact);
+        // Well below the Auto thresholds: the default stays wide.
+        assert_eq!(q.snapshot().storage_mode(), StorageMode::Wide);
+        // Scores agree bit-for-bit across layouts.
+        for pair in [(0, 1), (2, 5), (1, 4)] {
+            assert_eq!(p.score(pair.0, pair.1), q.score(pair.0, pair.1));
+        }
+    }
+
+    #[test]
     fn no_model_until_enough_history() {
         let mut p = OnlineLinkPredictor::new(quick_config());
         p.observe(0, 1, 1);
@@ -1278,7 +1353,7 @@ mod tests {
     #[test]
     fn fits_once_stream_is_rich_enough() {
         let spec = DatasetSpec::coauthor().scaled(0.15);
-        let g = generate(&spec, 9);
+        let g = spec.generate(9);
         let mut links: Vec<_> = g.links().collect();
         links.sort_by_key(|l| l.t);
         let mut p = OnlineLinkPredictor::new(quick_config());
@@ -1299,7 +1374,7 @@ mod tests {
     #[test]
     fn unknown_nodes_score_none() {
         let spec = DatasetSpec::coauthor().scaled(0.15);
-        let g = generate(&spec, 9);
+        let g = spec.generate(9);
         let mut p = OnlineLinkPredictor::new(quick_config());
         for l in g.links() {
             p.observe(l.u, l.v, l.t);
@@ -1328,7 +1403,7 @@ mod tests {
     #[test]
     fn health_fitted_flag_and_model_epoch_stay_consistent() {
         let spec = DatasetSpec::coauthor().scaled(0.15);
-        let g = generate(&spec, 9);
+        let g = spec.generate(9);
         let mut links: Vec<_> = g.links().collect();
         links.sort_by_key(|l| l.t);
         let mut p = OnlineLinkPredictor::new(quick_config());
@@ -1382,7 +1457,7 @@ mod tests {
     #[test]
     fn quarantined_endpoints_remain_scoreable() {
         let spec = DatasetSpec::coauthor().scaled(0.15);
-        let g = generate(&spec, 9);
+        let g = spec.generate(9);
         let mut links: Vec<_> = g.links().collect();
         links.sort_by_key(|l| l.t);
         let mut p = OnlineLinkPredictor::new(quick_config());
@@ -1453,7 +1528,7 @@ mod tests {
     #[test]
     fn score_batch_matches_per_pair_score_bitwise() {
         let spec = DatasetSpec::coauthor().scaled(0.15);
-        let g = generate(&spec, 9);
+        let g = spec.generate(9);
         let mut links: Vec<_> = g.links().collect();
         links.sort_by_key(|l| l.t);
         let mut p = OnlineLinkPredictor::new(quick_config());
@@ -1491,7 +1566,7 @@ mod tests {
     #[test]
     fn repeated_batches_hit_the_cache_until_the_graph_moves() {
         let spec = DatasetSpec::coauthor().scaled(0.15);
-        let g = generate(&spec, 9);
+        let g = spec.generate(9);
         let mut links: Vec<_> = g.links().collect();
         links.sort_by_key(|l| l.t);
         let mut p = OnlineLinkPredictor::new(quick_config());
@@ -1550,7 +1625,7 @@ mod tests {
 
     fn clean_events() -> Vec<(NodeId, NodeId, Timestamp)> {
         let spec = DatasetSpec::coauthor().scaled(0.15);
-        let g = generate(&spec, 9);
+        let g = spec.generate(9);
         let mut links: Vec<_> = g.links().collect();
         links.sort_by_key(|l| l.t);
         links.iter().map(|l| (l.u, l.v, l.t)).collect()

@@ -10,7 +10,7 @@
 use std::collections::BTreeSet;
 use std::process::Command;
 
-use ssf_repro::datasets::{generate, DatasetSpec};
+use ssf_repro::datasets::DatasetSpec;
 use ssf_repro::dyngraph::io::{
     read_edge_list_lossy, write_edge_list, FaultConfig, FaultyReader,
 };
@@ -36,7 +36,7 @@ fn chaos_config() -> OnlinePredictorConfig {
 /// The clean trace: deduplicated, time-ordered events of a synthetic
 /// coauthor network.
 fn clean_events() -> Vec<(NodeId, NodeId, Timestamp)> {
-    let g = generate(&DatasetSpec::coauthor().scaled(0.15), 9);
+    let g = DatasetSpec::coauthor().scaled(0.15).generate(9);
     let ordered: BTreeSet<(Timestamp, NodeId, NodeId)> =
         g.links().map(|l| (l.t, l.u, l.v)).collect();
     ordered.into_iter().map(|(t, u, v)| (u, v, t)).collect()
@@ -110,7 +110,7 @@ fn temp_file(name: &str, contents: &[u8]) -> std::path::PathBuf {
 
 #[allow(clippy::expect_used)] // test helper
 fn clean_edge_list() -> (DynamicNetwork, Vec<u8>) {
-    let g = generate(&DatasetSpec::coauthor().scaled(0.1), 7);
+    let g = DatasetSpec::coauthor().scaled(0.1).generate(7);
     let mut buf = Vec::new();
     write_edge_list(&g, &mut buf).expect("write to memory");
     (g, buf)

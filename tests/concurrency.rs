@@ -20,7 +20,7 @@ use std::sync::Mutex;
 use std::thread;
 
 use proptest::prelude::*;
-use ssf_repro::datasets::{generate, DatasetSpec};
+use ssf_repro::datasets::DatasetSpec;
 use ssf_repro::prelude::*;
 
 #[allow(clippy::expect_used)] // test helper
@@ -40,7 +40,7 @@ fn quick_config(seed: u64) -> OnlinePredictorConfig {
 
 /// A fit-capable synthetic stream in timestamp order.
 fn stream_events() -> Vec<(NodeId, NodeId, Timestamp)> {
-    let g = generate(&DatasetSpec::coauthor().scaled(0.15), 9);
+    let g = DatasetSpec::coauthor().scaled(0.15).generate(9);
     let mut events: Vec<_> = g.links().map(|l| (l.u, l.v, l.t)).collect();
     events.sort_by_key(|&(_, _, t)| t);
     events

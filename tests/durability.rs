@@ -10,7 +10,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 
 use proptest::prelude::*;
-use ssf_repro::datasets::{generate, DatasetSpec};
+use ssf_repro::datasets::DatasetSpec;
 use ssf_repro::dyngraph::io::{FaultConfig, FaultyReader};
 use ssf_repro::prelude::*;
 use ssf_repro::ssf_persist::{decode_graph, encode_graph, SnapshotWriter};
@@ -69,7 +69,7 @@ fn copy_dir(src: &Path, dst: &Path) {
 }
 
 fn clean_events() -> Vec<(NodeId, NodeId, Timestamp)> {
-    let g = generate(&DatasetSpec::coauthor().scaled(0.15), 9);
+    let g = DatasetSpec::coauthor().scaled(0.15).generate(9);
     let mut links: Vec<_> = g.links().collect();
     links.sort_by_key(|l| l.t);
     links.iter().map(|l| (l.u, l.v, l.t)).collect()
@@ -270,7 +270,7 @@ fn corrupt_snapshot_is_detected_never_served() {
 #[allow(clippy::expect_used, clippy::unwrap_used)]
 fn cli_save_restore_obeys_the_stderr_contract() {
     use std::process::Command;
-    let g = generate(&DatasetSpec::coauthor().scaled(0.1), 7);
+    let g = DatasetSpec::coauthor().scaled(0.1).generate(7);
     let dir = scratch("cli");
     let edges = dir.join("net.txt");
     let state = dir.join("state");

@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-use ssf_repro::datasets::{generate, DatasetSpec};
+use ssf_repro::datasets::DatasetSpec;
 use ssf_repro::dyngraph::NodeId;
 use ssf_repro::methods::{Method, MethodOptions};
 use ssf_repro::obs::{
@@ -46,7 +46,7 @@ fn quick_config() -> OnlinePredictorConfig {
 /// Feeds a fit-capable stream into `p` (same generator the stream tests
 /// use) and returns the candidate pairs every test scores.
 fn feed_stream(p: &mut OnlineLinkPredictor) -> Vec<(NodeId, NodeId)> {
-    let g = generate(&DatasetSpec::coauthor().scaled(0.15), 9);
+    let g = DatasetSpec::coauthor().scaled(0.15).generate(9);
     let mut links: Vec<_> = g.links().collect();
     links.sort_by_key(|l| l.t);
     for l in links {
@@ -154,6 +154,20 @@ fn cache_gauges_match_cache_stats_after_score_batch() {
         stats.pair_hits > 0,
         "the warm batch must have hit the pair memo"
     );
+}
+
+/// The `ssf.graph.storage_mode` gauge published at snapshot time must
+/// agree with the snapshot's own reported layout (0 = wide,
+/// 1 = compact).
+#[test]
+fn storage_mode_gauge_matches_the_snapshot() {
+    use ssf_repro::dyngraph::StorageMode;
+    let (p, registry) = recorded_run();
+    let snapshot = p.snapshot();
+    // Workload is far below the Auto compaction thresholds.
+    assert_eq!(snapshot.storage_mode(), StorageMode::Wide);
+    let snap = registry.snapshot();
+    assert_eq!(snap.gauge("ssf.graph.storage_mode"), 0.0);
 }
 
 /// Refit counters mirror [`StreamStats`] on both the success path and
@@ -280,7 +294,7 @@ fn noop_and_recording_paths_are_bit_identical() {
 /// build theirs.
 #[allow(clippy::expect_used)] // test helper
 fn eval_split() -> Split {
-    let g = generate(&DatasetSpec::coauthor().scaled(0.15), 9);
+    let g = DatasetSpec::coauthor().scaled(0.15).generate(9);
     Split::with_min_positives(
         &g,
         &SplitConfig {

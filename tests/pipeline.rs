@@ -2,7 +2,7 @@
 //! Table III method → metric sanity, plus determinism across the whole
 //! pipeline.
 
-use ssf_repro::datasets::{generate, DatasetSpec};
+use ssf_repro::datasets::DatasetSpec;
 use ssf_repro::methods::{Method, MethodOptions};
 use ssf_repro::ssf_eval::{ResultsTable, Split, SplitConfig};
 
@@ -15,7 +15,7 @@ fn quick_opts() -> MethodOptions {
 
 #[allow(clippy::expect_used)] // test helper
 fn small_split(spec: &DatasetSpec, seed: u64) -> Split {
-    let g = generate(spec, seed);
+    let g = spec.generate(seed);
     Split::with_min_positives(
         &g,
         &SplitConfig {

@@ -75,7 +75,7 @@ proptest! {
             let members = s.members(x);
             let sig = |i: usize| -> Vec<usize> {
                 let mut v: Vec<usize> =
-                    hop.neighbors(i).iter().map(|&j| group[j]).collect();
+                    hop.neighbors(i).iter().map(|&j| group[j as usize]).collect();
                 v.sort_unstable();
                 v.dedup();
                 v

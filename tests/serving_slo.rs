@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, OnceLock};
 
 use proptest::prelude::*;
-use ssf_repro::datasets::{generate, DatasetSpec};
+use ssf_repro::datasets::DatasetSpec;
 use ssf_repro::dyngraph::{GraphView, NodeId};
 use ssf_repro::methods::MethodOptions;
 use ssf_repro::obs::{ObsHandle, Registry};
@@ -46,7 +46,7 @@ fn quick_config() -> OnlinePredictorConfig {
 }
 
 fn fitted_predictor() -> OnlineLinkPredictor {
-    let g = generate(&DatasetSpec::coauthor().scaled(0.15), 9);
+    let g = DatasetSpec::coauthor().scaled(0.15).generate(9);
     let mut links: Vec<_> = g.links().collect();
     links.sort_by_key(|l| l.t);
     let mut p = OnlineLinkPredictor::new(quick_config());
@@ -521,7 +521,7 @@ fn counters_reconcile_under_multithreaded_stress() {
 fn coalesced_sharded_scoring_matches_direct_including_cross_shard_pairs() {
     let mut sharded =
         ShardedPredictor::new(quick_config(), 2).expect("valid config");
-    let g = generate(&DatasetSpec::coauthor().scaled(0.15), 9);
+    let g = DatasetSpec::coauthor().scaled(0.15).generate(9);
     let mut events: Vec<_> = g.links().map(|l| (l.u, l.v, l.t)).collect();
     events.sort_by_key(|&(_, _, t)| t);
     sharded.observe_batch_parallel(&events);
