@@ -1,14 +1,22 @@
-//! Serving-SLO benchmark: a closed-loop load generator driving the
-//! request-coalescing front-end.
+//! Serving-SLO benchmark: closed- and open-loop load generators driving
+//! the request-coalescing front-end.
 //!
 //! One binary, many load configurations (the unified experiment-
 //! interface idiom): a fitted [`ScoringSnapshot`] is put behind a
-//! [`Coalescer`], a worker thread drives dispatch, and closed-loop
-//! client threads sweep offered QPS — each client submits one request,
-//! waits for its ticket, then paces to the point's offered rate. The
-//! final sweep point is unpaced (clients submit as fast as the loop
-//! allows), which is where coalescing shows: queue depth rises, batches
-//! fill, and the warm batch path amortizes extraction across requests.
+//! [`Coalescer`], a worker thread drives dispatch, and client threads
+//! sweep offered QPS under two arrival models:
+//!
+//! * **Closed-loop** — each client submits one request, waits for its
+//!   ticket, then paces to the point's offered rate. The final sweep
+//!   point is unpaced (clients submit as fast as the loop allows),
+//!   which is where coalescing shows: queue depth rises, batches fill,
+//!   and the warm batch path amortizes extraction across requests.
+//! * **Open-loop** — arrivals follow a schedule independent of
+//!   completions (fixed-rate or Poisson), the honest overload model: a
+//!   slow server cannot slow the arrival process down, so queue growth
+//!   turns into deadline misses and admission sheds instead of
+//!   politely throttled clients. The open-loop points report exactly
+//!   that shed/miss behavior under overload.
 //!
 //! Per sweep point: achieved QPS, p50/p99 end-to-end latency,
 //! deadline-miss rate, mean batch size and overload rejections. Before
@@ -140,14 +148,38 @@ fn check_bit_identity(snapshot: &ScoringSnapshot, seed: u64) -> bool {
     })
 }
 
+/// How the load generator times its submissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Arrivals {
+    /// Submit, wait for the ticket, pace to the offered rate.
+    Closed,
+    /// Submit on a fixed-interval schedule regardless of completions.
+    OpenFixed,
+    /// Submit on a Poisson (exponential inter-arrival) schedule
+    /// regardless of completions.
+    OpenPoisson,
+}
+
+impl Arrivals {
+    fn as_str(self) -> &'static str {
+        match self {
+            Arrivals::Closed => "closed",
+            Arrivals::OpenFixed => "open-fixed",
+            Arrivals::OpenPoisson => "open-poisson",
+        }
+    }
+}
+
 struct SweepPoint {
     offered_qps: Option<f64>,
     duration: Duration,
     clients: usize,
+    arrivals: Arrivals,
 }
 
 #[derive(Debug)]
 struct SweepResult {
+    arrivals: &'static str,
     offered_qps: Option<f64>,
     submitted: u64,
     completed: u64,
@@ -160,12 +192,150 @@ struct SweepResult {
     miss_rate: f64,
 }
 
+fn print_point(r: &SweepResult) {
+    let label = r
+        .offered_qps
+        .map_or("max".to_string(), |q| format!("{q:.0}"));
+    println!(
+        "{:>12} offered {label:>5} qps: achieved {:.0} qps, p50 {:.0}us, \
+         p99 {:.0}us, mean batch {:.2}, miss rate {:.4}, shed {}",
+        r.arrivals,
+        r.achieved_qps,
+        r.p50_us,
+        r.p99_us,
+        r.mean_batch_size,
+        r.miss_rate,
+        r.rejected_overload
+    );
+}
+
+fn point_json(r: &SweepResult) -> String {
+    let offered = r
+        .offered_qps
+        .map_or("\"max\"".to_string(), |q| format!("{q:.0}"));
+    format!(
+        "    {{ \"arrivals\": \"{}\", \"offered_qps\": {offered}, \
+         \"submitted\": {}, \"completed\": {}, \
+         \"rejected_overload\": {}, \"deadline_misses\": {}, \
+         \"achieved_qps\": {:.1}, \"p50_us\": {:.1}, \
+         \"p99_us\": {:.1}, \"mean_batch_size\": {:.3}, \
+         \"deadline_miss_rate\": {:.6} }}",
+        r.arrivals,
+        r.submitted,
+        r.completed,
+        r.rejected_overload,
+        r.deadline_misses,
+        r.achieved_qps,
+        r.p50_us,
+        r.p99_us,
+        r.mean_batch_size,
+        r.miss_rate
+    )
+}
+
 fn quantile_us(sorted_ns: &[u64], q: f64) -> f64 {
     if sorted_ns.is_empty() {
         return 0.0;
     }
     let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
     sorted_ns[idx.min(sorted_ns.len() - 1)] as f64 / 1e3
+}
+
+/// One closed-loop client: submit, wait, pace. The server's speed
+/// throttles the client, so overload shows up as reduced throughput.
+fn closed_loop_client(
+    c: &Coalescer<ScoringSnapshot>,
+    point: &SweepPoint,
+    interval: Option<Duration>,
+    n: NodeId,
+    seed: u64,
+    who: usize,
+) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ (0xc11e_u64 + who as u64));
+    let mut lat: Vec<u64> = Vec::new();
+    let start = Instant::now();
+    let mut next = start;
+    while start.elapsed() < point.duration {
+        if let Some(iv) = interval {
+            let now = Instant::now();
+            if now < next {
+                std::thread::sleep(next - now);
+            }
+            next += iv;
+        }
+        let (u, v) = pair_for(&mut rng, n);
+        let issued = Instant::now();
+        match c.submit(u, v) {
+            Ok(ticket) => {
+                if ticket.wait().is_ok() {
+                    let ns = u64::try_from(issued.elapsed().as_nanos())
+                        .unwrap_or(u64::MAX);
+                    lat.push(ns);
+                }
+            }
+            Err(Rejection::Overloaded { .. }) => {
+                // Shed: closed loop retries next slot.
+            }
+            Err(_) => {}
+        }
+    }
+    lat
+}
+
+/// One open-loop client: arrivals follow the schedule (fixed interval
+/// or exponential inter-arrival times), never the completions. Tickets
+/// are collected and awaited only after the arrival process ends, so a
+/// backed-up server keeps receiving load — the honest overload model.
+fn open_loop_client(
+    c: &Coalescer<ScoringSnapshot>,
+    point: &SweepPoint,
+    interval: Option<Duration>,
+    n: NodeId,
+    seed: u64,
+    who: usize,
+) -> Vec<u64> {
+    let mean = interval.expect("open-loop arrivals need an offered rate");
+    let mut rng = StdRng::seed_from_u64(seed ^ (0x09e4_u64 + who as u64));
+    let mut pending: Vec<(Instant, ssf_repro::Ticket)> = Vec::new();
+    let start = Instant::now();
+    let mut next = start;
+    while start.elapsed() < point.duration {
+        let now = Instant::now();
+        if now < next {
+            std::thread::sleep(next - now);
+        }
+        next += match point.arrivals {
+            Arrivals::OpenPoisson => {
+                // Inverse-CDF exponential draw; clamp away from 0 so
+                // the schedule always moves forward.
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                Duration::from_secs_f64(
+                    (-u.ln() * mean.as_secs_f64()).max(1e-9),
+                )
+            }
+            _ => mean,
+        };
+        let (u, v) = pair_for(&mut rng, n);
+        let issued = Instant::now();
+        match c.submit(u, v) {
+            Ok(ticket) => pending.push((issued, ticket)),
+            Err(Rejection::Overloaded { .. }) => {
+                // Shed at admission: counted by the coalescer stats.
+            }
+            Err(_) => {}
+        }
+    }
+    // Drain after the arrival process ends; only completions count
+    // toward the latency distribution (sheds and expiries do not).
+    let mut lat: Vec<u64> = Vec::new();
+    for (issued, ticket) in pending {
+        if ticket.wait().is_ok() {
+            let ns =
+                u64::try_from(issued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            lat.push(ns);
+        }
+    }
+    lat
 }
 
 fn run_point(
@@ -183,44 +353,22 @@ fn run_point(
     let interval = point
         .offered_qps
         .map(|qps| Duration::from_secs_f64(point.clients as f64 / qps));
+    assert!(
+        interval.is_some() || point.arrivals == Arrivals::Closed,
+        "open-loop arrivals need an offered rate"
+    );
     let t0 = Instant::now();
     let latencies: Vec<u64> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..point.clients)
             .map(|who| {
                 let c = c.clone();
-                s.spawn(move || {
-                    let mut rng =
-                        StdRng::seed_from_u64(seed ^ (0xc11e_u64 + who as u64));
-                    let mut lat: Vec<u64> = Vec::new();
-                    let start = Instant::now();
-                    let mut next = start;
-                    while start.elapsed() < point.duration {
-                        if let Some(iv) = interval {
-                            let now = Instant::now();
-                            if now < next {
-                                std::thread::sleep(next - now);
-                            }
-                            next += iv;
-                        }
-                        let (u, v) = pair_for(&mut rng, n);
-                        let issued = Instant::now();
-                        match c.submit(u, v) {
-                            Ok(ticket) => {
-                                if ticket.wait().is_ok() {
-                                    let ns = u64::try_from(
-                                        issued.elapsed().as_nanos(),
-                                    )
-                                    .unwrap_or(u64::MAX);
-                                    lat.push(ns);
-                                }
-                            }
-                            Err(Rejection::Overloaded { .. }) => {
-                                // Shed: closed loop retries next slot.
-                            }
-                            Err(_) => {}
-                        }
+                s.spawn(move || match point.arrivals {
+                    Arrivals::Closed => {
+                        closed_loop_client(&c, point, interval, n, seed, who)
                     }
-                    lat
+                    Arrivals::OpenFixed | Arrivals::OpenPoisson => {
+                        open_loop_client(&c, point, interval, n, seed, who)
+                    }
                 })
             })
             .collect();
@@ -247,6 +395,7 @@ fn run_point(
     let mut sorted = latencies;
     sorted.sort_unstable();
     SweepResult {
+        arrivals: point.arrivals.as_str(),
         offered_qps: point.offered_qps,
         submitted: stats.submitted,
         completed: stats.completed,
@@ -334,24 +483,56 @@ fn main() {
             offered_qps,
             duration,
             clients,
+            arrivals: Arrivals::Closed,
         };
         let r = run_point(&snapshot, &point, worker_threads, seed);
-        let label = r
-            .offered_qps
-            .map_or("max".to_string(), |q| format!("{q:.0}"));
-        println!(
-            "offered {label:>5} qps: achieved {:.0} qps, p50 {:.0}us, \
-             p99 {:.0}us, mean batch {:.2}, miss rate {:.4}, \
-             shed {}",
-            r.achieved_qps,
-            r.p50_us,
-            r.p99_us,
-            r.mean_batch_size,
-            r.miss_rate,
-            r.rejected_overload
-        );
+        print_point(&r);
         sweep.push(r);
     }
+
+    // --- Open-loop points: fixed-rate and Poisson arrivals at a
+    // sustainable rate, then a deliberate overload (an offered rate far
+    // above the per-pair ceiling) where sheds and deadline misses are
+    // the expected, measured outcome. ---
+    let sustainable = (per_pair_qps * 0.5).clamp(50.0, 2000.0);
+    let overload = (per_pair_qps * 4.0).max(2000.0);
+    let open_points: Vec<(Arrivals, f64)> = if smoke {
+        vec![
+            (Arrivals::OpenFixed, sustainable),
+            (Arrivals::OpenPoisson, overload),
+        ]
+    } else {
+        vec![
+            (Arrivals::OpenFixed, sustainable),
+            (Arrivals::OpenPoisson, sustainable),
+            (Arrivals::OpenFixed, overload),
+            (Arrivals::OpenPoisson, overload),
+        ]
+    };
+    let mut open_sweep: Vec<SweepResult> = Vec::new();
+    for (arrivals, qps) in open_points {
+        let point = SweepPoint {
+            offered_qps: Some(qps),
+            duration,
+            clients,
+            arrivals,
+        };
+        let r = run_point(&snapshot, &point, worker_threads, seed);
+        print_point(&r);
+        open_sweep.push(r);
+    }
+    let overload_shed: u64 =
+        open_sweep.iter().map(|r| r.rejected_overload).sum();
+    let overload_point =
+        open_sweep.last().expect("open-loop sweep is non-empty");
+    println!(
+        "open-loop overload ({} at {:.0} qps offered): shed {} at \
+         admission, deadline miss rate {:.4}",
+        overload_point.arrivals,
+        overload_point.offered_qps.unwrap_or(0.0),
+        overload_point.rejected_overload,
+        overload_point.miss_rate,
+    );
 
     let sustained_at = |limit_us: f64| {
         sweep
@@ -388,33 +569,10 @@ fn main() {
         top.achieved_qps
     );
 
-    let sweep_json: Vec<String> = sweep
-        .iter()
-        .map(|r| {
-            let offered = r
-                .offered_qps
-                .map_or("\"max\"".to_string(), |q| format!("{q:.0}"));
-            format!(
-                "    {{ \"offered_qps\": {offered}, \
-                 \"submitted\": {}, \"completed\": {}, \
-                 \"rejected_overload\": {}, \"deadline_misses\": {}, \
-                 \"achieved_qps\": {:.1}, \"p50_us\": {:.1}, \
-                 \"p99_us\": {:.1}, \"mean_batch_size\": {:.3}, \
-                 \"deadline_miss_rate\": {:.6} }}",
-                r.submitted,
-                r.completed,
-                r.rejected_overload,
-                r.deadline_misses,
-                r.achieved_qps,
-                r.p50_us,
-                r.p99_us,
-                r.mean_batch_size,
-                r.miss_rate
-            )
-        })
-        .collect();
+    let sweep_json: Vec<String> = sweep.iter().map(point_json).collect();
+    let open_json: Vec<String> = open_sweep.iter().map(point_json).collect();
     let json = format!(
-        "{{\n  \"schema\": \"ssf.bench.serving_slo.v1\",\n  \
+        "{{\n  \"schema\": \"ssf.bench.serving_slo.v2\",\n  \
          \"smoke\": {smoke},\n  \"seed\": {seed},\n  \
          \"available_parallelism\": {cores},\n  \
          \"worker_threads\": {worker_threads},\n  \
@@ -425,6 +583,9 @@ fn main() {
          \"per_pair_qps\": {per_pair_qps:.1},\n  \
          \"warm_batch_qps\": {warm_batch_qps:.1},\n  \
          \"sweep\": [\n{}\n  ],\n  \
+         \"open_loop\": [\n{}\n  ],\n  \
+         \"open_loop_overload_shed\": {overload_shed},\n  \
+         \"open_loop_overload_miss_rate\": {:.6},\n  \
          \"sustained_qps_p99_under_1ms\": {sustained:.1},\n  \
          \"sustained_qps_p99_under_5ms\": {sustained_5ms:.1},\n  \
          \"deadline_miss_rate_at_trivial_load\": {trivial_miss_rate:.6},\n  \
@@ -432,6 +593,8 @@ fn main() {
          \"target_speedup_met\": {target_speedup_met}\n}}\n",
         DEADLINE_BUDGET.as_millis(),
         sweep_json.join(",\n"),
+        open_json.join(",\n"),
+        overload_point.miss_rate,
     );
     fs::write(&out_path, &json).expect("write benchmark JSON");
     println!("wrote {out_path}");

@@ -52,6 +52,30 @@ pub enum GraphError {
         /// The layout's ceiling for that count.
         limit: u64,
     },
+    /// A sliding-window horizon was asked to move backwards. Windows
+    /// only slide forward — rewinding would resurrect expired links
+    /// whose state is gone (see [`WindowedView::advance`]).
+    ///
+    /// [`WindowedView::advance`]: crate::WindowedView::advance
+    HorizonRegressed {
+        /// The current horizon.
+        from: u32,
+        /// The (smaller) horizon that was requested.
+        to: u32,
+    },
+    /// A link's timestamp falls outside the current window
+    /// `[cutoff, horizon]` — it expired before it arrived. Callers
+    /// decide whether that is a quarantine condition (the streaming
+    /// facade) or a hard error.
+    OutOfWindow {
+        /// The rejected link's timestamp.
+        t: u32,
+        /// Inclusive lower bound of the window (`horizon - width`,
+        /// saturating at zero).
+        cutoff: u32,
+        /// Inclusive upper bound of the window.
+        horizon: u32,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -74,6 +98,15 @@ impl fmt::Display for GraphError {
                     f,
                     "graph too large for compact storage: {what} {value} \
                      exceeds {limit}"
+                )
+            }
+            GraphError::HorizonRegressed { from, to } => {
+                write!(f, "window horizon cannot regress from {from} to {to}")
+            }
+            GraphError::OutOfWindow { t, cutoff, horizon } => {
+                write!(
+                    f,
+                    "timestamp {t} is outside the window [{cutoff}, {horizon}]"
                 )
             }
         }

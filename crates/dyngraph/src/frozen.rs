@@ -1023,6 +1023,111 @@ impl DeltaGraph {
         Ok(())
     }
 
+    /// Adds an undirected link keeping each endpoint's row sorted by
+    /// timestamp (stable: ties append after existing equal-`t` slots),
+    /// mirroring the windowed authority's sorted insert bit for bit.
+    /// Windowed authorities store rows in time order so expiry is a
+    /// prefix drop; a delta shadowing one must insert at the same
+    /// position or its iteration order — and everything downstream
+    /// that hashes it — diverges. Revision arithmetic is identical to
+    /// [`Self::try_add_link`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::SelfLoop`] if `u == v`.
+    pub fn try_add_link_sorted(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        t: Timestamp,
+    ) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        self.ensure_node(u.max(v));
+        let base = &self.view.base;
+        let links = Arc::make_mut(&mut self.view.links);
+        for (a, b) in [(u, v), (v, u)] {
+            let row = links.entry(a).or_insert_with(|| base_links_row(base, a));
+            let at = row.partition_point(|&(_, ts)| ts <= t);
+            row.insert(at, (b, t));
+        }
+        let distinct = Arc::make_mut(&mut self.view.distinct);
+        for (a, b) in [(u, v), (v, u)] {
+            let row = distinct
+                .entry(a)
+                .or_insert_with(|| base_distinct_row(base, a));
+            if let Err(i) = row.binary_search(&b) {
+                row.insert(i, b);
+            }
+        }
+        if self.view.num_links == 0 {
+            self.view.min_ts = t;
+            self.view.max_ts = t;
+        } else {
+            self.view.min_ts = self.view.min_ts.min(t);
+            self.view.max_ts = self.view.max_ts.max(t);
+        }
+        self.view.num_links += 1;
+        self.view.revision += 1;
+        self.view.delta_links += 1;
+        Ok(())
+    }
+
+    /// Mirrors a [`WindowedView`](crate::WindowedView) horizon advance:
+    /// removes every link with timestamp `< cutoff` from the rows of
+    /// `affected` (copy-on-write — untouched nodes keep serving their
+    /// base rows), installs the authority's post-expiry minimum
+    /// timestamp, and bumps the revision exactly once, keeping the
+    /// delta in lockstep with the windowed graph it shadows.
+    ///
+    /// `affected` must name *both* endpoints of every expired link
+    /// (which [`AdvanceReport::affected`](crate::AdvanceReport) does):
+    /// rows are symmetric, so each expired link is seen twice and the
+    /// link count drops by half the row removals. Works identically
+    /// over wide and compact bases — expiry materializes the filtered
+    /// row, after which the base layout is out of the read path for
+    /// that node. Returns the number of links removed.
+    pub fn expire_links_below(
+        &mut self,
+        cutoff: Timestamp,
+        affected: &[NodeId],
+        new_min: Option<Timestamp>,
+    ) -> usize {
+        let base = &self.view.base;
+        let links = Arc::make_mut(&mut self.view.links);
+        let distinct = Arc::make_mut(&mut self.view.distinct);
+        let mut removed_slots = 0usize;
+        for &u in affected {
+            let row = links.entry(u).or_insert_with(|| base_links_row(base, u));
+            let before = row.len();
+            row.retain(|&(_, t)| t >= cutoff);
+            if row.len() == before {
+                continue;
+            }
+            removed_slots += before - row.len();
+            // Rebuilt wholesale from the filtered row, so the base
+            // distinct row never needs copying first.
+            let d = distinct.entry(u).or_default();
+            d.clear();
+            d.extend(row.iter().map(|&(v, _)| v));
+            d.sort_unstable();
+            d.dedup();
+        }
+        debug_assert_eq!(removed_slots % 2, 0, "asymmetric expiry rows");
+        let removed = removed_slots / 2;
+        self.view.num_links -= removed;
+        if self.view.num_links == 0 {
+            self.view.min_ts = 0;
+            self.view.max_ts = 0;
+        } else if let Some(m) = new_min {
+            self.view.min_ts = m;
+        }
+        self.view.revision += 1;
+        self.view.delta_links += removed;
+        removed
+    }
+
     /// Folds base + delta into a fresh CSR [`FrozenGraph`] without
     /// resetting this delta, preserving the base's [`StorageMode`]: a
     /// compact base refreezes compact (falling back to wide if the
@@ -1282,6 +1387,36 @@ mod tests {
         // Self-loops are rejected without any state change.
         let r = delta.revision();
         assert!(delta.try_add_link(3, 3, 1).is_err());
+        assert_eq!(delta.revision(), r);
+    }
+
+    #[test]
+    fn sorted_insert_tracks_time_ordered_twin() {
+        // A windowed authority keeps rows in time order via
+        // insert_link_sorted; the shadowing delta must agree on
+        // iteration order, not just multiset content.
+        let mut delta = DeltaGraph::new(Arc::new(FrozenGraph::empty()));
+        let mut twin = DynamicNetwork::new();
+        let events = [
+            (0u32, 1u32, 5u32),
+            (0, 1, 2),
+            (1, 2, 9),
+            (0, 1, 5),
+            (0, 2, 0),
+        ];
+        for &(u, v, t) in &events {
+            assert!(delta.try_add_link_sorted(u, v, t).is_ok());
+            assert!(twin.insert_link_sorted(u, v, t).is_ok());
+            assert_views_agree(&delta, &twin);
+        }
+        // Rows really are time-sorted.
+        let row: Vec<_> = delta.incident_links(0).collect();
+        let mut sorted = row.clone();
+        sorted.sort_by_key(|&(_, t)| t);
+        assert_eq!(row, sorted);
+        // Self-loops are rejected without any state change.
+        let r = delta.revision();
+        assert!(delta.try_add_link_sorted(3, 3, 1).is_err());
         assert_eq!(delta.revision(), r);
     }
 

@@ -46,6 +46,7 @@ mod static_graph;
 pub mod stats;
 pub mod traversal;
 mod view;
+mod window;
 
 pub use error::GraphError;
 pub use frozen::{
@@ -56,6 +57,7 @@ pub use network::{DynamicNetwork, Link};
 pub use static_graph::StaticGraph;
 pub use traversal::Adjacency;
 pub use view::{GraphView, IncidentLinks};
+pub use window::{AdvanceReport, Window, WindowedView};
 
 /// Identifier of a node. Nodes are dense integers `0..node_count()`.
 pub type NodeId = u32;

@@ -220,6 +220,108 @@ impl DynamicNetwork {
         Ok(())
     }
 
+    /// Like [`DynamicNetwork::try_add_link`], but places the link at its
+    /// timestamp-sorted position within each endpoint row (stable: equal
+    /// timestamps keep arrival order) instead of appending. The revision,
+    /// counter and bound arithmetic is identical. Used by
+    /// [`WindowedView`](crate::WindowedView), whose rows must stay
+    /// time-sorted so expiry can drain a prefix; for monotone streams the
+    /// sorted position *is* the end of the row, making this an O(1)
+    /// append.
+    pub(crate) fn insert_link_sorted(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        t: Timestamp,
+    ) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        self.ensure_node(u.max(v));
+        for (a, b) in [(u, v), (v, u)] {
+            let row = &mut self.adj[a as usize];
+            let i = row.partition_point(|&(_, ts)| ts <= t);
+            row.insert(i, (b, t));
+            if let Err(i) = self.distinct[a as usize].binary_search(&b) {
+                self.distinct[a as usize].insert(i, b);
+            }
+        }
+        if self.num_links == 0 {
+            self.min_ts = t;
+            self.max_ts = t;
+        } else {
+            self.min_ts = self.min_ts.min(t);
+            self.max_ts = self.max_ts.max(t);
+        }
+        self.num_links += 1;
+        self.revision += 1;
+        Ok(())
+    }
+
+    /// Removes every link with timestamp `< cutoff` from `u`'s row and
+    /// rebuilds `u`'s distinct-neighbor cache from the survivors.
+    /// Returns the number of row entries removed (each undirected link
+    /// occupies one entry in *each* endpoint row).
+    ///
+    /// Requires `u`'s row to be timestamp-sorted (the
+    /// [`WindowedView`](crate::WindowedView) invariant): expired entries
+    /// then form a prefix, so no rescan of the survivors is needed to
+    /// find them. Counters and the revision are deliberately left
+    /// untouched — the caller accounts for the mutation once via
+    /// [`DynamicNetwork::finish_expiry`].
+    pub(crate) fn expire_row_prefix(
+        &mut self,
+        u: NodeId,
+        cutoff: Timestamp,
+    ) -> usize {
+        let row = &mut self.adj[u as usize];
+        let idx = row.partition_point(|&(_, ts)| ts < cutoff);
+        if idx == 0 {
+            return 0;
+        }
+        row.drain(..idx);
+        let mut d = std::mem::take(&mut self.distinct[u as usize]);
+        d.clear();
+        d.extend(self.adj[u as usize].iter().map(|&(v, _)| v));
+        d.sort_unstable();
+        d.dedup();
+        self.distinct[u as usize] = d;
+        idx
+    }
+
+    /// Books one window-expiry mutation: drops `removed` links from the
+    /// link count, installs the authoritative post-expiry minimum
+    /// timestamp (`(0, 0)` sentinel bounds when the graph emptied, as
+    /// construction uses), and bumps the revision exactly once — an
+    /// accepted `advance` is a mutation like any insert.
+    pub(crate) fn finish_expiry(
+        &mut self,
+        removed: usize,
+        new_min: Option<Timestamp>,
+    ) {
+        self.num_links -= removed;
+        if self.num_links == 0 {
+            self.min_ts = 0;
+            self.max_ts = 0;
+        } else if let Some(m) = new_min {
+            self.min_ts = m;
+        }
+        self.revision += 1;
+    }
+
+    /// Stable-sorts every adjacency row by timestamp (arrival order kept
+    /// among equal timestamps). A no-op on rows that are already sorted —
+    /// notably any graph built through [`WindowedView`](crate::WindowedView)
+    /// or restored from one. Counters, distinct rows and the revision are
+    /// unaffected (row order within a node is not part of them).
+    pub(crate) fn sort_rows_by_time(&mut self) {
+        for row in &mut self.adj {
+            if row.windows(2).any(|w| w[0].1 > w[1].1) {
+                row.sort_by_key(|&(_, t)| t);
+            }
+        }
+    }
+
     /// All `(neighbor, timestamp)` incidences of `u`, one per link.
     ///
     /// # Panics

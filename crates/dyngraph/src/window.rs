@@ -1,0 +1,647 @@
+//! Sliding-window temporal views: a graph that forgets.
+//!
+//! The paper predicts over *dynamic* networks, and its natural serving
+//! shape (DyLink2Vec, Sarkar et al.) is a bounded temporal window: only
+//! links whose timestamp lies in `[horizon - width, horizon]` — both
+//! bounds **inclusive** — participate in extraction. [`WindowedView`]
+//! is that graph: a [`DynamicNetwork`] that ages links out as the
+//! horizon advances, with expiry an ordinary revision-bumping mutation
+//! so every downstream cache invalidates through the one contract it
+//! already honors.
+//!
+//! # Expiry mechanics
+//!
+//! Three invariants make expiry amortized O(expired · log E) with no
+//! rescan of unaffected nodes:
+//!
+//! * **Per-node timestamp-sorted rows.** Links are placed at their
+//!   time-sorted position (stable — equal timestamps keep arrival
+//!   order), so the expired portion of any row is a *prefix* and one
+//!   `partition_point` finds it. Monotone streams (the facade's case)
+//!   degenerate to plain O(1) appends.
+//! * **A global min-heap of live links** keyed by timestamp. An
+//!   `advance` pops exactly the expired links — each link is pushed
+//!   once and popped once — and the surviving heap top is the new
+//!   minimum timestamp for free.
+//! * **Prefix drains only on affected rows.** The popped links name the
+//!   nodes that lost something; only those rows are touched.
+//!
+//! # Revision arithmetic
+//!
+//! An accepted [`WindowedView::advance`] bumps the revision exactly
+//! once, like an accepted insert — even when nothing expired (the
+//! window itself changed, and snapshots must not mix windows).
+//! Advancing to the *current* horizon is a no-op and bumps nothing,
+//! mirroring `ensure_node` of an existing node. An insert whose
+//! timestamp exceeds the horizon first advances implicitly (one bump)
+//! and then inserts (a second bump) — identical to calling
+//! [`WindowedView::advance`] followed by the insert.
+//!
+//! # Canonical row order
+//!
+//! A windowed graph's observable row order is *stable time order*, not
+//! raw insertion order. This is deliberate: it makes the windowed graph
+//! bit-identical to a [`DynamicNetwork`] rebuilt from scratch from the
+//! surviving links inserted in `(timestamp, original order)` — the
+//! oracle `tests/window_prop.rs` holds it to.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::view::{GraphView, IncidentLinks};
+use crate::{DynamicNetwork, GraphError, NodeId, Timestamp};
+
+/// An inclusive sliding time window `[cutoff, horizon]` where
+/// `cutoff = horizon - width` (saturating at zero).
+///
+/// A zero-width window is valid and keeps only links stamped exactly at
+/// the horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Window {
+    /// Width of the window; the cutoff trails the horizon by this much.
+    pub width: Timestamp,
+    /// Inclusive upper bound: the newest admissible timestamp.
+    pub horizon: Timestamp,
+}
+
+impl Window {
+    /// Inclusive lower bound `horizon - width`, saturating at zero.
+    pub fn cutoff(&self) -> Timestamp {
+        self.horizon.saturating_sub(self.width)
+    }
+
+    /// Whether `t` lies inside the window (both bounds inclusive).
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.cutoff() && t <= self.horizon
+    }
+}
+
+/// What one accepted horizon advance (explicit or implicit) did.
+///
+/// The affected-node list is the exact cache-invalidation footprint: a
+/// memoized subgraph can only have changed if it contains one of these
+/// nodes (removing a link touching no node of a BFS ball cannot alter
+/// the ball — every shortest path into it runs through it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdvanceReport {
+    /// The new horizon.
+    pub horizon: Timestamp,
+    /// The new inclusive lower bound (`horizon - width`, saturating).
+    pub cutoff: Timestamp,
+    /// Number of links that aged out.
+    pub expired_links: usize,
+    /// Every node that lost at least one link, sorted ascending,
+    /// deduplicated. Empty when nothing expired.
+    pub affected: Vec<NodeId>,
+    /// Smallest surviving timestamp after expiry (`None` when the
+    /// window emptied) — handed to mirrors so they need no index of
+    /// their own.
+    pub min_timestamp: Option<Timestamp>,
+}
+
+/// A [`DynamicNetwork`] behind a sliding time window (see the module
+/// docs above for the expiry semantics).
+///
+/// Implements [`GraphView`] by delegating to the inner network, which
+/// holds exactly the in-window links — so the whole extraction pipeline
+/// (and `Split`-based refits via [`WindowedView::network`]) runs on it
+/// unchanged. An unbounded view (no width) never expires anything and
+/// behaves byte-for-byte like a plain `DynamicNetwork`, including
+/// insertion-ordered rows and zero index upkeep.
+#[derive(Debug, Clone, Default)]
+pub struct WindowedView {
+    inner: DynamicNetwork,
+    /// `None` = unbounded: no expiry, no index, plain appends.
+    width: Option<Timestamp>,
+    horizon: Timestamp,
+    /// One `(t, u, v)` entry per live in-window link (`u < v`);
+    /// empty and unmaintained when unbounded.
+    heap: BinaryHeap<Reverse<(Timestamp, NodeId, NodeId)>>,
+}
+
+impl WindowedView {
+    /// An empty view with no window: links never expire.
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// An empty view keeping links in `[horizon - width, horizon]`,
+    /// starting at horizon 0.
+    pub fn with_width(width: Timestamp) -> Self {
+        WindowedView {
+            width: Some(width),
+            ..Self::default()
+        }
+    }
+
+    /// Wraps an existing network without re-filtering it, preserving
+    /// its revision — the recovery constructor (`restore`/WAL replay
+    /// hand back a graph that was persisted *from* a windowed view, so
+    /// every link is already in-window).
+    ///
+    /// Rows are canonicalized to stable time order (a no-op for graphs
+    /// that came out of a `WindowedView`), and the expiry index is
+    /// rebuilt in O(E log E).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::OutOfWindow`] if any link falls outside
+    /// `[horizon - width, horizon]` — a corrupted or mismatched
+    /// snapshot must not silently serve links the window would have
+    /// expired.
+    pub fn from_network(
+        mut inner: DynamicNetwork,
+        width: Option<Timestamp>,
+        horizon: Timestamp,
+    ) -> Result<Self, GraphError> {
+        let Some(width) = width else {
+            let horizon = inner.max_timestamp().unwrap_or(0).max(horizon);
+            return Ok(WindowedView {
+                inner,
+                width: None,
+                horizon,
+                heap: BinaryHeap::new(),
+            });
+        };
+        let window = Window { width, horizon };
+        let mut heap = BinaryHeap::with_capacity(inner.link_count());
+        for link in inner.links() {
+            if !window.contains(link.t) {
+                return Err(GraphError::OutOfWindow {
+                    t: link.t,
+                    cutoff: window.cutoff(),
+                    horizon,
+                });
+            }
+            heap.push(Reverse((link.t, link.u, link.v)));
+        }
+        inner.sort_rows_by_time();
+        Ok(WindowedView {
+            inner,
+            width: Some(width),
+            horizon,
+            heap,
+        })
+    }
+
+    /// Builds a windowed copy of any [`GraphView`], keeping only links
+    /// inside `[horizon - width, horizon]` and preserving the node set
+    /// (ids stay stable, isolated survivors included).
+    ///
+    /// The result is a *fresh* graph: its revision counts its own
+    /// construction mutations, not `g`'s. Use
+    /// [`WindowedView::from_network`] when the revision must carry
+    /// over.
+    pub fn from_view<G: GraphView + ?Sized>(
+        g: &G,
+        width: Option<Timestamp>,
+        horizon: Timestamp,
+    ) -> Self {
+        let mut wv = match width {
+            Some(w) => Self::with_width(w),
+            None => Self::unbounded(),
+        };
+        wv.horizon = horizon;
+        let n = g.node_count();
+        if n > 0 {
+            wv.inner.ensure_node(n as NodeId - 1);
+        }
+        // Canonical order: surviving links sorted by (t, first-seen),
+        // which is what stable time-sorted rows converge to.
+        let mut links: Vec<(Timestamp, NodeId, NodeId)> = Vec::new();
+        for u in 0..n as NodeId {
+            for (v, t) in g.incident_links(u) {
+                if u <= v {
+                    links.push((t, u, v));
+                }
+            }
+        }
+        links.sort_by_key(|&(t, _, _)| t);
+        let window = width.map(|width| Window { width, horizon });
+        for (t, u, v) in links {
+            if window.is_none_or(|w| w.contains(t)) {
+                // Self-loops cannot occur (`u <= v` with `u != v` in any
+                // well-formed view) and `t` is in-window, so this cannot
+                // fail; ignore the impossible error rather than panic.
+                let _ = wv.try_add_link(u, v, t);
+            }
+        }
+        wv
+    }
+
+    /// The inner network holding exactly the in-window links.
+    pub fn network(&self) -> &DynamicNetwork {
+        &self.inner
+    }
+
+    /// Unwraps into the inner network, discarding the window state.
+    pub fn into_network(self) -> DynamicNetwork {
+        self.inner
+    }
+
+    /// The window width, or `None` when unbounded.
+    pub fn width(&self) -> Option<Timestamp> {
+        self.width
+    }
+
+    /// The current horizon (the newest admissible timestamp). For
+    /// unbounded views this tracks the largest timestamp seen.
+    pub fn horizon(&self) -> Timestamp {
+        self.horizon
+    }
+
+    /// The current window, or `None` when unbounded.
+    pub fn window(&self) -> Option<Window> {
+        self.width.map(|width| Window {
+            width,
+            horizon: self.horizon,
+        })
+    }
+
+    /// Inclusive lower bound of the window, or `None` when unbounded.
+    pub fn cutoff(&self) -> Option<Timestamp> {
+        self.window().map(|w| w.cutoff())
+    }
+
+    /// Ensures node `id` exists; bumps the revision once per growth,
+    /// exactly like [`DynamicNetwork::ensure_node`].
+    pub fn ensure_node(&mut self, id: NodeId) {
+        self.inner.ensure_node(id);
+    }
+
+    /// Slides the horizon forward to `to`, expiring every link with
+    /// timestamp `< to - width` and bumping the revision exactly once —
+    /// an accepted advance is a mutation like an insert, *even when
+    /// nothing expired* (downstream snapshots key on the window).
+    ///
+    /// Advancing to the current horizon is a no-op: `Ok(None)`, no
+    /// bump. Cost: O(expired · log E) heap pops plus a prefix drain of
+    /// each affected row; nodes that lost nothing are never touched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::HorizonRegressed`] if `to < horizon` —
+    /// expired links are gone, so windows only slide forward.
+    pub fn advance(
+        &mut self,
+        to: Timestamp,
+    ) -> Result<Option<AdvanceReport>, GraphError> {
+        if to < self.horizon {
+            return Err(GraphError::HorizonRegressed {
+                from: self.horizon,
+                to,
+            });
+        }
+        if to == self.horizon {
+            return Ok(None);
+        }
+        self.horizon = to;
+        Ok(Some(self.expire_and_bump()))
+    }
+
+    /// Adds an undirected link at its time-sorted row position.
+    ///
+    /// `t > horizon` first advances the horizon implicitly — identical
+    /// to [`WindowedView::advance`]`(t)` followed by the insert, two
+    /// revision bumps — and reports what that advance expired
+    /// (`Ok(Some(report))`). An in-window insert is one bump,
+    /// `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::SelfLoop`] if `u == v`;
+    /// [`GraphError::OutOfWindow`] if `t < horizon - width` (the link
+    /// expired before it arrived — nothing is mutated).
+    pub fn try_add_link(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        t: Timestamp,
+    ) -> Result<Option<AdvanceReport>, GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        let Some(width) = self.width else {
+            self.horizon = self.horizon.max(t);
+            self.inner.try_add_link(u, v, t)?;
+            return Ok(None);
+        };
+        let cutoff = self.horizon.saturating_sub(width);
+        if t < cutoff {
+            return Err(GraphError::OutOfWindow {
+                t,
+                cutoff,
+                horizon: self.horizon,
+            });
+        }
+        let report = if t > self.horizon {
+            self.horizon = t;
+            Some(self.expire_and_bump())
+        } else {
+            None
+        };
+        self.inner.insert_link_sorted(u, v, t)?;
+        self.heap.push(Reverse((t, u.min(v), u.max(v))));
+        Ok(report)
+    }
+
+    /// Pops expired links off the heap, drains the affected row
+    /// prefixes, and books the whole thing as one revision bump.
+    fn expire_and_bump(&mut self) -> AdvanceReport {
+        let cutoff = self.width.map_or(0, |w| self.horizon.saturating_sub(w));
+        let mut affected: Vec<NodeId> = Vec::new();
+        let mut expired = 0usize;
+        while let Some(&Reverse((t, u, v))) = self.heap.peek() {
+            if t >= cutoff {
+                break;
+            }
+            self.heap.pop();
+            expired += 1;
+            affected.push(u);
+            affected.push(v);
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        for &u in &affected {
+            self.inner.expire_row_prefix(u, cutoff);
+        }
+        let min_timestamp = self.heap.peek().map(|&Reverse((t, _, _))| t);
+        self.inner.finish_expiry(expired, min_timestamp);
+        AdvanceReport {
+            horizon: self.horizon,
+            cutoff,
+            expired_links: expired,
+            affected,
+            min_timestamp: self.inner.min_timestamp(),
+        }
+    }
+}
+
+impl GraphView for WindowedView {
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+
+    fn link_count(&self) -> usize {
+        self.inner.link_count()
+    }
+
+    fn revision(&self) -> u64 {
+        self.inner.revision()
+    }
+
+    fn min_timestamp(&self) -> Option<Timestamp> {
+        self.inner.min_timestamp()
+    }
+
+    fn max_timestamp(&self) -> Option<Timestamp> {
+        self.inner.max_timestamp()
+    }
+
+    fn distinct_neighbors(&self, u: NodeId) -> &[NodeId] {
+        self.inner.neighbors(u)
+    }
+
+    fn incident_links(&self, u: NodeId) -> IncidentLinks<'_> {
+        IncidentLinks::from_pairs(self.inner.incident_links(u))
+    }
+
+    fn multi_degree(&self, u: NodeId) -> usize {
+        self.inner.multi_degree(u)
+    }
+
+    fn has_link(&self, u: NodeId, v: NodeId) -> bool {
+        self.inner.has_link(u, v)
+    }
+
+    fn links_between(&self, u: NodeId, v: NodeId) -> usize {
+        self.inner.link_count_between(u, v)
+    }
+
+    fn timestamps_between(&self, u: NodeId, v: NodeId) -> Vec<Timestamp> {
+        self.inner.timestamps_between(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Oracle: a fresh network of only the given links, inserted in
+    /// `(t, original order)` order over a preserved node set.
+    fn rebuild(
+        nodes: usize,
+        links: &[(NodeId, NodeId, Timestamp)],
+    ) -> DynamicNetwork {
+        let mut g = DynamicNetwork::new();
+        if nodes > 0 {
+            g.ensure_node(nodes as NodeId - 1);
+        }
+        let mut sorted = links.to_vec();
+        sorted.sort_by_key(|&(_, _, t)| t);
+        for &(u, v, t) in &sorted {
+            g.add_link(u, v, t);
+        }
+        g
+    }
+
+    fn assert_content_eq(wv: &WindowedView, want: &DynamicNetwork) {
+        assert_eq!(wv.network(), want);
+        for u in 0..want.node_count() as NodeId {
+            assert_eq!(wv.distinct_neighbors(u), want.neighbors(u));
+            let got: Vec<_> = wv.incident_links(u).collect();
+            assert_eq!(got.as_slice(), want.incident_links(u));
+        }
+    }
+
+    #[test]
+    fn unbounded_view_matches_plain_network() {
+        let mut wv = WindowedView::unbounded();
+        let mut net = DynamicNetwork::new();
+        for &(u, v, t) in &[(0, 1, 5), (1, 2, 3), (0, 2, 9), (0, 1, 3)] {
+            assert!(wv.try_add_link(u, v, t).unwrap().is_none());
+            net.add_link(u, v, t);
+        }
+        assert_eq!(wv.network(), &net);
+        assert_eq!(wv.revision(), net.revision());
+        assert_eq!(wv.horizon(), 9);
+        assert_eq!(wv.window(), None);
+        assert_eq!(wv.cutoff(), None);
+    }
+
+    #[test]
+    fn advance_expires_old_links() {
+        let mut wv = WindowedView::with_width(10);
+        wv.try_add_link(0, 1, 1).unwrap();
+        wv.try_add_link(1, 2, 5).unwrap();
+        wv.try_add_link(2, 3, 10).unwrap();
+        let report = wv.advance(15).unwrap().unwrap();
+        assert_eq!(report.cutoff, 5);
+        assert_eq!(report.expired_links, 1);
+        assert_eq!(report.affected, vec![0, 1]);
+        assert_eq!(report.min_timestamp, Some(5));
+        assert_content_eq(&wv, &rebuild(4, &[(1, 2, 5), (2, 3, 10)]));
+    }
+
+    #[test]
+    fn advance_bumps_revision_even_without_expiry() {
+        let mut wv = WindowedView::with_width(100);
+        wv.try_add_link(0, 1, 1).unwrap();
+        let r = wv.revision();
+        let report = wv.advance(50).unwrap().unwrap();
+        assert_eq!(report.expired_links, 0);
+        assert!(report.affected.is_empty());
+        assert_eq!(wv.revision(), r + 1);
+        // Re-advancing to the same horizon is a no-op, not a mutation.
+        assert_eq!(wv.advance(50).unwrap(), None);
+        assert_eq!(wv.revision(), r + 1);
+    }
+
+    #[test]
+    fn advance_backwards_is_rejected() {
+        let mut wv = WindowedView::with_width(10);
+        wv.advance(20).unwrap();
+        assert_eq!(
+            wv.advance(19),
+            Err(GraphError::HorizonRegressed { from: 20, to: 19 })
+        );
+    }
+
+    #[test]
+    fn insert_beyond_horizon_advances_implicitly() {
+        let mut wv = WindowedView::with_width(4);
+        wv.try_add_link(0, 1, 1).unwrap();
+        wv.try_add_link(1, 2, 3).unwrap();
+        let r = wv.revision();
+        // t=9 moves the window to [5, 9]: both old links expire.
+        let report = wv.try_add_link(0, 2, 9).unwrap().unwrap();
+        assert_eq!(report.expired_links, 2);
+        assert_eq!(report.affected, vec![0, 1, 2]);
+        assert_eq!(wv.revision(), r + 2); // advance bump + insert bump
+        assert_content_eq(&wv, &rebuild(3, &[(0, 2, 9)]));
+    }
+
+    #[test]
+    fn expired_on_arrival_is_rejected_and_mutates_nothing() {
+        let mut wv = WindowedView::with_width(5);
+        wv.try_add_link(0, 1, 20).unwrap();
+        let r = wv.revision();
+        assert_eq!(
+            wv.try_add_link(1, 2, 14),
+            Err(GraphError::OutOfWindow {
+                t: 14,
+                cutoff: 15,
+                horizon: 20
+            })
+        );
+        assert_eq!(wv.revision(), r);
+        assert_eq!(wv.link_count(), 1);
+        // Exactly at the cutoff is *in* the window (inclusive bound).
+        assert!(wv.try_add_link(1, 2, 15).is_ok());
+    }
+
+    #[test]
+    fn zero_width_window_keeps_only_the_horizon() {
+        let mut wv = WindowedView::with_width(0);
+        wv.try_add_link(0, 1, 7).unwrap();
+        wv.try_add_link(1, 2, 7).unwrap();
+        let report = wv.try_add_link(2, 3, 8).unwrap().unwrap();
+        assert_eq!(report.expired_links, 2);
+        assert_content_eq(&wv, &rebuild(4, &[(2, 3, 8)]));
+        assert_eq!(wv.cutoff(), Some(8));
+    }
+
+    #[test]
+    fn saturating_cutoff_at_u32_max_horizon() {
+        let mut wv = WindowedView::with_width(10);
+        wv.try_add_link(0, 1, u32::MAX - 5).unwrap();
+        let report = wv.advance(u32::MAX).unwrap().unwrap();
+        assert_eq!(report.cutoff, u32::MAX - 10);
+        assert_eq!(report.expired_links, 0);
+        assert_eq!(wv.link_count(), 1);
+        // A width wider than the axis saturates the cutoff to zero.
+        let mut wide = WindowedView::with_width(u32::MAX);
+        wide.try_add_link(0, 1, 0).unwrap();
+        wide.advance(u32::MAX).unwrap();
+        assert_eq!(wide.cutoff(), Some(0));
+        assert_eq!(wide.link_count(), 1);
+    }
+
+    #[test]
+    fn window_emptied_resets_bounds() {
+        let mut wv = WindowedView::with_width(2);
+        wv.try_add_link(0, 1, 1).unwrap();
+        wv.try_add_link(1, 2, 2).unwrap();
+        let report = wv.advance(100).unwrap().unwrap();
+        assert_eq!(report.expired_links, 2);
+        assert_eq!(report.min_timestamp, None);
+        assert!(wv.is_empty());
+        assert_eq!(wv.min_timestamp(), None);
+        assert_eq!(wv.max_timestamp(), None);
+        assert_content_eq(&wv, &rebuild(3, &[]));
+    }
+
+    #[test]
+    fn out_of_order_in_window_inserts_stay_time_sorted() {
+        let mut wv = WindowedView::with_width(100);
+        wv.try_add_link(0, 1, 50).unwrap();
+        wv.try_add_link(0, 1, 30).unwrap(); // in-window, older
+        wv.try_add_link(0, 1, 50).unwrap(); // equal: arrival order kept
+        wv.try_add_link(0, 2, 40).unwrap();
+        assert_content_eq(
+            &wv,
+            &rebuild(3, &[(0, 1, 50), (0, 1, 30), (0, 1, 50), (0, 2, 40)]),
+        );
+        assert_eq!(wv.timestamps_between(0, 1), vec![30, 50, 50]);
+    }
+
+    #[test]
+    fn from_view_filters_and_canonicalizes() {
+        let mut net = DynamicNetwork::new();
+        net.extend([(0, 1, 1), (1, 2, 9), (2, 3, 4), (0, 3, 12)]);
+        net.ensure_node(5);
+        let wv = WindowedView::from_view(&net, Some(8), 12);
+        // Window [4, 12]: the t=1 link is gone, node set preserved.
+        assert_content_eq(
+            &wv,
+            &rebuild(6, &[(2, 3, 4), (1, 2, 9), (0, 3, 12)]),
+        );
+        assert_eq!(wv.horizon(), 12);
+        // Unbounded from_view keeps everything.
+        let all = WindowedView::from_view(&net, None, 0);
+        assert_eq!(all.link_count(), 4);
+        assert_eq!(all.horizon(), 12);
+    }
+
+    #[test]
+    fn from_network_round_trips_revision_and_rejects_out_of_window() {
+        let mut wv = WindowedView::with_width(10);
+        wv.try_add_link(0, 1, 5).unwrap();
+        wv.try_add_link(1, 2, 8).unwrap();
+        let revision = wv.revision();
+        let inner = wv.clone().into_network();
+        let restored =
+            WindowedView::from_network(inner.clone(), Some(10), wv.horizon())
+                .unwrap();
+        assert_eq!(restored.revision(), revision);
+        assert_content_eq(&restored, wv.network());
+        // Continue mutating in lockstep after restoration.
+        let mut a = wv;
+        let mut b = restored;
+        a.try_add_link(2, 3, 20).unwrap();
+        b.try_add_link(2, 3, 20).unwrap();
+        assert_eq!(a.network(), b.network());
+        assert_eq!(a.revision(), b.revision());
+        // A horizon that would have expired a stored link is refused.
+        assert!(matches!(
+            WindowedView::from_network(inner, Some(1), 8),
+            Err(GraphError::OutOfWindow { .. })
+        ));
+    }
+
+    #[test]
+    fn windowed_view_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WindowedView>();
+    }
+}

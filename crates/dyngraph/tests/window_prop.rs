@@ -1,0 +1,263 @@
+//! Property tests: a `WindowedView` driven through arbitrary
+//! mutation/advance interleavings stays bit-identical to a
+//! `DynamicNetwork` rebuilt from scratch out of only the in-window
+//! links (inserted in stable time order), and the stream layer's
+//! copy-on-write mirror discipline (`expire_links_below` +
+//! `try_add_link_sorted`) tracks the view revision for revision —
+//! across both physical storage modes.
+
+use std::sync::Arc;
+
+use dyngraph::{
+    DeltaGraph, DynamicNetwork, FrozenGraph, GraphError, GraphView, NodeId,
+    StorageMode, Timestamp, WindowedView,
+};
+use proptest::prelude::*;
+
+/// One step of an interleaved mutation/advance schedule.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Feed a timestamped link (self-loops and links behind the cutoff
+    /// are rejected without any state change).
+    AddLink(NodeId, NodeId, Timestamp),
+    /// Grow the node set without adding links.
+    EnsureNode(NodeId),
+    /// Push the horizon forward, expiring links behind the new cutoff
+    /// (regressions are rejected without any state change).
+    Advance(Timestamp),
+    /// Compact the mirror into a fresh frozen base (true = compact
+    /// storage), checking the base against the windowed view.
+    Rebase(bool),
+}
+
+fn add_link() -> impl Strategy<Value = Op> {
+    (0..16u32, 0..16u32, 0..60u32).prop_map(|(u, v, t)| Op::AddLink(u, v, t))
+}
+
+fn advance() -> impl Strategy<Value = Op> {
+    // Mostly small horizons interleaved with the occasional saturating
+    // jump to u32::MAX, which pins the `horizon - width` underflow and
+    // saturation boundaries.
+    prop_oneof![
+        (0..90u32).prop_map(Op::Advance),
+        (0..90u32).prop_map(Op::Advance),
+        (0..90u32).prop_map(Op::Advance),
+        Just(Op::Advance(u32::MAX)),
+    ]
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    // The vendored `prop_oneof!` is uniform; weight mutations by
+    // repeating the link-add arm.
+    prop_oneof![
+        add_link(),
+        add_link(),
+        add_link(),
+        advance(),
+        (0..16u32).prop_map(Op::EnsureNode),
+        any::<bool>().prop_map(Op::Rebase),
+    ]
+}
+
+/// Window widths under test: zero-width (only the horizon tick
+/// survives), small sliding widths, and the saturating maximum (the
+/// cutoff never leaves 0, so nothing ever expires).
+fn width() -> impl Strategy<Value = Timestamp> {
+    prop_oneof![Just(0u32), 1..40u32, 1..40u32, Just(u32::MAX)]
+}
+
+/// Asserts `got` answers every `GraphView` query like `want`, revision
+/// included (for twins maintained in lockstep).
+fn assert_views_agree<G: GraphView + ?Sized>(got: &G, want: &DynamicNetwork) {
+    assert_eq!(got.revision(), want.revision());
+    assert_views_agree_no_rev(got, want);
+}
+
+/// Asserts `got` answers every `GraphView` query like `want`, except
+/// the revision counter (a from-scratch rebuild counts its own
+/// construction mutations, not the history's).
+fn assert_views_agree_no_rev<G: GraphView + ?Sized>(
+    got: &G,
+    want: &DynamicNetwork,
+) {
+    assert_eq!(got.node_count(), want.node_count());
+    assert_eq!(got.link_count(), want.link_count());
+    assert_eq!(got.is_empty(), want.is_empty());
+    assert_eq!(got.min_timestamp(), want.min_timestamp());
+    assert_eq!(got.max_timestamp(), want.max_timestamp());
+    let n = want.node_count() as NodeId;
+    for u in 0..n {
+        assert_eq!(got.distinct_neighbors(u), want.neighbors(u));
+        assert_eq!(got.neighbors(u), want.neighbors(u));
+        assert_eq!(got.degree(u), want.degree(u));
+        assert_eq!(got.multi_degree(u), want.multi_degree(u));
+        let links: Vec<_> = got.incident_links(u).collect();
+        assert_eq!(links.as_slice(), want.incident_links(u));
+        // Pairwise queries, including ids one past the valid range.
+        for w in 0..n + 1 {
+            assert_eq!(got.has_link(u, w), want.has_link(u, w));
+            assert_eq!(got.links_between(u, w), want.link_count_between(u, w));
+            assert_eq!(
+                got.timestamps_between(u, w),
+                want.timestamps_between(u, w)
+            );
+        }
+    }
+}
+
+/// Rebuilds the network a `WindowedView` should hold from first
+/// principles: only the accepted links still inside the window, fed in
+/// stable time order (sorted by timestamp, arrival order breaking
+/// ties — the canonical row order expiry preserves).
+fn rebuild_in_window(
+    accepted: &[(NodeId, NodeId, Timestamp)],
+    node_count: usize,
+    cutoff: Timestamp,
+) -> DynamicNetwork {
+    let mut survivors: Vec<_> = accepted
+        .iter()
+        .copied()
+        .filter(|&(_, _, t)| t >= cutoff)
+        .collect();
+    survivors.sort_by_key(|&(_, _, t)| t);
+    let mut net = DynamicNetwork::new();
+    if node_count > 0 {
+        net.ensure_node(node_count as NodeId - 1);
+    }
+    for (u, v, t) in survivors {
+        assert!(
+            net.try_add_link(u, v, t).is_ok(),
+            "accepted links are clean"
+        );
+    }
+    net
+}
+
+proptest! {
+    /// Through arbitrary add/advance/grow/compact interleavings, the
+    /// windowed view equals a from-scratch rebuild of its in-window
+    /// links, and the mirror (maintained with the stream layer's
+    /// expire + sorted-insert discipline) tracks it bit for bit —
+    /// revisions included — over both storage modes.
+    #[test]
+    fn windowed_view_matches_from_scratch_rebuild(
+        width in width(),
+        ops in prop::collection::vec(op(), 1..60),
+    ) {
+        let mut wv = WindowedView::with_width(width);
+        let mut mirror = DeltaGraph::new(Arc::new(FrozenGraph::empty()));
+        let mut accepted: Vec<(NodeId, NodeId, Timestamp)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::AddLink(u, v, t) => match wv.try_add_link(u, v, t) {
+                    Ok(report) => {
+                        if let Some(r) = &report {
+                            mirror.expire_links_below(
+                                r.cutoff,
+                                &r.affected,
+                                r.min_timestamp,
+                            );
+                        }
+                        mirror
+                            .try_add_link_sorted(u, v, t)
+                            .expect("the view accepted this link");
+                        accepted.push((u, v, t));
+                    }
+                    Err(GraphError::OutOfWindow { cutoff, .. }) => {
+                        prop_assert!(t < cutoff, "only pre-cutoff links \
+                                                  are rejected");
+                    }
+                    Err(GraphError::SelfLoop { .. }) => {
+                        prop_assert_eq!(u, v);
+                    }
+                    Err(e) => panic!("unexpected rejection: {e}"),
+                },
+                Op::EnsureNode(id) => {
+                    wv.ensure_node(id);
+                    mirror.ensure_node(id);
+                }
+                Op::Advance(to) => match wv.advance(to) {
+                    Ok(Some(r)) => {
+                        mirror.expire_links_below(
+                            r.cutoff,
+                            &r.affected,
+                            r.min_timestamp,
+                        );
+                    }
+                    Ok(None) => {}
+                    Err(GraphError::HorizonRegressed { .. }) => {}
+                    Err(e) => panic!("unexpected advance failure: {e}"),
+                },
+                Op::Rebase(compact) => {
+                    let mode = if compact {
+                        StorageMode::Compact
+                    } else {
+                        StorageMode::Wide
+                    };
+                    let base = mirror
+                        .rebase_with(mode)
+                        .expect("tiny graphs fit both layouts");
+                    prop_assert_eq!(base.storage_mode(), mode);
+                    assert_views_agree(&*base, wv.network());
+                }
+            }
+        }
+        // Mirror and view moved in lockstep the whole way.
+        assert_views_agree(&mirror, wv.network());
+        // The view holds exactly what a from-scratch build of the
+        // surviving links holds — expiry lost nothing else, kept
+        // nothing extra, and preserved canonical time order.
+        let want = rebuild_in_window(
+            &accepted,
+            wv.node_count(),
+            wv.cutoff().unwrap_or(0),
+        );
+        assert_views_agree_no_rev(&wv, &want);
+        // And both frozen layouts of the view agree with the rebuild.
+        let wide = FrozenGraph::from_view_with(&wv, StorageMode::Wide)
+            .expect("wide freeze never fails");
+        let compact = FrozenGraph::from_view_with(&wv, StorageMode::Compact)
+            .expect("tiny graphs always fit the compact limits");
+        assert_views_agree_no_rev(&wide, &want);
+        assert_views_agree_no_rev(&compact, &want);
+    }
+
+    /// An unbounded `WindowedView` is indistinguishable from a plain
+    /// `DynamicNetwork` fed the same stream, and `advance` on it only
+    /// moves the horizon/revision — never the links.
+    #[test]
+    fn unbounded_view_is_a_plain_network(
+        ops in prop::collection::vec(op(), 1..60),
+    ) {
+        let mut wv = WindowedView::unbounded();
+        let mut twin = DynamicNetwork::new();
+        let mut advances = 0u64;
+        for op in ops {
+            match op {
+                Op::AddLink(u, v, t) => {
+                    let a = wv.try_add_link(u, v, t);
+                    let b = twin.try_add_link(u, v, t);
+                    prop_assert_eq!(a.is_ok(), b.is_ok());
+                    if let Ok(report) = a {
+                        prop_assert!(report.is_none(),
+                            "unbounded adds never report an advance");
+                    }
+                }
+                Op::EnsureNode(id) => {
+                    wv.ensure_node(id);
+                    twin.ensure_node(id);
+                }
+                Op::Advance(to) => {
+                    if let Ok(Some(r)) = wv.advance(to) {
+                        prop_assert_eq!(r.expired_links, 0);
+                        prop_assert!(r.affected.is_empty());
+                        advances += 1;
+                    }
+                }
+                Op::Rebase(_) => {}
+            }
+        }
+        prop_assert_eq!(wv.revision(), twin.revision() + advances);
+        assert_views_agree_no_rev(&wv, &twin);
+    }
+}

@@ -40,6 +40,6 @@ pub use error::PersistError;
 pub use graph::{decode_graph, encode_graph};
 pub use snapshot::{SnapshotReader, SnapshotWriter};
 pub use wal::{
-    list_segments, replay, FsyncPolicy, ReplayReport, ReplayStep, WalOptions,
-    WalRecord, WalWriter,
+    list_segments, replay, FsyncPolicy, ReplayReport, ReplayStep, WalOp,
+    WalOptions, WalRecord, WalWriter,
 };

@@ -32,10 +32,11 @@ use crate::error::{corrupt, PersistError};
 /// File magic: the first four bytes of every snapshot.
 pub const MAGIC: [u8; 4] = *b"SSF1";
 /// Current container format version. Version 2 added the compact-CSR
-/// graph sections (`graph.c32.*`); the section container itself is
-/// unchanged, so readers accept every version down to
+/// graph sections (`graph.c32.*`); version 3 added the optional
+/// sliding-window section (`pmeta.window`). The section container
+/// itself is unchanged, so readers accept every version down to
 /// [`MIN_VERSION`].
-pub const VERSION: u32 = 2;
+pub const VERSION: u32 = 3;
 /// Oldest container format version this reader still loads.
 pub const MIN_VERSION: u32 = 1;
 
@@ -345,6 +346,20 @@ mod tests {
             let err = SnapshotReader::from_bytes(&bytes)
                 .expect_err("absurd length must not decode");
             assert!(matches!(err, PersistError::Corrupt { .. }), "{err}");
+        }
+    }
+
+    #[test]
+    fn reads_every_supported_back_version() {
+        // A file stamped with any older supported version must decode
+        // exactly like the current one — the container layout never
+        // changed, only which sections writers emit.
+        for version in MIN_VERSION..VERSION {
+            let mut bytes = sample().to_bytes();
+            bytes[4..8].copy_from_slice(&version.to_le_bytes());
+            let r = SnapshotReader::from_bytes(&bytes)
+                .unwrap_or_else(|e| panic!("version {version}: {e}"));
+            assert_eq!(r.section("alpha"), Some(&[1u8, 2, 3][..]));
         }
     }
 

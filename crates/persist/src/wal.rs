@@ -18,6 +18,8 @@
 //!     payload                   len bytes
 //! event payload (kind 1):
 //!   seq u64, kind u8 = 1, u u32, v u32, t u32   (21 bytes)
+//! advance payload (kind 2):
+//!   seq u64, kind u8 = 2, horizon u32           (13 bytes)
 //! ```
 //!
 //! Records carry their sequence number explicitly and replay enforces
@@ -47,8 +49,12 @@ const HEADER_LEN: u64 = 16;
 const MAX_PAYLOAD: u32 = 1024;
 /// Payload kind tag for a link event.
 const KIND_EVENT: u8 = 1;
+/// Payload kind tag for a window advance.
+const KIND_ADVANCE: u8 = 2;
 /// Encoded size of an event payload.
 const EVENT_PAYLOAD: u32 = 21;
+/// Encoded size of an advance payload.
+const ADVANCE_PAYLOAD: u32 = 13;
 
 /// When appended records reach the disk platter.
 ///
@@ -86,17 +92,34 @@ impl Default for WalOptions {
     }
 }
 
-/// One decoded WAL record: a link event with its sequence number.
+/// One decoded WAL record: an operation with its sequence number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WalRecord {
     /// Position in the global event sequence, starting at 0.
     pub seq: u64,
-    /// First endpoint, as passed to `observe`.
-    pub u: u32,
-    /// Second endpoint.
-    pub v: u32,
-    /// Event timestamp.
-    pub t: u32,
+    /// The logged operation.
+    pub op: WalOp,
+}
+
+/// The operation a WAL record carries. Advances share the event
+/// sequence space, so strict `+1` continuity covers both kinds and a
+/// replayed stream interleaves them exactly as the writer logged them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalOp {
+    /// A link event, as passed to `observe`.
+    Event {
+        /// First endpoint.
+        u: u32,
+        /// Second endpoint.
+        v: u32,
+        /// Event timestamp.
+        t: u32,
+    },
+    /// An explicit sliding-window advance to a new horizon.
+    Advance {
+        /// The new window horizon.
+        horizon: u32,
+    },
 }
 
 /// Whether replay should keep consuming records.
@@ -244,6 +267,25 @@ impl WalWriter {
         v: u32,
         t: u32,
     ) -> Result<u64, PersistError> {
+        self.append_op(WalOp::Event { u, v, t })
+    }
+
+    /// Appends one window-advance record, returning its sequence
+    /// number. Advances share the sequence space with link events, so
+    /// replay reproduces the exact interleaving of inserts and expiries.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions and rollback behavior as
+    /// [`WalWriter::append`].
+    pub fn append_advance(
+        &mut self,
+        horizon: u32,
+    ) -> Result<u64, PersistError> {
+        self.append_op(WalOp::Advance { horizon })
+    }
+
+    fn append_op(&mut self, op: WalOp) -> Result<u64, PersistError> {
         if self.poisoned {
             return Err(PersistError::Io(io::Error::other(
                 "WAL writer poisoned: an earlier failed append could \
@@ -256,10 +298,18 @@ impl WalWriter {
         let seq = self.next_seq;
         let mut payload = Vec::with_capacity(EVENT_PAYLOAD as usize);
         put_u64(&mut payload, seq);
-        payload.push(KIND_EVENT);
-        put_u32(&mut payload, u);
-        put_u32(&mut payload, v);
-        put_u32(&mut payload, t);
+        match op {
+            WalOp::Event { u, v, t } => {
+                payload.push(KIND_EVENT);
+                put_u32(&mut payload, u);
+                put_u32(&mut payload, v);
+                put_u32(&mut payload, t);
+            }
+            WalOp::Advance { horizon } => {
+                payload.push(KIND_ADVANCE);
+                put_u32(&mut payload, horizon);
+            }
+        }
         let mut record = Vec::with_capacity(8 + payload.len());
         put_u32(&mut record, payload.len() as u32);
         put_u32(&mut record, crc32(&payload));
@@ -523,13 +573,13 @@ fn decode_record(bytes: &[u8], expect_seq: u64) -> Option<(WalRecord, usize)> {
         return None;
     }
     let payload = &bytes[8..8 + len as usize];
-    if crc32(payload) != want_crc || len != EVENT_PAYLOAD {
+    if crc32(payload) != want_crc || len < 9 {
         return None;
     }
     let mut seq_bytes = [0u8; 8];
     seq_bytes.copy_from_slice(&payload[..8]);
     let seq = u64::from_le_bytes(seq_bytes);
-    if payload[8] != KIND_EVENT || seq != expect_seq {
+    if seq != expect_seq {
         return None;
     }
     let word = |i: usize| {
@@ -540,8 +590,16 @@ fn decode_record(bytes: &[u8], expect_seq: u64) -> Option<(WalRecord, usize)> {
             payload[12 + 4 * i],
         ])
     };
-    let (u, v, t) = (word(0), word(1), word(2));
-    Some((WalRecord { seq, u, v, t }, 8 + len as usize))
+    let op = match (payload[8], len) {
+        (KIND_EVENT, EVENT_PAYLOAD) => WalOp::Event {
+            u: word(0),
+            v: word(1),
+            t: word(2),
+        },
+        (KIND_ADVANCE, ADVANCE_PAYLOAD) => WalOp::Advance { horizon: word(0) },
+        _ => return None,
+    };
+    Some((WalRecord { seq, op }, 8 + len as usize))
 }
 
 #[cfg(test)]
@@ -585,9 +643,11 @@ mod tests {
                 *r,
                 WalRecord {
                     seq: i as u64,
-                    u: i,
-                    v: i + 1,
-                    t: 100 + i
+                    op: WalOp::Event {
+                        u: i,
+                        v: i + 1,
+                        t: 100 + i
+                    }
                 }
             );
         }
@@ -595,6 +655,77 @@ mod tests {
         let (tail, report) = collect(&dir, 7);
         assert_eq!(tail.len(), 3);
         assert_eq!(report.records_skipped, 7);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn advances_interleave_with_events_in_sequence_order() {
+        let dir = temp_dir("advance");
+        let mut w = WalWriter::create(&dir, 0, WalOptions::default()).unwrap();
+        assert_eq!(w.append(0, 1, 5).unwrap(), 0);
+        assert_eq!(w.append_advance(9).unwrap(), 1);
+        assert_eq!(w.append(1, 2, 9).unwrap(), 2);
+        assert_eq!(w.append_advance(u32::MAX).unwrap(), 3);
+        let (got, report) = collect(&dir, 0);
+        assert_eq!(report.records_replayed, 4);
+        assert!(!report.tail_truncated);
+        assert_eq!(
+            got.iter().map(|r| r.op).collect::<Vec<_>>(),
+            vec![
+                WalOp::Event { u: 0, v: 1, t: 5 },
+                WalOp::Advance { horizon: 9 },
+                WalOp::Event { u: 1, v: 2, t: 9 },
+                WalOp::Advance { horizon: u32::MAX },
+            ]
+        );
+        assert_eq!(
+            got.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_advance_record_ends_the_prefix() {
+        let dir = temp_dir("advance-flip");
+        let mut w = WalWriter::create(&dir, 0, WalOptions::default()).unwrap();
+        w.append(0, 1, 1).unwrap(); // 29 bytes
+        w.append_advance(7).unwrap(); // 21 bytes
+        w.append(1, 2, 8).unwrap();
+        drop(w);
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a bit inside the advance record's horizon field.
+        let off = HEADER_LEN as usize + 29 + 8 + 9;
+        bytes[off] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let (got, report) = collect(&dir, 0);
+        assert_eq!(got.len(), 1, "only the record before the flip survives");
+        assert!(report.tail_truncated);
+        assert_eq!(report.bytes_dropped, 21 + 29);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn event_kind_with_advance_length_is_rejected() {
+        let dir = temp_dir("kind-mismatch");
+        let mut w = WalWriter::create(&dir, 0, WalOptions::default()).unwrap();
+        w.append_advance(3).unwrap();
+        drop(w);
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // Rewrite the kind byte to EVENT and fix the checksum: the
+        // payload is now self-consistent but 13 bytes is not a valid
+        // event length, so decoding must still refuse it.
+        let payload_at = HEADER_LEN as usize + 8;
+        bytes[payload_at + 8] = KIND_EVENT;
+        let crc = crc32(&bytes[payload_at..payload_at + 13]);
+        bytes[HEADER_LEN as usize + 4..HEADER_LEN as usize + 8]
+            .copy_from_slice(&crc.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let (got, report) = collect(&dir, 0);
+        assert!(got.is_empty());
+        assert!(report.tail_truncated);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -656,9 +787,7 @@ mod tests {
             full[4],
             WalRecord {
                 seq: 4,
-                u: 9,
-                v: 10,
-                t: 11
+                op: WalOp::Event { u: 9, v: 10, t: 11 }
             }
         );
         fs::remove_dir_all(&dir).unwrap();
@@ -728,9 +857,7 @@ mod tests {
             got[1],
             WalRecord {
                 seq: 1,
-                u: 4,
-                v: 5,
-                t: 6
+                op: WalOp::Event { u: 4, v: 5, t: 6 }
             }
         );
         fs::remove_dir_all(&dir).unwrap();

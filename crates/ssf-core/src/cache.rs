@@ -14,11 +14,23 @@
 //!   `l_t`; the cheap `K×K` matrix fill is redone per call so one cached
 //!   pair serves any `l_t`).
 //!
-//! Invalidation is by **graph revision**: [`dyngraph::DynamicNetwork`]
-//! bumps a monotone counter on every accepted mutation, and
+//! Invalidation is by **graph revision and window**:
+//! [`dyngraph::DynamicNetwork`] bumps a monotone counter on every accepted
+//! mutation (a sliding-window `advance` included), and
 //! [`ExtractionCache::sync`] drops all memoized state whenever the observed
-//! revision moves. Entries are therefore keyed `(pair, revision)` in
-//! effect, without storing the revision per entry.
+//! revision moves. Entries are therefore keyed `(pair, revision, window)`
+//! in effect, without storing either per entry.
+//!
+//! Writers that know a mutation's *footprint* — the affected nodes from a
+//! [`dyngraph::AdvanceReport`] plus any inserted link's endpoints — use
+//! [`ExtractionCache::sync_affected`] instead and keep everything else: a
+//! memoized BFS ball can only change if the mutation touched one of its
+//! members (every shortest path into a ball runs through the ball), and a
+//! memoized pair can only change if the mutation touched its recorded
+//! dependency set ([`CachedPair::deps`], the merged-ball node set its
+//! pipeline examined). Reverse indexes (node → ball keys / pair keys) make
+//! that O(entries-containing-an-affected-node), proportional to the damage
+//! `d`, never a full flush.
 //!
 //! Cached and uncached extractions are **bit-identical** by construction:
 //! both route through the same canonical-order subgraph assembly and the
@@ -30,7 +42,7 @@ use std::collections::HashMap;
 use std::hash::Hash;
 use std::sync::Arc;
 
-use dyngraph::{GraphView, NodeId};
+use dyngraph::{GraphView, NodeId, Timestamp};
 use obs::ObsHandle;
 
 use crate::feature::DijkstraScratch;
@@ -109,6 +121,11 @@ impl<K: Eq + Hash, V> LruCache<K, V> {
         self.map.iter().map(|(k, (_, v))| (k, v))
     }
 
+    /// Removes `key`, returning its value if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        self.map.remove(key).map(|(_, v)| v)
+    }
+
     /// Inserts `key → value`, evicting the stalest half first when full.
     pub fn insert(&mut self, key: K, value: V) {
         if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
@@ -134,6 +151,11 @@ pub struct CachedPair {
     pub h_used: u32,
     /// `|V_S|` of the final structure subgraph.
     pub structure_nodes: usize,
+    /// Invalidation footprint: the merged-ball node set the pipeline
+    /// examined, sorted ascending. A graph mutation leaves this result
+    /// bit-identical unless it touches one of these nodes — the basis of
+    /// [`ExtractionCache::sync_affected`]'s selective invalidation.
+    pub deps: Vec<NodeId>,
 }
 
 /// Hit/miss/invalidation counters of an [`ExtractionCache`].
@@ -149,6 +171,12 @@ pub struct CacheStats {
     pub pair_misses: u64,
     /// Times the graph revision moved and the memos were dropped.
     pub invalidations: u64,
+    /// Times a revision/window move was absorbed selectively (only the
+    /// entries touching affected nodes were dropped).
+    pub selective_invalidations: u64,
+    /// Individual memo entries (balls + pairs) dropped by selective
+    /// invalidation — proportional to mutation damage, not cache size.
+    pub entries_invalidated: u64,
 }
 
 impl CacheStats {
@@ -178,6 +206,8 @@ impl CacheStats {
         self.pair_hits += other.pair_hits;
         self.pair_misses += other.pair_misses;
         self.invalidations += other.invalidations;
+        self.selective_invalidations += other.selective_invalidations;
+        self.entries_invalidated += other.entries_invalidated;
     }
 }
 
@@ -197,6 +227,7 @@ impl CacheStats {
 #[derive(Debug, Clone)]
 pub struct FrozenCacheView {
     revision: u64,
+    window: Option<(Timestamp, Timestamp)>,
     config_key: (usize, u32),
     balls: Arc<HashMap<(NodeId, u32), CachedBall>>,
     pairs: Arc<HashMap<(NodeId, NodeId), Arc<CachedPair>>>,
@@ -206,6 +237,15 @@ impl FrozenCacheView {
     /// The graph revision the view was frozen at.
     pub fn revision(&self) -> u64 {
         self.revision
+    }
+
+    /// The sliding window `(width, horizon)` the view was frozen under,
+    /// `None` for an unbounded graph. Reuse requires both the revision
+    /// *and* the window to match — two graphs must never trade memos
+    /// across different windows even if their revisions coincide (e.g.
+    /// across recovery lineages).
+    pub fn window(&self) -> Option<(Timestamp, Timestamp)> {
+        self.window
     }
 
     /// Frozen entry counts `(balls, pairs)`.
@@ -229,16 +269,38 @@ impl FrozenCacheView {
 /// in BFS layer order, the source first at distance 0.
 pub type CachedBall = Arc<Vec<(NodeId, u32)>>;
 
+/// Reverse indexes tolerate this many slots before their first
+/// stale-entry compaction; afterwards the trigger doubles with the live
+/// slot count (amortized O(1) per insert).
+const INDEX_REBUILD_FLOOR: usize = 1 << 14;
+
 #[derive(Debug, Clone)]
 pub struct ExtractionCache {
     revision: u64,
+    /// The sliding window `(width, horizon)` the memos were filled
+    /// under; `None` for unbounded graphs (or when unknown, after a
+    /// footprint-blind [`ExtractionCache::sync`] drop).
+    window: Option<(Timestamp, Timestamp)>,
     /// `(k, max_h)` the pair memo was filled under; balls are
     /// config-independent and survive config changes.
     config_key: (usize, u32),
     balls: LruCache<(NodeId, u32), CachedBall>,
     pairs: LruCache<(NodeId, NodeId), Arc<CachedPair>>,
-    /// Read-only fallback consulted on local misses (same revision only;
-    /// pair lookups additionally require a matching config key).
+    /// Reverse index: member node → ball keys whose memo contains it.
+    /// May hold stale keys for evicted balls (removal is idempotent);
+    /// rebuilt from live entries when it outgrows its trigger.
+    ball_index: HashMap<NodeId, Vec<(NodeId, u32)>>,
+    /// Reverse index: dependency node → pair keys depending on it.
+    pair_index: HashMap<NodeId, Vec<(NodeId, NodeId)>>,
+    /// Slots pushed into `ball_index` since its last rebuild, and the
+    /// bloat threshold that forces the next rebuild (amortized O(1)).
+    ball_index_slots: usize,
+    ball_index_trigger: usize,
+    pair_index_slots: usize,
+    pair_index_trigger: usize,
+    /// Read-only fallback consulted on local misses (same revision and
+    /// window only; pair lookups additionally require a matching config
+    /// key).
     frozen: Option<FrozenCacheView>,
     pub(crate) scratch: ExtractScratch,
     pub(crate) stats: CacheStats,
@@ -261,9 +323,16 @@ impl ExtractionCache {
     pub fn with_capacity(balls: usize, pairs: usize) -> Self {
         ExtractionCache {
             revision: 0,
+            window: None,
             config_key: (0, 0),
             balls: LruCache::new(balls),
             pairs: LruCache::new(pairs),
+            ball_index: HashMap::new(),
+            pair_index: HashMap::new(),
+            ball_index_slots: 0,
+            ball_index_trigger: INDEX_REBUILD_FLOOR,
+            pair_index_slots: 0,
+            pair_index_trigger: INDEX_REBUILD_FLOOR,
             frozen: None,
             scratch: ExtractScratch::default(),
             stats: CacheStats::default(),
@@ -300,6 +369,7 @@ impl ExtractionCache {
     pub fn with_frozen(view: FrozenCacheView) -> Self {
         let mut cache = Self::new();
         cache.revision = view.revision;
+        cache.window = view.window;
         cache.config_key = view.config_key;
         cache.frozen = Some(view);
         cache
@@ -312,7 +382,11 @@ impl ExtractionCache {
     /// freezing a seeded cache loses no warmth.
     pub fn freeze(&self) -> FrozenCacheView {
         let mut balls: HashMap<(NodeId, u32), CachedBall> = match &self.frozen {
-            Some(f) if f.revision == self.revision => (*f.balls).clone(),
+            Some(f)
+                if f.revision == self.revision && f.window == self.window =>
+            {
+                (*f.balls).clone()
+            }
             _ => HashMap::new(),
         };
         for (k, v) in self.balls.entries() {
@@ -322,6 +396,7 @@ impl ExtractionCache {
             match &self.frozen {
                 Some(f)
                     if f.revision == self.revision
+                        && f.window == self.window
                         && f.config_key == self.config_key =>
                 {
                     (*f.pairs).clone()
@@ -333,6 +408,7 @@ impl ExtractionCache {
         }
         FrozenCacheView {
             revision: self.revision,
+            window: self.window,
             config_key: self.config_key,
             balls: Arc::new(balls),
             pairs: Arc::new(pairs),
@@ -363,11 +439,22 @@ impl ExtractionCache {
     pub fn clear(&mut self) {
         self.balls.clear();
         self.pairs.clear();
+        self.clear_ball_index();
+        self.clear_pair_index();
         self.frozen = None;
     }
 
+    /// The sliding window the memos were last synced under (see
+    /// [`FrozenCacheView::window`]).
+    pub fn window(&self) -> Option<(Timestamp, Timestamp)> {
+        self.window
+    }
+
     /// Re-keys the cache to `g`'s current revision, dropping every memo
-    /// entry if the graph changed since the last sync.
+    /// entry if the graph changed since the last sync. The footprint-blind
+    /// fallback: a revision move whose affected nodes are unknown could
+    /// have touched anything. Writers that know the footprint use
+    /// [`ExtractionCache::sync_affected`] and keep the rest.
     pub fn sync<G: GraphView + ?Sized>(&mut self, g: &G) {
         let rev = g.revision();
         if rev != self.revision {
@@ -376,11 +463,68 @@ impl ExtractionCache {
             }
             self.balls.clear();
             self.pairs.clear();
+            self.clear_ball_index();
+            self.clear_pair_index();
             if self.frozen.as_ref().is_some_and(|f| f.revision != rev) {
                 self.frozen = None;
             }
             self.revision = rev;
+            self.window = None;
         }
+    }
+
+    /// Re-keys the cache to `g`'s revision and `window`, dropping *only*
+    /// the memos a mutation with the given footprint could have changed:
+    /// balls containing an affected node and pairs whose dependency set
+    /// meets one. O(entries naming an affected node) — proportional to
+    /// the damage `d`, never a flush of the whole cache.
+    ///
+    /// `affected` is the union of every mutated link's endpoints since
+    /// the last sync: [`dyngraph::AdvanceReport::affected`] for expiries
+    /// plus the endpoints of any inserts (node-growth-only mutations
+    /// contribute nothing — an isolated new node is in no memoized
+    /// subgraph). Soundness: removing or adding links that touch no node
+    /// of a BFS ball cannot change the ball (every shortest path into a
+    /// ball runs entirely through it), and a pair result is a function
+    /// of the balls over its recorded dependency set.
+    ///
+    /// The frozen fallback layer, if any, is keyed to the old revision
+    /// and is dropped; callers holding one are readers that re-seed per
+    /// snapshot anyway.
+    pub fn sync_affected<G: GraphView + ?Sized>(
+        &mut self,
+        g: &G,
+        window: Option<(Timestamp, Timestamp)>,
+        affected: &[NodeId],
+    ) {
+        let rev = g.revision();
+        if rev == self.revision && window == self.window {
+            return;
+        }
+        let mut dropped = 0u64;
+        for &node in affected {
+            if let Some(keys) = self.ball_index.remove(&node) {
+                for key in keys {
+                    if self.balls.remove(&key).is_some() {
+                        dropped += 1;
+                    }
+                }
+            }
+            if let Some(keys) = self.pair_index.remove(&node) {
+                for key in keys {
+                    if self.pairs.remove(&key).is_some() {
+                        dropped += 1;
+                    }
+                }
+            }
+        }
+        // The frozen layer is immutable and keyed to the old revision;
+        // it cannot be filtered in place.
+        self.frozen = None;
+        self.stats.selective_invalidations += 1;
+        self.stats.entries_invalidated += dropped;
+        self.revision = rev;
+        self.window = window;
     }
 
     /// Drops the pair memo if the extractor configuration it was filled
@@ -388,7 +532,65 @@ impl ExtractionCache {
     pub(crate) fn sync_config(&mut self, k: usize, max_h: u32) {
         if self.config_key != (k, max_h) {
             self.pairs.clear();
+            self.clear_pair_index();
             self.config_key = (k, max_h);
+        }
+    }
+
+    fn clear_ball_index(&mut self) {
+        self.ball_index.clear();
+        self.ball_index_slots = 0;
+        self.ball_index_trigger = INDEX_REBUILD_FLOOR;
+    }
+
+    fn clear_pair_index(&mut self) {
+        self.pair_index.clear();
+        self.pair_index_slots = 0;
+        self.pair_index_trigger = INDEX_REBUILD_FLOOR;
+    }
+
+    /// Records `key` in the ball reverse index under every member of
+    /// `members`, compacting the index when stale slots (left behind by
+    /// LRU eviction) outgrow the rebuild trigger.
+    fn index_ball(&mut self, key: (NodeId, u32), members: &[(NodeId, u32)]) {
+        for &(node, _) in members {
+            self.ball_index.entry(node).or_default().push(key);
+        }
+        self.ball_index_slots += members.len();
+        if self.ball_index_slots > self.ball_index_trigger {
+            let mut index: HashMap<NodeId, Vec<(NodeId, u32)>> = HashMap::new();
+            let mut slots = 0usize;
+            for (&k, ball) in self.balls.entries() {
+                for &(node, _) in ball.iter() {
+                    index.entry(node).or_default().push(k);
+                    slots += 1;
+                }
+            }
+            self.ball_index = index;
+            self.ball_index_slots = slots;
+            self.ball_index_trigger = (2 * slots).max(INDEX_REBUILD_FLOOR);
+        }
+    }
+
+    /// Pair-side twin of [`ExtractionCache::index_ball`].
+    fn index_pair(&mut self, key: (NodeId, NodeId), deps: &[NodeId]) {
+        for &node in deps {
+            self.pair_index.entry(node).or_default().push(key);
+        }
+        self.pair_index_slots += deps.len();
+        if self.pair_index_slots > self.pair_index_trigger {
+            let mut index: HashMap<NodeId, Vec<(NodeId, NodeId)>> =
+                HashMap::new();
+            let mut slots = 0usize;
+            for (&k, pair) in self.pairs.entries() {
+                for &node in &pair.deps {
+                    index.entry(node).or_default().push(k);
+                    slots += 1;
+                }
+            }
+            self.pair_index = index;
+            self.pair_index_slots = slots;
+            self.pair_index_trigger = (2 * slots).max(INDEX_REBUILD_FLOOR);
         }
     }
 
@@ -410,12 +612,13 @@ impl ExtractionCache {
         if let Some(b) = self
             .frozen
             .as_ref()
-            .filter(|f| f.revision == self.revision)
+            .filter(|f| f.revision == self.revision && f.window == self.window)
             .and_then(|f| f.balls.get(&(src, h)))
         {
             self.stats.ball_hits += 1;
             let b = Arc::clone(b);
             self.balls.insert((src, h), Arc::clone(&b));
+            self.index_ball((src, h), &b);
             return b;
         }
         self.stats.ball_misses += 1;
@@ -426,7 +629,9 @@ impl ExtractionCache {
             self.balls.get(&(src, h - 1)).map(Arc::clone).or_else(|| {
                 self.frozen
                     .as_ref()
-                    .filter(|f| f.revision == self.revision)
+                    .filter(|f| {
+                        f.revision == self.revision && f.window == self.window
+                    })
                     .and_then(|f| f.balls.get(&(src, h - 1)))
                     .map(Arc::clone)
             })
@@ -446,6 +651,7 @@ impl ExtractionCache {
         };
         span.finish();
         self.balls.insert((src, h), Arc::clone(&b));
+        self.index_ball((src, h), &b);
         b
     }
 
@@ -463,21 +669,26 @@ impl ExtractionCache {
             .frozen
             .as_ref()
             .filter(|f| {
-                f.revision == self.revision && f.config_key == self.config_key
+                f.revision == self.revision
+                    && f.window == self.window
+                    && f.config_key == self.config_key
             })
             .and_then(|f| f.pairs.get(&(a, b)))
             .map(Arc::clone)?;
         self.pairs.insert((a, b), Arc::clone(&p));
+        self.index_pair((a, b), &p.deps);
         Some(p)
     }
 
-    /// Stores a freshly computed pair result.
+    /// Stores a freshly computed pair result, recording its dependency
+    /// set in the reverse index for selective invalidation.
     pub(crate) fn insert_pair(
         &mut self,
         a: NodeId,
         b: NodeId,
         pair: Arc<CachedPair>,
     ) {
+        self.index_pair((a, b), &pair.deps);
         self.pairs.insert((a, b), pair);
     }
 }
@@ -570,6 +781,89 @@ mod tests {
     }
 
     #[test]
+    fn sync_affected_drops_only_touched_balls() {
+        // A path 0-1-2-3-4-5: the radius-1 balls of 0 and 5 are disjoint.
+        let mut g = DynamicNetwork::new();
+        g.extend([(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 4, 4), (4, 5, 5)]);
+        let mut cache = ExtractionCache::new();
+        cache.sync(&g);
+        let _ = cache.ball(&g, 0, 1);
+        let far = cache.ball(&g, 5, 1);
+        assert_eq!(cache.len().0, 2);
+        // Mutate near node 0 only: the far ball must survive and hit.
+        g.add_link(0, 2, 6);
+        cache.sync_affected(&g, None, &[0, 2]);
+        assert_eq!(cache.stats().invalidations, 0);
+        assert_eq!(cache.stats().selective_invalidations, 1);
+        assert_eq!(cache.stats().entries_invalidated, 1);
+        assert_eq!(cache.len().0, 1);
+        let hits_before = cache.stats().ball_hits;
+        let served = cache.ball(&g, 5, 1);
+        assert!(Arc::ptr_eq(&far, &served));
+        assert_eq!(cache.stats().ball_hits, hits_before + 1);
+        // The invalidated ball recomputes fresh (and is correct).
+        let fresh = cache.ball(&g, 0, 1);
+        assert!(fresh.iter().any(|&(n, _)| n == 2));
+    }
+
+    #[test]
+    fn sync_affected_drops_pairs_by_dependency_set() {
+        let mut g = DynamicNetwork::new();
+        g.extend([(0, 1, 1), (4, 5, 2)]);
+        let mut cache = ExtractionCache::new();
+        cache.sync(&g);
+        cache.sync_config(4, 10);
+        let pair = |deps: Vec<NodeId>| {
+            Arc::new(CachedPair {
+                ks: KStructureSubgraph::empty(3),
+                h_used: 1,
+                structure_nodes: 2,
+                deps,
+            })
+        };
+        cache.insert_pair(0, 1, pair(vec![0, 1]));
+        cache.insert_pair(4, 5, pair(vec![4, 5]));
+        g.add_link(1, 2, 3);
+        cache.sync_affected(&g, None, &[1, 2]);
+        assert!(cache.pair(0, 1).is_none());
+        assert!(cache.pair(4, 5).is_some());
+        assert_eq!(cache.stats().entries_invalidated, 1);
+    }
+
+    #[test]
+    fn sync_affected_same_revision_and_window_is_a_noop() {
+        let mut g = DynamicNetwork::new();
+        g.extend([(0, 1, 1)]);
+        let mut cache = ExtractionCache::new();
+        cache.sync_affected(&g, Some((10, 5)), &[0, 1]);
+        let _ = cache.ball(&g, 0, 1);
+        cache.sync_affected(&g, Some((10, 5)), &[0, 1]);
+        assert_eq!(cache.len().0, 1, "no-op sync must not drop entries");
+        assert_eq!(cache.window(), Some((10, 5)));
+        // A pure window move at the same revision *is* a re-key.
+        cache.sync_affected(&g, Some((10, 6)), &[]);
+        assert_eq!(cache.window(), Some((10, 6)));
+    }
+
+    #[test]
+    fn frozen_view_reuse_gated_on_window() {
+        let mut g = DynamicNetwork::new();
+        g.extend([(0, 1, 1), (1, 2, 2)]);
+        let mut warm = ExtractionCache::new();
+        warm.sync_affected(&g, Some((100, 2)), &[0, 1, 2]);
+        let _ = warm.ball(&g, 1, 2);
+        let view = warm.freeze();
+        assert_eq!(view.window(), Some((100, 2)));
+        let mut seeded = ExtractionCache::with_frozen(view);
+        assert_eq!(seeded.window(), Some((100, 2)));
+        // Same revision, different window: the frozen memo must not serve.
+        seeded.sync_affected(&g, Some((100, 3)), &[]);
+        let _ = seeded.ball(&g, 1, 2);
+        assert_eq!(seeded.stats().ball_hits, 0);
+        assert_eq!(seeded.stats().ball_misses, 1);
+    }
+
+    #[test]
     fn frozen_view_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<FrozenCacheView>();
@@ -624,6 +918,7 @@ mod tests {
                 ks: KStructureSubgraph::empty(3),
                 h_used: 1,
                 structure_nodes: 2,
+                deps: vec![0, 1],
             }),
         );
         let mut seeded = ExtractionCache::with_frozen(warm.freeze());
@@ -663,6 +958,7 @@ mod tests {
                 ks: KStructureSubgraph::empty(3),
                 h_used: 1,
                 structure_nodes: 2,
+                deps: vec![0, 1],
             }),
         );
         assert_eq!(cache.len(), (1, 1));

@@ -493,10 +493,18 @@ impl SsfExtractor {
         );
         wl_span.finish();
         let node_count = s.node_count();
+        // Invalidation footprint: the merged-ball node set the growth
+        // loop examined. A mutation touching none of these nodes leaves
+        // every ball at every examined radius — and therefore this whole
+        // result — bit-identical.
+        let mut deps: Vec<NodeId> =
+            (0..hop.node_count()).map(|i| hop.global_id(i)).collect();
+        deps.sort_unstable();
         CachedPair {
             ks: KStructureSubgraph::select(&s, &order, k),
             h_used: h,
             structure_nodes: node_count,
+            deps,
         }
     }
 

@@ -129,30 +129,49 @@ USAGE:
                                                fit SSFNM, persist the model
   ssf predict  <edge-list> <model> <u> <v>     score a pair with a saved model
   ssf serve    <edge-list> [--shards N] [--threads N] [--pairs N] [--k N]
-               [--epochs N] [--seed N]         replay the stream through the
+               [--epochs N] [--seed N] [--window W]
+                                               replay the stream through the
                                                sharded serving path, publish a
                                                snapshot, score candidates in
                                                parallel, report health
   ssf serve-loop <edge-list> [--qps N] [--duration-ms N] [--clients N]
                [--max-batch N] [--max-delay-us N] [--queue N]
                [--deadline-us N] [--shards N] [--threads N] [--k N]
-               [--epochs N] [--seed N]         run the request-coalescing
-                                               front-end under closed-loop
-                                               load and report the SLO
-                                               (p50/p99, miss rate, batch
-                                               size); --qps 0 is unpaced
+               [--epochs N] [--seed N] [--window W]
+               [--arrivals closed|fixed|poisson]
+                                               run the request-coalescing
+                                               front-end under load and
+                                               report the SLO (p50/p99, miss
+                                               rate, batch size, sheds);
+                                               closed-loop clients wait for
+                                               each ticket (--qps 0 is
+                                               unpaced), open-loop arrivals
+                                               (fixed-rate or Poisson,
+                                               --qps required) follow their
+                                               schedule regardless of
+                                               completions — the honest
+                                               overload model
   ssf save     <edge-list> --dir DIR [--k N] [--epochs N] [--seed N]
                [--refit-every N] [--fsync always|never|N]
-               [--storage auto|wide|compact]   ingest through a durable
+               [--storage auto|wide|compact] [--window W] [--advance T]
+                                               ingest through a durable
                                                predictor (WAL per event) and
                                                checkpoint one SSF1 snapshot;
                                                --storage picks the frozen
-                                               graph layout (auto = by size)
+                                               graph layout (auto = by size),
+                                               --advance pushes the horizon
+                                               to T (expiring aged links)
+                                               before the checkpoint
   ssf restore  --dir DIR [--strict] [--at-revision N] [--score U,V]
                [--k N] [--epochs N] [--seed N] [--refit-every N]
-                                               recover snapshot + WAL tail;
+               [--window W] [--advance T]      recover snapshot + WAL tail;
                                                --strict fails if anything was
                                                dropped, --at-revision rewinds
+
+Sliding windows: --window W keeps only links stamped in the inclusive
+range [horizon - W, horizon]; older links expire as the horizon advances
+(implicitly with newer events, or explicitly via --advance). The durable
+state records its window, so save and restore must agree on --window.
 
 Global flags (any subcommand):
   --metrics-json PATH   write an ssf.metrics.v1 JSON snapshot of pipeline
@@ -470,6 +489,7 @@ fn cmd_serve(args: &[String], obs: &ObsHandle) -> Result<(), String> {
     let config = OnlinePredictorConfig::builder()
         .method(opts)
         .refit_every(u32::MAX) // one deliberate refit after ingest
+        .window(window_width(args)?)
         .build()
         .map_err(|e| e.to_string())?;
     let mut sharded =
@@ -548,12 +568,28 @@ fn cmd_serve(args: &[String], obs: &ObsHandle) -> Result<(), String> {
     Ok(())
 }
 
-/// `serve-loop`: the request-coalescing front-end under closed-loop
-/// load. Ingests the stream through the sharded path like `serve`, then
-/// puts the published snapshot behind a [`Coalescer`] and drives it
-/// with client threads that each submit one pair, wait for the ticket,
-/// and pace to the offered rate (`--qps 0` submits as fast as the loop
-/// allows). Reports the SLO numbers the coalescer exists to serve:
+/// How the `serve-loop` load generator times its submissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Arrivals {
+    /// Submit, wait for the ticket, pace to the offered rate.
+    Closed,
+    /// Fixed-interval schedule, independent of completions.
+    OpenFixed,
+    /// Poisson (exponential inter-arrival) schedule, independent of
+    /// completions.
+    OpenPoisson,
+}
+
+/// `serve-loop`: the request-coalescing front-end under load. Ingests
+/// the stream through the sharded path like `serve`, then puts the
+/// published snapshot behind a [`Coalescer`] and drives it with client
+/// threads. Closed-loop clients each submit one pair, wait for the
+/// ticket, and pace to the offered rate (`--qps 0` submits as fast as
+/// the loop allows). Open-loop clients (`--arrivals fixed|poisson`)
+/// follow their arrival schedule regardless of completions — a
+/// backed-up server keeps receiving load, so overload surfaces as
+/// admission sheds and deadline misses instead of politely throttled
+/// clients. Reports the SLO numbers the coalescer exists to serve:
 /// p50/p99 end-to-end latency, deadline-miss rate, mean batch size and
 /// overload sheds.
 fn cmd_serve_loop(args: &[String], obs: &ObsHandle) -> Result<(), String> {
@@ -569,6 +605,20 @@ fn cmd_serve_loop(args: &[String], obs: &ObsHandle) -> Result<(), String> {
     let queue: usize = parse_flag(args, "--queue", 256)?;
     let deadline_us: u64 = parse_flag(args, "--deadline-us", 250_000)?;
     let seed: u64 = parse_flag(args, "--seed", 7)?;
+    let arrivals = match flag(args, "--arrivals").as_deref() {
+        None | Some("closed") => Arrivals::Closed,
+        Some("fixed") => Arrivals::OpenFixed,
+        Some("poisson") => Arrivals::OpenPoisson,
+        Some(v) => {
+            return Err(format!(
+                "invalid value for --arrivals: {v:?} \
+                 (closed, fixed, poisson)"
+            ))
+        }
+    };
+    if arrivals != Arrivals::Closed && qps == 0 {
+        return Err("open-loop arrivals need --qps > 0".into());
+    }
     if clients == 0 {
         return Err("--clients must be at least 1".into());
     }
@@ -585,6 +635,7 @@ fn cmd_serve_loop(args: &[String], obs: &ObsHandle) -> Result<(), String> {
     let config = OnlinePredictorConfig::builder()
         .method(opts)
         .refit_every(u32::MAX) // one deliberate refit after ingest
+        .window(window_width(args)?)
         .build()
         .map_err(|e| e.to_string())?;
     let mut sharded =
@@ -642,6 +693,11 @@ fn cmd_serve_loop(args: &[String], obs: &ObsHandle) -> Result<(), String> {
                         (state >> 33) as u32
                     };
                     let mut lat: Vec<u64> = Vec::new();
+                    // Open-loop tickets are collected and drained only
+                    // after the arrival schedule ends, so submissions
+                    // never wait on completions.
+                    let mut pending: Vec<(Instant, ssf_repro::Ticket)> =
+                        Vec::new();
                     let start = Instant::now();
                     let mut next = start;
                     while start.elapsed() < duration {
@@ -650,7 +706,20 @@ fn cmd_serve_loop(args: &[String], obs: &ObsHandle) -> Result<(), String> {
                             if now < next {
                                 std::thread::sleep(next - now);
                             }
-                            next += iv;
+                            next += match arrivals {
+                                Arrivals::OpenPoisson => {
+                                    // Inverse-CDF exponential draw on
+                                    // the LCG stream, clamped away
+                                    // from zero so the schedule always
+                                    // moves forward.
+                                    let u = (f64::from(next_u32()) + 1.0)
+                                        / 4_294_967_296.0;
+                                    std::time::Duration::from_secs_f64(
+                                        (-u.ln() * iv.as_secs_f64()).max(1e-9),
+                                    )
+                                }
+                                _ => iv,
+                            };
                         }
                         let u = next_u32() % n;
                         let mut v = next_u32() % n;
@@ -659,12 +728,24 @@ fn cmd_serve_loop(args: &[String], obs: &ObsHandle) -> Result<(), String> {
                         }
                         let issued = Instant::now();
                         if let Ok(ticket) = c.submit(u, v) {
-                            if ticket.wait().is_ok() {
-                                let ns =
-                                    u64::try_from(issued.elapsed().as_nanos())
-                                        .unwrap_or(u64::MAX);
-                                lat.push(ns);
+                            if arrivals == Arrivals::Closed {
+                                if ticket.wait().is_ok() {
+                                    let ns = u64::try_from(
+                                        issued.elapsed().as_nanos(),
+                                    )
+                                    .unwrap_or(u64::MAX);
+                                    lat.push(ns);
+                                }
+                            } else {
+                                pending.push((issued, ticket));
                             }
+                        }
+                    }
+                    for (issued, ticket) in pending {
+                        if ticket.wait().is_ok() {
+                            let ns = u64::try_from(issued.elapsed().as_nanos())
+                                .unwrap_or(u64::MAX);
+                            lat.push(ns);
                         }
                     }
                     lat
@@ -703,10 +784,16 @@ fn cmd_serve_loop(args: &[String], obs: &ObsHandle) -> Result<(), String> {
     } else {
         "unpaced".to_string()
     };
+    let arrival_label = match arrivals {
+        Arrivals::Closed => "closed-loop",
+        Arrivals::OpenFixed => "open-loop fixed-rate",
+        Arrivals::OpenPoisson => "open-loop poisson",
+    };
     println!(
-        "serve-loop: {clients} client(s), {offered}, {duration_ms} ms, \
-         max_batch {max_batch}, max_delay {max_delay_us}us, \
-         queue {queue}, deadline {deadline_us}us"
+        "serve-loop: {clients} client(s), {arrival_label}, {offered}, \
+         {duration_ms} ms, max_batch {max_batch}, \
+         max_delay {max_delay_us}us, queue {queue}, \
+         deadline {deadline_us}us"
     );
     println!(
         "completed {} of {} submitted: {:.0} qps achieved, \
@@ -750,8 +837,44 @@ fn predictor_config(args: &[String]) -> Result<OnlinePredictorConfig, String> {
         .method(opts)
         .refit_every(parse_flag(args, "--refit-every", 64)?)
         .storage(storage_mode(args)?)
+        .window(window_width(args)?)
         .build()
         .map_err(|e| e.to_string())
+}
+
+/// `--window W`: sliding-window width in timestamp ticks; absent means
+/// unbounded (the append-only behavior every command had before).
+fn window_width(args: &[String]) -> Result<Option<u32>, String> {
+    match flag(args, "--window") {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("invalid value for --window: {v:?}")),
+    }
+}
+
+/// `--advance T`: explicitly pushes a predictor's horizon to `T`,
+/// expiring links that fall behind the new cutoff, and reports what
+/// aged out. A no-op when the horizon is already at `T`.
+fn apply_advance(
+    p: &mut OnlineLinkPredictor,
+    args: &[String],
+) -> Result<(), String> {
+    let Some(to) = flag(args, "--advance") else {
+        return Ok(());
+    };
+    let to: u32 = to
+        .parse()
+        .map_err(|_| format!("invalid value for --advance: {to:?}"))?;
+    match p.advance(to).map_err(|e| e.to_string())? {
+        Some(report) => println!(
+            "advanced horizon to {}: expired {} link(s) behind cutoff {}",
+            report.horizon, report.expired_links, report.cutoff,
+        ),
+        None => println!("horizon already at {to}; nothing to expire"),
+    }
+    Ok(())
 }
 
 fn storage_mode(args: &[String]) -> Result<StorageMode, String> {
@@ -830,6 +953,7 @@ fn cmd_save(args: &[String], obs: &ObsHandle) -> Result<(), String> {
         return Err(format!("WAL append failed: {e}"));
     }
     let ingest_secs = t0.elapsed().as_secs_f64();
+    apply_advance(&mut p, args)?;
     let snapshot = p.checkpoint().map_err(|e| e.to_string())?;
     println!(
         "logged {} events in {ingest_secs:.3}s ({:.0} events/s)",
@@ -855,7 +979,7 @@ fn cmd_restore(args: &[String], obs: &ObsHandle) -> Result<(), String> {
         .ok_or("usage: ssf restore --dir DIR [--strict] [--score U,V]")?;
     let config = predictor_config(args)?;
     let strict = args.iter().any(|a| a == "--strict");
-    let (p, report) = match flag(args, "--at-revision") {
+    let (mut p, report) = match flag(args, "--at-revision") {
         Some(rev) => {
             let rev: u64 = rev.parse().map_err(|_| {
                 format!("invalid value for --at-revision: {rev:?}")
@@ -890,6 +1014,7 @@ fn cmd_restore(args: &[String], obs: &ObsHandle) -> Result<(), String> {
             report.records_replayed
         ),
     }
+    apply_advance(&mut p, args)?;
     let h = p.health();
     println!(
         "health: revision={} fitted={} model_epoch={:?} accepted={} \
@@ -900,6 +1025,16 @@ fn cmd_restore(args: &[String], obs: &ObsHandle) -> Result<(), String> {
         h.accepted,
         h.quarantined,
     );
+    if let Some(w) = p.window() {
+        println!(
+            "window: width={} horizon={} cutoff={} (out-of-window events \
+             quarantined so far: {})",
+            w.width,
+            w.horizon,
+            w.cutoff(),
+            p.stats().out_of_window,
+        );
+    }
     if let Some(pair) = flag(args, "--score") {
         let (u, v) = pair
             .split_once(',')

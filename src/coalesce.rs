@@ -138,8 +138,20 @@ pub trait BatchScorer: Send + Sync {
 }
 
 impl BatchScorer for ScoringSnapshot {
+    /// The publish epoch, mixed with the sliding window in force (if
+    /// any): epoch-staged batching must also never mix two snapshots
+    /// that happen to share a revision but disagree on the window, so
+    /// the window bits fold into the key the same FNV-style way the
+    /// sharded scorer folds shard epochs. Unbounded snapshots keep the
+    /// bare epoch.
     fn epoch_key(&self) -> u64 {
-        self.epoch()
+        match self.window() {
+            None => self.epoch(),
+            Some(w) => {
+                let wbits = (u64::from(w.width) << 32) | u64::from(w.horizon);
+                (self.epoch() ^ wbits).wrapping_mul(0x0000_0100_0000_01b3)
+            }
+        }
     }
 
     fn score_batch_threads(

@@ -23,7 +23,7 @@
 use std::io;
 use std::path::{Path, PathBuf};
 
-use dyngraph::FrozenGraph;
+use dyngraph::{FrozenGraph, Window};
 use ssf_persist::codec::{fnv1a64, put_u32, put_u64, Cursor};
 use ssf_persist::{
     decode_graph, encode_graph, FsyncPolicy, PersistError, SnapshotReader,
@@ -40,6 +40,13 @@ pub(crate) const SEC_PMETA: &str = "pmeta";
 pub(crate) const SEC_MODEL: &str = "model";
 /// Snapshot section holding the pending refit error text, if any.
 pub(crate) const SEC_REFIT_ERROR: &str = "pmeta.err";
+/// Snapshot section holding the sliding-window state (width, horizon,
+/// then the out-of-window quarantine tally; absent when the predictor
+/// has no window configured). A separate optional section rather than
+/// a `pmeta` suffix: `pmeta` decoding rejects trailing bytes, so
+/// extending it would break version-2 readers, while an unknown extra
+/// section is simply ignored by them.
+pub(crate) const SEC_WINDOW: &str = "pmeta.window";
 
 /// How a durable predictor trades write latency for crash safety.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,6 +153,16 @@ pub(crate) struct PredictorMeta {
     pub(crate) successful_refits: u64,
     pub(crate) failed_refits: u64,
     pub(crate) degraded_scores: u64,
+    /// Sliding window at checkpoint time; `None` when the predictor is
+    /// unbounded. The width is also pinned by the configuration
+    /// fingerprint; carrying it here keeps standalone replicas
+    /// ([`ScoringSnapshot::load`](crate::serve::ScoringSnapshot::load),
+    /// which never sees the configuration) self-describing.
+    pub(crate) window: Option<Window>,
+    /// Events quarantined for predating the window cutoff. Lives in the
+    /// window section (always zero for unbounded predictors, which
+    /// write no such section).
+    pub(crate) out_of_window: u64,
 }
 
 /// A fully decoded snapshot, ready to install into a predictor.
@@ -187,6 +204,13 @@ pub(crate) fn encode_state(
     put_u64(&mut pm, meta.failed_refits);
     put_u64(&mut pm, meta.degraded_scores);
     w.section(SEC_PMETA, pm);
+    if let Some(window) = meta.window {
+        let mut wh = Vec::with_capacity(16);
+        put_u32(&mut wh, window.width);
+        put_u32(&mut wh, window.horizon);
+        put_u64(&mut wh, meta.out_of_window);
+        w.section(SEC_WINDOW, wh);
+    }
     if let Some(model) = model {
         let mut buf = Vec::new();
         model.save(&mut buf)?;
@@ -233,6 +257,18 @@ pub(crate) fn decode_state(
     let has_lfa = flag(&mut c)?;
     let lfa = c.u32()?;
     let backoff = c.u32()?;
+    let (window, out_of_window) = match r.section(SEC_WINDOW) {
+        Some(bytes) => {
+            let mut wc = Cursor::new(SEC_WINDOW, bytes);
+            let width = wc.u32()?;
+            let horizon = wc.u32()?;
+            let out_of_window = wc.u64()?;
+            wc.finish()?;
+            (Some(Window { width, horizon }), out_of_window)
+        }
+        // Version-2 snapshots predate windows: unbounded.
+        None => (None, 0),
+    };
     let meta = PredictorMeta {
         fingerprint,
         next_seq,
@@ -246,6 +282,8 @@ pub(crate) fn decode_state(
         successful_refits: c.u64()?,
         failed_refits: c.u64()?,
         degraded_scores: c.u64()?,
+        window,
+        out_of_window,
     };
     c.finish()?;
     if backoff == 0 {
@@ -370,6 +408,8 @@ mod tests {
             successful_refits: 3,
             failed_refits: 2,
             degraded_scores: 5,
+            window: None,
+            out_of_window: 0,
         }
     }
 
@@ -394,6 +434,34 @@ mod tests {
         assert_eq!(state.meta, meta);
         assert!(state.model.is_none());
         assert_eq!(state.last_refit_error.as_deref(), Some("no positives"));
+    }
+
+    #[test]
+    fn window_round_trips_through_its_own_section() {
+        let graph = sample_graph();
+        let window = Window {
+            width: 7,
+            horizon: u32::MAX,
+        };
+        let meta = PredictorMeta {
+            window: Some(window),
+            out_of_window: 11,
+            ..sample_meta()
+        };
+        let mut w = SnapshotWriter::new();
+        encode_state(&mut w, &graph, None, &meta, None).unwrap();
+        let r = SnapshotReader::from_bytes(&w.to_bytes()).unwrap();
+        assert!(r.section(SEC_WINDOW).is_some());
+        let state = decode_state(&r).unwrap();
+        assert_eq!(state.meta.window, Some(window));
+        assert_eq!(state.meta.out_of_window, 11);
+        // Unbounded predictors write no window section at all, so
+        // their snapshots are byte-identical to the pre-window format.
+        let mut w = SnapshotWriter::new();
+        encode_state(&mut w, &graph, None, &sample_meta(), None).unwrap();
+        let r = SnapshotReader::from_bytes(&w.to_bytes()).unwrap();
+        assert!(r.section(SEC_WINDOW).is_none());
+        assert_eq!(decode_state(&r).unwrap().meta.window, None);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use std::io::{self, BufRead, Write};
 
-use dyngraph::{DynamicNetwork, GraphView, NodeId, Timestamp};
+use dyngraph::{GraphView, NodeId, Timestamp};
 use linalg::Matrix;
 use obs::ObsHandle;
 use ssf_core::{
@@ -31,27 +31,6 @@ pub struct SsfnmModel {
 impl SsfnmModel {
     /// Trains on a split (plus optional earlier-window folds, as in
     /// [`crate::methods::Method::evaluate_augmented`]).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the split has no training samples or a sample pair is
-    /// degenerate; [`SsfnmModel::try_fit`] reports both as typed errors.
-    #[deprecated(
-        note = "use `try_fit` — under the fallible-API naming convention \
-                panicking bare names are being retired"
-    )]
-    pub fn fit(
-        split: &Split,
-        extra_train: &[Split],
-        opts: &MethodOptions,
-    ) -> Self {
-        match Self::try_fit(split, extra_train, opts) {
-            Ok(model) => model,
-            Err(e) => panic!("{e} (training split must have samples)"),
-        }
-    }
-
-    /// Fallible variant of [`SsfnmModel::fit`] for the serving path.
     ///
     /// # Errors
     ///
@@ -138,29 +117,6 @@ impl SsfnmModel {
     /// Scores a candidate pair against a history network, with `present`
     /// the timestamp prediction is made at (usually `max_timestamp + 1`).
     /// Returns the probability that the link emerges.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `u == v` or either endpoint is outside `g`;
-    /// [`SsfnmModel::try_score`] reports both as typed errors.
-    #[deprecated(
-        note = "use `try_score` — under the fallible-API naming convention \
-                panicking bare names are being retired"
-    )]
-    pub fn score(
-        &self,
-        g: &DynamicNetwork,
-        u: NodeId,
-        v: NodeId,
-        present: Timestamp,
-    ) -> f64 {
-        match self.try_score(g, u, v, present) {
-            Ok(p) => p,
-            Err(e) => panic!("{e}"),
-        }
-    }
-
-    /// Fallible variant of [`SsfnmModel::score`] for the serving path.
     ///
     /// # Errors
     ///
@@ -284,6 +240,7 @@ impl SsfnmModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dyngraph::DynamicNetwork;
     use ssf_eval::SplitConfig;
 
     fn triadic_network() -> DynamicNetwork {

@@ -15,8 +15,9 @@ pub use datasets::{
     Topology,
 };
 pub use dyngraph::{
-    DeltaGraph, DynamicNetwork, FrozenGraph, GraphError, GraphView,
-    IncidentLinks, Link, NodeId, OverlayView, StorageMode, Timestamp,
+    AdvanceReport, DeltaGraph, DynamicNetwork, FrozenGraph, GraphError,
+    GraphView, IncidentLinks, Link, NodeId, OverlayView, StorageMode,
+    Timestamp, Window, WindowedView,
 };
 pub use obs::{
     NoopRecorder, ObsHandle, Recorder, Registry, RegistryRecorder, Snapshot,

@@ -33,7 +33,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dyngraph::{
-    DeltaGraph, GraphView, NodeId, OverlayView, StorageMode, Timestamp,
+    DeltaGraph, GraphView, NodeId, OverlayView, StorageMode, Timestamp, Window,
 };
 use obs::{labeled, ObsHandle, Snapshot};
 use ssf_core::{CacheStats, ExtractionCache, FrozenCacheView};
@@ -57,6 +57,13 @@ pub enum QuarantineReason {
     Stale {
         /// How many ticks behind the stream head the event arrived.
         lag: u32,
+    },
+    /// The timestamp precedes the sliding window's cutoff — the link
+    /// expired before it arrived (only with
+    /// [`OnlinePredictorConfig::window`]). Endpoints remain known.
+    OutOfWindow {
+        /// The inclusive lower bound the timestamp fell short of.
+        cutoff: u32,
     },
 }
 
@@ -87,6 +94,8 @@ pub struct StreamStats {
     pub duplicates: u64,
     /// Quarantined stale events.
     pub stale: u64,
+    /// Quarantined events whose timestamp predated the window cutoff.
+    pub out_of_window: u64,
     /// Refit attempts that produced a model.
     pub successful_refits: u64,
     /// Refit attempts that failed (model unchanged).
@@ -99,7 +108,7 @@ pub struct StreamStats {
 impl StreamStats {
     /// Total quarantined events, all reasons.
     pub fn quarantined(&self) -> u64 {
-        self.self_loops + self.duplicates + self.stale
+        self.self_loops + self.duplicates + self.stale + self.out_of_window
     }
 
     /// Scores served by the degraded fallback path.
@@ -114,6 +123,7 @@ impl StreamStats {
         self.self_loops += other.self_loops;
         self.duplicates += other.duplicates;
         self.stale += other.stale;
+        self.out_of_window += other.out_of_window;
         self.successful_refits += other.successful_refits;
         self.failed_refits += other.failed_refits;
         self.degraded_scores
@@ -128,6 +138,7 @@ impl Clone for StreamStats {
             self_loops: self.self_loops,
             duplicates: self.duplicates,
             stale: self.stale,
+            out_of_window: self.out_of_window,
             successful_refits: self.successful_refits,
             failed_refits: self.failed_refits,
             degraded_scores: AtomicU64::new(self.degraded_scores()),
@@ -248,6 +259,10 @@ struct SnapshotInner {
     epoch: u64,
     /// `max_timestamp + 1` at publish — the fixed prediction time.
     present: Option<Timestamp>,
+    /// The sliding window at publish; `None` for an unbounded
+    /// predictor. Epoch-staged batchers fold it into their batch key
+    /// so one batch never mixes windows.
+    window: Option<Window>,
     degraded_scores: AtomicU64,
     obs: ObsHandle,
 }
@@ -268,6 +283,7 @@ impl ScoringSnapshot {
                 frozen: p.cache.freeze(),
                 epoch,
                 present,
+                window: p.window(),
                 graph,
                 degraded_scores: AtomicU64::new(0),
                 obs: p.recorder().clone(),
@@ -316,6 +332,7 @@ impl ScoringSnapshot {
                 frozen: ExtractionCache::new().freeze(),
                 epoch,
                 present,
+                window: meta.window,
                 degraded_scores: AtomicU64::new(0),
                 obs: ObsHandle::noop(),
             }),
@@ -368,6 +385,13 @@ impl ScoringSnapshot {
     /// `None` for an empty network.
     pub fn present(&self) -> Option<Timestamp> {
         self.inner.present
+    }
+
+    /// The sliding window this snapshot was published under, `None`
+    /// for an unbounded predictor. Checkpoints round-trip it, so a
+    /// replica loaded with [`Self::load`] reports the writer's window.
+    pub fn window(&self) -> Option<Window> {
+        self.inner.window
     }
 
     /// Scores served by the common-neighbor fallback *through this

@@ -27,14 +27,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dyngraph::{
-    DeltaGraph, DynamicNetwork, FrozenGraph, GraphView, NodeId, OverlayView,
-    StorageMode, Timestamp,
+    AdvanceReport, DeltaGraph, DynamicNetwork, FrozenGraph, GraphError,
+    GraphView, NodeId, OverlayView, StorageMode, Timestamp, Window,
+    WindowedView,
 };
 use obs::{labeled, ObsHandle};
 use ssf_core::{CacheStats, ExtractionCache};
 use ssf_eval::{backtest_splits, BacktestConfig, Split, SplitConfig};
 use ssf_persist::{
-    replay, ReplayStep, SnapshotReader, SnapshotWriter, WalOptions, WalWriter,
+    replay, ReplayStep, SnapshotReader, SnapshotWriter, WalOp, WalOptions,
+    WalWriter,
 };
 
 use crate::durability::{
@@ -45,34 +47,6 @@ use crate::error::{ConfigError, SsfError};
 use crate::methods::MethodOptions;
 use crate::model::SsfnmModel;
 use crate::serve;
-
-/// Deprecated path of [`serve::QuarantineReason`], kept for one release.
-#[deprecated(
-    note = "moved to `ssf_repro::serve`; import from `ssf_repro::prelude` \
-            or the crate root"
-)]
-pub type QuarantineReason = serve::QuarantineReason;
-
-/// Deprecated path of [`serve::Observed`], kept for one release.
-#[deprecated(
-    note = "moved to `ssf_repro::serve`; import from `ssf_repro::prelude` \
-            or the crate root"
-)]
-pub type Observed = serve::Observed;
-
-/// Deprecated path of [`serve::StreamStats`], kept for one release.
-#[deprecated(
-    note = "moved to `ssf_repro::serve`; import from `ssf_repro::prelude` \
-            or the crate root"
-)]
-pub type StreamStats = serve::StreamStats;
-
-/// Deprecated path of [`serve::Health`], kept for one release.
-#[deprecated(
-    note = "moved to `ssf_repro::serve`; import from `ssf_repro::prelude` \
-            or the crate root"
-)]
-pub type Health = serve::Health;
 
 /// Configuration of the online predictor.
 ///
@@ -110,6 +84,14 @@ pub struct OnlinePredictorConfig {
     /// no longer fits `u32` indices falls back to wide at the next
     /// compaction instead of failing ingestion.
     pub storage: StorageMode,
+    /// Sliding-window width: keep only links stamped within
+    /// `horizon − window ..= horizon`, where the horizon follows the
+    /// newest accepted timestamp and can be pushed explicitly with
+    /// [`OnlineLinkPredictor::advance`]. Events behind the cutoff are
+    /// quarantined as
+    /// [`OutOfWindow`](serve::QuarantineReason::OutOfWindow). `None`
+    /// (the default) keeps the full history.
+    pub window: Option<Timestamp>,
 }
 
 impl Default for OnlinePredictorConfig {
@@ -124,6 +106,7 @@ impl Default for OnlinePredictorConfig {
             min_positives: 30,
             history_folds: 2,
             storage: StorageMode::Auto,
+            window: None,
         }
     }
 }
@@ -221,6 +204,14 @@ impl OnlinePredictorConfigBuilder {
         self
     }
 
+    /// Sliding-window width in ticks (`None`, the default, keeps the
+    /// full history). A width of 0 keeps only links stamped exactly at
+    /// the horizon.
+    pub fn window(mut self, width: Option<Timestamp>) -> Self {
+        self.config.window = width;
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -273,7 +264,10 @@ pub(crate) struct FittedModel {
 #[derive(Debug)]
 pub struct OnlineLinkPredictor {
     config: OnlinePredictorConfig,
-    network: DynamicNetwork,
+    /// The authoritative graph: a windowed view (unbounded unless
+    /// [`OnlinePredictorConfig::window`] is set) whose expiry and
+    /// horizon moves bump the same revision counter as inserts.
+    network: WindowedView,
     /// Copy-on-write mirror of `network`: a shared frozen CSR base plus
     /// the mutations since the last compaction, updated in lockstep by
     /// `observe`. Snapshots publish this mirror with `Arc` clones —
@@ -337,9 +331,13 @@ impl OnlineLinkPredictor {
         config: OnlinePredictorConfig,
         obs: ObsHandle,
     ) -> Self {
+        let network = match config.window {
+            Some(width) => WindowedView::with_width(width),
+            None => WindowedView::unbounded(),
+        };
         OnlineLinkPredictor {
             config,
-            network: DynamicNetwork::new(),
+            network,
             delta: DeltaGraph::new(Arc::new(FrozenGraph::empty())),
             fitted: None,
             last_fit_attempt: None,
@@ -387,6 +385,7 @@ impl OnlineLinkPredictor {
                 self.delta.ensure_node(v);
                 self.stats.stale += 1;
                 self.note_quarantine("stale");
+                self.sync_cache_to_network(&[]);
                 return serve::Observed::Quarantined(
                     serve::QuarantineReason::Stale { lag: head - t },
                 );
@@ -397,6 +396,7 @@ impl OnlineLinkPredictor {
             self.delta.ensure_node(u);
             self.stats.self_loops += 1;
             self.note_quarantine("self_loop");
+            self.sync_cache_to_network(&[]);
             return serve::Observed::Quarantined(
                 serve::QuarantineReason::SelfLoop,
             );
@@ -408,20 +408,40 @@ impl OnlineLinkPredictor {
             self.delta.ensure_node(v);
             self.stats.duplicates += 1;
             self.note_quarantine("duplicate");
+            self.sync_cache_to_network(&[]);
             return serve::Observed::Quarantined(
                 serve::QuarantineReason::Duplicate,
             );
         }
-        if self.network.try_add_link(u, v, t).is_err() {
-            // try_add_link only rejects self-loops, handled above; treat a
-            // future rejection reason as quarantine rather than panic.
-            self.stats.self_loops += 1;
-            self.note_quarantine("self_loop");
-            return serve::Observed::Quarantined(
-                serve::QuarantineReason::SelfLoop,
-            );
-        }
-        let _ = self.delta.try_add_link(u, v, t);
+        let advance = match self.network.try_add_link(u, v, t) {
+            Ok(advance) => advance,
+            Err(GraphError::OutOfWindow { cutoff, .. }) => {
+                // Behind the sliding window's trailing edge. Register
+                // the endpoints like every other quarantine so the ids
+                // stay scoreable (as isolated-by-expiry nodes).
+                self.network.ensure_node(u);
+                self.network.ensure_node(v);
+                self.delta.ensure_node(u);
+                self.delta.ensure_node(v);
+                self.stats.out_of_window += 1;
+                self.note_quarantine("out_of_window");
+                self.sync_cache_to_network(&[]);
+                return serve::Observed::Quarantined(
+                    serve::QuarantineReason::OutOfWindow { cutoff },
+                );
+            }
+            Err(_) => {
+                // try_add_link otherwise only rejects self-loops, handled
+                // above; treat a future rejection reason as quarantine
+                // rather than panic.
+                self.stats.self_loops += 1;
+                self.note_quarantine("self_loop");
+                return serve::Observed::Quarantined(
+                    serve::QuarantineReason::SelfLoop,
+                );
+            }
+        };
+        self.mirror_accepted_link(u, v, t, advance.as_ref());
         if self.delta.delta_link_count()
             >= compaction_threshold(self.network.link_count())
         {
@@ -458,6 +478,96 @@ impl OnlineLinkPredictor {
             let _ = self.try_refit();
         }
         serve::Observed::Accepted
+    }
+
+    /// Pushes the sliding window's horizon forward to `to` without
+    /// ingesting a link, expiring every link that falls behind the new
+    /// cutoff. Like [`observe`](OnlineLinkPredictor::observe) the move
+    /// is logged to the WAL before mutating memory, so replay
+    /// reproduces the same expiry sequence bit for bit. On an
+    /// unbounded predictor this still bumps the revision (snapshots
+    /// and caches see the horizon move) but never expires anything.
+    ///
+    /// Returns `Ok(None)` when `to` equals the current horizon, and
+    /// the [`AdvanceReport`] otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`SsfError::Graph`] with [`GraphError::HorizonRegressed`] when
+    /// `to` is behind the current horizon; the predictor is unchanged.
+    pub fn advance(
+        &mut self,
+        to: Timestamp,
+    ) -> Result<Option<AdvanceReport>, SsfError> {
+        let _span = self.obs.span("ssf.stream.advance");
+        self.log_advance(to);
+        let Some(report) = self.network.advance(to)? else {
+            return Ok(None);
+        };
+        self.delta.expire_links_below(
+            report.cutoff,
+            &report.affected,
+            report.min_timestamp,
+        );
+        self.sync_cache_to_network(&report.affected);
+        self.obs.counter("ssf.stream.advances", 1);
+        self.obs
+            .counter("ssf.stream.expired_links", report.expired_links as u64);
+        Ok(Some(report))
+    }
+
+    /// Applies one accepted link — and the implicit window advance it
+    /// may have triggered — to the copy-on-write mirror, keeping its
+    /// revision in lockstep with the network's, then re-keys the
+    /// extraction cache.
+    fn mirror_accepted_link(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        t: Timestamp,
+        advance: Option<&AdvanceReport>,
+    ) {
+        if let Some(report) = advance {
+            self.delta.expire_links_below(
+                report.cutoff,
+                &report.affected,
+                report.min_timestamp,
+            );
+            self.obs.counter(
+                "ssf.stream.expired_links",
+                report.expired_links as u64,
+            );
+        }
+        if self.config.window.is_some() {
+            // The windowed authority keeps rows in time order (expiry
+            // is a prefix drop), so the mirror must insert in time
+            // order too for the two to stay bit-identical.
+            let _ = self.delta.try_add_link_sorted(u, v, t);
+            let mut affected =
+                advance.map(|r| r.affected.clone()).unwrap_or_default();
+            affected.push(u);
+            affected.push(v);
+            self.sync_cache_to_network(&affected);
+        } else {
+            let _ = self.delta.try_add_link(u, v, t);
+        }
+    }
+
+    /// Re-keys the batch extraction cache to the network's current
+    /// `(revision, window)` immediately after a mutation, dropping only
+    /// the memos that depend on `affected` nodes. Windowed predictors
+    /// only: this keeps invalidation proportional to what an advance
+    /// actually expired, where the footprint-blind revision sync on
+    /// the next batch would flush the whole memo. Unbounded predictors
+    /// keep the legacy flush-on-next-batch behaviour and skip the
+    /// bookkeeping on the hot ingest path.
+    fn sync_cache_to_network(&mut self, affected: &[NodeId]) {
+        if self.config.window.is_none() {
+            return;
+        }
+        let window = self.network.window().map(|w| (w.width, w.horizon));
+        self.cache
+            .sync_affected(self.network.network(), window, affected);
     }
 
     /// Forces a refit on the current history.
@@ -503,22 +613,9 @@ impl OnlineLinkPredictor {
         outcome
     }
 
-    /// Deprecated name of [`OnlineLinkPredictor::try_refit`].
-    ///
-    /// # Errors
-    ///
-    /// Same conditions as [`OnlineLinkPredictor::try_refit`].
-    #[deprecated(
-        note = "renamed to `try_refit` under the fallible-API naming \
-                convention (`try_*` returns `Result`)"
-    )]
-    pub fn refit(&mut self) -> Result<(), SsfError> {
-        self.try_refit()
-    }
-
     fn fit_current(&self) -> Result<SsfnmModel, SsfError> {
         let split = Split::with_min_positives(
-            &self.network,
+            self.network.network(),
             &self.config.split,
             self.config.min_positives,
         )?;
@@ -600,7 +697,7 @@ impl OnlineLinkPredictor {
         if u == v || u >= n || v >= n {
             return None;
         }
-        let present = self.network.max_timestamp()? + 1;
+        let present = self.network.max_timestamp()?.saturating_add(1);
         let fitted = self.fitted.as_deref()?;
         let attempt = panic::catch_unwind(AssertUnwindSafe(|| {
             fitted.model.try_score(&self.network, u, v, present)
@@ -636,7 +733,7 @@ impl OnlineLinkPredictor {
         let _span = self.obs.span("ssf.stream.score_batch");
         self.obs.counter("ssf.stream.scored", pairs.len() as u64);
         let n = self.network.node_count() as NodeId;
-        let present = self.network.max_timestamp().map(|t| t + 1);
+        let present = self.network.max_timestamp().map(|t| t.saturating_add(1));
         let mut out = Vec::with_capacity(pairs.len());
         for &(u, v) in pairs {
             if u == v || u >= n || v >= n {
@@ -724,9 +821,23 @@ impl OnlineLinkPredictor {
         self.fitted.as_ref().map(|m| m.epoch)
     }
 
-    /// The accumulated network.
+    /// The accumulated network (the in-window portion, when a sliding
+    /// window is configured).
     pub fn network(&self) -> &DynamicNetwork {
-        &self.network
+        self.network.network()
+    }
+
+    /// The sliding window currently in force, `None` when the
+    /// predictor keeps the full history.
+    pub fn window(&self) -> Option<Window> {
+        self.network.window()
+    }
+
+    /// The stream horizon: the newest timestamp the window has been
+    /// advanced (or grown by accepted links) to. Tracks the maximum
+    /// accepted timestamp on unbounded predictors too.
+    pub fn horizon(&self) -> Timestamp {
+        self.network.horizon()
     }
 
     /// The copy-on-write graph view [`snapshot`] publishes: `Arc` clones
@@ -804,10 +915,28 @@ impl OnlineLinkPredictor {
         }
     }
 
+    /// Logs one explicit window advance to the WAL when durable, with
+    /// the same sticky-error degradation as
+    /// [`log_event`](OnlineLinkPredictor::log_event).
+    fn log_advance(&mut self, to: Timestamp) {
+        let Some(d) = self.durability.as_mut() else {
+            return;
+        };
+        match d.wal.append_advance(to) {
+            Ok(_) => {
+                self.obs.counter("ssf.persist.wal_appends", 1);
+            }
+            Err(e) => {
+                d.last_wal_error = Some(e.to_string());
+                self.obs.counter("ssf.persist.wal_append_failed", 1);
+            }
+        }
+    }
+
     /// Whether the exact `(u, v, t)` event is already in the network.
     fn already_recorded(&self, u: NodeId, v: NodeId, t: Timestamp) -> bool {
-        (u as usize) < self.network.node_count()
-            && self.network.incident_links(u).contains(&(v, t))
+        let g = self.network.network();
+        (u as usize) < g.node_count() && g.incident_links(u).contains(&(v, t))
     }
 
     /// Degraded scorer shared with the snapshot path (see
@@ -906,12 +1035,23 @@ impl OnlineLinkPredictor {
         )? {
             report.snapshot_revision = Some(state.graph.revision());
             from_seq = state.meta.next_seq;
-            predictor.restore_state(state);
+            predictor.restore_state(state)?;
         }
         let wal_report = {
             let p = &mut predictor;
             replay(dir, from_seq, true, |rec| {
-                p.observe(rec.u, rec.v, rec.t);
+                match rec.op {
+                    WalOp::Event { u, v, t } => {
+                        p.observe(u, v, t);
+                    }
+                    // Replays the logged horizon move; a regression
+                    // that was rejected (but still logged ahead of the
+                    // mutation) at ingest time is rejected again here,
+                    // reproducing the same state either way.
+                    WalOp::Advance { horizon } => {
+                        let _ = p.advance(horizon);
+                    }
+                }
                 Ok(ReplayStep::Continue)
             })?
         };
@@ -984,7 +1124,7 @@ impl OnlineLinkPredictor {
         )? {
             report.snapshot_revision = Some(state.graph.revision());
             from_seq = state.meta.next_seq;
-            predictor.restore_state(state);
+            predictor.restore_state(state)?;
         }
         let wal_report = {
             let p = &mut predictor;
@@ -992,7 +1132,14 @@ impl OnlineLinkPredictor {
                 if p.network.revision() >= revision {
                     return Ok(ReplayStep::Stop);
                 }
-                p.observe(rec.u, rec.v, rec.t);
+                match rec.op {
+                    WalOp::Event { u, v, t } => {
+                        p.observe(u, v, t);
+                    }
+                    WalOp::Advance { horizon } => {
+                        let _ = p.advance(horizon);
+                    }
+                }
                 Ok(ReplayStep::Continue)
             })?
         };
@@ -1061,6 +1208,8 @@ impl OnlineLinkPredictor {
             successful_refits: self.stats.successful_refits,
             failed_refits: self.stats.failed_refits,
             degraded_scores: self.stats.degraded_scores(),
+            window: self.network.window(),
+            out_of_window: self.stats.out_of_window,
         };
         let mut w = SnapshotWriter::new();
         durability::encode_state(
@@ -1122,8 +1271,15 @@ impl OnlineLinkPredictor {
 
     /// Installs a decoded snapshot: graph (both the mutable network
     /// and its frozen copy-on-write mirror, revision-aligned), model
-    /// slot, refit clock and stream statistics.
-    fn restore_state(&mut self, state: PersistedState) {
+    /// slot, window horizon, refit clock and stream statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`SsfError::Graph`] when the snapshot's graph does not fit the
+    /// configured window (a link behind the persisted horizon's
+    /// cutoff) — only reachable through on-disk corruption that the
+    /// configuration fingerprint cannot catch.
+    fn restore_state(&mut self, state: PersistedState) -> Result<(), SsfError> {
         let PersistedState {
             graph,
             model,
@@ -1131,7 +1287,10 @@ impl OnlineLinkPredictor {
             last_refit_error,
         } = state;
         let frozen = Arc::new(graph);
-        self.network = DynamicNetwork::from_view(frozen.as_ref());
+        let inner = DynamicNetwork::from_view(frozen.as_ref());
+        let horizon = meta.window.map_or(0, |w| w.horizon);
+        self.network =
+            WindowedView::from_network(inner, self.config.window, horizon)?;
         self.delta = DeltaGraph::new(frozen);
         self.fitted = match (model, meta.model_epoch) {
             (Some(model), Some(epoch)) => {
@@ -1147,10 +1306,12 @@ impl OnlineLinkPredictor {
             self_loops: meta.self_loops,
             duplicates: meta.duplicates,
             stale: meta.stale,
+            out_of_window: meta.out_of_window,
             successful_refits: meta.successful_refits,
             failed_refits: meta.failed_refits,
             degraded_scores: AtomicU64::new(meta.degraded_scores),
         };
+        Ok(())
     }
 }
 
@@ -1259,11 +1420,13 @@ mod tests {
             .split(split)
             .min_positives(10)
             .history_folds(1)
+            .window(Some(9))
             .build()
             .expect("valid configuration");
         let literal = OnlinePredictorConfig {
             max_lag: Some(7),
             quarantine_duplicates: true,
+            window: Some(9),
             ..quick_config()
         };
         assert_eq!(built, literal);
@@ -1879,5 +2042,224 @@ mod tests {
         )
         .expect_err("target beyond the durable history");
         assert!(matches!(err, SsfError::Corrupt { .. }), "{err}");
+    }
+
+    fn windowed_config(width: Timestamp) -> OnlinePredictorConfig {
+        OnlinePredictorConfig {
+            window: Some(width),
+            ..quick_config()
+        }
+    }
+
+    #[test]
+    fn windowed_ingest_expires_behind_the_cutoff_and_quarantines_stragglers() {
+        let mut p = OnlineLinkPredictor::new(windowed_config(10));
+        assert!(p.observe(0, 1, 0).is_accepted());
+        assert!(p.observe(1, 2, 5).is_accepted());
+        assert_eq!(
+            p.window(),
+            Some(Window {
+                width: 10,
+                horizon: 5
+            })
+        );
+        // Jumping the horizon to 12 implicitly expires t < 2.
+        assert!(p.observe(2, 3, 12).is_accepted());
+        assert_eq!(p.horizon(), 12);
+        assert!(!p.network().has_link(0, 1), "t = 0 fell behind the cutoff");
+        assert!(p.network().has_link(1, 2), "t = 5 is still in the window");
+        // A link exactly at the cutoff is kept (inclusive boundary)...
+        assert!(p.observe(4, 5, 2).is_accepted());
+        // ...one tick behind it is quarantined, endpoints registered.
+        assert_eq!(
+            p.observe(6, 7, 1),
+            Observed::Quarantined(QuarantineReason::OutOfWindow { cutoff: 2 })
+        );
+        assert_eq!(p.stats().out_of_window, 1);
+        assert_eq!(p.stats().quarantined(), 1);
+        assert!(p.network().node_count() >= 8);
+        // An explicit advance expires the cutoff-hugging link and says so.
+        let report = p.advance(13).expect("monotone").expect("horizon moved");
+        assert_eq!(report.cutoff, 3);
+        assert_eq!(report.expired_links, 1);
+        assert!(report.affected.contains(&4) && report.affected.contains(&5));
+        // Horizon regressions are typed errors, not silent no-ops.
+        assert!(p.advance(5).is_err());
+        // The copy-on-write mirror stayed in lockstep through expiry, and
+        // the published snapshot carries the window for its batch key.
+        let snap = p.snapshot();
+        assert_eq!(snap.window(), p.window());
+        assert_eq!(snap.epoch(), p.network().revision());
+    }
+
+    /// A window wide enough that nothing ever expires must be invisible:
+    /// scores agree to the bit with the unbounded predictor, across the
+    /// per-pair path, the cached batch path, and a compact-storage twin.
+    #[test]
+    fn windowed_scores_match_unbounded_when_nothing_expires() {
+        let events = clean_events();
+        let max_t = events.iter().map(|&(_, _, t)| t).max().unwrap_or(0);
+        let mut w = OnlineLinkPredictor::new(windowed_config(max_t));
+        let mut c = OnlineLinkPredictor::new(OnlinePredictorConfig {
+            storage: StorageMode::Compact,
+            ..windowed_config(max_t)
+        });
+        let mut u = OnlineLinkPredictor::new(quick_config());
+        for &(a, b, t) in &events {
+            w.observe(a, b, t);
+            c.observe(a, b, t);
+            u.observe(a, b, t);
+        }
+        assert!(w.is_fitted() && c.is_fitted() && u.is_fitted());
+        assert_eq!(w.network().link_count(), u.network().link_count());
+        assert_scores_match(&mut w, &mut u);
+        assert_scores_match(&mut c, &mut u);
+        // Cached batch scoring equals the uncached per-pair path bitwise
+        // on the windowed predictor too.
+        let pairs: Vec<(NodeId, NodeId)> =
+            vec![(0, 1), (2, 5), (3, 3), (1, 4), (0, 1)];
+        let individual: Vec<_> =
+            pairs.iter().map(|&(a, b)| w.score(a, b)).collect();
+        assert_eq!(w.score_batch(&pairs), individual);
+    }
+
+    /// An advance that expires `d` links must invalidate cache entries
+    /// proportional to the touched nodes — never flush the whole memo —
+    /// and the batch path must stay bit-identical to the uncached path
+    /// afterwards.
+    #[test]
+    fn windowed_advance_invalidates_the_cache_proportionally() {
+        let events = clean_events();
+        let max_t = events.iter().map(|&(_, _, t)| t).max().unwrap_or(0);
+        let mut ticks: Vec<Timestamp> =
+            events.iter().map(|&(_, _, t)| t).collect();
+        ticks.sort_unstable();
+        ticks.dedup();
+        assert!(ticks.len() >= 2, "need at least two distinct ticks");
+        let mut p = OnlineLinkPredictor::new(windowed_config(max_t));
+        for &(a, b, t) in &events {
+            p.observe(a, b, t);
+        }
+        assert!(p.is_fitted());
+        let pairs: Vec<(NodeId, NodeId)> = vec![(0, 1), (0, 2), (1, 2), (2, 5)];
+        let _ = p.score_batch(&pairs);
+        let _ = p.score_batch(&pairs); // warm
+        let before = p.cache_stats();
+        // Advance so the cutoff lands exactly on the second distinct
+        // tick: precisely the first tick's links expire.
+        let report = p
+            .advance(ticks[1].saturating_add(max_t))
+            .expect("monotone")
+            .expect("horizon moved");
+        assert!(report.expired_links >= 1, "first tick must expire");
+        let after = p.cache_stats();
+        assert_eq!(
+            after.invalidations, before.invalidations,
+            "a window advance must never blanket-flush the memo"
+        );
+        assert!(
+            after.selective_invalidations > before.selective_invalidations,
+            "the advance re-keys the cache selectively"
+        );
+        // Post-expiry, cached and uncached scoring still agree bitwise.
+        let individual: Vec<_> =
+            pairs.iter().map(|&(a, b)| p.score(a, b)).collect();
+        assert_eq!(p.score_batch(&pairs), individual);
+    }
+
+    /// Kill-and-replay for windowed predictors: WAL-logged advances and
+    /// out-of-window quarantines replay to the same window, stats and
+    /// bit-identical scores; the checkpoint carries the window so the
+    /// tail replays against the right cutoff.
+    #[test]
+    fn windowed_durable_reopen_replays_advances_bit_identically() {
+        let dir = durable_dir("windowed");
+        let events = clean_events();
+        let max_t = events.iter().map(|&(_, _, t)| t).max().unwrap_or(0);
+        let width = max_t / 2;
+        let mid = events.len() / 2;
+        let config = windowed_config(width);
+        let mut p = OnlineLinkPredictor::with_durability(
+            config.clone(),
+            &dir,
+            fast_policy(),
+        )
+        .expect("fresh durable predictor");
+        let mut twin = OnlineLinkPredictor::new(config.clone());
+        for &(a, b, t) in &events[..mid] {
+            p.observe(a, b, t);
+            twin.observe(a, b, t);
+        }
+        // Checkpoint between two advances: one lands in the snapshot's
+        // window metadata, the other must replay from the WAL.
+        let first = p.horizon().saturating_add(1);
+        assert_eq!(
+            p.advance(first).expect("monotone"),
+            twin.advance(first).expect("monotone")
+        );
+        p.checkpoint().expect("checkpoint");
+        for &(a, b, t) in &events[mid..] {
+            p.observe(a, b, t);
+            twin.observe(a, b, t);
+        }
+        let second = p.horizon().saturating_add(width / 2);
+        assert_eq!(
+            p.advance(second).expect("monotone"),
+            twin.advance(second).expect("monotone")
+        );
+        // A straggler behind the cutoff exercises the out-of-window
+        // tally through the WAL and the snapshot.
+        p.observe(0, 1, 0);
+        twin.observe(0, 1, 0);
+        assert_eq!(p.stats().out_of_window, twin.stats().out_of_window);
+        drop(p);
+
+        let (mut r, report) = OnlineLinkPredictor::open(config, &dir)
+            .expect("recovery of a windowed predictor");
+        assert!(!report.is_lossy());
+        assert_eq!(r.window(), twin.window());
+        assert_eq!(r.horizon(), twin.horizon());
+        assert_eq!(r.network().revision(), twin.network().revision());
+        assert_eq!(r.stats().out_of_window, twin.stats().out_of_window);
+        assert_eq!(r.is_fitted(), twin.is_fitted());
+        assert_scores_match(&mut r, &mut twin);
+    }
+
+    /// Boundary sweep: zero-width windows and horizons at `u32::MAX`
+    /// must neither panic nor overflow anywhere in the ingest/score
+    /// paths.
+    #[test]
+    fn zero_width_and_saturating_horizons_are_regression_safe() {
+        let mut p = OnlineLinkPredictor::new(windowed_config(0));
+        assert!(p.observe(0, 1, 3).is_accepted());
+        assert!(p.observe(1, 2, 3).is_accepted());
+        assert_eq!(p.network().link_count(), 2);
+        assert!(p.observe(2, 3, 4).is_accepted());
+        assert_eq!(
+            p.network().link_count(),
+            1,
+            "zero width keeps only the horizon tick"
+        );
+        assert_eq!(
+            p.observe(3, 4, 3),
+            Observed::Quarantined(QuarantineReason::OutOfWindow { cutoff: 4 })
+        );
+        // The saturating horizon: `present = max_timestamp + 1` must
+        // saturate, not overflow, in both scoring paths.
+        assert!(p.observe(4, 5, u32::MAX).is_accepted());
+        assert_eq!(p.horizon(), u32::MAX);
+        assert!(p.score(0, 1).is_none(), "unfitted, but must not panic");
+        let _ = p.score_batch(&[(4, 5), (0, 1)]);
+        // Advancing to the current horizon is a no-op, not an error.
+        assert!(matches!(p.advance(u32::MAX), Ok(None)));
+        // A `u32::MAX` width saturates the cutoff at 0: nothing expires.
+        let mut q = OnlineLinkPredictor::new(windowed_config(u32::MAX));
+        assert!(q.observe(0, 1, 0).is_accepted());
+        let report = q
+            .advance(u32::MAX)
+            .expect("monotone")
+            .expect("horizon moved");
+        assert_eq!(report.expired_links, 0);
+        assert_eq!(q.network().link_count(), 1, "cutoff saturates at 0");
     }
 }
